@@ -1,0 +1,152 @@
+//! The static execution-cost estimator (paper §4.3, after \[WMGH94\]).
+//!
+//! Combines, exactly as the paper lists:
+//!
+//! * a static cost value per operator (`+` = 1, `/` = 9, builtin table in
+//!   [`ds_lang::builtins`]);
+//! * the sum of the costs of computing all subterms;
+//! * for terms in loops, a multiplier (5 per nesting level);
+//! * for terms guarded by conditionals, a divisor (2 per guard).
+//!
+//! Two views are exposed: [`plain_cost`] (one evaluation of the term, used by
+//! the Rule 6 triviality policy) and [`weighted_cost`] (frequency-adjusted,
+//! used by the cache-limiting victim heuristic).
+
+use crate::index::TermIndex;
+use ds_lang::cost::{
+    binop_cost, unop_cost, BRANCH_COST, CACHE_READ_COST, CACHE_STORE_COST, COND_DIVISOR,
+    LOOP_MULTIPLIER, TRIVIALITY_THRESHOLD,
+};
+use ds_lang::{Builtin, Expr, ExprKind, TermId};
+
+/// Cost of evaluating `e` once: operator cost plus the sum of subterm costs.
+pub fn plain_cost(e: &Expr) -> u64 {
+    match &e.kind {
+        ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::BoolLit(_) | ExprKind::Var(_) => 0,
+        ExprKind::Unary(op, a) => unop_cost(*op) + plain_cost(a),
+        ExprKind::Binary(op, l, r) => binop_cost(*op) + plain_cost(l) + plain_cost(r),
+        ExprKind::Cond(c, t, f) => BRANCH_COST + plain_cost(c) + plain_cost(t) + plain_cost(f),
+        ExprKind::Call(name, args) => {
+            let op = Builtin::from_name(name)
+                .map(Builtin::cost)
+                // User calls are inlined before specialization; if one
+                // survives (tests, diagnostics) estimate generously.
+                .unwrap_or(25);
+            op + args.iter().map(plain_cost).sum::<u64>()
+        }
+        ExprKind::CacheRef(..) => CACHE_READ_COST,
+        ExprKind::CacheStore(_, inner) => CACHE_STORE_COST + plain_cost(inner),
+    }
+}
+
+/// Whether `e` is "sufficiently trivial" for Rule 6: so cheap that caching it
+/// would replace the computation with a memory reference of equal or greater
+/// cost. Constants and bare variable references are always trivial.
+pub fn is_trivial(e: &Expr) -> bool {
+    plain_cost(e) <= TRIVIALITY_THRESHOLD
+}
+
+/// Frequency-adjusted cost of expression `id`: [`plain_cost`] scaled by
+/// ×5 per enclosing loop and ÷2 per guarding conditional.
+///
+/// The result is clamped below at 1 so that a deeply guarded term still has
+/// nonzero weight in victim selection.
+pub fn weighted_cost(ix: &TermIndex<'_>, id: TermId) -> u64 {
+    let Some(e) = ix.expr(id) else { return 0 };
+    let base = plain_cost(e);
+    let ctx = ix.ctx(id);
+    let mult = LOOP_MULTIPLIER.saturating_pow(ctx.loops.len() as u32);
+    // A loop guards its own body, but its frequency effect is already the
+    // ×5 multiplier; only genuine conditionals (if statements and ternaries)
+    // contribute the ÷2 divisor.
+    let cond_guards = ctx
+        .guards
+        .iter()
+        .filter(|&&g| !ctx.loops.contains(&g))
+        .count();
+    let div = COND_DIVISOR.saturating_pow(cond_guards as u32);
+    (base.saturating_mul(mult) / div).max(u64::from(base > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_lang::{parse_expr, parse_program};
+
+    #[test]
+    fn plain_costs_follow_paper_scale() {
+        assert_eq!(plain_cost(&parse_expr("a + b").unwrap()), 1);
+        assert_eq!(plain_cost(&parse_expr("a / b").unwrap()), 9);
+        assert_eq!(plain_cost(&parse_expr("x1*x2 + y1*y2").unwrap()), 5);
+        assert_eq!(plain_cost(&parse_expr("x").unwrap()), 0);
+        assert_eq!(plain_cost(&parse_expr("3.5").unwrap()), 0);
+    }
+
+    #[test]
+    fn triviality_matches_dotprod_policy() {
+        // (scale != 0.0) is trivial; (x1*x2 + y1*y2) is not (§2).
+        assert!(is_trivial(&parse_expr("scale != 0.0").unwrap()));
+        assert!(!is_trivial(&parse_expr("x1*x2 + y1*y2").unwrap()));
+        assert!(is_trivial(&parse_expr("x").unwrap()));
+        assert!(is_trivial(&parse_expr("1.0").unwrap()));
+    }
+
+    #[test]
+    fn builtin_costs_included() {
+        let sin = plain_cost(&parse_expr("sin(x)").unwrap());
+        assert_eq!(sin, ds_lang::Builtin::Sin.cost());
+        let nested = plain_cost(&parse_expr("sin(x + 1.0)").unwrap());
+        assert_eq!(nested, sin + 1);
+    }
+
+    #[test]
+    fn weighted_cost_multiplies_in_loops_divides_under_guards() {
+        let prog = parse_program(
+            "float f(float x, bool p, int n) {
+                 float a = sin(x);
+                 int i = 0;
+                 while (i < n) {
+                     float b = sin(x);
+                     i = i + 1;
+                 }
+                 if (p) { float c = sin(x); trace(c); }
+                 return a;
+             }",
+        )
+        .unwrap();
+        let p = &prog.procs[0];
+        let ix = crate::index::TermIndex::build(p);
+        let mut costs = Vec::new();
+        p.walk_exprs(&mut |e| {
+            if matches!(&e.kind, ExprKind::Call(name, _) if name == "sin") {
+                costs.push(weighted_cost(&ix, e.id));
+            }
+        });
+        let base = ds_lang::Builtin::Sin.cost();
+        assert_eq!(costs[0], base); // top level
+        assert_eq!(costs[1], base * 5); // in loop (×5)
+        assert_eq!(costs[2], base / 2); // under if (÷2)
+    }
+
+    #[test]
+    fn weighted_cost_never_zero_for_nonzero_base() {
+        let prog = parse_program(
+            "float f(bool a, bool b, bool c, float x) {
+                 float r = 0.0;
+                 if (a) { if (b) { if (c) { r = x + 1.0; } } }
+                 return r;
+             }",
+        )
+        .unwrap();
+        let p = &prog.procs[0];
+        let ix = crate::index::TermIndex::build(p);
+        let mut add_cost = None;
+        p.walk_exprs(&mut |e| {
+            if matches!(&e.kind, ExprKind::Binary(ds_lang::BinOp::Add, ..)) {
+                add_cost = Some(weighted_cost(&ix, e.id));
+            }
+        });
+        // 1 / 2^3 would truncate to 0; clamped to 1.
+        assert_eq!(add_cost, Some(1));
+    }
+}

@@ -1,0 +1,71 @@
+//! # ds-analysis — the analyses behind data specialization
+//!
+//! Implements the analysis half of *Data Specialization* (Knoblock & Ruf,
+//! PLDI 1996):
+//!
+//! * [`inline_entry`] — bounded inlining so the fragment is a single
+//!   non-recursive procedure calling only builtins (the paper's §5 setting);
+//! * [`insert_phis`] — join-point normalization, the SSA-like `v = v`
+//!   insertion of §4.1;
+//! * [`analyze_dependence`] — dependence analysis, §3.1 (cases 1–4,
+//!   including control dependence at joins);
+//! * [`reaching_defs`] — the reaching-definition substrate for Rule 4 and
+//!   single-valuedness;
+//! * [`CacheSolver`] — caching analysis, §3.2: the monotone, restartable
+//!   solver for the `static < cached < dynamic` label lattice (Figure 3's
+//!   Rules 1–8);
+//! * [`reassociate`] — associative rewriting, §4.2;
+//! * [`plain_cost`] / [`weighted_cost`] — the \[WMGH94\]-style static cost
+//!   estimator of §4.3 (`+`=1, `/`=9, ×5 per loop, ÷2 per conditional).
+//!
+//! The splitting transformation that consumes these labels lives in
+//! `ds-core`.
+//!
+//! ## Pipeline
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ds_analysis::{analyze_dependence, inline_entry, insert_phis,
+//!                   reaching_defs, CacheSolver, Label, TermIndex};
+//! use std::collections::HashSet;
+//!
+//! let program = ds_lang::parse_program(
+//!     "float f(float k, float v) { return sin(k) * cos(k) + v; }",
+//! )?;
+//! let mut program = inline_entry(&program, "f")?;
+//! insert_phis(&mut program.procs[0]);
+//! program.renumber();
+//! let types = ds_lang::typecheck(&program)?;
+//!
+//! let proc = &program.procs[0];
+//! let ix = TermIndex::build(proc);
+//! let rd = reaching_defs(proc);
+//! let varying: HashSet<String> = ["v".to_string()].into();
+//! let dep = analyze_dependence(proc, &varying);
+//! let solver = CacheSolver::solve(&ix, &rd, &dep, &types);
+//! // The expensive independent product is cached for the reader.
+//! let cached = solver.cached_terms();
+//! assert_eq!(cached.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod caching;
+pub mod costmodel;
+pub mod depend;
+pub mod index;
+pub mod inline;
+pub mod normalize;
+pub mod reachdef;
+pub mod reassoc;
+
+pub use caching::{CacheSolver, CachingOptions, Label, Reason};
+pub use costmodel::{is_trivial, plain_cost, weighted_cost};
+pub use depend::{analyze_dependence, Dependence};
+pub use index::{TermCtx, TermIndex};
+pub use inline::{inline_entry, InlineError};
+pub use normalize::insert_phis;
+pub use reachdef::{reaching_defs, DefId, ReachingDefs};
+pub use reassoc::reassociate;

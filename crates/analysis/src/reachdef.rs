@@ -1,0 +1,292 @@
+//! Reaching definitions for MiniC procedures.
+//!
+//! The caching analysis needs, for every variable reference, the set of
+//! definitions (parameter bindings, declarations, assignments) that may reach
+//! it: Rule 4 (§3.2) forces the reaching definitions of a dynamic reference
+//! into the reader, and the single-valuedness test of Rule 6 asks whether any
+//! reaching definition of a term's free variables lies inside an enclosing
+//! loop.
+//!
+//! MiniC is structured and pointer-free, so a straightforward abstract
+//! interpretation with set-union merges at joins (iterated to fixpoint for
+//! loops) is exact up to path-insensitivity.
+
+use ds_lang::{Block, Expr, ExprKind, Proc, Stmt, StmtKind, TermId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A definition site of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DefId {
+    /// The binding of the `i`-th procedure parameter.
+    Param(usize),
+    /// A `Decl` or `Assign` statement.
+    Stmt(TermId),
+}
+
+/// Result of reaching-definition analysis over one procedure.
+#[derive(Debug, Clone, Default)]
+pub struct ReachingDefs {
+    uses: HashMap<TermId, BTreeSet<DefId>>,
+    phi_rhs: HashSet<TermId>,
+}
+
+impl ReachingDefs {
+    /// The definitions reaching the variable reference `use_id`.
+    ///
+    /// Returns an empty set for ids that are not variable references.
+    pub fn defs_of(&self, use_id: TermId) -> &BTreeSet<DefId> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<DefId>> = std::sync::OnceLock::new();
+        self.uses
+            .get(&use_id)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// Whether `use_id` is the right-hand-side variable reference of a
+    /// join-point pseudo-phi assignment (`v = v /* phi */`). These are the
+    /// only bare variable references the caching analysis may cache (§4.1).
+    pub fn is_phi_rhs(&self, use_id: TermId) -> bool {
+        self.phi_rhs.contains(&use_id)
+    }
+
+    /// Iterates over all recorded (use, defs) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &BTreeSet<DefId>)> {
+        self.uses.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+type Env = HashMap<String, BTreeSet<DefId>>;
+
+/// Computes reaching definitions for `proc`.
+pub fn reaching_defs(proc: &Proc) -> ReachingDefs {
+    let mut out = ReachingDefs::default();
+    let mut env: Env = proc
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.clone(), BTreeSet::from([DefId::Param(i)])))
+        .collect();
+    block(&proc.body, &mut env, &mut out);
+    out
+}
+
+fn merge(into: &mut Env, other: &Env) -> bool {
+    let mut changed = false;
+    for (k, v) in other {
+        let entry = into.entry(k.clone()).or_default();
+        for d in v {
+            changed |= entry.insert(*d);
+        }
+    }
+    changed
+}
+
+fn block(b: &Block, env: &mut Env, out: &mut ReachingDefs) {
+    for s in &b.stmts {
+        stmt(s, env, out);
+    }
+}
+
+fn stmt(s: &Stmt, env: &mut Env, out: &mut ReachingDefs) {
+    match &s.kind {
+        StmtKind::Decl { name, init, .. } => {
+            record_uses(init, env, out);
+            env.insert(name.clone(), BTreeSet::from([DefId::Stmt(s.id)]));
+        }
+        StmtKind::Assign {
+            name,
+            value,
+            is_phi,
+        } => {
+            record_uses(value, env, out);
+            if *is_phi {
+                if let ExprKind::Var(_) = value.kind {
+                    out.phi_rhs.insert(value.id);
+                }
+            }
+            env.insert(name.clone(), BTreeSet::from([DefId::Stmt(s.id)]));
+        }
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            record_uses(cond, env, out);
+            let mut env_then = env.clone();
+            block(then_blk, &mut env_then, out);
+            block(else_blk, env, out);
+            merge(env, &env_then);
+        }
+        StmtKind::While { cond, body } => {
+            // Iterate to fixpoint; definitions only accumulate, so this
+            // terminates. Uses are overwritten each pass and the final pass
+            // records them against the fixpoint environment.
+            loop {
+                let before = env.clone();
+                record_uses(cond, env, out);
+                let mut env_body = env.clone();
+                block(body, &mut env_body, out);
+                let changed = merge(env, &env_body);
+                if !changed && env.len() == before.len() {
+                    break;
+                }
+            }
+            // One more pass so that uses inside the loop see the full
+            // fixpoint environment (merge above may have added defs after
+            // the last recording).
+            record_uses(cond, env, out);
+            let mut env_body = env.clone();
+            block(body, &mut env_body, out);
+        }
+        StmtKind::Return(Some(e)) => record_uses(e, env, out),
+        StmtKind::Return(None) => {}
+        StmtKind::ExprStmt(e) => record_uses(e, env, out),
+    }
+}
+
+fn record_uses(e: &Expr, env: &Env, out: &mut ReachingDefs) {
+    e.walk(&mut |sub| {
+        if let ExprKind::Var(name) = &sub.kind {
+            let defs = env.get(name).cloned().unwrap_or_default();
+            out.uses.insert(sub.id, defs);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_lang::parse_program;
+
+    /// Finds the Var expr ids with the given name, in pre-order.
+    fn var_refs(p: &Proc, name: &str) -> Vec<TermId> {
+        let mut v = Vec::new();
+        p.walk_exprs(&mut |e| {
+            if matches!(&e.kind, ExprKind::Var(n) if n == name) {
+                v.push(e.id);
+            }
+        });
+        v
+    }
+
+    fn stmt_ids(p: &Proc) -> Vec<TermId> {
+        let mut v = Vec::new();
+        p.walk_stmts(&mut |s| v.push(s.id));
+        v
+    }
+
+    #[test]
+    fn param_use_reaches_param() {
+        let prog = parse_program("float f(float x) { return x; }").unwrap();
+        let p = &prog.procs[0];
+        let rd = reaching_defs(p);
+        let uses = var_refs(p, "x");
+        assert_eq!(rd.defs_of(uses[0]), &BTreeSet::from([DefId::Param(0)]));
+    }
+
+    #[test]
+    fn straightline_kill() {
+        let prog = parse_program(
+            "float f(float x) { float t = x; t = t + 1.0; return t; }",
+        )
+        .unwrap();
+        let p = &prog.procs[0];
+        let rd = reaching_defs(p);
+        let sids = stmt_ids(p);
+        let t_uses = var_refs(p, "t");
+        // First use (inside `t = t + 1.0`) sees the decl; the return use
+        // sees only the assignment (decl killed).
+        assert_eq!(rd.defs_of(t_uses[0]), &BTreeSet::from([DefId::Stmt(sids[0])]));
+        assert_eq!(rd.defs_of(t_uses[1]), &BTreeSet::from([DefId::Stmt(sids[1])]));
+    }
+
+    #[test]
+    fn branches_merge() {
+        let prog = parse_program(
+            "float f(bool p, float x) {
+                 float t = 0.0;
+                 if (p) { t = x; }
+                 return t;
+             }",
+        )
+        .unwrap();
+        let p = &prog.procs[0];
+        let rd = reaching_defs(p);
+        let sids = stmt_ids(p);
+        let ret_use = *var_refs(p, "t").last().unwrap();
+        // Both the decl (else path) and the branch assignment reach.
+        assert_eq!(
+            rd.defs_of(ret_use),
+            &BTreeSet::from([DefId::Stmt(sids[0]), DefId::Stmt(sids[2])])
+        );
+    }
+
+    #[test]
+    fn loop_back_edge_reaches_condition_and_body() {
+        let prog = parse_program(
+            "float f(int n) {
+                 int i = 0;
+                 float acc = 0.0;
+                 while (i < n) {
+                     acc = acc + 1.0;
+                     i = i + 1;
+                 }
+                 return acc;
+             }",
+        )
+        .unwrap();
+        let p = &prog.procs[0];
+        let rd = reaching_defs(p);
+        let sids = stmt_ids(p);
+        let (decl_i, incr_i) = (sids[0], sids[4]);
+        // The condition's use of i sees both the initial decl and the
+        // increment (via the back edge).
+        let cond_use = var_refs(p, "i")[0];
+        assert_eq!(
+            rd.defs_of(cond_use),
+            &BTreeSet::from([DefId::Stmt(decl_i), DefId::Stmt(incr_i)])
+        );
+        // The use of acc in the return sees decl + loop assignment.
+        let ret_use = *var_refs(p, "acc").last().unwrap();
+        assert_eq!(rd.defs_of(ret_use).len(), 2);
+    }
+
+    #[test]
+    fn phi_rhs_detection() {
+        let mut prog = parse_program(
+            "float f(bool p) { float x = 1.0; if (p) { x = 2.0; } x = x; return x; }",
+        )
+        .unwrap();
+        // Mark `x = x` as a phi.
+        {
+            let p = &mut prog.procs[0];
+            if let StmtKind::Assign { is_phi, .. } = &mut p.body.stmts[2].kind {
+                *is_phi = true;
+            } else {
+                panic!("expected assign");
+            }
+        }
+        prog.renumber();
+        let p = &prog.procs[0];
+        let rd = reaching_defs(p);
+        let x_uses = var_refs(p, "x");
+        // The phi's RHS is the first standalone x use.
+        assert!(rd.is_phi_rhs(x_uses[0]));
+        // The return's use is not a phi RHS.
+        assert!(!rd.is_phi_rhs(*x_uses.last().unwrap()));
+    }
+
+    #[test]
+    fn non_var_ids_have_no_defs() {
+        let prog = parse_program("float f(float x) { return x + 1.0; }").unwrap();
+        let p = &prog.procs[0];
+        let rd = reaching_defs(p);
+        // The literal's id has no defs.
+        let mut lit_id = None;
+        p.walk_exprs(&mut |e| {
+            if matches!(e.kind, ExprKind::FloatLit(_)) {
+                lit_id = Some(e.id);
+            }
+        });
+        assert!(rd.defs_of(lit_id.unwrap()).is_empty());
+    }
+}

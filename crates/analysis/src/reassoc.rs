@@ -1,0 +1,296 @@
+//! Associative rewriting (paper §4.2).
+//!
+//! "Consider the expression `(x1*x2 + y1*y2 + z1*z2)` where x1 and x2 are
+//! dependent. If the addition operator associates to the left, both
+//! additions will be dependent, while if it associates to the right, only
+//! the first one will be. Our implementation optionally reassociates
+//! expressions to maximize the size of independent terms."
+//!
+//! The pass flattens maximal chains of one associative operator (`+` or `*`
+//! over a single type), stably partitions the operands into independent
+//! followed by dependent, and rebuilds a left-leaning tree. The independent
+//! operands then form one contiguous subtree that the caching analysis can
+//! label `cached`.
+//!
+//! As the paper notes, floating-point arithmetic is not associative, so the
+//! transformation can perturb float results in the last ulp; it is therefore
+//! an *option* (off by default in `ds-core`). Wrapping integer arithmetic
+//! is exactly associative. Chains containing calls with global effects are
+//! left untouched, so effect order is always preserved.
+
+use crate::depend::Dependence;
+use ds_lang::{BinOp, Block, Builtin, Expr, ExprKind, Proc, Stmt, StmtKind};
+
+/// Reassociates `+`/`*` chains in `proc` to group independent operands,
+/// using the dependence facts computed for the *current* numbering.
+/// Returns the number of chains whose operand order changed.
+///
+/// Renumber the program and re-run the analyses afterwards.
+pub fn reassociate(proc: &mut Proc, dep: &Dependence) -> usize {
+    let mut changed = 0;
+    walk_block(&mut proc.body, dep, &mut changed);
+    changed
+}
+
+fn walk_block(b: &mut Block, dep: &Dependence, changed: &mut usize) {
+    for s in &mut b.stmts {
+        walk_stmt(s, dep, changed);
+    }
+}
+
+fn walk_stmt(s: &mut Stmt, dep: &Dependence, changed: &mut usize) {
+    match &mut s.kind {
+        StmtKind::Decl { init: e, .. }
+        | StmtKind::Assign { value: e, .. }
+        | StmtKind::ExprStmt(e)
+        | StmtKind::Return(Some(e)) => walk_expr(e, dep, changed),
+        StmtKind::Return(None) => {}
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            walk_expr(cond, dep, changed);
+            walk_block(then_blk, dep, changed);
+            walk_block(else_blk, dep, changed);
+        }
+        StmtKind::While { cond, body } => {
+            walk_expr(cond, dep, changed);
+            walk_block(body, dep, changed);
+        }
+    }
+}
+
+fn walk_expr(e: &mut Expr, dep: &Dependence, changed: &mut usize) {
+    // Children first, so inner chains settle before outer ones flatten.
+    match &mut e.kind {
+        ExprKind::Unary(_, a) | ExprKind::CacheStore(_, a) => walk_expr(a, dep, changed),
+        ExprKind::Binary(_, l, r) => {
+            walk_expr(l, dep, changed);
+            walk_expr(r, dep, changed);
+        }
+        ExprKind::Cond(c, t, f) => {
+            walk_expr(c, dep, changed);
+            walk_expr(t, dep, changed);
+            walk_expr(f, dep, changed);
+        }
+        ExprKind::Call(_, args) => {
+            for a in args {
+                walk_expr(a, dep, changed);
+            }
+        }
+        _ => {}
+    }
+    let ExprKind::Binary(op, _, _) = e.kind else { return };
+    if !op.is_associative() {
+        return;
+    }
+    // A chain of fewer than three operands cannot be usefully reordered;
+    // leave it (and, crucially, its term ids) untouched.
+    if chain_len(e, op) < 3 {
+        return;
+    }
+    let mut operands = Vec::new();
+    flatten(e, op, &mut operands);
+    // `flatten` consumed the chain's leaves; every exit below must rebuild
+    // the tree from the operand list. The rebuilt root keeps the original
+    // root's id so that enclosing chains can still consult its dependence.
+    let root_id = e.id;
+    let root_span = e.span;
+    let is_dep = |x: &Expr| dep.is_dependent(x.id);
+    let already_partitioned = operands
+        .windows(2)
+        .all(|w| !is_dep(&w[0]) || is_dep(&w[1]));
+    if operands.iter().any(has_global_effect) || already_partitioned {
+        // Effectful chains must not reorder (it would permute trace output);
+        // already-partitioned chains have nothing to gain.
+        *e = rebuild(op, operands, root_id, root_span);
+        return;
+    }
+    let (indep, dependent): (Vec<Expr>, Vec<Expr>) =
+        operands.into_iter().partition(|x| !is_dep(x));
+    let mut ordered = indep;
+    ordered.extend(dependent);
+    *e = rebuild(op, ordered, root_id, root_span);
+    *changed += 1;
+}
+
+/// Number of operands in the maximal same-operator chain rooted at `e`,
+/// without modifying the tree.
+fn chain_len(e: &Expr, op: BinOp) -> usize {
+    if let ExprKind::Binary(o, l, r) = &e.kind {
+        if *o == op {
+            return chain_len(l, op) + chain_len(r, op);
+        }
+    }
+    1
+}
+
+/// Flattens a maximal same-operator chain into its operand list, in
+/// left-to-right evaluation order. Consumes `e`'s children.
+fn flatten(e: &mut Expr, op: BinOp, out: &mut Vec<Expr>) {
+    if let ExprKind::Binary(o, l, r) = &mut e.kind {
+        if *o == op {
+            flatten(l, op, out);
+            flatten(r, op, out);
+            return;
+        }
+    }
+    out.push(std::mem::replace(e, Expr::synth(ExprKind::BoolLit(false))));
+}
+
+/// Rebuilds a left-leaning tree `((a op b) op c) ...`. Interior combining
+/// nodes get fresh (unassigned) ids; the root keeps `root_id` so that
+/// enclosing chains can still look up its dependence.
+fn rebuild(
+    op: BinOp,
+    operands: Vec<Expr>,
+    root_id: ds_lang::TermId,
+    root_span: ds_lang::Span,
+) -> Expr {
+    let mut it = operands.into_iter();
+    let first = it.next().expect("chain has operands");
+    let mut tree = it.fold(first, |acc, next| {
+        Expr::synth(ExprKind::Binary(op, Box::new(acc), Box::new(next)))
+    });
+    tree.id = root_id;
+    tree.span = root_span;
+    tree
+}
+
+fn has_global_effect(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |sub| {
+        if let ExprKind::Call(name, _) = &sub.kind {
+            if Builtin::from_name(name).is_some_and(|b| b.has_global_effect()) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depend::analyze_dependence;
+    use ds_lang::{parse_program, print_proc, typecheck};
+    use std::collections::HashSet;
+
+    fn reassoc(src: &str, varying: &[&str]) -> (ds_lang::Program, usize) {
+        let mut prog = parse_program(src).expect("parse");
+        typecheck(&prog).expect("typecheck");
+        let vs: HashSet<String> = varying.iter().map(|s| s.to_string()).collect();
+        let dep = analyze_dependence(&prog.procs[0], &vs);
+        let n = reassociate(&mut prog.procs[0], &dep);
+        prog.renumber();
+        typecheck(&prog).expect("typecheck after reassoc");
+        (prog, n)
+    }
+
+    #[test]
+    fn paper_example_moves_dependent_product_last() {
+        // §4.2's example with x1, x2 dependent: the chain reorders so both
+        // independent products group on the left.
+        let (prog, n) = reassoc(
+            "float f(float x1, float y1, float z1, float x2, float y2, float z2) {
+                 return x1*x2 + y1*y2 + z1*z2;
+             }",
+            &["x1", "x2"],
+        );
+        assert_eq!(n, 1);
+        let text = print_proc(&prog.procs[0]);
+        assert!(
+            text.contains("return y1 * y2 + z1 * z2 + x1 * x2;"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn already_grouped_chains_are_untouched() {
+        let (prog, n) = reassoc(
+            "float f(float a, float b, float v) { return a * b + a + v; }",
+            &["v"],
+        );
+        assert_eq!(n, 0);
+        let text = print_proc(&prog.procs[0]);
+        assert!(text.contains("a * b + a + v"), "{text}");
+    }
+
+    #[test]
+    fn multiplication_chains_reorder_too() {
+        let (prog, n) = reassoc(
+            "float f(float a, float v, float b) { return a * v * b; }",
+            &["v"],
+        );
+        assert_eq!(n, 1);
+        let text = print_proc(&prog.procs[0]);
+        assert!(text.contains("a * b * v"), "{text}");
+    }
+
+    #[test]
+    fn subtraction_blocks_flattening() {
+        // (a - b) is not an Add chain element-wise; the chain is
+        // [(a - b), v, c] for the + operator.
+        let (prog, n) = reassoc(
+            "float f(float a, float b, float v, float c) { return a - b + v + c; }",
+            &["v"],
+        );
+        assert_eq!(n, 1);
+        let text = print_proc(&prog.procs[0]);
+        assert!(text.contains("a - b + c + v"), "{text}");
+    }
+
+    #[test]
+    fn effectful_chains_are_left_alone() {
+        let (prog, n) = reassoc(
+            "float f(float a, float v) { return trace(a) + v + a; }",
+            &["v"],
+        );
+        assert_eq!(n, 0);
+        let text = print_proc(&prog.procs[0]);
+        assert!(text.contains("trace(a) + v + a"), "{text}");
+    }
+
+    #[test]
+    fn integer_reassociation_preserves_semantics_exactly() {
+        use ds_interp::{Evaluator, Value};
+        let src = "int f(int a, int v, int b, int c) { return a + v + b + c + a * v * b; }";
+        let prog0 = parse_program(src).unwrap();
+        let (prog1, n) = reassoc(src, &["v"]);
+        assert!(n >= 1);
+        for vals in [[1i64, 2, 3, 4], [100, -7, 55, 9], [i64::MAX, 1, 1, 1]] {
+            let args: Vec<Value> = vals.iter().map(|&v| Value::Int(v)).collect();
+            let a = Evaluator::new(&prog0).run("f", &args).unwrap();
+            let b = Evaluator::new(&prog1).run("f", &args).unwrap();
+            // Wrapping integer arithmetic is exactly associative+commutative.
+            assert_eq!(a.value, b.value, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn enables_larger_cached_subtree() {
+        // Without reassociation the cached frontier for v varying in
+        // a+b+v+c is just (a+b); with it, (a+b+c) groups together.
+        use crate::caching::{CacheSolver, Label};
+        use crate::index::TermIndex;
+        use crate::reachdef::reaching_defs;
+        let src =
+            "float f(float a, float b, float v, float c) { return sin(a) + b + v + sqrt(c); }";
+        let (prog, _) = reassoc(src, &["v"]);
+        let types = typecheck(&prog).unwrap();
+        let p = &prog.procs[0];
+        let ix = TermIndex::build(p);
+        let rd = reaching_defs(p);
+        let vs: HashSet<String> = ["v".to_string()].into();
+        let dep = analyze_dependence(p, &vs);
+        let solver = CacheSolver::solve(&ix, &rd, &dep, &types);
+        let mut cached_texts = Vec::new();
+        p.walk_exprs(&mut |e| {
+            if solver.label(e.id) == Label::Cached {
+                cached_texts.push(ds_lang::print_expr(e));
+            }
+        });
+        assert_eq!(cached_texts, vec!["sin(a) + b + sqrt(c)"]);
+    }
+}

@@ -1,0 +1,338 @@
+//! Analysis edge cases: nested loops, interacting control dependence,
+//! while-condition chains, and the inliner on thorny (but legal) inputs.
+
+use ds_analysis::{
+    analyze_dependence, inline_entry, insert_phis, reaching_defs, CacheSolver, Label, TermIndex,
+};
+use ds_lang::{parse_program, typecheck, ExprKind, Program, TermId};
+use std::collections::HashSet;
+
+struct Analyzed {
+    program: Program,
+    types: ds_lang::TypeInfo,
+    varying: HashSet<String>,
+}
+
+fn analyzed(src: &str, varying: &[&str]) -> Analyzed {
+    let mut program = parse_program(src).expect("parse");
+    typecheck(&program).expect("typecheck");
+    insert_phis(&mut program.procs[0]);
+    program.renumber();
+    let types = typecheck(&program).expect("typecheck normalized");
+    Analyzed {
+        program,
+        types,
+        varying: varying.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+fn labels_of(a: &Analyzed) -> Vec<(String, Label)> {
+    let proc = &a.program.procs[0];
+    let ix = TermIndex::build(proc);
+    let rd = reaching_defs(proc);
+    let dep = analyze_dependence(proc, &a.varying);
+    let solver = CacheSolver::solve(&ix, &rd, &dep, &a.types);
+    let mut out = Vec::new();
+    proc.walk_exprs(&mut |e| out.push((ds_lang::print_expr(e), solver.label(e.id))));
+    out
+}
+
+fn label(labels: &[(String, Label)], text: &str) -> Label {
+    labels
+        .iter()
+        .find(|(t, _)| t == text)
+        .unwrap_or_else(|| panic!("no term `{text}` in {labels:#?}"))
+        .1
+}
+
+#[test]
+fn nested_loop_invariant_is_cached_once() {
+    let a = analyzed(
+        "float f(float k, float v, int n, int m) {
+             float acc = 0.0;
+             int i = 0;
+             while (i < n) {
+                 int j = 0;
+                 while (j < m) {
+                     acc = acc + fbm3(k, k, k, 4) * v;
+                     j = j + 1;
+                 }
+                 i = i + 1;
+             }
+             return acc;
+         }",
+        &["v"],
+    );
+    let labels = labels_of(&a);
+    // Invariant in both loops: cacheable despite double nesting.
+    assert_eq!(label(&labels, "fbm3(k, k, k, 4)"), Label::Cached);
+}
+
+#[test]
+fn inner_loop_variant_is_not_cached() {
+    let a = analyzed(
+        "float f(float k, float v, int n) {
+             float acc = 0.0;
+             int i = 0;
+             while (i < n) {
+                 float w = sin(k + itof(i));
+                 acc = acc + w * v;
+                 i = i + 1;
+             }
+             return acc;
+         }",
+        &["v"],
+    );
+    let labels = labels_of(&a);
+    // sin(k + itof(i)) varies with i: dynamic, not cached.
+    assert_eq!(label(&labels, "sin(k + itof(i))"), Label::Dynamic);
+}
+
+#[test]
+fn dependent_outer_loop_taints_inner_everything() {
+    let a = analyzed(
+        "float f(float k, int n) {
+             float acc = 0.0;
+             int i = 0;
+             while (i < n) {
+                 acc = acc + sin(k);
+                 i = i + 1;
+             }
+             return acc;
+         }",
+        &["n"],
+    );
+    let labels = labels_of(&a);
+    // Everything under the dependent loop is dynamic (Rule 3): sin(k)
+    // cannot be cached even though it is independent and expensive.
+    assert_eq!(label(&labels, "sin(k)"), Label::Dynamic);
+}
+
+#[test]
+fn while_condition_chain_forces_induction_into_reader() {
+    let a = analyzed(
+        "float f(float k, float v, int n) {
+             float acc = k;
+             int i = 0;
+             while (i < n) {
+                 acc = acc * 1.5 + v;
+                 i = i + 1;
+             }
+             return acc;
+         }",
+        &["v"],
+    );
+    let proc = &a.program.procs[0];
+    let ix = TermIndex::build(proc);
+    let rd = reaching_defs(proc);
+    let dep = analyze_dependence(proc, &a.varying);
+    let solver = CacheSolver::solve(&ix, &rd, &dep, &a.types);
+    // The loop must appear in the reader: find the While statement and
+    // check its label plus the induction-variable chain.
+    let mut while_label = None;
+    let mut incr_label = None;
+    proc.walk_stmts(&mut |s| match &s.kind {
+        ds_lang::StmtKind::While { .. } => while_label = Some(solver.label(s.id)),
+        ds_lang::StmtKind::Assign { name, value, .. }
+            if name == "i" && ds_lang::print_expr(value) == "i + 1" =>
+        {
+            incr_label = Some(solver.label(s.id));
+        }
+        _ => {}
+    });
+    assert_eq!(while_label, Some(Label::Dynamic));
+    // The induction increment must replay in the reader. (The *post-loop*
+    // phi `i = i` is dead and correctly stays static — an earlier version
+    // of this test confused the two.)
+    assert_eq!(incr_label, Some(Label::Dynamic));
+}
+
+#[test]
+fn chained_phis_share_reaching_structure() {
+    // Two sequential joins writing the same variable produce two phis;
+    // each use after a join reaches exactly its phi.
+    let src = "float f(bool p, bool q, float a, float v) {
+                   float x = sin(a);
+                   if (p) { x = cos(a); }
+                   if (q) { x = x * 2.0; }
+                   return x * v;
+               }";
+    let a = analyzed(src, &["v"]);
+    let proc = &a.program.procs[0];
+    let rd = reaching_defs(proc);
+    // The final use of x (in x * v) must reach exactly one definition:
+    // the second phi.
+    let mut last_x_use = None;
+    proc.walk_exprs(&mut |e| {
+        if matches!(&e.kind, ExprKind::Var(n) if n == "x") {
+            last_x_use = Some(e.id);
+        }
+    });
+    let defs = rd.defs_of(last_x_use.expect("x used"));
+    assert_eq!(defs.len(), 1, "phi gives a single reaching def: {defs:?}");
+}
+
+#[test]
+fn speculation_after_limiting_stays_consistent() {
+    use ds_analysis::CachingOptions;
+    // force_dynamic on a speculative slot must clear its anchor.
+    let src = "float f(float k, float v) {
+                   float r = 0.0;
+                   if (v > 0.0) { r = fbm3(k, k, k, 4) + sin(k); }
+                   return r;
+               }";
+    let a = analyzed(src, &["v"]);
+    let proc = &a.program.procs[0];
+    let ix = TermIndex::build(proc);
+    let rd = reaching_defs(proc);
+    let dep = analyze_dependence(proc, &a.varying);
+    let mut solver =
+        CacheSolver::solve_with(&ix, &rd, &dep, &a.types, CachingOptions { speculate: true });
+    let cached = solver.cached_terms();
+    assert!(!cached.is_empty());
+    for &t in &cached {
+        assert!(
+            solver.speculative_anchor(t).is_some(),
+            "all cached terms here are speculative"
+        );
+    }
+    let victim = cached[0];
+    solver.force_dynamic(victim);
+    assert_eq!(solver.speculative_anchor(victim), None);
+}
+
+#[test]
+fn inliner_handles_diamond_call_graphs() {
+    // f calls g and h; both call shared. Each call site gets its own
+    // renamed copy; no name collisions.
+    let src = "float shared(float x) { return x * 1.5; }
+               float g(float x) { return shared(x) + 1.0; }
+               float h(float x) { return shared(x) - 1.0; }
+               float f(float x) { return g(x) * h(x); }";
+    let prog = parse_program(src).unwrap();
+    let out = inline_entry(&prog, "f").expect("inline diamond");
+    typecheck(&out).expect("inlined diamond typechecks");
+    use ds_interp::{Evaluator, Value};
+    let a = Evaluator::new(&prog).run("f", &[Value::Float(2.0)]).unwrap();
+    let b = Evaluator::new(&out).run("f", &[Value::Float(2.0)]).unwrap();
+    assert_eq!(a.value, b.value); // (3+1)*(3-1) = 8
+    assert_eq!(b.value, Some(Value::Float(8.0)));
+}
+
+#[test]
+fn inliner_respects_argument_evaluation_order() {
+    // Arguments with effects must fire left-to-right even when the second
+    // argument's call is spliced.
+    let src = "float id(float x) { return x; }
+               float f(float a, float b) { return pow(trace(a), id(trace(b))); }";
+    let prog = parse_program(src).unwrap();
+    let out = inline_entry(&prog, "f").expect("inline");
+    use ds_interp::{Evaluator, Value};
+    let args = [Value::Float(2.0), Value::Float(3.0)];
+    let orig = Evaluator::new(&prog).run("f", &args).unwrap();
+    let flat = Evaluator::new(&out).run("f", &args).unwrap();
+    assert_eq!(orig.trace, vec![2.0, 3.0]);
+    assert_eq!(flat.trace, vec![2.0, 3.0]);
+    assert_eq!(orig.value, flat.value);
+}
+
+#[test]
+fn index_counts_match_across_transform_pipeline() {
+    let src = "float f(bool p, float x) {
+                   float y = x;
+                   if (p) { y = y + 1.0; }
+                   return y;
+               }";
+    let mut prog = parse_program(src).unwrap();
+    let n0 = prog.renumber();
+    let ix0 = TermIndex::build(&prog.procs[0]);
+    assert_eq!(ix0.term_count(), n0);
+    insert_phis(&mut prog.procs[0]);
+    let n1 = prog.renumber();
+    let ix1 = TermIndex::build(&prog.procs[0]);
+    assert_eq!(ix1.term_count(), n1);
+    assert_eq!(n1, n0 + 2); // one phi = assign + var
+}
+
+#[test]
+fn provenance_chains_reach_a_basis_cause() {
+    use ds_analysis::Reason;
+    let a = analyzed(
+        "float f(float k, float v) {
+             float t = sin(k);
+             return t * v;
+         }",
+        &["v"],
+    );
+    let proc = &a.program.procs[0];
+    let ix = TermIndex::build(proc);
+    let rd = reaching_defs(proc);
+    let dep = analyze_dependence(proc, &a.varying);
+    let solver = CacheSolver::solve(&ix, &rd, &dep, &a.types);
+
+    // sin(k) is cached: its reason names its dynamic consumer (the decl).
+    let mut sin_id = None;
+    proc.walk_exprs(&mut |e| {
+        if matches!(&e.kind, ExprKind::Call(n, _) if n == "sin") {
+            sin_id = Some(e.id);
+        }
+    });
+    let sin_id = sin_id.expect("sin present");
+    assert!(matches!(solver.reason(sin_id), Some(Reason::CachedOperandOf(_))));
+
+    // The chain from sin(k) ends at a basis cause (Rule 1 or the return
+    // seed), never cycles, and every step is labeled.
+    let chain = solver.explain(sin_id);
+    assert!(!chain.is_empty());
+    let (_, last) = chain.last().expect("nonempty");
+    assert!(
+        matches!(
+            last,
+            Reason::Dependent | Reason::ReturnValue | Reason::GlobalEffect
+        ),
+        "chain must end at a basis cause, ended at {last}"
+    );
+    // Static terms have no reason.
+    let mut k_ref_inside_sin = None;
+    proc.walk_exprs(&mut |e| {
+        if matches!(&e.kind, ExprKind::Var(n) if n == "k") {
+            k_ref_inside_sin = Some(e.id);
+        }
+    });
+    assert_eq!(solver.reason(k_ref_inside_sin.expect("k ref")), None);
+}
+
+#[test]
+fn limiter_eviction_reason_is_recorded() {
+    use ds_analysis::Reason;
+    let a = analyzed(
+        "float f(float k, float v) { return fbm3(k, k, k, 4) * v; }",
+        &["v"],
+    );
+    let proc = &a.program.procs[0];
+    let ix = TermIndex::build(proc);
+    let rd = reaching_defs(proc);
+    let dep = analyze_dependence(proc, &a.varying);
+    let mut solver = CacheSolver::solve(&ix, &rd, &dep, &a.types);
+    let victim = solver.cached_terms()[0];
+    solver.force_dynamic(victim);
+    assert_eq!(solver.reason(victim), Some(Reason::LimiterEviction));
+}
+
+#[test]
+fn empty_varying_never_marks_dependent_terms() {
+    let a = analyzed(
+        "float f(float x, float y) {
+             float t = x * y + sin(x);
+             if (t > 1.0) { t = 1.0; }
+             return t;
+         }",
+        &[],
+    );
+    let proc = &a.program.procs[0];
+    let dep = analyze_dependence(proc, &a.varying);
+    assert_eq!(dep.dependent_count(), 0);
+    let mut ids: Vec<TermId> = Vec::new();
+    proc.walk_exprs(&mut |e| ids.push(e.id));
+    assert!(ids.iter().all(|&id| !dep.is_under_dependent_control(id)));
+}

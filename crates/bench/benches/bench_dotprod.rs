@@ -1,0 +1,54 @@
+//! Wall-clock companion to experiment E1 (§2 dotprod): original vs loader
+//! vs reader under the interpreter. The abstract cost meter is the primary
+//! metric in this reproduction; these benches confirm wall-clock tracks it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds_bench::DOTPROD_SRC;
+use ds_core::{specialize_source, InputPartition, SpecializeOptions};
+use ds_interp::{CacheBuf, Evaluator, Value};
+use std::hint::black_box;
+
+fn args(z1: f64, z2: f64, scale: f64) -> Vec<Value> {
+    [1.0, 2.0, z1, 4.0, 5.0, z2, scale]
+        .iter()
+        .map(|&x| Value::Float(x))
+        .collect()
+}
+
+fn bench_dotprod(c: &mut Criterion) {
+    let spec = specialize_source(
+        DOTPROD_SRC,
+        "dotprod",
+        &InputPartition::varying(["z1", "z2"]),
+        &SpecializeOptions::new(),
+    )
+    .expect("specialize");
+    let program = spec.as_program();
+    let ev = Evaluator::new(&program);
+    let a = args(3.0, 6.0, 2.0);
+
+    let mut group = c.benchmark_group("dotprod");
+    group.bench_function("original", |b| {
+        b.iter(|| ev.run("dotprod", black_box(&a)).expect("run"))
+    });
+    group.bench_function("loader", |b| {
+        b.iter(|| {
+            let mut cache = CacheBuf::new(spec.slot_count());
+            ev.run_with_cache("dotprod__loader", black_box(&a), &mut cache)
+                .expect("run")
+        })
+    });
+    let mut cache = CacheBuf::new(spec.slot_count());
+    ev.run_with_cache("dotprod__loader", &a, &mut cache)
+        .expect("fill cache");
+    group.bench_function("reader", |b| {
+        b.iter(|| {
+            ev.run_with_cache("dotprod__reader", black_box(&a), &mut cache)
+                .expect("run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dotprod);
+criterion_main!(benches);

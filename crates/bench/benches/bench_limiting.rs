@@ -1,0 +1,35 @@
+//! Benchmarks cache-size limiting (§4.3): the victim-selection loop at
+//! several budgets on shader 10, whose partitions drive Figures 9/10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds_core::{specialize, InputPartition, SpecializeOptions};
+use ds_shaders::all_shaders;
+use std::hint::black_box;
+
+fn bench_limiting(c: &mut Criterion) {
+    let suite = all_shaders();
+    let rings = suite.iter().find(|s| s.index == 10).expect("shader 10");
+
+    let mut group = c.benchmark_group("cache-limiting");
+    for bound in [0u32, 8, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("rings-ambient", bound),
+            &bound,
+            |b, &bound| {
+                b.iter(|| {
+                    specialize(
+                        black_box(&rings.program),
+                        "shade",
+                        &InputPartition::varying(["ambient"]),
+                        &SpecializeOptions::new().with_cache_bound(bound),
+                    )
+                    .expect("specialize")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_limiting);
+criterion_main!(benches);

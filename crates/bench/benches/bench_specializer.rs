@@ -1,0 +1,70 @@
+//! Benchmarks the specializer itself: the paper installs a shader by
+//! statically constructing one loader/reader pair per input partition, "an
+//! operation that takes only a few seconds per input partition" (§5 —
+//! including a C compiler run). Our source-to-source pipeline runs in
+//! microseconds to milliseconds per partition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds_bench::DOTPROD_SRC;
+use ds_core::{specialize, specialize_source, InputPartition, SpecializeOptions};
+use ds_shaders::all_shaders;
+use std::hint::black_box;
+
+fn bench_specializer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("specialize");
+
+    group.bench_function("dotprod", |b| {
+        b.iter(|| {
+            specialize_source(
+                black_box(DOTPROD_SRC),
+                "dotprod",
+                &InputPartition::varying(["z1", "z2"]),
+                &SpecializeOptions::new(),
+            )
+            .expect("specialize")
+        })
+    });
+
+    let suite = all_shaders();
+    let plastic = &suite[0];
+    group.bench_function("shader1-plastic", |b| {
+        b.iter(|| {
+            specialize(
+                black_box(&plastic.program),
+                "shade",
+                &InputPartition::varying(["ambient"]),
+                &SpecializeOptions::new(),
+            )
+            .expect("specialize")
+        })
+    });
+
+    let layered = &suite[8]; // the largest shader
+    group.bench_function("shader9-layered", |b| {
+        b.iter(|| {
+            specialize(
+                black_box(&layered.program),
+                "shade",
+                &InputPartition::varying(["sheen"]),
+                &SpecializeOptions::new(),
+            )
+            .expect("specialize")
+        })
+    });
+
+    group.bench_function("shader9-layered-reassoc", |b| {
+        b.iter(|| {
+            specialize(
+                black_box(&layered.program),
+                "shade",
+                &InputPartition::varying(["sheen"]),
+                &SpecializeOptions::new().with_reassociation(),
+            )
+            .expect("specialize")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_specializer);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 10 — percentage of maximum speedup achieved versus cache-size
+//! limit for shader 10's partitions (paper: ~70% of performance retained
+//! with the cache limited to 20% of maximum, ~90% at 30%).
+
+use ds_bench::{exp_limit_sweep, f, normalize_limit_sweep, table, LIMIT_BOUNDS};
+
+fn main() {
+    println!("=== Figure 10: %% of max speedup vs cache-size limit, shader 10 ===\n");
+    let points = exp_limit_sweep(6);
+    let max_bytes = points.iter().map(|p| p.bytes_used).max().unwrap_or(40);
+    let norm = normalize_limit_sweep(&points);
+
+    let mut header = vec!["varying param".to_string()];
+    for b in LIMIT_BOUNDS {
+        header.push(format!("{b}B"));
+    }
+    let mut rows = vec![header];
+    let mut params: Vec<&str> = Vec::new();
+    for (p, _, _) in &norm {
+        if !params.contains(&p.as_str()) {
+            params.push(p.as_str());
+        }
+    }
+    // Put the mean curve last, as the paper's legend does.
+    params.retain(|p| *p != "mean");
+    params.push("mean");
+    for param in &params {
+        let mut row = vec![param.to_string()];
+        for &b in LIMIT_BOUNDS {
+            let pct = norm
+                .iter()
+                .find(|(p, bb, _)| p == param && *bb == b)
+                .map(|(_, _, pct)| *pct)
+                .expect("sweep covers all bounds");
+            row.push(format!("{}%", f(pct, 0)));
+        }
+        rows.push(row);
+    }
+    println!("{}", table(&rows));
+
+    // The paper's two headline retention numbers.
+    let retention_at = |fraction: f64| -> f64 {
+        let target = fraction * f64::from(max_bytes);
+        let bound = LIMIT_BOUNDS
+            .iter()
+            .copied()
+            .min_by_key(|b| (f64::from(*b) - target).abs() as u64)
+            .expect("bounds nonempty");
+        norm.iter()
+            .find(|(p, b, _)| p == "mean" && *b == bound)
+            .map(|(_, _, pct)| *pct)
+            .expect("mean curve present")
+    };
+    println!(
+        "mean retention with cache limited to ~20% of max ({} B): {}%  (paper: ~70%)",
+        (0.2 * f64::from(max_bytes)).round(),
+        f(retention_at(0.2), 0)
+    );
+    println!(
+        "mean retention with cache limited to ~30% of max ({} B): {}%  (paper: ~90%)",
+        (0.3 * f64::from(max_bytes)).round(),
+        f(retention_at(0.3), 0)
+    );
+}

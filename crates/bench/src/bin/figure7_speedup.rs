@@ -1,0 +1,71 @@
+//! Figure 7 — asymptotic speedup for all input partitions of the ten
+//! shading procedures (one point per partition, y log-scaled, plus the
+//! per-shader median).
+
+use ds_bench::{exp_all_partitions, f, log_scatter, summarize, table};
+
+fn main() {
+    println!("=== Figure 7: speedup for all 131 input partitions ===\n");
+    let measurements = exp_all_partitions();
+    let summaries = summarize(&measurements);
+
+    // Scatter: x = shader index (jittered per partition), y = speedup.
+    let mut points = Vec::new();
+    for m in &measurements {
+        points.push((m.shader_index as f64, m.speedup));
+    }
+    println!("{}", log_scatter(&points, "shader", "speedup"));
+
+    let mut rows = vec![vec![
+        "shader".to_string(),
+        "partitions".to_string(),
+        "min".to_string(),
+        "median".to_string(),
+        "max".to_string(),
+    ]];
+    for s in &summaries {
+        rows.push(vec![
+            format!("{} {}", s.index, s.name),
+            s.speedups.len().to_string(),
+            format!("{}x", f(s.speedups[0], 2)),
+            format!("{}x", f(s.median_speedup, 2)),
+            format!("{}x", f(*s.speedups.last().expect("nonempty"), 2)),
+        ]);
+    }
+    println!("{}", table(&rows));
+
+    let total = measurements.len();
+    let min = measurements
+        .iter()
+        .map(|m| m.speedup)
+        .fold(f64::INFINITY, f64::min);
+    let max = measurements
+        .iter()
+        .map(|m| m.speedup)
+        .fold(0.0f64, f64::max);
+    println!("partitions: {total}  (paper: 131)");
+    println!("all speedups >= 1.0x: {}  (paper: \"always at least 1.0x\")", min >= 1.0);
+    println!(
+        "largest speedups come from the fractal-noise shaders (paper: \"as high as 100x\"): max {}x",
+        f(max, 1)
+    );
+
+    // Per-partition detail, for the record.
+    let mut detail = vec![vec![
+        "shader".to_string(),
+        "varying param".to_string(),
+        "speedup".to_string(),
+        "orig cost".to_string(),
+        "reader cost".to_string(),
+    ]];
+    for m in &measurements {
+        detail.push(vec![
+            m.shader.to_string(),
+            m.param.to_string(),
+            format!("{}x", f(m.speedup, 2)),
+            f(m.orig_cost, 0),
+            f(m.reader_cost, 0),
+        ]);
+    }
+    println!("\n--- per-partition detail ---\n{}", table(&detail));
+}

@@ -1,0 +1,44 @@
+//! Figure 8 — single-pixel cache sizes for all input partitions of the ten
+//! shaders, plus the §5.3 mean/median (paper: 22 and 20 bytes).
+
+use ds_bench::{cache_size_stats, exp_all_partitions, f, log_scatter, summarize, table};
+
+fn main() {
+    println!("=== Figure 8: single-pixel cache sizes, all partitions ===\n");
+    let measurements = exp_all_partitions();
+    let summaries = summarize(&measurements);
+
+    let points: Vec<(f64, f64)> = measurements
+        .iter()
+        .map(|m| (m.shader_index as f64, f64::from(m.cache_bytes.max(1))))
+        .collect();
+    println!("{}", log_scatter(&points, "shader", "cache bytes"));
+
+    let mut rows = vec![vec![
+        "shader".to_string(),
+        "min".to_string(),
+        "median".to_string(),
+        "max".to_string(),
+    ]];
+    for s in &summaries {
+        rows.push(vec![
+            format!("{} {}", s.index, s.name),
+            format!("{} B", s.cache_sizes[0]),
+            format!("{} B", s.median_cache),
+            format!("{} B", s.cache_sizes.last().expect("nonempty")),
+        ]);
+    }
+    println!("{}", table(&rows));
+
+    let (mean, median) = cache_size_stats(&measurements);
+    println!("overall mean cache size:   {} bytes  (paper: 22)", f(mean, 1));
+    println!("overall median cache size: {median} bytes  (paper: 20)");
+
+    // §5.3's memory check: caches × pixels fits comfortably in memory.
+    let worst = measurements.iter().map(|m| m.cache_bytes).max().unwrap_or(0);
+    let total_640x480 = u64::from(worst) * 640 * 480;
+    println!(
+        "worst-case full-frame usage (640x480): {:.1} MB  (paper: \"well within physical memory\")",
+        total_640x480 as f64 / (1024.0 * 1024.0)
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 9 — absolute speedup versus cache-size limit for all 14 input
+//! partitions of shader 10 (`rings`).
+
+use ds_bench::{exp_limit_sweep, f, table, LIMIT_BOUNDS};
+
+fn main() {
+    println!("=== Figure 9: speedup vs cache-size limit, shader 10 ===\n");
+    let points = exp_limit_sweep(6);
+
+    // One column per bound, one row per partition.
+    let mut header = vec!["varying param".to_string()];
+    for b in LIMIT_BOUNDS {
+        header.push(format!("{b}B"));
+    }
+    let mut rows = vec![header];
+    let params: Vec<&str> = {
+        let mut seen = Vec::new();
+        for p in &points {
+            if !seen.contains(&p.param) {
+                seen.push(p.param);
+            }
+        }
+        seen
+    };
+    for param in &params {
+        let mut row = vec![param.to_string()];
+        for &b in LIMIT_BOUNDS {
+            let pt = points
+                .iter()
+                .find(|p| p.param == *param && p.bound == b)
+                .expect("sweep covers all bounds");
+            row.push(format!("{}x", f(pt.speedup, 1)));
+        }
+        rows.push(row);
+    }
+    println!("{}", table(&rows));
+    println!(
+        "(paper Figure 9: speedups fall as the limit drops from 40 bytes to 0;\n\
+         some partitions show cliffs when a critical slot is evicted)"
+    );
+}

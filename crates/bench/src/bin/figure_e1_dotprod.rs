@@ -1,0 +1,28 @@
+//! E1 — the paper's §2 `dotprod` example: loader/reader code (Figure 2),
+//! speedup, startup overhead and breakeven.
+
+use ds_bench::{exp_dotprod, f};
+
+fn main() {
+    let r = exp_dotprod();
+    println!("=== E1: dotprod (paper §2, Figures 1-2) ===\n");
+    println!("--- cache loader ---\n{}", r.loader_text);
+    println!("--- cache reader ---\n{}", r.reader_text);
+    println!("cache slots:                 {}   (paper: 1)", r.slots);
+    println!(
+        "speedup, scale != 0:         {}x  (paper: 1.11x, \"11%\")",
+        f(r.speedup_nonzero, 3)
+    );
+    println!(
+        "speedup, scale == 0:         {}x  (paper: 1.00x, \"0%\")",
+        f(r.speedup_zero, 3)
+    );
+    println!(
+        "startup overhead (nonzero):  {}%  (paper: 5.5%)",
+        f(r.startup_overhead_nonzero * 100.0, 1)
+    );
+    println!(
+        "breakeven:                   {} uses (paper: 2)",
+        r.breakeven.map_or("never".to_string(), |b| b.to_string())
+    );
+}

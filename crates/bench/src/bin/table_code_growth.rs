@@ -1,0 +1,58 @@
+//! §3.3 — splitting code growth: "the sum of the loader and reader sizes
+//! has been less than twice the size of the fragment", checked over all
+//! 131 partitions.
+
+use ds_bench::{exp_code_growth, f, table};
+
+fn main() {
+    println!("=== Code growth (paper §3.3): loader + reader vs fragment ===\n");
+    let rows = exp_code_growth();
+
+    // Per-shader aggregation.
+    let mut agg = vec![vec![
+        "shader".to_string(),
+        "fragment nodes".to_string(),
+        "min growth".to_string(),
+        "median growth".to_string(),
+        "max growth".to_string(),
+    ]];
+    let mut names: Vec<&str> = Vec::new();
+    for r in &rows {
+        if !names.contains(&r.shader) {
+            names.push(r.shader);
+        }
+    }
+    for name in names {
+        let mut growths: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.shader == name)
+            .map(|r| r.growth)
+            .collect();
+        growths.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let fragment = rows
+            .iter()
+            .find(|r| r.shader == name)
+            .map(|r| r.fragment)
+            .expect("shader has rows");
+        agg.push(vec![
+            name.to_string(),
+            fragment.to_string(),
+            format!("{}x", f(growths[0], 2)),
+            format!("{}x", f(growths[growths.len() / 2], 2)),
+            format!("{}x", f(growths[growths.len() - 1], 2)),
+        ]);
+    }
+    println!("{}", table(&agg));
+
+    let worst = rows
+        .iter()
+        .map(|r| r.growth)
+        .fold(0.0f64, f64::max);
+    let under_two = rows.iter().filter(|r| r.growth < 2.0).count();
+    println!(
+        "partitions with (loader+reader) < 2x fragment: {under_two}/{} (worst {}x)",
+        rows.len(),
+        f(worst, 2)
+    );
+    println!("(paper: \"in practice, the sum ... has been less than twice the size of the fragment\")");
+}

@@ -1,0 +1,55 @@
+//! §5.3 — memory usage: "multiplying the cache size by the number of
+//! caches constructed (307,200 caches for a 640-by-480 image), yields a
+//! total space usage well within the physical memory size of a typical
+//! workstation."
+
+use ds_bench::{exp_all_partitions, f, table};
+
+const FRAME_PIXELS: u64 = 640 * 480; // the paper's 307,200 caches
+
+fn main() {
+    println!("=== Memory usage (paper §5.3): full-frame cache arrays ===\n");
+    let measurements = exp_all_partitions();
+
+    let mut rows = vec![vec![
+        "shader".to_string(),
+        "worst partition".to_string(),
+        "bytes/pixel".to_string(),
+        "640x480 total".to_string(),
+    ]];
+    for idx in 1..=10usize {
+        let per_shader: Vec<_> = measurements
+            .iter()
+            .filter(|m| m.shader_index == idx)
+            .collect();
+        let worst = per_shader
+            .iter()
+            .max_by_key(|m| m.cache_bytes)
+            .expect("shader has partitions");
+        let total = u64::from(worst.cache_bytes) * FRAME_PIXELS;
+        rows.push(vec![
+            format!("{} {}", idx, worst.shader),
+            worst.param.to_string(),
+            format!("{} B", worst.cache_bytes),
+            format!("{} MB", f(total as f64 / (1024.0 * 1024.0), 1)),
+        ]);
+    }
+    println!("{}", table(&rows));
+
+    let worst_overall = measurements
+        .iter()
+        .map(|m| m.cache_bytes)
+        .max()
+        .unwrap_or(0);
+    let mean: f64 = measurements
+        .iter()
+        .map(|m| f64::from(m.cache_bytes))
+        .sum::<f64>()
+        / measurements.len() as f64;
+    println!(
+        "worst-case frame memory: {} MB; mean-case: {} MB  (paper: \"well within\n\
+         the physical memory size of a typical workstation\" — 64 MB in 1996)",
+        f(u64::from(worst_overall) as f64 * FRAME_PIXELS as f64 / (1024.0 * 1024.0), 1),
+        f(mean * FRAME_PIXELS as f64 / (1024.0 * 1024.0), 1)
+    );
+}

@@ -1,0 +1,40 @@
+//! §5.2 — cache-loading overhead: the breakeven histogram over all 131
+//! loader/reader pairs (paper: 127 pairs reach breakeven at two uses, 3 at
+//! three, 1 at 17).
+
+use ds_bench::{breakeven_histogram, exp_all_partitions, f, table};
+
+fn main() {
+    println!("=== Overhead (paper §5.2): breakeven over all partitions ===\n");
+    let measurements = exp_all_partitions();
+    let hist = breakeven_histogram(&measurements);
+
+    let total: usize = hist.iter().map(|(_, n)| n).sum();
+    let mut rows = vec![vec![
+        "breakeven uses".to_string(),
+        "partitions".to_string(),
+        "share".to_string(),
+    ]];
+    for (uses, count) in &hist {
+        rows.push(vec![
+            uses.to_string(),
+            count.to_string(),
+            format!("{}%", f(100.0 * *count as f64 / total as f64, 1)),
+        ]);
+    }
+    println!("{}", table(&rows));
+    println!("total partitions: {total}  (paper: 131; 97% at two uses, worst 17)");
+
+    // Loader overhead relative to the original, distribution.
+    let mut overheads: Vec<f64> = measurements
+        .iter()
+        .map(|m| m.loader_cost / m.orig_cost - 1.0)
+        .collect();
+    overheads.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    println!(
+        "\nloader overhead vs original: min {}%  median {}%  max {}%",
+        f(overheads[0] * 100.0, 1),
+        f(overheads[overheads.len() / 2] * 100.0, 1),
+        f(overheads[overheads.len() - 1] * 100.0, 1),
+    );
+}

@@ -1,0 +1,140 @@
+//! Plain-text rendering helpers for the experiment binaries: aligned
+//! tables and a small ASCII scatter plot for the figure reproductions.
+
+/// Renders an aligned table. The first row is the header.
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            // Left-align the first column, right-align numerics.
+            if i == 0 {
+                out.push_str(&format!("{cell:<width$}", width = widths[i]));
+            } else {
+                out.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&"-".repeat(*w));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders an ASCII scatter of `(x, y)` points on a log-y axis — the shape
+/// of the paper's Figure 7 (speedup points per shader).
+pub fn log_scatter(points: &[(f64, f64)], x_label: &str, y_label: &str) -> String {
+    const ROWS: usize = 18;
+    const COLS: usize = 64;
+    if points.is_empty() {
+        return String::new();
+    }
+    let xmin = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let xmax = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let ymin = points
+        .iter()
+        .map(|p| p.1.max(1e-9))
+        .fold(f64::INFINITY, f64::min);
+    let ymax = points
+        .iter()
+        .map(|p| p.1.max(1e-9))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let (lymin, lymax) = (ymin.ln(), (ymax * 1.05).ln());
+    let xspan = (xmax - xmin).max(1e-9);
+    let yspan = (lymax - lymin).max(1e-9);
+
+    let mut grid = vec![vec![b' '; COLS]; ROWS];
+    for &(x, y) in points {
+        let c = (((x - xmin) / xspan) * (COLS - 1) as f64).round() as usize;
+        let r = ((((y.max(1e-9)).ln() - lymin) / yspan) * (ROWS - 1) as f64).round() as usize;
+        let r = ROWS - 1 - r.min(ROWS - 1);
+        let cell = &mut grid[r][c.min(COLS - 1)];
+        *cell = match *cell {
+            b' ' => b'o',
+            b'o' => b'O',
+            _ => b'@',
+        };
+    }
+    let mut out = format!("{y_label} (log scale)\n");
+    for (i, row) in grid.iter().enumerate() {
+        let tick = if i == 0 {
+            format!("{ymax:>8.1} |")
+        } else if i == ROWS - 1 {
+            format!("{ymin:>8.1} |")
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&tick);
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "         +{}\n          {xmin:<10.1}{:>width$.1}  ({x_label})\n",
+        "-".repeat(COLS),
+        xmax,
+        width = COLS - 10
+    ));
+    out
+}
+
+/// Formats a float with a fixed number of decimals.
+pub fn f(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(&[
+            vec!["name".into(), "value".into()],
+            vec!["alpha".into(), "1".into()],
+            vec!["b".into(), "22222".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, two rows
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() <= width + 1));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn scatter_contains_points() {
+        let pts = vec![(1.0, 1.0), (2.0, 10.0), (3.0, 100.0)];
+        let s = log_scatter(&pts, "shader", "speedup");
+        assert!(s.contains('o'));
+        assert!(s.contains("speedup"));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(table(&[]), "");
+        assert_eq!(log_scatter(&[], "x", "y"), "");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

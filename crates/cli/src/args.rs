@@ -1,0 +1,210 @@
+//! Tiny hand-rolled argument parser for `dsc` (no external dependencies).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line: subcommand, positional arguments, `--key value` /
+/// `--flag` options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    /// The subcommand (first token).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options (flags map to an empty string).
+    pub options: HashMap<String, String>,
+}
+
+/// A command-line usage error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Option keys that take a value; everything else starting with `--` is a
+/// boolean flag.
+const VALUE_OPTIONS: &[&str] = &["entry", "vary", "bound", "args"];
+
+/// Parses raw arguments (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] for a missing subcommand, an option missing its
+/// value, or an unknown `--option`.
+pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, UsageError> {
+    let mut it = raw.into_iter().peekable();
+    let command = it
+        .next()
+        .ok_or_else(|| UsageError("missing subcommand; try `dsc help`".into()))?;
+    let mut args = Args {
+        command,
+        ..Args::default()
+    };
+    while let Some(tok) = it.next() {
+        if let Some(key) = tok.strip_prefix("--") {
+            if VALUE_OPTIONS.contains(&key) {
+                let value = it.next().ok_or_else(|| {
+                    UsageError(format!("option --{key} requires a value"))
+                })?;
+                args.options.insert(key.to_string(), value);
+            } else if ["reassociate", "speculate", "loader", "reader", "fragment", "explain", "sexpr"]
+                .contains(&key)
+            {
+                args.options.insert(key.to_string(), String::new());
+            } else {
+                return Err(UsageError(format!("unknown option --{key}")));
+            }
+        } else {
+            args.positional.push(tok);
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    /// The single required positional argument (the source file).
+    pub fn file(&self) -> Result<&str, UsageError> {
+        match self.positional.as_slice() {
+            [f] => Ok(f),
+            [] => Err(UsageError("missing source file".into())),
+            _ => Err(UsageError("expected exactly one source file".into())),
+        }
+    }
+
+    /// `--entry NAME`, defaulting to the file's single procedure when the
+    /// program defines exactly one.
+    pub fn entry<'p>(&'p self, program: &'p ds_lang::Program) -> Result<&'p str, UsageError> {
+        if let Some(name) = self.options.get("entry") {
+            return Ok(name);
+        }
+        match program.procs.as_slice() {
+            [only] => Ok(&only.name),
+            _ => Err(UsageError(
+                "program defines several procedures; pass --entry NAME".into(),
+            )),
+        }
+    }
+
+    /// `--vary a,b,c` as a list (empty when absent).
+    pub fn vary(&self) -> Vec<String> {
+        self.options
+            .get("vary")
+            .map(|v| {
+                v.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// `--bound N` in bytes.
+    pub fn bound(&self) -> Result<Option<u32>, UsageError> {
+        match self.options.get("bound") {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| UsageError(format!("--bound expects a byte count, got `{v}`"))),
+        }
+    }
+
+    /// `--args 1.0,2,true` parsed as runtime values.
+    pub fn values(&self) -> Result<Vec<ds_interp::Value>, UsageError> {
+        let Some(spec) = self.options.get("args") else {
+            return Ok(Vec::new());
+        };
+        spec.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|tok| {
+                if tok == "true" {
+                    Ok(ds_interp::Value::Bool(true))
+                } else if tok == "false" {
+                    Ok(ds_interp::Value::Bool(false))
+                } else if tok.contains('.') || tok.contains('e') || tok.contains('E') {
+                    tok.parse::<f64>()
+                        .map(ds_interp::Value::Float)
+                        .map_err(|_| UsageError(format!("bad float argument `{tok}`")))
+                } else {
+                    tok.parse::<i64>()
+                        .map(ds_interp::Value::Int)
+                        .map_err(|_| UsageError(format!("bad argument `{tok}`")))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(toks: &[&str]) -> Args {
+        parse(toks.iter().map(|s| s.to_string())).expect("parse")
+    }
+
+    #[test]
+    fn basic_shapes() {
+        let a = parse_ok(&["specialize", "f.mc", "--vary", "a,b", "--reassociate"]);
+        assert_eq!(a.command, "specialize");
+        assert_eq!(a.file().unwrap(), "f.mc");
+        assert_eq!(a.vary(), vec!["a", "b"]);
+        assert!(a.flag("reassociate"));
+        assert!(!a.flag("speculate"));
+    }
+
+    #[test]
+    fn values_parse_types() {
+        let a = parse_ok(&["run", "f.mc", "--args", "1.5, 2, true"]);
+        use ds_interp::Value::*;
+        assert_eq!(a.values().unwrap(), vec![Float(1.5), Int(2), Bool(true)]);
+    }
+
+    #[test]
+    fn bound_parses() {
+        let a = parse_ok(&["specialize", "f.mc", "--bound", "16"]);
+        assert_eq!(a.bound().unwrap(), Some(16));
+        let a = parse_ok(&["specialize", "f.mc"]);
+        assert_eq!(a.bound().unwrap(), None);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(std::iter::empty()).is_err());
+        assert!(parse(["x".to_string(), "--vary".to_string()]).is_err());
+        assert!(parse(["x".to_string(), "--frobnicate".to_string()]).is_err());
+        let a = parse_ok(&["run"]);
+        assert!(a.file().is_err());
+        let a = parse_ok(&["run", "a.mc", "b.mc"]);
+        assert!(a.file().is_err());
+        let a = parse_ok(&["run", "f.mc", "--args", "zzz"]);
+        assert!(a.values().is_err());
+    }
+
+    #[test]
+    fn entry_defaults_to_single_proc() {
+        let prog = ds_lang::parse_program("float f(float x) { return x; }").unwrap();
+        let a = parse_ok(&["show", "f.mc"]);
+        assert_eq!(a.entry(&prog).unwrap(), "f");
+        let prog2 = ds_lang::parse_program(
+            "float f(float x) { return x; } float g(float x) { return x; }",
+        )
+        .unwrap();
+        assert!(a.entry(&prog2).is_err());
+        let b = parse_ok(&["show", "f.mc", "--entry", "g"]);
+        assert_eq!(b.entry(&prog2).unwrap(), "g");
+    }
+}

@@ -1,0 +1,277 @@
+//! `dsc` — the data specializer command line.
+//!
+//! ```text
+//! dsc show FILE [--entry NAME]
+//!     parse, type-check and pretty-print a MiniC program
+//! dsc labels FILE --vary a,b [--entry NAME] [--speculate]
+//!     run the analyses and print every term's static/cached/dynamic label
+//! dsc specialize FILE --vary a,b [--entry NAME] [--bound BYTES]
+//!                [--reassociate] [--speculate] [--loader] [--reader]
+//!     emit the cache layout plus loader and reader code
+//! dsc run FILE --args 1.0,2,true [--entry NAME]
+//!     evaluate a procedure and report its result and abstract cost
+//! dsc measure FILE --vary a,b --args ... [--entry NAME] [specialize flags]
+//!     specialize, then run original vs loader vs reader on the given
+//!     arguments and report costs, speedup and breakeven
+//! dsc help
+//! ```
+
+mod args;
+
+use args::{parse, Args, UsageError};
+use ds_core::{specialize, InputPartition, SpecializeOptions};
+use ds_interp::Evaluator;
+use ds_lang::Program;
+use std::process::ExitCode;
+
+const HELP: &str = "dsc - data specialization driver (Knoblock & Ruf, PLDI 1996)
+
+USAGE:
+    dsc show FILE [--entry NAME] [--sexpr]
+    dsc labels FILE --vary a,b [--entry NAME] [--speculate] [--explain]
+    dsc specialize FILE --vary a,b [--entry NAME] [--bound BYTES]
+                   [--reassociate] [--speculate] [--loader] [--reader]
+    dsc run FILE --args 1.0,2,true [--entry NAME]
+    dsc measure FILE --vary a,b --args ... [--entry NAME]
+                [--bound BYTES] [--reassociate] [--speculate]
+    dsc help
+
+The input is a MiniC source file (a subset of C without pointers or goto).
+`--vary` names the procedure parameters that vary across executions; all
+other parameters are held fixed. `specialize` prints the cache layout and
+both generated phases unless --loader/--reader select one.";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(raw: Vec<String>) -> Result<(), String> {
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" || raw[0] == "-h" {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let args = parse(raw).map_err(|e| e.to_string())?;
+    match args.command.as_str() {
+        "show" => cmd_show(&args),
+        "labels" => cmd_labels(&args),
+        "specialize" => cmd_specialize(&args),
+        "run" => cmd_run(&args),
+        "measure" => cmd_measure(&args),
+        other => Err(UsageError(format!(
+            "unknown subcommand `{other}`; try `dsc help`"
+        ))),
+    }
+    .map_err(|e| e.to_string())
+}
+
+fn load(args: &Args) -> Result<(Program, String), UsageError> {
+    let path = args.file()?;
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| UsageError(format!("cannot read `{path}`: {e}")))?;
+    let program = ds_lang::parse_program(&source)
+        .map_err(|e| UsageError(e.render(&source)))?;
+    ds_lang::typecheck(&program).map_err(|e| UsageError(e.render(&source)))?;
+    Ok((program, source))
+}
+
+fn spec_options(args: &Args) -> Result<SpecializeOptions, UsageError> {
+    let mut opts = SpecializeOptions::new();
+    opts.reassociate = args.flag("reassociate");
+    opts.speculate = args.flag("speculate");
+    opts.cache_bound_bytes = args.bound()?;
+    Ok(opts)
+}
+
+fn cmd_show(args: &Args) -> Result<(), UsageError> {
+    let (program, _) = load(args)?;
+    let entry = args.entry(&program)?;
+    let proc = program
+        .proc(entry)
+        .ok_or_else(|| UsageError(format!("no procedure `{entry}`")))?;
+    if args.flag("sexpr") {
+        print!(
+            "{}",
+            ds_lang::sexpr::to_sexpr(proc, ds_lang::sexpr::SexprOptions { with_ids: true })
+        );
+    } else {
+        print!("{}", ds_lang::print_proc(proc));
+    }
+    println!(
+        "\n// {} parameter(s), {} AST node(s)",
+        proc.params.len(),
+        proc.node_count()
+    );
+    Ok(())
+}
+
+fn cmd_labels(args: &Args) -> Result<(), UsageError> {
+    let (program, _) = load(args)?;
+    let entry = args.entry(&program)?.to_string();
+    let vary = args.vary();
+    if vary.is_empty() {
+        return Err(UsageError("labels needs --vary (possibly with a dummy name)".into()));
+    }
+
+    // Mirror the specializer's pipeline so the labels match what
+    // `specialize` would use.
+    let mut prog = ds_analysis::inline_entry(&program, &entry)
+        .map_err(|e| UsageError(e.to_string()))?;
+    ds_analysis::insert_phis(&mut prog.procs[0]);
+    prog.renumber();
+    let types = ds_lang::typecheck(&prog).map_err(|e| UsageError(e.to_string()))?;
+    let proc = &prog.procs[0];
+    let ix = ds_analysis::TermIndex::build(proc);
+    let rd = ds_analysis::reaching_defs(proc);
+    let varying = vary.iter().cloned().collect();
+    let dep = ds_analysis::analyze_dependence(proc, &varying);
+    let solver = ds_analysis::CacheSolver::solve_with(
+        &ix,
+        &rd,
+        &dep,
+        &types,
+        ds_analysis::CachingOptions {
+            speculate: args.flag("speculate"),
+        },
+    );
+
+    println!("// labels for `{entry}` with varying {{{}}}\n", vary.join(", "));
+    let explain = args.flag("explain");
+    proc.walk_exprs(&mut |e| {
+        let label = solver.label(e.id);
+        let dep_mark = if dep.is_dependent(e.id) { " (dependent)" } else { "" };
+        println!("{label:>8}{dep_mark}  {}", ds_lang::print_expr(e));
+        if explain && label != ds_analysis::Label::Static {
+            for (term, reason) in solver.explain(e.id) {
+                println!("              {term}: {reason}");
+            }
+        }
+    });
+    let (s, c, d) = solver.counts();
+    println!("\n// {s} static, {c} cached, {d} dynamic");
+    Ok(())
+}
+
+fn cmd_specialize(args: &Args) -> Result<(), UsageError> {
+    let (program, _) = load(args)?;
+    let entry = args.entry(&program)?.to_string();
+    let vary = args.vary();
+    let opts = spec_options(args)?;
+    let spec = specialize(
+        &program,
+        &entry,
+        &InputPartition::varying(vary.iter().map(String::as_str)),
+        &opts,
+    )
+    .map_err(|e| UsageError(e.to_string()))?;
+
+    println!("// varying: {{{}}}", vary.join(", "));
+    print!("{}", spec.layout);
+    let s = &spec.stats;
+    println!(
+        "// fragment {} nodes -> loader {} + reader {} ({}x)",
+        s.fragment_nodes,
+        s.loader_nodes,
+        s.reader_nodes,
+        (s.loader_nodes + s.reader_nodes) as f64 / s.fragment_nodes as f64
+    );
+    if !s.evictions.is_empty() {
+        println!("// cache limiting evicted {} term(s)", s.evictions.len());
+    }
+    println!();
+    let show_all = !args.flag("loader") && !args.flag("reader");
+    if show_all || args.flag("loader") {
+        print!("{}", ds_lang::print_proc(&spec.loader));
+        println!();
+    }
+    if show_all || args.flag("reader") {
+        print!("{}", ds_lang::print_proc(&spec.reader));
+    }
+    Ok(())
+}
+
+fn cmd_measure(args: &Args) -> Result<(), UsageError> {
+    let (program, _) = load(args)?;
+    let entry = args.entry(&program)?.to_string();
+    let vary = args.vary();
+    let values = args.values()?;
+    let opts = spec_options(args)?;
+    let spec = specialize(
+        &program,
+        &entry,
+        &InputPartition::varying(vary.iter().map(String::as_str)),
+        &opts,
+    )
+    .map_err(|e| UsageError(e.to_string()))?;
+
+    let staged = spec.as_program();
+    let ev = Evaluator::new(&staged);
+    let run = |what: &str, cache: Option<&mut ds_interp::CacheBuf>| {
+        match cache {
+            Some(c) => ev.run_with_cache(what, &values, c),
+            None => ev.run(what, &values),
+        }
+        .map_err(|e| UsageError(format!("{what}: {e}")))
+    };
+    let orig = run(&entry, None)?;
+    let mut cache = ds_interp::CacheBuf::new(spec.slot_count());
+    let loader = run(&format!("{entry}__loader"), Some(&mut cache))?;
+    let reader = run(&format!("{entry}__reader"), Some(&mut cache))?;
+    if let (Some(a), Some(b)) = (&orig.value, &reader.value) {
+        if !a.bits_eq(b) {
+            return Err(UsageError(format!(
+                "reader result {b} differs from original {a} — this is a bug"
+            )));
+        }
+    }
+
+    println!("// varying: {{{}}}", vary.join(", "));
+    println!("original cost:  {}", orig.cost);
+    println!("loader cost:    {}  ({:+.1}% overhead)", loader.cost,
+        (loader.cost as f64 / orig.cost as f64 - 1.0) * 100.0);
+    println!("reader cost:    {}  ({:.2}x speedup)", reader.cost,
+        orig.cost as f64 / reader.cost as f64);
+    println!(
+        "cache:          {} byte(s) in {} slot(s)",
+        spec.cache_bytes(),
+        spec.slot_count()
+    );
+    let breakeven = if reader.cost >= orig.cost {
+        "never".to_string()
+    } else {
+        let n = (loader.cost as f64 - reader.cost as f64)
+            / (orig.cost as f64 - reader.cost as f64);
+        format!("{} uses", n.ceil().max(1.0) as u64)
+    };
+    println!("breakeven:      {breakeven}");
+    match orig.value {
+        Some(v) => println!("result:         {v}"),
+        None => println!("result:         (void)"),
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), UsageError> {
+    let (program, _) = load(args)?;
+    let entry = args.entry(&program)?;
+    let values = args.values()?;
+    let ev = Evaluator::new(&program);
+    let out = ev
+        .run(entry, &values)
+        .map_err(|e| UsageError(e.to_string()))?;
+    match out.value {
+        Some(v) => println!("result: {v}"),
+        None => println!("result: (void)"),
+    }
+    println!("cost:   {}", out.cost);
+    if !out.trace.is_empty() {
+        println!("trace:  {:?}", out.trace);
+    }
+    Ok(())
+}

@@ -1,0 +1,187 @@
+//! End-to-end tests of the `dsc` binary, exercising every subcommand
+//! through a real process.
+
+use std::io::Write;
+use std::process::{Command, Output};
+
+fn dsc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dsc"))
+        .args(args)
+        .output()
+        .expect("spawn dsc")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("dsc-test-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp source");
+    f.write_all(contents.as_bytes()).expect("write temp source");
+    path
+}
+
+const DOTPROD: &str = "float dotprod(float x1, float y1, float z1,
+                                     float x2, float y2, float z2, float scale) {
+                           if (scale != 0.0) {
+                               return (x1*x2 + y1*y2 + z1*z2) / scale;
+                           } else {
+                               return -1.0;
+                           }
+                       }";
+
+#[test]
+fn help_prints_usage() {
+    let out = dsc(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("specialize"));
+    // No arguments behaves like help.
+    let out = dsc(&[]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn show_pretty_prints() {
+    let path = write_temp("show.mc", DOTPROD);
+    let out = dsc(&["show", path.to_str().expect("utf8 path")]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("float dotprod("), "{text}");
+    assert!(text.contains("AST node(s)"), "{text}");
+}
+
+#[test]
+fn specialize_emits_figure_2() {
+    let path = write_temp("spec.mc", DOTPROD);
+    let out = dsc(&[
+        "specialize",
+        path.to_str().expect("utf8 path"),
+        "--vary",
+        "z1,z2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dotprod__loader"), "{text}");
+    assert!(text.contains("dotprod__reader"), "{text}");
+    assert!(text.contains("CACHE[slot0]"), "{text}");
+    assert!(text.contains("x1 * x2 + y1 * y2"), "{text}");
+}
+
+#[test]
+fn specialize_reader_only_with_bound() {
+    let path = write_temp("bound.mc", DOTPROD);
+    let out = dsc(&[
+        "specialize",
+        path.to_str().expect("utf8 path"),
+        "--vary",
+        "z1,z2",
+        "--bound",
+        "0",
+        "--reader",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("dotprod__loader"), "{text}");
+    assert!(text.contains("dotprod__reader"), "{text}");
+    assert!(text.contains("0 slot(s)"), "{text}");
+}
+
+#[test]
+fn labels_show_the_frontier() {
+    let path = write_temp("labels.mc", DOTPROD);
+    let out = dsc(&[
+        "labels",
+        path.to_str().expect("utf8 path"),
+        "--vary",
+        "z1,z2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cached  x1 * x2 + y1 * y2"), "{text}");
+    assert!(text.contains("dynamic (dependent)  z1 * z2"), "{text}");
+}
+
+#[test]
+fn run_reports_result_and_cost() {
+    let path = write_temp("run.mc", DOTPROD);
+    let out = dsc(&[
+        "run",
+        path.to_str().expect("utf8 path"),
+        "--args",
+        "1.0,2.0,3.0,4.0,5.0,6.0,2.0",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("result: 16"), "{text}");
+    assert!(text.contains("cost:   19"), "{text}");
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    // Missing file.
+    let out = dsc(&["show", "/nonexistent/nope.mc"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    // Parse error with location.
+    let path = write_temp("bad.mc", "float f( { }");
+    let out = dsc(&["show", path.to_str().expect("utf8 path")]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+
+    // Unknown varying parameter.
+    let path = write_temp("vary.mc", DOTPROD);
+    let out = dsc(&[
+        "specialize",
+        path.to_str().expect("utf8 path"),
+        "--vary",
+        "zeta",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("zeta"));
+
+    // Unknown subcommand.
+    let out = dsc(&["frobnicate"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn speculate_flag_changes_the_outcome() {
+    let src = "float f(float k, float v) {
+                   float r = 0.1 * v;
+                   if (v > 0.5) { r = r + fbm3(k, k, k, 6); }
+                   return r;
+               }";
+    let path = write_temp("spec-flag.mc", src);
+    let plain = dsc(&["specialize", path.to_str().expect("utf8"), "--vary", "v"]);
+    let spec = dsc(&[
+        "specialize",
+        path.to_str().expect("utf8"),
+        "--vary",
+        "v",
+        "--speculate",
+    ]);
+    assert!(plain.status.success() && spec.status.success());
+    let plain_text = String::from_utf8_lossy(&plain.stdout);
+    let spec_text = String::from_utf8_lossy(&spec.stdout);
+    assert!(plain_text.contains("0 slot(s)"), "{plain_text}");
+    assert!(spec_text.contains("1 slot(s)"), "{spec_text}");
+}
+
+#[test]
+fn measure_reports_staging_economics() {
+    let path = write_temp("measure.mc", DOTPROD);
+    let out = dsc(&[
+        "measure",
+        path.to_str().expect("utf8 path"),
+        "--vary",
+        "z1,z2",
+        "--args",
+        "1.0,2.0,3.0,4.0,5.0,6.0,2.0",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("original cost:  19"), "{text}");
+    assert!(text.contains("speedup"), "{text}");
+    assert!(text.contains("breakeven:      2 uses"), "{text}");
+    assert!(text.contains("result:         16"), "{text}");
+}

@@ -1,0 +1,42 @@
+//! # ds-codespec — the code-specialization baseline
+//!
+//! *Data Specialization* (Knoblock & Ruf, PLDI 1996) positions its technique
+//! against **code specialization**: staging by dynamically generating object
+//! code for a given fixed-input context (§1, §6.1). This crate implements
+//! that baseline as an online partial evaluator producing a *residual
+//! procedure* over the varying inputs, with branch elimination, full loop
+//! unrolling and constant folding — optimizations the data specializer
+//! deliberately gives up.
+//!
+//! The cost of dynamic code generation is modeled as
+//! [`CODEGEN_COST_PER_NODE`] abstract units per residual node, following the
+//! paper's observation that such systems "require tens to hundreds of
+//! dynamic instructions to emit a single optimized instruction". The
+//! `ds-bench` crate uses this to regenerate the paper's qualitative
+//! comparison: code specialization produces faster readers but pays an
+//! amortization interval orders of magnitude longer than data
+//! specialization's two-use breakeven.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ds_codespec::code_specialize;
+//! use ds_interp::Value;
+//! use std::collections::HashMap;
+//!
+//! let program = ds_lang::parse_program(
+//!     "float scale(float gain, float x) { return gain > 0.0 ? x * gain : 0.0; }",
+//! )?;
+//! let fixed = HashMap::from([("gain".to_string(), Value::Float(2.0))]);
+//! let spec = code_specialize(&program, "scale", &fixed, &Default::default())?;
+//! assert_eq!(spec.residual.params.len(), 1); // only x remains
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod pe;
+
+pub use pe::{
+    code_specialize, CodeSpecError, CodeSpecOptions, CodeSpecialization, CODEGEN_COST_PER_NODE,
+};

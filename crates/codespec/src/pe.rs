@@ -1,0 +1,795 @@
+//! An online partial evaluator: the **code specialization** baseline the
+//! paper contrasts data specialization against (§1, §6.1).
+//!
+//! Code-specialization systems "statically construct an early phase that
+//! dynamically generates object code customized for a particular input
+//! context". Given the *values* of the fixed inputs, this partial evaluator
+//! produces a *residual procedure* over the varying inputs only, performing
+//! the optimizations data specialization cannot:
+//!
+//! * constant folding of every operation over fixed values (with the exact
+//!   semantics of the `ds-interp` evaluator);
+//! * **branch elimination** — conditionals with known predicates disappear
+//!   (the paper: "a code specializer could eliminate the conditional");
+//! * **loop unrolling** — loops with known trip counts are fully unrolled.
+//!
+//! The price is paid at "runtime": emitting the residual program models
+//! dynamic code generation, charged at [`CODEGEN_COST_PER_NODE`] abstract
+//! units per residual AST node (the paper cites DCG/`C-style systems
+//! needing "tens to hundreds of dynamic instructions to emit a single
+//! optimized instruction"). The `ds-bench` comparison experiment uses this
+//! to contrast amortization intervals with data specialization's
+//! two-use breakeven.
+
+use ds_interp::{apply_binop, apply_pure_builtin, apply_unop, Value};
+use ds_lang::{
+    Block, Builtin, Expr, ExprKind, Param, Proc, Program, Stmt, StmtKind, TermId, Type,
+};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Abstract cost of emitting one node of residual code at runtime,
+/// modeling the paper's "tens to hundreds of dynamic instructions to emit a
+/// single optimized instruction" (§6.1).
+pub const CODEGEN_COST_PER_NODE: u64 = 100;
+
+/// Configuration for [`code_specialize`].
+#[derive(Debug, Clone, Copy)]
+pub struct CodeSpecOptions {
+    /// Maximum total loop iterations unrolled before giving up and emitting
+    /// a residual loop.
+    pub max_unroll: usize,
+}
+
+impl Default for CodeSpecOptions {
+    fn default() -> Self {
+        CodeSpecOptions { max_unroll: 4096 }
+    }
+}
+
+/// Why code specialization failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodeSpecError {
+    /// Unknown entry procedure.
+    UnknownProc(String),
+    /// Inlining failed.
+    Inline(ds_analysis::InlineError),
+    /// A fixed value's type does not match the parameter.
+    BadFixedValue {
+        /// The parameter.
+        param: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A known-condition loop failed to terminate within the unroll budget.
+    UnrollBudgetExhausted,
+}
+
+impl fmt::Display for CodeSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeSpecError::UnknownProc(n) => write!(f, "unknown procedure `{n}`"),
+            CodeSpecError::Inline(e) => write!(f, "{e}"),
+            CodeSpecError::BadFixedValue { param, detail } => {
+                write!(f, "bad fixed value for `{param}`: {detail}")
+            }
+            CodeSpecError::UnrollBudgetExhausted => {
+                write!(f, "loop unrolling budget exhausted (non-terminating known loop?)")
+            }
+        }
+    }
+}
+
+impl Error for CodeSpecError {}
+
+impl From<ds_analysis::InlineError> for CodeSpecError {
+    fn from(e: ds_analysis::InlineError) -> Self {
+        CodeSpecError::Inline(e)
+    }
+}
+
+/// The product of code specialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeSpecialization {
+    /// The residual procedure; its parameters are exactly the varying
+    /// inputs, in their original order.
+    pub residual: Proc,
+    /// Residual AST node count — the "generated code size" metric.
+    pub residual_nodes: usize,
+    /// Modeled cost of generating the residual at runtime.
+    pub codegen_cost: u64,
+}
+
+impl CodeSpecialization {
+    /// Wraps the residual in a program so an evaluator can run it.
+    pub fn as_program(&self) -> Program {
+        let mut p = Program {
+            procs: vec![self.residual.clone()],
+        };
+        p.renumber();
+        p
+    }
+}
+
+/// Specializes `entry` of `program` on concrete `fixed` parameter values,
+/// producing a residual procedure over the remaining parameters.
+///
+/// # Errors
+///
+/// See [`CodeSpecError`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ds_codespec::code_specialize;
+/// use ds_interp::Value;
+/// use std::collections::HashMap;
+///
+/// let program = ds_lang::parse_program(
+///     "float f(float k, float v) {
+///          if (k > 0.0) { return v * k; } else { return 0.0; }
+///      }",
+/// )?;
+/// let fixed = HashMap::from([("k".to_string(), Value::Float(2.0))]);
+/// let spec = code_specialize(&program, "f", &fixed, &Default::default())?;
+/// // The conditional is eliminated and k is folded in.
+/// let text = ds_lang::print_proc(&spec.residual);
+/// assert!(!text.contains("if"), "{text}");
+/// assert!(text.contains("v * 2.0"), "{text}");
+/// # Ok(())
+/// # }
+/// ```
+pub fn code_specialize(
+    program: &Program,
+    entry: &str,
+    fixed: &HashMap<String, Value>,
+    opts: &CodeSpecOptions,
+) -> Result<CodeSpecialization, CodeSpecError> {
+    if program.proc(entry).is_none() {
+        return Err(CodeSpecError::UnknownProc(entry.to_string()));
+    }
+    let inlined = ds_analysis::inline_entry(program, entry)?;
+    let proc = &inlined.procs[0];
+
+    let mut env: Env = HashMap::new();
+    let mut residual_params = Vec::new();
+    for p in &proc.params {
+        match fixed.get(&p.name) {
+            Some(v) if v.ty() == p.ty => {
+                env.insert(p.name.clone(), Binding::Known(*v));
+            }
+            Some(v) => {
+                return Err(CodeSpecError::BadFixedValue {
+                    param: p.name.clone(),
+                    detail: format!("expected `{}`, got `{}`", p.ty, v.ty()),
+                })
+            }
+            None => {
+                env.insert(p.name.clone(), Binding::Unknown);
+                residual_params.push(p.clone());
+            }
+        }
+    }
+
+    let mut pe = PartialEvaluator {
+        fuel: opts.max_unroll,
+        var_types: collect_var_types(proc),
+        declared: proc
+            .params
+            .iter()
+            .filter(|p| !fixed.contains_key(&p.name))
+            .map(|p| p.name.clone())
+            .collect(),
+    };
+    let mut body = Block::new();
+    pe.block(&proc.body, &mut env, false, &mut body)?;
+
+    let mut residual = Proc {
+        name: format!("{entry}__residual"),
+        params: residual_params,
+        ret: proc.ret,
+        body,
+        span: proc.span,
+    };
+    renumber_proc(&mut residual);
+    let residual_nodes = residual.node_count();
+    Ok(CodeSpecialization {
+        residual,
+        residual_nodes,
+        codegen_cost: residual_nodes as u64 * CODEGEN_COST_PER_NODE,
+    })
+}
+
+fn renumber_proc(p: &mut Proc) {
+    let mut wrapper = Program {
+        procs: vec![std::mem::replace(
+            p,
+            Proc {
+                name: String::new(),
+                params: Vec::new(),
+                ret: Type::Void,
+                body: Block::new(),
+                span: ds_lang::Span::DUMMY,
+            },
+        )],
+    };
+    wrapper.renumber();
+    *p = wrapper.procs.remove(0);
+}
+
+fn collect_var_types(p: &Proc) -> HashMap<String, Type> {
+    let mut m: HashMap<String, Type> = p.params.iter().map(|q| (q.name.clone(), q.ty)).collect();
+    p.walk_stmts(&mut |s| {
+        if let StmtKind::Decl { name, ty, .. } = &s.kind {
+            m.insert(name.clone(), *ty);
+        }
+    });
+    m
+}
+
+/// What the partial evaluator knows about a variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Binding {
+    /// Value known at specialization time.
+    Known(Value),
+    /// Value only available at residual runtime.
+    Unknown,
+}
+
+type Env = HashMap<String, Binding>;
+
+/// The partially evaluated form of an expression.
+enum PeExpr {
+    Known(Value),
+    Residual(Expr),
+}
+
+impl PeExpr {
+    fn into_expr(self) -> Expr {
+        match self {
+            PeExpr::Known(v) => literal(v),
+            PeExpr::Residual(e) => e,
+        }
+    }
+}
+
+fn literal(v: Value) -> Expr {
+    Expr::synth(match v {
+        Value::Int(i) => ExprKind::IntLit(i),
+        Value::Float(f) => ExprKind::FloatLit(f),
+        Value::Bool(b) => ExprKind::BoolLit(b),
+    })
+}
+
+struct PartialEvaluator {
+    fuel: usize,
+    var_types: HashMap<String, Type>,
+    /// Names that already have a declaration in the residual (parameters
+    /// included). A folded-away declaration must be re-introduced as a
+    /// `Decl`, not an `Assign`, the first time its variable goes unknown.
+    declared: std::collections::HashSet<String>,
+}
+
+impl PartialEvaluator {
+    /// Residualizes a block. `dynamic_ctx` is true under residual control
+    /// flow, where every assignment must be emitted (its target becomes
+    /// [`Binding::Unknown`]) because the path may or may not execute.
+    fn block(
+        &mut self,
+        b: &Block,
+        env: &mut Env,
+        dynamic_ctx: bool,
+        out: &mut Block,
+    ) -> Result<(), CodeSpecError> {
+        for s in &b.stmts {
+            self.stmt(s, env, dynamic_ctx, out)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(
+        &mut self,
+        s: &Stmt,
+        env: &mut Env,
+        dynamic_ctx: bool,
+        out: &mut Block,
+    ) -> Result<(), CodeSpecError> {
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                let pe = self.expr(init, env)?;
+                self.bind(name, *ty, pe, env, dynamic_ctx, out, true);
+                Ok(())
+            }
+            StmtKind::Assign { name, value, .. } => {
+                let ty = self.var_types[name.as_str()];
+                let pe = self.expr(value, env)?;
+                self.bind(name, ty, pe, env, dynamic_ctx, out, false);
+                Ok(())
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => match self.expr(cond, env)? {
+                PeExpr::Known(Value::Bool(true)) => self.block(then_blk, env, dynamic_ctx, out),
+                PeExpr::Known(Value::Bool(false)) => self.block(else_blk, env, dynamic_ctx, out),
+                PeExpr::Known(_) => unreachable!("type checker ensures bool condition"),
+                PeExpr::Residual(rc) => {
+                    // Residual branch: materialize every known variable the
+                    // branches may overwrite, so both paths agree on state.
+                    let mut assigned = Vec::new();
+                    assigned_vars(then_blk, &mut assigned);
+                    assigned_vars(else_blk, &mut assigned);
+                    self.materialize(&assigned, env, out);
+                    let mut then_out = Block::new();
+                    let mut env_t = env.clone();
+                    self.block(then_blk, &mut env_t, true, &mut then_out)?;
+                    let mut else_out = Block::new();
+                    self.block(else_blk, env, true, &mut else_out)?;
+                    out.stmts.push(Stmt::synth(StmtKind::If {
+                        cond: rc,
+                        then_blk: then_out,
+                        else_blk: else_out,
+                    }));
+                    Ok(())
+                }
+            },
+            StmtKind::While { cond, body } => {
+                loop {
+                    match self.expr(cond, env)? {
+                        PeExpr::Known(Value::Bool(false)) => return Ok(()),
+                        PeExpr::Known(Value::Bool(true)) => {
+                            if self.fuel == 0 {
+                                return Err(CodeSpecError::UnrollBudgetExhausted);
+                            }
+                            self.fuel -= 1;
+                            // Unroll one iteration in the current context.
+                            self.block(body, env, dynamic_ctx, out)?;
+                        }
+                        PeExpr::Known(_) => unreachable!("type checker ensures bool condition"),
+                        PeExpr::Residual(_) => break,
+                    }
+                }
+                // Residual loop: assigned variables lose their known values
+                // (zero or many iterations may run).
+                let mut assigned = Vec::new();
+                assigned_vars(body, &mut assigned);
+                self.materialize(&assigned, env, out);
+                let rc = self.expr(cond, env)?.into_expr();
+                let mut body_out = Block::new();
+                self.block(body, env, true, &mut body_out)?;
+                out.stmts.push(Stmt::synth(StmtKind::While {
+                    cond: rc,
+                    body: body_out,
+                }));
+                Ok(())
+            }
+            StmtKind::Return(None) => {
+                out.stmts.push(Stmt::synth(StmtKind::Return(None)));
+                Ok(())
+            }
+            StmtKind::Return(Some(e)) => {
+                let pe = self.expr(e, env)?;
+                out.stmts
+                    .push(Stmt::synth(StmtKind::Return(Some(pe.into_expr()))));
+                Ok(())
+            }
+            StmtKind::ExprStmt(e) => {
+                let pe = self.expr(e, env)?;
+                match pe {
+                    // A fully known pure expression statement is dead.
+                    PeExpr::Known(_) => Ok(()),
+                    PeExpr::Residual(r) => {
+                        out.stmts.push(Stmt::synth(StmtKind::ExprStmt(r)));
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Binds `name` to the partially evaluated RHS: folds into the
+    /// environment when possible, emits residual code when not.
+    #[allow(clippy::too_many_arguments)]
+    fn bind(
+        &mut self,
+        name: &str,
+        ty: Type,
+        pe: PeExpr,
+        env: &mut Env,
+        dynamic_ctx: bool,
+        out: &mut Block,
+        is_decl: bool,
+    ) {
+        match pe {
+            PeExpr::Known(v) if !dynamic_ctx => {
+                env.insert(name.to_string(), Binding::Known(v));
+                // No residual statement: the value lives in the environment.
+            }
+            other => {
+                let value = other.into_expr();
+                let _ = is_decl;
+                out.stmts.push(self.emit_set(name, ty, value));
+                env.insert(name.to_string(), Binding::Unknown);
+            }
+        }
+    }
+
+    /// Emits `ty v = <known value>;` for every *known* variable in `names`,
+    /// marking it unknown: residual control flow is about to overwrite it.
+    fn materialize(&mut self, names: &[String], env: &mut Env, out: &mut Block) {
+        let mut done = std::collections::HashSet::new();
+        for name in names {
+            if !done.insert(name.as_str()) {
+                continue;
+            }
+            if let Some(Binding::Known(v)) = env.get(name.as_str()) {
+                let ty = self.var_types[name.as_str()];
+                let stmt = self.emit_set(name, ty, literal(*v));
+                out.stmts.push(stmt);
+                env.insert(name.clone(), Binding::Unknown);
+            }
+        }
+    }
+
+    /// Emits a write to `name`: a `Decl` the first time the variable
+    /// appears in the residual, an `Assign` thereafter.
+    fn emit_set(&mut self, name: &str, ty: Type, value: Expr) -> Stmt {
+        if self.declared.insert(name.to_string()) {
+            Stmt::synth(StmtKind::Decl {
+                name: name.to_string(),
+                ty,
+                init: value,
+            })
+        } else {
+            Stmt::synth(StmtKind::Assign {
+                name: name.to_string(),
+                value,
+                is_phi: false,
+            })
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, env: &mut Env) -> Result<PeExpr, CodeSpecError> {
+        Ok(match &e.kind {
+            ExprKind::IntLit(v) => PeExpr::Known(Value::Int(*v)),
+            ExprKind::FloatLit(v) => PeExpr::Known(Value::Float(*v)),
+            ExprKind::BoolLit(v) => PeExpr::Known(Value::Bool(*v)),
+            ExprKind::Var(name) => match env.get(name.as_str()) {
+                Some(Binding::Known(v)) => PeExpr::Known(*v),
+                _ => PeExpr::Residual(Expr::var(name.clone())),
+            },
+            ExprKind::Unary(op, a) => {
+                let pa = self.expr(a, env)?;
+                match pa {
+                    PeExpr::Known(v) => match apply_unop(*op, v, e) {
+                        Ok(folded) => PeExpr::Known(folded),
+                        // Fold failure (impossible for typed programs):
+                        // keep a residual with the literal operand.
+                        Err(_) => PeExpr::Residual(Expr::synth(ExprKind::Unary(
+                            *op,
+                            Box::new(literal(v)),
+                        ))),
+                    },
+                    PeExpr::Residual(r) => {
+                        PeExpr::Residual(Expr::synth(ExprKind::Unary(*op, Box::new(r))))
+                    }
+                }
+            }
+            ExprKind::Binary(op, l, r) => {
+                let pl = self.expr(l, env)?;
+                let pr = self.expr(r, env)?;
+                match (pl, pr) {
+                    (PeExpr::Known(a), PeExpr::Known(b)) => match apply_binop(*op, a, b, e) {
+                        Ok(folded) => PeExpr::Known(folded),
+                        // E.g. integer division by zero: defer to runtime so
+                        // the residual faults exactly like the original.
+                        Err(_) => PeExpr::Residual(Expr::synth(ExprKind::Binary(
+                            *op,
+                            Box::new(literal(a)),
+                            Box::new(literal(b)),
+                        ))),
+                    },
+                    (pl, pr) => PeExpr::Residual(Expr::synth(ExprKind::Binary(
+                        *op,
+                        Box::new(pl.into_expr()),
+                        Box::new(pr.into_expr()),
+                    ))),
+                }
+            }
+            ExprKind::Cond(c, t, f) => match self.expr(c, env)? {
+                PeExpr::Known(Value::Bool(true)) => self.expr(t, env)?,
+                PeExpr::Known(Value::Bool(false)) => self.expr(f, env)?,
+                PeExpr::Known(_) => unreachable!("type checker ensures bool condition"),
+                PeExpr::Residual(rc) => {
+                    let rt = self.expr(t, env)?.into_expr();
+                    let rf = self.expr(f, env)?.into_expr();
+                    PeExpr::Residual(Expr::synth(ExprKind::Cond(
+                        Box::new(rc),
+                        Box::new(rt),
+                        Box::new(rf),
+                    )))
+                }
+            },
+            ExprKind::Call(name, args) => {
+                let mut known = Vec::with_capacity(args.len());
+                let mut parts = Vec::with_capacity(args.len());
+                let mut all_known = true;
+                for a in args {
+                    let pa = self.expr(a, env)?;
+                    if let PeExpr::Known(v) = &pa {
+                        known.push(*v);
+                    } else {
+                        all_known = false;
+                    }
+                    parts.push(pa);
+                }
+                let builtin = Builtin::from_name(name);
+                if all_known {
+                    if let Some(b) = builtin {
+                        if let Some(folded) = apply_pure_builtin(b, &known) {
+                            return Ok(PeExpr::Known(folded));
+                        }
+                    }
+                }
+                // Effectful (trace) or partially known: residualize with
+                // folded arguments.
+                PeExpr::Residual(Expr::synth(ExprKind::Call(
+                    name.clone(),
+                    parts.into_iter().map(PeExpr::into_expr).collect(),
+                )))
+            }
+            ExprKind::CacheRef(..) | ExprKind::CacheStore(..) => {
+                unreachable!("code specialization runs on source fragments, not split code")
+            }
+        })
+    }
+}
+
+fn assigned_vars(b: &Block, out: &mut Vec<String>) {
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::Decl { name, .. } | StmtKind::Assign { name, .. } => {
+                out.push(name.clone());
+            }
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                assigned_vars(then_blk, out);
+                assigned_vars(else_blk, out);
+            }
+            StmtKind::While { body, .. } => assigned_vars(body, out),
+            _ => {}
+        }
+    }
+}
+
+/// Keeps `TermId` and `Param` in the public signature set for rustdoc
+/// linking without unused-import churn.
+#[allow(dead_code)]
+fn _sig(_: TermId, _: &Param) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_interp::Evaluator;
+    use ds_lang::{parse_program, print_proc};
+
+    fn spec(src: &str, entry: &str, fixed: &[(&str, Value)]) -> CodeSpecialization {
+        let prog = parse_program(src).expect("parse");
+        ds_lang::typecheck(&prog).expect("typecheck");
+        let fixed: HashMap<String, Value> =
+            fixed.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let cs = code_specialize(&prog, entry, &fixed, &CodeSpecOptions::default())
+            .expect("code specialize");
+        // Residuals must be well-typed MiniC.
+        ds_lang::typecheck(&cs.as_program()).expect("residual typechecks");
+        cs
+    }
+
+    const DOTPROD: &str = "float dotprod(float x1, float y1, float z1,
+                                         float x2, float y2, float z2, float scale) {
+                               if (scale != 0.0) {
+                                   return (x1*x2 + y1*y2 + z1*z2) / scale;
+                               } else {
+                                   return -1.0;
+                               }
+                           }";
+
+    #[test]
+    fn dotprod_eliminates_conditional_unlike_data_spec() {
+        // §2: "A code specializer could eliminate the conditional".
+        let cs = spec(
+            DOTPROD,
+            "dotprod",
+            &[
+                ("x1", Value::Float(1.0)),
+                ("y1", Value::Float(2.0)),
+                ("x2", Value::Float(4.0)),
+                ("y2", Value::Float(5.0)),
+                ("scale", Value::Float(2.0)),
+            ],
+        );
+        let text = print_proc(&cs.residual);
+        assert!(!text.contains("if"), "{text}");
+        assert!(!text.contains("scale"), "{text}");
+        assert_eq!(cs.residual.params.len(), 2); // z1, z2
+    }
+
+    #[test]
+    fn residual_equals_original() {
+        let prog = parse_program(DOTPROD).unwrap();
+        let cs = spec(
+            DOTPROD,
+            "dotprod",
+            &[
+                ("x1", Value::Float(1.0)),
+                ("y1", Value::Float(2.0)),
+                ("x2", Value::Float(4.0)),
+                ("y2", Value::Float(5.0)),
+                ("scale", Value::Float(2.0)),
+            ],
+        );
+        let rp = cs.as_program();
+        for (z1, z2) in [(3.0, 6.0), (0.0, 0.0), (-5.5, 2.25)] {
+            let full: Vec<Value> = [1.0, 2.0, z1, 4.0, 5.0, z2, 2.0]
+                .map(Value::Float)
+                .to_vec();
+            let orig = Evaluator::new(&prog).run("dotprod", &full).unwrap();
+            let resid = Evaluator::new(&rp)
+                .run(
+                    "dotprod__residual",
+                    &[Value::Float(z1), Value::Float(z2)],
+                )
+                .unwrap();
+            assert_eq!(orig.value, resid.value, "z1={z1} z2={z2}");
+            assert!(resid.cost < orig.cost, "residual must be cheaper");
+        }
+    }
+
+    #[test]
+    fn known_loops_unroll_completely() {
+        let src = "float f(int n, float v) {
+                       float acc = 0.0;
+                       int i = 0;
+                       while (i < n) {
+                           acc = acc + v;
+                           i = i + 1;
+                       }
+                       return acc;
+                   }";
+        let cs = spec(src, "f", &[("n", Value::Int(3))]);
+        let text = print_proc(&cs.residual);
+        assert!(!text.contains("while"), "{text}");
+        // Unrolled: v appears three times.
+        assert_eq!(text.matches("v").count(), 3 + 1, "{text}"); // 3 uses + param
+        let rp = cs.as_program();
+        let out = Evaluator::new(&rp)
+            .run("f__residual", &[Value::Float(2.5)])
+            .unwrap();
+        assert_eq!(out.value, Some(Value::Float(7.5)));
+    }
+
+    #[test]
+    fn unknown_loops_stay_residual() {
+        let src = "float f(int n, float v) {
+                       float acc = 1.0;
+                       int i = 0;
+                       while (i < n) {
+                           acc = acc * v;
+                           i = i + 1;
+                       }
+                       return acc;
+                   }";
+        // n varies: the loop must survive, with acc/i materialized.
+        let cs = spec(src, "f", &[("v", Value::Float(2.0))]);
+        let text = print_proc(&cs.residual);
+        assert!(text.contains("while"), "{text}");
+        let rp = cs.as_program();
+        for n in [0i64, 1, 5] {
+            let prog = parse_program(src).unwrap();
+            let orig = Evaluator::new(&prog)
+                .run("f", &[Value::Int(n), Value::Float(2.0)])
+                .unwrap();
+            let resid = Evaluator::new(&rp)
+                .run("f__residual", &[Value::Int(n)])
+                .unwrap();
+            assert_eq!(orig.value, resid.value, "n={n}");
+        }
+    }
+
+    #[test]
+    fn residual_branches_preserve_state() {
+        // x is known before the unknown branch; both paths must see a
+        // coherent x afterwards.
+        let src = "float f(bool p, float v) {
+                       float x = 10.0;
+                       if (p) { x = x + v; }
+                       return x * 2.0;
+                   }";
+        let cs = spec(src, "f", &[]);
+        let rp = cs.as_program();
+        let prog = parse_program(src).unwrap();
+        for p in [true, false] {
+            let args = [Value::Bool(p), Value::Float(3.0)];
+            let orig = Evaluator::new(&prog).run("f", &args).unwrap();
+            let resid = Evaluator::new(&rp).run("f__residual", &args).unwrap();
+            assert_eq!(orig.value, resid.value, "p={p}");
+        }
+    }
+
+    #[test]
+    fn trace_survives_specialization() {
+        let src = "float f(float k, float v) { trace(k); return k * v; }";
+        let cs = spec(src, "f", &[("k", Value::Float(7.0))]);
+        let text = print_proc(&cs.residual);
+        assert!(text.contains("trace(7.0)"), "{text}");
+        let rp = cs.as_program();
+        let out = Evaluator::new(&rp)
+            .run("f__residual", &[Value::Float(2.0)])
+            .unwrap();
+        assert_eq!(out.trace, vec![7.0]);
+        assert_eq!(out.value, Some(Value::Float(14.0)));
+    }
+
+    #[test]
+    fn division_by_zero_deferred_to_runtime() {
+        let src = "int f(int a, int b) { return a / b; }";
+        let cs = spec(src, "f", &[("a", Value::Int(1)), ("b", Value::Int(0))]);
+        let rp = cs.as_program();
+        let err = Evaluator::new(&rp).run("f__residual", &[]).unwrap_err();
+        assert!(matches!(err, ds_interp::EvalError::DivideByZero(_)));
+    }
+
+    #[test]
+    fn unroll_budget_guards_against_infinite_known_loops() {
+        let src = "float f(float v) {
+                       int i = 0;
+                       while (i >= 0) { i = i + 1; }
+                       return v;
+                   }";
+        let prog = parse_program(src).unwrap();
+        let err = code_specialize(
+            &prog,
+            "f",
+            &HashMap::new(),
+            &CodeSpecOptions { max_unroll: 10 },
+        )
+        .unwrap_err();
+        assert_eq!(err, CodeSpecError::UnrollBudgetExhausted);
+    }
+
+    #[test]
+    fn codegen_cost_scales_with_residual_size() {
+        let cs = spec(
+            DOTPROD,
+            "dotprod",
+            &[
+                ("x1", Value::Float(1.0)),
+                ("y1", Value::Float(2.0)),
+                ("x2", Value::Float(4.0)),
+                ("y2", Value::Float(5.0)),
+                ("scale", Value::Float(2.0)),
+            ],
+        );
+        assert_eq!(
+            cs.codegen_cost,
+            cs.residual_nodes as u64 * CODEGEN_COST_PER_NODE
+        );
+        assert!(cs.residual_nodes > 0);
+    }
+
+    #[test]
+    fn everything_fixed_folds_to_constant_return() {
+        let cs = spec(
+            "float f(float a, float b) { return sin(a) * cos(b) + a / b; }",
+            "f",
+            &[("a", Value::Float(1.0)), ("b", Value::Float(2.0))],
+        );
+        let text = print_proc(&cs.residual);
+        assert!(!text.contains("sin"), "{text}");
+        assert!(cs.residual_nodes <= 2, "return <literal>; — got {text}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Partial-evaluator edge cases: materialization under residual control,
+//! re-known variables, loops that become known mid-unroll, and interaction
+//! of effects with folding.
+
+use ds_codespec::{code_specialize, CodeSpecOptions, CodeSpecialization};
+use ds_interp::{Evaluator, Value};
+use ds_lang::{parse_program, print_proc};
+use std::collections::HashMap;
+
+fn spec(src: &str, entry: &str, fixed: &[(&str, Value)]) -> CodeSpecialization {
+    let prog = parse_program(src).expect("parse");
+    ds_lang::typecheck(&prog).expect("typecheck");
+    let fixed: HashMap<String, Value> = fixed.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+    let cs = code_specialize(&prog, entry, &fixed, &CodeSpecOptions::default())
+        .expect("code specialize");
+    ds_lang::typecheck(&cs.as_program()).expect("residual typechecks");
+    cs
+}
+
+fn check_equiv(src: &str, fixed: &[(&str, Value)], varying_cases: &[Vec<Value>]) {
+    let prog = parse_program(src).unwrap();
+    let cs = spec(src, "f", fixed);
+    let rp = cs.as_program();
+    let entry_params: Vec<String> = prog.procs[0]
+        .params
+        .iter()
+        .map(|p| p.name.clone())
+        .collect();
+    for vary in varying_cases {
+        // Assemble the full argument vector in declaration order.
+        let mut vi = vary.iter();
+        let full: Vec<Value> = entry_params
+            .iter()
+            .map(|name| {
+                fixed
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or_else(|| *vi.next().expect("enough varying args"))
+            })
+            .collect();
+        let orig = Evaluator::new(&prog).run("f", &full).expect("original");
+        let resid = Evaluator::new(&rp)
+            .run("f__residual", vary)
+            .expect("residual");
+        assert_eq!(orig.value, resid.value, "vary={vary:?}");
+        assert_eq!(orig.trace, resid.trace, "vary={vary:?}");
+    }
+}
+
+#[test]
+fn variable_reknown_after_branch() {
+    // x goes known -> unknown (residual branch) -> known again; the final
+    // return must fold the re-known value.
+    let src = "float f(bool p, float v) {
+                   float x = 1.0;
+                   if (p) { x = x + v; }
+                   x = 5.0;
+                   return x * 2.0;
+               }";
+    let cs = spec(src, "f", &[]);
+    let text = print_proc(&cs.residual);
+    assert!(text.contains("return 10.0;"), "{text}");
+    check_equiv(src, &[], &[vec![Value::Bool(true), Value::Float(3.0)],
+                            vec![Value::Bool(false), Value::Float(3.0)]]);
+}
+
+#[test]
+fn nested_residual_branches_materialize_once_per_scope() {
+    let src = "float f(bool p, bool q, float v) {
+                   float x = 2.0;
+                   if (p) {
+                       if (q) { x = x * v; }
+                       x = x + 1.0;
+                   }
+                   return x;
+               }";
+    check_equiv(
+        src,
+        &[],
+        &[
+            vec![Value::Bool(true), Value::Bool(true), Value::Float(3.0)],
+            vec![Value::Bool(true), Value::Bool(false), Value::Float(3.0)],
+            vec![Value::Bool(false), Value::Bool(true), Value::Float(3.0)],
+        ],
+    );
+}
+
+#[test]
+fn loop_with_known_prefix_then_unknown_guard() {
+    // The loop condition mixes a known counter with an unknown bound
+    // subterm: no unrolling, full residual loop with materialized state.
+    let src = "float f(int n, float v) {
+                   float acc = 1.0;
+                   int i = 0;
+                   while (i < n) {
+                       acc = acc + v;
+                       i = i + 1;
+                   }
+                   return acc;
+               }";
+    check_equiv(
+        src,
+        &[("v", Value::Float(0.5))],
+        &[vec![Value::Int(0)], vec![Value::Int(3)], vec![Value::Int(7)]],
+    );
+    let cs = spec(src, "f", &[("v", Value::Float(0.5))]);
+    let text = print_proc(&cs.residual);
+    assert!(text.contains("while"), "{text}");
+    assert!(text.contains("acc + 0.5"), "v folded into the loop body: {text}");
+}
+
+#[test]
+fn unrolled_loop_with_branches_inside() {
+    let src = "float f(int n, bool p, float v) {
+                   float acc = 0.0;
+                   int i = 0;
+                   while (i < n) {
+                       if (p) { acc = acc + v; } else { acc = acc + 1.0; }
+                       i = i + 1;
+                   }
+                   return acc;
+               }";
+    // n known: unrolled to 3 residual ifs (p unknown).
+    let cs = spec(src, "f", &[("n", Value::Int(3))]);
+    let text = print_proc(&cs.residual);
+    assert!(!text.contains("while"), "{text}");
+    assert_eq!(text.matches("if (p)").count(), 3, "{text}");
+    check_equiv(
+        src,
+        &[("n", Value::Int(3))],
+        &[
+            vec![Value::Bool(true), Value::Float(2.0)],
+            vec![Value::Bool(false), Value::Float(2.0)],
+        ],
+    );
+}
+
+#[test]
+fn effects_in_eliminated_branches_disappear() {
+    // The branch not taken (statically known) must not leave its trace in
+    // the residual — matching what the original would do.
+    let src = "float f(float k, float v) {
+                   float r = v;
+                   if (k > 0.0) { trace(1.0); r = r + 1.0; }
+                   else { trace(2.0); r = r + 2.0; }
+                   return r;
+               }";
+    let cs = spec(src, "f", &[("k", Value::Float(5.0))]);
+    let text = print_proc(&cs.residual);
+    assert!(text.contains("trace(1.0)"), "{text}");
+    assert!(!text.contains("trace(2.0)"), "{text}");
+    check_equiv(src, &[("k", Value::Float(5.0))], &[vec![Value::Float(0.25)]]);
+}
+
+#[test]
+fn unknown_condition_with_known_arms_folds_arms() {
+    let src = "float f(bool p, float k) {
+                   return p ? k * 2.0 : k * 3.0;
+               }";
+    let cs = spec(src, "f", &[("k", Value::Float(4.0))]);
+    let text = print_proc(&cs.residual);
+    assert!(text.contains("p ? 8.0 : 12.0"), "{text}");
+}
+
+#[test]
+fn float_division_folds_to_ieee_values() {
+    let src = "float f(float a, float b, float v) { return a / b + v; }";
+    let cs = spec(
+        src,
+        "f",
+        &[("a", Value::Float(1.0)), ("b", Value::Float(0.0))],
+    );
+    // 1.0 / 0.0 folds to +inf, matching the evaluator.
+    let rp = cs.as_program();
+    let out = Evaluator::new(&rp)
+        .run("f__residual", &[Value::Float(5.0)])
+        .unwrap();
+    assert_eq!(out.value, Some(Value::Float(f64::INFINITY)));
+}
+
+#[test]
+fn residual_params_preserve_declaration_order() {
+    let src = "float f(float a, float b, float c, float d) { return a + b + c + d; }";
+    let cs = spec(src, "f", &[("b", Value::Float(1.0)), ("d", Value::Float(2.0))]);
+    let names: Vec<&str> = cs.residual.params.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(names, vec!["a", "c"]);
+}
+
+#[test]
+fn zero_iteration_known_loop_disappears() {
+    let src = "float f(int n, float v) {
+                   float acc = v;
+                   int i = 0;
+                   while (i < n) { acc = acc * 2.0; i = i + 1; }
+                   return acc;
+               }";
+    let cs = spec(src, "f", &[("n", Value::Int(0))]);
+    let text = print_proc(&cs.residual);
+    assert!(!text.contains("while"), "{text}");
+    // No copy propagation (out of scope): acc's pass-through decl remains,
+    // but every loop artifact is gone.
+    assert!(!text.contains("acc * 2.0"), "{text}");
+    assert!(!text.contains("int i"), "loop counter erased: {text}");
+}

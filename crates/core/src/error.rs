@@ -1,0 +1,86 @@
+//! Errors of the specializer driver.
+
+use ds_analysis::InlineError;
+use ds_lang::FrontendError;
+use std::error::Error;
+use std::fmt;
+
+/// Why specialization failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The requested entry procedure does not exist.
+    UnknownProc(String),
+    /// The input partition names a parameter the procedure does not have.
+    UnknownParam {
+        /// The entry procedure.
+        proc: String,
+        /// The offending name.
+        param: String,
+    },
+    /// The front end rejected the program (parse/type error).
+    Frontend(FrontendError),
+    /// Inlining failed (early returns, calls in loop conditions, ...).
+    Inline(InlineError),
+    /// An internal invariant was violated; the message names it. Seeing this
+    /// is a specializer bug, not a user error.
+    Internal(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownProc(name) => write!(f, "unknown procedure `{name}`"),
+            SpecError::UnknownParam { proc, param } => {
+                write!(f, "procedure `{proc}` has no parameter `{param}`")
+            }
+            SpecError::Frontend(e) => write!(f, "{e}"),
+            SpecError::Inline(e) => write!(f, "{e}"),
+            SpecError::Internal(msg) => write!(f, "internal specializer invariant violated: {msg}"),
+        }
+    }
+}
+
+impl Error for SpecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpecError::Frontend(e) => Some(e),
+            SpecError::Inline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrontendError> for SpecError {
+    fn from(e: FrontendError) -> Self {
+        SpecError::Frontend(e)
+    }
+}
+
+impl From<InlineError> for SpecError {
+    fn from(e: InlineError) -> Self {
+        SpecError::Inline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        assert!(SpecError::UnknownProc("f".into()).to_string().contains("`f`"));
+        let e = SpecError::UnknownParam {
+            proc: "shade".into(),
+            param: "zeta".into(),
+        };
+        assert!(e.to_string().contains("zeta"));
+        assert!(SpecError::Internal("x".into()).to_string().contains("invariant"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let fe = FrontendError::new(ds_lang::Phase::Type, "boom", ds_lang::Span::DUMMY);
+        let e: SpecError = fe.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

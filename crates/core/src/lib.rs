@@ -1,0 +1,63 @@
+//! # ds-core — the data specializer
+//!
+//! The primary contribution of *Data Specialization* (Knoblock & Ruf, PLDI
+//! 1996), reproduced as a Rust library: a *static* staging transformation
+//! that, given a MiniC fragment and an input partition, emits
+//!
+//! * a **cache loader** — the fragment instrumented to fill a small cache
+//!   of invariant intermediate values while computing its result, and
+//! * a **cache reader** — the fragment stripped of all static computation,
+//!   reading the cache instead.
+//!
+//! Unlike dynamic-compilation ("code specialization") systems, both phases
+//! are generated ahead of time; the early phase's output is *data*, not
+//! object code — trading peak optimization for rapid payback (breakeven at
+//! ~2 uses), tiny space overhead (tens of bytes), and a portable
+//! source-to-source implementation.
+//!
+//! Entry points:
+//!
+//! * [`specialize`] / [`specialize_source`] — the whole pipeline;
+//! * [`InputPartition`] — which parameters vary;
+//! * [`SpecializeOptions`] — associative rewriting (§4.2) and cache-size
+//!   limiting (§4.3);
+//! * [`Specialization`] — loader, reader, [`CacheLayout`] and stats;
+//! * [`split()`](split()) / [`limit_cache_size`] — the underlying passes, exposed for
+//!   ablation experiments.
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ds_core::{specialize_source, InputPartition, SpecializeOptions};
+//!
+//! let spec = specialize_source(
+//!     "float shade(float light, float ambient) {
+//!          return fbm3(light, light, light, 4) * 0.5 + ambient;
+//!      }",
+//!     "shade",
+//!     &InputPartition::varying(["ambient"]),   // light is fixed
+//!     &SpecializeOptions::new(),
+//! )?;
+//! // The expensive fbm3 noise is cached; the reader only scales and adds.
+//! assert_eq!(spec.slot_count(), 1);
+//! assert_eq!(spec.cache_bytes(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod layout;
+pub mod limit;
+pub mod partition;
+pub mod spec;
+pub mod split;
+
+pub use error::SpecError;
+pub use layout::{CacheLayout, Slot};
+pub use limit::{limit_cache_size, not_caching_cost, Eviction};
+pub use partition::InputPartition;
+pub use spec::{specialize, specialize_source, SpecStats, Specialization, SpecializeOptions};
+pub use split::split;

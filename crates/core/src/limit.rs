@@ -1,0 +1,218 @@
+//! Cache-size limiting (paper §4.3).
+//!
+//! "The goal of cache limiting is to minimize the amount of computation in
+//! the reader given a bound on the size of the cache. We approximate the
+//! cost of not caching each cached term, and relabel the lowest-cost cached
+//! term to dynamic, repeating this process until the cache size falls below
+//! the specified bound."
+//!
+//! The cost of not caching a term is its frequency-weighted execution cost
+//! plus the marginal cost of the definitions and guards that Rules 4–7
+//! would force into the reader (already-dynamic context is free — "the
+//! marginal cost of computing an already dynamic guard is zero").
+//!
+//! Relabeling may *widen* the frontier (the victim's operands become newly
+//! cached), so the cache does not necessarily shrink every iteration; the
+//! loop still terminates because labels only increase, and in the worst
+//! case everything becomes dynamic and the cache is empty.
+
+use ds_analysis::{weighted_cost, CacheSolver, Label, ReachingDefs, TermIndex};
+use ds_analysis::DefId;
+use ds_lang::{ExprKind, StmtKind, TermId, TypeInfo};
+
+/// One victim decision, for diagnostics and the Figure 9/10 experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eviction {
+    /// The relabeled term.
+    pub term: TermId,
+    /// Its estimated cost of not caching at eviction time.
+    pub cost: u64,
+    /// Cache bytes before this eviction.
+    pub bytes_before: u32,
+}
+
+/// Relabels minimum-benefit cached terms to dynamic until the packed cache
+/// size is at most `bound_bytes`. Returns the eviction sequence.
+pub fn limit_cache_size(
+    solver: &mut CacheSolver<'_, '_>,
+    ix: &TermIndex<'_>,
+    rd: &ReachingDefs,
+    types: &TypeInfo,
+    bound_bytes: u32,
+) -> Vec<Eviction> {
+    let mut evictions = Vec::new();
+    loop {
+        let cached = solver.cached_terms();
+        let bytes: u32 = cached
+            .iter()
+            .map(|&t| slot_width(types, t))
+            .sum();
+        if bytes <= bound_bytes {
+            return evictions;
+        }
+        let victim = cached
+            .iter()
+            .copied()
+            .min_by_key(|&t| (not_caching_cost(solver, ix, rd, t), t))
+            .expect("cache above bound implies at least one cached term");
+        let cost = not_caching_cost(solver, ix, rd, victim);
+        solver.force_dynamic(victim);
+        evictions.push(Eviction {
+            term: victim,
+            cost,
+            bytes_before: bytes,
+        });
+    }
+}
+
+fn slot_width(types: &TypeInfo, term: TermId) -> u32 {
+    types
+        .try_expr_type(term)
+        .map(|t| t.cache_width())
+        .unwrap_or(0)
+}
+
+/// Approximates the reader-side cost of recomputing `t` instead of caching
+/// it: the term's own weighted cost, plus the weighted cost of reaching
+/// definitions and guards that are not already dynamic (their marginal cost
+/// if Rules 4–7 pull them in).
+pub fn not_caching_cost(
+    solver: &CacheSolver<'_, '_>,
+    ix: &TermIndex<'_>,
+    rd: &ReachingDefs,
+    t: TermId,
+) -> u64 {
+    let mut cost = weighted_cost(ix, t);
+    let Some(e) = ix.expr(t) else { return cost };
+    // Definitions of free variables that would become dynamic.
+    e.walk(&mut |sub| {
+        if matches!(sub.kind, ExprKind::Var(_)) {
+            for def in rd.defs_of(sub.id) {
+                if let DefId::Stmt(d) = def {
+                    if solver.label(*d) != Label::Dynamic {
+                        if let Some(rhs) = def_rhs(ix, *d) {
+                            cost = cost.saturating_add(weighted_cost(ix, rhs));
+                        }
+                    }
+                }
+            }
+        }
+    });
+    // Guards that would become dynamic.
+    for &g in &ix.ctx(t).guards {
+        if solver.label(g) != Label::Dynamic {
+            if let Some(cond) = guard_cond(ix, g) {
+                cost = cost.saturating_add(weighted_cost(ix, cond));
+            }
+        }
+    }
+    cost
+}
+
+fn def_rhs(ix: &TermIndex<'_>, d: TermId) -> Option<TermId> {
+    match &ix.stmt(d)?.kind {
+        StmtKind::Decl { init, .. } => Some(init.id),
+        StmtKind::Assign { value, .. } => Some(value.id),
+        _ => None,
+    }
+}
+
+fn guard_cond(ix: &TermIndex<'_>, g: TermId) -> Option<TermId> {
+    if let Some(s) = ix.stmt(g) {
+        return match &s.kind {
+            StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => Some(cond.id),
+            _ => None,
+        };
+    }
+    // A ternary guard: its condition is its first child.
+    match &ix.expr(g)?.kind {
+        ExprKind::Cond(c, _, _) => Some(c.id),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_analysis::{analyze_dependence, reaching_defs};
+    use ds_lang::{parse_program, typecheck};
+    use std::collections::HashSet;
+
+    /// Two cacheable terms of different benefit: fbm3 (cost 1100) and a
+    /// product chain (cost 7).
+    const SRC: &str = "float f(float k, float v) {
+                           float big = fbm3(k, k, k, 4);
+                           float small = k * k * k * 2.0;
+                           return big * v + small * v;
+                       }";
+
+    fn with_solver<R>(
+        bound: u32,
+        f: impl FnOnce(&mut CacheSolver<'_, '_>, &TermIndex<'_>, &ReachingDefs, &TypeInfo, u32) -> R,
+    ) -> R {
+        let prog = parse_program(SRC).unwrap();
+        let types = typecheck(&prog).unwrap();
+        let p = &prog.procs[0];
+        let ix = TermIndex::build(p);
+        let rd = reaching_defs(p);
+        let varying: HashSet<String> = ["v".to_string()].into();
+        let dep = analyze_dependence(p, &varying);
+        let mut solver = CacheSolver::solve(&ix, &rd, &dep, &types);
+        f(&mut solver, &ix, &rd, &types, bound)
+    }
+
+    #[test]
+    fn no_eviction_when_under_bound() {
+        with_solver(100, |solver, ix, rd, types, bound| {
+            assert_eq!(solver.cached_terms().len(), 2);
+            let ev = limit_cache_size(solver, ix, rd, types, bound);
+            assert!(ev.is_empty());
+            assert_eq!(solver.cached_terms().len(), 2);
+        });
+    }
+
+    #[test]
+    fn evicts_cheapest_first() {
+        // Bound of 4 bytes: one 4-byte float slot must go — the cheap
+        // product, not the fbm3 call.
+        with_solver(4, |solver, ix, rd, types, bound| {
+            let ev = limit_cache_size(solver, ix, rd, types, bound);
+            // Evicting the cheap product re-caches its k*k*k operand, which
+            // must then be evicted too: two rounds to fit the bound.
+            assert_eq!(ev.len(), 2);
+            let remaining = solver.cached_terms();
+            assert_eq!(remaining.len(), 1);
+            let kept = ix.expr(remaining[0]).unwrap();
+            let text = ds_lang::print_expr(kept);
+            assert!(text.contains("fbm3"), "kept the wrong slot: {text}");
+        });
+    }
+
+    #[test]
+    fn bound_zero_empties_the_cache() {
+        with_solver(0, |solver, ix, rd, types, bound| {
+            let ev = limit_cache_size(solver, ix, rd, types, bound);
+            assert!(ev.len() >= 2);
+            assert!(solver.cached_terms().is_empty());
+            // Eviction record is coherent: bytes decrease overall.
+            assert!(ev[0].bytes_before >= ev.last().unwrap().bytes_before);
+        });
+    }
+
+    #[test]
+    fn eviction_costs_reflect_term_expense() {
+        with_solver(0, |solver, ix, rd, types, bound| {
+            let ev = limit_cache_size(solver, ix, rd, types, bound);
+            // The first victim is the cheap product, never the fbm3 call
+            // (evicting the frontier can *introduce* new cheaper slots, so
+            // the global sequence need not be monotone — but round one picks
+            // the cheapest of the initial frontier).
+            let first = ix.expr(ev[0].term).unwrap();
+            let text = ds_lang::print_expr(first);
+            assert!(!text.contains("fbm3"), "evicted the expensive slot first: {text}");
+            // And the fbm3 slot is the last to go.
+            let last = ix.expr(ev.last().unwrap().term).unwrap();
+            assert!(ds_lang::print_expr(last).contains("fbm3"));
+        });
+    }
+}

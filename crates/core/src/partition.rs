@@ -1,0 +1,132 @@
+//! Input partitions: which of a fragment's inputs are fixed and which vary.
+//!
+//! "Typically, the programmer statically partitions the input context into
+//! fixed and varying subparts" (paper §1). In this implementation a
+//! partition is simply the set of *varying* parameter names; every other
+//! parameter is fixed. The shading benchmarks build one partition per
+//! control parameter, exactly as §5 does ("one per control parameter").
+
+use ds_lang::Proc;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The varying subset of a procedure's parameters.
+///
+/// # Examples
+///
+/// ```
+/// use ds_core::InputPartition;
+/// let p = InputPartition::varying(["z1", "z2"]);
+/// assert!(p.is_varying("z1"));
+/// assert!(!p.is_varying("scale"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InputPartition {
+    varying: BTreeSet<String>,
+}
+
+impl InputPartition {
+    /// A partition in which the named parameters vary and all others are
+    /// fixed.
+    pub fn varying<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        InputPartition {
+            varying: names.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The degenerate partition in which every input is fixed: the loader
+    /// precomputes everything cacheable and the reader mostly reads slots.
+    pub fn all_fixed() -> Self {
+        InputPartition::default()
+    }
+
+    /// Whether parameter `name` varies.
+    pub fn is_varying(&self, name: &str) -> bool {
+        self.varying.contains(name)
+    }
+
+    /// The varying names, sorted.
+    pub fn varying_names(&self) -> impl Iterator<Item = &str> {
+        self.varying.iter().map(String::as_str)
+    }
+
+    /// Number of varying parameters.
+    pub fn varying_count(&self) -> usize {
+        self.varying.len()
+    }
+
+    /// The varying set as the `HashSet` the analyses consume.
+    pub fn as_set(&self) -> std::collections::HashSet<String> {
+        self.varying.iter().cloned().collect()
+    }
+
+    /// Checks that every varying name is a parameter of `proc`, returning
+    /// the first offender.
+    pub fn validate(&self, proc: &Proc) -> Result<(), String> {
+        for name in &self.varying {
+            if !proc.params.iter().any(|p| &p.name == name) {
+                return Err(name.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for InputPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.varying.is_empty() {
+            return f.write_str("{all fixed}");
+        }
+        write!(f, "{{vary: ")?;
+        for (i, n) in self.varying.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(n)?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_lang::parse_program;
+
+    #[test]
+    fn membership_and_counts() {
+        let p = InputPartition::varying(["a", "b", "a"]);
+        assert_eq!(p.varying_count(), 2);
+        assert!(p.is_varying("a"));
+        assert!(!p.is_varying("c"));
+        assert_eq!(p.varying_names().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn all_fixed_is_empty() {
+        let p = InputPartition::all_fixed();
+        assert_eq!(p.varying_count(), 0);
+        assert_eq!(p.to_string(), "{all fixed}");
+    }
+
+    #[test]
+    fn validate_against_proc() {
+        let prog = parse_program("float f(float x, float y) { return x + y; }").unwrap();
+        let proc = &prog.procs[0];
+        assert!(InputPartition::varying(["x"]).validate(proc).is_ok());
+        assert_eq!(
+            InputPartition::varying(["zeta"]).validate(proc),
+            Err("zeta".to_string())
+        );
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let p = InputPartition::varying(["z2", "z1"]);
+        assert_eq!(p.to_string(), "{vary: z1, z2}");
+    }
+}

@@ -1,0 +1,363 @@
+//! The splitting transformation (paper §3.3).
+//!
+//! "Once the caching analysis is complete, we traverse the annotated
+//! fragment and emit the cache loader and the cache reader" by case analysis
+//! on each term's label:
+//!
+//! * **static** — added to the loader only;
+//! * **cached** — added to the loader wrapped in a cache-slot assignment;
+//!   the reader receives a slot read in its place;
+//! * **dynamic** — added to both.
+//!
+//! The loader is "essentially an instrumented version of the original
+//! fragment" — it computes the full result *and* fills the cache, which is
+//! the paper's signature refinement (2): one pass both loads the cache and
+//! produces the first result. The reader is the original minus all static
+//! computation, with cached terms replaced by `CACHE[slot]` reads.
+
+use crate::layout::CacheLayout;
+use ds_analysis::{CacheSolver, Label};
+use ds_lang::{Block, Expr, ExprKind, Proc, Stmt, StmtKind, TermId, TypeInfo};
+use std::collections::{HashMap, HashSet};
+
+/// Splits `proc` into `(loader, reader)` according to `solver`'s labels and
+/// the slot assignment in `layout`.
+///
+/// The loader keeps `proc`'s statement structure with every cached
+/// expression wrapped in a `CacheStore`; the reader drops static statements
+/// and replaces cached expressions with `CacheRef`s.
+///
+/// # Panics
+///
+/// Panics (via `debug_assert!`/`unreachable!`) if the labeling violates the
+/// consistency constraints — e.g. a static expression consumed by the
+/// reader. A solved [`CacheSolver`] never produces such labelings.
+pub fn split(
+    proc: &Proc,
+    solver: &CacheSolver<'_, '_>,
+    layout: &CacheLayout,
+    types: &TypeInfo,
+    hoists: &HashMap<TermId, TermId>,
+) -> (Proc, Proc) {
+    let slot_of: HashMap<TermId, (ds_lang::SlotId, ds_lang::Type)> = layout
+        .slots()
+        .iter()
+        .map(|s| (s.term, (s.id, s.ty)))
+        .collect();
+    // Invert the hoist map: anchor statement -> slots to fill just before
+    // it (in slot order, for determinism).
+    let mut hoisted_before: HashMap<TermId, Vec<TermId>> = HashMap::new();
+    for (&term, &anchor) in hoists {
+        hoisted_before.entry(anchor).or_default().push(term);
+    }
+    for v in hoisted_before.values_mut() {
+        v.sort_unstable();
+    }
+    let cx = Split {
+        solver,
+        slot_of,
+        hoists,
+        hoisted_before,
+        ix_exprs: index_exprs(proc),
+    };
+
+    let loader = Proc {
+        name: format!("{}__loader", proc.name),
+        params: proc.params.clone(),
+        ret: proc.ret,
+        body: cx.loader_block(&proc.body),
+        span: proc.span,
+    };
+    let mut reader = Proc {
+        name: format!("{}__reader", proc.name),
+        params: proc.params.clone(),
+        ret: proc.ret,
+        body: cx.reader_block(&proc.body),
+        span: proc.span,
+    };
+    declare_on_first_write(&mut reader, &proc.name, types);
+    (loader, reader)
+}
+
+/// The reader drops static declarations, so a surviving dynamic assignment
+/// may target a variable with no declaration left (the paper's Figure 6
+/// reader begins `x = cache->slot1`). Convert the first write of each such
+/// variable into a declaration. Rule 4 guarantees every *use* still sees
+/// all of its reaching definitions, so definite initialization is
+/// preserved.
+fn declare_on_first_write(reader: &mut Proc, fragment_name: &str, types: &TypeInfo) {
+    let mut declared: HashSet<String> =
+        reader.params.iter().map(|p| p.name.clone()).collect();
+    fn go(
+        block: &mut Block,
+        declared: &mut HashSet<String>,
+        fragment_name: &str,
+        types: &TypeInfo,
+    ) {
+        for s in &mut block.stmts {
+            match &mut s.kind {
+                StmtKind::Decl { name, .. } => {
+                    declared.insert(name.clone());
+                }
+                StmtKind::Assign { name, value, .. } => {
+                    if !declared.contains(name.as_str()) {
+                        let ty = types
+                            .var_type(fragment_name, name)
+                            .expect("reader variable exists in the fragment");
+                        declared.insert(name.clone());
+                        let name = name.clone();
+                        let init = std::mem::replace(value, Expr::synth(ExprKind::BoolLit(false)));
+                        s.kind = StmtKind::Decl { name, ty, init };
+                    }
+                }
+                StmtKind::If {
+                    then_blk, else_blk, ..
+                } => {
+                    go(then_blk, declared, fragment_name, types);
+                    go(else_blk, declared, fragment_name, types);
+                }
+                StmtKind::While { body, .. } => go(body, declared, fragment_name, types),
+                StmtKind::Return(_) | StmtKind::ExprStmt(_) => {}
+            }
+        }
+    }
+    go(&mut reader.body, &mut declared, fragment_name, types);
+}
+
+struct Split<'s, 'a, 'p> {
+    solver: &'s CacheSolver<'a, 'p>,
+    slot_of: HashMap<TermId, (ds_lang::SlotId, ds_lang::Type)>,
+    /// Speculatively cached term -> its hoist anchor statement (§7.1).
+    hoists: &'s HashMap<TermId, TermId>,
+    /// Anchor statement -> speculative terms stored just before it.
+    hoisted_before: HashMap<TermId, Vec<TermId>>,
+    /// Expression lookup for building hoisted stores.
+    ix_exprs: HashMap<TermId, Expr>,
+}
+
+/// Clones every expression of `proc` into an id-indexed map (hoisted
+/// stores need the original subtree at a different program point).
+fn index_exprs(proc: &Proc) -> HashMap<TermId, Expr> {
+    let mut m = HashMap::new();
+    proc.walk_exprs(&mut |e| {
+        m.insert(e.id, e.clone());
+    });
+    m
+}
+
+impl<'s, 'a, 'p> Split<'s, 'a, 'p> {
+    fn label(&self, id: TermId) -> Label {
+        self.solver.label(id)
+    }
+
+    // ----- loader: everything, with CacheStore at cached terms -----
+
+    fn loader_block(&self, b: &Block) -> Block {
+        let mut stmts = Vec::with_capacity(b.stmts.len());
+        for s in &b.stmts {
+            // §7.1 speculation: fill hoisted slots unconditionally just
+            // before the dependent guard that would otherwise gate them.
+            if let Some(terms) = self.hoisted_before.get(&s.id) {
+                for &t in terms {
+                    let (slot, _) = self.slot_of[&t];
+                    let expr = self.ix_exprs[&t].clone();
+                    stmts.push(Stmt::synth(StmtKind::ExprStmt(Expr::synth(
+                        ExprKind::CacheStore(slot, Box::new(expr)),
+                    ))));
+                }
+            }
+            stmts.push(self.loader_stmt(s));
+        }
+        Block { stmts }
+    }
+
+    fn loader_stmt(&self, s: &Stmt) -> Stmt {
+        let kind = match &s.kind {
+            StmtKind::Decl { name, ty, init } => StmtKind::Decl {
+                name: name.clone(),
+                ty: *ty,
+                init: self.loader_expr(init),
+            },
+            StmtKind::Assign {
+                name,
+                value,
+                is_phi,
+            } => StmtKind::Assign {
+                name: name.clone(),
+                value: self.loader_expr(value),
+                is_phi: *is_phi,
+            },
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => StmtKind::If {
+                cond: self.loader_expr(cond),
+                then_blk: self.loader_block(then_blk),
+                else_blk: self.loader_block(else_blk),
+            },
+            StmtKind::While { cond, body } => StmtKind::While {
+                cond: self.loader_expr(cond),
+                body: self.loader_block(body),
+            },
+            StmtKind::Return(v) => StmtKind::Return(v.as_ref().map(|e| self.loader_expr(e))),
+            StmtKind::ExprStmt(e) => StmtKind::ExprStmt(self.loader_expr(e)),
+        };
+        Stmt {
+            id: s.id,
+            kind,
+            span: s.span,
+        }
+    }
+
+    fn loader_expr(&self, e: &Expr) -> Expr {
+        if self.label(e.id) == Label::Cached {
+            let (slot, ty) = *self
+                .slot_of
+                .get(&e.id)
+                .expect("cached term has a slot in the layout");
+            if self.hoists.contains_key(&e.id) {
+                // The hoisted store already filled the slot; reuse it here.
+                return Expr {
+                    id: e.id,
+                    kind: ExprKind::CacheRef(slot, ty),
+                    span: e.span,
+                };
+            }
+            // All subterms of a cached term are static (they are never value
+            // operands of a dynamic term), so the subtree is kept verbatim.
+            debug_assert!(
+                e.children().iter().all(|c| self.label(c.id) == Label::Static),
+                "cached term {} has a non-static subterm",
+                e.id
+            );
+            return Expr::synth(ExprKind::CacheStore(slot, Box::new(e.clone())));
+        }
+        // Static and dynamic expressions keep their own node; children may
+        // still be cached (for dynamic parents).
+        let kind = match &e.kind {
+            ExprKind::Unary(op, a) => ExprKind::Unary(*op, Box::new(self.loader_expr(a))),
+            ExprKind::Binary(op, l, r) => ExprKind::Binary(
+                *op,
+                Box::new(self.loader_expr(l)),
+                Box::new(self.loader_expr(r)),
+            ),
+            ExprKind::Cond(c, t, f) => ExprKind::Cond(
+                Box::new(self.loader_expr(c)),
+                Box::new(self.loader_expr(t)),
+                Box::new(self.loader_expr(f)),
+            ),
+            ExprKind::Call(name, args) => ExprKind::Call(
+                name.clone(),
+                args.iter().map(|a| self.loader_expr(a)).collect(),
+            ),
+            other => other.clone(),
+        };
+        Expr {
+            id: e.id,
+            kind,
+            span: e.span,
+        }
+    }
+
+    // ----- reader: dynamic statements only, CacheRef at cached terms -----
+
+    fn reader_block(&self, b: &Block) -> Block {
+        Block {
+            stmts: b
+                .stmts
+                .iter()
+                .filter_map(|s| match self.label(s.id) {
+                    Label::Static => None,
+                    Label::Dynamic => Some(self.reader_stmt(s)),
+                    Label::Cached => unreachable!("statements are never labeled cached"),
+                })
+                .collect(),
+        }
+    }
+
+    fn reader_stmt(&self, s: &Stmt) -> Stmt {
+        let kind = match &s.kind {
+            StmtKind::Decl { name, ty, init } => StmtKind::Decl {
+                name: name.clone(),
+                ty: *ty,
+                init: self.reader_expr(init),
+            },
+            StmtKind::Assign {
+                name,
+                value,
+                is_phi,
+            } => StmtKind::Assign {
+                name: name.clone(),
+                value: self.reader_expr(value),
+                is_phi: *is_phi,
+            },
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => StmtKind::If {
+                cond: self.reader_expr(cond),
+                then_blk: self.reader_block(then_blk),
+                else_blk: self.reader_block(else_blk),
+            },
+            StmtKind::While { cond, body } => StmtKind::While {
+                cond: self.reader_expr(cond),
+                body: self.reader_block(body),
+            },
+            StmtKind::Return(v) => StmtKind::Return(v.as_ref().map(|e| self.reader_expr(e))),
+            StmtKind::ExprStmt(e) => StmtKind::ExprStmt(self.reader_expr(e)),
+        };
+        Stmt {
+            id: s.id,
+            kind,
+            span: s.span,
+        }
+    }
+
+    fn reader_expr(&self, e: &Expr) -> Expr {
+        match self.label(e.id) {
+            Label::Cached => {
+                let (slot, ty) = *self
+                    .slot_of
+                    .get(&e.id)
+                    .expect("cached term has a slot in the layout");
+                Expr {
+                    id: e.id,
+                    kind: ExprKind::CacheRef(slot, ty),
+                    span: e.span,
+                }
+            }
+            Label::Dynamic => {
+                let kind = match &e.kind {
+                    ExprKind::Unary(op, a) => ExprKind::Unary(*op, Box::new(self.reader_expr(a))),
+                    ExprKind::Binary(op, l, r) => ExprKind::Binary(
+                        *op,
+                        Box::new(self.reader_expr(l)),
+                        Box::new(self.reader_expr(r)),
+                    ),
+                    ExprKind::Cond(c, t, f) => ExprKind::Cond(
+                        Box::new(self.reader_expr(c)),
+                        Box::new(self.reader_expr(t)),
+                        Box::new(self.reader_expr(f)),
+                    ),
+                    ExprKind::Call(name, args) => ExprKind::Call(
+                        name.clone(),
+                        args.iter().map(|a| self.reader_expr(a)).collect(),
+                    ),
+                    other => other.clone(),
+                };
+                Expr {
+                    id: e.id,
+                    kind,
+                    span: e.span,
+                }
+            }
+            Label::Static => unreachable!(
+                "static expression {} consumed by the reader (Rules 6/7 guarantee operands \
+                 of dynamic terms are cached or dynamic)",
+                e.id
+            ),
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Splitting and limiting edge cases: loops in readers, cached terms under
+//! independent guards, empty readers, bool slots, and eviction cascades.
+
+use ds_core::{specialize_source, InputPartition, SpecializeOptions};
+use ds_interp::{CacheBuf, Evaluator, Value};
+use ds_lang::print_proc;
+
+fn spec(src: &str, entry: &str, varying: &[&str]) -> ds_core::Specialization {
+    specialize_source(
+        src,
+        entry,
+        &InputPartition::varying(varying.iter().copied()),
+        &SpecializeOptions::new(),
+    )
+    .expect("specialize")
+}
+
+#[test]
+fn cached_term_under_independent_guard_fills_conditionally() {
+    // The guard is fixed: loader and reader agree on whether the slot is
+    // needed, for both guard outcomes.
+    let src = "float f(float k, float g, float v) {
+                   float r = v;
+                   if (g > 0.0) { r = r + fbm3(k, k, k, 4) * v; }
+                   return r;
+               }";
+    let s = spec(src, "f", &["v"]);
+    assert_eq!(s.slot_count(), 1);
+    let prog = s.as_program();
+    let ev = Evaluator::new(&prog);
+    for g in [1.0, -1.0] {
+        let mut cache = CacheBuf::new(s.slot_count());
+        let args = |v: f64| [Value::Float(2.0), Value::Float(g), Value::Float(v)];
+        let load = ev.run_with_cache("f__loader", &args(1.0), &mut cache).unwrap();
+        // Slot filled iff the guard passed.
+        assert_eq!(cache.filled(), usize::from(g > 0.0));
+        let orig = ev.run("f", &args(3.0)).unwrap();
+        let read = ev.run_with_cache("f__reader", &args(3.0), &mut cache).unwrap();
+        assert_eq!(orig.value, read.value, "g={g}");
+        let _ = load;
+    }
+}
+
+#[test]
+fn reader_keeps_loops_the_paper_cannot_unroll() {
+    // "it cannot eliminate branches or unroll loops" — a dependent-bound
+    // loop survives in the reader verbatim.
+    let src = "float f(float k, int n) {
+                   float acc = sin(k);
+                   int i = 0;
+                   while (i < n) { acc = acc * 0.9 + 0.1; i = i + 1; }
+                   return acc;
+               }";
+    let s = spec(src, "f", &["n"]);
+    let reader = print_proc(&s.reader);
+    assert!(reader.contains("while (i < n)"), "{reader}");
+    // sin(k) is cached; the loop body is not.
+    assert_eq!(s.slot_count(), 1);
+    assert_eq!(s.layout.slots()[0].source, "sin(k)");
+}
+
+#[test]
+fn bool_slots_have_one_byte_width() {
+    // A nontrivial independent *boolean* gets a 1-byte slot.
+    let src = "float f(float a, float b, float c, float v) {
+                   bool inside = a * a + b * b + c * c < 1.0 && a + b > c * 2.0;
+                   float r = inside ? v * 2.0 : v;
+                   return r;
+               }";
+    let s = spec(src, "f", &["v"]);
+    let bool_slots: Vec<_> = s
+        .layout
+        .slots()
+        .iter()
+        .filter(|slot| slot.ty == ds_lang::Type::Bool)
+        .collect();
+    assert!(!bool_slots.is_empty(), "expected a bool slot: {}", s.layout);
+    assert!(bool_slots.iter().all(|slot| slot.width == 1));
+
+    let prog = s.as_program();
+    let ev = Evaluator::new(&prog);
+    let args = |v: f64| {
+        [0.5, 0.4, 0.3, v].iter().map(|&x| Value::Float(x)).collect::<Vec<_>>()
+    };
+    let mut cache = CacheBuf::new(s.slot_count());
+    ev.run_with_cache("f__loader", &args(1.0), &mut cache).unwrap();
+    let orig = ev.run("f", &args(5.0)).unwrap();
+    let read = ev.run_with_cache("f__reader", &args(5.0), &mut cache).unwrap();
+    assert_eq!(orig.value, read.value);
+}
+
+#[test]
+fn all_static_body_leaves_minimal_reader() {
+    // Only the return is dynamic; everything else lives in the loader.
+    let src = "float f(float a, float b) {
+                   float t1 = sin(a) * cos(b);
+                   float t2 = t1 * t1 + sqrt(abs(t1));
+                   return t2;
+               }";
+    let s = spec(src, "f", &[]);
+    let reader = print_proc(&s.reader);
+    // Reader: declarations collapsed; just reads the cached result.
+    assert!(
+        s.stats.reader_nodes < s.stats.fragment_nodes / 2,
+        "reader {} vs fragment {}\n{reader}",
+        s.stats.reader_nodes,
+        s.stats.fragment_nodes
+    );
+}
+
+#[test]
+fn eviction_cascade_terminates_and_stays_sound() {
+    // A chain t1 -> t2 -> t3 of cacheable terms: evicting the outermost
+    // re-caches inner ones, which must then be evicted too at bound 0.
+    let src = "float f(float k, float v) {
+                   float t1 = sin(k);
+                   float t2 = t1 * t1 + cos(k);
+                   float t3 = t2 * t2 + sqrt(abs(t2));
+                   return t3 * v;
+               }";
+    let bounded = specialize_source(
+        src,
+        "f",
+        &InputPartition::varying(["v"]),
+        &SpecializeOptions::new().with_cache_bound(0),
+    )
+    .expect("specialize");
+    assert_eq!(bounded.slot_count(), 0);
+    assert!(!bounded.stats.evictions.is_empty());
+    let prog = bounded.as_program();
+    let ev = Evaluator::new(&prog);
+    let args = [Value::Float(0.8), Value::Float(2.0)];
+    let mut cache = CacheBuf::new(0);
+    ev.run_with_cache("f__loader", &args, &mut cache).unwrap();
+    let orig = ev.run("f", &args).unwrap();
+    let read = ev.run_with_cache("f__reader", &args, &mut cache).unwrap();
+    assert_eq!(orig.value, read.value);
+    // With nothing cached, the reader costs as much as the original.
+    assert_eq!(read.cost, orig.cost);
+}
+
+#[test]
+fn intermediate_bounds_walk_down_monotonically_in_slots() {
+    let src = "float f(float k, float v) {
+                   float a = sin(k);
+                   float b = cos(k) * 2.0;
+                   float c = fbm3(k, k, k, 4);
+                   return (a + b + c) * v;
+               }";
+    let mut last_slots = usize::MAX;
+    for bound in [12u32, 8, 4, 0] {
+        let s = specialize_source(
+            src,
+            "f",
+            &InputPartition::varying(["v"]),
+            &SpecializeOptions::new().with_cache_bound(bound),
+        )
+        .expect("specialize");
+        assert!(s.cache_bytes() <= bound);
+        assert!(
+            s.slot_count() <= last_slots,
+            "slots must not grow as the bound shrinks"
+        );
+        last_slots = s.slot_count();
+    }
+}
+
+#[test]
+fn phi_slots_only_for_joins_with_dynamic_consumers() {
+    // x's join feeds a dynamic consumer (slot); y's join is consumed only
+    // statically (no slot).
+    let src = "float f(bool p, float a, float v) {
+                   float x = sin(a);
+                   float y = cos(a);
+                   if (p) { x = x * 2.0; y = y * 2.0; }
+                   float z = y * y + sqrt(abs(y));
+                   return x * v + z;
+               }";
+    let s = spec(src, "f", &["v"]);
+    let sources: Vec<&str> = s.layout.slots().iter().map(|sl| sl.source.as_str()).collect();
+    // x's phi is cached; z (containing y's chain) is cached as a whole;
+    // y itself must not own a slot.
+    assert!(sources.contains(&"x"), "{sources:?}");
+    assert!(!sources.contains(&"y"), "{sources:?}");
+}
+
+#[test]
+fn loader_and_reader_param_lists_match_fragment() {
+    let s = spec(
+        "float f(float a, int b, bool c, float v) {
+             float r = c ? a * itof(b) : a;
+             return r * v;
+         }",
+        "f",
+        &["v"],
+    );
+    assert_eq!(s.loader.params, s.fragment.params);
+    assert_eq!(s.reader.params, s.fragment.params);
+    assert_eq!(s.loader.ret, s.fragment.ret);
+}
+
+#[test]
+fn frontend_and_inline_errors_propagate() {
+    use ds_core::SpecError;
+    // Type error in the input program.
+    let err = specialize_source(
+        "float f(float x) { return x + 1; }", // int/float mismatch
+        "f",
+        &InputPartition::all_fixed(),
+        &SpecializeOptions::new(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, SpecError::Frontend(_)), "{err}");
+
+    // Parse error.
+    let err = specialize_source(
+        "float f(float x) { return ; }",
+        "f",
+        &InputPartition::all_fixed(),
+        &SpecializeOptions::new(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, SpecError::Frontend(_)), "{err}");
+
+    // Inline restriction: early-return callee.
+    let err = specialize_source(
+        "float early(float x) { if (x > 0.0) { return 1.0; } return 0.0; }
+         float f(float x) { return early(x); }",
+        "f",
+        &InputPartition::all_fixed(),
+        &SpecializeOptions::new(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, SpecError::Inline(_)), "{err}");
+}
+
+#[test]
+fn void_fragments_specialize() {
+    // A void fragment (effects only): the reader must replay the effects.
+    let src = "void f(float k, float v) {
+                   float expensive = fbm3(k, k, k, 4);
+                   if (v > expensive) { trace(v); }
+                   return;
+               }";
+    let s = spec(src, "f", &["v"]);
+    let prog = s.as_program();
+    let ev = Evaluator::new(&prog);
+    let mut cache = CacheBuf::new(s.slot_count());
+    let args = |v: f64| [Value::Float(0.4), Value::Float(v)];
+    let load = ev.run_with_cache("f__loader", &args(9.0), &mut cache).unwrap();
+    assert_eq!(load.value, None);
+    for v in [-5.0, 9.0] {
+        let orig = ev.run("f", &args(v)).unwrap();
+        let read = ev.run_with_cache("f__reader", &args(v), &mut cache).unwrap();
+        assert_eq!(orig.trace, read.trace, "v={v}");
+        assert_eq!(read.value, None);
+    }
+    // The fbm3 threshold is cached even though the fragment returns nothing.
+    assert_eq!(s.slot_count(), 1);
+}
+
+#[test]
+fn speculation_with_cache_bound_interacts_soundly() {
+    let src = "float f(float k, float v) {
+                   float r = 0.0;
+                   if (v > 0.0) { r = fbm3(k, k, k, 6) + sin(k) * cos(k); }
+                   return r;
+               }";
+    for bound in [0u32, 4, 8] {
+        let s = specialize_source(
+            src,
+            "f",
+            &InputPartition::varying(["v"]),
+            &SpecializeOptions::new().with_speculation().with_cache_bound(bound),
+        )
+        .expect("specialize");
+        assert!(s.cache_bytes() <= bound);
+        let prog = s.as_program();
+        let ev = Evaluator::new(&prog);
+        let mut cache = CacheBuf::new(s.slot_count());
+        let args = |v: f64| [Value::Float(1.1), Value::Float(v)];
+        ev.run_with_cache("f__loader", &args(-1.0), &mut cache).unwrap();
+        for v in [-2.0, 0.5, 3.0] {
+            let orig = ev.run("f", &args(v)).unwrap();
+            let read = ev.run_with_cache("f__reader", &args(v), &mut cache).unwrap();
+            assert_eq!(orig.value, read.value, "bound={bound} v={v}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The runtime cache: the data structure through which a loader and reader
+//! communicate.
+//!
+//! A [`CacheBuf`] is "a cache of specialized data values" (paper §1): one
+//! slot per cached term in the specialization's layout. The loader fills
+//! slots via `CacheStore` expressions; the reader reads them via `CacheRef`.
+//! Reading a never-filled slot is an error — in a correct specialization a
+//! reader can only reach a `CacheRef` whose store the loader also reached,
+//! so this check catches splitting bugs in tests.
+
+use crate::value::Value;
+
+/// A fixed-size buffer of cache slots, initially all empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheBuf {
+    slots: Vec<Option<Value>>,
+}
+
+impl CacheBuf {
+    /// Creates a buffer with `n` empty slots.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ds_interp::CacheBuf;
+    /// let buf = CacheBuf::new(3);
+    /// assert_eq!(buf.len(), 3);
+    /// assert_eq!(buf.filled(), 0);
+    /// ```
+    pub fn new(n: usize) -> CacheBuf {
+        CacheBuf {
+            slots: vec![None; n],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the buffer has no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of slots the loader actually filled.
+    pub fn filled(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Reads slot `i`, or `None` if it was never filled.
+    pub fn get(&self, i: usize) -> Option<Value> {
+        self.slots.get(i).copied().flatten()
+    }
+
+    /// Fills slot `i` with `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds (the layout and buffer were created
+    /// from the same specialization, so this indicates a harness bug).
+    pub fn set(&mut self, i: usize, v: Value) {
+        self.slots[i] = Some(v);
+    }
+
+    /// Empties every slot, for reuse across pixels.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_read() {
+        let mut buf = CacheBuf::new(2);
+        assert_eq!(buf.get(0), None);
+        buf.set(0, Value::Float(3.5));
+        assert_eq!(buf.get(0), Some(Value::Float(3.5)));
+        assert_eq!(buf.get(1), None);
+        assert_eq!(buf.filled(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut buf = CacheBuf::new(1);
+        buf.set(0, Value::Int(1));
+        buf.clear();
+        assert_eq!(buf.filled(), 0);
+    }
+
+    #[test]
+    fn out_of_range_get_is_none() {
+        let buf = CacheBuf::new(1);
+        assert_eq!(buf.get(5), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_set_panics() {
+        let mut buf = CacheBuf::new(1);
+        buf.set(5, Value::Int(1));
+    }
+}

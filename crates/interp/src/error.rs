@@ -1,0 +1,85 @@
+//! Runtime errors of the MiniC evaluator.
+
+use ds_lang::{Span, Type};
+use std::error::Error;
+use std::fmt;
+
+/// A runtime failure while evaluating a MiniC procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The named procedure does not exist.
+    UnknownProc(String),
+    /// Wrong number or types of arguments for the entry procedure.
+    BadArguments {
+        /// The procedure being invoked.
+        proc: String,
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero(Span),
+    /// Control fell off the end of a non-void procedure (only possible for
+    /// hand-built ASTs that bypass the type checker).
+    MissingReturn(String),
+    /// A `CacheRef` read a slot the loader never filled — a specializer bug.
+    UnfilledSlot {
+        /// The slot index read.
+        slot: usize,
+        /// Where the read occurred.
+        span: Span,
+    },
+    /// A `CacheRef`/`CacheStore` was evaluated with no cache attached.
+    NoCache(Span),
+    /// The step limit was exhausted (runaway loop).
+    StepLimit,
+    /// A value of the wrong type reached an operation (only possible for
+    /// hand-built ASTs that bypass the type checker).
+    TypeMismatch {
+        /// What the operation expected.
+        expected: Type,
+        /// Where it happened.
+        span: Span,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownProc(name) => write!(f, "unknown procedure `{name}`"),
+            EvalError::BadArguments { proc, detail } => {
+                write!(f, "bad arguments for `{proc}`: {detail}")
+            }
+            EvalError::DivideByZero(span) => write!(f, "integer division by zero at {span}"),
+            EvalError::MissingReturn(proc) => {
+                write!(f, "procedure `{proc}` fell off the end without returning")
+            }
+            EvalError::UnfilledSlot { slot, span } => {
+                write!(f, "read of unfilled cache slot {slot} at {span}")
+            }
+            EvalError::NoCache(span) => {
+                write!(f, "cache operation at {span} but no cache attached")
+            }
+            EvalError::StepLimit => write!(f, "step limit exhausted"),
+            EvalError::TypeMismatch { expected, span } => {
+                write!(f, "runtime type mismatch at {span}, expected `{expected}`")
+            }
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_specifics() {
+        let e = EvalError::UnfilledSlot {
+            slot: 3,
+            span: Span::new(1, 2),
+        };
+        assert!(e.to_string().contains("slot 3"));
+        assert!(EvalError::UnknownProc("f".into()).to_string().contains("`f`"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Deterministic gradient ("Perlin") noise, fractal Brownian motion and
+//! turbulence — the expensive primitives of the shading math library.
+//!
+//! The paper's shaders 3–5 "invoke expensive fractal noise functions"; when
+//! the varying control parameter does not feed the noise inputs the noise
+//! values can be cached, which is where the 100× speedups of Figure 7 come
+//! from. These implementations use Ken Perlin's classic permutation-table
+//! construction with a fixed table, so results are identical across runs and
+//! platforms.
+
+/// Ken Perlin's reference permutation table (256 entries, duplicated at
+/// runtime for wrap-free indexing).
+const PERM_BASE: [u8; 256] = [
+    151, 160, 137, 91, 90, 15, 131, 13, 201, 95, 96, 53, 194, 233, 7, 225, 140, 36, 103, 30, 69,
+    142, 8, 99, 37, 240, 21, 10, 23, 190, 6, 148, 247, 120, 234, 75, 0, 26, 197, 62, 94, 252, 219,
+    203, 117, 35, 11, 32, 57, 177, 33, 88, 237, 149, 56, 87, 174, 20, 125, 136, 171, 168, 68, 175,
+    74, 165, 71, 134, 139, 48, 27, 166, 77, 146, 158, 231, 83, 111, 229, 122, 60, 211, 133, 230,
+    220, 105, 92, 41, 55, 46, 245, 40, 244, 102, 143, 54, 65, 25, 63, 161, 1, 216, 80, 73, 209,
+    76, 132, 187, 208, 89, 18, 169, 200, 196, 135, 130, 116, 188, 159, 86, 164, 100, 109, 198,
+    173, 186, 3, 64, 52, 217, 226, 250, 124, 123, 5, 202, 38, 147, 118, 126, 255, 82, 85, 212,
+    207, 206, 59, 227, 47, 16, 58, 17, 182, 189, 28, 42, 223, 183, 170, 213, 119, 248, 152, 2, 44,
+    154, 163, 70, 221, 153, 101, 155, 167, 43, 172, 9, 129, 22, 39, 253, 19, 98, 108, 110, 79,
+    113, 224, 232, 178, 185, 112, 104, 218, 246, 97, 228, 251, 34, 242, 193, 238, 210, 144, 12,
+    191, 179, 162, 241, 81, 51, 145, 235, 249, 14, 239, 107, 49, 192, 214, 31, 181, 199, 106, 157,
+    184, 84, 204, 176, 115, 121, 50, 45, 127, 4, 150, 254, 138, 236, 205, 93, 222, 114, 67, 29,
+    24, 72, 243, 141, 128, 195, 78, 66, 215, 61, 156, 180,
+];
+
+fn perm(i: usize) -> usize {
+    PERM_BASE[i & 255] as usize
+}
+
+fn fade(t: f64) -> f64 {
+    // 6t^5 - 15t^4 + 10t^3, Perlin's quintic smoother.
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+fn grad1(hash: usize, x: f64) -> f64 {
+    if hash & 1 == 0 {
+        x
+    } else {
+        -x
+    }
+}
+
+fn grad2(hash: usize, x: f64, y: f64) -> f64 {
+    // 8 gradient directions.
+    match hash & 7 {
+        0 => x + y,
+        1 => x - y,
+        2 => -x + y,
+        3 => -x - y,
+        4 => x,
+        5 => -x,
+        6 => y,
+        _ => -y,
+    }
+}
+
+fn grad3(hash: usize, x: f64, y: f64, z: f64) -> f64 {
+    // Perlin's 12 gradient directions folded into 16 cases.
+    let h = hash & 15;
+    let u = if h < 8 { x } else { y };
+    let v = if h < 4 {
+        y
+    } else if h == 12 || h == 14 {
+        x
+    } else {
+        z
+    };
+    (if h & 1 == 0 { u } else { -u }) + (if h & 2 == 0 { v } else { -v })
+}
+
+/// 1-D gradient noise, approximately in `[-1, 1]`, zero at integers.
+///
+/// ```
+/// let v = ds_interp::noise::noise1(0.5);
+/// assert!(v.abs() <= 1.0);
+/// assert_eq!(ds_interp::noise::noise1(3.0), 0.0);
+/// ```
+pub fn noise1(x: f64) -> f64 {
+    let xf = x.floor();
+    let xi = (xf as i64 & 255) as usize;
+    let dx = x - xf;
+    let u = fade(dx);
+    lerp(grad1(perm(xi), dx), grad1(perm(xi + 1), dx - 1.0), u)
+}
+
+/// 2-D gradient noise, approximately in `[-1, 1]`.
+pub fn noise2(x: f64, y: f64) -> f64 {
+    let xf = x.floor();
+    let yf = y.floor();
+    let xi = (xf as i64 & 255) as usize;
+    let yi = (yf as i64 & 255) as usize;
+    let dx = x - xf;
+    let dy = y - yf;
+    let u = fade(dx);
+    let v = fade(dy);
+    let aa = perm(perm(xi) + yi);
+    let ab = perm(perm(xi) + yi + 1);
+    let ba = perm(perm(xi + 1) + yi);
+    let bb = perm(perm(xi + 1) + yi + 1);
+    lerp(
+        lerp(grad2(aa, dx, dy), grad2(ba, dx - 1.0, dy), u),
+        lerp(grad2(ab, dx, dy - 1.0), grad2(bb, dx - 1.0, dy - 1.0), u),
+        v,
+    )
+}
+
+/// 3-D gradient noise, approximately in `[-1, 1]`.
+pub fn noise3(x: f64, y: f64, z: f64) -> f64 {
+    let xf = x.floor();
+    let yf = y.floor();
+    let zf = z.floor();
+    let xi = (xf as i64 & 255) as usize;
+    let yi = (yf as i64 & 255) as usize;
+    let zi = (zf as i64 & 255) as usize;
+    let dx = x - xf;
+    let dy = y - yf;
+    let dz = z - zf;
+    let u = fade(dx);
+    let v = fade(dy);
+    let w = fade(dz);
+    let a = perm(xi) + yi;
+    let aa = perm(a) + zi;
+    let ab = perm(a + 1) + zi;
+    let b = perm(xi + 1) + yi;
+    let ba = perm(b) + zi;
+    let bb = perm(b + 1) + zi;
+    lerp(
+        lerp(
+            lerp(grad3(perm(aa), dx, dy, dz), grad3(perm(ba), dx - 1.0, dy, dz), u),
+            lerp(
+                grad3(perm(ab), dx, dy - 1.0, dz),
+                grad3(perm(bb), dx - 1.0, dy - 1.0, dz),
+                u,
+            ),
+            v,
+        ),
+        lerp(
+            lerp(
+                grad3(perm(aa + 1), dx, dy, dz - 1.0),
+                grad3(perm(ba + 1), dx - 1.0, dy, dz - 1.0),
+                u,
+            ),
+            lerp(
+                grad3(perm(ab + 1), dx, dy - 1.0, dz - 1.0),
+                grad3(perm(bb + 1), dx - 1.0, dy - 1.0, dz - 1.0),
+                u,
+            ),
+            v,
+        ),
+        w,
+    )
+}
+
+/// Fractal Brownian motion: `octaves` octaves of [`noise3`], halving
+/// amplitude and doubling frequency each octave. Octave counts are clamped
+/// to `[1, 16]`.
+pub fn fbm3(x: f64, y: f64, z: f64, octaves: i64) -> f64 {
+    let octaves = octaves.clamp(1, 16);
+    let mut sum = 0.0;
+    let mut amp = 1.0;
+    let mut freq = 1.0;
+    for _ in 0..octaves {
+        sum += amp * noise3(x * freq, y * freq, z * freq);
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    sum
+}
+
+/// Turbulence: like [`fbm3`] but summing `|noise|`, giving the billowy
+/// look used by marble and flame shaders.
+pub fn turb3(x: f64, y: f64, z: f64, octaves: i64) -> f64 {
+    let octaves = octaves.clamp(1, 16);
+    let mut sum = 0.0;
+    let mut amp = 1.0;
+    let mut freq = 1.0;
+    for _ in 0..octaves {
+        sum += amp * noise3(x * freq, y * freq, z * freq).abs();
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        assert_eq!(noise3(0.3, 1.7, -2.2), noise3(0.3, 1.7, -2.2));
+        assert_eq!(noise2(5.1, 9.9), noise2(5.1, 9.9));
+        assert_eq!(noise1(0.123), noise1(0.123));
+    }
+
+    #[test]
+    fn noise_vanishes_on_lattice() {
+        for i in -3..4 {
+            assert_eq!(noise1(i as f64), 0.0);
+            assert_eq!(noise2(i as f64, (i + 1) as f64), 0.0);
+            assert_eq!(noise3(i as f64, (i * 2) as f64, (i - 1) as f64), 0.0);
+        }
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        let mut max_abs: f64 = 0.0;
+        for i in 0..2000 {
+            let t = i as f64 * 0.137;
+            max_abs = max_abs.max(noise3(t, t * 0.7 + 3.1, t * 1.3 - 8.0).abs());
+            max_abs = max_abs.max(noise2(t, t * 0.9).abs());
+            max_abs = max_abs.max(noise1(t).abs());
+        }
+        assert!(max_abs <= 2.0, "noise escaped bound: {max_abs}");
+        assert!(max_abs > 0.1, "noise suspiciously flat: {max_abs}");
+    }
+
+    #[test]
+    fn noise_is_not_constant() {
+        assert_ne!(noise3(0.5, 0.5, 0.5), noise3(0.6, 0.5, 0.5));
+    }
+
+    #[test]
+    fn fbm_converges_and_clamps_octaves() {
+        let base = fbm3(0.4, 0.8, 1.6, 1);
+        assert_eq!(base, noise3(0.4, 0.8, 1.6));
+        // More octaves add detail but the sum stays bounded by 2.0 * max.
+        let many = fbm3(0.4, 0.8, 1.6, 16);
+        assert!(many.abs() <= 4.0);
+        // Octave counts outside [1,16] clamp instead of misbehaving.
+        assert_eq!(fbm3(0.4, 0.8, 1.6, -5), fbm3(0.4, 0.8, 1.6, 1));
+        assert_eq!(fbm3(0.4, 0.8, 1.6, 99), fbm3(0.4, 0.8, 1.6, 16));
+    }
+
+    #[test]
+    fn turbulence_is_nonnegative() {
+        for i in 0..200 {
+            let t = i as f64 * 0.21;
+            assert!(turb3(t, 1.3 - t, t * 0.5, 4) >= 0.0);
+        }
+    }
+}

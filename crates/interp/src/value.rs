@@ -1,0 +1,132 @@
+//! Runtime values of MiniC programs.
+
+use ds_lang::Type;
+use std::fmt;
+
+/// A runtime value: one of MiniC's three scalar types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// The MiniC type of this value.
+    pub fn ty(&self) -> Type {
+        match self {
+            Value::Int(_) => Type::Int,
+            Value::Float(_) => Type::Float,
+            Value::Bool(_) => Type::Bool,
+        }
+    }
+
+    /// Extracts an `i64`, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `f64`, if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `bool`, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Bit-exact equality: like `==` but `NaN` equals `NaN` (and `-0.0`
+    /// differs from `0.0`). This is the right notion for "the specialized
+    /// program computes the same thing as the original".
+    pub fn bits_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), None);
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn types() {
+        assert_eq!(Value::Int(0).ty(), Type::Int);
+        assert_eq!(Value::Float(0.0).ty(), Type::Float);
+        assert_eq!(Value::Bool(false).ty(), Type::Bool);
+    }
+
+    #[test]
+    fn bits_eq_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert!(nan.bits_eq(&nan));
+        assert_ne!(nan, nan); // PartialEq follows IEEE
+        assert!(!Value::Float(0.0).bits_eq(&Value::Float(-0.0)));
+        assert!(!Value::Int(1).bits_eq(&Value::Float(1.0)));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from(4.0f64), Value::Float(4.0));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+}

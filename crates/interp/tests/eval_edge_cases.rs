@@ -1,0 +1,223 @@
+//! Evaluator edge cases: control-flow corners, cost accounting detail,
+//! cache misuse, and numeric boundary behavior.
+
+use ds_interp::{CacheBuf, EvalError, EvalOptions, Evaluator, Value};
+use ds_lang::parse_program;
+
+fn eval(src: &str, proc: &str, args: &[Value]) -> ds_interp::Outcome {
+    let prog = parse_program(src).expect("parse");
+    ds_lang::typecheck(&prog).expect("typecheck");
+    Evaluator::new(&prog).run(proc, args).expect("eval")
+}
+
+#[test]
+fn return_from_nested_loop_unwinds_everything() {
+    let out = eval(
+        "int f(int limit) {
+             int i = 0;
+             while (i < 100) {
+                 int j = 0;
+                 while (j < 100) {
+                     if (i * 100 + j == limit) { return i * 1000 + j; }
+                     j = j + 1;
+                 }
+                 i = i + 1;
+             }
+             return -1;
+         }",
+        "f",
+        &[Value::Int(205)],
+    );
+    assert_eq!(out.value, Some(Value::Int(2005)));
+}
+
+#[test]
+fn zero_trip_loop_keeps_prior_state() {
+    let out = eval(
+        "float f(int n) {
+             float x = 42.0;
+             int i = 0;
+             while (i < n) { x = 0.0; i = i + 1; }
+             return x;
+         }",
+        "f",
+        &[Value::Int(0)],
+    );
+    assert_eq!(out.value, Some(Value::Float(42.0)));
+}
+
+#[test]
+fn cond_evaluates_exactly_one_branch() {
+    // Each branch traces; only one fires per evaluation.
+    let src = "float f(bool p) { return p ? trace(1.0) : trace(2.0); }";
+    let t = eval(src, "f", &[Value::Bool(true)]);
+    assert_eq!(t.trace, vec![1.0]);
+    let f = eval(src, "f", &[Value::Bool(false)]);
+    assert_eq!(f.trace, vec![2.0]);
+}
+
+#[test]
+fn branch_costs_are_charged_per_decision() {
+    // Same arithmetic, one extra nested conditional: exactly +2 cost
+    // (the inner comparison + the inner branch).
+    let flat = eval(
+        "float f(float x) { return x > 0.0 ? 1.0 : 2.0; }",
+        "f",
+        &[Value::Float(1.0)],
+    );
+    let nested = eval(
+        "float f(float x) { return x > 0.0 ? (x > 0.5 ? 1.0 : 3.0) : 2.0; }",
+        "f",
+        &[Value::Float(1.0)],
+    );
+    assert_eq!(nested.cost, flat.cost + 2);
+}
+
+#[test]
+fn integer_wrapping_matches_twos_complement() {
+    let out = eval(
+        "int f(int a, int b) { return a * b; }",
+        "f",
+        &[Value::Int(i64::MAX), Value::Int(2)],
+    );
+    assert_eq!(out.value, Some(Value::Int(i64::MAX.wrapping_mul(2))));
+    let out = eval("int f(int a) { return -a; }", "f", &[Value::Int(i64::MIN)]);
+    assert_eq!(out.value, Some(Value::Int(i64::MIN))); // wraps to itself
+}
+
+#[test]
+fn int_min_division_by_minus_one_wraps() {
+    let out = eval(
+        "int f(int a, int b) { return a / b; }",
+        "f",
+        &[Value::Int(i64::MIN), Value::Int(-1)],
+    );
+    assert_eq!(out.value, Some(Value::Int(i64::MIN)));
+}
+
+#[test]
+fn nan_propagates_without_crashing() {
+    let out = eval(
+        "float f(float x) { return sqrt(x) + 1.0; }",
+        "f",
+        &[Value::Float(-1.0)],
+    );
+    match out.value {
+        Some(Value::Float(v)) => assert!(v.is_nan()),
+        other => panic!("expected NaN, got {other:?}"),
+    }
+    // NaN comparisons are false; control flow stays deterministic.
+    let out = eval(
+        "float f(float x) { float s = sqrt(x); if (s > 0.0) { return 1.0; } return 2.0; }",
+        "f",
+        &[Value::Float(-1.0)],
+    );
+    assert_eq!(out.value, Some(Value::Float(2.0)));
+}
+
+#[test]
+fn fmod_by_zero_is_nan_not_error() {
+    let out = eval(
+        "float f(float a, float b) { return fmod(a, b); }",
+        "f",
+        &[Value::Float(1.0), Value::Float(0.0)],
+    );
+    assert!(matches!(out.value, Some(Value::Float(v)) if v.is_nan()));
+}
+
+#[test]
+fn step_limit_boundary_is_exact_enough() {
+    // A program that terminates within the limit runs; one past it errors.
+    let src = "void f() { int i = 0; while (i < 100) { i = i + 1; } return; }";
+    let prog = parse_program(src).unwrap();
+    let ok = Evaluator::with_options(&prog, EvalOptions { step_limit: 100_000, ..EvalOptions::default() });
+    assert!(ok.run("f", &[]).is_ok());
+    let tight = Evaluator::with_options(&prog, EvalOptions { step_limit: 50, ..EvalOptions::default() });
+    assert_eq!(tight.run("f", &[]).unwrap_err(), EvalError::StepLimit);
+}
+
+#[test]
+fn run_proc_accepts_foreign_procedures() {
+    // A proc not present in the evaluator's program can still be run, with
+    // user calls resolved against the program.
+    let lib = parse_program("float helper(float x) { return x + 10.0; }").unwrap();
+    let mut foreign = parse_program("float f(float x) { return helper(x) * 2.0; }").unwrap();
+    let proc = foreign.procs.remove(0);
+    let ev = Evaluator::new(&lib);
+    let out = ev.run_proc(&proc, &[Value::Float(1.0)], None).expect("run");
+    assert_eq!(out.value, Some(Value::Float(22.0)));
+}
+
+#[test]
+fn cache_reuse_after_clear() {
+    use ds_lang::{ExprKind, SlotId, StmtKind, Type};
+    let mut prog = parse_program(
+        "float loader(float x) { return x; }
+         float reader(float x) { return 0.0; }",
+    )
+    .unwrap();
+    if let StmtKind::Return(Some(e)) = &mut prog.procs[0].body.stmts[0].kind {
+        let inner = e.clone();
+        e.kind = ExprKind::CacheStore(SlotId(0), Box::new(inner));
+    }
+    if let StmtKind::Return(Some(e)) = &mut prog.procs[1].body.stmts[0].kind {
+        e.kind = ExprKind::CacheRef(SlotId(0), Type::Float);
+    }
+    prog.renumber();
+    let ev = Evaluator::new(&prog);
+    let mut cache = CacheBuf::new(1);
+    ev.run_with_cache("loader", &[Value::Float(5.0)], &mut cache).unwrap();
+    assert_eq!(
+        ev.run_with_cache("reader", &[Value::Float(0.0)], &mut cache).unwrap().value,
+        Some(Value::Float(5.0))
+    );
+    cache.clear();
+    // After clearing, the read must fail loudly, not return stale data.
+    let err = ev
+        .run_with_cache("reader", &[Value::Float(0.0)], &mut cache)
+        .unwrap_err();
+    assert!(matches!(err, EvalError::UnfilledSlot { slot: 0, .. }));
+}
+
+#[test]
+fn trace_order_across_nested_structures() {
+    let out = eval(
+        "void f(int n) {
+             trace(0.0);
+             int i = 0;
+             while (i < n) {
+                 if (i % 2 == 0) { trace(itof(i)); } else { trace(-itof(i)); }
+                 i = i + 1;
+             }
+             trace(99.0);
+             return;
+         }",
+        "f",
+        &[Value::Int(4)],
+    );
+    assert_eq!(out.trace, vec![0.0, 0.0, -1.0, 2.0, -3.0, 99.0]);
+}
+
+#[test]
+fn costs_are_additive_across_sequential_statements() {
+    let a = eval("float f(float x) { return sin(x); }", "f", &[Value::Float(1.0)]);
+    let b = eval(
+        "float f(float x) { float t = sin(x); return sin(t); }",
+        "f",
+        &[Value::Float(1.0)],
+    );
+    // Second program: one extra sin + one store.
+    assert_eq!(b.cost, a.cost + ds_lang::Builtin::Sin.cost() + 1);
+}
+
+#[test]
+fn clamp_with_inverted_bounds_is_total() {
+    // The evaluator normalizes inverted clamp bounds instead of panicking
+    // (Rust's f64::clamp panics when min > max).
+    let out = eval(
+        "float f(float x) { return clamp(x, 1.0, 0.0); }",
+        "f",
+        &[Value::Float(0.5)],
+    );
+    assert!(matches!(out.value, Some(Value::Float(v)) if (0.0..=1.0).contains(&v)));
+}

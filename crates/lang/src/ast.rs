@@ -1,0 +1,615 @@
+//! Abstract syntax for MiniC, the "subset of C without pointers or `goto`"
+//! that the paper's prototype data specializer processes (§5).
+//!
+//! Every expression and statement carries a [`TermId`], a dense index that the
+//! analyses in `ds-analysis` use to attach per-term facts (dependence flags,
+//! `static`/`cached`/`dynamic` labels, cost estimates). Transformation passes
+//! that rewrite the tree call [`Program::renumber`] afterwards to restore the
+//! density invariant.
+//!
+//! Two expression forms never appear in source programs and are introduced
+//! only by the splitting transformation (§3.3): [`ExprKind::CacheRef`] (the
+//! reader's access to a cache slot) and [`ExprKind::CacheStore`] (the loader's
+//! in-place slot fill, which evaluates its operand, stores it, and yields it —
+//! mirroring `cache->slot1 = x1*x2 + y1*y2` in the paper's Figure 2).
+
+use crate::span::Span;
+use std::fmt;
+
+/// A dense index identifying one term (expression or statement) of a program.
+///
+/// Ids are unique across an entire [`Program`] and contiguous from zero after
+/// [`Program::renumber`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// A placeholder id carried by freshly synthesized nodes before
+    /// renumbering.
+    pub const UNASSIGNED: TermId = TermId(u32::MAX);
+
+    /// The id as a `usize`, for indexing side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Index of a cache slot within a specialization's cache layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub u32);
+
+impl SlotId {
+    /// The slot as a `usize`, for indexing cache buffers.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+/// MiniC's scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 32-bit-style integer (stored as `i64` at runtime, 4 bytes in the cache).
+    Int,
+    /// Floating point (stored as `f64` at runtime, 4 bytes in the cache, as in
+    /// the paper's measurements).
+    Float,
+    /// Boolean (1 byte in the cache).
+    Bool,
+    /// Absence of a value; only valid as a procedure return type.
+    Void,
+}
+
+impl Type {
+    /// Bytes one cached value of this type occupies, using the paper's
+    /// accounting (4-byte floats; Figure 8 cache sizes).
+    pub fn cache_width(self) -> u32 {
+        match self {
+            Type::Int | Type::Float => 4,
+            Type::Bool => 1,
+            Type::Void => 0,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Type::Int => "int",
+            Type::Float => "float",
+            Type::Bool => "bool",
+            Type::Void => "void",
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical negation `!x`.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        })
+    }
+}
+
+/// Binary operators.
+///
+/// Short-circuit `&&` and `||` do not appear here: the parser desugars them
+/// into [`ExprKind::Cond`] so that the analyses have a single construct for
+/// expression-level control dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integers only)
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl BinOp {
+    /// Whether this operator compares its operands (result type `bool`).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Whether this operator is arithmetic (result type = operand type).
+    pub fn is_arithmetic(self) -> bool {
+        !self.is_comparison()
+    }
+
+    /// Whether `(a op b) op c == a op (b op c)` mathematically; used by the
+    /// associative-rewriting pass (§4.2).
+    pub fn is_associative(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+        })
+    }
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Dense term id (see [`TermId`]).
+    pub id: TermId,
+    /// The expression's shape.
+    pub kind: ExprKind,
+    /// Source location (dummy for synthesized nodes).
+    pub span: Span,
+}
+
+/// The shapes an expression can take.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// Variable or parameter reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional expression `c ? t : e`. Also the desugaring of `&&`/`||`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Call to a builtin or (before inlining) a user procedure.
+    Call(String, Vec<Expr>),
+    /// Reader-side access to a cache slot (synthesized by splitting).
+    CacheRef(SlotId, Type),
+    /// Loader-side slot fill: evaluates the operand, stores it into the slot,
+    /// and yields the value (synthesized by splitting).
+    CacheStore(SlotId, Box<Expr>),
+}
+
+impl Expr {
+    /// Creates an expression with an unassigned id and dummy span, for
+    /// synthesized code. Call [`Program::renumber`] before analysis.
+    pub fn synth(kind: ExprKind) -> Expr {
+        Expr {
+            id: TermId::UNASSIGNED,
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::synth(ExprKind::Var(name.into()))
+    }
+
+    /// Whether this expression is a literal constant.
+    pub fn is_literal(&self) -> bool {
+        matches!(
+            self.kind,
+            ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::BoolLit(_)
+        )
+    }
+
+    /// Direct subexpressions, in evaluation order.
+    pub fn children(&self) -> Vec<&Expr> {
+        match &self.kind {
+            ExprKind::IntLit(_)
+            | ExprKind::FloatLit(_)
+            | ExprKind::BoolLit(_)
+            | ExprKind::Var(_)
+            | ExprKind::CacheRef(..) => Vec::new(),
+            ExprKind::Unary(_, e) | ExprKind::CacheStore(_, e) => vec![e],
+            ExprKind::Binary(_, l, r) => vec![l, r],
+            ExprKind::Cond(c, t, e) => vec![c, t, e],
+            ExprKind::Call(_, args) => args.iter().collect(),
+        }
+    }
+
+    /// Calls `f` on this expression and every subexpression, pre-order.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        for c in self.children() {
+            c.walk(f);
+        }
+    }
+
+    /// Number of expression nodes in this subtree.
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Dense term id (see [`TermId`]).
+    pub id: TermId,
+    /// The statement's shape.
+    pub kind: StmtKind,
+    /// Source location (dummy for synthesized nodes).
+    pub span: Span,
+}
+
+/// The shapes a statement can take.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Local declaration with mandatory initializer: `float x = e;`.
+    Decl {
+        /// Declared name (unique within the procedure after type checking).
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Initializer expression.
+        init: Expr,
+    },
+    /// Assignment `x = e;`. `is_phi` marks the `v = v` pseudo-phi assignments
+    /// inserted at control-flow joins by join-point normalization (§4.1);
+    /// those are the only bare variable references the caching analysis may
+    /// label `cached`.
+    Assign {
+        /// Assigned variable.
+        name: String,
+        /// Right-hand side.
+        value: Expr,
+        /// Whether this is a synthesized join-point `v = v`.
+        is_phi: bool,
+    },
+    /// Conditional statement. `else_blk` is empty when absent.
+    If {
+        /// Condition (type `bool`).
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Else branch (possibly empty).
+        else_blk: Block,
+    },
+    /// While loop.
+    While {
+        /// Condition (type `bool`).
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return e;` or bare `return;` for void procedures.
+    Return(Option<Expr>),
+    /// Expression evaluated for effect, e.g. `trace(x);`.
+    ExprStmt(Expr),
+}
+
+impl Stmt {
+    /// Creates a statement with an unassigned id and dummy span.
+    pub fn synth(kind: StmtKind) -> Stmt {
+        Stmt {
+            id: TermId::UNASSIGNED,
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+}
+
+/// A sequence of statements (MiniC blocks do not open scopes; names are
+/// unique per procedure).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// An empty block.
+    pub fn new() -> Block {
+        Block { stmts: Vec::new() }
+    }
+}
+
+/// A procedure parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A procedure definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Proc {
+    /// Procedure name.
+    pub name: String,
+    /// Formal parameters, in order.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: Type,
+    /// Procedure body.
+    pub body: Block,
+    /// Source location of the header.
+    pub span: Span,
+}
+
+impl Proc {
+    /// Calls `f` on every statement of the body, pre-order.
+    pub fn walk_stmts<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        fn go<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
+            for s in &block.stmts {
+                f(s);
+                match &s.kind {
+                    StmtKind::If {
+                        then_blk, else_blk, ..
+                    } => {
+                        go(then_blk, f);
+                        go(else_blk, f);
+                    }
+                    StmtKind::While { body, .. } => go(body, f),
+                    _ => {}
+                }
+            }
+        }
+        go(&self.body, f);
+    }
+
+    /// Calls `f` on every expression of the body, pre-order, including
+    /// subexpressions.
+    pub fn walk_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        self.walk_stmts(&mut |s| {
+            match &s.kind {
+                StmtKind::Decl { init, .. } => init.walk(f),
+                StmtKind::Assign { value, .. } => value.walk(f),
+                StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => cond.walk(f),
+                StmtKind::Return(Some(e)) => e.walk(f),
+                StmtKind::Return(None) => {}
+                StmtKind::ExprStmt(e) => e.walk(f),
+            };
+        });
+    }
+
+    /// Total number of AST nodes (statements plus expressions); the code-size
+    /// metric used by the `T-SZ` experiment (loader+reader < 2× fragment).
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.walk_stmts(&mut |_| n += 1);
+        self.walk_exprs(&mut |_| n += 1);
+        n
+    }
+}
+
+/// A complete MiniC translation unit: a set of non-recursive procedures.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The procedures, in declaration order.
+    pub procs: Vec<Proc>,
+}
+
+impl Program {
+    /// Looks up a procedure by name.
+    pub fn proc(&self, name: &str) -> Option<&Proc> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// Reassigns dense, contiguous [`TermId`]s to every statement and
+    /// expression, returning the total term count. Run this after any
+    /// tree-rewriting pass and before analysis.
+    pub fn renumber(&mut self) -> usize {
+        let mut next = 0u32;
+        for p in &mut self.procs {
+            renumber_block(&mut p.body, &mut next);
+        }
+        next as usize
+    }
+}
+
+fn renumber_block(block: &mut Block, next: &mut u32) {
+    for s in &mut block.stmts {
+        renumber_stmt(s, next);
+    }
+}
+
+fn renumber_stmt(s: &mut Stmt, next: &mut u32) {
+    s.id = TermId(*next);
+    *next += 1;
+    match &mut s.kind {
+        StmtKind::Decl { init, .. } => renumber_expr(init, next),
+        StmtKind::Assign { value, .. } => renumber_expr(value, next),
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            renumber_expr(cond, next);
+            renumber_block(then_blk, next);
+            renumber_block(else_blk, next);
+        }
+        StmtKind::While { cond, body } => {
+            renumber_expr(cond, next);
+            renumber_block(body, next);
+        }
+        StmtKind::Return(Some(e)) => renumber_expr(e, next),
+        StmtKind::Return(None) => {}
+        StmtKind::ExprStmt(e) => renumber_expr(e, next),
+    }
+}
+
+fn renumber_expr(e: &mut Expr, next: &mut u32) {
+    e.id = TermId(*next);
+    *next += 1;
+    match &mut e.kind {
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit(_)
+        | ExprKind::BoolLit(_)
+        | ExprKind::Var(_)
+        | ExprKind::CacheRef(..) => {}
+        ExprKind::Unary(_, a) | ExprKind::CacheStore(_, a) => renumber_expr(a, next),
+        ExprKind::Binary(_, l, r) => {
+            renumber_expr(l, next);
+            renumber_expr(r, next);
+        }
+        ExprKind::Cond(c, t, e2) => {
+            renumber_expr(c, next);
+            renumber_expr(t, next);
+            renumber_expr(e2, next);
+        }
+        ExprKind::Call(_, args) => {
+            for a in args {
+                renumber_expr(a, next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        // proc f(float a) float { float b = a + 1.0; return b * b; }
+        let body = Block {
+            stmts: vec![
+                Stmt::synth(StmtKind::Decl {
+                    name: "b".into(),
+                    ty: Type::Float,
+                    init: Expr::synth(ExprKind::Binary(
+                        BinOp::Add,
+                        Box::new(Expr::var("a")),
+                        Box::new(Expr::synth(ExprKind::FloatLit(1.0))),
+                    )),
+                }),
+                Stmt::synth(StmtKind::Return(Some(Expr::synth(ExprKind::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::var("b")),
+                    Box::new(Expr::var("b")),
+                ))))),
+            ],
+        };
+        Program {
+            procs: vec![Proc {
+                name: "f".into(),
+                params: vec![Param {
+                    name: "a".into(),
+                    ty: Type::Float,
+                }],
+                ret: Type::Float,
+                body,
+                span: Span::DUMMY,
+            }],
+        }
+    }
+
+    #[test]
+    fn renumber_assigns_dense_ids() {
+        let mut p = sample_program();
+        let n = p.renumber();
+        let mut seen = vec![false; n];
+        let proc = p.proc("f").unwrap();
+        proc.walk_stmts(&mut |s| {
+            assert!(!seen[s.id.index()], "duplicate id {}", s.id);
+            seen[s.id.index()] = true;
+        });
+        proc.walk_exprs(&mut |e| {
+            assert!(!seen[e.id.index()], "duplicate id {}", e.id);
+            seen[e.id.index()] = true;
+        });
+        assert!(seen.iter().all(|&b| b), "ids not contiguous");
+    }
+
+    #[test]
+    fn node_count_matches_structure() {
+        let mut p = sample_program();
+        let n = p.renumber();
+        assert_eq!(p.proc("f").unwrap().node_count(), n);
+        // 2 stmts + (add, var, lit) + (mul, var, var) = 8
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn children_in_eval_order() {
+        let e = Expr::synth(ExprKind::Binary(
+            BinOp::Sub,
+            Box::new(Expr::var("l")),
+            Box::new(Expr::var("r")),
+        ));
+        let kids = e.children();
+        assert!(matches!(&kids[0].kind, ExprKind::Var(n) if n == "l"));
+        assert!(matches!(&kids[1].kind, ExprKind::Var(n) if n == "r"));
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Lt.is_arithmetic());
+        assert!(BinOp::Add.is_arithmetic());
+        assert!(BinOp::Add.is_associative());
+        assert!(!BinOp::Sub.is_associative());
+        assert!(!BinOp::Div.is_associative());
+    }
+
+    #[test]
+    fn cache_widths_match_paper_accounting() {
+        assert_eq!(Type::Float.cache_width(), 4);
+        assert_eq!(Type::Int.cache_width(), 4);
+        assert_eq!(Type::Bool.cache_width(), 1);
+        assert_eq!(Type::Void.cache_width(), 0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Type::Float.to_string(), "float");
+        assert_eq!(BinOp::Ne.to_string(), "!=");
+        assert_eq!(UnOp::Not.to_string(), "!");
+        assert_eq!(TermId(3).to_string(), "t3");
+        assert_eq!(SlotId(2).to_string(), "slot2");
+    }
+}

@@ -1,0 +1,275 @@
+//! The builtin "small mathematical library" (paper §5: vector and matrix
+//! helpers plus noise functions) available to MiniC programs.
+//!
+//! Builtin *metadata* (signatures, static costs, effect flags) lives here so
+//! that the front end, the analyses and the evaluator agree on it; the
+//! *implementations* live in `ds-interp`.
+
+use crate::ast::Type;
+
+/// A builtin function of the MiniC math library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `tan(x)`
+    Tan,
+    /// `sqrt(x)`; errors on negative input at runtime.
+    Sqrt,
+    /// `exp(x)`
+    Exp,
+    /// `log(x)`; errors on non-positive input at runtime.
+    Log,
+    /// `pow(x, y)`
+    Pow,
+    /// `floor(x)`
+    Floor,
+    /// `abs(x)`
+    Abs,
+    /// `sign(x)`: -1.0, 0.0 or 1.0.
+    Sign,
+    /// `min(x, y)`
+    Min,
+    /// `max(x, y)`
+    Max,
+    /// `clamp(x, lo, hi)`
+    Clamp,
+    /// `lerp(a, b, t)`: linear interpolation `a + (b-a)*t`.
+    Lerp,
+    /// `smoothstep(e0, e1, x)`: cubic Hermite step.
+    Smoothstep,
+    /// `step(edge, x)`: 0.0 if `x < edge`, else 1.0.
+    Step,
+    /// `fmod(x, y)`: floating remainder; errors on `y == 0`.
+    Fmod,
+    /// `noise1(x)`: 1-D gradient noise in [-1, 1].
+    Noise1,
+    /// `noise2(x, y)`: 2-D gradient noise.
+    Noise2,
+    /// `noise3(x, y, z)`: 3-D gradient noise.
+    Noise3,
+    /// `fbm3(x, y, z, octaves)`: fractal Brownian motion over `noise3`.
+    Fbm3,
+    /// `turb3(x, y, z, octaves)`: turbulence (fBm of `|noise|`).
+    Turb3,
+    /// `itof(i)`: int to float conversion.
+    Itof,
+    /// `ftoi(x)`: float to int conversion (truncating).
+    Ftoi,
+    /// `trace(x)`: appends `x` to the evaluator's trace log and returns it.
+    /// The only builtin with a *global effect* (exercises caching Rule 2).
+    Trace,
+}
+
+/// All builtins, for iteration in tests and documentation.
+pub const ALL_BUILTINS: &[Builtin] = &[
+    Builtin::Sin,
+    Builtin::Cos,
+    Builtin::Tan,
+    Builtin::Sqrt,
+    Builtin::Exp,
+    Builtin::Log,
+    Builtin::Pow,
+    Builtin::Floor,
+    Builtin::Abs,
+    Builtin::Sign,
+    Builtin::Min,
+    Builtin::Max,
+    Builtin::Clamp,
+    Builtin::Lerp,
+    Builtin::Smoothstep,
+    Builtin::Step,
+    Builtin::Fmod,
+    Builtin::Noise1,
+    Builtin::Noise2,
+    Builtin::Noise3,
+    Builtin::Fbm3,
+    Builtin::Turb3,
+    Builtin::Itof,
+    Builtin::Ftoi,
+    Builtin::Trace,
+];
+
+impl Builtin {
+    /// Resolves a source-level name to a builtin.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "sin" => Builtin::Sin,
+            "cos" => Builtin::Cos,
+            "tan" => Builtin::Tan,
+            "sqrt" => Builtin::Sqrt,
+            "exp" => Builtin::Exp,
+            "log" => Builtin::Log,
+            "pow" => Builtin::Pow,
+            "floor" => Builtin::Floor,
+            "abs" => Builtin::Abs,
+            "sign" => Builtin::Sign,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "clamp" => Builtin::Clamp,
+            "lerp" => Builtin::Lerp,
+            "smoothstep" => Builtin::Smoothstep,
+            "step" => Builtin::Step,
+            "fmod" => Builtin::Fmod,
+            "noise1" => Builtin::Noise1,
+            "noise2" => Builtin::Noise2,
+            "noise3" => Builtin::Noise3,
+            "fbm3" => Builtin::Fbm3,
+            "turb3" => Builtin::Turb3,
+            "itof" => Builtin::Itof,
+            "ftoi" => Builtin::Ftoi,
+            "trace" => Builtin::Trace,
+            _ => return None,
+        })
+    }
+
+    /// The source-level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Sin => "sin",
+            Builtin::Cos => "cos",
+            Builtin::Tan => "tan",
+            Builtin::Sqrt => "sqrt",
+            Builtin::Exp => "exp",
+            Builtin::Log => "log",
+            Builtin::Pow => "pow",
+            Builtin::Floor => "floor",
+            Builtin::Abs => "abs",
+            Builtin::Sign => "sign",
+            Builtin::Min => "min",
+            Builtin::Max => "max",
+            Builtin::Clamp => "clamp",
+            Builtin::Lerp => "lerp",
+            Builtin::Smoothstep => "smoothstep",
+            Builtin::Step => "step",
+            Builtin::Fmod => "fmod",
+            Builtin::Noise1 => "noise1",
+            Builtin::Noise2 => "noise2",
+            Builtin::Noise3 => "noise3",
+            Builtin::Fbm3 => "fbm3",
+            Builtin::Turb3 => "turb3",
+            Builtin::Itof => "itof",
+            Builtin::Ftoi => "ftoi",
+            Builtin::Trace => "trace",
+        }
+    }
+
+    /// Parameter types, in order.
+    pub fn param_types(self) -> &'static [Type] {
+        use Type::*;
+        match self {
+            Builtin::Sin
+            | Builtin::Cos
+            | Builtin::Tan
+            | Builtin::Sqrt
+            | Builtin::Exp
+            | Builtin::Log
+            | Builtin::Floor
+            | Builtin::Abs
+            | Builtin::Sign
+            | Builtin::Noise1
+            | Builtin::Ftoi
+            | Builtin::Trace => &[Float],
+            Builtin::Pow
+            | Builtin::Min
+            | Builtin::Max
+            | Builtin::Step
+            | Builtin::Fmod
+            | Builtin::Noise2 => &[Float, Float],
+            Builtin::Clamp | Builtin::Lerp | Builtin::Smoothstep | Builtin::Noise3 => {
+                &[Float, Float, Float]
+            }
+            Builtin::Fbm3 | Builtin::Turb3 => &[Float, Float, Float, Int],
+            Builtin::Itof => &[Int],
+        }
+    }
+
+    /// Result type.
+    pub fn ret_type(self) -> Type {
+        match self {
+            Builtin::Ftoi => Type::Int,
+            _ => Type::Float,
+        }
+    }
+
+    /// Static execution-cost estimate in abstract cost units, on the same
+    /// scale as the paper's operator costs (`+` = 1, `/` = 9; §4.3). These
+    /// feed both the caching-policy triviality test and the cache-limiting
+    /// victim heuristic, and the evaluator charges the same amounts, so the
+    /// static model and the dynamic meter agree on straight-line code.
+    pub fn cost(self) -> u64 {
+        match self {
+            Builtin::Abs | Builtin::Sign | Builtin::Floor | Builtin::Step => 2,
+            Builtin::Min | Builtin::Max => 2,
+            Builtin::Itof | Builtin::Ftoi => 1,
+            Builtin::Clamp => 4,
+            Builtin::Lerp => 4,
+            Builtin::Smoothstep => 10,
+            Builtin::Fmod => 9,
+            Builtin::Sqrt => 15,
+            Builtin::Sin | Builtin::Cos => 40,
+            Builtin::Tan => 60,
+            Builtin::Exp | Builtin::Log => 40,
+            Builtin::Pow => 55,
+            Builtin::Noise1 => 90,
+            Builtin::Noise2 => 160,
+            Builtin::Noise3 => 260,
+            // The paper's "expensive fractal noise functions" (shaders 3-5).
+            Builtin::Fbm3 | Builtin::Turb3 => 1100,
+            Builtin::Trace => 2,
+        }
+    }
+
+    /// Whether calling this builtin reads or writes global state (caching
+    /// Rule 2 forces such calls to be `dynamic`).
+    pub fn has_global_effect(self) -> bool {
+        matches!(self, Builtin::Trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for &b in ALL_BUILTINS {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::from_name("nope"), None);
+    }
+
+    #[test]
+    fn only_trace_is_effectful() {
+        for &b in ALL_BUILTINS {
+            assert_eq!(b.has_global_effect(), b == Builtin::Trace);
+        }
+    }
+
+    #[test]
+    fn arities_are_sane() {
+        for &b in ALL_BUILTINS {
+            let n = b.param_types().len();
+            assert!((1..=4).contains(&n), "{} has arity {n}", b.name());
+        }
+        assert_eq!(Builtin::Fbm3.param_types().len(), 4);
+    }
+
+    #[test]
+    fn noise_is_expensive_division_is_nine_scale() {
+        // The cost scale is anchored at the paper's `+`=1, `/`=9; fractal
+        // noise must dwarf both for Figure 7's 100x speedups to reproduce.
+        assert!(Builtin::Fbm3.cost() > 100 * 9);
+        assert!(Builtin::Noise3.cost() > Builtin::Noise2.cost());
+        assert!(Builtin::Noise2.cost() > Builtin::Noise1.cost());
+    }
+
+    #[test]
+    fn ret_types() {
+        assert_eq!(Builtin::Ftoi.ret_type(), Type::Int);
+        assert_eq!(Builtin::Sin.ret_type(), Type::Float);
+        assert_eq!(Builtin::Itof.param_types(), &[Type::Int]);
+    }
+}

@@ -1,0 +1,79 @@
+//! The abstract cost scale shared by the static cost model (§4.3) and the
+//! dynamic cost meter in `ds-interp`.
+//!
+//! The paper anchors its static estimator at "the cost of `+` is 1, the cost
+//! of `/` is 9" and notes that a relational operation "is likely to be cheaper
+//! than a memory reference" (§2) — which is why `dotprod`'s `(scale != 0)` is
+//! not cached. All numbers here respect those orderings.
+
+use crate::ast::{BinOp, UnOp};
+
+/// Cost of one binary operation, in abstract units.
+pub fn binop_cost(op: BinOp) -> u64 {
+    match op {
+        BinOp::Add | BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div | BinOp::Rem => 9,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => 1,
+    }
+}
+
+/// Cost of one unary operation.
+pub fn unop_cost(op: UnOp) -> u64 {
+    match op {
+        UnOp::Neg | UnOp::Not => 1,
+    }
+}
+
+/// Cost of reading one cache slot (a memory reference). Strictly greater than
+/// a comparison so that trivial relational terms are recomputed, not cached,
+/// exactly as in the paper's `dotprod` example.
+pub const CACHE_READ_COST: u64 = 2;
+
+/// Cost the loader pays to fill one cache slot (a memory write).
+pub const CACHE_STORE_COST: u64 = 2;
+
+/// Cost of a taken branch / loop back-edge in the dynamic meter.
+pub const BRANCH_COST: u64 = 1;
+
+/// Cost of a variable store (assignment or declaration initialization).
+pub const STORE_COST: u64 = 1;
+
+/// A term whose static cost is `<= TRIVIALITY_THRESHOLD` is "sufficiently
+/// trivial" (Rule 6, §3.2) and is recomputed by the reader rather than
+/// cached: caching it would replace the computation with a memory reference
+/// of equal or greater cost.
+pub const TRIVIALITY_THRESHOLD: u64 = CACHE_READ_COST;
+
+/// Static-estimator multiplier for terms inside a loop (§4.3: "for terms in
+/// loops, a multiplier (5)").
+pub const LOOP_MULTIPLIER: u64 = 5;
+
+/// Static-estimator divisor for terms guarded by a conditional (§4.3: "for
+/// terms guarded by conditionals, a divisor (2)").
+pub const COND_DIVISOR: u64 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_costs() {
+        assert_eq!(binop_cost(BinOp::Add), 1);
+        assert_eq!(binop_cost(BinOp::Div), 9);
+    }
+
+    #[test]
+    fn comparison_cheaper_than_memory_reference() {
+        // §2: "the relational operation is likely to be cheaper than a
+        // memory reference" — the policy that keeps `(scale != 0)` dynamic.
+        assert!(binop_cost(BinOp::Ne) < CACHE_READ_COST);
+    }
+
+    #[test]
+    fn multiplication_worth_caching_in_aggregate() {
+        // x1*x2 + y1*y2 costs 2+2+1 = 5 > threshold, so it is cached (§2).
+        let cost = 2 * binop_cost(BinOp::Mul) + binop_cost(BinOp::Add);
+        assert!(cost > TRIVIALITY_THRESHOLD);
+    }
+}

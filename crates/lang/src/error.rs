@@ -1,0 +1,86 @@
+//! Diagnostics shared by the lexer, parser and type checker.
+
+use crate::span::{LineCol, Span};
+use std::error::Error;
+use std::fmt;
+
+/// Which front-end phase produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking.
+    Type,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Lex => "lex error",
+            Phase::Parse => "parse error",
+            Phase::Type => "type error",
+        })
+    }
+}
+
+/// A front-end diagnostic: phase, message and source location.
+///
+/// The error message is lowercase without trailing punctuation, per Rust API
+/// conventions; [`FrontendError::render`] produces a multi-line report with a
+/// line/column position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontendError {
+    /// Which phase failed.
+    pub phase: Phase,
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl FrontendError {
+    /// Creates a new diagnostic.
+    pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> Self {
+        FrontendError {
+            phase,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic against its source text, including line/column.
+    pub fn render(&self, source: &str) -> String {
+        let lc = LineCol::of(self.span.start, source);
+        format!("{} at {}: {}", self.phase, lc, self.message)
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_line_col() {
+        let err = FrontendError::new(Phase::Parse, "expected `;`", Span::new(5, 6));
+        let rendered = err.render("abc\nde f");
+        assert!(rendered.contains("2:2"), "got {rendered}");
+        assert!(rendered.contains("expected `;`"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err = FrontendError::new(Phase::Lex, "bad char", Span::DUMMY);
+        let boxed: Box<dyn Error> = Box::new(err);
+        assert!(boxed.to_string().contains("bad char"));
+    }
+}

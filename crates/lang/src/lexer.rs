@@ -1,0 +1,372 @@
+//! Hand-written lexer for MiniC.
+//!
+//! Supports `//` line comments and `/* ... */` block comments, decimal integer
+//! and floating-point literals (with optional exponent), identifiers, keywords
+//! and the operator set of the language.
+
+use crate::error::{FrontendError, Phase};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source` into a vector ending with an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] for unrecognized characters, malformed numeric
+/// literals, unterminated block comments, or stray `&`/`|`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), ds_lang::FrontendError> {
+/// use ds_lang::{lex, TokenKind};
+/// let tokens = lex("x + 4.5")?;
+/// assert_eq!(tokens.len(), 4); // x, +, 4.5, EOF
+/// assert_eq!(tokens[1].kind, TokenKind::Plus);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, FrontendError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, FrontendError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos as u32;
+            let Some(b) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start, start),
+                });
+                return Ok(tokens);
+            };
+            let kind = self.next_token(b)?;
+            tokens.push(Token {
+                kind,
+                span: Span::new(start, self.pos as u32),
+            });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn err(&self, msg: impl Into<String>, start: usize) -> FrontendError {
+        FrontendError::new(
+            Phase::Lex,
+            msg,
+            Span::new(start as u32, self.pos.max(start + 1).min(self.src.len()) as u32),
+        )
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), FrontendError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(self.err("unterminated block comment", start))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self, first: u8) -> Result<TokenKind, FrontendError> {
+        let start = self.pos;
+        if first.is_ascii_digit() {
+            return self.number(start);
+        }
+        if first.is_ascii_alphabetic() || first == b'_' {
+            return Ok(self.ident(start));
+        }
+        self.pos += 1;
+        let kind = match first {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'?' => TokenKind::Question,
+            b':' => TokenKind::Colon,
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.pos += 1;
+                    TokenKind::AndAnd
+                } else {
+                    return Err(self.err("expected `&&` (MiniC has no bitwise `&`)", start));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.pos += 1;
+                    TokenKind::OrOr
+                } else {
+                    return Err(self.err("expected `||` (MiniC has no bitwise `|`)", start));
+                }
+            }
+            other => {
+                return Err(self.err(
+                    format!("unrecognized character `{}`", other as char),
+                    start,
+                ))
+            }
+        };
+        Ok(kind)
+    }
+
+    fn number(&mut self, start: usize) -> Result<TokenKind, FrontendError> {
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        // Fractional part: `.` followed by a digit (so `1..2` never lexes here,
+        // not that MiniC has ranges; this also leaves `1.` malformed).
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.err("expected digits after decimal point", start));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        // Exponent part.
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.err("expected digits in exponent", start));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("lexer slices ascii digits only");
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("malformed float literal `{text}`"), start))?;
+            Ok(TokenKind::Float(v))
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("integer literal `{text}` out of range"), start))?;
+            Ok(TokenKind::Int(v))
+        }
+    }
+
+    fn ident(&mut self, start: usize) -> TokenKind {
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("identifiers are ascii")
+            .to_string();
+        TokenKind::keyword(&text).unwrap_or(TokenKind::Ident(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn empty_source_yields_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_integers_and_floats() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5e-2 7E+1"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1e3),
+                TokenKind::Float(2.5e-2),
+                TokenKind::Float(7e1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("if xif ifx while_"),
+            vec![
+                TokenKind::KwIf,
+                TokenKind::Ident("xif".into()),
+                TokenKind::Ident("ifx".into()),
+                TokenKind::Ident("while_".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || = < > !"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Bang,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // comment\n b /* c\nd */ e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_point_at_tokens() {
+        let toks = lex("ab + cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        let err = lex("a /* b").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_stray_ampersand() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        assert!(lex("1.").is_err());
+        assert!(lex("1e").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains("unrecognized"));
+    }
+
+    #[test]
+    fn float_without_leading_digit_is_not_supported() {
+        // `.5` is not a MiniC literal; the dot is an error.
+        assert!(lex(".5").is_err());
+    }
+}

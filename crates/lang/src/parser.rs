@@ -1,0 +1,722 @@
+//! Recursive-descent parser for MiniC.
+//!
+//! Two constructs are desugared during parsing so that later passes see a
+//! smaller core language:
+//!
+//! * short-circuit `a && b` becomes `a ? b : false` and `a || b` becomes
+//!   `a ? true : b` (expression-level control dependence is then handled
+//!   uniformly through [`ExprKind::Cond`]);
+//! * `for (init; cond; step) { body }` becomes `init; while (cond) { body;
+//!   step; }`.
+//!
+//! The parser assigns placeholder [`TermId`]s; callers run
+//! [`Program::renumber`] (done automatically by [`parse_program`]).
+
+use crate::ast::*;
+use crate::error::{FrontendError, Phase};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete MiniC translation unit and renumbers its terms.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), ds_lang::FrontendError> {
+/// use ds_lang::parse_program;
+/// let prog = parse_program("float f(float x) { return x * x; }")?;
+/// assert_eq!(prog.procs.len(), 1);
+/// assert_eq!(prog.procs[0].name, "f");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, FrontendError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut procs = Vec::new();
+    while !parser.at(&TokenKind::Eof) {
+        procs.push(parser.proc()?);
+    }
+    let mut program = Program { procs };
+    program.renumber();
+    Ok(program)
+}
+
+/// Parses a single expression (mainly for tests and the REPL-style examples).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error, or an error if trailing
+/// tokens remain.
+pub fn parse_expr(source: &str) -> Result<Expr, FrontendError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let e = parser.expr()?;
+    parser.expect(&TokenKind::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, FrontendError> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            let found = self.peek();
+            Err(FrontendError::new(
+                Phase::Parse,
+                format!("expected {}, found {}", kind.describe(), found.kind),
+                found.span,
+            ))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> FrontendError {
+        FrontendError::new(Phase::Parse, msg, self.peek().span)
+    }
+
+    fn ty(&mut self) -> Result<Type, FrontendError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::KwInt => Ok(Type::Int),
+            TokenKind::KwFloat => Ok(Type::Float),
+            TokenKind::KwBool => Ok(Type::Bool),
+            TokenKind::KwVoid => Ok(Type::Void),
+            other => Err(FrontendError::new(
+                Phase::Parse,
+                format!("expected type, found {other}"),
+                t.span,
+            )),
+        }
+    }
+
+    fn at_type(&self) -> bool {
+        matches!(
+            self.peek().kind,
+            TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwBool | TokenKind::KwVoid
+        )
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), FrontendError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Ident(s) => Ok((s, t.span)),
+            other => Err(FrontendError::new(
+                Phase::Parse,
+                format!("expected identifier, found {other}"),
+                t.span,
+            )),
+        }
+    }
+
+    fn proc(&mut self) -> Result<Proc, FrontendError> {
+        let start = self.peek().span;
+        let ret = self.ty()?;
+        let (name, _) = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let pty = self.ty()?;
+                if pty == Type::Void {
+                    return Err(self.err("parameters cannot have type `void`"));
+                }
+                let (pname, _) = self.ident()?;
+                params.push(Param {
+                    name: pname,
+                    ty: pty,
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let header_end = self.expect(&TokenKind::RParen)?.span;
+        let body = self.block()?;
+        Ok(Proc {
+            name,
+            params,
+            ret,
+            body,
+            span: start.merge(header_end),
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, FrontendError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::Eof) {
+                return Err(self.err("unexpected end of input inside block"));
+            }
+            self.stmt_into(&mut stmts)?;
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    /// Parses one statement, pushing one or more core statements (`for`
+    /// desugars to several).
+    fn stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), FrontendError> {
+        let start = self.peek().span;
+        match &self.peek().kind {
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_blk = self.block()?;
+                let else_blk = if self.eat(&TokenKind::KwElse) {
+                    if self.at(&TokenKind::KwIf) {
+                        // `else if` chains: wrap the nested if in a block.
+                        let mut stmts = Vec::new();
+                        self.stmt_into(&mut stmts)?;
+                        Block { stmts }
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Block::new()
+                };
+                out.push(Stmt {
+                    id: TermId::UNASSIGNED,
+                    kind: StmtKind::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    },
+                    span: start,
+                });
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                out.push(Stmt {
+                    id: TermId::UNASSIGNED,
+                    kind: StmtKind::While { cond, body },
+                    span: start,
+                });
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                // init: declaration or assignment (or empty).
+                if !self.eat(&TokenKind::Semi) {
+                    if self.at_type() {
+                        out.push(self.decl_stmt()?);
+                    } else {
+                        out.push(self.assign_stmt()?);
+                    }
+                }
+                let cond = if self.at(&TokenKind::Semi) {
+                    Expr::synth(ExprKind::BoolLit(true))
+                } else {
+                    self.expr()?
+                };
+                self.expect(&TokenKind::Semi)?;
+                // step: assignment (or empty), terminated by `)`.
+                let step = if self.at(&TokenKind::RParen) {
+                    None
+                } else {
+                    Some(self.assign_no_semi()?)
+                };
+                self.expect(&TokenKind::RParen)?;
+                let mut body = self.block()?;
+                if let Some(step) = step {
+                    body.stmts.push(step);
+                }
+                out.push(Stmt {
+                    id: TermId::UNASSIGNED,
+                    kind: StmtKind::While { cond, body },
+                    span: start,
+                });
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                out.push(Stmt {
+                    id: TermId::UNASSIGNED,
+                    kind: StmtKind::Return(value),
+                    span: start,
+                });
+            }
+            TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwBool | TokenKind::KwVoid => {
+                let s = self.decl_stmt()?;
+                out.push(s);
+            }
+            TokenKind::Ident(_) if self.peek2().kind == TokenKind::Assign => {
+                let s = self.assign_stmt()?;
+                out.push(s);
+            }
+            _ => {
+                // Expression statement (e.g. `trace(x);`).
+                let e = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                out.push(Stmt {
+                    id: TermId::UNASSIGNED,
+                    kind: StmtKind::ExprStmt(e),
+                    span: start,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.peek().span;
+        let ty = self.ty()?;
+        if ty == Type::Void {
+            return Err(self.err("variables cannot have type `void`"));
+        }
+        let (name, _) = self.ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let init = self.expr()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt {
+            id: TermId::UNASSIGNED,
+            kind: StmtKind::Decl { name, ty, init },
+            span: start,
+        })
+    }
+
+    fn assign_no_semi(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.peek().span;
+        let (name, _) = self.ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let value = self.expr()?;
+        Ok(Stmt {
+            id: TermId::UNASSIGNED,
+            kind: StmtKind::Assign {
+                name,
+                value,
+                is_phi: false,
+            },
+            span: start,
+        })
+    }
+
+    fn assign_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let s = self.assign_no_semi()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(s)
+    }
+
+    // ----- expressions, precedence climbing -----
+
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, FrontendError> {
+        let cond = self.or_expr()?;
+        if self.eat(&TokenKind::Question) {
+            let then_e = self.expr()?;
+            self.expect(&TokenKind::Colon)?;
+            let else_e = self.ternary()?;
+            let span = cond.span.merge(else_e.span);
+            Ok(Expr {
+                id: TermId::UNASSIGNED,
+                kind: ExprKind::Cond(Box::new(cond), Box::new(then_e), Box::new(else_e)),
+                span,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            // a || b  ==>  a ? true : b
+            lhs = Expr {
+                id: TermId::UNASSIGNED,
+                kind: ExprKind::Cond(
+                    Box::new(lhs),
+                    Box::new(Expr::synth(ExprKind::BoolLit(true))),
+                    Box::new(rhs),
+                ),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.equality()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.equality()?;
+            let span = lhs.span.merge(rhs.span);
+            // a && b  ==>  a ? b : false
+            lhs = Expr {
+                id: TermId::UNASSIGNED,
+                kind: ExprKind::Cond(
+                    Box::new(lhs),
+                    Box::new(rhs),
+                    Box::new(Expr::synth(ExprKind::BoolLit(false))),
+                ),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.peek().span;
+        let op = match self.peek().kind {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Bang => Some(UnOp::Not),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            let span = start.merge(operand.span);
+            return Ok(Expr {
+                id: TermId::UNASSIGNED,
+                kind: ExprKind::Unary(op, Box::new(operand)),
+                span,
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, FrontendError> {
+        let t = self.bump();
+        let kind = match t.kind {
+            TokenKind::Int(v) => ExprKind::IntLit(v),
+            TokenKind::Float(v) => ExprKind::FloatLit(v),
+            TokenKind::KwTrue => ExprKind::BoolLit(true),
+            TokenKind::KwFalse => ExprKind::BoolLit(false),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                return Ok(e);
+            }
+            TokenKind::Ident(name) => {
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(&TokenKind::RParen)?.span;
+                    return Ok(Expr {
+                        id: TermId::UNASSIGNED,
+                        kind: ExprKind::Call(name, args),
+                        span: t.span.merge(end),
+                    });
+                }
+                ExprKind::Var(name)
+            }
+            other => {
+                return Err(FrontendError::new(
+                    Phase::Parse,
+                    format!("expected expression, found {other}"),
+                    t.span,
+                ))
+            }
+        };
+        Ok(Expr {
+            id: TermId::UNASSIGNED,
+            kind,
+            span: t.span,
+        })
+    }
+}
+
+fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    let span = lhs.span.merge(rhs.span);
+    Expr {
+        id: TermId::UNASSIGNED,
+        kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+        span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse_program(src).unwrap_or_else(|e| panic!("parse failed: {}", e.render(src)))
+    }
+
+    #[test]
+    fn parses_dotprod_from_paper() {
+        // Figure 1 of the paper, adapted to MiniC (ERROR as a constant).
+        let src = "
+            float dotprod(float x1, float y1, float z1,
+                          float x2, float y2, float z2, float scale) {
+                if (scale != 0.0) {
+                    return (x1*x2 + y1*y2 + z1*z2) / scale;
+                } else {
+                    return -1.0;
+                }
+            }";
+        let prog = parse_ok(src);
+        let p = prog.proc("dotprod").unwrap();
+        assert_eq!(p.params.len(), 7);
+        assert_eq!(p.ret, Type::Float);
+        assert!(matches!(p.body.stmts[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let e = parse_expr("a + b * c").unwrap();
+        match &e.kind {
+            ExprKind::Binary(BinOp::Add, _, r) => {
+                assert!(matches!(r.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn addition_is_left_associative() {
+        // (a + b) + c — matters for the reassociation pass (§4.2).
+        let e = parse_expr("a + b + c").unwrap();
+        match &e.kind {
+            ExprKind::Binary(BinOp::Add, l, _) => {
+                assert!(matches!(l.kind, ExprKind::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_circuit_desugars_to_cond() {
+        let e = parse_expr("a && b").unwrap();
+        match &e.kind {
+            ExprKind::Cond(c, t, f) => {
+                assert!(matches!(&c.kind, ExprKind::Var(n) if n == "a"));
+                assert!(matches!(&t.kind, ExprKind::Var(n) if n == "b"));
+                assert!(matches!(f.kind, ExprKind::BoolLit(false)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        let e = parse_expr("a || b").unwrap();
+        match &e.kind {
+            ExprKind::Cond(_, t, f) => {
+                assert!(matches!(t.kind, ExprKind::BoolLit(true)));
+                assert!(matches!(&f.kind, ExprKind::Var(n) if n == "b"));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_is_right_associative() {
+        let e = parse_expr("a ? b : c ? d : e").unwrap();
+        match &e.kind {
+            ExprKind::Cond(_, _, els) => {
+                assert!(matches!(els.kind, ExprKind::Cond(..)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_desugars_to_while() {
+        let prog = parse_ok(
+            "void f() { for (int i = 0; i < 10; i = i + 1) { trace(1.0); } return; }",
+        );
+        let stmts = &prog.proc("f").unwrap().body.stmts;
+        assert!(matches!(stmts[0].kind, StmtKind::Decl { .. }));
+        match &stmts[1].kind {
+            StmtKind::While { body, .. } => {
+                // trace stmt + step assignment
+                assert_eq!(body.stmts.len(), 2);
+                assert!(matches!(
+                    body.stmts[1].kind,
+                    StmtKind::Assign { is_phi: false, .. }
+                ));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let prog = parse_ok(
+            "float f(float x) { if (x > 1.0) { return 1.0; } else if (x > 0.0) { return 0.5; } else { return 0.0; } }",
+        );
+        match &prog.proc("f").unwrap().body.stmts[0].kind {
+            StmtKind::If { else_blk, .. } => {
+                assert_eq!(else_blk.stmts.len(), 1);
+                assert!(matches!(else_blk.stmts[0].kind, StmtKind::If { .. }));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_chains() {
+        let e = parse_expr("--x").unwrap();
+        assert!(matches!(&e.kind, ExprKind::Unary(UnOp::Neg, inner)
+            if matches!(inner.kind, ExprKind::Unary(UnOp::Neg, _))));
+        let e = parse_expr("!!b").unwrap();
+        assert!(matches!(e.kind, ExprKind::Unary(UnOp::Not, _)));
+    }
+
+    #[test]
+    fn call_with_args() {
+        let e = parse_expr("clamp(x, 0.0, 1.0)").unwrap();
+        match &e.kind {
+            ExprKind::Call(name, args) => {
+                assert_eq!(name, "clamp");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("float f( { }").is_err());
+        assert!(parse_program("float f() { return 1.0 }").is_err()); // missing ;
+        assert!(parse_program("f() { }").is_err()); // missing return type
+        assert!(parse_program("float f() { x = ; }").is_err());
+        assert!(parse_expr("a +").is_err());
+        assert!(parse_expr("a b").is_err()); // trailing tokens
+    }
+
+    #[test]
+    fn rejects_void_params_and_vars() {
+        assert!(parse_program("float f(void x) { return 1.0; }").is_err());
+        assert!(parse_program("float f() { void x = 1.0; return x; }").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_reports_eof() {
+        let err = parse_program("float f() { return 1.0;").unwrap_err();
+        assert!(err.message.contains("end of input"), "{}", err.message);
+    }
+
+    #[test]
+    fn ids_are_dense_after_parse() {
+        let prog = parse_ok("float f(float x) { float y = x + 1.0; return y; }");
+        let mut ids = Vec::new();
+        let p = prog.proc("f").unwrap();
+        p.walk_stmts(&mut |s| ids.push(s.id.0));
+        p.walk_exprs(&mut |e| ids.push(e.id.0));
+        ids.sort_unstable();
+        let expect: Vec<u32> = (0..ids.len() as u32).collect();
+        assert_eq!(ids, expect);
+    }
+}

@@ -1,0 +1,284 @@
+//! Pretty printer for MiniC programs.
+//!
+//! Emits parseable MiniC for source-level constructs. The two synthesized
+//! cache forms print as `CACHE[slotN]` (reader access) and
+//! `(CACHE[slotN] = e)` (loader fill), matching the paper's
+//! `cache->slot1` notation in Figure 2; these are display-only and do not
+//! re-parse.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Pretty-prints a whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, p) in program.procs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_proc(p));
+    }
+    out
+}
+
+/// Pretty-prints one procedure.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), ds_lang::FrontendError> {
+/// use ds_lang::{parse_program, print_proc};
+/// let prog = parse_program("float f(float x) { return x * x; }")?;
+/// let text = print_proc(&prog.procs[0]);
+/// assert!(text.contains("return x * x;"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn print_proc(p: &Proc) -> String {
+    let mut out = String::new();
+    let params = p
+        .params
+        .iter()
+        .map(|q| format!("{} {}", q.ty, q.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "{} {}({}) {{", p.ret, p.name, params);
+    print_block(&p.body, 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+/// Pretty-prints a single expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    expr(e, 0, &mut s);
+    s
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(b: &Block, level: usize, out: &mut String) {
+    for s in &b.stmts {
+        print_stmt(s, level, out);
+    }
+}
+
+fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match &s.kind {
+        StmtKind::Decl { name, ty, init } => {
+            let _ = writeln!(out, "{ty} {name} = {};", print_expr(init));
+        }
+        StmtKind::Assign {
+            name,
+            value,
+            is_phi,
+        } => {
+            let phi = if *is_phi { " /* phi */" } else { "" };
+            let _ = writeln!(out, "{name} = {};{phi}", print_expr(value));
+        }
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            print_block(then_blk, level + 1, out);
+            if else_blk.stmts.is_empty() {
+                indent(level, out);
+                out.push_str("}\n");
+            } else {
+                indent(level, out);
+                out.push_str("} else {\n");
+                print_block(else_blk, level + 1, out);
+                indent(level, out);
+                out.push_str("}\n");
+            }
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", print_expr(cond));
+            print_block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        StmtKind::Return(None) => out.push_str("return;\n"),
+        StmtKind::Return(Some(e)) => {
+            let _ = writeln!(out, "return {};", print_expr(e));
+        }
+        StmtKind::ExprStmt(e) => {
+            let _ = writeln!(out, "{};", print_expr(e));
+        }
+    }
+}
+
+/// Binding strength for parenthesization. Higher binds tighter.
+fn precedence(e: &Expr) -> u8 {
+    match &e.kind {
+        ExprKind::Cond(..) => 1,
+        ExprKind::Binary(op, ..) => match op {
+            BinOp::Eq | BinOp::Ne => 4,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 5,
+            BinOp::Add | BinOp::Sub => 6,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 7,
+        },
+        ExprKind::Unary(..) => 8,
+        // CacheStore prints its own surrounding parentheses, so it never
+        // needs more from the context.
+        ExprKind::CacheStore(..) => 10,
+        _ => 10,
+    }
+}
+
+fn expr(e: &Expr, parent_prec: u8, out: &mut String) {
+    let prec = precedence(e);
+    let needs_parens = prec < parent_prec;
+    if needs_parens {
+        out.push('(');
+    }
+    match &e.kind {
+        ExprKind::IntLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::FloatLit(v) => {
+            // Always keep a decimal point or exponent so the literal re-lexes
+            // as a float.
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        ExprKind::BoolLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::Var(name) => out.push_str(name),
+        ExprKind::Unary(op, operand) => {
+            let _ = write!(out, "{op}");
+            expr(operand, prec, out);
+        }
+        ExprKind::Binary(op, l, r) => {
+            expr(l, prec, out);
+            let _ = write!(out, " {op} ");
+            // Right operand of a left-associative operator needs parens at
+            // equal precedence: a - (b - c).
+            expr(r, prec + 1, out);
+        }
+        ExprKind::Cond(c, t, f) => {
+            expr(c, prec + 1, out);
+            out.push_str(" ? ");
+            expr(t, 0, out);
+            out.push_str(" : ");
+            expr(f, prec, out);
+        }
+        ExprKind::Call(name, args) => {
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(a, 0, out);
+            }
+            out.push(')');
+        }
+        ExprKind::CacheRef(slot, _) => {
+            let _ = write!(out, "CACHE[{slot}]");
+        }
+        ExprKind::CacheStore(slot, inner) => {
+            out.push('(');
+            let _ = write!(out, "CACHE[{slot}] = ");
+            expr(inner, 0, out);
+            out.push(')');
+        }
+    }
+    if needs_parens {
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    /// Strips ids/spans so structural equality ignores numbering.
+    fn normalize(p: &mut Program) {
+        p.renumber();
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let src = "float f(float a, float b, int n) {
+            float acc = 0.0;
+            int i = 0;
+            while (i < n) {
+                if (a > b) { acc = acc + a * b; } else { acc = acc - 1.0; }
+                i = i + 1;
+            }
+            return acc / itof(n);
+        }";
+        let mut p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let mut p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {}\n{printed}", e.render(&printed)));
+        normalize(&mut p1);
+        normalize(&mut p2);
+        // Spans differ; compare re-printed text instead of ASTs.
+        assert_eq!(print_program(&p1), print_program(&p2));
+    }
+
+    #[test]
+    fn parenthesization_is_correct() {
+        for src in [
+            "a - (b - c)",
+            "(a + b) * c",
+            "a * b + c",
+            "-(a + b)",
+            "a / (b / c)",
+            "(a ? b : c) + d",
+        ] {
+            let e1 = parse_expr(src).unwrap();
+            let printed = print_expr(&e1);
+            let e2 = parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+            assert_eq!(
+                print_expr(&e1),
+                print_expr(&e2),
+                "round trip changed `{src}` -> `{printed}`"
+            );
+        }
+    }
+
+    #[test]
+    fn float_literals_relex_as_floats() {
+        let e = parse_expr("1.0 + 2.5").unwrap();
+        let printed = print_expr(&e);
+        assert!(printed.contains("1.0"), "{printed}");
+        let reparsed = parse_expr(&printed).unwrap();
+        assert_eq!(print_expr(&reparsed), printed);
+    }
+
+    #[test]
+    fn cache_forms_display() {
+        let store = Expr::synth(ExprKind::CacheStore(
+            SlotId(1),
+            Box::new(Expr::var("x")),
+        ));
+        assert_eq!(print_expr(&store), "(CACHE[slot1] = x)");
+        let read = Expr::synth(ExprKind::CacheRef(SlotId(2), Type::Float));
+        assert_eq!(print_expr(&read), "CACHE[slot2]");
+    }
+
+    #[test]
+    fn phi_assignments_are_annotated() {
+        let mut prog = parse_program("float f(float x) { x = x; return x; }").unwrap();
+        if let StmtKind::Assign { is_phi, .. } = &mut prog.procs[0].body.stmts[0].kind {
+            *is_phi = true;
+        }
+        let text = print_proc(&prog.procs[0]);
+        assert!(text.contains("/* phi */"), "{text}");
+    }
+}

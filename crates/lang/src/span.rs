@@ -1,0 +1,170 @@
+//! Source locations.
+//!
+//! Every token and AST node carries a [`Span`] pointing back into the source
+//! text, so that analysis and type errors can be reported precisely. Spans are
+//! byte ranges; [`LineCol`] converts them to human-readable positions.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+///
+/// # Examples
+///
+/// ```
+/// use ds_lang::Span;
+/// let s = Span::new(2, 5);
+/// assert_eq!(s.len(), 3);
+/// assert!(!s.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(end >= start, "span end {end} precedes start {start}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at offset 0, used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// ```
+    /// use ds_lang::Span;
+    /// assert_eq!(Span::new(1, 3).merge(Span::new(5, 9)), Span::new(1, 9));
+    /// ```
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Extracts the covered text from `source`.
+    pub fn slice<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start as usize..self.end as usize]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl LineCol {
+    /// Computes the line/column of byte `offset` within `source`.
+    ///
+    /// Offsets past the end of the source saturate to the final position.
+    ///
+    /// ```
+    /// use ds_lang::LineCol;
+    /// let lc = LineCol::of(7, "ab\ncde\nf");
+    /// assert_eq!((lc.line, lc.col), (3, 1));
+    /// ```
+    pub fn of(offset: u32, source: &str) -> LineCol {
+        let offset = (offset as usize).min(source.len());
+        let mut line = 1;
+        let mut col = 1;
+        for (i, b) in source.bytes().enumerate() {
+            if i >= offset {
+                break;
+            }
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        LineCol { line, col }
+    }
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Span::new(1, 4);
+        let b = Span::new(2, 9);
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b), Span::new(1, 9));
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let src = "let x = 42;";
+        assert_eq!(Span::new(4, 5).slice(src), "x");
+    }
+
+    #[test]
+    fn line_col_first_line() {
+        let lc = LineCol::of(3, "abcdef");
+        assert_eq!((lc.line, lc.col), (1, 4));
+    }
+
+    #[test]
+    fn line_col_after_newlines() {
+        let src = "a\nbb\nccc";
+        let lc = LineCol::of(5, src);
+        assert_eq!((lc.line, lc.col), (3, 1));
+        let lc = LineCol::of(7, src);
+        assert_eq!((lc.line, lc.col), (3, 3));
+    }
+
+    #[test]
+    fn line_col_saturates() {
+        let lc = LineCol::of(999, "ab");
+        assert_eq!((lc.line, lc.col), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn invalid_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Span::new(1, 2).to_string(), "1..2");
+        assert_eq!(LineCol { line: 3, col: 7 }.to_string(), "3:7");
+    }
+}

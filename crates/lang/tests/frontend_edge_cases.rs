@@ -1,0 +1,156 @@
+//! Front-end edge cases beyond the unit tests: tricky token sequences,
+//! deeply nested syntax, diagnostic quality, and invariants of the
+//! renumbering contract.
+
+use ds_lang::{lex, parse_expr, parse_program, print_program, typecheck, TokenKind};
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    // 64 levels of parens must not break the recursive-descent parser.
+    let mut src = String::from("float f(float x) { return ");
+    for _ in 0..64 {
+        src.push('(');
+    }
+    src.push('x');
+    for _ in 0..64 {
+        src.push(')');
+    }
+    src.push_str("; }");
+    let prog = parse_program(&src).expect("deep parens parse");
+    typecheck(&prog).expect("typecheck");
+}
+
+#[test]
+fn deeply_nested_blocks_parse() {
+    let mut src = String::from("float f(bool p, float x) { ");
+    for _ in 0..40 {
+        src.push_str("if (p) { ");
+    }
+    src.push_str("trace(x); ");
+    for _ in 0..40 {
+        src.push('}');
+    }
+    src.push_str(" return x; }");
+    let prog = parse_program(&src).expect("deep blocks parse");
+    typecheck(&prog).expect("typecheck");
+}
+
+#[test]
+fn comment_torture() {
+    let src = "/* a /* not nested in C */ float f(float x) {
+                   // comment with symbols: <= >= && || ***
+                   return x; /* trailing */
+               } // eof comment";
+    let prog = parse_program(src).expect("comments parse");
+    assert_eq!(prog.procs.len(), 1);
+}
+
+#[test]
+fn adjacent_operators_lex_greedily() {
+    let kinds: Vec<TokenKind> = lex("a<=b>=c==d!=e").unwrap().into_iter().map(|t| t.kind).collect();
+    assert_eq!(
+        kinds.iter().filter(|k| matches!(k, TokenKind::Le | TokenKind::Ge | TokenKind::EqEq | TokenKind::NotEq)).count(),
+        4
+    );
+}
+
+#[test]
+fn exponent_edge_literals() {
+    let e = parse_expr("1e0 + 2E+0 + 3e-0").unwrap();
+    // All three are floats summing structurally; no parse error is the test.
+    let printed = ds_lang::print_expr(&e);
+    assert!(printed.contains("1.0"), "{printed}");
+}
+
+#[test]
+fn keywords_cannot_be_identifiers() {
+    assert!(parse_program("float while(float x) { return x; }").is_err());
+    assert!(parse_program("float f(float if) { return 1.0; }").is_err());
+}
+
+#[test]
+fn error_messages_carry_positions() {
+    let src = "float f(float x) {\n    return x +;\n}";
+    let err = parse_program(src).unwrap_err();
+    let rendered = err.render(src);
+    assert!(rendered.contains("2:"), "line number expected: {rendered}");
+}
+
+#[test]
+fn typecheck_error_positions_point_at_the_term() {
+    let src = "float f(float x) {\n    int y = x;\n    return x;\n}";
+    let err = typecheck(&parse_program(src).unwrap()).unwrap_err();
+    let rendered = err.render(src);
+    assert!(rendered.contains("2:"), "{rendered}");
+}
+
+#[test]
+fn renumber_is_idempotent() {
+    let mut prog = parse_program(
+        "float f(float a, int n) {
+             float acc = a;
+             for (int i = 0; i < n; i = i + 1) { acc = acc * 1.5; }
+             return acc;
+         }",
+    )
+    .unwrap();
+    let n1 = prog.renumber();
+    let snapshot = format!("{prog:?}");
+    let n2 = prog.renumber();
+    assert_eq!(n1, n2);
+    assert_eq!(snapshot, format!("{prog:?}"), "renumber must be stable");
+}
+
+#[test]
+fn print_parse_fixpoint_on_hand_written_corpus() {
+    let corpus = [
+        "float f(float a, float b) { return a < b ? a : b; }",
+        "int gcd_step(int a, int b) { return a % b; }",
+        "void logger(float x) { trace(x); trace(x * 2.0); return; }",
+        "float g(bool p, bool q, float x) { return (p ? 1.0 : 0.0) + (q ? x : -x); }",
+        "float h(float x) { float acc = 0.0; int i = 0; while (i < 3) { acc = acc + sin(itof(i) + x); i = i + 1; } return acc; }",
+    ];
+    for src in corpus {
+        let p1 = parse_program(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        typecheck(&p1).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed1 = print_program(&p1);
+        let p2 = parse_program(&printed1).expect("reparse");
+        assert_eq!(printed1, print_program(&p2), "fixpoint failed for {src}");
+    }
+}
+
+#[test]
+fn long_identifiers_and_many_params() {
+    let params: Vec<String> = (0..40).map(|i| format!("float very_long_parameter_name_{i}")).collect();
+    let src = format!(
+        "float f({}) {{ return very_long_parameter_name_39; }}",
+        params.join(", ")
+    );
+    let prog = parse_program(&src).expect("many params");
+    typecheck(&prog).expect("typecheck");
+    assert_eq!(prog.procs[0].params.len(), 40);
+}
+
+#[test]
+fn span_slices_reconstruct_tokens() {
+    let src = "float f(float abc) { return abc * 2.5; }";
+    for tok in lex(src).unwrap() {
+        if let TokenKind::Ident(name) = &tok.kind {
+            assert_eq!(tok.span.slice(src), name);
+        }
+    }
+}
+
+#[test]
+fn bool_equality_is_typed() {
+    assert!(typecheck(&parse_program("bool f(bool a, bool b) { return a == b; }").unwrap()).is_ok());
+    assert!(typecheck(&parse_program("bool f(bool a, float b) { return a == b; }").unwrap()).is_err());
+    assert!(typecheck(&parse_program("bool f(bool a, bool b) { return a < b; }").unwrap()).is_err());
+}
+
+#[test]
+fn void_procedures_type_check() {
+    let src = "void report(float x) { if (x > 0.0) { trace(x); } return; }
+               float f(float x) { return x; }";
+    typecheck(&parse_program(src).unwrap()).expect("void proc");
+}

@@ -1,0 +1,55 @@
+//! Totality properties of the front end: the lexer and parser must never
+//! panic, whatever bytes arrive — they either produce a value or a
+//! located diagnostic.
+
+use ds_lang::{lex, parse_expr, parse_program, typecheck};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Lexing arbitrary unicode never panics.
+    #[test]
+    fn lexer_is_total(src in ".{0,200}") {
+        let _ = lex(&src);
+    }
+
+    /// Parsing arbitrary text never panics; errors carry spans inside the
+    /// source (or at its end).
+    #[test]
+    fn parser_is_total(src in ".{0,200}") {
+        match parse_program(&src) {
+            Ok(prog) => {
+                // Whatever parsed must also survive the type checker
+                // (possibly with an error) and the pretty printer.
+                let _ = typecheck(&prog);
+                let _ = ds_lang::print_program(&prog);
+            }
+            Err(e) => {
+                prop_assert!(
+                    (e.span.end as usize) <= src.len().max(1),
+                    "span {:?} outside source of {} bytes", e.span, src.len()
+                );
+                // render() must not panic either.
+                let _ = e.render(&src);
+            }
+        }
+    }
+
+    /// Expression parsing is total too.
+    #[test]
+    fn expr_parser_is_total(src in ".{0,80}") {
+        let _ = parse_expr(&src);
+    }
+
+    /// Tokens-to-text round trip: lexing the pretty-printed form of any
+    /// valid program produces no lexical errors.
+    #[test]
+    fn printed_programs_relex(ident in "[a-z][a-z0-9_]{0,8}", k in -100i64..100) {
+        let src = format!("int f(int {ident}) {{ return {ident} + {k}; }}");
+        if let Ok(prog) = parse_program(&src) {
+            let printed = ds_lang::print_program(&prog);
+            prop_assert!(lex(&printed).is_ok(), "{printed}");
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The shader catalog: ten shading procedures spanning the styles and
+//! complexity levels of the paper's benchmark suite (§5), with one control
+//! parameter per input partition — 131 partitions in total, matching the
+//! paper's count.
+
+use ds_lang::{parse_program, typecheck, Program};
+
+/// The shared MiniC math prelude (vector helpers, lighting terms).
+pub const PRELUDE: &str = include_str!("../shaders/prelude.mc");
+
+const SRC_PLASTIC: &str = include_str!("../shaders/01_plastic.mc");
+const SRC_METAL: &str = include_str!("../shaders/02_metal.mc");
+const SRC_MARBLE: &str = include_str!("../shaders/03_marble.mc");
+const SRC_WOOD: &str = include_str!("../shaders/04_wood.mc");
+const SRC_GRANITE: &str = include_str!("../shaders/05_granite.mc");
+const SRC_CHECKER: &str = include_str!("../shaders/06_checker.mc");
+const SRC_STRIPES: &str = include_str!("../shaders/07_stripes.mc");
+const SRC_SPOTTED: &str = include_str!("../shaders/08_spotted.mc");
+const SRC_LAYERED: &str = include_str!("../shaders/09_layered.mc");
+const SRC_RINGS: &str = include_str!("../shaders/10_rings.mc");
+
+/// The 13 per-pixel rendering inputs every shader receives, in signature
+/// order — "the pixel coordinates \[and\] various rendering information
+/// specific to the pixel" (§5). All are *fixed* in every partition (the
+/// per-pixel cache array of the paper).
+pub const PIXEL_PARAMS: &[&str] = &[
+    "px", "py", "u", "v", "nx", "ny", "nz", "vx", "vy", "vz", "wx", "wy", "wz",
+];
+
+/// One user-facing control parameter of a shader.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlParam {
+    /// Parameter name (as it appears in the shader signature).
+    pub name: &'static str,
+    /// The value used while the parameter is *fixed*.
+    pub default: f64,
+}
+
+impl ControlParam {
+    /// Three deterministic alternative values used when this parameter is
+    /// the varying one (the user "dragging the slider").
+    pub fn sweep(&self) -> [f64; 3] {
+        let d = self.default;
+        // Affine maps whose fixed points (-0.5, -0.5, 1.75) are not used as
+        // defaults, so every sweep value differs from the default.
+        [d * 0.5 - 0.25, d * 1.25 + 0.125, d * 0.75 + 0.4375]
+    }
+}
+
+/// One benchmark shader: parsed program plus control-parameter metadata.
+#[derive(Debug, Clone)]
+pub struct Shader {
+    /// Position in the suite (1-10, as in the paper's figures).
+    pub index: usize,
+    /// Short name.
+    pub name: &'static str,
+    /// Full MiniC source (prelude + shader).
+    pub source: String,
+    /// Parsed and type-checked program; the entry procedure is `shade`.
+    pub program: Program,
+    /// The control parameters, in signature order.
+    pub controls: Vec<ControlParam>,
+}
+
+impl Shader {
+    fn build(index: usize, name: &'static str, body: &str, controls: Vec<ControlParam>) -> Shader {
+        let source = format!("{PRELUDE}\n{body}");
+        let program = parse_program(&source)
+            .unwrap_or_else(|e| panic!("shader {name} does not parse: {}", e.render(&source)));
+        typecheck(&program)
+            .unwrap_or_else(|e| panic!("shader {name} does not type-check: {}", e.render(&source)));
+        let shade = program.proc("shade").expect("shader entry is `shade`");
+        assert_eq!(
+            shade.params.len(),
+            PIXEL_PARAMS.len() + controls.len(),
+            "shader {name}: parameter count mismatch"
+        );
+        for (i, p) in PIXEL_PARAMS.iter().enumerate() {
+            assert_eq!(&shade.params[i].name, p, "shader {name}: pixel param order");
+        }
+        for (i, c) in controls.iter().enumerate() {
+            assert_eq!(
+                shade.params[PIXEL_PARAMS.len() + i].name,
+                c.name,
+                "shader {name}: control param order"
+            );
+        }
+        Shader {
+            index,
+            name,
+            source,
+            program,
+            controls,
+        }
+    }
+
+    /// The names of this shader's control parameters.
+    pub fn control_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.controls.iter().map(|c| c.name)
+    }
+
+    /// The control parameter named `name`.
+    pub fn control(&self, name: &str) -> Option<&ControlParam> {
+        self.controls.iter().find(|c| c.name == name)
+    }
+}
+
+fn c(name: &'static str, default: f64) -> ControlParam {
+    ControlParam { name, default }
+}
+
+/// Builds the full ten-shader suite. Panics on any front-end error — the
+/// sources are compiled into the binary, so failure is a build defect.
+pub fn all_shaders() -> Vec<Shader> {
+    vec![
+        Shader::build(
+            1,
+            "plastic",
+            SRC_PLASTIC,
+            vec![
+                c("ka", 0.3),
+                c("kd", 0.7),
+                c("ks", 0.4),
+                c("roughness", 0.15),
+                c("lightx", 0.7),
+                c("lighty", 0.9),
+                c("lightz", 1.2),
+                c("ambient", 0.8),
+                c("surfr", 0.9),
+                c("surfg", 0.4),
+                c("surfb", 0.35),
+                c("specw", 0.9),
+            ],
+        ),
+        Shader::build(
+            2,
+            "metal",
+            SRC_METAL,
+            vec![
+                c("ka", 0.25),
+                c("ks", 0.9),
+                c("roughness", 0.08),
+                c("lightx", 0.7),
+                c("lighty", 0.9),
+                c("lightz", 1.2),
+                c("baser", 0.75),
+                c("baseg", 0.7),
+                c("baseb", 0.55),
+                c("fresnel", 0.6),
+            ],
+        ),
+        Shader::build(
+            3,
+            "marble",
+            SRC_MARBLE,
+            vec![
+                c("ka", 0.35),
+                c("kd", 0.75),
+                c("ks", 0.3),
+                c("roughness", 0.12),
+                c("lightx", 0.7),
+                c("lighty", 0.9),
+                c("lightz", 1.2),
+                c("veinfreq", 1.6),
+                c("veinweight", 0.7),
+                c("sharpness", 3.0),
+                c("baser", 0.85),
+                c("baseg", 0.82),
+                c("baseb", 0.78),
+            ],
+        ),
+        Shader::build(
+            4,
+            "wood",
+            SRC_WOOD,
+            vec![
+                c("ka", 0.3),
+                c("kd", 0.8),
+                c("ks", 0.25),
+                c("roughness", 0.2),
+                c("lightx", 0.7),
+                c("lighty", 0.9),
+                c("lightz", 1.2),
+                c("ringfreq", 6.0),
+                c("grain", 0.4),
+                c("swirl", 0.7),
+                c("lightwood", 0.72),
+                c("darkr", 0.35),
+                c("darkg", 0.2),
+                c("darkb", 0.08),
+            ],
+        ),
+        Shader::build(
+            5,
+            "granite",
+            SRC_GRANITE,
+            vec![
+                c("ka", 0.4),
+                c("kd", 0.75),
+                c("lightx", 0.7),
+                c("lighty", 0.9),
+                c("lightz", 1.2),
+                c("freq1", 1.2),
+                c("freq2", 5.5),
+                c("blend", 0.45),
+                c("specks", 0.25),
+                c("contrast", 0.8),
+                c("baser", 0.7),
+                c("baseg", 0.68),
+                c("baseb", 0.66),
+            ],
+        ),
+        Shader::build(
+            6,
+            "checker",
+            SRC_CHECKER,
+            vec![
+                c("ka", 0.35),
+                c("kd", 0.75),
+                c("lightx", 0.7),
+                c("lighty", 0.9),
+                c("lightz", 1.2),
+                c("frequ", 6.0),
+                c("freqv", 6.0),
+                c("tiler", 0.85),
+                c("tileg", 0.2),
+                c("tileb", 0.2),
+                c("blend", 0.12),
+            ],
+        ),
+        Shader::build(
+            7,
+            "stripes",
+            SRC_STRIPES,
+            vec![
+                c("ka", 0.3),
+                c("kd", 0.7),
+                c("ks", 0.35),
+                c("roughness", 0.18),
+                c("lightx", 0.7),
+                c("lighty", 0.9),
+                c("lightz", 1.2),
+                c("freq", 8.0),
+                c("width", 0.5),
+                c("bandr", 0.15),
+                c("bandg", 0.3),
+                c("bandb", 0.75),
+            ],
+        ),
+        Shader::build(
+            8,
+            "spotted",
+            SRC_SPOTTED,
+            vec![
+                c("ka", 0.3),
+                c("kd", 0.75),
+                c("ks", 0.3),
+                c("roughness", 0.15),
+                c("lightx", 0.7),
+                c("lighty", 0.9),
+                c("lightz", 1.2),
+                c("spotfreq", 4.0),
+                c("spotsize", 0.5),
+                c("threshold", 0.3),
+                c("fuzz", 0.1),
+                c("spotr", 0.25),
+                c("spotg", 0.15),
+                c("spotb", 0.08),
+            ],
+        ),
+        Shader::build(
+            9,
+            "layered",
+            SRC_LAYERED,
+            vec![
+                c("ka", 0.3),
+                c("kd", 0.7),
+                c("ks", 0.35),
+                c("roughness", 0.14),
+                c("ambient", 0.85),
+                c("lightx", 0.7),
+                c("lighty", 0.9),
+                c("lightz", 1.2),
+                c("light2x", -0.8),
+                c("light2y", 0.3),
+                c("light2z", 0.9),
+                c("basefreq", 1.4),
+                c("turbscale", 0.9),
+                c("layer1w", 0.5),
+                c("layer2w", 0.35),
+                c("layer3w", 0.4),
+                c("sheen", 0.25),
+                c("glossiness", 3.0),
+            ],
+        ),
+        Shader::build(
+            10,
+            "rings",
+            SRC_RINGS,
+            vec![
+                c("ambient", 0.3),
+                c("kd", 0.75),
+                c("ks", 0.35),
+                c("roughness", 0.15),
+                c("ringscale", 5.0),
+                c("grainscale", 3.0),
+                c("red1", 0.6),
+                c("green1", 0.35),
+                c("blue1", 0.2),
+                c("lightx", 0.7),
+                c("lighty", 0.9),
+                c("lightz", 1.2),
+                c("txscale", 9.0),
+                c("mixw", 0.55),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_parses_and_typechecks() {
+        let suite = all_shaders();
+        assert_eq!(suite.len(), 10);
+        for (i, s) in suite.iter().enumerate() {
+            assert_eq!(s.index, i + 1);
+            assert!(s.program.proc("shade").is_some());
+        }
+    }
+
+    #[test]
+    fn partition_count_matches_paper() {
+        // §5.1: "one per control parameter ... a total of 131 distinct
+        // input partitions".
+        let total: usize = all_shaders().iter().map(|s| s.controls.len()).sum();
+        assert_eq!(total, 131);
+    }
+
+    #[test]
+    fn shader_sizes_are_in_the_papers_band() {
+        // §5: sources "range in size from 50 to 150 lines of C code"; ours
+        // are the shader body plus the inlined library.
+        for s in all_shaders() {
+            let lines = s
+                .source
+                .lines()
+                .filter(|l| {
+                    let t = l.trim();
+                    !t.is_empty() && !t.starts_with("//")
+                })
+                .count();
+            assert!(
+                (40..=200).contains(&lines),
+                "shader {} has {lines} code lines",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn sweeps_differ_from_defaults() {
+        for s in all_shaders() {
+            for c in &s.controls {
+                for v in c.sweep() {
+                    assert_ne!(v, c.default, "{}.{}", s.name, c.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn control_lookup() {
+        let suite = all_shaders();
+        let rings = &suite[9];
+        assert!(rings.control("ringscale").is_some());
+        assert!(rings.control("nonesuch").is_none());
+        assert_eq!(rings.controls.len(), 14); // the Figure 9/10 shader
+    }
+}

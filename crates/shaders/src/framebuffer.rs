@@ -1,0 +1,239 @@
+//! Frame-level staging: the paper's "array of per-pixel caches" (§5).
+//!
+//! "Because the fixed inputs include per-pixel rendering data, we may
+//! construct as many as 10^6 simultaneously live caches for a single image,
+//! but we require only one loader/reader code pair per input partition."
+//!
+//! [`SpecializedImage`] owns exactly that: one specialization for a
+//! (shader, varying-parameter) pair plus one [`CacheBuf`] per pixel. The
+//! first frame is rendered by the loader (filling every pixel's cache);
+//! every subsequent slider value re-renders through the reader.
+
+use crate::catalog::Shader;
+use crate::scene::pixel_inputs;
+use ds_core::{specialize, InputPartition, SpecError, SpecializeOptions, Specialization};
+use ds_interp::{CacheBuf, Evaluator, Value};
+use ds_lang::Program;
+
+/// A staged frame: one loader/reader pair, one cache per pixel.
+#[derive(Debug)]
+pub struct SpecializedImage {
+    shader: Shader,
+    spec: Specialization,
+    program: Program,
+    width: u32,
+    height: u32,
+    varying: String,
+    caches: Vec<CacheBuf>,
+    loaded: bool,
+}
+
+/// A rendered frame: luminance values plus the total abstract cost paid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Row-major luminance in `[0, 1]`.
+    pub pixels: Vec<f64>,
+    /// Total evaluation cost for the frame.
+    pub cost: u64,
+}
+
+impl SpecializedImage {
+    /// Specializes `shader` on `varying` and allocates the per-pixel cache
+    /// array for a `width × height` frame (caches start empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns the specializer's error if `varying` is not a control
+    /// parameter or specialization fails.
+    pub fn new(
+        shader: &Shader,
+        varying: &str,
+        width: u32,
+        height: u32,
+        opts: &SpecializeOptions,
+    ) -> Result<SpecializedImage, SpecError> {
+        if shader.control(varying).is_none() {
+            return Err(SpecError::UnknownParam {
+                proc: "shade".to_string(),
+                param: varying.to_string(),
+            });
+        }
+        let spec = specialize(
+            &shader.program,
+            "shade",
+            &InputPartition::varying([varying]),
+            opts,
+        )?;
+        let program = spec.as_program();
+        let caches = (0..width * height)
+            .map(|_| CacheBuf::new(spec.slot_count()))
+            .collect();
+        Ok(SpecializedImage {
+            shader: shader.clone(),
+            spec,
+            program,
+            width,
+            height,
+            varying: varying.to_string(),
+            caches,
+            loaded: false,
+        })
+    }
+
+    fn args(&self, x: u32, y: u32, value: f64) -> Vec<Value> {
+        let mut a = pixel_inputs(x, y, self.width, self.height).to_args();
+        for c in &self.shader.controls {
+            a.push(Value::Float(if c.name == self.varying {
+                value
+            } else {
+                c.default
+            }));
+        }
+        a
+    }
+
+    /// Renders the first frame with the **loader**, filling every pixel's
+    /// cache ("the early phase executes only once").
+    pub fn load(&mut self, value: f64) -> Frame {
+        let ev = Evaluator::new(&self.program);
+        let mut pixels = Vec::with_capacity(self.caches.len());
+        let mut cost = 0;
+        let mut idx = 0;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let out = ev
+                    .run_with_cache("shade__loader", &self.args(x, y, value), &mut self.caches[idx])
+                    .expect("loader run");
+                cost += out.cost;
+                pixels.push(out.value.and_then(|v| v.as_float()).expect("float result"));
+                idx += 1;
+            }
+        }
+        self.loaded = true;
+        Frame { pixels, cost }
+    }
+
+    /// Re-renders the frame with the **reader** at a new slider value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SpecializedImage::load`] has not run yet — the caches
+    /// would be empty.
+    pub fn render(&mut self, value: f64) -> Frame {
+        assert!(self.loaded, "render() before load(): caches are empty");
+        let ev = Evaluator::new(&self.program);
+        let mut pixels = Vec::with_capacity(self.caches.len());
+        let mut cost = 0;
+        let mut idx = 0;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let out = ev
+                    .run_with_cache("shade__reader", &self.args(x, y, value), &mut self.caches[idx])
+                    .expect("reader run");
+                cost += out.cost;
+                pixels.push(out.value.and_then(|v| v.as_float()).expect("float result"));
+                idx += 1;
+            }
+        }
+        Frame { pixels, cost }
+    }
+
+    /// Renders the frame with the original, unstaged shader (the baseline).
+    pub fn render_unstaged(&self, value: f64) -> Frame {
+        let ev = Evaluator::new(&self.program);
+        let mut pixels = Vec::with_capacity(self.caches.len());
+        let mut cost = 0;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let out = ev.run("shade", &self.args(x, y, value)).expect("shader run");
+                cost += out.cost;
+                pixels.push(out.value.and_then(|v| v.as_float()).expect("float result"));
+            }
+        }
+        Frame { pixels, cost }
+    }
+
+    /// Total packed cache memory for the frame: pixels × bytes-per-pixel —
+    /// the §5.3 feasibility metric ("well within the physical memory of a
+    /// typical workstation" at 640×480).
+    pub fn memory_bytes(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height) * u64::from(self.spec.cache_bytes())
+    }
+
+    /// Bytes per pixel (the Figure 8 metric).
+    pub fn cache_bytes_per_pixel(&self) -> u32 {
+        self.spec.cache_bytes()
+    }
+
+    /// The underlying specialization (layout, stats).
+    pub fn specialization(&self) -> &Specialization {
+        &self.spec
+    }
+
+    /// Frame dimensions.
+    pub fn dimensions(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::all_shaders;
+
+    fn image(shader_idx: usize, varying: &str, n: u32) -> SpecializedImage {
+        let suite = all_shaders();
+        SpecializedImage::new(&suite[shader_idx], varying, n, n, &SpecializeOptions::new())
+            .expect("specialized image")
+    }
+
+    #[test]
+    fn loader_frame_equals_unstaged_frame() {
+        let mut img = image(0, "ambient", 5);
+        let baseline = img.render_unstaged(0.8);
+        let loaded = img.load(0.8);
+        assert_eq!(baseline.pixels, loaded.pixels);
+        assert!(loaded.cost >= baseline.cost, "loader adds store costs");
+    }
+
+    #[test]
+    fn reader_frames_match_unstaged_at_new_values() {
+        let mut img = image(2, "kd", 4);
+        img.load(0.75);
+        for value in [0.3, 0.9, 1.4] {
+            let staged = img.render(value);
+            let baseline = img.render_unstaged(value);
+            assert_eq!(staged.pixels, baseline.pixels, "value {value}");
+            assert!(
+                staged.cost * 3 < baseline.cost,
+                "marble/kd should be far cheaper staged: {} vs {}",
+                staged.cost,
+                baseline.cost
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before load")]
+    fn render_before_load_panics() {
+        let mut img = image(0, "ambient", 3);
+        let _ = img.render(0.5);
+    }
+
+    #[test]
+    fn unknown_varying_is_rejected() {
+        let suite = all_shaders();
+        let err = SpecializedImage::new(&suite[0], "zeta", 4, 4, &SpecializeOptions::new())
+            .expect_err("unknown param");
+        assert!(matches!(err, SpecError::UnknownParam { .. }));
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_frame() {
+        let img4 = image(9, "ambient", 4);
+        let img8 = image(9, "ambient", 8);
+        assert_eq!(img4.cache_bytes_per_pixel(), img8.cache_bytes_per_pixel());
+        assert_eq!(img8.memory_bytes(), img4.memory_bytes() * 4);
+        assert_eq!(img4.dimensions(), (4, 4));
+    }
+}

@@ -1,0 +1,40 @@
+//! # ds-shaders — the shading benchmark suite
+//!
+//! Reproduces the benchmark setting of *Data Specialization* (Knoblock &
+//! Ruf, PLDI 1996, §5): ten shading procedures in the style of the
+//! interactive rendering system of \[GKR95\], specialized "on all of its
+//! inputs except for the control parameter being modified" — 131 input
+//! partitions in total, as in the paper.
+//!
+//! * [`all_shaders`] — the ten-shader catalog (MiniC sources compiled in);
+//! * [`pixel_inputs`] / [`sample_grid`] — the synthetic scene standing in
+//!   for the paper's per-pixel rendering data;
+//! * [`measure_partition`] / [`measure_all`] — the loader/reader replay
+//!   protocol with built-in equivalence checking, producing the data behind
+//!   Figures 7–10 and the §5.2 overhead table;
+//! * [`render_image`] — plain rendering, for the examples.
+//!
+//! ```no_run
+//! use ds_shaders::{all_shaders, measure_partition, MeasureOptions};
+//!
+//! let suite = all_shaders();
+//! let m = measure_partition(&suite[0], "ambient", &MeasureOptions::default());
+//! println!("{}/{}: {:.1}x speedup, {} byte cache",
+//!          m.shader, m.param, m.speedup, m.cache_bytes);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod framebuffer;
+pub mod harness;
+pub mod install;
+pub mod scene;
+
+pub use catalog::{all_shaders, ControlParam, Shader, PIXEL_PARAMS, PRELUDE};
+pub use framebuffer::{Frame, SpecializedImage};
+pub use install::ShaderInstallation;
+pub use harness::{
+    breakeven, measure_all, measure_partition, render_image, MeasureOptions, Measurement,
+};
+pub use scene::{pixel_inputs, sample_grid, PixelInputs};

@@ -1,0 +1,148 @@
+//! The synthetic scene: deterministic per-pixel rendering inputs.
+//!
+//! The paper's harness (\[GKR95\]) supplied each pixel with "the pixel
+//! coordinates \[and\] various rendering information specific to the pixel".
+//! We reproduce that with a procedurally generated scene — a unit sphere
+//! lit head-on, embedded in a backdrop plane — so the whole pipeline is
+//! self-contained and bit-reproducible. Per pixel we produce the 13 values
+//! of [`crate::catalog::PIXEL_PARAMS`]:
+//!
+//! * `px`, `py` — normalized screen coordinates in `[0, 1]`;
+//! * `u`, `v` — texture coordinates (tiled screen coordinates);
+//! * `nx`, `ny`, `nz` — unit surface normal;
+//! * `vx`, `vy`, `vz` — unit view vector (towards the camera);
+//! * `wx`, `wy`, `wz` — world-space surface position.
+
+use ds_interp::Value;
+
+/// Per-pixel rendering inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelInputs {
+    /// Normalized screen x in `[0, 1]`.
+    pub px: f64,
+    /// Normalized screen y in `[0, 1]`.
+    pub py: f64,
+    /// Texture u.
+    pub u: f64,
+    /// Texture v.
+    pub v: f64,
+    /// Unit normal.
+    pub n: [f64; 3],
+    /// Unit view vector.
+    pub view: [f64; 3],
+    /// World position.
+    pub w: [f64; 3],
+}
+
+impl PixelInputs {
+    /// Flattens into the argument prefix every shader expects (the order of
+    /// [`crate::catalog::PIXEL_PARAMS`]).
+    pub fn to_args(self) -> Vec<Value> {
+        [
+            self.px, self.py, self.u, self.v, self.n[0], self.n[1], self.n[2], self.view[0],
+            self.view[1], self.view[2], self.w[0], self.w[1], self.w[2],
+        ]
+        .iter()
+        .map(|&x| Value::Float(x))
+        .collect()
+    }
+}
+
+/// Computes the rendering inputs of pixel `(ix, iy)` in a `w × h` image.
+///
+/// # Panics
+///
+/// Panics if the image is degenerate (`w` or `h` < 2) or the pixel is out
+/// of range.
+///
+/// # Examples
+///
+/// ```
+/// let p = ds_shaders::pixel_inputs(8, 8, 17, 17); // center pixel
+/// // The sphere faces the camera at the center: normal ~ +z.
+/// assert!(p.n[2] > 0.99);
+/// ```
+pub fn pixel_inputs(ix: u32, iy: u32, w: u32, h: u32) -> PixelInputs {
+    assert!(w >= 2 && h >= 2, "image too small: {w}x{h}");
+    assert!(ix < w && iy < h, "pixel ({ix},{iy}) outside {w}x{h}");
+    let px = f64::from(ix) / f64::from(w - 1);
+    let py = f64::from(iy) / f64::from(h - 1);
+    // Centered device coordinates in [-1, 1].
+    let cx = 2.0 * px - 1.0;
+    let cy = 2.0 * py - 1.0;
+    let r2 = cx * cx + cy * cy;
+
+    let (n, wpos) = if r2 < 0.81 {
+        // On the sphere of radius 0.9: normal is the unit position.
+        let rz = (0.81 - r2).sqrt();
+        let inv = 1.0 / 0.9;
+        ([cx * inv, cy * inv, rz * inv], [cx * 2.2, cy * 2.2, rz * 2.2])
+    } else {
+        // Backdrop plane facing the camera.
+        ([0.0, 0.0, 1.0], [cx * 2.2, cy * 2.2, -0.4])
+    };
+
+    PixelInputs {
+        px,
+        py,
+        u: px * 4.0,
+        v: py * 4.0,
+        n,
+        view: [0.0, 0.0, 1.0],
+        w: wpos,
+    }
+}
+
+/// Iterator over an `n × n` sample grid of pixel inputs (row-major).
+pub fn sample_grid(n: u32) -> impl Iterator<Item = PixelInputs> {
+    (0..n).flat_map(move |iy| (0..n).map(move |ix| pixel_inputs(ix, iy, n, n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normals_are_unit_length() {
+        for p in sample_grid(9) {
+            let len = (p.n[0] * p.n[0] + p.n[1] * p.n[1] + p.n[2] * p.n[2]).sqrt();
+            assert!((len - 1.0).abs() < 1e-9, "non-unit normal {:?}", p.n);
+        }
+    }
+
+    #[test]
+    fn scene_is_deterministic() {
+        let a = pixel_inputs(3, 5, 16, 16);
+        let b = pixel_inputs(3, 5, 16, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sphere_and_backdrop_regions() {
+        let center = pixel_inputs(8, 8, 17, 17);
+        assert!(center.n[2] > 0.99, "center is the sphere pole");
+        let corner = pixel_inputs(0, 0, 17, 17);
+        assert_eq!(corner.n, [0.0, 0.0, 1.0], "corner hits the backdrop");
+        assert!(corner.w[2] < 0.0);
+    }
+
+    #[test]
+    fn args_order_matches_pixel_params() {
+        let p = pixel_inputs(2, 3, 8, 8);
+        let args = p.to_args();
+        assert_eq!(args.len(), crate::catalog::PIXEL_PARAMS.len());
+        assert_eq!(args[0], Value::Float(p.px));
+        assert_eq!(args[12], Value::Float(p.w[2]));
+    }
+
+    #[test]
+    fn grid_size() {
+        assert_eq!(sample_grid(4).count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_pixel_panics() {
+        let _ = pixel_inputs(20, 0, 8, 8);
+    }
+}

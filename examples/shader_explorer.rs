@@ -1,0 +1,71 @@
+//! Shader explorer: pick one of the ten benchmark shaders, specialize it on
+//! every control parameter, print the per-partition speedup/cache table,
+//! and render the shader to a PGM image you can open in any viewer.
+//!
+//! Run with: `cargo run --release --example shader_explorer [shader-name] [out.pgm]`
+//! (default shader: `marble`)
+
+use data_specialization::shaders::{
+    all_shaders, measure_partition, render_image, MeasureOptions,
+};
+use std::io::Write;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "marble".to_string());
+    let out_path = args.next().unwrap_or_else(|| "shader.pgm".to_string());
+
+    let suite = all_shaders();
+    let Some(shader) = suite.iter().find(|s| s.name == name) else {
+        eprintln!(
+            "unknown shader `{name}`; available: {}",
+            suite
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    println!(
+        "shader {} `{}`: {} control parameters -> {} input partitions\n",
+        shader.index,
+        shader.name,
+        shader.controls.len(),
+        shader.controls.len()
+    );
+
+    println!(
+        "{:<12} {:>9} {:>10} {:>10} {:>9} {:>7}",
+        "varying", "speedup", "orig cost", "reader", "cache", "breakeven"
+    );
+    let opts = MeasureOptions::default();
+    for control in &shader.controls {
+        let m = measure_partition(shader, control.name, &opts);
+        println!(
+            "{:<12} {:>8.2}x {:>10.0} {:>10.0} {:>7} B {:>9}",
+            m.param,
+            m.speedup,
+            m.orig_cost,
+            m.reader_cost,
+            m.cache_bytes,
+            m.breakeven.map_or("-".into(), |b| b.to_string()),
+        );
+    }
+
+    // Render a 128x128 luminance image of the shader at default controls.
+    let n = 128u32;
+    let img = render_image(shader, n);
+    let mut file = std::fs::File::create(&out_path)?;
+    writeln!(file, "P2\n{n} {n}\n255")?;
+    for row in img.chunks(n as usize) {
+        let line: Vec<String> = row
+            .iter()
+            .map(|&l| ((l.clamp(0.0, 1.0) * 255.0) as u8).to_string())
+            .collect();
+        writeln!(file, "{}", line.join(" "))?;
+    }
+    println!("\nwrote {n}x{n} rendering to {out_path}");
+    Ok(())
+}

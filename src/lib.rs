@@ -1,0 +1,85 @@
+//! # data-specialization
+//!
+//! A full reproduction of **“Data Specialization”** (Todd B. Knoblock and
+//! Erik Ruf, PLDI 1996) as a Rust workspace: a *static* program-staging
+//! transformation that splits a computation into a **cache loader** (runs
+//! once per fixed-input context, stores invariant intermediate values into
+//! a small data cache) and a **cache reader** (runs per varying input,
+//! reading the cache instead of recomputing) — the alternative to
+//! dynamic-compilation ("code specialization") staging.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`lang`] — the MiniC front end (the paper's "subset of C without
+//!   pointers or goto");
+//! * [`analysis`] — dependence analysis (§3.1), caching analysis (§3.2),
+//!   join-point normalization (§4.1), reassociation (§4.2), cost model
+//!   (§4.3);
+//! * [`core`] — the specializer: splitting (§3.3), cache layouts,
+//!   cache-size limiting (§4.3), the [`specialize`] driver;
+//! * [`interp`] — the deterministic cost-metered evaluator (the
+//!   measurement substrate standing in for the paper's Pentium/100);
+//! * [`codespec`] — the code-specialization baseline (an online partial
+//!   evaluator with a dynamic-codegen cost model, §6.1);
+//! * [`shaders`] — the ten-shader benchmark suite with 131 input
+//!   partitions (§5).
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use data_specialization::{specialize_source, InputPartition, SpecializeOptions};
+//! use data_specialization::interp::{CacheBuf, Evaluator, Value};
+//!
+//! // The paper's Figure 1 fragment, varying {z1, z2}.
+//! let spec = specialize_source(
+//!     "float dotprod(float x1, float y1, float z1,
+//!                    float x2, float y2, float z2, float scale) {
+//!          if (scale != 0.0) { return (x1*x2 + y1*y2 + z1*z2) / scale; }
+//!          else { return -1.0; }
+//!      }",
+//!     "dotprod",
+//!     &InputPartition::varying(["z1", "z2"]),
+//!     &SpecializeOptions::new(),
+//! )?;
+//!
+//! let program = spec.as_program();
+//! let ev = Evaluator::new(&program);
+//! let args: Vec<Value> = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0]
+//!     .iter().map(|&x| Value::Float(x)).collect();
+//!
+//! // The loader computes the result AND fills the cache...
+//! let mut cache = CacheBuf::new(spec.slot_count());
+//! let first = ev.run_with_cache("dotprod__loader", &args, &mut cache)?;
+//! // ...then the reader replays cheaply as z1/z2 change.
+//! let again = ev.run_with_cache("dotprod__reader", &args, &mut cache)?;
+//! assert_eq!(first.value, again.value);
+//! assert!(again.cost < first.cost);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+/// The MiniC front end (re-export of `ds-lang`).
+pub use ds_lang as lang;
+
+/// The analyses (re-export of `ds-analysis`).
+pub use ds_analysis as analysis;
+
+/// The specializer core (re-export of `ds-core`).
+pub use ds_core as core;
+
+/// The cost-metered evaluator (re-export of `ds-interp`).
+pub use ds_interp as interp;
+
+/// The code-specialization baseline (re-export of `ds-codespec`).
+pub use ds_codespec as codespec;
+
+/// The shading benchmark suite (re-export of `ds-shaders`).
+pub use ds_shaders as shaders;
+
+pub use ds_core::{
+    specialize, specialize_source, CacheLayout, InputPartition, SpecError, SpecStats,
+    Specialization, SpecializeOptions,
+};

@@ -1,0 +1,259 @@
+//! Integration tests that walk through the paper's own worked examples
+//! end-to-end, across all workspace crates.
+
+use ds_analysis::{analyze_dependence, insert_phis, reaching_defs, CacheSolver, Label, TermIndex};
+use ds_core::{specialize_source, InputPartition, SpecializeOptions};
+use ds_interp::{CacheBuf, Evaluator, Value};
+use ds_lang::{parse_program, print_proc, typecheck};
+use std::collections::HashSet;
+
+const DOTPROD: &str = "float dotprod(float x1, float y1, float z1,
+                                     float x2, float y2, float z2, float scale) {
+                           if (scale != 0.0) {
+                               return (x1*x2 + y1*y2 + z1*z2) / scale;
+                           } else {
+                               return -1.0;
+                           }
+                       }";
+
+/// Paper §2 + Figure 2, full pipeline: the generated loader and reader have
+/// exactly the paper's structure and behavior.
+#[test]
+fn figure_2_loader_and_reader() {
+    let spec = specialize_source(
+        DOTPROD,
+        "dotprod",
+        &InputPartition::varying(["z1", "z2"]),
+        &SpecializeOptions::new(),
+    )
+    .expect("specialize");
+
+    // "the cache is small, containing only one value"
+    assert_eq!(spec.slot_count(), 1);
+    assert_eq!(spec.cache_bytes(), 4);
+    // "its initialization is very simple, adding only one assignment
+    // expression to the original program"
+    assert_eq!(
+        spec.stats.loader_nodes,
+        spec.stats.fragment_nodes + 1,
+        "loader adds exactly one cache-store node"
+    );
+
+    let loader = print_proc(&spec.loader);
+    let reader = print_proc(&spec.reader);
+    // Figure 2's loader: conditional intact, slot filled in place.
+    assert!(loader.contains("if (scale != 0.0)"), "{loader}");
+    assert!(
+        loader.contains("(CACHE[slot0] = x1 * x2 + y1 * y2) + z1 * z2"),
+        "{loader}"
+    );
+    // Figure 2's reader: "because the loader and reader are constructed
+    // solely from the input partition ... the conditional cannot be folded
+    // out, and appears in the reader."
+    assert!(reader.contains("if (scale != 0.0)"), "{reader}");
+    assert!(reader.contains("(CACHE[slot0] + z1 * z2) / scale"), "{reader}");
+}
+
+/// Paper §3.2's annotation walkthrough for dotprod.
+#[test]
+fn section_3_2_labels() {
+    let prog = parse_program(DOTPROD).expect("parse");
+    let types = typecheck(&prog).expect("typecheck");
+    let proc = &prog.procs[0];
+    let ix = TermIndex::build(proc);
+    let rd = reaching_defs(proc);
+    let varying: HashSet<String> = ["z1".to_string(), "z2".to_string()].into();
+    let dep = analyze_dependence(proc, &varying);
+    let solver = CacheSolver::solve(&ix, &rd, &dep, &types);
+
+    let mut labels_by_text = Vec::new();
+    proc.walk_exprs(&mut |e| {
+        labels_by_text.push((ds_lang::print_expr(e), solver.label(e.id)));
+    });
+    let label_of = |text: &str| -> Label {
+        labels_by_text
+            .iter()
+            .find(|(t, _)| t == text)
+            .unwrap_or_else(|| panic!("no term `{text}`"))
+            .1
+    };
+    // "the term (x1*x2+y1*y2) is marked as cached, with all of its
+    // subterms marked as static. Everything else is marked as dynamic
+    // ((scale != 0) is dynamic because it is trivial)."
+    assert_eq!(label_of("x1 * x2 + y1 * y2"), Label::Cached);
+    assert_eq!(label_of("x1 * x2"), Label::Static);
+    assert_eq!(label_of("x1"), Label::Static);
+    assert_eq!(label_of("scale != 0.0"), Label::Dynamic);
+    assert_eq!(label_of("z1 * z2"), Label::Dynamic);
+}
+
+/// Paper §4.1's Figures 4-6: redundant variable caching is avoided via the
+/// join-point phi — one slot, with f/g staying loader-only.
+#[test]
+fn figures_4_to_6_phi_normalization() {
+    // Figure 4's shape, with p, q independent and a dynamic consumer h
+    // modeled by trace (must re-execute) times the varying input.
+    let src = "float f(bool p, bool q, float a, float v) {
+                   float x = sin(a);
+                   if (p) { x = cos(2.0 * a); }
+                   float r = 0.0;
+                   if (q) { r = trace(x) * v; }
+                   return r + x * v;
+               }";
+    let mut prog = parse_program(src).expect("parse");
+    let added = insert_phis(&mut prog.procs[0]);
+    assert!(added >= 1, "the x-join needs a phi");
+
+    let spec = specialize_source(
+        src,
+        "f",
+        &InputPartition::varying(["v"]),
+        &SpecializeOptions::new(),
+    )
+    .expect("specialize");
+    // One slot for x (via the phi), not one per use of x; r's phi is
+    // dependent so it is not cached.
+    assert_eq!(spec.slot_count(), 1, "layout: {}", spec.layout);
+    let reader = print_proc(&spec.reader);
+    assert!(
+        reader.contains("x = CACHE[slot0]"),
+        "reader reads x from its slot once:\n{reader}"
+    );
+    assert!(!reader.contains("sin("), "sin stays in the loader:\n{reader}");
+    assert!(!reader.contains("cos("), "cos stays in the loader:\n{reader}");
+
+    // Behavioral check over both branches.
+    let program = spec.as_program();
+    let ev = Evaluator::new(&program);
+    for p in [true, false] {
+        for q in [true, false] {
+            let args = vec![
+                Value::Bool(p),
+                Value::Bool(q),
+                Value::Float(0.4),
+                Value::Float(2.0),
+            ];
+            let mut cache = CacheBuf::new(spec.slot_count());
+            let orig = ev.run("f", &args).expect("orig");
+            let load = ev
+                .run_with_cache("f__loader", &args, &mut cache)
+                .expect("loader");
+            assert_eq!(orig.value, load.value);
+            let mut args2 = args.clone();
+            args2[3] = Value::Float(-3.5); // vary v
+            let orig2 = ev.run("f", &args2).expect("orig2");
+            let read = ev
+                .run_with_cache("f__reader", &args2, &mut cache)
+                .expect("reader");
+            assert_eq!(orig2.value, read.value, "p={p} q={q}");
+            assert_eq!(orig2.trace, read.trace, "p={p} q={q}");
+        }
+    }
+}
+
+/// Paper §4.2's reassociation example, end to end.
+#[test]
+fn section_4_2_reassociation() {
+    let src = "float f(float x1, float y1, float z1,
+                       float x2, float y2, float z2) {
+                   return x1*x2 + y1*y2 + z1*z2;
+               }";
+    // x1, x2 varying; left-associated parse would leave only y1*y2 or
+    // z1*z2 cacheable individually. Reassociation groups them.
+    let plain = specialize_source(
+        src,
+        "f",
+        &InputPartition::varying(["x1", "x2"]),
+        &SpecializeOptions::new(),
+    )
+    .expect("plain");
+    let re = specialize_source(
+        src,
+        "f",
+        &InputPartition::varying(["x1", "x2"]),
+        &SpecializeOptions::new().with_reassociation(),
+    )
+    .expect("reassociated");
+    assert_eq!(re.stats.chains_reassociated, 1);
+    assert_eq!(re.slot_count(), 1);
+    assert_eq!(
+        re.layout.slots()[0].source,
+        "y1 * y2 + z1 * z2",
+        "independent products group into one slot"
+    );
+    // The plain (left-associated) version caches nothing at all: each
+    // single product is below the triviality threshold, and the mixed
+    // sums are dependent. Reassociation is what makes caching possible.
+    assert_eq!(plain.slot_count(), 0);
+
+    // Reader with reassociation is at least as cheap.
+    let rp = re.as_program();
+    let pp = plain.as_program();
+    let args: Vec<Value> = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        .iter()
+        .map(|&v| Value::Float(v))
+        .collect();
+    let rev = Evaluator::new(&rp);
+    let pev = Evaluator::new(&pp);
+    let mut rc = CacheBuf::new(re.slot_count());
+    let mut pc = CacheBuf::new(plain.slot_count());
+    rev.run_with_cache("f__loader", &args, &mut rc).expect("loader");
+    pev.run_with_cache("f__loader", &args, &mut pc).expect("loader");
+    let r = rev.run_with_cache("f__reader", &args, &mut rc).expect("reader");
+    let p = pev.run_with_cache("f__reader", &args, &mut pc).expect("reader");
+    assert!(r.cost <= p.cost, "reassociated {} vs plain {}", r.cost, p.cost);
+}
+
+/// Paper §6.3: "our caching analysis can label a term as dynamic without
+/// forcing its consumers to be dynamic, while a BTA-based approach (in
+/// which dependent = dynamic) would unnecessarily force all of the term's
+/// consumers into the reader."
+///
+/// Here `(k != 0.0)` is labeled dynamic (trivial), but its *consumer* — the
+/// enclosing ternary's expensive arms — remains cacheable: the false
+/// dependence a mixed binding-time attribute would introduce does not
+/// occur.
+#[test]
+fn section_6_3_no_false_dependence_from_policy_labels() {
+    let src = "float f(float k, float v) {
+                   float sel = k != 0.0 ? fbm3(k, k, k, 4) : sin(k) * 100.0;
+                   return sel * v;
+               }";
+    let spec = specialize_source(
+        src,
+        "f",
+        &InputPartition::varying(["v"]),
+        &SpecializeOptions::new(),
+    )
+    .expect("specialize");
+    // The whole independent ternary is one cache slot: the dynamic label on
+    // the trivial comparison inside it did NOT propagate upward to its
+    // consumers (a BTA that conflated dependence with dynamicness would
+    // have pushed fbm3/sin into the reader).
+    assert_eq!(spec.slot_count(), 1, "{}", spec.layout);
+    let slot_src = &spec.layout.slots()[0].source;
+    assert!(slot_src.contains("fbm3"), "{slot_src}");
+    let reader = print_proc(&spec.reader);
+    assert!(!reader.contains("fbm3"), "{reader}");
+    assert!(!reader.contains("sin"), "{reader}");
+}
+
+/// The signature refinement (1): information cheaply recomputable from the
+/// fixed inputs is recomputed, not cached — both phases receive all inputs.
+#[test]
+fn refinement_1_cheap_recomputation() {
+    let src = "float f(float k, float v) { return (k > 0.5 ? v : -v) + k; }";
+    let spec = specialize_source(
+        src,
+        "f",
+        &InputPartition::varying(["v"]),
+        &SpecializeOptions::new(),
+    )
+    .expect("specialize");
+    // k > 0.5 and +k are trivial: nothing worth caching here.
+    assert_eq!(spec.slot_count(), 0);
+    let reader = print_proc(&spec.reader);
+    assert!(reader.contains("k > 0.5"), "condition recomputed: {reader}");
+    assert_eq!(spec.loader.params.len(), 2);
+    assert_eq!(spec.reader.params.len(), 2);
+}
