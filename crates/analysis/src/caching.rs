@@ -107,7 +107,10 @@ impl std::fmt::Display for Reason {
             }
             Reason::ReturnValue => write!(f, "produces the fragment's result"),
             Reason::DefinitionOfDynamicRef(t) => {
-                write!(f, "defines a variable referenced by dynamic term {t} (Rule 4)")
+                write!(
+                    f,
+                    "defines a variable referenced by dynamic term {t} (Rule 4)"
+                )
             }
             Reason::GuardsDynamicTerm(t) => {
                 write!(f, "guards dynamic term {t} (Rule 5)")
@@ -242,7 +245,9 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
         let mut cur = id;
         let mut seen = std::collections::HashSet::new();
         while seen.insert(cur) {
-            let Some(reason) = self.reason(cur) else { break };
+            let Some(reason) = self.reason(cur) else {
+                break;
+            };
             chain.push((cur, reason));
             match reason {
                 Reason::DefinitionOfDynamicRef(next)
@@ -462,7 +467,9 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
         if loops.is_empty() {
             return true;
         }
-        let Some(e) = self.ix.expr(id) else { return false };
+        let Some(e) = self.ix.expr(id) else {
+            return false;
+        };
         let mut invariant = true;
         e.walk(&mut |sub| {
             if !invariant {
@@ -511,7 +518,14 @@ mod tests {
         }
     }
 
-    fn solve(c: &Ctx) -> (TermIndex<'_>, ReachingDefs, Dependence, Vec<(String, Label)>) {
+    fn solve(
+        c: &Ctx,
+    ) -> (
+        TermIndex<'_>,
+        ReachingDefs,
+        Dependence,
+        Vec<(String, Label)>,
+    ) {
         let p = &c.prog.procs[0];
         let ix = TermIndex::build(p);
         let rd = reaching_defs(p);
@@ -573,7 +587,10 @@ mod tests {
 
     #[test]
     fn trivial_terms_are_recomputed_not_cached() {
-        let c = ctx("float f(float k, float v) { return (k + 1.0) + v; }", &["v"]);
+        let c = ctx(
+            "float f(float k, float v) { return (k + 1.0) + v; }",
+            &["v"],
+        );
         let (_, _, _, pretty) = solve(&c);
         // k + 1.0 costs 1 <= threshold: dynamic (recomputed), not cached.
         assert_eq!(label_of(&pretty, "k + 1.0"), Label::Dynamic);

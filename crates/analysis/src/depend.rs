@@ -67,12 +67,7 @@ pub fn analyze_dependence(proc: &Proc, varying: &HashSet<String>) -> Dependence 
     out
 }
 
-fn walk_block(
-    b: &Block,
-    state: &mut HashMap<String, bool>,
-    cdep: bool,
-    out: &mut Dependence,
-) {
+fn walk_block(b: &Block, state: &mut HashMap<String, bool>, cdep: bool, out: &mut Dependence) {
     for s in &b.stmts {
         walk_stmt(s, state, cdep, out);
     }
@@ -83,7 +78,10 @@ fn walk_stmt(s: &Stmt, state: &mut HashMap<String, bool>, cdep: bool, out: &mut 
         out.under_dep_control.insert(s.id);
     }
     match &s.kind {
-        StmtKind::Decl { name, init, .. } | StmtKind::Assign { name, value: init, .. } => {
+        StmtKind::Decl { name, init, .. }
+        | StmtKind::Assign {
+            name, value: init, ..
+        } => {
             let d = walk_expr(init, state, cdep, out) || cdep;
             state.insert(name.clone(), d);
             if d {
@@ -400,10 +398,7 @@ mod tests {
 
     #[test]
     fn all_varying_means_everything_with_inputs_dependent() {
-        let (prog, dep) = analyze(
-            DOTPROD,
-            &["x1", "y1", "z1", "x2", "y2", "z2", "scale"],
-        );
+        let (prog, dep) = analyze(DOTPROD, &["x1", "y1", "z1", "x2", "y2", "z2", "scale"]);
         let p = &prog.procs[0];
         for name in ["x1", "y1", "z1", "x2", "y2", "z2", "scale"] {
             for r in var_refs(p, name) {

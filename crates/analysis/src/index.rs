@@ -152,7 +152,10 @@ impl<'a, 'p> Walk<'a, 'p> {
                 loops: self.loops.clone(),
             },
         );
-        assert!(prev.is_none(), "duplicate term id {id}; renumber the program");
+        assert!(
+            prev.is_none(),
+            "duplicate term id {id}; renumber the program"
+        );
     }
 
     fn block(&mut self, b: &'p Block, parent: Option<TermId>) {
@@ -323,9 +326,8 @@ mod tests {
 
     #[test]
     fn value_operands_of_statements() {
-        let (prog, stmt_ids) = index_of(
-            "float f(bool p) { float t = 1.0; if (p) { t = 2.0; } return t; }",
-        );
+        let (prog, stmt_ids) =
+            index_of("float f(bool p) { float t = 1.0; if (p) { t = 2.0; } return t; }");
         let p = &prog.procs[0];
         let ix = TermIndex::build(p);
         // Decl -> init; If -> cond; Return -> expr.

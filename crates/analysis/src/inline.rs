@@ -305,8 +305,7 @@ impl<'p> Inliner<'p> {
         let n = self.fresh;
         self.fresh += 1;
         let prefix = format!("__inl{n}_");
-        let rename =
-            |name: &str| -> String { format!("{prefix}{name}") };
+        let rename = |name: &str| -> String { format!("{prefix}{name}") };
         // Bind arguments to renamed parameters, in order.
         for (param, arg) in callee.params.iter().zip(args) {
             self.var_types.insert(rename(&param.name), param.ty);
@@ -445,10 +444,18 @@ fn rename_stmt(s: &Stmt, prefix: &str) -> Stmt {
         } => StmtKind::If {
             cond: rename_expr(cond.clone(), prefix),
             then_blk: Block {
-                stmts: then_blk.stmts.iter().map(|s| rename_stmt(s, prefix)).collect(),
+                stmts: then_blk
+                    .stmts
+                    .iter()
+                    .map(|s| rename_stmt(s, prefix))
+                    .collect(),
             },
             else_blk: Block {
-                stmts: else_blk.stmts.iter().map(|s| rename_stmt(s, prefix)).collect(),
+                stmts: else_blk
+                    .stmts
+                    .iter()
+                    .map(|s| rename_stmt(s, prefix))
+                    .collect(),
             },
         },
         StmtKind::While { cond, body } => StmtKind::While {

@@ -87,10 +87,7 @@ fn walk_block(b: &mut Block, init: &mut HashSet<String>) -> usize {
                     (false, true) => init_then,
                     (false, false) => init_then.intersection(&init_else).cloned().collect(),
                 };
-                phis = affected
-                    .into_iter()
-                    .filter(|v| init.contains(v))
-                    .collect();
+                phis = affected.into_iter().filter(|v| init.contains(v)).collect();
             }
             StmtKind::While { body, .. } => {
                 let mut affected = HashSet::new();

@@ -185,18 +185,22 @@ mod tests {
 
     #[test]
     fn straightline_kill() {
-        let prog = parse_program(
-            "float f(float x) { float t = x; t = t + 1.0; return t; }",
-        )
-        .unwrap();
+        let prog =
+            parse_program("float f(float x) { float t = x; t = t + 1.0; return t; }").unwrap();
         let p = &prog.procs[0];
         let rd = reaching_defs(p);
         let sids = stmt_ids(p);
         let t_uses = var_refs(p, "t");
         // First use (inside `t = t + 1.0`) sees the decl; the return use
         // sees only the assignment (decl killed).
-        assert_eq!(rd.defs_of(t_uses[0]), &BTreeSet::from([DefId::Stmt(sids[0])]));
-        assert_eq!(rd.defs_of(t_uses[1]), &BTreeSet::from([DefId::Stmt(sids[1])]));
+        assert_eq!(
+            rd.defs_of(t_uses[0]),
+            &BTreeSet::from([DefId::Stmt(sids[0])])
+        );
+        assert_eq!(
+            rd.defs_of(t_uses[1]),
+            &BTreeSet::from([DefId::Stmt(sids[1])])
+        );
     }
 
     #[test]

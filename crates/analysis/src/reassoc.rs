@@ -81,7 +81,9 @@ fn walk_expr(e: &mut Expr, dep: &Dependence, changed: &mut usize) {
         }
         _ => {}
     }
-    let ExprKind::Binary(op, _, _) = e.kind else { return };
+    let ExprKind::Binary(op, _, _) = e.kind else {
+        return;
+    };
     if !op.is_associative() {
         return;
     }
@@ -98,17 +100,14 @@ fn walk_expr(e: &mut Expr, dep: &Dependence, changed: &mut usize) {
     let root_id = e.id;
     let root_span = e.span;
     let is_dep = |x: &Expr| dep.is_dependent(x.id);
-    let already_partitioned = operands
-        .windows(2)
-        .all(|w| !is_dep(&w[0]) || is_dep(&w[1]));
+    let already_partitioned = operands.windows(2).all(|w| !is_dep(&w[0]) || is_dep(&w[1]));
     if operands.iter().any(has_global_effect) || already_partitioned {
         // Effectful chains must not reorder (it would permute trace output);
         // already-partitioned chains have nothing to gain.
         *e = rebuild(op, operands, root_id, root_span);
         return;
     }
-    let (indep, dependent): (Vec<Expr>, Vec<Expr>) =
-        operands.into_iter().partition(|x| !is_dep(x));
+    let (indep, dependent): (Vec<Expr>, Vec<Expr>) = operands.into_iter().partition(|x| !is_dep(x));
     let mut ordered = indep;
     ordered.extend(dependent);
     *e = rebuild(op, ordered, root_id, root_span);

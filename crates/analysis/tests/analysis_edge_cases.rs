@@ -213,7 +213,9 @@ fn inliner_handles_diamond_call_graphs() {
     let out = inline_entry(&prog, "f").expect("inline diamond");
     typecheck(&out).expect("inlined diamond typechecks");
     use ds_interp::{Evaluator, Value};
-    let a = Evaluator::new(&prog).run("f", &[Value::Float(2.0)]).unwrap();
+    let a = Evaluator::new(&prog)
+        .run("f", &[Value::Float(2.0)])
+        .unwrap();
     let b = Evaluator::new(&out).run("f", &[Value::Float(2.0)]).unwrap();
     assert_eq!(a.value, b.value); // (3+1)*(3-1) = 8
     assert_eq!(b.value, Some(Value::Float(8.0)));
@@ -278,7 +280,10 @@ fn provenance_chains_reach_a_basis_cause() {
         }
     });
     let sin_id = sin_id.expect("sin present");
-    assert!(matches!(solver.reason(sin_id), Some(Reason::CachedOperandOf(_))));
+    assert!(matches!(
+        solver.reason(sin_id),
+        Some(Reason::CachedOperandOf(_))
+    ));
 
     // The chain from sin(k) ends at a basis cause (Rule 1 or the return
     // seed), never cycles, and every step is labeled.

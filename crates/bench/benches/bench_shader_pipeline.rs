@@ -2,17 +2,27 @@
 //! reader for a simple shader (plastic/ambient), an expensive-noise shader
 //! (marble/kd, where the reader should be dramatically faster), and a
 //! noise-defeating partition (marble/veinfreq).
+//!
+//! Every phase runs on both backends — the reference tree walker and the
+//! register-bytecode VM — and each case ends with a `reader-vm-batch`
+//! measurement replaying a sweep of varying inputs through
+//! [`ds_interp::CompiledProgram::run_batch`] against one warm cache, the
+//! shape a renderer would actually use per frame.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ds_core::{specialize, InputPartition, SpecializeOptions};
-use ds_interp::{CacheBuf, Evaluator, Value};
+use ds_interp::{compile, CacheBuf, EvalOptions, Evaluator, Value, Vm};
 use ds_shaders::{all_shaders, pixel_inputs, Shader};
 use std::hint::black_box;
 
 fn full_args(shader: &Shader, varying: &str, value: f64) -> Vec<Value> {
     let mut a = pixel_inputs(5, 7, 16, 16).to_args();
     for c in &shader.controls {
-        a.push(Value::Float(if c.name == varying { value } else { c.default }));
+        a.push(Value::Float(if c.name == varying {
+            value
+        } else {
+            c.default
+        }));
     }
     a
 }
@@ -27,17 +37,45 @@ fn bench_case(c: &mut Criterion, shader: &Shader, param: &str) {
     .expect("specialize");
     let program = spec.as_program();
     let ev = Evaluator::new(&program);
-    let a = full_args(shader, param, shader.control(param).expect("exists").sweep()[0]);
+    let compiled = compile(&program);
+    let mut vm = Vm::new();
+    let sweep_vals = shader.control(param).expect("exists").sweep();
+    let a = full_args(shader, param, sweep_vals[0]);
 
     let mut group = c.benchmark_group(format!("{}-{}", shader.name, param));
     group.bench_function("original", |b| {
         b.iter(|| ev.run("shade", black_box(&a)).expect("run"))
+    });
+    group.bench_function("original-vm", |b| {
+        b.iter(|| {
+            vm.run(
+                &compiled,
+                "shade",
+                black_box(&a),
+                None,
+                EvalOptions::default(),
+            )
+            .expect("run")
+        })
     });
     group.bench_function("loader", |b| {
         b.iter(|| {
             let mut cache = CacheBuf::new(spec.slot_count());
             ev.run_with_cache("shade__loader", black_box(&a), &mut cache)
                 .expect("run")
+        })
+    });
+    group.bench_function("loader-vm", |b| {
+        b.iter(|| {
+            let mut cache = CacheBuf::new(spec.slot_count());
+            vm.run(
+                &compiled,
+                "shade__loader",
+                black_box(&a),
+                Some(&mut cache),
+                EvalOptions::default(),
+            )
+            .expect("run")
         })
     });
     let mut cache = CacheBuf::new(spec.slot_count());
@@ -47,6 +85,36 @@ fn bench_case(c: &mut Criterion, shader: &Shader, param: &str) {
         b.iter(|| {
             ev.run_with_cache("shade__reader", black_box(&a), &mut cache)
                 .expect("run")
+        })
+    });
+    group.bench_function("reader-vm", |b| {
+        b.iter(|| {
+            vm.run(
+                &compiled,
+                "shade__reader",
+                black_box(&a),
+                Some(&mut cache),
+                EvalOptions::default(),
+            )
+            .expect("run")
+        })
+    });
+    // Replay the shader's whole control sweep through the batch API.
+    let sweep: Vec<Vec<Value>> = sweep_vals
+        .iter()
+        .map(|&v| full_args(shader, param, v))
+        .collect();
+    let label = format!("reader-vm-batch-{}", sweep.len());
+    group.bench_function(label.as_str(), |b| {
+        b.iter(|| {
+            let outs = compiled.run_batch(
+                "shade__reader",
+                black_box(&sweep),
+                Some(&mut cache),
+                EvalOptions::default(),
+            );
+            assert_eq!(outs.len(), sweep.len());
+            outs
         })
     });
     group.finish();

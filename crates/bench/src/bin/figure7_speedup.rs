@@ -44,7 +44,10 @@ fn main() {
         .map(|m| m.speedup)
         .fold(0.0f64, f64::max);
     println!("partitions: {total}  (paper: 131)");
-    println!("all speedups >= 1.0x: {}  (paper: \"always at least 1.0x\")", min >= 1.0);
+    println!(
+        "all speedups >= 1.0x: {}  (paper: \"always at least 1.0x\")",
+        min >= 1.0
+    );
     println!(
         "largest speedups come from the fractal-noise shaders (paper: \"as high as 100x\"): max {}x",
         f(max, 1)

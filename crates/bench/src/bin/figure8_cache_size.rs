@@ -31,11 +31,18 @@ fn main() {
     println!("{}", table(&rows));
 
     let (mean, median) = cache_size_stats(&measurements);
-    println!("overall mean cache size:   {} bytes  (paper: 22)", f(mean, 1));
+    println!(
+        "overall mean cache size:   {} bytes  (paper: 22)",
+        f(mean, 1)
+    );
     println!("overall median cache size: {median} bytes  (paper: 20)");
 
     // §5.3's memory check: caches × pixels fits comfortably in memory.
-    let worst = measurements.iter().map(|m| m.cache_bytes).max().unwrap_or(0);
+    let worst = measurements
+        .iter()
+        .map(|m| m.cache_bytes)
+        .max()
+        .unwrap_or(0);
     let total_640x480 = u64::from(worst) * 640 * 480;
     println!(
         "worst-case full-frame usage (640x480): {:.1} MB  (paper: \"well within physical memory\")",

@@ -30,7 +30,10 @@ fn main() {
     // --- F7 / F8 / T-OH ----------------------------------------------
     let measurements = exp_all_partitions();
     let summaries = summarize(&measurements);
-    println!("[F7] speedups over {} partitions (paper: 131)", measurements.len());
+    println!(
+        "[F7] speedups over {} partitions (paper: 131)",
+        measurements.len()
+    );
     let mut rows = vec![vec![
         "shader".to_string(),
         "min".to_string(),
@@ -79,7 +82,10 @@ fn main() {
             .expect("mean present")
     };
     for bound in [0u32, 8, 16, 24, 32, 40] {
-        println!("  bound {bound:>2} B: mean retention {}%", f(mean_at(bound), 0));
+        println!(
+            "  bound {bound:>2} B: mean retention {}%",
+            f(mean_at(bound), 0)
+        );
     }
     println!("  (paper: ~70% retained at 20% of cache, ~90% at 30%)\n");
 

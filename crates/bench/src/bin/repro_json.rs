@@ -18,10 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("speedup_nonzero", Json::from(d.speedup_nonzero)),
         ("speedup_zero", Json::from(d.speedup_zero)),
         ("startup_overhead", Json::from(d.startup_overhead_nonzero)),
-        (
-            "breakeven",
-            d.breakeven.map_or(Json::Null, Json::from),
-        ),
+        ("breakeven", d.breakeven.map_or(Json::Null, Json::from)),
     ]);
 
     let measurements = exp_all_partitions();
@@ -39,10 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     ("reader_cost", Json::from(m.reader_cost)),
                     ("cache_bytes", Json::from(m.cache_bytes)),
                     ("slots", Json::from(m.slots)),
-                    (
-                        "breakeven",
-                        m.breakeven.map_or(Json::Null, Json::from),
-                    ),
+                    ("breakeven", m.breakeven.map_or(Json::Null, Json::from)),
                 ])
             })
             .collect(),
@@ -53,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         breakeven_histogram(&measurements)
             .into_iter()
             .map(|(uses, count)| {
-                Json::obj([("uses", Json::from(uses)), ("partitions", Json::from(count))])
+                Json::obj([
+                    ("uses", Json::from(uses)),
+                    ("partitions", Json::from(count)),
+                ])
             })
             .collect(),
     );

@@ -44,15 +44,14 @@ fn main() {
     }
     println!("{}", table(&agg));
 
-    let worst = rows
-        .iter()
-        .map(|r| r.growth)
-        .fold(0.0f64, f64::max);
+    let worst = rows.iter().map(|r| r.growth).fold(0.0f64, f64::max);
     let under_two = rows.iter().filter(|r| r.growth < 2.0).count();
     println!(
         "partitions with (loader+reader) < 2x fragment: {under_two}/{} (worst {}x)",
         rows.len(),
         f(worst, 2)
     );
-    println!("(paper: \"in practice, the sum ... has been less than twice the size of the fragment\")");
+    println!(
+        "(paper: \"in practice, the sum ... has been less than twice the size of the fragment\")"
+    );
 }

@@ -49,7 +49,10 @@ fn main() {
     println!(
         "worst-case frame memory: {} MB; mean-case: {} MB  (paper: \"well within\n\
          the physical memory size of a typical workstation\" — 64 MB in 1996)",
-        f(u64::from(worst_overall) as f64 * FRAME_PIXELS as f64 / (1024.0 * 1024.0), 1),
+        f(
+            u64::from(worst_overall) as f64 * FRAME_PIXELS as f64 / (1024.0 * 1024.0),
+            1
+        ),
         f(mean * FRAME_PIXELS as f64 / (1024.0 * 1024.0), 1)
     );
 }

@@ -53,8 +53,8 @@ fn measure_micro(src: &str, speculate: bool) -> (f64, usize) {
     } else {
         SpecializeOptions::new()
     };
-    let spec = specialize_source(src, "f", &InputPartition::varying(["v"]), &opts)
-        .expect("specialize");
+    let spec =
+        specialize_source(src, "f", &InputPartition::varying(["v"]), &opts).expect("specialize");
     let program = spec.as_program();
     let ev = Evaluator::new(&program);
     let has_n = spec.fragment.params.iter().any(|p| p.name == "n");
@@ -118,6 +118,7 @@ fn main() {
                 &MeasureOptions {
                     grid: 4,
                     spec: SpecializeOptions::new(),
+                    ..Default::default()
                 },
             );
             let spec = measure_partition(
@@ -126,6 +127,7 @@ fn main() {
                 &MeasureOptions {
                     grid: 4,
                     spec: SpecializeOptions::new().with_speculation(),
+                    ..Default::default()
                 },
             );
             total += 1;

@@ -18,6 +18,7 @@ fn default_opts() -> MeasureOptions {
     MeasureOptions {
         grid: DEFAULT_GRID,
         spec: SpecializeOptions::new(),
+        ..Default::default()
     }
 }
 
@@ -139,8 +140,10 @@ pub struct ShaderSummary {
 pub fn summarize(measurements: &[Measurement]) -> Vec<ShaderSummary> {
     let mut out: Vec<ShaderSummary> = Vec::new();
     for idx in 1..=10 {
-        let rows: Vec<&Measurement> =
-            measurements.iter().filter(|m| m.shader_index == idx).collect();
+        let rows: Vec<&Measurement> = measurements
+            .iter()
+            .filter(|m| m.shader_index == idx)
+            .collect();
         if rows.is_empty() {
             continue;
         }
@@ -211,6 +214,7 @@ pub fn exp_limit_sweep(grid: u32) -> Vec<LimitPoint> {
             let opts = MeasureOptions {
                 grid,
                 spec: SpecializeOptions::new().with_cache_bound(bound),
+                ..Default::default()
             };
             let m = measure_partition(rings, control.name, &opts);
             out.push(LimitPoint {
@@ -338,6 +342,7 @@ pub fn exp_code_vs_data(shader: &Shader, param: &str, grid: u32) -> CompareRow {
     let opts = MeasureOptions {
         grid,
         spec: SpecializeOptions::new(),
+        ..Default::default()
     };
     let m = measure_partition(shader, param, &opts);
 
@@ -358,8 +363,13 @@ pub fn exp_code_vs_data(shader: &Shader, param: &str, grid: u32) -> CompareRow {
                 fixed.insert(c.name.to_string(), Value::Float(c.default));
             }
         }
-        let cs = code_specialize(&shader.program, "shade", &fixed, &CodeSpecOptions::default())
-            .expect("code specialize");
+        let cs = code_specialize(
+            &shader.program,
+            "shade",
+            &fixed,
+            &CodeSpecOptions::default(),
+        )
+        .expect("code specialize");
         codegen_total += cs.codegen_cost as f64;
         let rp = cs.as_program();
         let ev = Evaluator::new(&rp);
@@ -417,6 +427,7 @@ mod tests {
         let opts = MeasureOptions {
             grid: 3,
             spec: SpecializeOptions::new(),
+            ..Default::default()
         };
         let ms: Vec<Measurement> = suite[0]
             .controls
@@ -441,6 +452,7 @@ mod tests {
                 let opts = MeasureOptions {
                     grid: 3,
                     spec: SpecializeOptions::new().with_cache_bound(bound),
+                    ..Default::default()
                 };
                 let m = measure_partition(rings, "ambient", &opts);
                 out.push((bound, m.speedup));

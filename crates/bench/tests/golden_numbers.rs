@@ -48,6 +48,7 @@ fn marble_kd_partition_locked() {
         &MeasureOptions {
             grid: 3,
             spec: SpecializeOptions::new(),
+            ..Default::default()
         },
     );
     // Exact values from the deterministic pipeline (grid 3).
@@ -74,6 +75,7 @@ fn figure9_ks_cliff_locked() {
             &MeasureOptions {
                 grid: 3,
                 spec: SpecializeOptions::new().with_cache_bound(bound),
+                ..Default::default()
             },
         )
         .speedup

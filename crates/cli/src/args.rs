@@ -29,7 +29,7 @@ impl std::error::Error for UsageError {}
 
 /// Option keys that take a value; everything else starting with `--` is a
 /// boolean flag.
-const VALUE_OPTIONS: &[&str] = &["entry", "vary", "bound", "args"];
+const VALUE_OPTIONS: &[&str] = &["entry", "vary", "bound", "args", "engine"];
 
 /// Parses raw arguments (excluding the program name).
 ///
@@ -49,12 +49,20 @@ pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, UsageError>
     while let Some(tok) = it.next() {
         if let Some(key) = tok.strip_prefix("--") {
             if VALUE_OPTIONS.contains(&key) {
-                let value = it.next().ok_or_else(|| {
-                    UsageError(format!("option --{key} requires a value"))
-                })?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| UsageError(format!("option --{key} requires a value")))?;
                 args.options.insert(key.to_string(), value);
-            } else if ["reassociate", "speculate", "loader", "reader", "fragment", "explain", "sexpr"]
-                .contains(&key)
+            } else if [
+                "reassociate",
+                "speculate",
+                "loader",
+                "reader",
+                "fragment",
+                "explain",
+                "sexpr",
+            ]
+            .contains(&key)
             {
                 args.options.insert(key.to_string(), String::new());
             } else {
@@ -118,6 +126,14 @@ impl Args {
                 .parse()
                 .map(Some)
                 .map_err(|_| UsageError(format!("--bound expects a byte count, got `{v}`"))),
+        }
+    }
+
+    /// `--engine tree|vm` selecting the execution backend (tree by default).
+    pub fn engine(&self) -> Result<ds_interp::Engine, UsageError> {
+        match self.options.get("engine") {
+            None => Ok(ds_interp::Engine::default()),
+            Some(v) => v.parse().map_err(|e: String| UsageError(e)),
         }
     }
 
@@ -195,14 +211,25 @@ mod tests {
     }
 
     #[test]
+    fn engine_parses() {
+        let a = parse_ok(&["run", "f.mc", "--engine", "vm"]);
+        assert_eq!(a.engine().unwrap(), ds_interp::Engine::Vm);
+        let a = parse_ok(&["run", "f.mc", "--engine", "tree"]);
+        assert_eq!(a.engine().unwrap(), ds_interp::Engine::Tree);
+        let a = parse_ok(&["run", "f.mc"]);
+        assert_eq!(a.engine().unwrap(), ds_interp::Engine::Tree);
+        let a = parse_ok(&["run", "f.mc", "--engine", "jit"]);
+        assert!(a.engine().is_err());
+    }
+
+    #[test]
     fn entry_defaults_to_single_proc() {
         let prog = ds_lang::parse_program("float f(float x) { return x; }").unwrap();
         let a = parse_ok(&["show", "f.mc"]);
         assert_eq!(a.entry(&prog).unwrap(), "f");
-        let prog2 = ds_lang::parse_program(
-            "float f(float x) { return x; } float g(float x) { return x; }",
-        )
-        .unwrap();
+        let prog2 =
+            ds_lang::parse_program("float f(float x) { return x; } float g(float x) { return x; }")
+                .unwrap();
         assert!(a.entry(&prog2).is_err());
         let b = parse_ok(&["show", "f.mc", "--entry", "g"]);
         assert_eq!(b.entry(&prog2).unwrap(), "g");

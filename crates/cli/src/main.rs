@@ -20,7 +20,6 @@ mod args;
 
 use args::{parse, Args, UsageError};
 use ds_core::{specialize, InputPartition, SpecializeOptions};
-use ds_interp::Evaluator;
 use ds_lang::Program;
 use std::process::ExitCode;
 
@@ -31,15 +30,18 @@ USAGE:
     dsc labels FILE --vary a,b [--entry NAME] [--speculate] [--explain]
     dsc specialize FILE --vary a,b [--entry NAME] [--bound BYTES]
                    [--reassociate] [--speculate] [--loader] [--reader]
-    dsc run FILE --args 1.0,2,true [--entry NAME]
+    dsc run FILE --args 1.0,2,true [--entry NAME] [--engine tree|vm]
     dsc measure FILE --vary a,b --args ... [--entry NAME]
                 [--bound BYTES] [--reassociate] [--speculate]
+                [--engine tree|vm]
     dsc help
 
 The input is a MiniC source file (a subset of C without pointers or goto).
 `--vary` names the procedure parameters that vary across executions; all
 other parameters are held fixed. `specialize` prints the cache layout and
-both generated phases unless --loader/--reader select one.";
+both generated phases unless --loader/--reader select one. `--engine`
+picks the execution backend: the reference tree walker (default) or the
+register-bytecode VM; both charge identical abstract costs.";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -75,8 +77,7 @@ fn load(args: &Args) -> Result<(Program, String), UsageError> {
     let path = args.file()?;
     let source = std::fs::read_to_string(path)
         .map_err(|e| UsageError(format!("cannot read `{path}`: {e}")))?;
-    let program = ds_lang::parse_program(&source)
-        .map_err(|e| UsageError(e.render(&source)))?;
+    let program = ds_lang::parse_program(&source).map_err(|e| UsageError(e.render(&source)))?;
     ds_lang::typecheck(&program).map_err(|e| UsageError(e.render(&source)))?;
     Ok((program, source))
 }
@@ -116,13 +117,15 @@ fn cmd_labels(args: &Args) -> Result<(), UsageError> {
     let entry = args.entry(&program)?.to_string();
     let vary = args.vary();
     if vary.is_empty() {
-        return Err(UsageError("labels needs --vary (possibly with a dummy name)".into()));
+        return Err(UsageError(
+            "labels needs --vary (possibly with a dummy name)".into(),
+        ));
     }
 
     // Mirror the specializer's pipeline so the labels match what
     // `specialize` would use.
-    let mut prog = ds_analysis::inline_entry(&program, &entry)
-        .map_err(|e| UsageError(e.to_string()))?;
+    let mut prog =
+        ds_analysis::inline_entry(&program, &entry).map_err(|e| UsageError(e.to_string()))?;
     ds_analysis::insert_phis(&mut prog.procs[0]);
     prog.renumber();
     let types = ds_lang::typecheck(&prog).map_err(|e| UsageError(e.to_string()))?;
@@ -141,11 +144,18 @@ fn cmd_labels(args: &Args) -> Result<(), UsageError> {
         },
     );
 
-    println!("// labels for `{entry}` with varying {{{}}}\n", vary.join(", "));
+    println!(
+        "// labels for `{entry}` with varying {{{}}}\n",
+        vary.join(", ")
+    );
     let explain = args.flag("explain");
     proc.walk_exprs(&mut |e| {
         let label = solver.label(e.id);
-        let dep_mark = if dep.is_dependent(e.id) { " (dependent)" } else { "" };
+        let dep_mark = if dep.is_dependent(e.id) {
+            " (dependent)"
+        } else {
+            ""
+        };
         println!("{label:>8}{dep_mark}  {}", ds_lang::print_expr(e));
         if explain && label != ds_analysis::Label::Static {
             for (term, reason) in solver.explain(e.id) {
@@ -211,13 +221,17 @@ fn cmd_measure(args: &Args) -> Result<(), UsageError> {
     .map_err(|e| UsageError(e.to_string()))?;
 
     let staged = spec.as_program();
-    let ev = Evaluator::new(&staged);
+    let engine = args.engine()?;
     let run = |what: &str, cache: Option<&mut ds_interp::CacheBuf>| {
-        match cache {
-            Some(c) => ev.run_with_cache(what, &values, c),
-            None => ev.run(what, &values),
-        }
-        .map_err(|e| UsageError(format!("{what}: {e}")))
+        engine
+            .run_program(
+                &staged,
+                what,
+                &values,
+                cache,
+                ds_interp::EvalOptions::default(),
+            )
+            .map_err(|e| UsageError(format!("{what}: {e}")))
     };
     let orig = run(&entry, None)?;
     let mut cache = ds_interp::CacheBuf::new(spec.slot_count());
@@ -233,10 +247,16 @@ fn cmd_measure(args: &Args) -> Result<(), UsageError> {
 
     println!("// varying: {{{}}}", vary.join(", "));
     println!("original cost:  {}", orig.cost);
-    println!("loader cost:    {}  ({:+.1}% overhead)", loader.cost,
-        (loader.cost as f64 / orig.cost as f64 - 1.0) * 100.0);
-    println!("reader cost:    {}  ({:.2}x speedup)", reader.cost,
-        orig.cost as f64 / reader.cost as f64);
+    println!(
+        "loader cost:    {}  ({:+.1}% overhead)",
+        loader.cost,
+        (loader.cost as f64 / orig.cost as f64 - 1.0) * 100.0
+    );
+    println!(
+        "reader cost:    {}  ({:.2}x speedup)",
+        reader.cost,
+        orig.cost as f64 / reader.cost as f64
+    );
     println!(
         "cache:          {} byte(s) in {} slot(s)",
         spec.cache_bytes(),
@@ -245,8 +265,7 @@ fn cmd_measure(args: &Args) -> Result<(), UsageError> {
     let breakeven = if reader.cost >= orig.cost {
         "never".to_string()
     } else {
-        let n = (loader.cost as f64 - reader.cost as f64)
-            / (orig.cost as f64 - reader.cost as f64);
+        let n = (loader.cost as f64 - reader.cost as f64) / (orig.cost as f64 - reader.cost as f64);
         format!("{} uses", n.ceil().max(1.0) as u64)
     };
     println!("breakeven:      {breakeven}");
@@ -261,9 +280,15 @@ fn cmd_run(args: &Args) -> Result<(), UsageError> {
     let (program, _) = load(args)?;
     let entry = args.entry(&program)?;
     let values = args.values()?;
-    let ev = Evaluator::new(&program);
-    let out = ev
-        .run(entry, &values)
+    let out = args
+        .engine()?
+        .run_program(
+            &program,
+            entry,
+            &values,
+            None,
+            ds_interp::EvalOptions::default(),
+        )
         .map_err(|e| UsageError(e.to_string()))?;
     match out.value {
         Some(v) => println!("result: {v}"),

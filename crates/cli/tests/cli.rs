@@ -58,7 +58,11 @@ fn specialize_emits_figure_2() {
         "--vary",
         "z1,z2",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("dotprod__loader"), "{text}");
     assert!(text.contains("dotprod__reader"), "{text}");
@@ -94,7 +98,11 @@ fn labels_show_the_frontier() {
         "--vary",
         "z1,z2",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("cached  x1 * x2 + y1 * y2"), "{text}");
     assert!(text.contains("dynamic (dependent)  z1 * z2"), "{text}");
@@ -109,7 +117,11 @@ fn run_reports_result_and_cost() {
         "--args",
         "1.0,2.0,3.0,4.0,5.0,6.0,2.0",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("result: 16"), "{text}");
     assert!(text.contains("cost:   19"), "{text}");
@@ -178,7 +190,11 @@ fn measure_reports_staging_economics() {
         "--args",
         "1.0,2.0,3.0,4.0,5.0,6.0,2.0",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("original cost:  19"), "{text}");
     assert!(text.contains("speedup"), "{text}");

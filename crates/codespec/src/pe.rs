@@ -22,9 +22,7 @@
 //! two-use breakeven.
 
 use ds_interp::{apply_binop, apply_pure_builtin, apply_unop, Value};
-use ds_lang::{
-    Block, Builtin, Expr, ExprKind, Param, Proc, Program, Stmt, StmtKind, TermId, Type,
-};
+use ds_lang::{Block, Builtin, Expr, ExprKind, Param, Proc, Program, Stmt, StmtKind, TermId, Type};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -75,7 +73,10 @@ impl fmt::Display for CodeSpecError {
                 write!(f, "bad fixed value for `{param}`: {detail}")
             }
             CodeSpecError::UnrollBudgetExhausted => {
-                write!(f, "loop unrolling budget exhausted (non-terminating known loop?)")
+                write!(
+                    f,
+                    "loop unrolling budget exhausted (non-terminating known loop?)"
+                )
             }
         }
     }
@@ -634,15 +635,10 @@ mod tests {
         );
         let rp = cs.as_program();
         for (z1, z2) in [(3.0, 6.0), (0.0, 0.0), (-5.5, 2.25)] {
-            let full: Vec<Value> = [1.0, 2.0, z1, 4.0, 5.0, z2, 2.0]
-                .map(Value::Float)
-                .to_vec();
+            let full: Vec<Value> = [1.0, 2.0, z1, 4.0, 5.0, z2, 2.0].map(Value::Float).to_vec();
             let orig = Evaluator::new(&prog).run("dotprod", &full).unwrap();
             let resid = Evaluator::new(&rp)
-                .run(
-                    "dotprod__residual",
-                    &[Value::Float(z1), Value::Float(z2)],
-                )
+                .run("dotprod__residual", &[Value::Float(z1), Value::Float(z2)])
                 .unwrap();
             assert_eq!(orig.value, resid.value, "z1={z1} z2={z2}");
             assert!(resid.cost < orig.cost, "residual must be cheaper");

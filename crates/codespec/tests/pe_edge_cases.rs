@@ -61,8 +61,14 @@ fn variable_reknown_after_branch() {
     let cs = spec(src, "f", &[]);
     let text = print_proc(&cs.residual);
     assert!(text.contains("return 10.0;"), "{text}");
-    check_equiv(src, &[], &[vec![Value::Bool(true), Value::Float(3.0)],
-                            vec![Value::Bool(false), Value::Float(3.0)]]);
+    check_equiv(
+        src,
+        &[],
+        &[
+            vec![Value::Bool(true), Value::Float(3.0)],
+            vec![Value::Bool(false), Value::Float(3.0)],
+        ],
+    );
 }
 
 #[test]
@@ -102,12 +108,19 @@ fn loop_with_known_prefix_then_unknown_guard() {
     check_equiv(
         src,
         &[("v", Value::Float(0.5))],
-        &[vec![Value::Int(0)], vec![Value::Int(3)], vec![Value::Int(7)]],
+        &[
+            vec![Value::Int(0)],
+            vec![Value::Int(3)],
+            vec![Value::Int(7)],
+        ],
     );
     let cs = spec(src, "f", &[("v", Value::Float(0.5))]);
     let text = print_proc(&cs.residual);
     assert!(text.contains("while"), "{text}");
-    assert!(text.contains("acc + 0.5"), "v folded into the loop body: {text}");
+    assert!(
+        text.contains("acc + 0.5"),
+        "v folded into the loop body: {text}"
+    );
 }
 
 #[test]
@@ -150,7 +163,11 @@ fn effects_in_eliminated_branches_disappear() {
     let text = print_proc(&cs.residual);
     assert!(text.contains("trace(1.0)"), "{text}");
     assert!(!text.contains("trace(2.0)"), "{text}");
-    check_equiv(src, &[("k", Value::Float(5.0))], &[vec![Value::Float(0.25)]]);
+    check_equiv(
+        src,
+        &[("k", Value::Float(5.0))],
+        &[vec![Value::Float(0.25)]],
+    );
 }
 
 #[test]
@@ -182,7 +199,11 @@ fn float_division_folds_to_ieee_values() {
 #[test]
 fn residual_params_preserve_declaration_order() {
     let src = "float f(float a, float b, float c, float d) { return a + b + c + d; }";
-    let cs = spec(src, "f", &[("b", Value::Float(1.0)), ("d", Value::Float(2.0))]);
+    let cs = spec(
+        src,
+        "f",
+        &[("b", Value::Float(1.0)), ("d", Value::Float(2.0))],
+    );
     let names: Vec<&str> = cs.residual.params.iter().map(|p| p.name.as_str()).collect();
     assert_eq!(names, vec!["a", "c"]);
 }

@@ -68,13 +68,17 @@ mod tests {
 
     #[test]
     fn displays_are_specific() {
-        assert!(SpecError::UnknownProc("f".into()).to_string().contains("`f`"));
+        assert!(SpecError::UnknownProc("f".into())
+            .to_string()
+            .contains("`f`"));
         let e = SpecError::UnknownParam {
             proc: "shade".into(),
             param: "zeta".into(),
         };
         assert!(e.to_string().contains("zeta"));
-        assert!(SpecError::Internal("x".into()).to_string().contains("invariant"));
+        assert!(SpecError::Internal("x".into())
+            .to_string()
+            .contains("invariant"));
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl fmt::Display for CacheLayout {
             writeln!(
                 f,
                 "  [{:>2}] +{:<3} {:<5} {} byte(s)  <- {}",
-                s.id.0, s.offset, s.ty.to_string(), s.width, s.source
+                s.id.0,
+                s.offset,
+                s.ty.to_string(),
+                s.width,
+                s.source
             )?;
         }
         Ok(())

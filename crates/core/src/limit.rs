@@ -16,8 +16,8 @@
 //! loop still terminates because labels only increase, and in the worst
 //! case everything becomes dynamic and the cache is empty.
 
-use ds_analysis::{weighted_cost, CacheSolver, Label, ReachingDefs, TermIndex};
 use ds_analysis::DefId;
+use ds_analysis::{weighted_cost, CacheSolver, Label, ReachingDefs, TermIndex};
 use ds_lang::{ExprKind, StmtKind, TermId, TypeInfo};
 
 /// One victim decision, for diagnostics and the Figure 9/10 experiments.
@@ -43,10 +43,7 @@ pub fn limit_cache_size(
     let mut evictions = Vec::new();
     loop {
         let cached = solver.cached_terms();
-        let bytes: u32 = cached
-            .iter()
-            .map(|&t| slot_width(types, t))
-            .sum();
+        let bytes: u32 = cached.iter().map(|&t| slot_width(types, t)).sum();
         if bytes <= bound_bytes {
             return evictions;
         }
@@ -209,7 +206,10 @@ mod tests {
             // the cheapest of the initial frontier).
             let first = ix.expr(ev[0].term).unwrap();
             let text = ds_lang::print_expr(first);
-            assert!(!text.contains("fbm3"), "evicted the expensive slot first: {text}");
+            assert!(
+                !text.contains("fbm3"),
+                "evicted the expensive slot first: {text}"
+            );
             // And the fbm3 slot is the last to go.
             let last = ix.expr(ev.last().unwrap().term).unwrap();
             assert!(ds_lang::print_expr(last).contains("fbm3"));

@@ -176,10 +176,12 @@ pub fn specialize(
     let proc0 = program
         .proc(entry)
         .ok_or_else(|| SpecError::UnknownProc(entry.to_string()))?;
-    partition.validate(proc0).map_err(|param| SpecError::UnknownParam {
-        proc: entry.to_string(),
-        param,
-    })?;
+    partition
+        .validate(proc0)
+        .map_err(|param| SpecError::UnknownParam {
+            proc: entry.to_string(),
+            param,
+        })?;
     typecheck(program)?;
 
     // §5: the fragment is a single nonrecursive procedure.
@@ -466,7 +468,12 @@ mod tests {
     fn unknown_names_are_reported() {
         let prog = parse_program(DOTPROD).unwrap();
         assert!(matches!(
-            specialize(&prog, "nope", &InputPartition::all_fixed(), &SpecializeOptions::new()),
+            specialize(
+                &prog,
+                "nope",
+                &InputPartition::all_fixed(),
+                &SpecializeOptions::new()
+            ),
             Err(SpecError::UnknownProc(_))
         ));
         assert!(matches!(
@@ -586,19 +593,29 @@ mod tests {
                        return r;
                    }";
         let plain = specialize_source(
-            src, "f", &InputPartition::varying(["v"]), &SpecializeOptions::new(),
-        ).unwrap();
+            src,
+            "f",
+            &InputPartition::varying(["v"]),
+            &SpecializeOptions::new(),
+        )
+        .unwrap();
         assert_eq!(plain.slot_count(), 0, "Rule 3 forbids caching here");
         let spec = specialize_source(
-            src, "f", &InputPartition::varying(["v"]),
+            src,
+            "f",
+            &InputPartition::varying(["v"]),
             &SpecializeOptions::new().with_speculation(),
-        ).unwrap();
+        )
+        .unwrap();
         assert_eq!(spec.slot_count(), 1);
         let loader_text = ds_lang::print_proc(&spec.loader);
         // The store appears unconditionally before the guard...
         let store_pos = loader_text.find("CACHE[slot0] =").expect("store emitted");
         let guard_pos = loader_text.find("if (v > 0.5)").expect("guard present");
-        assert!(store_pos < guard_pos, "store must be hoisted:\n{loader_text}");
+        assert!(
+            store_pos < guard_pos,
+            "store must be hoisted:\n{loader_text}"
+        );
 
         // ...and the pipeline still reproduces the original on both paths.
         let prog = spec.as_program();
@@ -627,8 +644,12 @@ mod tests {
         let mut pcache = CacheBuf::new(0);
         pev.run_with_cache("f__loader", &args, &mut pcache).unwrap();
         let pread = pev.run_with_cache("f__reader", &args, &mut pcache).unwrap();
-        assert!(read.cost * 5 < pread.cost,
-            "speculative {} vs plain {}", read.cost, pread.cost);
+        assert!(
+            read.cost * 5 < pread.cost,
+            "speculative {} vs plain {}",
+            read.cost,
+            pread.cost
+        );
     }
 
     #[test]
@@ -645,9 +666,12 @@ mod tests {
                        return r;
                    }";
         let spec = specialize_source(
-            src, "f", &InputPartition::varying(["v"]),
+            src,
+            "f",
+            &InputPartition::varying(["v"]),
             &SpecializeOptions::new().with_speculation(),
-        ).unwrap();
+        )
+        .unwrap();
         // sin(k)*3.0 hoists (defs: k, a parameter); cos(u+1.0) must not
         // hoist above u's definition — it may still be cached via u's slot
         // chain, but never anchored before the guard with a stale u.

@@ -86,8 +86,7 @@ pub fn split(
 /// all of its reaching definitions, so definite initialization is
 /// preserved.
 fn declare_on_first_write(reader: &mut Proc, fragment_name: &str, types: &TypeInfo) {
-    let mut declared: HashSet<String> =
-        reader.params.iter().map(|p| p.name.clone()).collect();
+    let mut declared: HashSet<String> = reader.params.iter().map(|p| p.name.clone()).collect();
     fn go(
         block: &mut Block,
         declared: &mut HashSet<String>,
@@ -227,7 +226,9 @@ impl<'s, 'a, 'p> Split<'s, 'a, 'p> {
             // All subterms of a cached term are static (they are never value
             // operands of a dynamic term), so the subtree is kept verbatim.
             debug_assert!(
-                e.children().iter().all(|c| self.label(c.id) == Label::Static),
+                e.children()
+                    .iter()
+                    .all(|c| self.label(c.id) == Label::Static),
                 "cached term {} has a non-static subterm",
                 e.id
             );

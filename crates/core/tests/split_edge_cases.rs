@@ -31,11 +31,15 @@ fn cached_term_under_independent_guard_fills_conditionally() {
     for g in [1.0, -1.0] {
         let mut cache = CacheBuf::new(s.slot_count());
         let args = |v: f64| [Value::Float(2.0), Value::Float(g), Value::Float(v)];
-        let load = ev.run_with_cache("f__loader", &args(1.0), &mut cache).unwrap();
+        let load = ev
+            .run_with_cache("f__loader", &args(1.0), &mut cache)
+            .unwrap();
         // Slot filled iff the guard passed.
         assert_eq!(cache.filled(), usize::from(g > 0.0));
         let orig = ev.run("f", &args(3.0)).unwrap();
-        let read = ev.run_with_cache("f__reader", &args(3.0), &mut cache).unwrap();
+        let read = ev
+            .run_with_cache("f__reader", &args(3.0), &mut cache)
+            .unwrap();
         assert_eq!(orig.value, read.value, "g={g}");
         let _ = load;
     }
@@ -80,12 +84,18 @@ fn bool_slots_have_one_byte_width() {
     let prog = s.as_program();
     let ev = Evaluator::new(&prog);
     let args = |v: f64| {
-        [0.5, 0.4, 0.3, v].iter().map(|&x| Value::Float(x)).collect::<Vec<_>>()
+        [0.5, 0.4, 0.3, v]
+            .iter()
+            .map(|&x| Value::Float(x))
+            .collect::<Vec<_>>()
     };
     let mut cache = CacheBuf::new(s.slot_count());
-    ev.run_with_cache("f__loader", &args(1.0), &mut cache).unwrap();
+    ev.run_with_cache("f__loader", &args(1.0), &mut cache)
+        .unwrap();
     let orig = ev.run("f", &args(5.0)).unwrap();
-    let read = ev.run_with_cache("f__reader", &args(5.0), &mut cache).unwrap();
+    let read = ev
+        .run_with_cache("f__reader", &args(5.0), &mut cache)
+        .unwrap();
     assert_eq!(orig.value, read.value);
 }
 
@@ -177,7 +187,12 @@ fn phi_slots_only_for_joins_with_dynamic_consumers() {
                    return x * v + z;
                }";
     let s = spec(src, "f", &["v"]);
-    let sources: Vec<&str> = s.layout.slots().iter().map(|sl| sl.source.as_str()).collect();
+    let sources: Vec<&str> = s
+        .layout
+        .slots()
+        .iter()
+        .map(|sl| sl.source.as_str())
+        .collect();
     // x's phi is cached; z (containing y's chain) is cached as a whole;
     // y itself must not own a slot.
     assert!(sources.contains(&"x"), "{sources:?}");
@@ -247,11 +262,15 @@ fn void_fragments_specialize() {
     let ev = Evaluator::new(&prog);
     let mut cache = CacheBuf::new(s.slot_count());
     let args = |v: f64| [Value::Float(0.4), Value::Float(v)];
-    let load = ev.run_with_cache("f__loader", &args(9.0), &mut cache).unwrap();
+    let load = ev
+        .run_with_cache("f__loader", &args(9.0), &mut cache)
+        .unwrap();
     assert_eq!(load.value, None);
     for v in [-5.0, 9.0] {
         let orig = ev.run("f", &args(v)).unwrap();
-        let read = ev.run_with_cache("f__reader", &args(v), &mut cache).unwrap();
+        let read = ev
+            .run_with_cache("f__reader", &args(v), &mut cache)
+            .unwrap();
         assert_eq!(orig.trace, read.trace, "v={v}");
         assert_eq!(read.value, None);
     }
@@ -271,7 +290,9 @@ fn speculation_with_cache_bound_interacts_soundly() {
             src,
             "f",
             &InputPartition::varying(["v"]),
-            &SpecializeOptions::new().with_speculation().with_cache_bound(bound),
+            &SpecializeOptions::new()
+                .with_speculation()
+                .with_cache_bound(bound),
         )
         .expect("specialize");
         assert!(s.cache_bytes() <= bound);
@@ -279,10 +300,13 @@ fn speculation_with_cache_bound_interacts_soundly() {
         let ev = Evaluator::new(&prog);
         let mut cache = CacheBuf::new(s.slot_count());
         let args = |v: f64| [Value::Float(1.1), Value::Float(v)];
-        ev.run_with_cache("f__loader", &args(-1.0), &mut cache).unwrap();
+        ev.run_with_cache("f__loader", &args(-1.0), &mut cache)
+            .unwrap();
         for v in [-2.0, 0.5, 3.0] {
             let orig = ev.run("f", &args(v)).unwrap();
-            let read = ev.run_with_cache("f__reader", &args(v), &mut cache).unwrap();
+            let read = ev
+                .run_with_cache("f__reader", &args(v), &mut cache)
+                .unwrap();
             assert_eq!(orig.value, read.value, "bound={bound} v={v}");
         }
     }

@@ -86,17 +86,36 @@ mod tests {
     }
 
     #[test]
-    fn clear_empties() {
-        let mut buf = CacheBuf::new(1);
+    fn clear_empties_and_buffer_is_reusable() {
+        let mut buf = CacheBuf::new(2);
         buf.set(0, Value::Int(1));
+        buf.set(1, Value::Bool(true));
+        assert_eq!(buf.filled(), 2);
         buf.clear();
         assert_eq!(buf.filled(), 0);
+        assert_eq!(buf.get(0), None);
+        assert_eq!(buf.get(1), None);
+        // A cleared buffer accepts a fresh load (the per-pixel reuse path).
+        buf.set(1, Value::Float(2.5));
+        assert_eq!(buf.filled(), 1);
+        assert_eq!(buf.get(1), Some(Value::Float(2.5)));
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let mut buf = CacheBuf::new(1);
+        buf.set(0, Value::Int(1));
+        buf.set(0, Value::Int(2));
+        assert_eq!(buf.get(0), Some(Value::Int(2)));
+        assert_eq!(buf.filled(), 1);
     }
 
     #[test]
     fn out_of_range_get_is_none() {
         let buf = CacheBuf::new(1);
+        assert_eq!(buf.get(1), None, "one past the end");
         assert_eq!(buf.get(5), None);
+        assert_eq!(CacheBuf::new(0).get(0), None, "empty buffer");
     }
 
     #[test]
@@ -104,5 +123,12 @@ mod tests {
     fn out_of_range_set_panics() {
         let mut buf = CacheBuf::new(1);
         buf.set(5, Value::Int(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_one_past_the_end_panics() {
+        let mut buf = CacheBuf::new(3);
+        buf.set(3, Value::Int(1));
     }
 }

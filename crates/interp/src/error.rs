@@ -80,6 +80,8 @@ mod tests {
             span: Span::new(1, 2),
         };
         assert!(e.to_string().contains("slot 3"));
-        assert!(EvalError::UnknownProc("f".into()).to_string().contains("`f`"));
+        assert!(EvalError::UnknownProc("f".into())
+            .to_string()
+            .contains("`f`"));
     }
 }

@@ -211,7 +211,11 @@ impl<'p, 'c> State<'p, 'c> {
         if args.len() != proc.params.len() {
             return Err(EvalError::BadArguments {
                 proc: proc.name.clone(),
-                detail: format!("expected {} argument(s), got {}", proc.params.len(), args.len()),
+                detail: format!(
+                    "expected {} argument(s), got {}",
+                    proc.params.len(),
+                    args.len()
+                ),
             });
         }
         let mut env = HashMap::with_capacity(proc.params.len() * 2);
@@ -276,22 +280,20 @@ impl<'p, 'c> State<'p, 'c> {
                     self.block(else_blk, env)
                 }
             }
-            StmtKind::While { cond, body } => {
-                loop {
-                    let c = self.expr_bool(cond, env)?;
-                    self.cost += BRANCH_COST;
-                    if let Some(p) = &mut self.profile {
-                        p.branches += 1;
-                    }
-                    if !c {
-                        return Ok(Flow::Next);
-                    }
-                    if let Flow::Return(v) = self.block(body, env)? {
-                        return Ok(Flow::Return(v));
-                    }
-                    self.step()?;
+            StmtKind::While { cond, body } => loop {
+                let c = self.expr_bool(cond, env)?;
+                self.cost += BRANCH_COST;
+                if let Some(p) = &mut self.profile {
+                    p.branches += 1;
                 }
-            }
+                if !c {
+                    return Ok(Flow::Next);
+                }
+                if let Flow::Return(v) = self.block(body, env)? {
+                    return Ok(Flow::Return(v));
+                }
+                self.step()?;
+            },
             StmtKind::Return(None) => Ok(Flow::Return(None)),
             StmtKind::Return(Some(e)) => {
                 let v = self.expr(e, env)?;
@@ -342,10 +344,13 @@ impl<'p, 'c> State<'p, 'c> {
                 apply_binop(*op, lv, rv, e)
             }
             ExprKind::Cond(c, t, f) => {
-                let cv = self.expr(c, env)?.as_bool().ok_or(EvalError::TypeMismatch {
-                    expected: Type::Bool,
-                    span: c.span,
-                })?;
+                let cv = self
+                    .expr(c, env)?
+                    .as_bool()
+                    .ok_or(EvalError::TypeMismatch {
+                        expected: Type::Bool,
+                        span: c.span,
+                    })?;
                 self.cost += BRANCH_COST;
                 if let Some(p) = &mut self.profile {
                     p.branches += 1;
@@ -397,7 +402,10 @@ impl<'p, 'c> State<'p, 'c> {
                 if let Some(p) = &mut self.profile {
                     p.cache_writes += 1;
                 }
-                let cache = self.cache.as_deref_mut().ok_or(EvalError::NoCache(e.span))?;
+                let cache = self
+                    .cache
+                    .as_deref_mut()
+                    .ok_or(EvalError::NoCache(e.span))?;
                 cache.set(slot.index(), v);
                 Ok(v)
             }
@@ -430,9 +438,7 @@ pub fn apply_pure_builtin(b: Builtin, args: &[Value]) -> Option<Value> {
         return None;
     }
     {
-        let f = |i: usize| -> f64 {
-            args[i].as_float().expect("type checker ensured float arg")
-        };
+        let f = |i: usize| -> f64 { args[i].as_float().expect("type checker ensured float arg") };
         let i = |i: usize| -> i64 { args[i].as_int().expect("type checker ensured int arg") };
         Some(match b {
             Builtin::Sin => Value::Float(f(0).sin()),
@@ -491,7 +497,12 @@ pub fn apply_pure_builtin(b: Builtin, args: &[Value]) -> Option<Value> {
             Builtin::Trace => unreachable!("handled above"),
         })
         .inspect(|v| {
-            debug_assert_eq!(v.ty(), b.ret_type(), "builtin {} returned wrong type", b.name());
+            debug_assert_eq!(
+                v.ty(),
+                b.ret_type(),
+                "builtin {} returned wrong type",
+                b.name()
+            );
         })
     }
 }
@@ -499,13 +510,19 @@ pub fn apply_pure_builtin(b: Builtin, args: &[Value]) -> Option<Value> {
 /// Applies a unary operator with the evaluator's exact semantics; `e`
 /// supplies the span for error reporting.
 pub fn apply_unop(op: UnOp, v: Value, e: &Expr) -> Result<Value, EvalError> {
+    apply_unop_at(op, v, e.span)
+}
+
+/// [`apply_unop`] with an explicit error span, for callers (such as the
+/// bytecode VM) that no longer hold the originating AST node.
+pub fn apply_unop_at(op: UnOp, v: Value, span: ds_lang::Span) -> Result<Value, EvalError> {
     match (op, v) {
         (UnOp::Neg, Value::Int(i)) => Ok(Value::Int(i.wrapping_neg())),
         (UnOp::Neg, Value::Float(f)) => Ok(Value::Float(-f)),
         (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
         _ => Err(EvalError::TypeMismatch {
             expected: v.ty(),
-            span: e.span,
+            span,
         }),
     }
 }
@@ -514,11 +531,22 @@ pub fn apply_unop(op: UnOp, v: Value, e: &Expr) -> Result<Value, EvalError> {
 /// integers, IEEE floats, error on integer division by zero); `e` supplies
 /// the span for error reporting.
 pub fn apply_binop(op: BinOp, l: Value, r: Value, e: &Expr) -> Result<Value, EvalError> {
+    apply_binop_at(op, l, r, e.span)
+}
+
+/// [`apply_binop`] with an explicit error span, for callers (such as the
+/// bytecode VM) that no longer hold the originating AST node.
+pub fn apply_binop_at(
+    op: BinOp,
+    l: Value,
+    r: Value,
+    span: ds_lang::Span,
+) -> Result<Value, EvalError> {
     use BinOp::*;
     use Value::*;
     let mismatch = || EvalError::TypeMismatch {
         expected: l.ty(),
-        span: e.span,
+        span,
     };
     Ok(match (op, l, r) {
         // Integer arithmetic wraps (like release-mode C on two's complement).
@@ -527,13 +555,13 @@ pub fn apply_binop(op: BinOp, l: Value, r: Value, e: &Expr) -> Result<Value, Eva
         (Mul, Int(a), Int(b)) => Int(a.wrapping_mul(b)),
         (Div, Int(a), Int(b)) => {
             if b == 0 {
-                return Err(EvalError::DivideByZero(e.span));
+                return Err(EvalError::DivideByZero(span));
             }
             Int(a.wrapping_div(b))
         }
         (Rem, Int(a), Int(b)) => {
             if b == 0 {
-                return Err(EvalError::DivideByZero(e.span));
+                return Err(EvalError::DivideByZero(span));
             }
             Int(a.wrapping_rem(b))
         }
@@ -677,7 +705,13 @@ mod tests {
     #[test]
     fn step_limit_catches_runaway_loops() {
         let prog = parse_program("void f() { while (true) { } return; }").unwrap();
-        let ev = Evaluator::with_options(&prog, EvalOptions { step_limit: 1000, ..EvalOptions::default() });
+        let ev = Evaluator::with_options(
+            &prog,
+            EvalOptions {
+                step_limit: 1000,
+                ..EvalOptions::default()
+            },
+        );
         assert_eq!(ev.run("f", &[]).unwrap_err(), EvalError::StepLimit);
     }
 
@@ -811,9 +845,17 @@ mod tests {
 
     #[test]
     fn ftoi_truncates_and_itof_converts() {
-        let out = run("int f(float x) { return ftoi(x); }", "f", &[Value::Float(2.9)]);
+        let out = run(
+            "int f(float x) { return ftoi(x); }",
+            "f",
+            &[Value::Float(2.9)],
+        );
         assert_eq!(out.value, Some(Value::Int(2)));
-        let out = run("int f(float x) { return ftoi(x); }", "f", &[Value::Float(-2.9)]);
+        let out = run(
+            "int f(float x) { return ftoi(x); }",
+            "f",
+            &[Value::Float(-2.9)],
+        );
         assert_eq!(out.value, Some(Value::Int(-2)));
         let out = run("float f(int i) { return itof(i); }", "f", &[Value::Int(7)]);
         assert_eq!(out.value, Some(Value::Float(7.0)));

@@ -37,12 +37,19 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod noise;
 pub mod value;
+pub mod vm;
 
 pub use cache::CacheBuf;
+pub use compile::{compile, CompiledProgram};
 pub use error::EvalError;
-pub use eval::{apply_binop, apply_pure_builtin, apply_unop, EvalOptions, Evaluator, Outcome, Profile, CALL_COST};
+pub use eval::{
+    apply_binop, apply_binop_at, apply_pure_builtin, apply_unop, apply_unop_at, EvalOptions,
+    Evaluator, Outcome, Profile, CALL_COST,
+};
 pub use value::Value;
+pub use vm::{Engine, Vm};

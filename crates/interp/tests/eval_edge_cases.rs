@@ -130,9 +130,21 @@ fn step_limit_boundary_is_exact_enough() {
     // A program that terminates within the limit runs; one past it errors.
     let src = "void f() { int i = 0; while (i < 100) { i = i + 1; } return; }";
     let prog = parse_program(src).unwrap();
-    let ok = Evaluator::with_options(&prog, EvalOptions { step_limit: 100_000, ..EvalOptions::default() });
+    let ok = Evaluator::with_options(
+        &prog,
+        EvalOptions {
+            step_limit: 100_000,
+            ..EvalOptions::default()
+        },
+    );
     assert!(ok.run("f", &[]).is_ok());
-    let tight = Evaluator::with_options(&prog, EvalOptions { step_limit: 50, ..EvalOptions::default() });
+    let tight = Evaluator::with_options(
+        &prog,
+        EvalOptions {
+            step_limit: 50,
+            ..EvalOptions::default()
+        },
+    );
     assert_eq!(tight.run("f", &[]).unwrap_err(), EvalError::StepLimit);
 }
 
@@ -166,9 +178,12 @@ fn cache_reuse_after_clear() {
     prog.renumber();
     let ev = Evaluator::new(&prog);
     let mut cache = CacheBuf::new(1);
-    ev.run_with_cache("loader", &[Value::Float(5.0)], &mut cache).unwrap();
+    ev.run_with_cache("loader", &[Value::Float(5.0)], &mut cache)
+        .unwrap();
     assert_eq!(
-        ev.run_with_cache("reader", &[Value::Float(0.0)], &mut cache).unwrap().value,
+        ev.run_with_cache("reader", &[Value::Float(0.0)], &mut cache)
+            .unwrap()
+            .value,
         Some(Value::Float(5.0))
     );
     cache.clear();
@@ -200,7 +215,11 @@ fn trace_order_across_nested_structures() {
 
 #[test]
 fn costs_are_additive_across_sequential_statements() {
-    let a = eval("float f(float x) { return sin(x); }", "f", &[Value::Float(1.0)]);
+    let a = eval(
+        "float f(float x) { return sin(x); }",
+        "f",
+        &[Value::Float(1.0)],
+    );
     let b = eval(
         "float f(float x) { float t = sin(x); return sin(t); }",
         "f",

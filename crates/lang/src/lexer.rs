@@ -75,7 +75,10 @@ impl<'s> Lexer<'s> {
         FrontendError::new(
             Phase::Lex,
             msg,
-            Span::new(start as u32, self.pos.max(start + 1).min(self.src.len()) as u32),
+            Span::new(
+                start as u32,
+                self.pos.max(start + 1).min(self.src.len()) as u32,
+            ),
         )
     }
 
@@ -103,9 +106,7 @@ impl<'s> Lexer<'s> {
                                 break;
                             }
                             (Some(_), _) => self.pos += 1,
-                            (None, _) => {
-                                return Err(self.err("unterminated block comment", start))
-                            }
+                            (None, _) => return Err(self.err("unterminated block comment", start)),
                         }
                     }
                 }
@@ -186,10 +187,7 @@ impl<'s> Lexer<'s> {
                 }
             }
             other => {
-                return Err(self.err(
-                    format!("unrecognized character `{}`", other as char),
-                    start,
-                ))
+                return Err(self.err(format!("unrecognized character `{}`", other as char), start))
             }
         };
         Ok(kind)

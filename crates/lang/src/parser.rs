@@ -633,9 +633,8 @@ mod tests {
 
     #[test]
     fn for_desugars_to_while() {
-        let prog = parse_ok(
-            "void f() { for (int i = 0; i < 10; i = i + 1) { trace(1.0); } return; }",
-        );
+        let prog =
+            parse_ok("void f() { for (int i = 0; i < 10; i = i + 1) { trace(1.0); } return; }");
         let stmts = &prog.proc("f").unwrap().body.stmts;
         assert!(matches!(stmts[0].kind, StmtKind::Decl { .. }));
         match &stmts[1].kind {

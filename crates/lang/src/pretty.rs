@@ -263,10 +263,7 @@ mod tests {
 
     #[test]
     fn cache_forms_display() {
-        let store = Expr::synth(ExprKind::CacheStore(
-            SlotId(1),
-            Box::new(Expr::var("x")),
-        ));
+        let store = Expr::synth(ExprKind::CacheStore(SlotId(1), Box::new(Expr::var("x"))));
         assert_eq!(print_expr(&store), "(CACHE[slot1] = x)");
         let read = Expr::synth(ExprKind::CacheRef(SlotId(2), Type::Float));
         assert_eq!(print_expr(&read), "CACHE[slot2]");

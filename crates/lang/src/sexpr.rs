@@ -243,9 +243,7 @@ mod tests {
                    }";
         let mut prog = parse_program(src).unwrap();
         // Mark one assign as a phi to check the head.
-        if let crate::ast::StmtKind::Assign { is_phi, .. } =
-            &mut prog.procs[0].body.stmts[2].kind
-        {
+        if let crate::ast::StmtKind::Assign { is_phi, .. } = &mut prog.procs[0].body.stmts[2].kind {
             let _ = is_phi; // while stmt actually; find a real assign below
         }
         let dump = to_sexpr(&prog.procs[0], SexprOptions::default());
@@ -256,10 +254,7 @@ mod tests {
     #[test]
     fn cache_forms_render() {
         use crate::ast::{Expr, ExprKind, SlotId, Type};
-        let store = Expr::synth(ExprKind::CacheStore(
-            SlotId(2),
-            Box::new(Expr::var("x")),
-        ));
+        let store = Expr::synth(ExprKind::CacheStore(SlotId(2), Box::new(Expr::var("x"))));
         let mut s = String::new();
         expr(&store, SexprOptions::default(), &mut s);
         assert_eq!(s, "(cache-store slot2 (var x))");

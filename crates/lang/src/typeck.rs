@@ -329,7 +329,10 @@ impl<'a> ProcChecker<'a> {
     fn expect_bool(&mut self, e: &Expr, info: &mut TypeInfo) -> Result<(), FrontendError> {
         let ty = self.check_expr(e, info)?;
         if ty != Type::Bool {
-            return Err(err(format!("condition has type `{ty}`, expected `bool`"), e.span));
+            return Err(err(
+                format!("condition has type `{ty}`, expected `bool`"),
+                e.span,
+            ));
         }
         Ok(())
     }
@@ -346,7 +349,9 @@ impl<'a> ProcChecker<'a> {
                     .ok_or_else(|| err(format!("use of undeclared variable `{name}`"), e.span))?;
                 if !self.init.contains(name) {
                     return Err(err(
-                        format!("variable `{name}` may be used before it is initialized on some path"),
+                        format!(
+                            "variable `{name}` may be used before it is initialized on some path"
+                        ),
                         e.span,
                     ));
                 }
@@ -614,10 +619,7 @@ mod tests {
     #[test]
     fn definite_initialization_enforced() {
         // Declared in one branch only: use after the join is rejected.
-        let e = check(
-            "float f(bool p) { if (p) { float t = 1.0; } return t; }",
-        )
-        .unwrap_err();
+        let e = check("float f(bool p) { if (p) { float t = 1.0; } return t; }").unwrap_err();
         assert!(e.message.contains("initialized"), "{}", e.message);
         // Initialized in both branches: OK.
         assert!(check(
@@ -636,10 +638,8 @@ mod tests {
         )
         .is_ok());
         // A loop body may run zero times: its initializations don't count.
-        let e = check(
-            "float f(bool p) { while (p) { float t = 1.0; trace(t); } return t; }",
-        )
-        .unwrap_err();
+        let e = check("float f(bool p) { while (p) { float t = 1.0; trace(t); } return t; }")
+            .unwrap_err();
         assert!(e.message.contains("initialized"), "{}", e.message);
         // A branch that returns does not constrain the join.
         assert!(check(

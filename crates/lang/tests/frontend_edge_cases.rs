@@ -47,9 +47,19 @@ fn comment_torture() {
 
 #[test]
 fn adjacent_operators_lex_greedily() {
-    let kinds: Vec<TokenKind> = lex("a<=b>=c==d!=e").unwrap().into_iter().map(|t| t.kind).collect();
+    let kinds: Vec<TokenKind> = lex("a<=b>=c==d!=e")
+        .unwrap()
+        .into_iter()
+        .map(|t| t.kind)
+        .collect();
     assert_eq!(
-        kinds.iter().filter(|k| matches!(k, TokenKind::Le | TokenKind::Ge | TokenKind::EqEq | TokenKind::NotEq)).count(),
+        kinds
+            .iter()
+            .filter(|k| matches!(
+                k,
+                TokenKind::Le | TokenKind::Ge | TokenKind::EqEq | TokenKind::NotEq
+            ))
+            .count(),
         4
     );
 }
@@ -121,7 +131,9 @@ fn print_parse_fixpoint_on_hand_written_corpus() {
 
 #[test]
 fn long_identifiers_and_many_params() {
-    let params: Vec<String> = (0..40).map(|i| format!("float very_long_parameter_name_{i}")).collect();
+    let params: Vec<String> = (0..40)
+        .map(|i| format!("float very_long_parameter_name_{i}"))
+        .collect();
     let src = format!(
         "float f({}) {{ return very_long_parameter_name_39; }}",
         params.join(", ")
@@ -143,9 +155,15 @@ fn span_slices_reconstruct_tokens() {
 
 #[test]
 fn bool_equality_is_typed() {
-    assert!(typecheck(&parse_program("bool f(bool a, bool b) { return a == b; }").unwrap()).is_ok());
-    assert!(typecheck(&parse_program("bool f(bool a, float b) { return a == b; }").unwrap()).is_err());
-    assert!(typecheck(&parse_program("bool f(bool a, bool b) { return a < b; }").unwrap()).is_err());
+    assert!(
+        typecheck(&parse_program("bool f(bool a, bool b) { return a == b; }").unwrap()).is_ok()
+    );
+    assert!(
+        typecheck(&parse_program("bool f(bool a, float b) { return a == b; }").unwrap()).is_err()
+    );
+    assert!(
+        typecheck(&parse_program("bool f(bool a, bool b) { return a < b; }").unwrap()).is_err()
+    );
 }
 
 #[test]

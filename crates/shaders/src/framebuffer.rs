@@ -11,7 +11,7 @@
 
 use crate::catalog::Shader;
 use crate::scene::pixel_inputs;
-use ds_core::{specialize, InputPartition, SpecError, SpecializeOptions, Specialization};
+use ds_core::{specialize, InputPartition, SpecError, Specialization, SpecializeOptions};
 use ds_interp::{CacheBuf, Evaluator, Value};
 use ds_lang::Program;
 
@@ -102,7 +102,11 @@ impl SpecializedImage {
         for y in 0..self.height {
             for x in 0..self.width {
                 let out = ev
-                    .run_with_cache("shade__loader", &self.args(x, y, value), &mut self.caches[idx])
+                    .run_with_cache(
+                        "shade__loader",
+                        &self.args(x, y, value),
+                        &mut self.caches[idx],
+                    )
                     .expect("loader run");
                 cost += out.cost;
                 pixels.push(out.value.and_then(|v| v.as_float()).expect("float result"));
@@ -128,7 +132,11 @@ impl SpecializedImage {
         for y in 0..self.height {
             for x in 0..self.width {
                 let out = ev
-                    .run_with_cache("shade__reader", &self.args(x, y, value), &mut self.caches[idx])
+                    .run_with_cache(
+                        "shade__reader",
+                        &self.args(x, y, value),
+                        &mut self.caches[idx],
+                    )
                     .expect("reader run");
                 cost += out.cost;
                 pixels.push(out.value.and_then(|v| v.as_float()).expect("float result"));
@@ -145,7 +153,9 @@ impl SpecializedImage {
         let mut cost = 0;
         for y in 0..self.height {
             for x in 0..self.width {
-                let out = ev.run("shade", &self.args(x, y, value)).expect("shader run");
+                let out = ev
+                    .run("shade", &self.args(x, y, value))
+                    .expect("shader run");
                 cost += out.cost;
                 pixels.push(out.value.and_then(|v| v.as_float()).expect("float result"));
             }

@@ -23,8 +23,11 @@
 
 use crate::catalog::Shader;
 use crate::scene::sample_grid;
-use ds_core::{specialize, InputPartition, SpecializeOptions, Specialization};
-use ds_interp::{CacheBuf, Evaluator, Value};
+use ds_core::{specialize, InputPartition, Specialization, SpecializeOptions};
+use ds_interp::{
+    compile, CacheBuf, CompiledProgram, Engine, EvalOptions, Evaluator, Outcome, Value, Vm,
+};
+use ds_lang::Program;
 
 /// The result of measuring one input partition.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +63,9 @@ pub struct MeasureOptions {
     pub grid: u32,
     /// Specializer configuration.
     pub spec: SpecializeOptions,
+    /// Execution backend. Abstract costs are engine-independent (the two
+    /// engines charge identically); the VM just produces them faster.
+    pub engine: Engine,
 }
 
 impl Default for MeasureOptions {
@@ -67,6 +73,41 @@ impl Default for MeasureOptions {
         MeasureOptions {
             grid: 8,
             spec: SpecializeOptions::new(),
+            engine: Engine::Tree,
+        }
+    }
+}
+
+/// A program bound to one execution engine, ready for repeated runs.
+///
+/// Abstracts the only difference between the engines that matters to the
+/// harness: the tree walker borrows the program, while the VM compiles it
+/// once up front and then reuses its register buffers per run.
+enum BoundProgram<'p> {
+    Tree(Evaluator<'p>),
+    Vm(CompiledProgram, Vm),
+}
+
+impl<'p> BoundProgram<'p> {
+    fn bind(engine: Engine, program: &'p Program) -> Self {
+        match engine {
+            Engine::Tree => BoundProgram::Tree(Evaluator::new(program)),
+            Engine::Vm => BoundProgram::Vm(compile(program), Vm::new()),
+        }
+    }
+
+    fn run(
+        &mut self,
+        entry: &str,
+        args: &[Value],
+        cache: Option<&mut CacheBuf>,
+    ) -> Result<Outcome, ds_interp::EvalError> {
+        match self {
+            BoundProgram::Tree(ev) => match cache {
+                Some(c) => ev.run_with_cache(entry, args, c),
+                None => ev.run(entry, args),
+            },
+            BoundProgram::Vm(cp, vm) => vm.run(cp, entry, args, cache, EvalOptions::default()),
         }
     }
 }
@@ -115,7 +156,7 @@ fn run_partition(
     opts: &MeasureOptions,
 ) -> (f64, f64, f64) {
     let program = spec.as_program();
-    let ev = Evaluator::new(&program);
+    let mut exec = BoundProgram::bind(opts.engine, &program);
     let control = shader.control(param).expect("validated by caller");
     let sweep = control.sweep();
 
@@ -131,9 +172,11 @@ fn run_partition(
         // Initial frame: the loader fills this pixel's cache and must agree
         // with the original.
         let args0 = self::args(shader, pixel.to_args(), param, control.default);
-        let orig0 = ev.run("shade", &args0).expect("original shader run");
-        let load = ev
-            .run_with_cache("shade__loader", &args0, &mut cache)
+        let orig0 = exec
+            .run("shade", &args0, None)
+            .expect("original shader run");
+        let load = exec
+            .run("shade__loader", &args0, Some(&mut cache))
             .expect("loader run");
         check_equal(shader.name, param, &orig0.value, &load.value, opts);
         assert_eq!(orig0.trace, load.trace, "loader changed effect order");
@@ -143,9 +186,9 @@ fn run_partition(
         // The user drags the slider: replay the reader per new value.
         for value in sweep {
             let args = self::args(shader, pixel.to_args(), param, value);
-            let orig = ev.run("shade", &args).expect("original shader run");
-            let read = ev
-                .run_with_cache("shade__reader", &args, &mut cache)
+            let orig = exec.run("shade", &args, None).expect("original shader run");
+            let read = exec
+                .run("shade__reader", &args, Some(&mut cache))
                 .expect("reader run");
             check_equal(shader.name, param, &orig.value, &read.value, opts);
             assert_eq!(orig.trace, read.trace, "reader changed effect order");
@@ -166,7 +209,11 @@ fn run_partition(
 /// defaults with `param` overridden to `value`.
 fn args(shader: &Shader, mut pixel: Vec<Value>, param: &str, value: f64) -> Vec<Value> {
     for c in &shader.controls {
-        pixel.push(Value::Float(if c.name == param { value } else { c.default }));
+        pixel.push(Value::Float(if c.name == param {
+            value
+        } else {
+            c.default
+        }));
     }
     pixel
 }
@@ -249,6 +296,7 @@ mod tests {
         MeasureOptions {
             grid: 3,
             spec: SpecializeOptions::new(),
+            ..Default::default()
         }
     }
 
@@ -275,11 +323,20 @@ mod tests {
         let marble = &suite[2];
         // kd does not feed the fbm inputs: both noise fields cached.
         let kd = measure_partition(marble, "kd", &tiny());
-        assert!(kd.speedup > 10.0, "expected large speedup, got {:.2}", kd.speedup);
+        assert!(
+            kd.speedup > 10.0,
+            "expected large speedup, got {:.2}",
+            kd.speedup
+        );
         // veinfreq feeds one of the two noise fields: speedup roughly
         // halves but stays > 1 (the other field is still cached).
         let vf = measure_partition(marble, "veinfreq", &tiny());
-        assert!(vf.speedup < kd.speedup * 0.7, "{} vs {}", vf.speedup, kd.speedup);
+        assert!(
+            vf.speedup < kd.speedup * 0.7,
+            "{} vs {}",
+            vf.speedup,
+            kd.speedup
+        );
         assert!(vf.speedup >= 1.0);
     }
 
@@ -306,7 +363,11 @@ mod tests {
         let suite = all_shaders();
         let m = measure_partition(&suite[9], "ambient", &tiny());
         assert!(m.cache_bytes > 0);
-        assert!(m.cache_bytes <= 120, "cache unexpectedly large: {}", m.cache_bytes);
+        assert!(
+            m.cache_bytes <= 120,
+            "cache unexpectedly large: {}",
+            m.cache_bytes
+        );
     }
 
     #[test]

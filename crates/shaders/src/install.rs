@@ -11,7 +11,7 @@
 
 use crate::catalog::Shader;
 use crate::framebuffer::SpecializedImage;
-use ds_core::{specialize, InputPartition, SpecError, SpecializeOptions, Specialization};
+use ds_core::{specialize, InputPartition, SpecError, Specialization, SpecializeOptions};
 use std::collections::HashMap;
 
 /// A fully installed shader: one loader/reader pair per control parameter.
@@ -129,8 +129,8 @@ mod tests {
     #[test]
     fn selecting_unknown_slider_fails() {
         let suite = all_shaders();
-        let inst = ShaderInstallation::install(&suite[0], &SpecializeOptions::new())
-            .expect("install");
+        let inst =
+            ShaderInstallation::install(&suite[0], &SpecializeOptions::new()).expect("install");
         assert!(matches!(
             inst.select("zeta", 4, 4),
             Err(SpecError::UnknownParam { .. })
@@ -144,11 +144,7 @@ mod tests {
         for shader in all_shaders() {
             let inst = ShaderInstallation::install(&shader, &SpecializeOptions::new())
                 .unwrap_or_else(|e| panic!("install {}: {e}", shader.name));
-            let fragment_nodes: usize = inst
-                .pairs
-                .values()
-                .map(|s| s.stats.fragment_nodes)
-                .sum();
+            let fragment_nodes: usize = inst.pairs.values().map(|s| s.stats.fragment_nodes).sum();
             assert!(
                 inst.code_nodes() < 2 * fragment_nodes,
                 "{}: {} vs {}",

@@ -33,8 +33,8 @@ pub mod scene;
 
 pub use catalog::{all_shaders, ControlParam, Shader, PIXEL_PARAMS, PRELUDE};
 pub use framebuffer::{Frame, SpecializedImage};
-pub use install::ShaderInstallation;
 pub use harness::{
     breakeven, measure_all, measure_partition, render_image, MeasureOptions, Measurement,
 };
+pub use install::ShaderInstallation;
 pub use scene::{pixel_inputs, sample_grid, PixelInputs};

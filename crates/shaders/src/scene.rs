@@ -39,8 +39,19 @@ impl PixelInputs {
     /// [`crate::catalog::PIXEL_PARAMS`]).
     pub fn to_args(self) -> Vec<Value> {
         [
-            self.px, self.py, self.u, self.v, self.n[0], self.n[1], self.n[2], self.view[0],
-            self.view[1], self.view[2], self.w[0], self.w[1], self.w[2],
+            self.px,
+            self.py,
+            self.u,
+            self.v,
+            self.n[0],
+            self.n[1],
+            self.n[2],
+            self.view[0],
+            self.view[1],
+            self.view[2],
+            self.w[0],
+            self.w[1],
+            self.w[2],
         ]
         .iter()
         .map(|&x| Value::Float(x))
@@ -76,7 +87,10 @@ pub fn pixel_inputs(ix: u32, iy: u32, w: u32, h: u32) -> PixelInputs {
         // On the sphere of radius 0.9: normal is the unit position.
         let rz = (0.81 - r2).sqrt();
         let inv = 1.0 / 0.9;
-        ([cx * inv, cy * inv, rz * inv], [cx * 2.2, cy * 2.2, rz * 2.2])
+        (
+            [cx * inv, cy * inv, rz * inv],
+            [cx * 2.2, cy * 2.2, rz * 2.2],
+        )
     } else {
         // Backdrop plane facing the camera.
         ([0.0, 0.0, 1.0], [cx * 2.2, cy * 2.2, -0.4])

@@ -8,6 +8,7 @@ fn tiny() -> MeasureOptions {
     MeasureOptions {
         grid: 3,
         spec: SpecializeOptions::new(),
+        ..Default::default()
     }
 }
 
@@ -30,6 +31,7 @@ fn grid_size_does_not_change_cache_size() {
         &MeasureOptions {
             grid: 6,
             spec: SpecializeOptions::new(),
+            ..Default::default()
         },
     );
     assert_eq!(small.cache_bytes, larger.cache_bytes);
@@ -48,6 +50,7 @@ fn per_pixel_statistics_are_grid_stable() {
         &MeasureOptions {
             grid: 6,
             spec: SpecializeOptions::new(),
+            ..Default::default()
         },
     );
     let ratio = s3.speedup / s6.speedup;
@@ -65,9 +68,11 @@ fn noise_feeding_params_halve_the_benefit() {
     // for each noise shader, the noise-frequency partition does markedly
     // worse than the best color/weight partition.
     let suite = all_shaders();
-    for (index, noise_param, cheap_param) in
-        [(3usize, "veinfreq", "baser"), (4, "ringfreq", "darkr"), (5, "freq1", "baser")]
-    {
+    for (index, noise_param, cheap_param) in [
+        (3usize, "veinfreq", "baser"),
+        (4, "ringfreq", "darkr"),
+        (5, "freq1", "baser"),
+    ] {
         let shader = suite.iter().find(|s| s.index == index).expect("shader");
         let noisy = measure_partition(shader, noise_param, &tiny());
         let cheap = measure_partition(shader, cheap_param, &tiny());

@@ -43,6 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let opts = MeasureOptions {
             grid: 6,
             spec: SpecializeOptions::new().with_cache_bound(bound),
+            ..Default::default()
         };
         let m = measure_partition(rings, &param, &opts);
         println!(

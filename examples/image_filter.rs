@@ -73,10 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Value::Float(f64::from(y) / f64::from(H - 1)),
             Value::Float(pixel_luma(x, y)),
             Value::Float(exposure),
-            Value::Float(2.2),  // gamma
-            Value::Float(0.3),  // warmth
-            Value::Float(0.5),  // vignette
-            Value::Float(0.7),  // grainamt
+            Value::Float(2.2), // gamma
+            Value::Float(0.3), // warmth
+            Value::Float(0.5), // vignette
+            Value::Float(0.7), // grainamt
         ]
     };
 

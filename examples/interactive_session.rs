@@ -23,7 +23,11 @@ struct Session<'s> {
     unstaged_cost: u64,
 }
 
-fn full_args(shader: &Shader, pixel: &data_specialization::shaders::PixelInputs, overrides: &[(String, f64)]) -> Vec<Value> {
+fn full_args(
+    shader: &Shader,
+    pixel: &data_specialization::shaders::PixelInputs,
+    overrides: &[(String, f64)],
+) -> Vec<Value> {
     let mut a = pixel.to_args();
     for c in &shader.controls {
         let v = overrides

@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example shader_explorer [shader-name] [out.pgm]`
 //! (default shader: `marble`)
 
-use data_specialization::shaders::{
-    all_shaders, measure_partition, render_image, MeasureOptions,
-};
+use data_specialization::shaders::{all_shaders, measure_partition, render_image, MeasureOptions};
 use std::io::Write;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,11 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let Some(shader) = suite.iter().find(|s| s.name == name) else {
         eprintln!(
             "unknown shader `{name}`; available: {}",
-            suite
-                .iter()
-                .map(|s| s.name)
-                .collect::<Vec<_>>()
-                .join(", ")
+            suite.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
         );
         std::process::exit(1);
     };

@@ -8,9 +8,12 @@
 //! every generated program. Loops are bounded counters, so every program
 //! terminates.
 
-use ds_lang::{Block, Expr, ExprKind, Param, Proc, Program, Stmt, StmtKind, Type};
 use ds_interp::Value;
+use ds_lang::{Block, Expr, ExprKind, Param, Proc, Program, Stmt, StmtKind, Type};
 use proptest::prelude::*;
+
+#[allow(dead_code)] // each test binary uses the subset it needs
+pub mod paper;
 
 /// Number of float parameters of every generated program.
 pub const N_PARAMS: usize = 5;
@@ -68,21 +71,15 @@ fn arb_fexpr() -> BoxedStrategy<FExpr> {
     ];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FExpr::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Div(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| FExpr::Neg(Box::new(a))),
             inner.clone().prop_map(|a| FExpr::Sin(Box::new(a))),
             inner.clone().prop_map(|a| FExpr::Sqrt(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FExpr::Fbm(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FExpr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Fbm(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Min(Box::new(a), Box::new(b))),
             (arb_bexpr_flat(inner.clone()), inner.clone(), inner.clone())
                 .prop_map(|(c, t, f)| FExpr::Cond(Box::new(c), Box::new(t), Box::new(f))),
             inner.prop_map(|a| FExpr::Trace(Box::new(a))),
@@ -95,10 +92,8 @@ fn arb_bexpr_flat(f: impl Strategy<Value = FExpr> + Clone + 'static) -> BoxedStr
     prop_oneof![
         (f.clone(), f.clone()).prop_map(|(a, b)| BExpr::Lt(Box::new(a), Box::new(b))),
         (f.clone(), f.clone()).prop_map(|(a, b)| BExpr::Ge(Box::new(a), Box::new(b))),
-        (f.clone(), f.clone()).prop_map(|(a, b)| BExpr::Not(Box::new(BExpr::Lt(
-            Box::new(a),
-            Box::new(b)
-        )))),
+        (f.clone(), f.clone())
+            .prop_map(|(a, b)| BExpr::Not(Box::new(BExpr::Lt(Box::new(a), Box::new(b))))),
         (f.clone(), f.clone(), f.clone(), f).prop_map(|(a, b, c, d)| BExpr::And(
             Box::new(BExpr::Lt(Box::new(a), Box::new(b))),
             Box::new(BExpr::Ge(Box::new(c), Box::new(d)))
@@ -125,9 +120,8 @@ fn arb_srecipe() -> impl Strategy<Value = SRecipe> {
 
 /// Strategy for whole programs: a statement list plus a return expression.
 pub fn arb_program() -> impl Strategy<Value = GenProgram> {
-    (prop::collection::vec(arb_srecipe(), 0..8), arb_fexpr()).prop_map(|(stmts, ret)| {
-        build_program(&stmts, &ret)
-    })
+    (prop::collection::vec(arb_srecipe(), 0..8), arb_fexpr())
+        .prop_map(|(stmts, ret)| build_program(&stmts, &ret))
 }
 
 /// Strategy for the varying subset of the parameters (possibly empty, never
@@ -144,8 +138,11 @@ pub fn arb_varying() -> impl Strategy<Value = Vec<String>> {
 
 /// Strategy for argument vectors (small magnitudes keep float math tame).
 pub fn arb_args() -> impl Strategy<Value = Vec<Value>> {
-    prop::collection::vec(-8i16..=8, N_PARAMS)
-        .prop_map(|xs| xs.into_iter().map(|x| Value::Float(f64::from(x) * 0.25)).collect())
+    prop::collection::vec(-8i16..=8, N_PARAMS).prop_map(|xs| {
+        xs.into_iter()
+            .map(|x| Value::Float(f64::from(x) * 0.25))
+            .collect()
+    })
 }
 
 // ----- lowering --------------------------------------------------------
@@ -233,12 +230,20 @@ impl Lower {
             BExpr::Lt(a, b) => {
                 let l = self.fexpr(a, vars);
                 let rr = self.fexpr(b, vars);
-                Expr::synth(ExprKind::Binary(ds_lang::BinOp::Lt, Box::new(l), Box::new(rr)))
+                Expr::synth(ExprKind::Binary(
+                    ds_lang::BinOp::Lt,
+                    Box::new(l),
+                    Box::new(rr),
+                ))
             }
             BExpr::Ge(a, b) => {
                 let l = self.fexpr(a, vars);
                 let rr = self.fexpr(b, vars);
-                Expr::synth(ExprKind::Binary(ds_lang::BinOp::Ge, Box::new(l), Box::new(rr)))
+                Expr::synth(ExprKind::Binary(
+                    ds_lang::BinOp::Ge,
+                    Box::new(l),
+                    Box::new(rr),
+                ))
             }
             BExpr::Not(a) => Expr::synth(ExprKind::Unary(
                 ds_lang::UnOp::Not,

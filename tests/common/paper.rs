@@ -1,0 +1,131 @@
+//! The paper's worked examples as a reusable catalog: source, entry point,
+//! input partition, and representative argument sweeps.
+//!
+//! `integration_paper_examples.rs` asserts the *structural* claims about
+//! these programs (cache shapes, labels, printed loaders/readers); this
+//! module exists so the differential and profile suites can drive the same
+//! programs *behaviorally* — through both execution engines — without
+//! duplicating the sources.
+
+use ds_interp::Value;
+
+/// One worked example from the paper.
+pub struct PaperExample {
+    /// A short identifier used in failure messages.
+    pub name: &'static str,
+    /// MiniC source text.
+    pub src: &'static str,
+    /// Entry procedure.
+    pub entry: &'static str,
+    /// Parameters that vary across executions (the input partition).
+    pub varying: &'static [&'static str],
+    /// Argument vectors to drive it with: full parameter lists, chosen to
+    /// exercise both sides of every branch in the example.
+    pub arg_sets: Vec<Vec<Value>>,
+}
+
+fn floats(xs: &[f64]) -> Vec<Value> {
+    xs.iter().map(|&x| Value::Float(x)).collect()
+}
+
+/// Paper §2 / Figure 2: the running dotprod example.
+pub const DOTPROD_SRC: &str = "float dotprod(float x1, float y1, float z1,
+                                     float x2, float y2, float z2, float scale) {
+                           if (scale != 0.0) {
+                               return (x1*x2 + y1*y2 + z1*z2) / scale;
+                           } else {
+                               return -1.0;
+                           }
+                       }";
+
+/// All worked examples, with argument sweeps covering their branches.
+pub fn paper_examples() -> Vec<PaperExample> {
+    vec![
+        PaperExample {
+            name: "s2_dotprod",
+            src: DOTPROD_SRC,
+            entry: "dotprod",
+            varying: &["z1", "z2"],
+            arg_sets: vec![
+                floats(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0]),
+                floats(&[1.0, 2.0, -7.5, 4.0, 5.0, 0.25, 2.0]),
+                // scale == 0.0 exercises Figure 2's residual conditional.
+                floats(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.0]),
+            ],
+        },
+        PaperExample {
+            name: "figs_4_6_phi",
+            src: "float f(bool p, bool q, float a, float v) {
+                      float x = sin(a);
+                      if (p) { x = cos(2.0 * a); }
+                      float r = 0.0;
+                      if (q) { r = trace(x) * v; }
+                      return r + x * v;
+                  }",
+            entry: "f",
+            varying: &["v"],
+            arg_sets: {
+                let mut sets = Vec::new();
+                for p in [true, false] {
+                    for q in [true, false] {
+                        sets.push(vec![
+                            Value::Bool(p),
+                            Value::Bool(q),
+                            Value::Float(0.4),
+                            Value::Float(2.0),
+                        ]);
+                    }
+                }
+                sets
+            },
+        },
+        PaperExample {
+            name: "s4_2_reassociation",
+            src: "float f(float x1, float y1, float z1,
+                          float x2, float y2, float z2) {
+                      return x1*x2 + y1*y2 + z1*z2;
+                  }",
+            entry: "f",
+            varying: &["x1", "x2"],
+            arg_sets: vec![
+                floats(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+                floats(&[-0.5, 2.0, 3.0, 8.0, 5.0, 6.0]),
+            ],
+        },
+        PaperExample {
+            name: "s6_3_policy_labels",
+            src: "float f(float k, float v) {
+                      float sel = k != 0.0 ? fbm3(k, k, k, 4) : sin(k) * 100.0;
+                      return sel * v;
+                  }",
+            entry: "f",
+            varying: &["v"],
+            arg_sets: vec![floats(&[0.8, 2.0]), floats(&[0.0, -1.5])],
+        },
+        PaperExample {
+            name: "refinement_1_cheap_recomputation",
+            src: "float f(float k, float v) { return (k > 0.5 ? v : -v) + k; }",
+            entry: "f",
+            varying: &["v"],
+            arg_sets: vec![floats(&[0.9, 2.0]), floats(&[0.1, 2.0])],
+        },
+        PaperExample {
+            name: "s5_loop_shader_band",
+            // An iterative kernel in the spirit of the paper's §5 shader
+            // band: a bounded accumulation loop whose per-iteration noise
+            // is independent of the varying input.
+            src: "float f(float a, float v) {
+                      float acc = 0.0;
+                      int i = 0;
+                      while (i < 6) {
+                          acc = acc + fbm3(a, a * 0.5, 0.7, 2) * v;
+                          i = i + 1;
+                      }
+                      return acc + sin(a);
+                  }",
+            entry: "f",
+            varying: &["v"],
+            arg_sets: vec![floats(&[0.3, 2.0]), floats(&[1.7, -0.25])],
+        },
+    ]
+}

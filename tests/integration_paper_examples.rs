@@ -51,7 +51,10 @@ fn figure_2_loader_and_reader() {
     // solely from the input partition ... the conditional cannot be folded
     // out, and appears in the reader."
     assert!(reader.contains("if (scale != 0.0)"), "{reader}");
-    assert!(reader.contains("(CACHE[slot0] + z1 * z2) / scale"), "{reader}");
+    assert!(
+        reader.contains("(CACHE[slot0] + z1 * z2) / scale"),
+        "{reader}"
+    );
 }
 
 /// Paper §3.2's annotation walkthrough for dotprod.
@@ -119,8 +122,14 @@ fn figures_4_to_6_phi_normalization() {
         reader.contains("x = CACHE[slot0]"),
         "reader reads x from its slot once:\n{reader}"
     );
-    assert!(!reader.contains("sin("), "sin stays in the loader:\n{reader}");
-    assert!(!reader.contains("cos("), "cos stays in the loader:\n{reader}");
+    assert!(
+        !reader.contains("sin("),
+        "sin stays in the loader:\n{reader}"
+    );
+    assert!(
+        !reader.contains("cos("),
+        "cos stays in the loader:\n{reader}"
+    );
 
     // Behavioral check over both branches.
     let program = spec.as_program();
@@ -197,11 +206,22 @@ fn section_4_2_reassociation() {
     let pev = Evaluator::new(&pp);
     let mut rc = CacheBuf::new(re.slot_count());
     let mut pc = CacheBuf::new(plain.slot_count());
-    rev.run_with_cache("f__loader", &args, &mut rc).expect("loader");
-    pev.run_with_cache("f__loader", &args, &mut pc).expect("loader");
-    let r = rev.run_with_cache("f__reader", &args, &mut rc).expect("reader");
-    let p = pev.run_with_cache("f__reader", &args, &mut pc).expect("reader");
-    assert!(r.cost <= p.cost, "reassociated {} vs plain {}", r.cost, p.cost);
+    rev.run_with_cache("f__loader", &args, &mut rc)
+        .expect("loader");
+    pev.run_with_cache("f__loader", &args, &mut pc)
+        .expect("loader");
+    let r = rev
+        .run_with_cache("f__reader", &args, &mut rc)
+        .expect("reader");
+    let p = pev
+        .run_with_cache("f__reader", &args, &mut pc)
+        .expect("reader");
+    assert!(
+        r.cost <= p.cost,
+        "reassociated {} vs plain {}",
+        r.cost,
+        p.cost
+    );
 }
 
 /// Paper §6.3: "our caching analysis can label a term as dynamic without

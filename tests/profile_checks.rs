@@ -5,6 +5,10 @@
 use ds_interp::{EvalOptions, Evaluator, Value};
 use ds_lang::parse_program;
 
+#[path = "common/paper.rs"]
+#[allow(dead_code)]
+mod paper;
+
 fn profiled_opts() -> EvalOptions {
     EvalOptions {
         profile: true,
@@ -39,7 +43,9 @@ fn profile_counts_builtins_ops_and_branches() {
 #[test]
 fn profile_off_by_default() {
     let prog = parse_program("float f(float x) { return x; }").unwrap();
-    let out = Evaluator::new(&prog).run("f", &[Value::Float(1.0)]).unwrap();
+    let out = Evaluator::new(&prog)
+        .run("f", &[Value::Float(1.0)])
+        .unwrap();
     assert!(out.profile.is_none());
 }
 
@@ -79,7 +85,11 @@ fn reader_provably_skips_cached_noise() {
         .run_with_cache("shade__loader", &args, &mut cache)
         .unwrap();
     let load_profile = load.profile.expect("profiled");
-    assert_eq!(load_profile.calls("turb3"), 1, "loader still computes noise");
+    assert_eq!(
+        load_profile.calls("turb3"),
+        1,
+        "loader still computes noise"
+    );
     assert!(load_profile.cache_writes >= 1);
 
     let read = ev
@@ -88,18 +98,90 @@ fn reader_provably_skips_cached_noise() {
     let read_profile = read.profile.expect("profiled");
     assert_eq!(read_profile.calls("turb3"), 0, "reader must not recompute");
     assert_eq!(read_profile.calls("fbm3"), 0);
-    assert_eq!(read_profile.calls("pow"), 0, "specular highlight cached too");
+    assert_eq!(
+        read_profile.calls("pow"),
+        0,
+        "specular highlight cached too"
+    );
     assert!(read_profile.cache_reads >= 1);
     assert_eq!(read_profile.cache_writes, 0, "readers never write");
 }
 
+/// The paper's quantitative claim, checked example by example on *both*
+/// execution backends: a specialized reader performs strictly less dynamic
+/// work — arithmetic, branches, and builtin invocations — than the
+/// unspecialized procedure, whenever its execution actually replays cached
+/// slots. (On paths that bypass the cache — an empty layout like
+/// refinement 1, or dotprod's `scale == 0.0` branch — the reader
+/// recomputes everything; there it must merely never do *more*.)
+#[test]
+fn reader_executes_fewer_dynamic_operations_on_every_paper_example() {
+    use ds_core::{specialize_source, InputPartition, SpecializeOptions};
+    use ds_interp::{CacheBuf, Engine, Profile};
+
+    fn dynamic_work(p: &Profile) -> u64 {
+        let builtins: u64 = p.builtin_calls.values().sum();
+        p.ops + p.branches + builtins
+    }
+
+    let mut strict_cases = 0;
+    for ex in paper::paper_examples() {
+        let spec = specialize_source(
+            ex.src,
+            ex.entry,
+            &InputPartition::varying(ex.varying.iter().copied()),
+            &SpecializeOptions::new(),
+        )
+        .unwrap_or_else(|e| panic!("{}: specialize: {e}", ex.name));
+        let staged = spec.as_program();
+        let reader = format!("{}__reader", ex.entry);
+        let loader = format!("{}__loader", ex.entry);
+
+        for engine in [Engine::Tree, Engine::Vm] {
+            for (i, args) in ex.arg_sets.iter().enumerate() {
+                let orig = engine
+                    .run_program(&staged, ex.entry, args, None, profiled_opts())
+                    .unwrap_or_else(|e| panic!("{} [{engine}] args {i}: original: {e}", ex.name));
+                let mut cache = CacheBuf::new(spec.slot_count());
+                engine
+                    .run_program(&staged, &loader, args, Some(&mut cache), profiled_opts())
+                    .unwrap_or_else(|e| panic!("{} [{engine}] args {i}: loader: {e}", ex.name));
+                let read = engine
+                    .run_program(&staged, &reader, args, Some(&mut cache), profiled_opts())
+                    .unwrap_or_else(|e| panic!("{} [{engine}] args {i}: reader: {e}", ex.name));
+
+                let ow = dynamic_work(orig.profile.as_ref().expect("profiled"));
+                let read_profile = read.profile.as_ref().expect("profiled");
+                let rw = dynamic_work(read_profile);
+                if read_profile.cache_reads > 0 {
+                    strict_cases += 1;
+                    assert!(
+                        rw < ow,
+                        "{} [{engine}] args {i}: reader work {rw} not < original {ow}",
+                        ex.name
+                    );
+                } else {
+                    assert!(
+                        rw <= ow,
+                        "{} [{engine}] args {i}: reader work {rw} > original {ow}",
+                        ex.name
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        strict_cases >= 8,
+        "too few cache-replaying cases ({strict_cases}) — the claim was barely tested"
+    );
+}
+
 #[test]
 fn profile_cost_is_unchanged_by_profiling() {
-    let prog = parse_program(
-        "float f(float x) { return fbm3(x, x, x, 3) * sin(x); }",
-    )
-    .unwrap();
-    let plain = Evaluator::new(&prog).run("f", &[Value::Float(0.7)]).unwrap();
+    let prog = parse_program("float f(float x) { return fbm3(x, x, x, 3) * sin(x); }").unwrap();
+    let plain = Evaluator::new(&prog)
+        .run("f", &[Value::Float(0.7)])
+        .unwrap();
     let profiled = Evaluator::with_options(&prog, profiled_opts())
         .run("f", &[Value::Float(0.7)])
         .unwrap();

@@ -1,0 +1,83 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size bound for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length.
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = if self.size.min == self.size.max {
+            self.size.min
+        } else {
+            self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize
+        };
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors of `elem` values with lengths in `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn lengths_in_bounds() {
+        let mut rng = TestRng::from_seed(2);
+        let s = vec(0u8..5, 0..4);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng).len() < 4);
+        }
+        let fixed = vec(0u8..5, 3usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 3);
+    }
+}

@@ -1,0 +1,154 @@
+//! A vendored, dependency-free property-testing shim exposing the subset of
+//! the `proptest` API this workspace uses.
+//!
+//! The build environment is hermetic (no crates-io access), so the real
+//! `proptest` cannot be downloaded; this crate stands in for it via a
+//! `[workspace.dependencies]` path override. It keeps the same surface —
+//! `proptest!`, `prop_oneof!`, `prop_assert*!`, `prop_assume!`, `Strategy`
+//! combinators, `prop::collection::vec`, integer-range and string-pattern
+//! strategies — with a deterministic splitmix64 generator and without
+//! shrinking (failures report the full generated inputs instead).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The conventional glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirrors proptest's `prelude::prop` facade module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+/// Uniformly picks one of several strategies of the same value type.
+///
+/// Weighted arms (`w => strat`) are not supported by the shim; none of the
+/// workspace's tests use them.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not the process)
+/// so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            a
+        );
+    }};
+}
+
+/// Discards the current case (counted as a rejection, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run(&__config, |__rng| {
+                    let __inputs = ( $(
+                        $crate::strategy::Strategy::generate(&($strat), __rng),
+                    )* );
+                    let __shown = format!("{:#?}", __inputs);
+                    #[allow(unused_variables)]
+                    let ( $($pat,)* ) = __inputs;
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                                let _: () = $body;
+                                ::core::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    $crate::test_runner::attach_inputs(__outcome, __shown)
+                });
+            }
+        )*
+    };
+}

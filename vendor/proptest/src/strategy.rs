@@ -1,0 +1,240 @@
+//! The `Strategy` trait and combinators.
+
+use crate::test_runner::TestRng;
+use std::fmt;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: `generate` produces a value
+/// directly and failures report the whole generated input set.
+pub trait Strategy: 'static {
+    /// The generated value type.
+    type Value: fmt::Debug + Clone + 'static;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug + Clone + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a depth-bounded recursive strategy: `recurse` receives a
+    /// strategy for smaller instances and returns the composite level.
+    /// `_desired_size` and `_expected_branch_size` are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let mut level = self.boxed();
+        for _ in 0..depth {
+            // Each level mixes "stop here" (the previous level, which
+            // bottoms out at the leaf strategy) with "recurse one deeper",
+            // so generated trees cover all depths up to the bound.
+            let deeper = recurse(level.clone()).boxed();
+            level = one_of(vec![level, deeper.clone(), deeper]).boxed();
+        }
+        level
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T: fmt::Debug + Clone + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: fmt::Debug + Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug + Clone + 'static,
+    F: Fn(S::Value) -> O + 'static,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies; produced by `prop_oneof!`.
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T: fmt::Debug + Clone + 'static> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Builds a uniform choice over `arms` (must be nonempty).
+pub fn one_of<T: fmt::Debug + Clone + 'static>(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    OneOf { arms }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_i128(self.start as i128, self.end as i128) as $t
+            }
+        }
+        impl Strategy for ::std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_i128(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for ::std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $i:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn map_and_oneof_generate() {
+        let mut rng = TestRng::from_seed(3);
+        let s = one_of(vec![
+            (0u8..10).prop_map(|v| v * 2).boxed(),
+            Just(99u8).boxed(),
+        ]);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v == 99 || (v % 2 == 0 && v < 20));
+        }
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(c) => 1 + depth(c),
+            }
+        }
+        let s = Just(T::Leaf)
+            .prop_recursive(4, 16, 2, |inner| inner.prop_map(|c| T::Node(Box::new(c))));
+        let mut rng = TestRng::from_seed(11);
+        let mut max = 0;
+        for _ in 0..200 {
+            max = max.max(depth(&s.generate(&mut rng)));
+        }
+        assert!(max > 0 && max <= 4, "max depth {max}");
+    }
+
+    #[test]
+    fn ranges_inclusive_and_exclusive() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..200 {
+            let a = (-8i16..=8).generate(&mut rng);
+            assert!((-8..=8).contains(&a));
+            let b = (0u8..4).generate(&mut rng);
+            assert!(b < 4);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! String-pattern strategies: `&'static str` as a strategy, supporting the
+//! tiny regex subset the workspace's tests use — sequences of `.` (any
+//! char), `[a-z0-9_]` classes, and literal characters, each optionally
+//! quantified with `{m,n}`, `{n}`, `*`, `+`, or `?`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    AnyChar,
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Piece> {
+    let mut chars = pat.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern `{pat}`")
+                    });
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("checked");
+                            let hi = chars.next().expect("checked");
+                            ranges.push((lo, hi));
+                        }
+                        c => {
+                            if let Some(p) = prev.take() {
+                                ranges.push((p, p));
+                            }
+                            prev = Some(c);
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    ranges.push((p, p));
+                }
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            c => Atom::Literal(c),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} quantifier"),
+                        hi.trim().parse().expect("bad {m,n} quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_any_char(rng: &mut TestRng) -> char {
+    match rng.below(8) {
+        // Mostly printable ASCII (what a parser sees day to day)...
+        0..=4 => (0x20 + rng.below(0x5f)) as u8 as char,
+        // ...some control/whitespace...
+        5 => ['\t', '\n', '\r', '\x0b', '\x07'][rng.below(5) as usize],
+        // ...and some multi-byte scalars to exercise UTF-8 handling.
+        _ => char::from_u32(rng.next_u64() as u32 % 0x11_0000).unwrap_or('\u{fffd}'),
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = if p.min == p.max {
+                p.min
+            } else {
+                p.min + rng.below((p.max - p.min + 1) as u64) as u32
+            };
+            for _ in 0..n {
+                match &p.atom {
+                    Atom::AnyChar => out.push(gen_any_char(rng)),
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                        let span = hi as u32 - lo as u32 + 1;
+                        let c =
+                            char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap_or(lo);
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn dot_with_counts() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..50 {
+            let s = ".{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn identifier_class() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase(), "{s}");
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s}"
+            );
+            assert!(s.chars().count() <= 9);
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::from_seed(3);
+        assert_eq!("abc".generate(&mut rng), "abc");
+    }
+}

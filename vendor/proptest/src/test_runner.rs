@@ -1,0 +1,215 @@
+//! The case runner: deterministic RNG, configuration, and failure plumbing.
+
+use std::any::Any;
+use std::fmt;
+
+/// Deterministic splitmix64 generator; one independent stream per test case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Modulo bias is irrelevant for test-input generation.
+        self.next_u64() % n
+    }
+
+    /// Uniform signed value in `[lo, hi)` (half-open), via i128 arithmetic.
+    pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi - lo) as u128;
+        let r = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span;
+        lo + r as i128
+    }
+
+    /// Fair coin.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runner configuration; mirrors the `proptest::test_runner::Config` fields
+/// this workspace touches (`cases`, struct-update from `default()`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Cap on discarded cases (via `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion (message includes generated inputs).
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Folds a caught body outcome and the rendered inputs into one result
+/// (used by the `proptest!` expansion).
+pub fn attach_inputs(
+    outcome: Result<Result<(), TestCaseError>, Box<dyn Any + Send>>,
+    inputs: String,
+) -> Result<(), TestCaseError> {
+    match outcome {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(TestCaseError::Reject(m))) => Err(TestCaseError::Reject(m)),
+        Ok(Err(TestCaseError::Fail(m))) => Err(TestCaseError::Fail(format!(
+            "{m}\ngenerated inputs: {inputs}"
+        ))),
+        Err(payload) => Err(TestCaseError::Fail(format!(
+            "case panicked: {}\ngenerated inputs: {inputs}",
+            panic_message(payload.as_ref())
+        ))),
+    }
+}
+
+/// Runs `case` over `config.cases` deterministic input streams, panicking on
+/// the first failing case with its generated inputs in the message.
+pub fn run(
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut seed_index = 0u64;
+    while passed < config.cases {
+        let mut rng =
+            TestRng::from_seed(0xD5_AF00D ^ seed_index.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        seed_index += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest: too many global rejects ({rejected}) after {passed} passing case(s)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case #{passed} failed: {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(7);
+        let mut b = TestRng::from_seed(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = rng.range_i128(-4, 5);
+            assert!((-4..5).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_case_panics() {
+        run(
+            &ProptestConfig {
+                cases: 3,
+                ..Default::default()
+            },
+            |_| Err(TestCaseError::fail("boom")),
+        );
+    }
+
+    #[test]
+    fn rejects_do_not_fail() {
+        let mut n = 0;
+        run(
+            &ProptestConfig {
+                cases: 5,
+                ..Default::default()
+            },
+            |rng| {
+                if rng.gen_bool() {
+                    Err(TestCaseError::reject("skip"))
+                } else {
+                    n += 1;
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(n, 5);
+    }
+}
