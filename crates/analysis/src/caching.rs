@@ -143,6 +143,9 @@ pub struct CacheSolver<'a, 'p> {
     /// the hoist anchor: the outermost dependent guard *statement* before
     /// which the loader must fill the slot.
     speculative: HashMap<TermId, TermId>,
+    /// Telemetry: total worklist items processed across `run()` calls
+    /// (including limiter-triggered reruns).
+    worklist_pops: u64,
 }
 
 impl<'a, 'p> CacheSolver<'a, 'p> {
@@ -175,6 +178,7 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
             reasons: HashMap::new(),
             worklist: Vec::new(),
             speculative: HashMap::new(),
+            worklist_pops: 0,
         };
         solver.seed_basis();
         solver.run();
@@ -237,6 +241,29 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
         self.reasons.get(&id).copied()
     }
 
+    /// Telemetry: worklist items processed so far (Rules 4–7 firings plus
+    /// limiter-triggered reruns) — the solver's fixpoint iteration count.
+    pub fn worklist_pops(&self) -> u64 {
+        self.worklist_pops
+    }
+
+    /// Every non-static term with its final label and the first rule that
+    /// fired for it, in ascending term-id (program) order — the decision
+    /// trace the telemetry events are built from.
+    pub fn labeled_terms(&self) -> Vec<(TermId, Label, Reason)> {
+        let mut v: Vec<(TermId, Label, Reason)> = self
+            .labels
+            .iter()
+            .filter(|(_, &l)| l != Label::Static)
+            .map(|(&id, &l)| {
+                let reason = self.reason(id).expect("labeled terms carry a reason");
+                (id, l, reason)
+            })
+            .collect();
+        v.sort_unstable_by_key(|(id, _, _)| *id);
+        v
+    }
+
     /// Follows the provenance chain from `id` back to a basis cause:
     /// each entry is `(term, reason)`, ending at a Rule 1/2/3 or seed
     /// justification (or the limiter).
@@ -261,7 +288,11 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
     }
 
     fn seed_basis(&mut self) {
-        let ids: Vec<TermId> = self.ix.stmt_ids().chain(self.ix.expr_ids()).collect();
+        // Sorted so the solve (and every recorded reason) is deterministic:
+        // the worklist's pop order is a function of push order, and pushes
+        // happen in the order basis rules fire here.
+        let mut ids: Vec<TermId> = self.ix.stmt_ids().chain(self.ix.expr_ids()).collect();
+        ids.sort_unstable();
         for id in ids {
             // Rule 1: dependent => dynamic.
             if self.dep.is_dependent(id) {
@@ -316,6 +347,7 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
     /// Processes the worklist: Rules 4–7 for every newly dynamic term.
     fn run(&mut self) {
         while let Some(id) = self.worklist.pop() {
+            self.worklist_pops += 1;
             // Rule 4: a dynamic variable reference drags its reaching
             // definitions into the reader.
             if let Some(e) = self.ix.expr(id) {

@@ -29,6 +29,7 @@ use std::collections::{HashMap, HashSet};
 pub struct Dependence {
     dependent: HashSet<TermId>,
     under_dep_control: HashSet<TermId>,
+    fixpoint_passes: u64,
 }
 
 impl Dependence {
@@ -45,6 +46,14 @@ impl Dependence {
     /// Number of dependent terms (used by tests and diagnostics).
     pub fn dependent_count(&self) -> usize {
         self.dependent.len()
+    }
+
+    /// Loop-fixpoint iterations performed across all `while` statements
+    /// (0 for straight-line fragments). A telemetry counter: each inner
+    /// re-walk of a loop body until its variable state stabilizes counts
+    /// as one pass.
+    pub fn fixpoint_passes(&self) -> u64 {
+        self.fixpoint_passes
     }
 }
 
@@ -108,6 +117,7 @@ fn walk_stmt(s: &Stmt, state: &mut HashMap<String, bool>, cdep: bool, out: &mut 
         }
         StmtKind::While { cond, body } => {
             loop {
+                out.fixpoint_passes += 1;
                 let before = state.clone();
                 let cd = walk_expr(cond, state, cdep, out);
                 if cd {

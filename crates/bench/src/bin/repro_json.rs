@@ -1,6 +1,11 @@
 //! Machine-readable export: runs the headline experiments and writes
 //! `experiments.json` (path as first argument, default `experiments.json`),
 //! so downstream tooling can plot Figures 7-10 without re-parsing tables.
+//!
+//! Alongside the experiment record it drops a *metrics sidecar* — the same
+//! headline numbers wrapped in the versioned `ds-telemetry` envelope — at
+//! `<path minus .json>.metrics.json`, so CI can validate the schema without
+//! knowing the experiment layout.
 
 use ds_bench::json::Json;
 use ds_bench::{
@@ -83,8 +88,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
 
     std::fs::write(&path, doc.pretty() + "\n")?;
+
+    let sidecar_path = format!(
+        "{}.metrics.json",
+        path.strip_suffix(".json").unwrap_or(&path)
+    );
+    let sidecar = ds_telemetry::envelope(
+        "bench",
+        [
+            ("experiments", Json::from(path.as_str())),
+            ("partitions", Json::from(measurements.len())),
+            ("dotprod_speedup_nonzero", Json::from(d.speedup_nonzero)),
+            ("cache_mean_bytes", Json::from(mean_cache)),
+            ("cache_median_bytes", Json::from(median_cache)),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect(),
+    );
+    std::fs::write(&sidecar_path, sidecar.pretty() + "\n")?;
+
     println!(
-        "wrote {path} ({} partitions, limit sweep of shader 10)",
+        "wrote {path} ({} partitions, limit sweep of shader 10) and {sidecar_path}",
         measurements.len()
     );
     Ok(())

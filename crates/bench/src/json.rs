@@ -1,174 +1,24 @@
-//! A minimal JSON emitter for the experiment records — dependency-free
-//! (the workspace deliberately keeps its dependency set to the analysis
-//! essentials; a forty-line writer beats a serializer stack here).
+//! JSON emission for the experiment records.
+//!
+//! The original dependency-free writer that lived here moved to
+//! [`ds_telemetry::json`] (gaining a parser on the way) so every crate in the
+//! workspace shares one codec; this module re-exports it to keep
+//! `ds_bench::json::Json` working for the experiment binaries.
 
-use std::fmt::Write;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// A finite number (non-finite floats serialize as `null`, as in
-    /// `JSON.stringify`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for object literals.
-    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Serializes with two-space indentation.
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, level: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Num(x) => {
-                if x.is_finite() {
-                    let _ = write!(out, "{x}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(s, out),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, level + 1);
-                    item.write(out, level + 1);
-                }
-                out.push('\n');
-                indent(out, level);
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, level + 1);
-                    write_escaped(k, out);
-                    out.push_str(": ");
-                    v.write(out, level + 1);
-                }
-                out.push('\n');
-                indent(out, level);
-                out.push('}');
-            }
-        }
-    }
-}
-
-impl From<f64> for Json {
-    fn from(x: f64) -> Json {
-        Json::Num(x)
-    }
-}
-
-impl From<u32> for Json {
-    fn from(x: u32) -> Json {
-        Json::Num(f64::from(x))
-    }
-}
-
-impl From<usize> for Json {
-    fn from(x: usize) -> Json {
-        Json::Num(x as f64)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-
-fn indent(out: &mut String, level: usize) {
-    for _ in 0..level {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+pub use ds_telemetry::json::{parse, Json, JsonError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn scalars() {
-        assert_eq!(Json::Null.pretty(), "null");
-        assert_eq!(Json::Bool(true).pretty(), "true");
-        assert_eq!(Json::Num(1.5).pretty(), "1.5");
-        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
-        assert_eq!(Json::from("a\"b\\c\nd").pretty(), "\"a\\\"b\\\\c\\nd\"");
-    }
-
-    #[test]
-    fn nested_structure() {
+    fn reexport_keeps_the_writer_format() {
         let v = Json::obj([
             ("name", Json::from("dotprod")),
             ("speedups", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
-            ("empty", Json::Arr(vec![])),
         ]);
         let text = v.pretty();
         assert!(text.contains("\"name\": \"dotprod\""), "{text}");
-        assert!(text.contains("\"empty\": []"), "{text}");
-        // Keys keep insertion order.
-        assert!(text.find("name").unwrap() < text.find("speedups").unwrap());
-    }
-
-    #[test]
-    fn control_characters_escape() {
-        let v = Json::from("\u{1}");
-        assert_eq!(v.pretty(), "\"\\u0001\"");
+        assert_eq!(parse(&text).expect("round trip"), v);
     }
 }

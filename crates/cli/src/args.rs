@@ -29,7 +29,7 @@ impl std::error::Error for UsageError {}
 
 /// Option keys that take a value; everything else starting with `--` is a
 /// boolean flag.
-const VALUE_OPTIONS: &[&str] = &["entry", "vary", "bound", "args", "engine"];
+const VALUE_OPTIONS: &[&str] = &["entry", "vary", "bound", "args", "engine", "metrics-out"];
 
 /// Parses raw arguments (excluding the program name).
 ///
@@ -137,6 +137,12 @@ impl Args {
         }
     }
 
+    /// `--metrics-out PATH`: where to write the run's metrics JSON
+    /// (versioned `ds-telemetry` envelope); `None` disables export.
+    pub fn metrics_out(&self) -> Option<&str> {
+        self.options.get("metrics-out").map(String::as_str)
+    }
+
     /// `--args 1.0,2,true` parsed as runtime values.
     pub fn values(&self) -> Result<Vec<ds_interp::Value>, UsageError> {
         let Some(spec) = self.options.get("args") else {
@@ -220,6 +226,15 @@ mod tests {
         assert_eq!(a.engine().unwrap(), ds_interp::Engine::Tree);
         let a = parse_ok(&["run", "f.mc", "--engine", "jit"]);
         assert!(a.engine().is_err());
+    }
+
+    #[test]
+    fn metrics_out_takes_a_path() {
+        let a = parse_ok(&["run", "f.mc", "--metrics-out", "m.json"]);
+        assert_eq!(a.metrics_out(), Some("m.json"));
+        let a = parse_ok(&["run", "f.mc"]);
+        assert_eq!(a.metrics_out(), None);
+        assert!(parse(["run".to_string(), "--metrics-out".to_string()]).is_err());
     }
 
     #[test]

@@ -13,14 +13,22 @@
 //! dsc measure FILE --vary a,b --args ... [--entry NAME] [specialize flags]
 //!     specialize, then run original vs loader vs reader on the given
 //!     arguments and report costs, speedup and breakeven
+//! dsc explain FILE --vary a,b [--entry NAME] [specialize flags]
+//!     specialize with decision tracing and print an annotated report in
+//!     which every cached/dynamic verdict cites its Figure-3 rule
 //! dsc help
 //! ```
+//!
+//! `run`, `measure` and `explain` accept `--metrics-out PATH` to export the
+//! run's metrics (execution profiles and/or the specialization report) as a
+//! versioned `ds-telemetry` JSON document.
 
 mod args;
 
 use args::{parse, Args, UsageError};
 use ds_core::{specialize, InputPartition, SpecializeOptions};
 use ds_lang::Program;
+use ds_telemetry::Json;
 use std::process::ExitCode;
 
 const HELP: &str = "dsc - data specialization driver (Knoblock & Ruf, PLDI 1996)
@@ -31,9 +39,12 @@ USAGE:
     dsc specialize FILE --vary a,b [--entry NAME] [--bound BYTES]
                    [--reassociate] [--speculate] [--loader] [--reader]
     dsc run FILE --args 1.0,2,true [--entry NAME] [--engine tree|vm]
+                [--metrics-out PATH]
     dsc measure FILE --vary a,b --args ... [--entry NAME]
                 [--bound BYTES] [--reassociate] [--speculate]
-                [--engine tree|vm]
+                [--engine tree|vm] [--metrics-out PATH]
+    dsc explain FILE --vary a,b [--entry NAME] [--bound BYTES]
+                [--reassociate] [--speculate] [--metrics-out PATH]
     dsc help
 
 The input is a MiniC source file (a subset of C without pointers or goto).
@@ -41,7 +52,11 @@ The input is a MiniC source file (a subset of C without pointers or goto).
 other parameters are held fixed. `specialize` prints the cache layout and
 both generated phases unless --loader/--reader select one. `--engine`
 picks the execution backend: the reference tree walker (default) or the
-register-bytecode VM; both charge identical abstract costs.";
+register-bytecode VM; both charge identical abstract costs. `explain`
+reruns the specializer with decision tracing: every cached or dynamic
+term is printed with the caching rule (Figure 3 / §4.3) that labeled it.
+`--metrics-out PATH` writes a versioned ds-telemetry JSON document with
+the run's execution profiles and/or specialization report.";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +81,7 @@ fn dispatch(raw: Vec<String>) -> Result<(), String> {
         "specialize" => cmd_specialize(&args),
         "run" => cmd_run(&args),
         "measure" => cmd_measure(&args),
+        "explain" => cmd_explain(&args),
         other => Err(UsageError(format!(
             "unknown subcommand `{other}`; try `dsc help`"
         ))),
@@ -88,6 +104,20 @@ fn spec_options(args: &Args) -> Result<SpecializeOptions, UsageError> {
     opts.speculate = args.flag("speculate");
     opts.cache_bound_bytes = args.bound()?;
     Ok(opts)
+}
+
+/// Writes `doc` (a versioned metrics envelope) to `path`, pretty-printed.
+fn write_metrics(path: &str, doc: &Json) -> Result<(), UsageError> {
+    std::fs::write(path, doc.pretty() + "\n")
+        .map_err(|e| UsageError(format!("cannot write `{path}`: {e}")))
+}
+
+/// `profile` object pairs for an outcome, used by run/measure export.
+fn profile_json(out: &ds_interp::Outcome) -> Json {
+    out.profile
+        .as_ref()
+        .map(ds_interp::Profile::to_json)
+        .unwrap_or(Json::Null)
 }
 
 fn cmd_show(args: &Args) -> Result<(), UsageError> {
@@ -222,15 +252,13 @@ fn cmd_measure(args: &Args) -> Result<(), UsageError> {
 
     let staged = spec.as_program();
     let engine = args.engine()?;
+    let eval_opts = ds_interp::EvalOptions {
+        profile: args.metrics_out().is_some(),
+        ..ds_interp::EvalOptions::default()
+    };
     let run = |what: &str, cache: Option<&mut ds_interp::CacheBuf>| {
         engine
-            .run_program(
-                &staged,
-                what,
-                &values,
-                cache,
-                ds_interp::EvalOptions::default(),
-            )
+            .run_program(&staged, what, &values, cache, eval_opts)
             .map_err(|e| UsageError(format!("{what}: {e}")))
     };
     let orig = run(&entry, None)?;
@@ -273,6 +301,89 @@ fn cmd_measure(args: &Args) -> Result<(), UsageError> {
         Some(v) => println!("result:         {v}"),
         None => println!("result:         (void)"),
     }
+    if let Some(path) = args.metrics_out() {
+        let doc = ds_telemetry::envelope(
+            "measure",
+            vec![
+                ("entry".to_string(), Json::from(entry.as_str())),
+                (
+                    "varying".to_string(),
+                    Json::Arr(vary.iter().map(|v| Json::from(v.as_str())).collect()),
+                ),
+                ("engine".to_string(), Json::from(engine.to_string())),
+                (
+                    "costs".to_string(),
+                    Json::obj([
+                        ("original", Json::from(orig.cost)),
+                        ("loader", Json::from(loader.cost)),
+                        ("reader", Json::from(reader.cost)),
+                    ]),
+                ),
+                (
+                    "profiles".to_string(),
+                    Json::obj([
+                        ("original", profile_json(&orig)),
+                        ("loader", profile_json(&loader)),
+                        ("reader", profile_json(&reader)),
+                    ]),
+                ),
+                ("cache_bytes".to_string(), Json::from(spec.cache_bytes())),
+                ("slots".to_string(), Json::from(spec.slot_count())),
+                ("report".to_string(), spec.report.to_json()),
+            ],
+        );
+        write_metrics(path, &doc)?;
+        println!("metrics:        wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), UsageError> {
+    let (program, _) = load(args)?;
+    let entry = args.entry(&program)?.to_string();
+    let vary = args.vary();
+    if vary.is_empty() {
+        return Err(UsageError(
+            "explain needs --vary (possibly with a dummy name)".into(),
+        ));
+    }
+    let opts = spec_options(args)?.with_event_collection();
+    let spec = specialize(
+        &program,
+        &entry,
+        &InputPartition::varying(vary.iter().map(String::as_str)),
+        &opts,
+    )
+    .map_err(|e| UsageError(e.to_string()))?;
+
+    println!("// varying: {{{}}}", vary.join(", "));
+    print!("{}", ds_core::explain_specialization(&spec));
+    if let Some(path) = args.metrics_out() {
+        let (s, c, d) = spec.stats.label_counts;
+        let doc = ds_telemetry::envelope(
+            "explain",
+            vec![
+                ("entry".to_string(), Json::from(entry.as_str())),
+                (
+                    "varying".to_string(),
+                    Json::Arr(vary.iter().map(|v| Json::from(v.as_str())).collect()),
+                ),
+                (
+                    "labels".to_string(),
+                    Json::obj([
+                        ("static", Json::from(s)),
+                        ("cached", Json::from(c)),
+                        ("dynamic", Json::from(d)),
+                    ]),
+                ),
+                ("cache_bytes".to_string(), Json::from(spec.cache_bytes())),
+                ("slots".to_string(), Json::from(spec.slot_count())),
+                ("report".to_string(), spec.report.to_json()),
+            ],
+        );
+        write_metrics(path, &doc)?;
+        println!("metrics: wrote {path}");
+    }
     Ok(())
 }
 
@@ -280,15 +391,13 @@ fn cmd_run(args: &Args) -> Result<(), UsageError> {
     let (program, _) = load(args)?;
     let entry = args.entry(&program)?;
     let values = args.values()?;
-    let out = args
-        .engine()?
-        .run_program(
-            &program,
-            entry,
-            &values,
-            None,
-            ds_interp::EvalOptions::default(),
-        )
+    let engine = args.engine()?;
+    let opts = ds_interp::EvalOptions {
+        profile: args.metrics_out().is_some(),
+        ..ds_interp::EvalOptions::default()
+    };
+    let out = engine
+        .run_program(&program, entry, &values, None, opts)
         .map_err(|e| UsageError(e.to_string()))?;
     match out.value {
         Some(v) => println!("result: {v}"),
@@ -297,6 +406,19 @@ fn cmd_run(args: &Args) -> Result<(), UsageError> {
     println!("cost:   {}", out.cost);
     if !out.trace.is_empty() {
         println!("trace:  {:?}", out.trace);
+    }
+    if let Some(path) = args.metrics_out() {
+        let doc = ds_telemetry::envelope(
+            "run",
+            vec![
+                ("entry".to_string(), Json::from(entry)),
+                ("engine".to_string(), Json::from(engine.to_string())),
+                ("cost".to_string(), Json::from(out.cost)),
+                ("profile".to_string(), profile_json(&out)),
+            ],
+        );
+        write_metrics(path, &doc)?;
+        println!("metrics: wrote {path}");
     }
     Ok(())
 }

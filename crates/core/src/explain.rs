@@ -1,0 +1,223 @@
+//! Human-readable decision traces: renders a [`Specialization`]'s telemetry
+//! as an annotated report in which every cached or dynamic verdict cites
+//! the Figure-3 rule (or §4.3 limiter step) that produced it.
+//!
+//! The rendering is **deterministic** — it never includes wall-clock times,
+//! so the same program and options always produce byte-identical output
+//! (the golden tests depend on this). Wall times live only in the JSON
+//! export ([`SpecReport::to_json`](ds_telemetry::SpecReport::to_json)).
+
+use crate::spec::Specialization;
+use ds_analysis::TermIndex;
+use ds_lang::{print_expr, StmtKind, TermId};
+use ds_telemetry::TraceEvent;
+use std::fmt::Write as _;
+
+/// Maximum rendered source width per term before truncation.
+const SRC_WIDTH: usize = 48;
+
+/// Renders `spec`'s decision trace as an annotated text report.
+///
+/// Requires the specialization to have been produced with
+/// [`SpecializeOptions::with_event_collection`](crate::SpecializeOptions::with_event_collection);
+/// without events the report still shows the summary, slots and phase
+/// table, plus a note that per-term decisions were not traced.
+pub fn explain_specialization(spec: &Specialization) -> String {
+    let ix = TermIndex::build(&spec.fragment);
+    let mut out = String::new();
+
+    let (s, c, d) = spec.stats.label_counts;
+    let _ = writeln!(out, "explain {}", spec.fragment.name);
+    let _ = writeln!(
+        out,
+        "  terms: {} fragment -> {} loader + {} reader",
+        spec.stats.fragment_nodes, spec.stats.loader_nodes, spec.stats.reader_nodes
+    );
+    let _ = writeln!(out, "  labels: {s} static, {c} cached, {d} dynamic");
+    let _ = writeln!(
+        out,
+        "  cache: {} slot(s), {} byte(s)",
+        spec.slot_count(),
+        spec.cache_bytes()
+    );
+
+    out.push_str("\ncache slots\n");
+    if spec.layout.slots().is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for (i, slot) in spec.layout.slots().iter().enumerate() {
+        let rule = rule_for(spec, slot.term).unwrap_or("(decision tracing disabled)");
+        let _ = writeln!(
+            out,
+            "  slot{i}  {} {}  <- {}",
+            slot.term,
+            slot.ty,
+            clip(&slot.source)
+        );
+        let _ = writeln!(out, "         {rule}");
+    }
+
+    out.push_str("\ndecisions\n");
+    let labeled: Vec<(&u32, &str, &str)> = spec
+        .report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::TermLabeled { term, label, rule } => {
+                Some((term, label.as_str(), rule.as_str()))
+            }
+            TraceEvent::VictimEvicted { .. } => None,
+        })
+        .collect();
+    if labeled.is_empty() {
+        out.push_str("  (no events; specialize with event collection to trace decisions)\n");
+    }
+    for (term, label, rule) in labeled {
+        let id = TermId(*term);
+        let _ = writeln!(out, "  {id:<5} {label:<8} {}", clip(&term_source(&ix, id)));
+        let _ = writeln!(out, "        {rule}");
+    }
+
+    let evicted: Vec<&TraceEvent> = spec
+        .report
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::VictimEvicted { .. }))
+        .collect();
+    if !evicted.is_empty() {
+        out.push_str("\nevictions\n");
+        for e in evicted {
+            if let TraceEvent::VictimEvicted {
+                term,
+                benefit,
+                bytes_before,
+            } = e
+            {
+                let _ = writeln!(
+                    out,
+                    "  {}  benefit {benefit}  cache was {bytes_before} byte(s)",
+                    TermId(*term)
+                );
+            }
+        }
+    }
+
+    out.push_str("\nphases\n");
+    for p in &spec.report.phases {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>4} -> {:<4} terms  {:>4} iteration(s)",
+            p.name, p.input_terms, p.output_terms, p.iterations
+        );
+    }
+    out
+}
+
+/// The rule string attached to `term`'s labeling event, if traced.
+fn rule_for(spec: &Specialization, term: TermId) -> Option<&str> {
+    spec.report.events.iter().find_map(|e| match e {
+        TraceEvent::TermLabeled { term: t, rule, .. } if *t == term.0 => Some(rule.as_str()),
+        _ => None,
+    })
+}
+
+/// Source rendering for any term: expressions print directly, statements
+/// print a one-line sketch of their kind.
+fn term_source(ix: &TermIndex<'_>, id: TermId) -> String {
+    if let Some(e) = ix.expr(id) {
+        return print_expr(e);
+    }
+    match ix.stmt(id).map(|s| &s.kind) {
+        Some(StmtKind::Decl { name, init, .. }) => format!("{name} = {}", print_expr(init)),
+        Some(StmtKind::Assign { name, value, .. }) => {
+            format!("{name} = {}", print_expr(value))
+        }
+        Some(StmtKind::If { cond, .. }) => format!("if ({})", print_expr(cond)),
+        Some(StmtKind::While { cond, .. }) => format!("while ({})", print_expr(cond)),
+        Some(StmtKind::Return(Some(e))) => format!("return {}", print_expr(e)),
+        Some(StmtKind::Return(None)) => "return".to_string(),
+        Some(StmtKind::ExprStmt(e)) => format!("{};", print_expr(e)),
+        None => "<term not in fragment>".to_string(),
+    }
+}
+
+/// Truncates `src` to [`SRC_WIDTH`] characters with an ellipsis.
+fn clip(src: &str) -> String {
+    if src.chars().count() <= SRC_WIDTH {
+        return src.to_string();
+    }
+    let head: String = src.chars().take(SRC_WIDTH - 3).collect();
+    format!("{head}...")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::InputPartition;
+    use crate::spec::{specialize_source, SpecializeOptions};
+
+    const DOTPROD: &str = "float dotprod(float x1, float y1, float z1,
+                                         float x2, float y2, float z2, float scale) {
+                               if (scale != 0.0) {
+                                   return (x1*x2 + y1*y2 + z1*z2) / scale;
+                               } else {
+                                   return -1.0;
+                               }
+                           }";
+
+    fn traced(opts: SpecializeOptions) -> Specialization {
+        specialize_source(
+            DOTPROD,
+            "dotprod",
+            &InputPartition::varying(["z1", "z2"]),
+            &opts.with_event_collection(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dotprod_explanation_cites_rules_per_term() {
+        let text = explain_specialization(&traced(SpecializeOptions::new()));
+        // The paper's Figure-2 frontier slot, attributed.
+        assert!(text.contains("x1 * x2 + y1 * y2"), "{text}");
+        assert!(text.contains("Rule"), "{text}");
+        // Varying inputs appear as dynamic decisions.
+        assert!(text.contains("dynamic"), "{text}");
+        assert!(
+            text.contains("depends on a varying input (Rule 1)"),
+            "{text}"
+        );
+        // Phase table present, without wall times.
+        assert!(text.contains("phases"), "{text}");
+        assert!(!text.contains("nanos"), "{text}");
+    }
+
+    #[test]
+    fn explanation_is_deterministic() {
+        let a = explain_specialization(&traced(SpecializeOptions::new()));
+        let b = explain_specialization(&traced(SpecializeOptions::new()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evictions_render_when_bounded() {
+        let text = explain_specialization(&traced(SpecializeOptions::new().with_cache_bound(0)));
+        assert!(text.contains("evictions"), "{text}");
+        assert!(text.contains("cache-size limiter (§4.3)"), "{text}");
+        assert!(text.contains("cache: 0 slot(s)"), "{text}");
+    }
+
+    #[test]
+    fn untraced_specialization_degrades_gracefully() {
+        let spec = specialize_source(
+            DOTPROD,
+            "dotprod",
+            &InputPartition::varying(["z1", "z2"]),
+            &SpecializeOptions::new(),
+        )
+        .unwrap();
+        let text = explain_specialization(&spec);
+        assert!(text.contains("no events"), "{text}");
+        assert!(text.contains("(decision tracing disabled)"), "{text}");
+    }
+}

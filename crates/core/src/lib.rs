@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod explain;
 pub mod layout;
 pub mod limit;
 pub mod partition;
@@ -56,8 +57,13 @@ pub mod spec;
 pub mod split;
 
 pub use error::SpecError;
+pub use explain::explain_specialization;
 pub use layout::{CacheLayout, Slot};
 pub use limit::{limit_cache_size, not_caching_cost, Eviction};
 pub use partition::InputPartition;
 pub use spec::{specialize, specialize_source, SpecStats, Specialization, SpecializeOptions};
 pub use split::split;
+
+// Telemetry vocabulary, re-exported so downstream callers can consume
+// [`Specialization::report`] without depending on `ds-telemetry` directly.
+pub use ds_telemetry::{PhaseSpan, SpecReport, TraceEvent};

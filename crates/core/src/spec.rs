@@ -26,6 +26,8 @@ use ds_analysis::{
     CachingOptions, TermIndex,
 };
 use ds_lang::{parse_program, print_expr, typecheck, Proc, Program};
+use ds_telemetry::{PhaseSpan, SpecReport, TraceEvent};
+use std::time::Instant;
 
 /// Knobs for [`specialize`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,6 +43,11 @@ pub struct SpecializeOptions {
     /// evaluation can be soundly hoisted ahead of the guard. Off by
     /// default, matching the paper's implementation.
     pub speculate: bool,
+    /// Record a [`TraceEvent`](ds_telemetry::TraceEvent) for every labeling
+    /// and eviction decision into the run's [`SpecReport`]. Off by default:
+    /// the event list is proportional to the fragment size, and phase spans
+    /// alone cover the common observability need.
+    pub collect_events: bool,
 }
 
 impl SpecializeOptions {
@@ -64,6 +71,12 @@ impl SpecializeOptions {
     /// Returns options with loader speculation enabled (§7.1).
     pub fn with_speculation(mut self) -> Self {
         self.speculate = true;
+        self
+    }
+
+    /// Returns options with decision-trace event collection enabled.
+    pub fn with_event_collection(mut self) -> Self {
+        self.collect_events = true;
         self
     }
 }
@@ -103,6 +116,11 @@ pub struct Specialization {
     pub layout: CacheLayout,
     /// Pipeline counters.
     pub stats: SpecStats,
+    /// Telemetry: one span per pipeline pass (wall time, term counts,
+    /// iteration counters), plus decision-trace events when
+    /// [`SpecializeOptions::collect_events`] is set. Span equality ignores
+    /// wall time, so `Specialization`'s `PartialEq` stays meaningful.
+    pub report: SpecReport,
 }
 
 impl Specialization {
@@ -184,11 +202,32 @@ pub fn specialize(
         })?;
     typecheck(program)?;
 
+    let mut report = SpecReport::default();
+    let entry_nodes = proc0.node_count();
+
     // §5: the fragment is a single nonrecursive procedure.
+    let t0 = Instant::now();
     let mut prog = inline_entry(program, entry)?;
+    report.push_phase(PhaseSpan {
+        name: "inline",
+        wall_nanos: t0.elapsed().as_nanos() as u64,
+        input_terms: entry_nodes,
+        output_terms: prog.procs[0].node_count(),
+        iterations: 0,
+    });
+
     // §4.1: join-point normalization.
+    let t0 = Instant::now();
+    let inlined_nodes = prog.procs[0].node_count();
     let phis_inserted = insert_phis(&mut prog.procs[0]);
     prog.renumber();
+    report.push_phase(PhaseSpan {
+        name: "normalize",
+        wall_nanos: t0.elapsed().as_nanos() as u64,
+        input_terms: inlined_nodes,
+        output_terms: prog.procs[0].node_count(),
+        iterations: phis_inserted as u64,
+    });
 
     let varying = partition.as_set();
 
@@ -196,18 +235,39 @@ pub fn specialize(
     // current numbering, then invalidates it).
     let mut chains_reassociated = 0;
     if opts.reassociate {
+        let t0 = Instant::now();
+        let input_terms = prog.procs[0].node_count();
         let dep = analyze_dependence(&prog.procs[0], &varying);
         chains_reassociated = reassociate(&mut prog.procs[0], &dep);
         prog.renumber();
+        report.push_phase(PhaseSpan {
+            name: "reassociate",
+            wall_nanos: t0.elapsed().as_nanos() as u64,
+            input_terms,
+            output_terms: prog.procs[0].node_count(),
+            iterations: chains_reassociated as u64,
+        });
     }
 
     let types = typecheck(&prog).map_err(|e| {
         SpecError::Internal(format!("normalized fragment no longer type-checks: {e}"))
     })?;
     let proc = &prog.procs[0];
+    let fragment_nodes = proc.node_count();
+
+    let t0 = Instant::now();
     let ix = TermIndex::build(proc);
     let rd = reaching_defs(proc);
     let dep = analyze_dependence(proc, &varying);
+    report.push_phase(PhaseSpan {
+        name: "dependence",
+        wall_nanos: t0.elapsed().as_nanos() as u64,
+        input_terms: ix.term_count(),
+        output_terms: dep.dependent_count(),
+        iterations: dep.fixpoint_passes(),
+    });
+
+    let t0 = Instant::now();
     let mut solver = CacheSolver::solve_with(
         &ix,
         &rd,
@@ -217,18 +277,64 @@ pub fn specialize(
             speculate: opts.speculate,
         },
     );
+    let (_, cached_before_limit, _) = solver.counts();
+    report.push_phase(PhaseSpan {
+        name: "caching",
+        wall_nanos: t0.elapsed().as_nanos() as u64,
+        input_terms: ix.term_count(),
+        output_terms: cached_before_limit,
+        iterations: solver.worklist_pops(),
+    });
 
     // §4.3: optional cache-size limiting.
     let evictions = match opts.cache_bound_bytes {
-        Some(bound) => limit_cache_size(&mut solver, &ix, &rd, &types, bound),
+        Some(bound) => {
+            let t0 = Instant::now();
+            let evictions = limit_cache_size(&mut solver, &ix, &rd, &types, bound);
+            let (_, cached_after, _) = solver.counts();
+            report.push_phase(PhaseSpan {
+                name: "limit",
+                wall_nanos: t0.elapsed().as_nanos() as u64,
+                input_terms: cached_before_limit,
+                output_terms: cached_after,
+                iterations: evictions.len() as u64,
+            });
+            evictions
+        }
         None => Vec::new(),
     };
 
+    if opts.collect_events {
+        for (id, label, reason) in solver.labeled_terms() {
+            report.events.push(TraceEvent::TermLabeled {
+                term: id.0,
+                label: label.to_string(),
+                rule: reason.to_string(),
+            });
+        }
+        for ev in &evictions {
+            report.events.push(TraceEvent::VictimEvicted {
+                term: ev.term.0,
+                benefit: ev.cost,
+                bytes_before: ev.bytes_before,
+            });
+        }
+    }
+
+    let t0 = Instant::now();
     let layout = CacheLayout::new(solver.cached_terms().into_iter().map(|t| {
         let e = ix.expr(t).expect("cached terms are expressions");
         (t, types.expr_type(t), print_expr(e))
     }));
+    report.push_phase(PhaseSpan {
+        name: "layout",
+        wall_nanos: t0.elapsed().as_nanos() as u64,
+        input_terms: layout.slot_count(),
+        output_terms: layout.slot_count(),
+        iterations: layout.size_bytes() as u64,
+    });
 
+    let t0 = Instant::now();
     let hoists: std::collections::HashMap<ds_lang::TermId, ds_lang::TermId> = layout
         .slots()
         .iter()
@@ -241,9 +347,16 @@ pub fn specialize(
     let (loader, reader) = split(proc, &solver, &layout, &types, &hoists);
     validate_generated(&loader)?;
     validate_generated(&reader)?;
+    report.push_phase(PhaseSpan {
+        name: "split",
+        wall_nanos: t0.elapsed().as_nanos() as u64,
+        input_terms: fragment_nodes,
+        output_terms: loader.node_count() + reader.node_count(),
+        iterations: hoists.len() as u64,
+    });
 
     let stats = SpecStats {
-        fragment_nodes: proc.node_count(),
+        fragment_nodes,
         loader_nodes: loader.node_count(),
         reader_nodes: reader.node_count(),
         label_counts: solver.counts(),
@@ -257,6 +370,7 @@ pub fn specialize(
         reader,
         layout,
         stats,
+        report,
     })
 }
 
@@ -687,6 +801,109 @@ mod tests {
                 let read = ev.run_with_cache("f__reader", &args, &mut cache).unwrap();
                 assert_eq!(orig.value, read.value, "v0={v0} v={v}");
             }
+        }
+    }
+
+    #[test]
+    fn report_covers_every_pass_and_repeats_deterministically() {
+        let part = InputPartition::varying(["z1", "z2"]);
+        let spec = |o: &SpecializeOptions| specialize_source(DOTPROD, "dotprod", &part, o).unwrap();
+
+        let plain = spec(&SpecializeOptions::new());
+        let names: Vec<&str> = plain.report.phases.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            [
+                "inline",
+                "normalize",
+                "dependence",
+                "caching",
+                "layout",
+                "split"
+            ]
+        );
+        assert!(plain.report.events.is_empty(), "events are opt-in");
+        let caching = plain.report.phase("caching").unwrap();
+        assert!(caching.iterations > 0, "worklist must have processed items");
+        assert!(caching.input_terms > caching.output_terms);
+        // Optional passes appear exactly when their option is set.
+        let bounded = spec(
+            &SpecializeOptions::new()
+                .with_reassociation()
+                .with_cache_bound(0),
+        );
+        let names: Vec<&str> = bounded.report.phases.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            [
+                "inline",
+                "normalize",
+                "reassociate",
+                "dependence",
+                "caching",
+                "limit",
+                "layout",
+                "split"
+            ]
+        );
+        assert_eq!(
+            bounded.report.phase("limit").unwrap().iterations,
+            bounded.stats.evictions.len() as u64
+        );
+        // Same inputs, same report (wall times excluded from equality).
+        assert_eq!(plain.report, spec(&SpecializeOptions::new()).report);
+    }
+
+    #[test]
+    fn event_collection_traces_labels_and_evictions() {
+        let part = InputPartition::varying(["z1", "z2"]);
+        let spec = specialize_source(
+            DOTPROD,
+            "dotprod",
+            &part,
+            &SpecializeOptions::new()
+                .with_event_collection()
+                .with_cache_bound(0),
+        )
+        .unwrap();
+        let events = &spec.report.events;
+        assert!(!events.is_empty());
+        // Every eviction recorded in stats has a matching event.
+        let evicted: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                ds_telemetry::TraceEvent::VictimEvicted { term, .. } => Some(*term),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            evicted,
+            spec.stats
+                .evictions
+                .iter()
+                .map(|e| e.term.0)
+                .collect::<Vec<_>>()
+        );
+        // Every labeling event cites a rule in the analyses' format.
+        for e in events {
+            if let ds_telemetry::TraceEvent::TermLabeled { label, rule, .. } = e {
+                assert!(label == "cached" || label == "dynamic", "{label}");
+                assert!(
+                    rule.contains("Rule") || rule.contains("§4.3") || rule.contains("result"),
+                    "uncited rule: {rule}"
+                );
+            }
+        }
+        // The evicted terms' final labels must be dynamic, citing the limiter.
+        for t in &evicted {
+            let labeled = events.iter().any(|e| {
+                matches!(
+                    e,
+                    ds_telemetry::TraceEvent::TermLabeled { term, label, rule }
+                        if term == t && label == "dynamic" && rule.contains("§4.3")
+                )
+            });
+            assert!(labeled, "evicted term t{t} not traced as dynamic");
         }
     }
 

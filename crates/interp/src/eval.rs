@@ -47,24 +47,100 @@ impl Default for EvalOptions {
 /// The specializer's whole point is *which computations the reader avoids*;
 /// profiles make that directly observable (e.g. a reader whose partition
 /// caches the noise field must execute zero `fbm3` calls).
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Profiles are **deterministic** (all maps are ordered, so iteration and
+/// any dumped output are stable) and **mergeable** ([`Profile::merge`]), so
+/// a batch of runs aggregates into one metrics object. Both execution
+/// engines collect identical profiles for the same program — the
+/// differential suite enforces field-for-field equality.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Profile {
     /// Builtin invocations by name.
-    pub builtin_calls: std::collections::HashMap<&'static str, u64>,
+    pub builtin_calls: std::collections::BTreeMap<&'static str, u64>,
+    /// Executed operations by opcode mnemonic (`"add"`, `"div"`, `"neg"`,
+    /// ...): the abstract-opcode histogram, identical between the tree
+    /// walker and the bytecode VM.
+    pub op_histogram: std::collections::BTreeMap<&'static str, u64>,
     /// Binary/unary arithmetic and comparison operations executed.
     pub ops: u64,
     /// Branch decisions taken (if/while/ternary).
     pub branches: u64,
-    /// Cache slot reads.
+    /// Cache slot reads (every successful read is a hit; a miss is the
+    /// [`EvalError::UnfilledSlot`] error, never a silent fallback).
     pub cache_reads: u64,
     /// Cache slot writes.
     pub cache_writes: u64,
+    /// Evaluation steps consumed (fuel charged against
+    /// [`EvalOptions::step_limit`]).
+    pub steps: u64,
+    /// Total abstract cost charged, duplicated from [`Outcome::cost`] so a
+    /// profile is self-contained once exported.
+    pub cost: u64,
 }
 
 impl Profile {
     /// Invocations of builtin `name` (0 when never called).
     pub fn calls(&self, name: &str) -> u64 {
         self.builtin_calls.get(name).copied().unwrap_or(0)
+    }
+
+    /// Accumulates `other` into `self`, key-wise for the histograms and
+    /// additively for every counter. `merge` is associative and
+    /// commutative, so batch aggregation order does not matter.
+    pub fn merge(&mut self, other: &Profile) {
+        for (name, n) in &other.builtin_calls {
+            *self.builtin_calls.entry(name).or_default() += n;
+        }
+        for (op, n) in &other.op_histogram {
+            *self.op_histogram.entry(op).or_default() += n;
+        }
+        self.ops += other.ops;
+        self.branches += other.branches;
+        self.cache_reads += other.cache_reads;
+        self.cache_writes += other.cache_writes;
+        self.steps += other.steps;
+        self.cost += other.cost;
+    }
+
+    /// Aggregates every profile in `profiles` into one (batch shape:
+    /// `Profile::merged(outcomes.iter().filter_map(|o| o.profile.as_ref()))`).
+    pub fn merged<'a, I: IntoIterator<Item = &'a Profile>>(profiles: I) -> Profile {
+        let mut acc = Profile::default();
+        for p in profiles {
+            acc.merge(p);
+        }
+        acc
+    }
+
+    /// The paper's notion of dynamic work: arithmetic plus branches plus
+    /// builtin invocations (cache traffic is the *replacement* for work, so
+    /// it is excluded — a reader that only reads slots did ~no work).
+    pub fn total_dynamic_work(&self) -> u64 {
+        let builtins: u64 = self.builtin_calls.values().sum();
+        self.ops + self.branches + builtins
+    }
+
+    /// Serializes the profile as a JSON object (schema v1 `profile` shape).
+    pub fn to_json(&self) -> ds_telemetry::Json {
+        use ds_telemetry::Json;
+        let map = |m: &std::collections::BTreeMap<&'static str, u64>| {
+            Json::Obj(
+                m.iter()
+                    .map(|(k, v)| (k.to_string(), Json::from(*v)))
+                    .collect(),
+            )
+        };
+        Json::obj([
+            ("builtin_calls", map(&self.builtin_calls)),
+            ("op_histogram", map(&self.op_histogram)),
+            ("ops", Json::from(self.ops)),
+            ("branches", Json::from(self.branches)),
+            ("cache_reads", Json::from(self.cache_reads)),
+            ("cache_writes", Json::from(self.cache_writes)),
+            ("steps", Json::from(self.steps)),
+            ("cost", Json::from(self.cost)),
+            ("total_dynamic_work", Json::from(self.total_dynamic_work())),
+        ])
     }
 }
 
@@ -161,6 +237,10 @@ impl<'p> Evaluator<'p> {
             cache,
         };
         let value = st.call(proc, args)?;
+        if let Some(p) = &mut st.profile {
+            p.steps = self.opts.step_limit - st.fuel;
+            p.cost = st.cost;
+        }
         Ok(Outcome {
             value,
             cost: st.cost,
@@ -331,6 +411,7 @@ impl<'p, 'c> State<'p, 'c> {
                 self.cost += unop_cost(*op);
                 if let Some(p) = &mut self.profile {
                     p.ops += 1;
+                    *p.op_histogram.entry(op.mnemonic()).or_default() += 1;
                 }
                 apply_unop(*op, v, e)
             }
@@ -340,6 +421,7 @@ impl<'p, 'c> State<'p, 'c> {
                 self.cost += binop_cost(*op);
                 if let Some(p) = &mut self.profile {
                     p.ops += 1;
+                    *p.op_histogram.entry(op.mnemonic()).or_default() += 1;
                 }
                 apply_binop(*op, lv, rv, e)
             }
@@ -871,5 +953,101 @@ mod tests {
         )
         .cost;
         assert_eq!(with_noise - base, Builtin::Noise3.cost());
+    }
+
+    fn profiled(src: &str, proc: &str, args: &[Value]) -> Profile {
+        let prog = parse_program(src).expect("parse");
+        ds_lang::typecheck(&prog).expect("typecheck");
+        let opts = EvalOptions {
+            profile: true,
+            ..EvalOptions::default()
+        };
+        Evaluator::with_options(&prog, opts)
+            .run(proc, args)
+            .expect("eval")
+            .profile
+            .expect("profile requested")
+    }
+
+    #[test]
+    fn profile_records_opcode_histogram_steps_and_cost() {
+        let p = profiled(
+            "float f(float x) { return -x * x + noise3(x, x, x); }",
+            "f",
+            &[Value::Float(0.5)],
+        );
+        assert_eq!(p.op_histogram.get("neg"), Some(&1));
+        assert_eq!(p.op_histogram.get("mul"), Some(&1));
+        assert_eq!(p.op_histogram.get("add"), Some(&1));
+        assert_eq!(p.ops, 3, "histogram must sum to the ops counter");
+        assert_eq!(p.op_histogram.values().sum::<u64>(), p.ops);
+        assert_eq!(p.calls("noise3"), 1);
+        assert!(p.steps > 0, "every run consumes fuel");
+        assert!(p.cost > 0, "profile duplicates the outcome cost");
+        assert_eq!(p.total_dynamic_work(), 3 + 1);
+    }
+
+    #[test]
+    fn profile_merge_is_keywise_additive_and_commutative() {
+        let a = profiled(
+            "float f(float x) { return x * x + x; }",
+            "f",
+            &[Value::Float(2.0)],
+        );
+        let b = profiled(
+            "float g(float x) { if (x < 1.0) { return -x; } return sqrt(x); }",
+            "g",
+            &[Value::Float(4.0)],
+        );
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.ops, a.ops + b.ops);
+        assert_eq!(ab.branches, a.branches + b.branches);
+        assert_eq!(ab.steps, a.steps + b.steps);
+        assert_eq!(ab.cost, a.cost + b.cost);
+        assert_eq!(
+            ab.op_histogram.get("mul").copied().unwrap_or(0),
+            a.op_histogram.get("mul").copied().unwrap_or(0)
+                + b.op_histogram.get("mul").copied().unwrap_or(0)
+        );
+        assert_eq!(
+            ab.total_dynamic_work(),
+            a.total_dynamic_work() + b.total_dynamic_work()
+        );
+        assert_eq!(Profile::merged([&a, &b]), ab);
+        assert_eq!(Profile::merged(std::iter::empty()), Profile::default());
+    }
+
+    #[test]
+    fn profile_json_is_deterministic_and_round_trips() {
+        let p = profiled(
+            "float f(float x) { return sqrt(x) + noise3(x, x, x) - x / 2.0; }",
+            "f",
+            &[Value::Float(0.25)],
+        );
+        let text = p.to_json().pretty();
+        assert_eq!(
+            text,
+            p.clone().to_json().pretty(),
+            "serialization is stable"
+        );
+        let doc = ds_telemetry::parse(&text).expect("profile JSON parses");
+        assert_eq!(doc.get("ops").unwrap().as_u64(), Some(p.ops));
+        assert_eq!(doc.get("steps").unwrap().as_u64(), Some(p.steps));
+        assert_eq!(doc.get("cost").unwrap().as_u64(), Some(p.cost));
+        assert_eq!(
+            doc.get("total_dynamic_work").unwrap().as_u64(),
+            Some(p.total_dynamic_work())
+        );
+        let hist = doc.get("op_histogram").expect("histogram present");
+        assert_eq!(
+            hist.get("sub").unwrap().as_u64(),
+            p.op_histogram.get("sub").copied()
+        );
+        let calls = doc.get("builtin_calls").expect("builtins present");
+        assert_eq!(calls.get("noise3").unwrap().as_u64(), Some(1));
     }
 }

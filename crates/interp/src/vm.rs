@@ -190,6 +190,7 @@ impl Vm {
                     cost += unop_cost(op);
                     if let Some(p) = profile.as_mut() {
                         p.ops += 1;
+                        *p.op_histogram.entry(op.mnemonic()).or_default() += 1;
                     }
                     let v = apply_unop_at(op, self.regs[base + src as usize], proc.spans[pc - 1])?;
                     self.regs[base + dst as usize] = v;
@@ -199,6 +200,7 @@ impl Vm {
                     cost += binop_cost(op);
                     if let Some(p) = profile.as_mut() {
                         p.ops += 1;
+                        *p.op_histogram.entry(op.mnemonic()).or_default() += 1;
                     }
                     let v = apply_binop_at(
                         op,
@@ -376,6 +378,10 @@ impl Vm {
             }
         };
 
+        if let Some(p) = profile.as_mut() {
+            p.steps = opts.step_limit - fuel;
+            p.cost = cost;
+        }
         Ok(Outcome {
             value,
             cost,

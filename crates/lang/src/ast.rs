@@ -103,6 +103,17 @@ pub enum UnOp {
     Not,
 }
 
+impl UnOp {
+    /// A stable lowercase mnemonic (`"neg"`, `"not"`), used as the opcode
+    /// key in execution-metrics histograms.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+        }
+    }
+}
+
 impl fmt::Display for UnOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -161,6 +172,24 @@ impl BinOp {
     /// associative-rewriting pass (§4.2).
     pub fn is_associative(self) -> bool {
         matches!(self, BinOp::Add | BinOp::Mul)
+    }
+
+    /// A stable lowercase mnemonic (`"add"`, `"lt"`, ...), used as the
+    /// opcode key in execution-metrics histograms.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+        }
     }
 }
 

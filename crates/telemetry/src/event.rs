@@ -1,0 +1,87 @@
+//! Decision-trace events: one record per specializer decision, so every
+//! static/cached/dynamic verdict and every limiter eviction is attributable
+//! to the paper rule that produced it.
+
+use crate::json::Json;
+
+/// One specializer decision.
+///
+/// Term identifiers are the fragment's post-normalization `TermId` values
+/// (plain `u32` here so this crate stays a leaf); labels and rules are the
+/// human-readable strings the analyses print (`"cached"`, `"cached for
+/// dynamic consumer t12 (Rule 6)"`), which keeps the JSON self-describing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The caching analysis (or the limiter rerunning it) gave `term` a
+    /// non-static label, justified by a Figure-3 rule.
+    TermLabeled {
+        /// Post-normalization term id within the fragment.
+        term: u32,
+        /// Final label: `"cached"` or `"dynamic"` (static terms are the
+        /// unlabeled default, Rule 8, and are not traced individually).
+        label: String,
+        /// The rule that fired first, in the analyses' citation format.
+        rule: String,
+    },
+    /// The cache-size limiter (§4.3) relabeled a cached term to dynamic.
+    VictimEvicted {
+        /// The evicted term's id.
+        term: u32,
+        /// Its estimated cost-of-not-caching (the benefit the cache was
+        /// providing) at eviction time.
+        benefit: u64,
+        /// Packed cache bytes before this eviction.
+        bytes_before: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Serializes the event as a tagged JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            TraceEvent::TermLabeled { term, label, rule } => Json::obj([
+                ("event", Json::from("term_labeled")),
+                ("term", Json::from(*term)),
+                ("label", Json::from(label.as_str())),
+                ("rule", Json::from(rule.as_str())),
+            ]),
+            TraceEvent::VictimEvicted {
+                term,
+                benefit,
+                bytes_before,
+            } => Json::obj([
+                ("event", Json::from("victim_evicted")),
+                ("term", Json::from(*term)),
+                ("benefit", Json::from(*benefit)),
+                ("bytes_before", Json::from(*bytes_before)),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_tagged() {
+        let e = TraceEvent::TermLabeled {
+            term: 12,
+            label: "cached".into(),
+            rule: "cached for dynamic consumer t18 (Rule 6)".into(),
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("event").unwrap().as_str(), Some("term_labeled"));
+        assert_eq!(j.get("term").unwrap().as_u64(), Some(12));
+        assert!(j.get("rule").unwrap().as_str().unwrap().contains("Rule 6"));
+
+        let v = TraceEvent::VictimEvicted {
+            term: 3,
+            benefit: 1100,
+            bytes_before: 8,
+        };
+        let j = v.to_json();
+        assert_eq!(j.get("event").unwrap().as_str(), Some("victim_evicted"));
+        assert_eq!(j.get("benefit").unwrap().as_u64(), Some(1100));
+    }
+}

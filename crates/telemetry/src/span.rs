@@ -1,0 +1,145 @@
+//! Phase spans: per-pass cost accounting for one `specialize()` run.
+
+use crate::event::TraceEvent;
+use crate::json::Json;
+
+/// One pipeline pass: wall time plus the pass-shaped work counters.
+///
+/// Equality ignores `wall_nanos` — two runs of the same specialization are
+/// the *same report* even though the clock read differently, which keeps
+/// `Specialization`'s derived `PartialEq` meaningful.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseSpan {
+    /// Pass name (`"inline"`, `"normalize"`, `"dependence"`, `"caching"`,
+    /// `"reassociate"`, `"limit"`, `"layout"`, `"split"`).
+    pub name: &'static str,
+    /// Wall-clock duration of the pass in nanoseconds.
+    pub wall_nanos: u64,
+    /// Terms (AST nodes) fed into the pass.
+    pub input_terms: usize,
+    /// Terms produced or labeled by the pass.
+    pub output_terms: usize,
+    /// Pass-specific iteration counter: fixpoint passes for `dependence`,
+    /// worklist items for `caching`, phis for `normalize`, reordered chains
+    /// for `reassociate`, evictions for `limit`; 0 where not meaningful.
+    pub iterations: u64,
+}
+
+impl PartialEq for PhaseSpan {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.input_terms == other.input_terms
+            && self.output_terms == other.output_terms
+            && self.iterations == other.iterations
+    }
+}
+
+impl Eq for PhaseSpan {}
+
+impl PhaseSpan {
+    /// Serializes the span (including wall time) as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name)),
+            ("wall_nanos", Json::from(self.wall_nanos)),
+            ("input_terms", Json::from(self.input_terms)),
+            ("output_terms", Json::from(self.output_terms)),
+            ("iterations", Json::from(self.iterations)),
+        ])
+    }
+}
+
+/// The telemetry record of one `specialize()` run: the span of every pass
+/// executed, plus (when decision tracing is enabled) the structured trace
+/// of every labeling and eviction decision.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpecReport {
+    /// Spans in pipeline order; passes that did not run (e.g. `limit`
+    /// without a bound) are absent.
+    pub phases: Vec<PhaseSpan>,
+    /// Decision events, empty unless collection was requested.
+    pub events: Vec<TraceEvent>,
+}
+
+impl SpecReport {
+    /// Appends a completed span.
+    pub fn push_phase(&mut self, span: PhaseSpan) {
+        self.phases.push(span);
+    }
+
+    /// The span of pass `name`, if that pass ran.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSpan> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Total wall time across all recorded passes, in nanoseconds.
+    pub fn total_wall_nanos(&self) -> u64 {
+        self.phases.iter().map(|p| p.wall_nanos).sum()
+    }
+
+    /// Serializes the report as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "phases",
+                Json::Arr(self.phases.iter().map(PhaseSpan::to_json).collect()),
+            ),
+            ("total_wall_nanos", Json::from(self.total_wall_nanos())),
+            (
+                "events",
+                Json::Arr(self.events.iter().map(TraceEvent::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, wall: u64) -> PhaseSpan {
+        PhaseSpan {
+            name,
+            wall_nanos: wall,
+            input_terms: 10,
+            output_terms: 12,
+            iterations: 3,
+        }
+    }
+
+    #[test]
+    fn equality_ignores_wall_time() {
+        assert_eq!(span("caching", 10), span("caching", 99_999));
+        assert_ne!(span("caching", 10), span("split", 10));
+        let mut a = SpecReport::default();
+        a.push_phase(span("inline", 5));
+        let mut b = SpecReport::default();
+        b.push_phase(span("inline", 7_000));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lookup_and_totals() {
+        let mut r = SpecReport::default();
+        r.push_phase(span("inline", 5));
+        r.push_phase(span("caching", 6));
+        assert_eq!(r.phase("caching").unwrap().iterations, 3);
+        assert!(r.phase("limit").is_none());
+        assert_eq!(r.total_wall_nanos(), 11);
+    }
+
+    #[test]
+    fn report_serializes_with_wall_time() {
+        let mut r = SpecReport::default();
+        r.push_phase(span("split", 42));
+        r.events.push(TraceEvent::TermLabeled {
+            term: 1,
+            label: "dynamic".into(),
+            rule: "depends on a varying input (Rule 1)".into(),
+        });
+        let j = r.to_json();
+        assert_eq!(j.get("total_wall_nanos").unwrap().as_u64(), Some(42));
+        assert_eq!(j.get("phases").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(j.get("events").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

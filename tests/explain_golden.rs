@@ -1,0 +1,93 @@
+//! Golden-file test for the decision-trace explainer.
+//!
+//! The rendering of `ds_core::explain_specialization` is a user-facing
+//! contract: `dsc explain` output is read by people chasing a caching
+//! verdict, and downstream snippets quote it. This test pins the complete
+//! output for the paper's dotprod example (§2 / Figure 2) byte for byte.
+//!
+//! To regenerate after an intentional rendering change:
+//!
+//! ```text
+//! EXPLAIN_GOLDEN_REGEN=1 cargo test --test explain_golden
+//! ```
+
+#[path = "common/paper.rs"]
+#[allow(dead_code)]
+mod paper;
+
+use ds_core::{explain_specialization, specialize_source, InputPartition, SpecializeOptions};
+use paper::DOTPROD_SRC;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/explain_dotprod.txt"
+);
+
+fn render() -> String {
+    let spec = specialize_source(
+        DOTPROD_SRC,
+        "dotprod",
+        &InputPartition::varying(["z1", "z2"]),
+        &SpecializeOptions::new().with_event_collection(),
+    )
+    .expect("dotprod specializes");
+    explain_specialization(&spec)
+}
+
+#[test]
+fn explain_dotprod_matches_the_golden_file() {
+    let text = render();
+    if std::env::var_os("EXPLAIN_GOLDEN_REGEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &text).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file exists (regenerate with EXPLAIN_GOLDEN_REGEN=1 \
+         cargo test --test explain_golden)",
+    );
+    assert_eq!(
+        text, golden,
+        "explain output drifted from tests/golden/explain_dotprod.txt; \
+         if the change is intentional, regenerate with EXPLAIN_GOLDEN_REGEN=1"
+    );
+}
+
+/// The load-bearing claims of the snapshot, stated directly so a regenerated
+/// golden can't silently lose them: Figure 2's cached frontier is the slot,
+/// and every decision cites its Figure-3 rule.
+#[test]
+fn explain_dotprod_attributes_the_cached_frontier() {
+    let text = render();
+    assert!(
+        text.contains("x1 * x2 + y1 * y2"),
+        "cached frontier missing:\n{text}"
+    );
+    assert!(
+        text.contains("cached for dynamic consumer t6 (Rule 6)"),
+        "frontier's producing rule missing:\n{text}"
+    );
+    assert!(
+        text.contains("depends on a varying input (Rule 1)"),
+        "varying-input rule missing:\n{text}"
+    );
+    // Every decision line is followed by a rule or reason citation.
+    let decisions: Vec<&str> = text
+        .lines()
+        .skip_while(|l| *l != "decisions")
+        .skip(1)
+        .take_while(|l| !l.trim().is_empty())
+        .collect();
+    assert!(decisions.len() >= 2, "no decisions rendered:\n{text}");
+    for pair in decisions.chunks(2) {
+        if let [verdict, reason] = pair {
+            assert!(
+                verdict.trim().starts_with('t'),
+                "expected a term verdict line, got `{verdict}`"
+            );
+            assert!(
+                reason.contains("(Rule ") || reason.contains("result"),
+                "decision without a rule citation: `{reason}`"
+            );
+        }
+    }
+}
