@@ -401,9 +401,98 @@ pub fn exp_code_vs_data(shader: &Shader, param: &str, grid: u32) -> CompareRow {
     }
 }
 
+// ---------------------------------------------------------------------
+// Rebuild overhead — amortized cost of the staged-execution runtime
+// ---------------------------------------------------------------------
+
+/// One churn level of the rebuild-overhead experiment.
+#[derive(Debug, Clone)]
+pub struct RebuildPoint {
+    /// Requests between invariant-input changes (1 = stale every request).
+    pub churn_interval: usize,
+    /// Requests served.
+    pub requests: usize,
+    /// Loader executions the lifecycle actually performed.
+    pub loads: u64,
+    /// Total abstract cost through the staged runtime.
+    pub staged_cost: u64,
+    /// Total abstract cost of direct unspecialized evaluation.
+    pub unspec_cost: u64,
+    /// `unspec / staged`: above 1.0 the runtime pays off despite rebuilds.
+    pub amortized_speedup: f64,
+}
+
+/// Measures what cache rebuilds cost end to end: a `StagedRunner` serves
+/// `requests` dotprod requests whose varying inputs change every request
+/// and whose invariant inputs change every `churn_interval` requests —
+/// each invariant change forces a staleness reload. The baseline runs the
+/// unspecialized fragment directly on the same request stream.
+pub fn exp_rebuild_overhead(requests: usize) -> Vec<RebuildPoint> {
+    let part = InputPartition::varying(["z1", "z2"]);
+    let spec = ds_core::specialize_source(DOTPROD_SRC, "dotprod", &part, &SpecializeOptions::new())
+        .expect("specialize dotprod");
+    [1usize, 2, 4, 8, 16, 64]
+        .iter()
+        .map(|&interval| {
+            let ropts = ds_runtime::RunnerOptions {
+                rebuild_budget: requests as u32,
+                ..ds_runtime::RunnerOptions::default()
+            };
+            let mut runner = ds_runtime::StagedRunner::new(&spec, &part, ropts);
+            let mut staged_cost = 0u64;
+            let mut unspec_cost = 0u64;
+            for i in 0..requests {
+                let epoch = (i / interval) as f64;
+                let args = [
+                    Value::Float(1.0 + epoch), // x1: invariant within an epoch
+                    Value::Float(2.0),
+                    Value::Float(i as f64), // z1: varies every request
+                    Value::Float(4.0),
+                    Value::Float(5.0),
+                    Value::Float(0.5 * i as f64 + 1.0), // z2: varies every request
+                    Value::Float(2.0),
+                ];
+                let out = runner.run(&args).expect("staged request");
+                staged_cost += out.cost;
+                unspec_cost += runner.reference(&args).expect("reference run").cost;
+            }
+            RebuildPoint {
+                churn_interval: interval,
+                requests,
+                loads: runner.stats().loads,
+                staged_cost,
+                unspec_cost,
+                amortized_speedup: unspec_cost as f64 / staged_cost as f64,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rebuild_overhead_improves_with_invariant_stability() {
+        let pts = exp_rebuild_overhead(64);
+        assert_eq!(pts.len(), 6);
+        // Rarer invariant churn -> fewer loads, better amortized speedup.
+        for w in pts.windows(2) {
+            assert!(w[0].loads >= w[1].loads, "{w:?}");
+            assert!(
+                w[0].amortized_speedup <= w[1].amortized_speedup + 1e-9,
+                "{w:?}"
+            );
+        }
+        // Churn on every request degenerates to pure loader overhead...
+        assert_eq!(pts[0].loads, 64);
+        assert!(pts[0].amortized_speedup < 1.0, "{:?}", pts[0]);
+        // ...while a stable invariant vector amortizes to a net win
+        // (the paper's two-use breakeven, lifted to the runtime).
+        let last = pts.last().expect("nonempty");
+        assert_eq!(last.loads, 1);
+        assert!(last.amortized_speedup > 1.0, "{last:?}");
+    }
 
     #[test]
     fn dotprod_experiment_matches_paper_shape() {

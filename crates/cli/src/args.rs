@@ -29,7 +29,20 @@ impl std::error::Error for UsageError {}
 
 /// Option keys that take a value; everything else starting with `--` is a
 /// boolean flag.
-const VALUE_OPTIONS: &[&str] = &["entry", "vary", "bound", "args", "engine", "metrics-out"];
+const VALUE_OPTIONS: &[&str] = &[
+    "entry",
+    "vary",
+    "bound",
+    "args",
+    "engine",
+    "metrics-out",
+    "requests",
+    "policy",
+    "rebuild-budget",
+    "cache-file",
+    "inject",
+    "seed",
+];
 
 /// Parses raw arguments (excluding the program name).
 ///
@@ -145,29 +158,85 @@ impl Args {
 
     /// `--args 1.0,2,true` parsed as runtime values.
     pub fn values(&self) -> Result<Vec<ds_interp::Value>, UsageError> {
-        let Some(spec) = self.options.get("args") else {
-            return Ok(Vec::new());
-        };
-        spec.split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(|tok| {
-                if tok == "true" {
-                    Ok(ds_interp::Value::Bool(true))
-                } else if tok == "false" {
-                    Ok(ds_interp::Value::Bool(false))
-                } else if tok.contains('.') || tok.contains('e') || tok.contains('E') {
-                    tok.parse::<f64>()
-                        .map(ds_interp::Value::Float)
-                        .map_err(|_| UsageError(format!("bad float argument `{tok}`")))
-                } else {
-                    tok.parse::<i64>()
-                        .map(ds_interp::Value::Int)
-                        .map_err(|_| UsageError(format!("bad argument `{tok}`")))
-                }
-            })
-            .collect()
+        match self.options.get("args") {
+            None => Ok(Vec::new()),
+            Some(spec) => parse_value_list(spec),
+        }
     }
+
+    /// `--requests PATH`: a file of argument vectors (one `--args`-style
+    /// list per line) for `serve` to replay.
+    pub fn requests(&self) -> Option<&str> {
+        self.options.get("requests").map(String::as_str)
+    }
+
+    /// `--policy fail-fast|rebuild|fallback` selecting the degradation
+    /// policy (rebuild-then-fallback by default).
+    pub fn policy(&self) -> Result<ds_runtime::Policy, UsageError> {
+        match self.options.get("policy") {
+            None => Ok(ds_runtime::Policy::default()),
+            Some(v) => v.parse().map_err(|e: String| UsageError(e)),
+        }
+    }
+
+    /// `--rebuild-budget N`: loader re-runs allowed beyond the initial load.
+    pub fn rebuild_budget(&self) -> Result<Option<u32>, UsageError> {
+        match self.options.get("rebuild-budget") {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| UsageError(format!("--rebuild-budget expects a count, got `{v}`"))),
+        }
+    }
+
+    /// `--cache-file PATH`: serialized cache to adopt on start (if it
+    /// exists and validates) and write back on exit.
+    pub fn cache_file(&self) -> Option<&str> {
+        self.options.get("cache-file").map(String::as_str)
+    }
+
+    /// `--inject FAULT`: one fault to inject into the serve lifecycle.
+    pub fn inject(&self) -> Result<Option<ds_runtime::Fault>, UsageError> {
+        match self.options.get("inject") {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(UsageError),
+        }
+    }
+
+    /// `--seed N` for deterministic fault placement (0 by default).
+    pub fn seed(&self) -> Result<u64, UsageError> {
+        match self.options.get("seed") {
+            None => Ok(0),
+            Some(v) => v
+                .parse()
+                .map_err(|_| UsageError(format!("--seed expects an integer, got `{v}`"))),
+        }
+    }
+}
+
+/// Parses one comma-separated list of runtime values (`1.0,2,true`), the
+/// syntax shared by `--args` and each line of a `--requests` file.
+pub fn parse_value_list(spec: &str) -> Result<Vec<ds_interp::Value>, UsageError> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|tok| {
+            if tok == "true" {
+                Ok(ds_interp::Value::Bool(true))
+            } else if tok == "false" {
+                Ok(ds_interp::Value::Bool(false))
+            } else if tok.contains('.') || tok.contains('e') || tok.contains('E') {
+                tok.parse::<f64>()
+                    .map(ds_interp::Value::Float)
+                    .map_err(|_| UsageError(format!("bad float argument `{tok}`")))
+            } else {
+                tok.parse::<i64>()
+                    .map(ds_interp::Value::Int)
+                    .map_err(|_| UsageError(format!("bad argument `{tok}`")))
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -235,6 +304,59 @@ mod tests {
         let a = parse_ok(&["run", "f.mc"]);
         assert_eq!(a.metrics_out(), None);
         assert!(parse(["run".to_string(), "--metrics-out".to_string()]).is_err());
+    }
+
+    #[test]
+    fn serve_options_parse() {
+        let a = parse_ok(&[
+            "serve",
+            "f.mc",
+            "--vary",
+            "a",
+            "--requests",
+            "reqs.txt",
+            "--policy",
+            "fail-fast",
+            "--rebuild-budget",
+            "3",
+            "--cache-file",
+            "c.json",
+            "--inject",
+            "drop-store",
+            "--seed",
+            "9",
+        ]);
+        assert_eq!(a.requests(), Some("reqs.txt"));
+        assert_eq!(a.policy().unwrap(), ds_runtime::Policy::FailFast);
+        assert_eq!(a.rebuild_budget().unwrap(), Some(3));
+        assert_eq!(a.cache_file(), Some("c.json"));
+        assert_eq!(a.inject().unwrap(), Some(ds_runtime::Fault::DropStore));
+        assert_eq!(a.seed().unwrap(), 9);
+
+        let a = parse_ok(&["serve", "f.mc"]);
+        assert_eq!(a.requests(), None);
+        assert_eq!(a.policy().unwrap(), ds_runtime::Policy::default());
+        assert_eq!(a.rebuild_budget().unwrap(), None);
+        assert_eq!(a.inject().unwrap(), None);
+        assert_eq!(a.seed().unwrap(), 0);
+
+        let a = parse_ok(&["serve", "f.mc", "--policy", "never"]);
+        assert!(a.policy().is_err());
+        let a = parse_ok(&["serve", "f.mc", "--inject", "meteor"]);
+        assert!(a.inject().is_err());
+        let a = parse_ok(&["serve", "f.mc", "--seed", "x"]);
+        assert!(a.seed().is_err());
+    }
+
+    #[test]
+    fn value_lists_parse_standalone() {
+        use ds_interp::Value::*;
+        assert_eq!(
+            parse_value_list("1.5, 2, false").unwrap(),
+            vec![Float(1.5), Int(2), Bool(false)]
+        );
+        assert!(parse_value_list("wat").is_err());
+        assert_eq!(parse_value_list("").unwrap(), vec![]);
     }
 
     #[test]

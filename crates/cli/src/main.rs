@@ -16,20 +16,76 @@
 //! dsc explain FILE --vary a,b [--entry NAME] [specialize flags]
 //!     specialize with decision tracing and print an annotated report in
 //!     which every cached/dynamic verdict cites its Figure-3 rule
+//! dsc serve FILE --vary a,b --requests PATH [--policy P] [--cache-file PATH]
+//!     specialize once, then serve a stream of argument vectors through the
+//!     staged-execution runtime (cache lifecycle, integrity validation,
+//!     graceful degradation, optional fault injection)
 //! dsc help
 //! ```
 //!
-//! `run`, `measure` and `explain` accept `--metrics-out PATH` to export the
-//! run's metrics (execution profiles and/or the specialization report) as a
-//! versioned `ds-telemetry` JSON document.
+//! `run`, `measure`, `explain` and `serve` accept `--metrics-out PATH` to
+//! export the run's metrics (execution profiles, the specialization report
+//! and/or runtime robustness counters) as a versioned `ds-telemetry` JSON
+//! document.
+//!
+//! Exit codes are classified so scripts can tell failure modes apart:
+//! `2` usage error, `3` frontend/specialization error, `4` evaluation
+//! error, `5` cache-integrity violation.
 
 mod args;
 
-use args::{parse, Args, UsageError};
+use args::{parse, parse_value_list, Args, UsageError};
 use ds_core::{specialize, InputPartition, SpecializeOptions};
 use ds_lang::Program;
+use ds_runtime::{Fault, FaultInjector, RuntimeError, StagedRunner};
 use ds_telemetry::Json;
+use std::fmt;
 use std::process::ExitCode;
+
+/// A classified CLI failure; the class decides the process exit code, so
+/// scripts can tell misuse from bad input from runtime trouble.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown command/option, unreadable file (exit 2).
+    Usage(String),
+    /// The program or partition is invalid: parse, type-check or
+    /// specialization failure (exit 3).
+    Frontend(String),
+    /// Execution failed: evaluation error or exhausted rebuild budget
+    /// (exit 4).
+    Eval(String),
+    /// Cache integrity violation: corrupted, truncated or mismatched
+    /// cache data (exit 5).
+    Integrity(String),
+}
+
+impl CliError {
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Frontend(_) => 3,
+            CliError::Eval(_) => 4,
+            CliError::Integrity(_) => 5,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::Frontend(m)
+            | CliError::Eval(m)
+            | CliError::Integrity(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<UsageError> for CliError {
+    fn from(e: UsageError) -> CliError {
+        CliError::Usage(e.0)
+    }
+}
 
 const HELP: &str = "dsc - data specialization driver (Knoblock & Ruf, PLDI 1996)
 
@@ -45,6 +101,10 @@ USAGE:
                 [--engine tree|vm] [--metrics-out PATH]
     dsc explain FILE --vary a,b [--entry NAME] [--bound BYTES]
                 [--reassociate] [--speculate] [--metrics-out PATH]
+    dsc serve FILE --vary a,b --requests PATH [--entry NAME]
+              [--engine tree|vm] [--policy fail-fast|rebuild|fallback]
+              [--rebuild-budget N] [--cache-file PATH]
+              [--inject FAULT] [--seed N] [--metrics-out PATH]
     dsc help
 
 The input is a MiniC source file (a subset of C without pointers or goto).
@@ -55,26 +115,35 @@ picks the execution backend: the reference tree walker (default) or the
 register-bytecode VM; both charge identical abstract costs. `explain`
 reruns the specializer with decision tracing: every cached or dynamic
 term is printed with the caching rule (Figure 3 / §4.3) that labeled it.
+`serve` replays a requests file (one `--args`-style vector per line,
+`#` comments allowed) through the staged-execution runtime: caches are
+fingerprinted, validated and rebuilt as inputs change, `--policy` decides
+how failures degrade, `--cache-file` persists the cache between runs, and
+`--inject` plants one deterministic fault (corrupt-slot, drop-store,
+truncate-buffer, fuel:N, corrupt-file, truncate-file) placed by `--seed`.
 `--metrics-out PATH` writes a versioned ds-telemetry JSON document with
-the run's execution profiles and/or specialization report.";
+the run's execution profiles and/or specialization report.
+
+Exit codes: 0 success, 2 usage error, 3 frontend/specialization error,
+4 evaluation error, 5 cache-integrity violation.";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(raw) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.code())
         }
     }
 }
 
-fn dispatch(raw: Vec<String>) -> Result<(), String> {
+fn dispatch(raw: Vec<String>) -> Result<(), CliError> {
     if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" || raw[0] == "-h" {
         println!("{HELP}");
         return Ok(());
     }
-    let args = parse(raw).map_err(|e| e.to_string())?;
+    let args = parse(raw)?;
     match args.command.as_str() {
         "show" => cmd_show(&args),
         "labels" => cmd_labels(&args),
@@ -82,19 +151,20 @@ fn dispatch(raw: Vec<String>) -> Result<(), String> {
         "run" => cmd_run(&args),
         "measure" => cmd_measure(&args),
         "explain" => cmd_explain(&args),
-        other => Err(UsageError(format!(
+        "serve" => cmd_serve(&args),
+        other => Err(CliError::Usage(format!(
             "unknown subcommand `{other}`; try `dsc help`"
         ))),
     }
-    .map_err(|e| e.to_string())
 }
 
-fn load(args: &Args) -> Result<(Program, String), UsageError> {
+fn load(args: &Args) -> Result<(Program, String), CliError> {
     let path = args.file()?;
     let source = std::fs::read_to_string(path)
-        .map_err(|e| UsageError(format!("cannot read `{path}`: {e}")))?;
-    let program = ds_lang::parse_program(&source).map_err(|e| UsageError(e.render(&source)))?;
-    ds_lang::typecheck(&program).map_err(|e| UsageError(e.render(&source)))?;
+        .map_err(|e| CliError::Usage(format!("cannot read `{path}`: {e}")))?;
+    let program =
+        ds_lang::parse_program(&source).map_err(|e| CliError::Frontend(e.render(&source)))?;
+    ds_lang::typecheck(&program).map_err(|e| CliError::Frontend(e.render(&source)))?;
     Ok((program, source))
 }
 
@@ -120,7 +190,7 @@ fn profile_json(out: &ds_interp::Outcome) -> Json {
         .unwrap_or(Json::Null)
 }
 
-fn cmd_show(args: &Args) -> Result<(), UsageError> {
+fn cmd_show(args: &Args) -> Result<(), CliError> {
     let (program, _) = load(args)?;
     let entry = args.entry(&program)?;
     let proc = program
@@ -142,23 +212,23 @@ fn cmd_show(args: &Args) -> Result<(), UsageError> {
     Ok(())
 }
 
-fn cmd_labels(args: &Args) -> Result<(), UsageError> {
+fn cmd_labels(args: &Args) -> Result<(), CliError> {
     let (program, _) = load(args)?;
     let entry = args.entry(&program)?.to_string();
     let vary = args.vary();
     if vary.is_empty() {
-        return Err(UsageError(
+        return Err(CliError::Usage(
             "labels needs --vary (possibly with a dummy name)".into(),
         ));
     }
 
     // Mirror the specializer's pipeline so the labels match what
     // `specialize` would use.
-    let mut prog =
-        ds_analysis::inline_entry(&program, &entry).map_err(|e| UsageError(e.to_string()))?;
+    let mut prog = ds_analysis::inline_entry(&program, &entry)
+        .map_err(|e| CliError::Frontend(e.to_string()))?;
     ds_analysis::insert_phis(&mut prog.procs[0]);
     prog.renumber();
-    let types = ds_lang::typecheck(&prog).map_err(|e| UsageError(e.to_string()))?;
+    let types = ds_lang::typecheck(&prog).map_err(|e| CliError::Frontend(e.to_string()))?;
     let proc = &prog.procs[0];
     let ix = ds_analysis::TermIndex::build(proc);
     let rd = ds_analysis::reaching_defs(proc);
@@ -198,7 +268,7 @@ fn cmd_labels(args: &Args) -> Result<(), UsageError> {
     Ok(())
 }
 
-fn cmd_specialize(args: &Args) -> Result<(), UsageError> {
+fn cmd_specialize(args: &Args) -> Result<(), CliError> {
     let (program, _) = load(args)?;
     let entry = args.entry(&program)?.to_string();
     let vary = args.vary();
@@ -209,7 +279,7 @@ fn cmd_specialize(args: &Args) -> Result<(), UsageError> {
         &InputPartition::varying(vary.iter().map(String::as_str)),
         &opts,
     )
-    .map_err(|e| UsageError(e.to_string()))?;
+    .map_err(|e| CliError::Frontend(e.to_string()))?;
 
     println!("// varying: {{{}}}", vary.join(", "));
     print!("{}", spec.layout);
@@ -236,7 +306,7 @@ fn cmd_specialize(args: &Args) -> Result<(), UsageError> {
     Ok(())
 }
 
-fn cmd_measure(args: &Args) -> Result<(), UsageError> {
+fn cmd_measure(args: &Args) -> Result<(), CliError> {
     let (program, _) = load(args)?;
     let entry = args.entry(&program)?.to_string();
     let vary = args.vary();
@@ -248,7 +318,7 @@ fn cmd_measure(args: &Args) -> Result<(), UsageError> {
         &InputPartition::varying(vary.iter().map(String::as_str)),
         &opts,
     )
-    .map_err(|e| UsageError(e.to_string()))?;
+    .map_err(|e| CliError::Frontend(e.to_string()))?;
 
     let staged = spec.as_program();
     let engine = args.engine()?;
@@ -259,7 +329,7 @@ fn cmd_measure(args: &Args) -> Result<(), UsageError> {
     let run = |what: &str, cache: Option<&mut ds_interp::CacheBuf>| {
         engine
             .run_program(&staged, what, &values, cache, eval_opts)
-            .map_err(|e| UsageError(format!("{what}: {e}")))
+            .map_err(|e| CliError::Eval(format!("{what}: {e}")))
     };
     let orig = run(&entry, None)?;
     let mut cache = ds_interp::CacheBuf::new(spec.slot_count());
@@ -267,7 +337,7 @@ fn cmd_measure(args: &Args) -> Result<(), UsageError> {
     let reader = run(&format!("{entry}__reader"), Some(&mut cache))?;
     if let (Some(a), Some(b)) = (&orig.value, &reader.value) {
         if !a.bits_eq(b) {
-            return Err(UsageError(format!(
+            return Err(CliError::Eval(format!(
                 "reader result {b} differs from original {a} — this is a bug"
             )));
         }
@@ -338,12 +408,12 @@ fn cmd_measure(args: &Args) -> Result<(), UsageError> {
     Ok(())
 }
 
-fn cmd_explain(args: &Args) -> Result<(), UsageError> {
+fn cmd_explain(args: &Args) -> Result<(), CliError> {
     let (program, _) = load(args)?;
     let entry = args.entry(&program)?.to_string();
     let vary = args.vary();
     if vary.is_empty() {
-        return Err(UsageError(
+        return Err(CliError::Usage(
             "explain needs --vary (possibly with a dummy name)".into(),
         ));
     }
@@ -354,7 +424,7 @@ fn cmd_explain(args: &Args) -> Result<(), UsageError> {
         &InputPartition::varying(vary.iter().map(String::as_str)),
         &opts,
     )
-    .map_err(|e| UsageError(e.to_string()))?;
+    .map_err(|e| CliError::Frontend(e.to_string()))?;
 
     println!("// varying: {{{}}}", vary.join(", "));
     print!("{}", ds_core::explain_specialization(&spec));
@@ -387,7 +457,7 @@ fn cmd_explain(args: &Args) -> Result<(), UsageError> {
     Ok(())
 }
 
-fn cmd_run(args: &Args) -> Result<(), UsageError> {
+fn cmd_run(args: &Args) -> Result<(), CliError> {
     let (program, _) = load(args)?;
     let entry = args.entry(&program)?;
     let values = args.values()?;
@@ -398,7 +468,7 @@ fn cmd_run(args: &Args) -> Result<(), UsageError> {
     };
     let out = engine
         .run_program(&program, entry, &values, None, opts)
-        .map_err(|e| UsageError(e.to_string()))?;
+        .map_err(|e| CliError::Eval(e.to_string()))?;
     match out.value {
         Some(v) => println!("result: {v}"),
         None => println!("result: (void)"),
@@ -421,4 +491,153 @@ fn cmd_run(args: &Args) -> Result<(), UsageError> {
         println!("metrics: wrote {path}");
     }
     Ok(())
+}
+
+/// Repeated-run mode: specialize once, then serve a requests file through
+/// a [`StagedRunner`] with the full cache lifecycle — staleness detection,
+/// integrity validation, policy-driven degradation and (optionally) one
+/// injected fault. The exit code reports the worst thing that happened:
+/// `5` for any integrity violation, `4` for any evaluation failure, `0`
+/// when every request was served.
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let (program, _) = load(args)?;
+    let entry = args.entry(&program)?.to_string();
+    let vary = args.vary();
+    if vary.is_empty() {
+        return Err(CliError::Usage("serve needs --vary".into()));
+    }
+    let requests_path = args
+        .requests()
+        .ok_or_else(|| UsageError("serve needs --requests PATH".into()))?;
+    let requests_text = std::fs::read_to_string(requests_path)
+        .map_err(|e| CliError::Usage(format!("cannot read `{requests_path}`: {e}")))?;
+    let opts = spec_options(args)?;
+    let partition = InputPartition::varying(vary.iter().map(String::as_str));
+    let spec = specialize(&program, &entry, &partition, &opts)
+        .map_err(|e| CliError::Frontend(e.to_string()))?;
+
+    let engine = args.engine()?;
+    let policy = args.policy()?;
+    let mut ropts = ds_runtime::RunnerOptions {
+        engine,
+        policy,
+        ..ds_runtime::RunnerOptions::default()
+    };
+    if let Some(budget) = args.rebuild_budget()? {
+        ropts.rebuild_budget = budget;
+    }
+    ropts.eval.profile = args.metrics_out().is_some();
+    let mut runner = StagedRunner::new(&spec, &partition, ropts);
+
+    let inject = args.inject()?;
+    let seed = args.seed()?;
+    let mut integrity_errors = 0u64;
+    let mut eval_errors = 0u64;
+
+    // Adopt a persisted cache when one exists; file faults damage its text
+    // before validation, which must then reject it.
+    if let Some(path) = args.cache_file() {
+        if let Ok(mut text) = std::fs::read_to_string(path) {
+            if let Some(fault) = inject.filter(Fault::is_file_fault) {
+                let mut inj = FaultInjector::new(seed);
+                text = match fault {
+                    Fault::TruncateFile => inj.truncate_text(&text),
+                    _ => inj.corrupt_text(&text),
+                };
+                println!("inject: applied {fault} to `{path}` (seed {seed})");
+            }
+            match runner.load_cache_text(&text) {
+                Ok(()) => println!("cache: adopted `{path}` (warm start)"),
+                Err(e) => {
+                    integrity_errors += 1;
+                    println!("cache: rejected `{path}`: {e}");
+                }
+            }
+        }
+    }
+    if let Some(fault) = inject.filter(|f| !f.is_file_fault()) {
+        runner.inject(fault, seed).map_err(CliError::Usage)?;
+        println!("inject: armed {fault} (seed {seed})");
+    }
+
+    println!(
+        "serving `{entry}` (engine {engine}, policy {policy}, varying {{{}}})",
+        vary.join(", ")
+    );
+    for (lineno, line) in requests_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let values = parse_value_list(line)
+            .map_err(|e| CliError::Usage(format!("`{requests_path}` line {}: {e}", lineno + 1)))?;
+        let n = runner.stats().requests + 1;
+        match runner.run(&values) {
+            Ok(out) => match out.value {
+                Some(v) => println!("[{n}] result: {v}  (cost {})", out.cost),
+                None => println!("[{n}] result: (void)  (cost {})", out.cost),
+            },
+            Err(e) => {
+                match e {
+                    RuntimeError::Integrity(_) => integrity_errors += 1,
+                    RuntimeError::Eval(_) | RuntimeError::RebuildBudgetExhausted { .. } => {
+                        eval_errors += 1
+                    }
+                }
+                println!("[{n}] error: {e}");
+            }
+        }
+    }
+
+    let st = runner.stats();
+    println!("---");
+    println!("requests:            {}", st.requests);
+    println!("loads:               {}", st.loads);
+    println!("stale reloads:       {}", st.stale_reloads);
+    println!("reader failures:     {}", st.reader_failures);
+    println!("rebuilds:            {}", st.rebuilds());
+    println!("fallbacks:           {}", st.fallbacks());
+    println!("validation failures: {}", st.validation_failures());
+
+    if let Some(path) = args.metrics_out() {
+        let doc = ds_telemetry::envelope(
+            "serve",
+            vec![
+                ("entry".to_string(), Json::from(entry.as_str())),
+                (
+                    "varying".to_string(),
+                    Json::Arr(vary.iter().map(|v| Json::from(v.as_str())).collect()),
+                ),
+                ("engine".to_string(), Json::from(engine.to_string())),
+                ("policy".to_string(), Json::from(policy.to_string())),
+                ("stats".to_string(), st.to_json()),
+            ],
+        );
+        write_metrics(path, &doc)?;
+        println!("metrics: wrote {path}");
+    }
+
+    // Persist the (validated) cache for the next invocation.
+    if let Some(path) = args.cache_file() {
+        match runner.save_cache_text() {
+            Some(text) => {
+                std::fs::write(path, text)
+                    .map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))?;
+                println!("cache: wrote `{path}`");
+            }
+            None => println!("cache: cold at exit; `{path}` not written"),
+        }
+    }
+
+    if integrity_errors > 0 {
+        Err(CliError::Integrity(format!(
+            "{integrity_errors} cache-integrity violation(s) during serve"
+        )))
+    } else if eval_errors > 0 {
+        Err(CliError::Eval(format!(
+            "{eval_errors} request(s) failed during serve"
+        )))
+    } else {
+        Ok(())
+    }
 }

@@ -156,6 +156,166 @@ fn errors_are_reported_with_nonzero_exit() {
     assert!(!out.status.success());
 }
 
+/// Exit codes are classified: 2 usage, 3 frontend, 4 evaluation,
+/// 5 cache integrity.
+#[test]
+fn exit_codes_classify_the_failure() {
+    // Usage errors: unknown subcommand, unknown option, missing file.
+    assert_eq!(dsc(&["frobnicate"]).status.code(), Some(2));
+    let path = write_temp("codes.mc", DOTPROD);
+    let p = path.to_str().expect("utf8 path");
+    assert_eq!(dsc(&["run", p, "--frobnicate"]).status.code(), Some(2));
+    assert_eq!(
+        dsc(&["show", "/nonexistent/nope.mc"]).status.code(),
+        Some(2)
+    );
+
+    // Frontend errors: parse, type-check, specialization.
+    let bad = write_temp("codes-bad.mc", "float f( { }");
+    assert_eq!(
+        dsc(&["show", bad.to_str().expect("utf8")]).status.code(),
+        Some(3)
+    );
+    let ill = write_temp("codes-ill.mc", "float f(float x) { return x && 1.0; }");
+    assert_eq!(
+        dsc(&["show", ill.to_str().expect("utf8")]).status.code(),
+        Some(3)
+    );
+    assert_eq!(
+        dsc(&["specialize", p, "--vary", "zeta"]).status.code(),
+        Some(3)
+    );
+
+    // Evaluation errors.
+    let div = write_temp("codes-div.mc", "int f(int a, int b) { return a / b; }");
+    let out = dsc(&["run", div.to_str().expect("utf8"), "--args", "1,0"]);
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("division by zero"));
+
+    // Integrity errors: serve rejecting a damaged cache file (below, in
+    // the serve tests) is asserted to exit 5.
+}
+
+const REQUESTS: &str = "# two warm-path requests after the cold load\n\
+                        1.0,2.0,3.0,4.0,5.0,6.0,2.0\n\
+                        1.0,2.0,9.0,4.0,5.0,9.0,2.0\n\
+                        1.0,2.0,3.5,4.0,5.0,6.5,2.0\n";
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dsc-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn serve_replays_requests_and_persists_the_cache() {
+    let src = write_temp("serve.mc", DOTPROD);
+    let reqs = write_temp("serve-reqs.txt", REQUESTS);
+    let cache = temp_path("serve-cache.json");
+    let _ = std::fs::remove_file(&cache);
+
+    let base = [
+        "serve",
+        src.to_str().expect("utf8"),
+        "--vary",
+        "z1,z2",
+        "--requests",
+        reqs.to_str().expect("utf8"),
+        "--cache-file",
+        cache.to_str().expect("utf8"),
+    ];
+
+    // First run: cold load, then warm reads; writes the cache file.
+    let out = dsc(&base);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[1] result: 16"), "{text}");
+    assert!(text.contains("requests:            3"), "{text}");
+    assert!(text.contains("loads:               1"), "{text}");
+    assert!(text.contains("cache: wrote"), "{text}");
+    assert!(cache.exists());
+
+    // Second run adopts the persisted cache: zero loader executions.
+    let out = dsc(&base);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("warm start"), "{text}");
+    assert!(text.contains("loads:               0"), "{text}");
+    assert!(text.contains("[1] result: 16"), "{text}");
+
+    // A damaged cache file is rejected: the serve still answers every
+    // request (the runner falls back to a cold load) but exits 5.
+    let saved = std::fs::read_to_string(&cache).expect("cache file");
+    std::fs::write(&cache, &saved[..saved.len() / 2]).expect("truncate cache");
+    let out = dsc(&base);
+    assert_eq!(out.status.code(), Some(5));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cache: rejected"), "{text}");
+    assert!(text.contains("[1] result: 16"), "{text}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("integrity"),
+        "stderr should name the violation"
+    );
+    let _ = std::fs::remove_file(&cache);
+}
+
+#[test]
+fn serve_surfaces_injected_faults_per_policy() {
+    let src = write_temp("serve-chaos.mc", DOTPROD);
+    let reqs = write_temp("serve-chaos-reqs.txt", REQUESTS);
+    let base = |policy: &str, inject: &str| {
+        dsc(&[
+            "serve",
+            src.to_str().expect("utf8"),
+            "--vary",
+            "z1,z2",
+            "--requests",
+            reqs.to_str().expect("utf8"),
+            "--policy",
+            policy,
+            "--inject",
+            inject,
+            "--seed",
+            "7",
+        ])
+    };
+
+    // A corrupted store fires inside the cold load; fail-fast surfaces the
+    // tamper as an integrity violation on the next request (exit 5).
+    let out = base("fail-fast", "corrupt-slot");
+    assert_eq!(out.status.code(), Some(5));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error: integrity violation"), "{text}");
+    assert!(text.contains("validation failures: 1"), "{text}");
+
+    // The rebuild policy heals the same fault transparently: every
+    // request is answered, the rebuild is counted, exit 0.
+    let out = base("rebuild", "corrupt-slot");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rebuilds:            1"), "{text}");
+    assert!(!text.contains("error:"), "{text}");
+
+    // Fuel exhaustion under the fallback policy degrades to unspecialized
+    // evaluation instead of failing.
+    let out = base("fallback", "fuel:1");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fallbacks:           1"), "{text}");
+
+    // serve without --requests is a usage error.
+    let out = dsc(&["serve", src.to_str().expect("utf8"), "--vary", "z1,z2"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
 #[test]
 fn speculate_flag_changes_the_outcome() {
     let src = "float f(float k, float v) {

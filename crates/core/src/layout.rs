@@ -74,6 +74,29 @@ impl CacheLayout {
     pub fn slot_of_term(&self, term: TermId) -> Option<&Slot> {
         self.slots.iter().find(|s| s.term == term)
     }
+
+    /// An order-sensitive FNV-1a fingerprint of the layout's shape: the
+    /// slot count plus, per slot, the producing term's id and
+    /// pretty-printed source, the slot's type, offset and width.
+    ///
+    /// Two specializations of the same program under the same partition and
+    /// options fingerprint identically; any drift in what is cached, in
+    /// what order, or at what type changes the fingerprint. The
+    /// staged-execution runtime (`ds-runtime`) uses this to reject a cache
+    /// filled by a loader of a *different* specialization.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = ds_telemetry::Fnv64::new().u64(self.slots.len() as u64);
+        for s in &self.slots {
+            h = h
+                .u64(u64::from(s.id.0))
+                .u64(u64::from(s.term.0))
+                .str(&s.ty.to_string())
+                .u64(u64::from(s.offset))
+                .u64(u64::from(s.width))
+                .str(&s.source);
+        }
+        h.finish()
+    }
 }
 
 impl fmt::Display for CacheLayout {
@@ -132,6 +155,32 @@ mod tests {
         let l = CacheLayout::new([]);
         assert_eq!(l.slot_count(), 0);
         assert_eq!(l.size_bytes(), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_shape_sensitive() {
+        assert_eq!(layout3().fingerprint(), layout3().fingerprint());
+        assert_ne!(layout3().fingerprint(), CacheLayout::new([]).fingerprint());
+        // Dropping the tail slot changes the fingerprint.
+        let two = CacheLayout::new([
+            (TermId(5), Type::Float, "a * b".to_string()),
+            (TermId(9), Type::Bool, "p".to_string()),
+        ]);
+        assert_ne!(layout3().fingerprint(), two.fingerprint());
+        // Same shape, different producing term: changes the fingerprint.
+        let drifted = CacheLayout::new([
+            (TermId(5), Type::Float, "a * b".to_string()),
+            (TermId(9), Type::Bool, "p".to_string()),
+            (TermId(13), Type::Int, "n * 2".to_string()),
+        ]);
+        assert_ne!(layout3().fingerprint(), drifted.fingerprint());
+        // Same terms, different slot type: changes the fingerprint.
+        let retyped = CacheLayout::new([
+            (TermId(5), Type::Float, "a * b".to_string()),
+            (TermId(9), Type::Int, "p".to_string()),
+            (TermId(12), Type::Int, "n * 2".to_string()),
+        ]);
+        assert_ne!(layout3().fingerprint(), retyped.fingerprint());
     }
 
     #[test]

@@ -30,6 +30,16 @@ pub enum EvalError {
     },
     /// A `CacheRef`/`CacheStore` was evaluated with no cache attached.
     NoCache(Span),
+    /// A `CacheStore` targeted a slot outside the attached cache — the
+    /// buffer was sized for a different layout than the running code.
+    CacheOutOfBounds {
+        /// The slot index written.
+        slot: usize,
+        /// The attached cache's slot count.
+        len: usize,
+        /// Where the store occurred.
+        span: Span,
+    },
     /// The step limit was exhausted (runaway loop).
     StepLimit,
     /// A value of the wrong type reached an operation (only possible for
@@ -58,6 +68,12 @@ impl fmt::Display for EvalError {
             }
             EvalError::NoCache(span) => {
                 write!(f, "cache operation at {span} but no cache attached")
+            }
+            EvalError::CacheOutOfBounds { slot, len, span } => {
+                write!(
+                    f,
+                    "cache store to slot {slot} out of bounds ({len} slot(s)) at {span}"
+                )
             }
             EvalError::StepLimit => write!(f, "step limit exhausted"),
             EvalError::TypeMismatch { expected, span } => {

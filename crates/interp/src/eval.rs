@@ -76,6 +76,16 @@ pub struct Profile {
     /// Total abstract cost charged, duplicated from [`Outcome::cost`] so a
     /// profile is self-contained once exported.
     pub cost: u64,
+    /// Loader re-runs triggered by the staged-execution runtime (stale
+    /// invariants, failed validation, reader recovery). Always 0 for a bare
+    /// engine run; `ds-runtime`'s `StagedRunner` fills it in.
+    pub rebuilds: u64,
+    /// Requests the runtime served by falling back to the unspecialized
+    /// fragment. Always 0 for a bare engine run.
+    pub fallbacks: u64,
+    /// Cache integrity validations that failed (tampered slot, seal
+    /// mismatch, truncated buffer). Always 0 for a bare engine run.
+    pub validation_failures: u64,
 }
 
 impl Profile {
@@ -100,6 +110,9 @@ impl Profile {
         self.cache_writes += other.cache_writes;
         self.steps += other.steps;
         self.cost += other.cost;
+        self.rebuilds += other.rebuilds;
+        self.fallbacks += other.fallbacks;
+        self.validation_failures += other.validation_failures;
     }
 
     /// Aggregates every profile in `profiles` into one (batch shape:
@@ -140,6 +153,9 @@ impl Profile {
             ("steps", Json::from(self.steps)),
             ("cost", Json::from(self.cost)),
             ("total_dynamic_work", Json::from(self.total_dynamic_work())),
+            ("rebuilds", Json::from(self.rebuilds)),
+            ("fallbacks", Json::from(self.fallbacks)),
+            ("validation_failures", Json::from(self.validation_failures)),
         ])
     }
 }
@@ -488,7 +504,15 @@ impl<'p, 'c> State<'p, 'c> {
                     .cache
                     .as_deref_mut()
                     .ok_or(EvalError::NoCache(e.span))?;
-                cache.set(slot.index(), v);
+                cache.try_set(slot.index(), v).map_err(
+                    |crate::cache::CacheError::OutOfBounds { slot, len }| {
+                        EvalError::CacheOutOfBounds {
+                            slot,
+                            len,
+                            span: e.span,
+                        }
+                    },
+                )?;
                 Ok(v)
             }
         }

@@ -44,7 +44,7 @@ pub mod noise;
 pub mod value;
 pub mod vm;
 
-pub use cache::CacheBuf;
+pub use cache::{corrupt_value, value_bits, CacheBuf, CacheError, WriteFault};
 pub use compile::{compile, CompiledProgram};
 pub use error::EvalError;
 pub use eval::{

@@ -353,7 +353,11 @@ impl Vm {
                     let span = proc.spans[pc - 1];
                     let v = self.regs[base + src as usize];
                     let cb = cache.as_deref_mut().ok_or(EvalError::NoCache(span))?;
-                    cb.set(slot as usize, v);
+                    cb.try_set(slot as usize, v).map_err(
+                        |crate::cache::CacheError::OutOfBounds { slot, len }| {
+                            EvalError::CacheOutOfBounds { slot, len, span }
+                        },
+                    )?;
                 }
                 Op::ErrUnknownProc { name_at } => {
                     // Step-limit exhaustion takes precedence, as in the

@@ -1,0 +1,410 @@
+//! The versioned, checksummed cache-file format.
+//!
+//! A warm [`CacheBuf`] can be persisted and later re-attached to a runner,
+//! amortizing the loader across *processes*, not just requests. The file is
+//! a `ds-telemetry` JSON envelope (`kind: "cache"`, schema-versioned like
+//! every other export), carrying:
+//!
+//! * the **layout fingerprint** of the specialization that filled it, so a
+//!   cache can never be consumed by a reader of a different specialization;
+//! * the **inputs fingerprint** of the invariant-input vector it was loaded
+//!   for, so staleness is detected on the first request;
+//! * every slot as a `(type, bit-pattern)` pair — bit patterns are stored
+//!   as hex strings because JSON numbers are doubles and would silently
+//!   lose `i64` precision and `NaN`/`-0.0` distinctions;
+//! * an **FNV-1a checksum** over the semantic content, so any byte-level
+//!   corruption of a semantically relevant field is rejected at load.
+//!
+//! Loading validates envelope → checksum → layout → per-slot types, in that
+//! order, and returns a typed [`IntegrityError`] for the first violation.
+//! The invariant the chaos suite pins down: **a load either fails with a
+//! typed error or yields a cache semantically identical to the one saved.**
+
+use crate::error::IntegrityError;
+use ds_core::CacheLayout;
+use ds_interp::{value_bits, CacheBuf, Value};
+use ds_lang::Type;
+use ds_telemetry::{Fnv64, Json};
+
+/// The envelope `kind` of a cache file.
+pub const CACHE_KIND: &str = "cache";
+
+fn hex(v: u64) -> String {
+    format!("{v:#018x}")
+}
+
+fn parse_hex(s: &str, what: &str) -> Result<u64, IntegrityError> {
+    s.strip_prefix("0x")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| IntegrityError::Malformed {
+            detail: format!("{what}: bad hex literal `{s}`"),
+        })
+}
+
+fn type_name(ty: Type) -> String {
+    ty.to_string()
+}
+
+fn parse_type(s: &str, slot: usize) -> Result<Type, IntegrityError> {
+    match s {
+        "int" => Ok(Type::Int),
+        "float" => Ok(Type::Float),
+        "bool" => Ok(Type::Bool),
+        other => Err(IntegrityError::Malformed {
+            detail: format!("slot {slot}: unknown type `{other}`"),
+        }),
+    }
+}
+
+fn decode_value(ty: Type, bits: u64, slot: usize) -> Result<Value, IntegrityError> {
+    match ty {
+        Type::Int => Ok(Value::Int(bits as i64)),
+        Type::Float => Ok(Value::Float(f64::from_bits(bits))),
+        Type::Bool => match bits {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            other => Err(IntegrityError::Malformed {
+                detail: format!("slot {slot}: bool with bit pattern {other:#x}"),
+            }),
+        },
+        Type::Void => Err(IntegrityError::Malformed {
+            detail: format!("slot {slot}: void slot"),
+        }),
+    }
+}
+
+/// The checksum covers every semantic field: fingerprints, slot count, and
+/// each slot's filled flag, type and bit pattern. Formatting is *not*
+/// covered — the guarantee is "accepted ⇒ semantically identical".
+fn checksum(layout_fp: u64, inputs_fp: u64, slots: &[Option<(Type, u64)>]) -> u64 {
+    let mut h = Fnv64::new()
+        .u64(layout_fp)
+        .u64(inputs_fp)
+        .u64(slots.len() as u64);
+    for s in slots {
+        h = match s {
+            None => h.u64(0),
+            Some((ty, bits)) => h.u64(1).str(&type_name(*ty)).u64(*bits),
+        };
+    }
+    h.finish()
+}
+
+/// A successfully validated cache file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedCache {
+    /// The reconstructed buffer (exactly as many slots as the layout).
+    pub cache: CacheBuf,
+    /// Fingerprint of the invariant-input vector the cache was loaded for.
+    pub inputs_fingerprint: u64,
+}
+
+/// Serializes `cache` as a versioned, checksummed cache file.
+pub fn save_cache(cache: &CacheBuf, layout_fp: u64, inputs_fp: u64) -> String {
+    let entries: Vec<Option<(Type, u64)>> = (0..cache.len())
+        .map(|i| {
+            cache.get(i).map(|v| {
+                let (_, bits) = value_bits(v);
+                (v.ty(), bits)
+            })
+        })
+        .collect();
+    let slots = Json::Arr(
+        entries
+            .iter()
+            .map(|e| match e {
+                None => Json::Null,
+                Some((ty, bits)) => Json::obj([
+                    ("ty", Json::from(type_name(*ty).as_str())),
+                    ("bits", Json::from(hex(*bits).as_str())),
+                ]),
+            })
+            .collect(),
+    );
+    let doc = ds_telemetry::envelope(
+        CACHE_KIND,
+        vec![
+            (
+                "layout_fingerprint".to_string(),
+                Json::from(hex(layout_fp).as_str()),
+            ),
+            (
+                "inputs_fingerprint".to_string(),
+                Json::from(hex(inputs_fp).as_str()),
+            ),
+            ("slot_count".to_string(), Json::from(entries.len() as u64)),
+            ("slots".to_string(), slots),
+            (
+                "checksum".to_string(),
+                Json::from(hex(checksum(layout_fp, inputs_fp, &entries)).as_str()),
+            ),
+        ],
+    );
+    doc.pretty() + "\n"
+}
+
+fn field<'d>(doc: &'d Json, name: &str) -> Result<&'d Json, IntegrityError> {
+    doc.get(name).ok_or_else(|| IntegrityError::Malformed {
+        detail: format!("missing `{name}` field"),
+    })
+}
+
+fn hex_field(doc: &Json, name: &str) -> Result<u64, IntegrityError> {
+    let s = field(doc, name)?
+        .as_str()
+        .ok_or_else(|| IntegrityError::Malformed {
+            detail: format!("`{name}` is not a string"),
+        })?;
+    parse_hex(s, name)
+}
+
+/// Parses and fully validates a cache file against `layout`.
+///
+/// # Errors
+///
+/// A typed [`IntegrityError`] for the first violation found:
+/// [`IntegrityError::Malformed`] for truncated/unparseable documents or a
+/// foreign envelope, [`IntegrityError::ChecksumMismatch`] for post-write
+/// corruption, [`IntegrityError::LayoutMismatch`] when the cache belongs to
+/// a different specialization, and [`IntegrityError::SlotTypeDrift`] when a
+/// slot's stored type contradicts the layout.
+pub fn parse_cache(text: &str, layout: &CacheLayout) -> Result<LoadedCache, IntegrityError> {
+    let doc = ds_telemetry::parse(text).map_err(|e| IntegrityError::Malformed {
+        detail: e.to_string(),
+    })?;
+    let kind = ds_telemetry::validate_envelope(&doc)
+        .map_err(|detail| IntegrityError::Malformed { detail })?;
+    if kind != CACHE_KIND {
+        return Err(IntegrityError::Malformed {
+            detail: format!("envelope kind `{kind}` is not `{CACHE_KIND}`"),
+        });
+    }
+    let layout_fp = hex_field(&doc, "layout_fingerprint")?;
+    let inputs_fp = hex_field(&doc, "inputs_fingerprint")?;
+    let slot_count =
+        field(&doc, "slot_count")?
+            .as_u64()
+            .ok_or_else(|| IntegrityError::Malformed {
+                detail: "`slot_count` is not a non-negative integer".to_string(),
+            })? as usize;
+    let stored_sum = hex_field(&doc, "checksum")?;
+    let Json::Arr(raw_slots) = field(&doc, "slots")? else {
+        return Err(IntegrityError::Malformed {
+            detail: "`slots` is not an array".to_string(),
+        });
+    };
+    if raw_slots.len() != slot_count {
+        return Err(IntegrityError::Malformed {
+            detail: format!(
+                "`slot_count` says {slot_count} but `slots` has {} entries",
+                raw_slots.len()
+            ),
+        });
+    }
+    let mut entries: Vec<Option<(Type, u64)>> = Vec::with_capacity(raw_slots.len());
+    for (i, s) in raw_slots.iter().enumerate() {
+        entries.push(match s {
+            Json::Null => None,
+            obj => {
+                let ty = obj.get("ty").and_then(Json::as_str).ok_or_else(|| {
+                    IntegrityError::Malformed {
+                        detail: format!("slot {i}: missing `ty`"),
+                    }
+                })?;
+                let bits = obj.get("bits").and_then(Json::as_str).ok_or_else(|| {
+                    IntegrityError::Malformed {
+                        detail: format!("slot {i}: missing `bits`"),
+                    }
+                })?;
+                Some((parse_type(ty, i)?, parse_hex(bits, "bits")?))
+            }
+        });
+    }
+
+    // 1. Checksum: detects any post-write corruption of semantic content.
+    let found_sum = checksum(layout_fp, inputs_fp, &entries);
+    if found_sum != stored_sum {
+        return Err(IntegrityError::ChecksumMismatch {
+            expected: stored_sum,
+            found: found_sum,
+        });
+    }
+    // 2. Layout: the cache must belong to *this* specialization.
+    if layout_fp != layout.fingerprint() {
+        return Err(IntegrityError::LayoutMismatch {
+            detail: format!(
+                "file fingerprint {:#018x}, current layout {:#018x}",
+                layout_fp,
+                layout.fingerprint()
+            ),
+        });
+    }
+    if slot_count != layout.slot_count() {
+        return Err(IntegrityError::LayoutMismatch {
+            detail: format!(
+                "file has {slot_count} slot(s), layout declares {}",
+                layout.slot_count()
+            ),
+        });
+    }
+    // 3. Per-slot types against the layout's declarations.
+    let mut cache = CacheBuf::new(slot_count);
+    for (i, e) in entries.iter().enumerate() {
+        if let Some((ty, bits)) = e {
+            let declared = layout.slots()[i].ty;
+            if *ty != declared {
+                return Err(IntegrityError::SlotTypeDrift {
+                    slot: i,
+                    expected: declared,
+                    found: *ty,
+                });
+            }
+            let v = decode_value(*ty, *bits, i)?;
+            cache
+                .try_set(i, v)
+                .expect("buffer sized to slot_count above");
+        }
+    }
+    Ok(LoadedCache {
+        cache,
+        inputs_fingerprint: inputs_fp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_lang::TermId;
+
+    fn layout() -> CacheLayout {
+        CacheLayout::new([
+            (TermId(1), Type::Float, "a * b".to_string()),
+            (TermId(2), Type::Int, "n + 1".to_string()),
+            (TermId(3), Type::Bool, "p".to_string()),
+        ])
+    }
+
+    fn warm_cache() -> CacheBuf {
+        let mut c = CacheBuf::new(3);
+        c.set(0, Value::Float(-0.0));
+        c.set(1, Value::Int(i64::MAX - 1)); // would lose precision as f64
+        c.set(2, Value::Bool(true));
+        c
+    }
+
+    #[test]
+    fn round_trips_bit_exactly_including_awkward_values() {
+        let l = layout();
+        let c = warm_cache();
+        let text = save_cache(&c, l.fingerprint(), 42);
+        let back = parse_cache(&text, &l).expect("load");
+        assert_eq!(back.inputs_fingerprint, 42);
+        assert_eq!(back.cache.content_hash(), c.content_hash());
+        // -0.0 must round-trip as -0.0, not 0.0.
+        assert!(back.cache.get(0).unwrap().bits_eq(&Value::Float(-0.0)));
+        assert_eq!(back.cache.get(1), Some(Value::Int(i64::MAX - 1)));
+    }
+
+    #[test]
+    fn partial_caches_round_trip() {
+        let l = layout();
+        let mut c = CacheBuf::new(3);
+        c.set(1, Value::Int(7));
+        let back = parse_cache(&save_cache(&c, l.fingerprint(), 0), &l).expect("load");
+        assert_eq!(back.cache.filled(), 1);
+        assert_eq!(back.cache.get(0), None);
+        assert_eq!(back.cache.get(1), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn nan_survives_the_round_trip() {
+        let l = CacheLayout::new([(TermId(1), Type::Float, "x".to_string())]);
+        let mut c = CacheBuf::new(1);
+        c.set(0, Value::Float(f64::NAN));
+        let back = parse_cache(&save_cache(&c, l.fingerprint(), 0), &l).expect("load");
+        assert!(back.cache.get(0).unwrap().bits_eq(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn truncated_file_is_malformed() {
+        let l = layout();
+        let text = save_cache(&warm_cache(), l.fingerprint(), 0);
+        for cut in [0, 1, text.len() / 2, text.len() - 3] {
+            let err = parse_cache(&text[..cut], &l).unwrap_err();
+            assert!(
+                matches!(err, IntegrityError::Malformed { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_content_fails_the_checksum() {
+        let l = layout();
+        let text = save_cache(&warm_cache(), l.fingerprint(), 0);
+        // Flip one hex digit inside a slot's bit pattern.
+        let idx = text.find("\"bits\": \"0x").expect("bits field") + 11;
+        let mut bytes = text.into_bytes();
+        bytes[idx] = if bytes[idx] == b'0' { b'1' } else { b'0' };
+        let corrupted = String::from_utf8(bytes).unwrap();
+        let err = parse_cache(&corrupted, &l).unwrap_err();
+        assert!(
+            matches!(err, IntegrityError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn layout_drift_is_rejected() {
+        let l = layout();
+        let text = save_cache(&warm_cache(), l.fingerprint(), 0);
+        // Same slot count, different producing terms.
+        let other = CacheLayout::new([
+            (TermId(9), Type::Float, "a * b".to_string()),
+            (TermId(2), Type::Int, "n + 1".to_string()),
+            (TermId(3), Type::Bool, "p".to_string()),
+        ]);
+        let err = parse_cache(&text, &other).unwrap_err();
+        assert!(
+            matches!(err, IntegrityError::LayoutMismatch { .. }),
+            "{err}"
+        );
+        // Different slot count entirely.
+        let fewer = CacheLayout::new([(TermId(1), Type::Float, "a * b".to_string())]);
+        let err = parse_cache(&text, &fewer).unwrap_err();
+        assert!(
+            matches!(err, IntegrityError::LayoutMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn slot_type_drift_is_rejected_even_with_a_valid_checksum() {
+        // A file whose checksum is honest but whose slot type contradicts
+        // the layout (e.g. written by a drifted serializer): the per-slot
+        // type check is the last line of defense.
+        let l = layout();
+        let mut c = CacheBuf::new(3);
+        c.set(0, Value::Int(1)); // layout declares float
+        let text = save_cache(&c, l.fingerprint(), 0);
+        let err = parse_cache(&text, &l).unwrap_err();
+        assert_eq!(
+            err,
+            IntegrityError::SlotTypeDrift {
+                slot: 0,
+                expected: Type::Float,
+                found: Type::Int
+            }
+        );
+    }
+
+    #[test]
+    fn foreign_envelopes_are_rejected() {
+        let l = layout();
+        let not_cache = ds_telemetry::envelope("run", vec![]).pretty();
+        let err = parse_cache(&not_cache, &l).unwrap_err();
+        assert!(matches!(err, IntegrityError::Malformed { .. }), "{err}");
+        let err = parse_cache("{}", &l).unwrap_err();
+        assert!(matches!(err, IntegrityError::Malformed { .. }), "{err}");
+    }
+}

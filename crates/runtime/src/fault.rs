@@ -1,0 +1,205 @@
+//! Seeded, deterministic fault injection.
+//!
+//! Each [`Fault`] models one way staged execution rots in production:
+//! memory corruption on the store path, a lost write, a truncated buffer,
+//! a runaway reader, and byte-level damage to a persisted cache file. The
+//! [`FaultInjector`] is a tiny splitmix64 generator, so a `(fault, seed)`
+//! pair reproduces the exact same damage on every run and both engines —
+//! chaos failures are replayable, never flaky.
+//!
+//! Faults are **one-shot**: each injection fires once, so a recovery path
+//! (rebuild, fallback) observes a healthy system afterwards — exactly the
+//! transient-fault model graceful degradation is designed for.
+
+use ds_interp::{corrupt_value, Value};
+use std::fmt;
+use std::str::FromStr;
+
+/// One injectable fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Corrupt the value of one loader store (bit-flip on the write path).
+    CorruptSlot,
+    /// Silently drop one loader store (lost write).
+    DropStore,
+    /// Truncate the in-memory cache buffer after it was sealed.
+    TruncateBuffer,
+    /// Run the next staged execution with only this much fuel, modelling a
+    /// runaway reader hitting the step limit.
+    ExhaustFuel(u64),
+    /// Flip one byte of a serialized cache file.
+    CorruptFile,
+    /// Cut a serialized cache file short.
+    TruncateFile,
+}
+
+impl Fault {
+    /// Whether this fault damages a serialized cache *file* (applied via
+    /// [`FaultInjector::corrupt_text`] / [`FaultInjector::truncate_text`])
+    /// rather than the in-memory lifecycle.
+    pub fn is_file_fault(&self) -> bool {
+        matches!(self, Fault::CorruptFile | Fault::TruncateFile)
+    }
+
+    /// Every in-memory fault class, for exhaustive chaos matrices.
+    pub const MEMORY_FAULTS: [Fault; 4] = [
+        Fault::CorruptSlot,
+        Fault::DropStore,
+        Fault::TruncateBuffer,
+        Fault::ExhaustFuel(3),
+    ];
+
+    /// Every file fault class.
+    pub const FILE_FAULTS: [Fault; 2] = [Fault::CorruptFile, Fault::TruncateFile];
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::CorruptSlot => write!(f, "corrupt-slot"),
+            Fault::DropStore => write!(f, "drop-store"),
+            Fault::TruncateBuffer => write!(f, "truncate-buffer"),
+            Fault::ExhaustFuel(n) => write!(f, "fuel:{n}"),
+            Fault::CorruptFile => write!(f, "corrupt-file"),
+            Fault::TruncateFile => write!(f, "truncate-file"),
+        }
+    }
+}
+
+impl FromStr for Fault {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "corrupt-slot" => Ok(Fault::CorruptSlot),
+            "drop-store" => Ok(Fault::DropStore),
+            "truncate-buffer" => Ok(Fault::TruncateBuffer),
+            "corrupt-file" => Ok(Fault::CorruptFile),
+            "truncate-file" => Ok(Fault::TruncateFile),
+            other => match other.strip_prefix("fuel:") {
+                Some(n) => n
+                    .parse()
+                    .map(Fault::ExhaustFuel)
+                    .map_err(|_| format!("bad fuel amount in `{other}`")),
+                None => Err(format!(
+                    "unknown fault `{other}`; expected corrupt-slot, drop-store, \
+                     truncate-buffer, fuel:N, corrupt-file or truncate-file"
+                )),
+            },
+        }
+    }
+}
+
+/// A deterministic splitmix64 stream for picking fault sites.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    state: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector whose whole behaviour is a function of `seed`.
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector { state: seed }
+    }
+
+    /// Next raw 64-bit draw (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A draw in `0..n` (`0` when `n == 0`).
+    pub fn pick(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Deterministic bit-level corruption of a value (delegates to the
+    /// interpreter's [`corrupt_value`], so engine-level write faults and
+    /// injector-level tampering damage values identically).
+    pub fn corrupt(&self, v: Value) -> Value {
+        corrupt_value(v)
+    }
+
+    /// Flips one byte of `text` at a seeded position, staying within ASCII
+    /// so the result is still a `String`.
+    pub fn corrupt_text(&mut self, text: &str) -> String {
+        let mut bytes = text.as_bytes().to_vec();
+        if bytes.is_empty() {
+            return String::new();
+        }
+        let i = self.pick(bytes.len() as u64) as usize;
+        // XOR with a low bit pattern keeps the byte ASCII and guarantees a
+        // change; '0' ^ 1 = '1', '{' ^ 1 = 'z', etc.
+        bytes[i] ^= 1;
+        String::from_utf8(bytes).expect("ascii-preserving flip")
+    }
+
+    /// Cuts `text` at a seeded interior position (always strictly shorter
+    /// than the input when the input is non-empty).
+    pub fn truncate_text(&mut self, text: &str) -> String {
+        if text.is_empty() {
+            return String::new();
+        }
+        let cut = self.pick(text.len() as u64) as usize;
+        text[..cut].to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = FaultInjector::new(7);
+        let mut b = FaultInjector::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = FaultInjector::new(8);
+        assert_ne!(FaultInjector::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fault_spec_round_trips_through_strings() {
+        for f in [
+            Fault::CorruptSlot,
+            Fault::DropStore,
+            Fault::TruncateBuffer,
+            Fault::ExhaustFuel(17),
+            Fault::CorruptFile,
+            Fault::TruncateFile,
+        ] {
+            assert_eq!(f.to_string().parse::<Fault>().unwrap(), f);
+        }
+        assert!("fuel:x".parse::<Fault>().is_err());
+        assert!("meteor-strike".parse::<Fault>().is_err());
+    }
+
+    #[test]
+    fn text_faults_always_change_the_text() {
+        let mut inj = FaultInjector::new(3);
+        let text = "{\"schema\": \"ds-telemetry\"}";
+        for _ in 0..50 {
+            assert_ne!(inj.corrupt_text(text), text);
+            assert!(inj.truncate_text(text).len() < text.len());
+        }
+    }
+
+    #[test]
+    fn fault_classes_are_partitioned() {
+        for f in Fault::MEMORY_FAULTS {
+            assert!(!f.is_file_fault());
+        }
+        for f in Fault::FILE_FAULTS {
+            assert!(f.is_file_fault());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! # ds-runtime — the staged-execution runtime
+//!
+//! The paper's loader/reader protocol (§1, §3.2) silently assumes the
+//! invariant inputs really are invariant and that the cache a reader
+//! consumes was filled by a matching loader. This crate makes those
+//! assumptions *checked*: a [`StagedRunner`] owns the full cache lifecycle
+//! for repeated executions of one specialization —
+//!
+//! * **Staleness**: every request fingerprints the invariant-input vector
+//!   ([`StagedRunner::inputs_fingerprint`]) and the specialization layout
+//!   (`CacheLayout::fingerprint`); a mismatch transparently re-runs the
+//!   loader, bounded by a configurable rebuild budget.
+//! * **Integrity**: a freshly loaded cache is sealed with its content
+//!   hash; warm requests re-validate the seal, the write-fault shadow and
+//!   the structural shape before trusting the reader. Serialized caches
+//!   ([`cachefile`]) are versioned and checksummed; truncation, slot-type
+//!   drift and layout mismatch are rejected with typed [`IntegrityError`]s.
+//! * **Degradation**: on any failure a [`Policy`] decides between
+//!   re-loading, direct unspecialized evaluation, or a clean typed
+//!   [`RuntimeError`] — with every rebuild, fallback and validation
+//!   failure counted in the telemetry `Profile`.
+//! * **Fault injection**: a seeded, deterministic [`FaultInjector`] and
+//!   [`Fault`] taxonomy (corrupt a store, drop a store, truncate the
+//!   buffer, exhaust fuel, damage a cache file) drive the chaos suite,
+//!   whose invariant is: under every injected fault, a runner returns the
+//!   reference answer or a typed error — never a silently wrong value.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ds_core::{specialize_source, InputPartition, SpecializeOptions};
+//! use ds_interp::Value;
+//! use ds_runtime::{RunnerOptions, StagedRunner};
+//!
+//! let part = InputPartition::varying(["z1", "z2"]);
+//! let spec = specialize_source(
+//!     "float dotprod(float x1, float y1, float z1,
+//!                    float x2, float y2, float z2, float scale) {
+//!          if (scale != 0.0) { return (x1*x2 + y1*y2 + z1*z2) / scale; }
+//!          else { return -1.0; }
+//!      }",
+//!     "dotprod",
+//!     &part,
+//!     &SpecializeOptions::new(),
+//! )?;
+//! let mut runner = StagedRunner::new(&spec, &part, RunnerOptions::default());
+//! let args: Vec<Value> = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0]
+//!     .iter().map(|&x| Value::Float(x)).collect();
+//! // First request: cold load (the loader computes the result itself)...
+//! let first = runner.run(&args)?;
+//! // ...subsequent requests: validated cache + reader.
+//! let again = runner.run(&args)?;
+//! assert_eq!(first.value, again.value);
+//! assert!(again.cost < first.cost);
+//! assert_eq!(runner.stats().loads, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cachefile;
+pub mod error;
+pub mod fault;
+pub mod runner;
+
+pub use cachefile::{parse_cache, save_cache, LoadedCache, CACHE_KIND};
+pub use error::{IntegrityError, RuntimeError};
+pub use fault::{Fault, FaultInjector};
+pub use runner::{Policy, RunnerOptions, RunnerStats, StagedRunner};

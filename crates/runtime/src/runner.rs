@@ -1,0 +1,716 @@
+//! The staged-execution runner: cache lifecycle, validation, degradation.
+//!
+//! [`StagedRunner`] owns everything the paper leaves implicit between "run
+//! the loader once" and "run the reader per varying input": *when* the
+//! loader must re-run (stale invariants, a mismatched or damaged cache),
+//! *how* a damaged cache is detected before it can produce a wrong answer,
+//! and *what* happens when staged execution fails at runtime.
+//!
+//! ## Lifecycle
+//!
+//! ```text
+//!            ┌────────────────────────────────────────────────┐
+//!            ▼                                                │
+//!  Cold ──load (loader run, budget-gated after the 1st)──▶ Warm{inputs_fp, seal}
+//!            │                                                │
+//!            │ loader error → policy                          │ request
+//!            ▼                                                ▼
+//!        fallback / error            stale fp ──────────────▶ reload
+//!                                    validation failure ────▶ policy
+//!                                    reader error ──────────▶ policy
+//! ```
+//!
+//! A load *returns the loader's own outcome* — the loader computes the
+//! result while filling the cache (the paper's protocol), so the first
+//! request per invariant context costs one loader run, not loader+reader.
+//! After a successful load the cache is **sealed** with its content hash;
+//! every warm request re-validates the seal (plus the write-fault shadow
+//! and the structural length) before trusting the reader, so corruption is
+//! caught as a typed [`IntegrityError`] — never consumed silently.
+
+use crate::cachefile;
+use crate::error::{IntegrityError, RuntimeError};
+use crate::fault::{Fault, FaultInjector};
+use ds_core::{InputPartition, Specialization};
+use ds_interp::{
+    compile, value_bits, CacheBuf, CompiledProgram, Engine, EvalError, EvalOptions, Evaluator,
+    Outcome, Profile, Value, Vm, WriteFault,
+};
+use ds_lang::Program;
+use ds_telemetry::{Fnv64, Json};
+use std::fmt;
+use std::str::FromStr;
+
+/// What a runner does when staged execution fails at runtime (reader
+/// error, failed validation, exhausted rebuild budget).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Policy {
+    /// Surface the typed error to the caller; never mask a failure.
+    FailFast,
+    /// Re-run the loader (budget permitting) — the reload serves the
+    /// request — and fall back to the unspecialized fragment if the reload
+    /// itself fails or the budget is spent.
+    #[default]
+    RebuildThenFallback,
+    /// Serve the request by evaluating the unspecialized fragment directly;
+    /// the damaged cache is discarded so the normal lifecycle can rebuild
+    /// it on a later request (budget permitting).
+    FallbackToUnspecialized,
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::FailFast => write!(f, "fail-fast"),
+            Policy::RebuildThenFallback => write!(f, "rebuild"),
+            Policy::FallbackToUnspecialized => write!(f, "fallback"),
+        }
+    }
+}
+
+impl FromStr for Policy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fail-fast" | "failfast" => Ok(Policy::FailFast),
+            "rebuild" | "rebuild-then-fallback" => Ok(Policy::RebuildThenFallback),
+            "fallback" | "unspecialized" => Ok(Policy::FallbackToUnspecialized),
+            other => Err(format!(
+                "unknown policy `{other}`; expected fail-fast, rebuild or fallback"
+            )),
+        }
+    }
+}
+
+/// Configuration of a [`StagedRunner`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerOptions {
+    /// Which execution engine serves requests.
+    pub engine: Engine,
+    /// The degradation policy.
+    pub policy: Policy,
+    /// How many loader *re*-runs (beyond the initial cold load) the runner
+    /// may spend over its lifetime; bounds rebuild storms.
+    pub rebuild_budget: u32,
+    /// Engine options for every execution (step limit, profiling).
+    pub eval: EvalOptions,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            engine: Engine::default(),
+            policy: Policy::default(),
+            rebuild_budget: 8,
+            eval: EvalOptions::default(),
+        }
+    }
+}
+
+/// Aggregate robustness statistics of one runner.
+///
+/// The rebuild/fallback/validation-failure counters live on the embedded
+/// telemetry [`Profile`] (and therefore in every metrics export); this
+/// struct adds the lifecycle counters that only the runner can observe.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunnerStats {
+    /// Requests served (successfully or not).
+    pub requests: u64,
+    /// Loader executions, including the initial cold load.
+    pub loads: u64,
+    /// Reloads triggered by a changed invariant-input fingerprint.
+    pub stale_reloads: u64,
+    /// Reader executions that returned an `EvalError`.
+    pub reader_failures: u64,
+    /// Merged execution profile across every engine run the runner issued
+    /// (populated when [`EvalOptions::profile`] is on), carrying the
+    /// `rebuilds` / `fallbacks` / `validation_failures` counters always.
+    pub profile: Profile,
+}
+
+impl RunnerStats {
+    /// Loader re-runs beyond the initial cold load.
+    pub fn rebuilds(&self) -> u64 {
+        self.profile.rebuilds
+    }
+
+    /// Requests served by the unspecialized fragment.
+    pub fn fallbacks(&self) -> u64 {
+        self.profile.fallbacks
+    }
+
+    /// Warm-cache validations that failed.
+    pub fn validation_failures(&self) -> u64 {
+        self.profile.validation_failures
+    }
+
+    /// Serializes the statistics (and embedded profile) as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::from(self.requests)),
+            ("loads", Json::from(self.loads)),
+            ("stale_reloads", Json::from(self.stale_reloads)),
+            ("reader_failures", Json::from(self.reader_failures)),
+            ("rebuilds", Json::from(self.rebuilds())),
+            ("fallbacks", Json::from(self.fallbacks())),
+            (
+                "validation_failures",
+                Json::from(self.validation_failures()),
+            ),
+            ("profile", self.profile.to_json()),
+        ])
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheState {
+    Cold,
+    Warm { inputs_fp: u64, seal: u64 },
+}
+
+/// A fault scheduled by [`StagedRunner::inject`], applied one-shot at the
+/// matching lifecycle point.
+#[derive(Debug, Clone, Copy)]
+enum PendingFault {
+    /// Arm the cache with a write fault at the next load.
+    Arm(WriteFault),
+    /// Truncate the sealed buffer to this length before the next
+    /// validation (or right after the next seal, when currently cold).
+    Truncate(usize),
+    /// Run the next staged execution (reader or loader) with this much
+    /// fuel.
+    Fuel(u64),
+}
+
+/// Owns the full cache lifecycle for repeated staged executions of one
+/// specialization. See the module docs for the state machine.
+#[derive(Debug)]
+pub struct StagedRunner {
+    staged: Program,
+    compiled: CompiledProgram,
+    vm: Vm,
+    entry: String,
+    loader_name: String,
+    reader_name: String,
+    layout: ds_core::CacheLayout,
+    layout_fp: u64,
+    /// Indices of the fragment's *fixed* parameters, in parameter order —
+    /// the invariant-input vector the cache is keyed on.
+    fixed_idx: Vec<usize>,
+    opts: RunnerOptions,
+    cache: CacheBuf,
+    state: CacheState,
+    ever_loaded: bool,
+    rebuilds_used: u32,
+    pending: Option<PendingFault>,
+    stats: RunnerStats,
+}
+
+impl StagedRunner {
+    /// Builds a runner for `spec`, whose cache is keyed on the parameters
+    /// `partition` marks as fixed. The staged program is compiled for the
+    /// bytecode engine once, up front.
+    pub fn new(spec: &Specialization, partition: &InputPartition, opts: RunnerOptions) -> Self {
+        let staged = spec.as_program();
+        let compiled = compile(&staged);
+        let entry = spec.fragment.name.clone();
+        let fixed_idx = spec
+            .fragment
+            .params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !partition.is_varying(&p.name))
+            .map(|(i, _)| i)
+            .collect();
+        StagedRunner {
+            cache: CacheBuf::new(spec.layout.slot_count()),
+            layout_fp: spec.layout.fingerprint(),
+            layout: spec.layout.clone(),
+            loader_name: format!("{entry}__loader"),
+            reader_name: format!("{entry}__reader"),
+            entry,
+            fixed_idx,
+            staged,
+            compiled,
+            vm: Vm::new(),
+            opts,
+            state: CacheState::Cold,
+            ever_loaded: false,
+            rebuilds_used: 0,
+            pending: None,
+            stats: RunnerStats::default(),
+        }
+    }
+
+    /// Robustness statistics accumulated so far.
+    pub fn stats(&self) -> &RunnerStats {
+        &self.stats
+    }
+
+    /// Whether the cache is warm (loaded and sealed).
+    pub fn is_warm(&self) -> bool {
+        matches!(self.state, CacheState::Warm { .. })
+    }
+
+    /// The specialization-layout fingerprint the cache is validated
+    /// against.
+    pub fn layout_fingerprint(&self) -> u64 {
+        self.layout_fp
+    }
+
+    /// Fingerprint of the invariant-input vector within `args` (the fixed
+    /// parameters, in order, with the layout fingerprint mixed in).
+    pub fn inputs_fingerprint(&self, args: &[Value]) -> u64 {
+        let mut h = Fnv64::new().u64(self.layout_fp);
+        for &i in &self.fixed_idx {
+            h = match args.get(i) {
+                // Tag 1+type so a missing argument cannot alias a value
+                // (arity errors surface from the engine itself).
+                Some(v) => {
+                    let (tag, bits) = value_bits(*v);
+                    h.u64(1 + tag).u64(bits)
+                }
+                None => h.u64(0),
+            };
+        }
+        h.finish()
+    }
+
+    /// Schedules a one-shot in-memory fault, deterministically sited from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// File faults ([`Fault::CorruptFile`], [`Fault::TruncateFile`]) do not
+    /// apply to the in-memory lifecycle; damage the serialized text with
+    /// [`FaultInjector`] instead.
+    pub fn inject(&mut self, fault: Fault, seed: u64) -> Result<(), String> {
+        let mut inj = FaultInjector::new(seed);
+        let slots = self.layout.slot_count() as u64;
+        self.pending = Some(match fault {
+            Fault::CorruptSlot => PendingFault::Arm(WriteFault::CorruptNth(inj.pick(slots))),
+            Fault::DropStore => PendingFault::Arm(WriteFault::DropNth(inj.pick(slots))),
+            Fault::TruncateBuffer => PendingFault::Truncate(inj.pick(slots) as usize),
+            Fault::ExhaustFuel(n) => PendingFault::Fuel(n),
+            Fault::CorruptFile | Fault::TruncateFile => {
+                return Err(format!(
+                    "fault `{fault}` applies to a serialized cache file, not the in-memory \
+                     lifecycle"
+                ))
+            }
+        });
+        Ok(())
+    }
+
+    /// Serves one request: validates and (re)builds the cache as needed,
+    /// then runs the reader — or degrades per the configured [`Policy`].
+    ///
+    /// # Errors
+    ///
+    /// A typed [`RuntimeError`]; under every fault model the returned value
+    /// is either the reference answer or one of these.
+    pub fn run(&mut self, args: &[Value]) -> Result<Outcome, RuntimeError> {
+        self.stats.requests += 1;
+        let fp = self.inputs_fingerprint(args);
+        // A pending buffer fault strikes a warm cache before validation.
+        if self.is_warm() {
+            if let Some(PendingFault::Truncate(n)) = self.pending {
+                self.pending = None;
+                self.cache.truncate(n);
+            }
+        }
+        match self.state {
+            CacheState::Warm { inputs_fp, seal } if inputs_fp == fp => {
+                if let Err(ie) = self.validate(seal) {
+                    self.stats.profile.validation_failures += 1;
+                    self.state = CacheState::Cold;
+                    return self.recover(args, fp, RuntimeError::Integrity(ie));
+                }
+                let fuel = self.take_fuel();
+                match self.exec(Stage::Reader, args, fuel) {
+                    Ok(out) => Ok(out),
+                    Err(e) => {
+                        self.stats.reader_failures += 1;
+                        self.recover(args, fp, RuntimeError::Eval(e))
+                    }
+                }
+            }
+            CacheState::Warm { .. } => {
+                self.stats.stale_reloads += 1;
+                self.reload(args, fp)
+            }
+            CacheState::Cold => self.reload(args, fp),
+        }
+    }
+
+    /// The reference oracle: the fragment, tree-walked, uncached. Chaos
+    /// tests compare every successful [`StagedRunner::run`] against this.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`] of the unspecialized fragment itself.
+    pub fn reference(&self, args: &[Value]) -> Result<Outcome, EvalError> {
+        let mut opts = self.opts.eval;
+        opts.profile = false;
+        Evaluator::with_options(&self.staged, opts).run(&self.entry, args)
+    }
+
+    /// Serializes the warm cache as a checksummed cache file, or `None`
+    /// when cold.
+    pub fn save_cache_text(&self) -> Option<String> {
+        match self.state {
+            CacheState::Warm { inputs_fp, .. } => Some(cachefile::save_cache(
+                &self.cache,
+                self.layout_fp,
+                inputs_fp,
+            )),
+            CacheState::Cold => None,
+        }
+    }
+
+    /// Adopts a previously saved cache file, fully validating it against
+    /// this runner's layout first. On success the cache is warm and
+    /// sealed; a stale inputs fingerprint is then handled by the normal
+    /// lifecycle on the next request.
+    ///
+    /// # Errors
+    ///
+    /// The [`IntegrityError`] of the first validation failure — a damaged
+    /// or mismatched file is *always* rejected, never partially adopted.
+    pub fn load_cache_text(&mut self, text: &str) -> Result<(), RuntimeError> {
+        let loaded = cachefile::parse_cache(text, &self.layout)?;
+        let seal = loaded.cache.content_hash();
+        self.cache = loaded.cache;
+        self.state = CacheState::Warm {
+            inputs_fp: loaded.inputs_fingerprint,
+            seal,
+        };
+        self.ever_loaded = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle internals
+    // ------------------------------------------------------------------
+
+    fn take_fuel(&mut self) -> Option<u64> {
+        if let Some(PendingFault::Fuel(n)) = self.pending {
+            self.pending = None;
+            Some(n)
+        } else {
+            None
+        }
+    }
+
+    /// Pre-reader integrity validation of a warm, sealed cache.
+    fn validate(&self, seal: u64) -> Result<(), IntegrityError> {
+        if self.cache.len() != self.layout.slot_count() {
+            return Err(IntegrityError::LayoutMismatch {
+                detail: format!(
+                    "cache has {} slot(s), layout declares {}",
+                    self.cache.len(),
+                    self.layout.slot_count()
+                ),
+            });
+        }
+        if let Some(slot) = self.cache.first_tampered_slot() {
+            return Err(IntegrityError::TamperedSlot { slot });
+        }
+        let found = self.cache.content_hash();
+        if found != seal {
+            return Err(IntegrityError::SealBroken {
+                expected: seal,
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the loader to (re)build the cache for `fp`, returning the
+    /// loader's own outcome (it computes the result while filling slots).
+    /// Rebuilds beyond the initial load are budget-gated.
+    fn reload(&mut self, args: &[Value], fp: u64) -> Result<Outcome, RuntimeError> {
+        if self.ever_loaded {
+            if self.rebuilds_used >= self.opts.rebuild_budget {
+                return match self.opts.policy {
+                    Policy::FailFast => Err(RuntimeError::RebuildBudgetExhausted {
+                        budget: self.opts.rebuild_budget,
+                    }),
+                    _ => self.fallback(args),
+                };
+            }
+            self.rebuilds_used += 1;
+            self.stats.profile.rebuilds += 1;
+        }
+        self.stats.loads += 1;
+        self.cache = CacheBuf::new(self.layout.slot_count());
+        if let Some(PendingFault::Arm(wf)) = self.pending {
+            self.pending = None;
+            self.cache.arm_write_fault(wf);
+        }
+        let fuel = self.take_fuel();
+        match self.exec(Stage::Loader, args, fuel) {
+            Ok(out) => {
+                self.state = CacheState::Warm {
+                    inputs_fp: fp,
+                    seal: self.cache.content_hash(),
+                };
+                self.ever_loaded = true;
+                // A buffer fault injected while cold strikes right after
+                // the seal, so the next request's validation sees it.
+                if let Some(PendingFault::Truncate(n)) = self.pending {
+                    self.pending = None;
+                    self.cache.truncate(n);
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                self.state = CacheState::Cold;
+                match self.opts.policy {
+                    Policy::FailFast => Err(RuntimeError::Eval(e)),
+                    _ => self.fallback(args),
+                }
+            }
+        }
+    }
+
+    /// Handles a warm-path failure (`err`) per the configured policy. The
+    /// cache has already been marked cold by validation failures; reader
+    /// failures discard it here so a later request may rebuild.
+    fn recover(
+        &mut self,
+        args: &[Value],
+        fp: u64,
+        err: RuntimeError,
+    ) -> Result<Outcome, RuntimeError> {
+        match self.opts.policy {
+            Policy::FailFast => Err(err),
+            Policy::RebuildThenFallback => {
+                self.state = CacheState::Cold;
+                self.reload(args, fp)
+            }
+            Policy::FallbackToUnspecialized => {
+                self.state = CacheState::Cold;
+                self.fallback(args)
+            }
+        }
+    }
+
+    /// Last resort: evaluate the unspecialized fragment for this request.
+    fn fallback(&mut self, args: &[Value]) -> Result<Outcome, RuntimeError> {
+        self.stats.profile.fallbacks += 1;
+        self.exec(Stage::Fragment, args, None)
+            .map_err(RuntimeError::Eval)
+    }
+
+    fn exec(
+        &mut self,
+        stage: Stage,
+        args: &[Value],
+        fuel: Option<u64>,
+    ) -> Result<Outcome, EvalError> {
+        let mut opts = self.opts.eval;
+        if let Some(f) = fuel {
+            opts.step_limit = f;
+        }
+        let (name, with_cache) = match stage {
+            Stage::Fragment => (self.entry.as_str(), false),
+            Stage::Loader => (self.loader_name.as_str(), true),
+            Stage::Reader => (self.reader_name.as_str(), true),
+        };
+        let out = match self.opts.engine {
+            Engine::Tree => {
+                let ev = Evaluator::with_options(&self.staged, opts);
+                if with_cache {
+                    ev.run_with_cache(name, args, &mut self.cache)
+                } else {
+                    ev.run(name, args)
+                }
+            }
+            Engine::Vm => {
+                let cache = if with_cache {
+                    Some(&mut self.cache)
+                } else {
+                    None
+                };
+                self.vm.run(&self.compiled, name, args, cache, opts)
+            }
+        };
+        if let Ok(o) = &out {
+            if let Some(p) = &o.profile {
+                self.stats.profile.merge(p);
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Stage {
+    Fragment,
+    Loader,
+    Reader,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_core::{specialize_source, SpecializeOptions};
+
+    const DOTPROD: &str = "float dotprod(float x1, float y1, float z1,
+                                         float x2, float y2, float z2, float scale) {
+        if (scale != 0.0) { return (x1*x2 + y1*y2 + z1*z2) / scale; }
+        else { return -1.0; }
+    }";
+
+    fn dotprod_runner(opts: RunnerOptions) -> StagedRunner {
+        let spec = specialize_source(
+            DOTPROD,
+            "dotprod",
+            &InputPartition::varying(["z1", "z2"]),
+            &SpecializeOptions::new(),
+        )
+        .expect("specialize");
+        StagedRunner::new(&spec, &InputPartition::varying(["z1", "z2"]), opts)
+    }
+
+    fn argv(z1: f64, z2: f64) -> Vec<Value> {
+        [1.0, 2.0, z1, 4.0, 5.0, z2, 2.0]
+            .iter()
+            .map(|&x| Value::Float(x))
+            .collect()
+    }
+
+    fn argv_fixed(y1: f64, z1: f64, z2: f64) -> Vec<Value> {
+        [1.0, y1, z1, 4.0, 5.0, z2, 2.0]
+            .iter()
+            .map(|&x| Value::Float(x))
+            .collect()
+    }
+
+    #[test]
+    fn warm_requests_use_the_reader_and_match_reference() {
+        for engine in [Engine::Tree, Engine::Vm] {
+            let mut r = dotprod_runner(RunnerOptions {
+                engine,
+                ..RunnerOptions::default()
+            });
+            assert!(!r.is_warm());
+            for (i, z) in [3.0, 6.0, 9.0].iter().enumerate() {
+                let args = argv(*z, *z + 1.0);
+                let want = r.reference(&args).expect("reference").value;
+                let got = r.run(&args).expect("run").value;
+                assert_eq!(got, want, "{engine:?} request {i}");
+            }
+            assert!(r.is_warm());
+            assert_eq!(r.stats().requests, 3);
+            assert_eq!(r.stats().loads, 1, "one cold load, then reader hits");
+            assert_eq!(r.stats().rebuilds(), 0);
+        }
+    }
+
+    #[test]
+    fn stale_invariants_trigger_a_transparent_rebuild() {
+        let mut r = dotprod_runner(RunnerOptions::default());
+        r.run(&argv_fixed(2.0, 3.0, 6.0)).expect("cold");
+        r.run(&argv_fixed(2.0, 4.0, 7.0)).expect("warm");
+        // The fixed input y1 changes: the cache is stale.
+        let args = argv_fixed(9.0, 3.0, 6.0);
+        let want = r.reference(&args).unwrap().value;
+        let got = r.run(&args).expect("rebuild").value;
+        assert_eq!(got, want);
+        assert_eq!(r.stats().stale_reloads, 1);
+        assert_eq!(r.stats().rebuilds(), 1);
+        assert_eq!(r.stats().loads, 2);
+        // And the rebuilt cache serves reads again.
+        let args = argv_fixed(9.0, 5.0, 5.0);
+        assert_eq!(
+            r.run(&args).unwrap().value,
+            r.reference(&args).unwrap().value
+        );
+        assert_eq!(r.stats().loads, 2);
+    }
+
+    #[test]
+    fn rebuild_budget_bounds_loader_reruns() {
+        let mut opts = RunnerOptions {
+            rebuild_budget: 1,
+            policy: Policy::FailFast,
+            ..RunnerOptions::default()
+        };
+        let mut r = dotprod_runner(opts);
+        r.run(&argv_fixed(1.0, 0.0, 0.0)).expect("cold");
+        r.run(&argv_fixed(2.0, 0.0, 0.0)).expect("rebuild 1");
+        let err = r.run(&argv_fixed(3.0, 0.0, 0.0)).unwrap_err();
+        assert_eq!(err, RuntimeError::RebuildBudgetExhausted { budget: 1 });
+
+        // Same exhaustion under the fallback policy still serves requests.
+        opts.policy = Policy::FallbackToUnspecialized;
+        let mut r = dotprod_runner(opts);
+        r.run(&argv_fixed(1.0, 0.0, 0.0)).expect("cold");
+        r.run(&argv_fixed(2.0, 0.0, 0.0)).expect("rebuild 1");
+        let args = argv_fixed(3.0, 0.0, 0.0);
+        let got = r.run(&args).expect("fallback").value;
+        assert_eq!(got, r.reference(&args).unwrap().value);
+        assert_eq!(r.stats().fallbacks(), 1);
+    }
+
+    #[test]
+    fn cache_file_round_trip_resumes_warm() {
+        let mut r = dotprod_runner(RunnerOptions::default());
+        let args = argv(3.0, 6.0);
+        r.run(&args).expect("cold");
+        let text = r.save_cache_text().expect("warm cache serializes");
+
+        let mut fresh = dotprod_runner(RunnerOptions::default());
+        fresh.load_cache_text(&text).expect("adopt");
+        assert!(fresh.is_warm());
+        let got = fresh.run(&args).expect("warm from file").value;
+        assert_eq!(got, fresh.reference(&args).unwrap().value);
+        assert_eq!(fresh.stats().loads, 0, "no loader run was needed");
+    }
+
+    #[test]
+    fn cold_runner_has_no_cache_text() {
+        let r = dotprod_runner(RunnerOptions::default());
+        assert_eq!(r.save_cache_text(), None);
+    }
+
+    #[test]
+    fn profile_merges_across_stages_when_enabled() {
+        let mut r = dotprod_runner(RunnerOptions {
+            eval: EvalOptions {
+                profile: true,
+                ..EvalOptions::default()
+            },
+            ..RunnerOptions::default()
+        });
+        r.run(&argv(3.0, 6.0)).unwrap();
+        r.run(&argv(4.0, 7.0)).unwrap();
+        let p = &r.stats().profile;
+        assert!(p.cache_writes > 0, "loader wrote slots");
+        assert!(p.cache_reads > 0, "reader read slots");
+        assert_eq!(p.rebuilds, 0);
+        // The stats export carries the robustness counters.
+        let doc = r.stats().to_json();
+        assert_eq!(doc.get("requests").unwrap().as_u64(), Some(2));
+        assert!(doc
+            .get("profile")
+            .unwrap()
+            .get("validation_failures")
+            .is_some());
+    }
+
+    #[test]
+    fn policy_round_trips_through_strings() {
+        for p in [
+            Policy::FailFast,
+            Policy::RebuildThenFallback,
+            Policy::FallbackToUnspecialized,
+        ] {
+            assert_eq!(p.to_string().parse::<Policy>().unwrap(), p);
+        }
+        assert!("yolo".parse::<Policy>().is_err());
+    }
+}

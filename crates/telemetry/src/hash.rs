@@ -1,0 +1,106 @@
+//! FNV-1a 64-bit hashing, the workspace's shared fingerprint primitive.
+//!
+//! Cache-lifecycle robustness (ds-runtime) needs one deterministic,
+//! dependency-free hash that every layer agrees on: `ds-core` fingerprints
+//! cache layouts with it, `ds-interp` hashes `CacheBuf` contents, and the
+//! runtime checksums serialized cache files. FNV-1a is tiny, stable across
+//! platforms, and plenty for integrity checking (the threat model is
+//! corruption and drift, not adversaries).
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with FNV-1a 64 in one shot.
+///
+/// # Examples
+///
+/// ```
+/// // The classic FNV-1a test vector: the empty input hashes to the basis.
+/// assert_eq!(ds_telemetry::fnv1a_64(b""), 0xcbf29ce484222325);
+/// assert_ne!(ds_telemetry::fnv1a_64(b"a"), ds_telemetry::fnv1a_64(b"b"));
+/// ```
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    Fnv64::new().bytes(bytes).finish()
+}
+
+/// A streaming FNV-1a 64 hasher for fingerprinting structured data without
+/// building an intermediate buffer.
+///
+/// The `bytes`/`u64`/`str` feeders return `self`, so fingerprints compose
+/// as a builder chain. Multi-field values should be fed with explicit
+/// separators (or fixed-width encodings like [`Fnv64::u64`]) so adjacent
+/// fields cannot alias.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn bytes(mut self, bytes: &[u8]) -> Fnv64 {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feeds a `u64` as eight little-endian bytes (fixed width, so adjacent
+    /// numeric fields cannot alias).
+    pub fn u64(self, v: u64) -> Fnv64 {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Feeds a string's UTF-8 bytes followed by a NUL separator (so
+    /// `"ab","c"` and `"a","bc"` hash differently).
+    pub fn str(self, s: &str) -> Fnv64 {
+        self.bytes(s.as_bytes()).bytes(&[0])
+    }
+
+    /// The hash of everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let one = fnv1a_64(b"hello world");
+        let streamed = Fnv64::new().bytes(b"hello ").bytes(b"world").finish();
+        assert_eq!(one, streamed);
+    }
+
+    #[test]
+    fn separators_prevent_aliasing() {
+        let a = Fnv64::new().str("ab").str("c").finish();
+        let b = Fnv64::new().str("a").str("bc").finish();
+        assert_ne!(a, b);
+        let c = Fnv64::new().u64(1).u64(256).finish();
+        let d = Fnv64::new().u64(256).u64(1).finish();
+        assert_ne!(c, d);
+    }
+}

@@ -14,7 +14,9 @@
 //! * [`json`] — the dependency-free JSON value type, writer **and** reader
 //!   used for `--metrics-out` export and its round-trip validation;
 //! * [`envelope`] / [`validate_envelope`] — the versioned document frame
-//!   (`schema` + `version` fields) every exported metrics file carries.
+//!   (`schema` + `version` fields) every exported metrics file carries;
+//! * [`hash`] — FNV-1a 64 fingerprinting shared by layout fingerprints,
+//!   cache-content hashes and cache-file checksums (ds-runtime).
 //!
 //! The crate is a leaf: it depends on nothing, so the interpreter, the
 //! specializer, the CLI and the bench harness can all speak it without
@@ -28,10 +30,12 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod hash;
 pub mod json;
 pub mod span;
 
 pub use event::TraceEvent;
+pub use hash::{fnv1a_64, Fnv64};
 pub use json::{parse, Json, JsonError};
 pub use span::{PhaseSpan, SpecReport};
 

@@ -1,0 +1,399 @@
+//! Chaos suite: fault injection against the staged-execution runtime.
+//!
+//! The guarantee under test (ISSUE 3's acceptance criterion): for **every
+//! fault class × both engines × every policy**, a [`StagedRunner`] returns
+//! either the *reference answer* (the uncached tree-walked fragment — the
+//! differential oracle) or a **typed `RuntimeError`** — never a silently
+//! wrong value. And a corrupted or truncated cache *file* is always
+//! rejected at load with a typed checksum/layout error.
+//!
+//! Faults are one-shot and seeded, so every scenario here is exactly
+//! reproducible; a second guarantee piggybacks on that: after the fault
+//! has fired and been handled, the runner *heals* — later requests succeed
+//! and match the reference again.
+
+#[path = "common/paper.rs"]
+#[allow(dead_code)]
+mod paper;
+
+use ds_core::{specialize_source, InputPartition, SpecializeOptions};
+use ds_interp::{Engine, EvalOptions, Value};
+use ds_runtime::{
+    Fault, FaultInjector, IntegrityError, Policy, RunnerOptions, RuntimeError, StagedRunner,
+};
+use paper::paper_examples;
+
+const ENGINES: [Engine; 2] = [Engine::Tree, Engine::Vm];
+const POLICIES: [Policy; 3] = [
+    Policy::FailFast,
+    Policy::RebuildThenFallback,
+    Policy::FallbackToUnspecialized,
+];
+
+fn specialized(
+    src: &str,
+    entry: &str,
+    varying: &[&str],
+) -> (ds_core::Specialization, InputPartition) {
+    let part = InputPartition::varying(varying.iter().copied());
+    let spec = specialize_source(src, entry, &part, &SpecializeOptions::new())
+        .unwrap_or_else(|e| panic!("specialize {entry}: {e}"));
+    (spec, part)
+}
+
+fn runner_for(src: &str, entry: &str, varying: &[&str], opts: RunnerOptions) -> StagedRunner {
+    let (spec, part) = specialized(src, entry, varying);
+    StagedRunner::new(&spec, &part, opts)
+}
+
+/// Runs one request and asserts the chaos invariant: a successful outcome
+/// must be bit-identical to the reference oracle; a failure must be the
+/// typed `RuntimeError` (which the type system already guarantees — we
+/// record it for the scenario-level assertions). Returns whether the
+/// request succeeded.
+fn checked_request(r: &mut StagedRunner, args: &[Value], ctx: &str) -> bool {
+    let want = r
+        .reference(args)
+        .unwrap_or_else(|e| panic!("{ctx}: reference oracle failed: {e}"))
+        .value;
+    match r.run(args) {
+        Ok(out) => {
+            match (&out.value, &want) {
+                (Some(got), Some(want)) => {
+                    assert!(
+                        got.bits_eq(want),
+                        "{ctx}: SILENT WRONG VALUE: got {got}, reference {want}"
+                    );
+                }
+                (got, want) => assert_eq!(got, want, "{ctx}: value presence diverged"),
+            }
+            true
+        }
+        Err(_) => false, // typed by construction; callers assert *when* errors may occur
+    }
+}
+
+/// The full fault × engine × policy × example matrix. Each scenario warms
+/// the runner, injects the fault, then drives every argument set twice;
+/// every successful response is differentially checked against the
+/// uncached reference, and the final request must have healed.
+#[test]
+fn no_injected_fault_yields_a_silently_wrong_value() {
+    for ex in paper_examples() {
+        for engine in ENGINES {
+            for policy in POLICIES {
+                for fault in Fault::MEMORY_FAULTS {
+                    for seed in [1u64, 7, 42] {
+                        let ctx = format!("{} {engine:?} {policy:?} {fault} seed={seed}", ex.name);
+                        let mut r = runner_for(
+                            ex.src,
+                            ex.entry,
+                            ex.varying,
+                            RunnerOptions {
+                                engine,
+                                policy,
+                                ..RunnerOptions::default()
+                            },
+                        );
+                        // Warm up on the first argument set.
+                        checked_request(&mut r, &ex.arg_sets[0], &format!("{ctx} warmup"));
+                        r.inject(fault, seed).expect("memory fault");
+                        let mut failures = 0u64;
+                        for round in 0..2 {
+                            for (i, args) in ex.arg_sets.iter().enumerate() {
+                                let ok = checked_request(
+                                    &mut r,
+                                    args,
+                                    &format!("{ctx} round {round} args {i}"),
+                                );
+                                if !ok {
+                                    failures += 1;
+                                }
+                            }
+                        }
+                        // Recovery policies absorb every one-shot fault.
+                        if policy != Policy::FailFast {
+                            assert_eq!(failures, 0, "{ctx}: recovery policy surfaced an error");
+                        }
+                        // One-shot faults always heal: the last request of
+                        // the final round must succeed and match reference.
+                        let last = ex.arg_sets.last().unwrap();
+                        assert!(
+                            checked_request(&mut r, last, &format!("{ctx} healed")),
+                            "{ctx}: runner did not heal after the fault"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pinpoint scenario on dotprod, where the loader deterministically fills
+/// every slot: an armed corrupt-store fault MUST fire, MUST be detected by
+/// validation before the reader can consume the bad slot, and the policies
+/// must take their three distinct paths.
+#[test]
+fn corrupt_store_is_detected_and_policies_diverge_correctly() {
+    let args = &paper_examples()[0].arg_sets[0];
+    for engine in ENGINES {
+        for fault in [Fault::CorruptSlot, Fault::DropStore] {
+            // Fail-fast: the request after the damaged load surfaces a
+            // typed integrity error.
+            let mut r = runner_for(
+                paper::DOTPROD_SRC,
+                "dotprod",
+                &["z1", "z2"],
+                RunnerOptions {
+                    engine,
+                    policy: Policy::FailFast,
+                    ..RunnerOptions::default()
+                },
+            );
+            r.inject(fault, 0).unwrap();
+            let first = r.run(args).expect("loader outcome is still correct");
+            assert_eq!(first.value, r.reference(args).unwrap().value);
+            let err = r.run(args).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    RuntimeError::Integrity(IntegrityError::TamperedSlot { .. })
+                ),
+                "{engine:?} {fault}: expected TamperedSlot, got {err}"
+            );
+            assert_eq!(r.stats().validation_failures(), 1);
+            // And it heals: the next request rebuilds cleanly.
+            let healed = r.run(args).expect("clean rebuild");
+            assert_eq!(healed.value, r.reference(args).unwrap().value);
+            assert_eq!(r.stats().rebuilds(), 1);
+
+            // Rebuild policy: the bad cache is rebuilt within the request.
+            let mut r = runner_for(
+                paper::DOTPROD_SRC,
+                "dotprod",
+                &["z1", "z2"],
+                RunnerOptions {
+                    engine,
+                    policy: Policy::RebuildThenFallback,
+                    ..RunnerOptions::default()
+                },
+            );
+            r.inject(fault, 0).unwrap();
+            r.run(args).unwrap();
+            let out = r.run(args).expect("transparent rebuild");
+            assert_eq!(out.value, r.reference(args).unwrap().value);
+            assert_eq!(r.stats().validation_failures(), 1);
+            assert_eq!(r.stats().rebuilds(), 1);
+            assert_eq!(r.stats().fallbacks(), 0);
+
+            // Fallback policy: the request is served unspecialized.
+            let mut r = runner_for(
+                paper::DOTPROD_SRC,
+                "dotprod",
+                &["z1", "z2"],
+                RunnerOptions {
+                    engine,
+                    policy: Policy::FallbackToUnspecialized,
+                    ..RunnerOptions::default()
+                },
+            );
+            r.inject(fault, 0).unwrap();
+            r.run(args).unwrap();
+            let out = r.run(args).expect("unspecialized fallback");
+            assert_eq!(out.value, r.reference(args).unwrap().value);
+            assert_eq!(r.stats().fallbacks(), 1);
+            assert_eq!(r.stats().rebuilds(), 0, "fallback must not rebuild inline");
+        }
+    }
+}
+
+/// A truncated buffer breaks the structural check; an exhausted step limit
+/// surfaces as the engine's own typed error under fail-fast.
+#[test]
+fn truncation_and_fuel_faults_take_their_taxonomy_paths() {
+    let args = &paper_examples()[0].arg_sets[0];
+    for engine in ENGINES {
+        let mut r = runner_for(
+            paper::DOTPROD_SRC,
+            "dotprod",
+            &["z1", "z2"],
+            RunnerOptions {
+                engine,
+                policy: Policy::FailFast,
+                ..RunnerOptions::default()
+            },
+        );
+        r.run(args).unwrap();
+        r.inject(Fault::TruncateBuffer, 3).unwrap();
+        let err = r.run(args).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RuntimeError::Integrity(
+                    IntegrityError::LayoutMismatch { .. } | IntegrityError::SealBroken { .. }
+                )
+            ),
+            "{engine:?}: truncation must be a layout/seal violation, got {err}"
+        );
+
+        let mut r = runner_for(
+            paper::DOTPROD_SRC,
+            "dotprod",
+            &["z1", "z2"],
+            RunnerOptions {
+                engine,
+                policy: Policy::FailFast,
+                ..RunnerOptions::default()
+            },
+        );
+        r.run(args).unwrap();
+        r.inject(Fault::ExhaustFuel(3), 0).unwrap();
+        let err = r.run(args).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::Eval(ds_interp::EvalError::StepLimit),
+            "{engine:?}"
+        );
+        // One-shot: the step limit is restored afterwards.
+        let healed = r.run(args).expect("fuel restored");
+        assert_eq!(healed.value, r.reference(args).unwrap().value);
+    }
+}
+
+/// Every single-byte corruption and every truncation of a cache file is
+/// either rejected with a typed integrity error or — in the rare benign
+/// case — parses to a cache *semantically identical* to the original.
+/// There is no third outcome.
+#[test]
+fn damaged_cache_files_are_always_rejected_or_harmless() {
+    let (spec, part) = specialized(paper::DOTPROD_SRC, "dotprod", &["z1", "z2"]);
+    let mut r = StagedRunner::new(&spec, &part, RunnerOptions::default());
+    let args = &paper_examples()[0].arg_sets[0];
+    r.run(args).unwrap();
+    let text = r.save_cache_text().expect("warm");
+    let pristine = ds_runtime::parse_cache(&text, &spec.layout).expect("pristine loads");
+
+    // Exhaustive single-byte flips.
+    let bytes = text.as_bytes();
+    for i in 0..bytes.len() {
+        let mut mutated = bytes.to_vec();
+        mutated[i] ^= 1; // stays ASCII: still a valid String
+        let mutated = String::from_utf8(mutated).unwrap();
+        match ds_runtime::parse_cache(&mutated, &spec.layout) {
+            Err(_) => {} // typed rejection: the required outcome
+            Ok(loaded) => assert_eq!(
+                (loaded.cache.content_hash(), loaded.inputs_fingerprint),
+                (pristine.cache.content_hash(), pristine.inputs_fingerprint),
+                "byte {i}: accepted a semantically different cache"
+            ),
+        }
+    }
+
+    // Every truncation point. Cuts that only shave trailing whitespace
+    // still parse — they must then be semantically identical; every cut
+    // into the document body must be rejected.
+    for cut in 0..text.len() {
+        match ds_runtime::parse_cache(&text[..cut], &spec.layout) {
+            Err(_) => {}
+            Ok(loaded) => assert_eq!(
+                (loaded.cache.content_hash(), loaded.inputs_fingerprint),
+                (pristine.cache.content_hash(), pristine.inputs_fingerprint),
+                "truncation at {cut}: accepted a semantically different cache"
+            ),
+        }
+    }
+
+    // Seeded file faults through the injector, as the CLI applies them.
+    for seed in 0..32u64 {
+        let mut inj = FaultInjector::new(seed);
+        let corrupted = inj.corrupt_text(&text);
+        if let Ok(loaded) = ds_runtime::parse_cache(&corrupted, &spec.layout) {
+            assert_eq!(loaded.cache.content_hash(), pristine.cache.content_hash());
+        }
+        assert!(
+            ds_runtime::parse_cache(&inj.truncate_text(&text), &spec.layout).is_err(),
+            "seed {seed}: truncated file accepted"
+        );
+    }
+}
+
+/// A cache file saved under one specialization never loads under another
+/// (layout fingerprint), and a runner adopting a valid file serves
+/// requests that match the reference.
+#[test]
+fn cross_specialization_cache_files_are_rejected() {
+    let (spec_a, part_a) = specialized(paper::DOTPROD_SRC, "dotprod", &["z1", "z2"]);
+    let mut a = StagedRunner::new(&spec_a, &part_a, RunnerOptions::default());
+    let args = &paper_examples()[0].arg_sets[0];
+    a.run(args).unwrap();
+    let text = a.save_cache_text().unwrap();
+
+    // Same program, different partition: different layout.
+    let (spec_b, part_b) = specialized(paper::DOTPROD_SRC, "dotprod", &["z1", "z2", "scale"]);
+    let mut b = StagedRunner::new(&spec_b, &part_b, RunnerOptions::default());
+    let err = b.load_cache_text(&text).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            RuntimeError::Integrity(IntegrityError::LayoutMismatch { .. })
+        ),
+        "{err}"
+    );
+
+    // Adoption by a matching runner works and is differentially correct.
+    for engine in ENGINES {
+        let mut fresh = StagedRunner::new(
+            &spec_a,
+            &part_a,
+            RunnerOptions {
+                engine,
+                ..RunnerOptions::default()
+            },
+        );
+        fresh.load_cache_text(&text).expect("matching layout");
+        assert!(checked_request(&mut fresh, args, "adopted cache"));
+        assert_eq!(fresh.stats().loads, 0);
+    }
+}
+
+/// Robustness counters surface in the exported metrics document.
+#[test]
+fn robustness_counters_reach_the_metrics_export() {
+    let mut r = runner_for(
+        paper::DOTPROD_SRC,
+        "dotprod",
+        &["z1", "z2"],
+        RunnerOptions {
+            policy: Policy::RebuildThenFallback,
+            eval: EvalOptions {
+                profile: true,
+                ..EvalOptions::default()
+            },
+            ..RunnerOptions::default()
+        },
+    );
+    let args = &paper_examples()[0].arg_sets[0];
+    // Armed before the cold load: the corrupt store fires inside the
+    // loader, the second request detects it and transparently rebuilds.
+    r.inject(Fault::CorruptSlot, 5).unwrap();
+    r.run(args).unwrap();
+    r.run(args).unwrap();
+    let doc = r.stats().to_json();
+    let profile = doc.get("profile").expect("profile");
+    assert_eq!(
+        profile.get("validation_failures").unwrap().as_u64(),
+        Some(1)
+    );
+    assert_eq!(profile.get("rebuilds").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("loads").unwrap().as_u64(), Some(2));
+    // The same counters round-trip through the JSON parser.
+    let back = ds_telemetry::parse(&doc.pretty()).unwrap();
+    assert_eq!(
+        back.get("profile")
+            .unwrap()
+            .get("rebuilds")
+            .unwrap()
+            .as_u64(),
+        Some(1)
+    );
+}

@@ -229,6 +229,113 @@ fn readers_fail_identically_on_cold_or_missing_cache() {
     assert!(exercised >= 3, "too few examples have cache slots");
 }
 
+/// Cache-misuse errors must agree *field for field* — not just the same
+/// variant, but the same slot index, the same attached-cache length, and
+/// the same source span — across every paper example and both engines:
+///
+/// * `NoCache` when a loader or reader runs with no cache attached;
+/// * `UnfilledSlot` when a reader consumes a cold (never-loaded) cache;
+/// * `CacheOutOfBounds` when a loader stores into a buffer sized for a
+///   different (here: empty) layout.
+#[test]
+fn cache_misuse_errors_agree_field_for_field() {
+    let mut no_cache_hits = 0;
+    let mut unfilled_hits = 0;
+    let mut oob_hits = 0;
+    for ex in paper_examples() {
+        let spec = specialize_source(
+            ex.src,
+            ex.entry,
+            &InputPartition::varying(ex.varying.iter().copied()),
+            &SpecializeOptions::new(),
+        )
+        .unwrap_or_else(|e| panic!("{}: specialize: {e}", ex.name));
+        if spec.slot_count() == 0 {
+            continue;
+        }
+        let staged = spec.as_program();
+        let loader = format!("{}__loader", ex.entry);
+        let reader = format!("{}__reader", ex.entry);
+        let args = &ex.arg_sets[0];
+
+        // No cache attached: both stages must refuse at their first cache
+        // operation, pointing at the same source location.
+        for proc in [loader.as_str(), reader.as_str()] {
+            let t = Engine::Tree.run_program(&staged, proc, args, None, popts());
+            let v = Engine::Vm.run_program(&staged, proc, args, None, popts());
+            assert_agree(&format!("{} {proc} w/o cache", ex.name), &t, &v);
+            if let (Err(EvalError::NoCache(ts)), Err(EvalError::NoCache(vs))) = (&t, &v) {
+                assert_eq!(ts, vs, "{} {proc}: NoCache span diverges", ex.name);
+                no_cache_hits += 1;
+            }
+        }
+
+        // Cold cache: the reader's first slot read fails with the same
+        // slot index and the same span on both engines.
+        let mut tc = CacheBuf::new(spec.slot_count());
+        let mut vc = CacheBuf::new(spec.slot_count());
+        let t = Engine::Tree.run_program(&staged, &reader, args, Some(&mut tc), popts());
+        let v = Engine::Vm.run_program(&staged, &reader, args, Some(&mut vc), popts());
+        assert_agree(&format!("{} reader on cold cache", ex.name), &t, &v);
+        if let (
+            Err(EvalError::UnfilledSlot {
+                slot: ts,
+                span: tspan,
+            }),
+            Err(EvalError::UnfilledSlot {
+                slot: vs,
+                span: vspan,
+            }),
+        ) = (&t, &v)
+        {
+            assert_eq!(ts, vs, "{}: UnfilledSlot slot diverges", ex.name);
+            assert_eq!(tspan, vspan, "{}: UnfilledSlot span diverges", ex.name);
+            assert!(*ts < spec.slot_count(), "{}: slot out of layout", ex.name);
+            unfilled_hits += 1;
+        }
+
+        // Undersized buffer: the loader's first store lands out of bounds
+        // with the same slot, reported length, and span on both engines.
+        let mut tc = CacheBuf::new(0);
+        let mut vc = CacheBuf::new(0);
+        let t = Engine::Tree.run_program(&staged, &loader, args, Some(&mut tc), popts());
+        let v = Engine::Vm.run_program(&staged, &loader, args, Some(&mut vc), popts());
+        assert_agree(&format!("{} loader on empty cache", ex.name), &t, &v);
+        match (&t, &v) {
+            (
+                Err(EvalError::CacheOutOfBounds {
+                    slot: ts,
+                    len: tl,
+                    span: tspan,
+                }),
+                Err(EvalError::CacheOutOfBounds {
+                    slot: vs,
+                    len: vl,
+                    span: vspan,
+                }),
+            ) => {
+                assert_eq!(ts, vs, "{}: OOB slot diverges", ex.name);
+                assert_eq!(tl, vl, "{}: OOB len diverges", ex.name);
+                assert_eq!(tspan, vspan, "{}: OOB span diverges", ex.name);
+                assert_eq!(*tl, 0, "{}: reported len should be 0", ex.name);
+                oob_hits += 1;
+            }
+            _ => panic!(
+                "{}: loader with empty cache should store out of bounds, got {t:?}",
+                ex.name
+            ),
+        }
+    }
+    // Every class must actually fire somewhere — a vacuous pass would mean
+    // the examples stopped exercising these paths.
+    assert!(no_cache_hits >= 3, "too few NoCache hits: {no_cache_hits}");
+    assert!(
+        unfilled_hits >= 1,
+        "too few UnfilledSlot hits: {unfilled_hits}"
+    );
+    assert!(oob_hits >= 3, "too few CacheOutOfBounds hits: {oob_hits}");
+}
+
 /// Runtime error paths agree exactly (class and span).
 #[test]
 fn runtime_errors_agree() {
