@@ -31,8 +31,8 @@ use crate::costmodel::is_trivial;
 use crate::depend::Dependence;
 use crate::index::TermIndex;
 use crate::reachdef::{DefId, ReachingDefs};
+use crate::table::TermTable;
 use ds_lang::{BinOp, ExprKind, StmtKind, TermId, Type, TypeInfo};
-use std::collections::HashMap;
 
 /// Configuration of the caching analysis.
 ///
@@ -136,13 +136,13 @@ pub struct CacheSolver<'a, 'p> {
     dep: &'a Dependence,
     types: &'a TypeInfo,
     opts: CachingOptions,
-    labels: HashMap<TermId, Label>,
-    reasons: HashMap<TermId, Reason>,
+    labels: TermTable<Label>,
+    reasons: TermTable<Reason>,
     worklist: Vec<TermId>,
     /// Cached terms under dependent control (speculation only), mapped to
     /// the hoist anchor: the outermost dependent guard *statement* before
     /// which the loader must fill the slot.
-    speculative: HashMap<TermId, TermId>,
+    speculative: TermTable<TermId>,
     /// Telemetry: total worklist items processed across `run()` calls
     /// (including limiter-triggered reruns).
     worklist_pops: u64,
@@ -174,10 +174,10 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
             dep,
             types,
             opts,
-            labels: HashMap::new(),
-            reasons: HashMap::new(),
+            labels: ix.table(),
+            reasons: ix.table(),
             worklist: Vec::new(),
-            speculative: HashMap::new(),
+            speculative: ix.table(),
             worklist_pops: 0,
         };
         solver.seed_basis();
@@ -189,7 +189,7 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
     /// loader must hoist the slot fill; `None` for ordinarily cached terms.
     pub fn speculative_anchor(&self, id: TermId) -> Option<TermId> {
         if self.label(id) == Label::Cached {
-            self.speculative.get(&id).copied()
+            self.speculative.get(id).copied()
         } else {
             None
         }
@@ -197,20 +197,18 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
 
     /// The label of term `id` (Rule 8: unlabeled means static).
     pub fn label(&self, id: TermId) -> Label {
-        self.labels.get(&id).copied().unwrap_or(Label::Static)
+        self.labels.get(id).copied().unwrap_or(Label::Static)
     }
 
     /// All currently cached terms, in ascending id order (i.e. program
-    /// order), which gives cache slots a deterministic layout.
+    /// order), which gives cache slots a deterministic layout. The dense
+    /// table iterates in id order already, so no sort is needed.
     pub fn cached_terms(&self) -> Vec<TermId> {
-        let mut v: Vec<TermId> = self
-            .labels
+        self.labels
             .iter()
             .filter(|(_, &l)| l == Label::Cached)
-            .map(|(&id, _)| id)
-            .collect();
-        v.sort_unstable();
-        v
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Counts of (static, cached, dynamic) labels over all terms.
@@ -238,7 +236,7 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
 
     /// The first rule that fired for `id`, or `None` for static terms.
     pub fn reason(&self, id: TermId) -> Option<Reason> {
-        self.reasons.get(&id).copied()
+        self.reasons.get(id).copied()
     }
 
     /// Telemetry: worklist items processed so far (Rules 4–7 firings plus
@@ -251,17 +249,14 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
     /// fired for it, in ascending term-id (program) order — the decision
     /// trace the telemetry events are built from.
     pub fn labeled_terms(&self) -> Vec<(TermId, Label, Reason)> {
-        let mut v: Vec<(TermId, Label, Reason)> = self
-            .labels
+        self.labels
             .iter()
             .filter(|(_, &l)| l != Label::Static)
-            .map(|(&id, &l)| {
+            .map(|(id, &l)| {
                 let reason = self.reason(id).expect("labeled terms carry a reason");
                 (id, l, reason)
             })
-            .collect();
-        v.sort_unstable_by_key(|(id, _, _)| *id);
-        v
+            .collect()
     }
 
     /// Follows the provenance chain from `id` back to a basis cause:
@@ -338,7 +333,7 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
             self.labels.insert(id, to);
             self.reasons.insert(id, why);
             if to == Label::Dynamic {
-                self.speculative.remove(&id);
+                self.speculative.remove(id);
                 self.worklist.push(id);
             }
         }

@@ -21,26 +21,27 @@
 //! control** (guarded by a dependent predicate, including ternary branches) —
 //! the input to caching Rule 3's speculation avoidance.
 
+use crate::table::TermSet;
 use ds_lang::{Block, Expr, ExprKind, Proc, Stmt, StmtKind, TermId};
 use std::collections::{HashMap, HashSet};
 
 /// Result of dependence analysis for one procedure.
 #[derive(Debug, Clone, Default)]
 pub struct Dependence {
-    dependent: HashSet<TermId>,
-    under_dep_control: HashSet<TermId>,
+    dependent: TermSet,
+    under_dep_control: TermSet,
     fixpoint_passes: u64,
 }
 
 impl Dependence {
     /// Whether term `id`'s value or effects may depend on a varying input.
     pub fn is_dependent(&self, id: TermId) -> bool {
-        self.dependent.contains(&id)
+        self.dependent.contains(id)
     }
 
     /// Whether term `id` is guarded by a predicate that is itself dependent.
     pub fn is_under_dependent_control(&self, id: TermId) -> bool {
-        self.under_dep_control.contains(&id)
+        self.under_dep_control.contains(id)
     }
 
     /// Number of dependent terms (used by tests and diagnostics).

@@ -5,15 +5,20 @@
 //! side tables indexed by the dense ids that [`ds_lang::Program::renumber`]
 //! assigns. This module builds those tables in one pass.
 
+use crate::table::TermTable;
 use ds_lang::{Block, Builtin, Expr, ExprKind, Proc, Stmt, StmtKind, TermId};
-use std::collections::HashMap;
 
 /// Borrowed random-access view of a procedure's terms.
 #[derive(Debug)]
 pub struct TermIndex<'p> {
-    exprs: HashMap<TermId, &'p Expr>,
-    stmts: HashMap<TermId, &'p Stmt>,
-    ctx: HashMap<TermId, TermCtx>,
+    exprs: TermTable<&'p Expr>,
+    stmts: TermTable<&'p Stmt>,
+    ctx: TermTable<TermCtx>,
+    /// Lowest term id of the procedure (ids are program-wide dense, so a
+    /// procedure's terms occupy `base..base + span`).
+    base: TermId,
+    /// Width of the id range (== `term_count` once ids are dense).
+    span: usize,
     term_count: usize,
 }
 
@@ -44,10 +49,30 @@ impl<'p> TermIndex<'p> {
     /// Panics if two terms share an id (call [`ds_lang::Program::renumber`]
     /// after tree rewrites).
     pub fn build(proc: &'p Proc) -> Self {
+        // First pass: the procedure's id range, so the dense tables are
+        // allocated once instead of growing during the walk.
+        let mut lo = u32::MAX;
+        let mut hi = 0u32;
+        let mut count = 0usize;
+        let mut span = |id: TermId| {
+            lo = lo.min(id.0);
+            hi = hi.max(id.0);
+            count += 1;
+        };
+        proc.walk_stmts(&mut |s| span(s.id));
+        proc.walk_exprs(&mut |e| span(e.id));
+        let base = TermId(if count == 0 { 0 } else { lo });
+        let span_len = if count == 0 {
+            0
+        } else {
+            (hi - base.0) as usize + 1
+        };
         let mut ix = TermIndex {
-            exprs: HashMap::new(),
-            stmts: HashMap::new(),
-            ctx: HashMap::new(),
+            exprs: TermTable::with_range(base, span_len),
+            stmts: TermTable::with_range(base, span_len),
+            ctx: TermTable::with_range(base, span_len),
+            base,
+            span: span_len,
             term_count: 0,
         };
         let mut walk = Walk {
@@ -60,19 +85,32 @@ impl<'p> TermIndex<'p> {
         ix
     }
 
+    /// The procedure's id range as `(base, span)`: every term id `t`
+    /// satisfies `base.0 <= t.0 < base.0 + span`. Use [`TermIndex::table`]
+    /// to allocate a side table aligned to it.
+    pub fn id_range(&self) -> (TermId, usize) {
+        (self.base, self.span)
+    }
+
+    /// An empty dense side table sized for this procedure's terms.
+    pub fn table<T>(&self) -> TermTable<T> {
+        let (base, span) = self.id_range();
+        TermTable::with_range(base, span)
+    }
+
     /// The expression with id `id`, if any.
     pub fn expr(&self, id: TermId) -> Option<&'p Expr> {
-        self.exprs.get(&id).copied()
+        self.exprs.get(id).copied()
     }
 
     /// The statement with id `id`, if any.
     pub fn stmt(&self, id: TermId) -> Option<&'p Stmt> {
-        self.stmts.get(&id).copied()
+        self.stmts.get(id).copied()
     }
 
     /// Whether `id` names an expression (as opposed to a statement).
     pub fn is_expr(&self, id: TermId) -> bool {
-        self.exprs.contains_key(&id)
+        self.exprs.contains(id)
     }
 
     /// The structural context of `id`.
@@ -82,7 +120,7 @@ impl<'p> TermIndex<'p> {
     /// Panics if `id` is not a term of the indexed procedure.
     pub fn ctx(&self, id: TermId) -> &TermCtx {
         self.ctx
-            .get(&id)
+            .get(id)
             .unwrap_or_else(|| panic!("{id} is not a term of the indexed procedure"))
     }
 
@@ -91,14 +129,14 @@ impl<'p> TermIndex<'p> {
         self.term_count
     }
 
-    /// All statement ids (unordered).
+    /// All statement ids, in ascending (program) order.
     pub fn stmt_ids(&self) -> impl Iterator<Item = TermId> + '_ {
-        self.stmts.keys().copied()
+        self.stmts.ids()
     }
 
-    /// All expression ids (unordered).
+    /// All expression ids, in ascending (program) order.
     pub fn expr_ids(&self) -> impl Iterator<Item = TermId> + '_ {
-        self.exprs.keys().copied()
+        self.exprs.ids()
     }
 
     /// Whether the subtree rooted at expression `id` contains a call with a

@@ -60,6 +60,7 @@ pub mod inline;
 pub mod normalize;
 pub mod reachdef;
 pub mod reassoc;
+pub mod table;
 
 pub use caching::{CacheSolver, CachingOptions, Label, Reason};
 pub use costmodel::{is_trivial, plain_cost, weighted_cost};
@@ -69,3 +70,4 @@ pub use inline::{inline_entry, InlineError};
 pub use normalize::insert_phis;
 pub use reachdef::{reaching_defs, DefId, ReachingDefs};
 pub use reassoc::reassociate;
+pub use table::{TermSet, TermTable};

@@ -1,0 +1,238 @@
+//! Dense per-term side tables.
+//!
+//! [`ds_lang::Program::renumber`] assigns every term a dense, contiguous
+//! [`TermId`], and one procedure's terms occupy one contiguous range of
+//! that numbering. Every analysis in this crate keys its side state by
+//! those ids, so hash maps pay hashing and probing for what is really
+//! array indexing. [`TermTable`] and [`TermSet`] are the array versions:
+//! a `Vec` of slots (offset by the procedure's lowest id) and a bitset.
+//! Lookups are a bounds check plus an index, and iteration is in
+//! ascending id order — program order — for free, which the cache layout
+//! relies on for determinism.
+
+use ds_lang::TermId;
+
+/// A dense map from [`TermId`] to `T`, backed by a `Vec` offset by the
+/// lowest id it has seen. Inserting outside the current range grows the
+/// table (amortized, like a `Vec`), so it behaves like a total map.
+#[derive(Debug, Clone)]
+pub struct TermTable<T> {
+    base: u32,
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T> Default for TermTable<T> {
+    fn default() -> Self {
+        TermTable {
+            base: 0,
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> TermTable<T> {
+    /// An empty table; the base offset is fixed by the first insertion.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty table preallocated for ids in `base..base + len`.
+    pub fn with_range(base: TermId, len: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(len, || None);
+        TermTable {
+            base: base.0,
+            slots,
+            len: 0,
+        }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entry is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn slot(&self, id: TermId) -> Option<usize> {
+        let raw = id.0;
+        if raw < self.base {
+            return None;
+        }
+        let i = (raw - self.base) as usize;
+        (i < self.slots.len()).then_some(i)
+    }
+
+    /// Grows (in either direction) until `id` has a slot, returning its
+    /// index.
+    fn slot_mut(&mut self, id: TermId) -> usize {
+        let raw = id.0;
+        if self.slots.is_empty() {
+            self.base = raw;
+        } else if raw < self.base {
+            let extra = (self.base - raw) as usize;
+            self.slots
+                .splice(0..0, std::iter::repeat_with(|| None).take(extra));
+            self.base = raw;
+        }
+        let i = (raw - self.base) as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        i
+    }
+
+    /// Inserts `value` for `id`, returning the previous value if any.
+    pub fn insert(&mut self, id: TermId, value: T) -> Option<T> {
+        let i = self.slot_mut(id);
+        let prev = self.slots[i].replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes and returns the entry for `id`.
+    pub fn remove(&mut self, id: TermId) -> Option<T> {
+        let i = self.slot(id)?;
+        let prev = self.slots[i].take();
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
+    /// The entry for `id`, if occupied.
+    pub fn get(&self, id: TermId) -> Option<&T> {
+        self.slots[self.slot(id)?].as_ref()
+    }
+
+    /// Whether `id` is occupied.
+    pub fn contains(&self, id: TermId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Occupied ids in ascending (program) order.
+    pub fn ids(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| TermId(self.base + i as u32))
+    }
+
+    /// Occupied `(id, value)` pairs in ascending (program) order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &T)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (TermId(self.base + i as u32), v)))
+    }
+
+    /// Occupied values in ascending id order.
+    pub fn values(&self) -> impl Iterator<Item = &T> + '_ {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+}
+
+/// A dense set of [`TermId`]s: one bit per id, growable like
+/// [`TermTable`]. Ids are program-wide dense, so the bitset stays within
+/// a word or two per 64 terms.
+#[derive(Debug, Clone, Default)]
+pub struct TermSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl TermSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `id`; returns whether it was newly inserted.
+    pub fn insert(&mut self, id: TermId) -> bool {
+        let (word, bit) = (id.0 as usize / 64, id.0 as usize % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `id` is a member.
+    pub fn contains(&self, id: TermId) -> bool {
+        let (word, bit) = (id.0 as usize / 64, id.0 as usize % 64);
+        self.bits.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trips_and_iterates_in_id_order() {
+        let mut t: TermTable<&str> = TermTable::with_range(TermId(10), 4);
+        assert!(t.is_empty());
+        assert_eq!(t.insert(TermId(12), "c"), None);
+        assert_eq!(t.insert(TermId(10), "a"), None);
+        assert_eq!(t.insert(TermId(12), "c2"), Some("c"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(TermId(10)), Some(&"a"));
+        assert_eq!(t.get(TermId(11)), None);
+        assert_eq!(t.get(TermId(9)), None, "below base");
+        let ids: Vec<TermId> = t.ids().collect();
+        assert_eq!(ids, vec![TermId(10), TermId(12)]);
+        assert_eq!(t.remove(TermId(12)), Some("c2"));
+        assert_eq!(t.remove(TermId(12)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn table_grows_in_both_directions() {
+        let mut t: TermTable<u32> = TermTable::new();
+        t.insert(TermId(100), 1);
+        t.insert(TermId(200), 2);
+        t.insert(TermId(50), 3);
+        assert_eq!(t.get(TermId(100)), Some(&1));
+        assert_eq!(t.get(TermId(200)), Some(&2));
+        assert_eq!(t.get(TermId(50)), Some(&3));
+        let ids: Vec<u32> = t.ids().map(|i| i.0).collect();
+        assert_eq!(ids, vec![50, 100, 200]);
+    }
+
+    #[test]
+    fn set_insert_contains_len() {
+        let mut s = TermSet::new();
+        assert!(s.insert(TermId(3)));
+        assert!(!s.insert(TermId(3)), "duplicate");
+        assert!(s.insert(TermId(64)));
+        assert!(s.contains(TermId(3)));
+        assert!(!s.contains(TermId(4)));
+        assert!(s.contains(TermId(64)));
+        assert!(!s.contains(TermId(1000)), "beyond allocation");
+        assert_eq!(s.len(), 2);
+    }
+}

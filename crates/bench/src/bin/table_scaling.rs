@@ -1,0 +1,76 @@
+//! Parallel-serving scaling — throughput vs worker count for request
+//! streams mixing different numbers of invariant contexts. Every cell is
+//! checked against the single-threaded reference before its throughput is
+//! reported, so the table cannot trade correctness for speed.
+//!
+//! `--dry-run` shrinks the matrix for CI smoke runs.
+
+use ds_bench::{exp_scaling, f, table, ScalingCell};
+
+fn main() {
+    let dry_run = std::env::args().any(|a| a == "--dry-run");
+    let (requests, workers, contexts, capacity): (usize, &[usize], &[usize], usize) = if dry_run {
+        (128, &[1, 2], &[1, 4], 8)
+    } else {
+        (4096, &[1, 2, 4, 8], &[1, 4, 16], 32)
+    };
+
+    println!("=== Parallel serving: throughput vs workers x invariant churn ===");
+    if dry_run {
+        println!("(dry run)");
+    }
+    println!();
+
+    let cells = exp_scaling(requests, workers, contexts, capacity);
+    let mismatches: Vec<&ScalingCell> = cells.iter().filter(|c| !c.answers_match).collect();
+
+    let mut rows = vec![vec![
+        "contexts".to_string(),
+        "workers".to_string(),
+        "elapsed ms".to_string(),
+        "req/s".to_string(),
+        "speedup".to_string(),
+        "loads".to_string(),
+        "store hits".to_string(),
+        "evictions".to_string(),
+        "answers".to_string(),
+    ]];
+    for &ctx in contexts {
+        let base = cells
+            .iter()
+            .find(|c| c.distinct_contexts == ctx && c.workers == 1)
+            .map(|c| c.throughput)
+            .unwrap_or(f64::NAN);
+        for c in cells.iter().filter(|c| c.distinct_contexts == ctx) {
+            rows.push(vec![
+                c.distinct_contexts.to_string(),
+                c.workers.to_string(),
+                f(c.elapsed_nanos as f64 / 1e6, 2),
+                f(c.throughput, 0),
+                format!("{}x", f(c.throughput / base, 2)),
+                c.loads.to_string(),
+                c.store_hits.to_string(),
+                c.store_evictions.to_string(),
+                if c.answers_match { "ok" } else { "MISMATCH" }.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table(&rows));
+    println!(
+        "\n{requests} dotprod requests per cell, store capacity {capacity}; request i \
+         belongs to invariant context i mod `contexts`, its varying inputs\n\
+         change every request. Workers split the stream into contiguous chunks, \
+         each a session over the shared artifact + polyvariant store; `speedup`\n\
+         is throughput relative to the same stream served by one worker. Every \
+         cell's answers are compared against the single-threaded tree-walked\n\
+         reference before timing is reported."
+    );
+
+    if !mismatches.is_empty() {
+        eprintln!(
+            "error: {} cell(s) diverged from the reference",
+            mismatches.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,7 @@
 //! | `figure10_limit_norm` | Figure 10 — % of max speedup vs limit |
 //! | `table_code_growth` | §3.3 — loader+reader < 2× fragment |
 //! | `table_code_vs_data` | §6.1 — code- vs data-specialization trade-off |
+//! | `table_scaling` | beyond the paper — parallel serving throughput vs workers × invariant churn |
 //! | `repro_all` | everything above, plus a consolidated summary |
 //!
 //! Criterion benches under `benches/` measure the same pipelines in

@@ -42,6 +42,8 @@ const VALUE_OPTIONS: &[&str] = &[
     "cache-file",
     "inject",
     "seed",
+    "workers",
+    "store-capacity",
 ];
 
 /// Parses raw arguments (excluding the program name).
@@ -204,6 +206,34 @@ impl Args {
         }
     }
 
+    /// `--workers N`: serving threads for `serve` (1 by default; each
+    /// worker gets its own session over the shared artifact and store).
+    pub fn workers(&self) -> Result<usize, UsageError> {
+        match self.options.get("workers") {
+            None => Ok(1),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(UsageError(format!(
+                    "--workers expects a thread count >= 1, got `{v}`"
+                ))),
+            },
+        }
+    }
+
+    /// `--store-capacity N`: maximum sealed caches the polyvariant store
+    /// keeps (one per invariant fingerprint), LRU-evicted beyond that.
+    pub fn store_capacity(&self) -> Result<Option<usize>, UsageError> {
+        match self.options.get("store-capacity") {
+            None => Ok(None),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(UsageError(format!(
+                    "--store-capacity expects an entry count >= 1, got `{v}`"
+                ))),
+            },
+        }
+    }
+
     /// `--seed N` for deterministic fault placement (0 by default).
     pub fn seed(&self) -> Result<u64, UsageError> {
         match self.options.get("seed") {
@@ -333,12 +363,23 @@ mod tests {
         assert_eq!(a.inject().unwrap(), Some(ds_runtime::Fault::DropStore));
         assert_eq!(a.seed().unwrap(), 9);
 
+        let a = parse_ok(&["serve", "f.mc", "--workers", "4", "--store-capacity", "32"]);
+        assert_eq!(a.workers().unwrap(), 4);
+        assert_eq!(a.store_capacity().unwrap(), Some(32));
+
         let a = parse_ok(&["serve", "f.mc"]);
         assert_eq!(a.requests(), None);
         assert_eq!(a.policy().unwrap(), ds_runtime::Policy::default());
         assert_eq!(a.rebuild_budget().unwrap(), None);
         assert_eq!(a.inject().unwrap(), None);
         assert_eq!(a.seed().unwrap(), 0);
+        assert_eq!(a.workers().unwrap(), 1);
+        assert_eq!(a.store_capacity().unwrap(), None);
+
+        let a = parse_ok(&["serve", "f.mc", "--workers", "0"]);
+        assert!(a.workers().is_err());
+        let a = parse_ok(&["serve", "f.mc", "--store-capacity", "nope"]);
+        assert!(a.store_capacity().is_err());
 
         let a = parse_ok(&["serve", "f.mc", "--policy", "never"]);
         assert!(a.policy().is_err());

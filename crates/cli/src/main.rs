@@ -17,9 +17,12 @@
 //!     specialize with decision tracing and print an annotated report in
 //!     which every cached/dynamic verdict cites its Figure-3 rule
 //! dsc serve FILE --vary a,b --requests PATH [--policy P] [--cache-file PATH]
+//!           [--workers N] [--store-capacity N]
 //!     specialize once, then serve a stream of argument vectors through the
 //!     staged-execution runtime (cache lifecycle, integrity validation,
-//!     graceful degradation, optional fault injection)
+//!     graceful degradation, optional fault injection); `--workers`
+//!     partitions the stream across threads sharing one artifact and one
+//!     polyvariant cache store
 //! dsc help
 //! ```
 //!
@@ -37,10 +40,13 @@ mod args;
 use args::{parse, parse_value_list, Args, UsageError};
 use ds_core::{specialize, InputPartition, SpecializeOptions};
 use ds_lang::Program;
-use ds_runtime::{Fault, FaultInjector, RuntimeError, StagedRunner};
+use ds_runtime::{
+    CacheStore, Fault, FaultInjector, RunnerStats, RuntimeError, Session, StagedArtifact,
+};
 use ds_telemetry::Json;
 use std::fmt;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// A classified CLI failure; the class decides the process exit code, so
 /// scripts can tell misuse from bad input from runtime trouble.
@@ -103,8 +109,9 @@ USAGE:
                 [--reassociate] [--speculate] [--metrics-out PATH]
     dsc serve FILE --vary a,b --requests PATH [--entry NAME]
               [--engine tree|vm] [--policy fail-fast|rebuild|fallback]
-              [--rebuild-budget N] [--cache-file PATH]
-              [--inject FAULT] [--seed N] [--metrics-out PATH]
+              [--rebuild-budget N] [--workers N] [--store-capacity N]
+              [--cache-file PATH] [--inject FAULT] [--seed N]
+              [--metrics-out PATH]
     dsc help
 
 The input is a MiniC source file (a subset of C without pointers or goto).
@@ -121,6 +128,10 @@ fingerprinted, validated and rebuilt as inputs change, `--policy` decides
 how failures degrade, `--cache-file` persists the cache between runs, and
 `--inject` plants one deterministic fault (corrupt-slot, drop-store,
 truncate-buffer, fuel:N, corrupt-file, truncate-file) placed by `--seed`.
+`--workers N` partitions the requests across N threads, each serving its
+own session over the shared artifact and a polyvariant cache store (one
+sealed cache per invariant fingerprint, LRU-bounded by
+`--store-capacity`); per-worker stats are merged deterministically.
 `--metrics-out PATH` writes a versioned ds-telemetry JSON document with
 the run's execution profiles and/or specialization report.
 
@@ -494,11 +505,15 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
 }
 
 /// Repeated-run mode: specialize once, then serve a requests file through
-/// a [`StagedRunner`] with the full cache lifecycle — staleness detection,
-/// integrity validation, policy-driven degradation and (optionally) one
-/// injected fault. The exit code reports the worst thing that happened:
-/// `5` for any integrity violation, `4` for any evaluation failure, `0`
-/// when every request was served.
+/// the staged-execution runtime with the full cache lifecycle — staleness
+/// detection, integrity validation, policy-driven degradation and
+/// (optionally) one injected fault. With `--workers N` the request file is
+/// partitioned across N threads, each running its own [`Session`] over the
+/// shared `Arc<StagedArtifact>` and polyvariant cache store; per-worker
+/// statistics are merged deterministically (worker order) into one
+/// envelope. The exit code reports the worst thing that happened: `5` for
+/// any integrity violation, `4` for any evaluation failure, `0` when every
+/// request was served.
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let (program, _) = load(args)?;
     let entry = args.entry(&program)?.to_string();
@@ -518,6 +533,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
 
     let engine = args.engine()?;
     let policy = args.policy()?;
+    let workers = args.workers()?;
     let mut ropts = ds_runtime::RunnerOptions {
         engine,
         policy,
@@ -526,16 +542,40 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     if let Some(budget) = args.rebuild_budget()? {
         ropts.rebuild_budget = budget;
     }
+    if let Some(cap) = args.store_capacity()? {
+        ropts.store_capacity = cap;
+    }
     ropts.eval.profile = args.metrics_out().is_some();
-    let mut runner = StagedRunner::new(&spec, &partition, ropts);
+
+    // The whole request file is parsed before any worker starts, so a bad
+    // line is a usage error (exit 2), never a half-served stream.
+    let mut requests: Vec<Vec<ds_interp::Value>> = Vec::new();
+    for (lineno, line) in requests_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        requests.push(
+            parse_value_list(line).map_err(|e| {
+                CliError::Usage(format!("`{requests_path}` line {}: {e}", lineno + 1))
+            })?,
+        );
+    }
+
+    // The immutable artifact and the polyvariant store are shared by every
+    // session; each worker owns only its VM and working buffer.
+    let artifact = Arc::new(StagedArtifact::new(&spec, &partition));
+    let store = Arc::new(CacheStore::new(ropts.store_capacity));
 
     let inject = args.inject()?;
     let seed = args.seed()?;
     let mut integrity_errors = 0u64;
     let mut eval_errors = 0u64;
 
-    // Adopt a persisted cache when one exists; file faults damage its text
-    // before validation, which must then reject it.
+    // A bootstrap session adopts a persisted cache into the shared store;
+    // file faults damage its text before validation, which must then
+    // reject it.
+    let mut bootstrap = Session::new(Arc::clone(&artifact), Arc::clone(&store), ropts);
     if let Some(path) = args.cache_file() {
         if let Ok(mut text) = std::fs::read_to_string(path) {
             if let Some(fault) = inject.filter(Fault::is_file_fault) {
@@ -546,7 +586,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                 };
                 println!("inject: applied {fault} to `{path}` (seed {seed})");
             }
-            match runner.load_cache_text(&text) {
+            match bootstrap.load_cache_text(&text) {
                 Ok(()) => println!("cache: adopted `{path}` (warm start)"),
                 Err(e) => {
                     integrity_errors += 1;
@@ -555,24 +595,82 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             }
         }
     }
-    if let Some(fault) = inject.filter(|f| !f.is_file_fault()) {
-        runner.inject(fault, seed).map_err(CliError::Usage)?;
+    let mem_fault = inject.filter(|f| !f.is_file_fault());
+    if let Some(fault) = mem_fault {
         println!("inject: armed {fault} (seed {seed})");
     }
 
     println!(
-        "serving `{entry}` (engine {engine}, policy {policy}, varying {{{}}})",
-        vary.join(", ")
+        "serving `{entry}` (engine {engine}, policy {policy}, varying {{{}}}, \
+         workers {workers}, store capacity {})",
+        vary.join(", "),
+        store.capacity(),
     );
-    for (lineno, line) in requests_text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+
+    // Partition the requests into contiguous per-worker chunks; worker 0
+    // starts from the bootstrap session (inheriting the adopted local
+    // cache and any armed fault), the rest open fresh sessions against
+    // the same store. Results keep their request index so the output is
+    // printed in file order whatever the interleaving was.
+    let chunk = requests.len().div_ceil(workers.max(1)).max(1);
+    let mut results: Vec<Option<Result<ds_interp::Outcome, RuntimeError>>> = Vec::new();
+    results.resize_with(requests.len(), || None);
+    let mut worker_stats: Vec<RunnerStats> = Vec::new();
+    {
+        let mut sessions: Vec<Session> = Vec::new();
+        for w in 0..workers.min(requests.len()) {
+            let mut session = if w == 0 {
+                // With no requests at all this branch never runs, so the
+                // bootstrap session (and its adoption bookkeeping) stays
+                // put for the merge below.
+                std::mem::replace(
+                    &mut bootstrap,
+                    Session::new(Arc::clone(&artifact), Arc::clone(&store), ropts),
+                )
+            } else {
+                Session::new(Arc::clone(&artifact), Arc::clone(&store), ropts)
+            };
+            if w == 0 {
+                if let Some(fault) = mem_fault {
+                    session.inject(fault, seed).map_err(CliError::Usage)?;
+                }
+            }
+            sessions.push(session);
         }
-        let values = parse_value_list(line)
-            .map_err(|e| CliError::Usage(format!("`{requests_path}` line {}: {e}", lineno + 1)))?;
-        let n = runner.stats().requests + 1;
-        match runner.run(&values) {
+        type WorkerOutput = (
+            Vec<(usize, Result<ds_interp::Outcome, RuntimeError>)>,
+            RunnerStats,
+        );
+        let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sessions
+                .into_iter()
+                .zip(requests.chunks(chunk).map(<[_]>::to_vec).enumerate())
+                .map(|(mut session, (w, batch))| {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(batch.len());
+                        for (i, values) in batch.iter().enumerate() {
+                            out.push((w * chunk + i, session.run(values)));
+                        }
+                        (out, session.stats().clone())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve worker panicked"))
+                .collect()
+        });
+        for (chunk_results, stats) in outputs {
+            for (idx, res) in chunk_results {
+                results[idx] = Some(res);
+            }
+            worker_stats.push(stats);
+        }
+    }
+
+    for (idx, res) in results.into_iter().enumerate() {
+        let n = idx + 1;
+        match res.expect("every request was assigned to a worker") {
             Ok(out) => match out.value {
                 Some(v) => println!("[{n}] result: {v}  (cost {})", out.cost),
                 None => println!("[{n}] result: (void)  (cost {})", out.cost),
@@ -589,7 +687,14 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         }
     }
 
-    let st = runner.stats();
+    // Merge per-worker statistics in worker order (merge is associative
+    // and commutative, so this is deterministic however requests raced).
+    // The bootstrap session contributes cache-file adoption bookkeeping
+    // when worker 0 did not consume it (no requests at all).
+    let mut st = bootstrap.stats().clone();
+    for ws in &worker_stats {
+        st.merge(ws);
+    }
     println!("---");
     println!("requests:            {}", st.requests);
     println!("loads:               {}", st.loads);
@@ -598,6 +703,9 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     println!("rebuilds:            {}", st.rebuilds());
     println!("fallbacks:           {}", st.fallbacks());
     println!("validation failures: {}", st.validation_failures());
+    println!("store hits:          {}", st.store_hits());
+    println!("store misses:        {}", st.store_misses());
+    println!("store evictions:     {}", st.store_evictions());
 
     if let Some(path) = args.metrics_out() {
         let doc = ds_telemetry::envelope(
@@ -610,22 +718,36 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                 ),
                 ("engine".to_string(), Json::from(engine.to_string())),
                 ("policy".to_string(), Json::from(policy.to_string())),
+                ("workers".to_string(), Json::from(workers as u64)),
+                (
+                    "store_capacity".to_string(),
+                    Json::from(store.capacity() as u64),
+                ),
                 ("stats".to_string(), st.to_json()),
+                (
+                    "worker_stats".to_string(),
+                    Json::Arr(worker_stats.iter().map(RunnerStats::to_json).collect()),
+                ),
             ],
         );
         write_metrics(path, &doc)?;
         println!("metrics: wrote {path}");
     }
 
-    // Persist the (validated) cache for the next invocation.
+    // Persist every validated store entry for the next invocation.
     if let Some(path) = args.cache_file() {
-        match runner.save_cache_text() {
-            Some(text) => {
-                std::fs::write(path, text)
-                    .map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))?;
-                println!("cache: wrote `{path}`");
-            }
-            None => println!("cache: cold at exit; `{path}` not written"),
+        let snapshot = store.snapshot();
+        if snapshot.is_empty() {
+            println!("cache: cold at exit; `{path}` not written");
+        } else {
+            let entries: Vec<(u64, ds_interp::CacheBuf)> = snapshot
+                .into_iter()
+                .map(|(fp, entry)| (fp, entry.cache))
+                .collect();
+            let text = ds_runtime::save_store(&entries, artifact.layout_fingerprint());
+            std::fs::write(path, text)
+                .map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))?;
+            println!("cache: wrote `{path}`");
         }
     }
 

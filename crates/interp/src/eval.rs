@@ -86,6 +86,16 @@ pub struct Profile {
     /// Cache integrity validations that failed (tampered slot, seal
     /// mismatch, truncated buffer). Always 0 for a bare engine run.
     pub validation_failures: u64,
+    /// Requests whose invariant fingerprint was served from a shared
+    /// `CacheStore` entry built by an earlier load (possibly by another
+    /// session). Always 0 for a bare engine run.
+    pub store_hits: u64,
+    /// Requests whose invariant fingerprint was absent from the shared
+    /// `CacheStore`, forcing a loader run. Always 0 for a bare engine run.
+    pub store_misses: u64,
+    /// Sealed cache entries evicted from the shared `CacheStore` to keep it
+    /// within its configured capacity. Always 0 for a bare engine run.
+    pub store_evictions: u64,
 }
 
 impl Profile {
@@ -113,6 +123,9 @@ impl Profile {
         self.rebuilds += other.rebuilds;
         self.fallbacks += other.fallbacks;
         self.validation_failures += other.validation_failures;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
+        self.store_evictions += other.store_evictions;
     }
 
     /// Aggregates every profile in `profiles` into one (batch shape:
@@ -156,6 +169,9 @@ impl Profile {
             ("rebuilds", Json::from(self.rebuilds)),
             ("fallbacks", Json::from(self.fallbacks)),
             ("validation_failures", Json::from(self.validation_failures)),
+            ("store_hits", Json::from(self.store_hits)),
+            ("store_misses", Json::from(self.store_misses)),
+            ("store_evictions", Json::from(self.store_evictions)),
         ])
     }
 }

@@ -1,0 +1,126 @@
+//! The immutable half of staged execution.
+//!
+//! Everything the specializer produces is fixed once staging finishes: the
+//! staged [`Program`] (fragment + loader + reader), its bytecode
+//! compilation, the [`CacheLayout`] and its fingerprint, and the indices of
+//! the fragment's fixed parameters. [`StagedArtifact`] bundles exactly that
+//! — and nothing mutable — so one artifact can be wrapped in an
+//! [`Arc`](std::sync::Arc) and shared by any number of concurrent
+//! [`Session`](crate::Session)s. The mutable remainder (the VM register
+//! file, the working [`CacheBuf`](ds_interp::CacheBuf), degradation state)
+//! lives per-session.
+
+use ds_core::{CacheLayout, InputPartition, Specialization};
+use ds_interp::{
+    compile, value_bits, CompiledProgram, EvalError, EvalOptions, Evaluator, Outcome, Value,
+};
+use ds_lang::Program;
+use ds_telemetry::Fnv64;
+
+/// The shareable, immutable product of one specialization: staged program,
+/// compiled bytecode, cache layout and invariant-parameter indices.
+///
+/// `StagedArtifact` is `Send + Sync` by construction (it owns plain data
+/// and interior-mutability-free trees), which is what makes parallel
+/// serving possible at all: workers share one `Arc<StagedArtifact>` and
+/// never copy the program.
+#[derive(Debug)]
+pub struct StagedArtifact {
+    pub(crate) staged: Program,
+    pub(crate) compiled: CompiledProgram,
+    pub(crate) entry: String,
+    pub(crate) loader_name: String,
+    pub(crate) reader_name: String,
+    pub(crate) layout: CacheLayout,
+    pub(crate) layout_fp: u64,
+    /// Indices of the fragment's *fixed* parameters, in parameter order —
+    /// the invariant-input vector caches are keyed on.
+    pub(crate) fixed_idx: Vec<usize>,
+}
+
+// The whole point of the artifact/session split: the immutable half must be
+// shareable across threads. Compile-time proof, not a doc promise.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StagedArtifact>();
+};
+
+impl StagedArtifact {
+    /// Builds the artifact for `spec`, keyed on the parameters `partition`
+    /// marks as fixed. The staged program is compiled for the bytecode
+    /// engine once, up front.
+    pub fn new(spec: &Specialization, partition: &InputPartition) -> Self {
+        let staged = spec.as_program();
+        let compiled = compile(&staged);
+        let entry = spec.fragment.name.clone();
+        let fixed_idx = spec
+            .fragment
+            .params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !partition.is_varying(&p.name))
+            .map(|(i, _)| i)
+            .collect();
+        StagedArtifact {
+            layout_fp: spec.layout.fingerprint(),
+            layout: spec.layout.clone(),
+            loader_name: format!("{entry}__loader"),
+            reader_name: format!("{entry}__reader"),
+            entry,
+            fixed_idx,
+            staged,
+            compiled,
+        }
+    }
+
+    /// The fragment's entry-point name.
+    pub fn entry(&self) -> &str {
+        &self.entry
+    }
+
+    /// The cache layout the specialization declared.
+    pub fn layout(&self) -> &CacheLayout {
+        &self.layout
+    }
+
+    /// The specialization-layout fingerprint caches are validated against.
+    pub fn layout_fingerprint(&self) -> u64 {
+        self.layout_fp
+    }
+
+    /// Indices of the fragment's fixed parameters, in parameter order.
+    pub fn fixed_params(&self) -> &[usize] {
+        &self.fixed_idx
+    }
+
+    /// Fingerprint of the invariant-input vector within `args` (the fixed
+    /// parameters, in order, with the layout fingerprint mixed in). This is
+    /// the key of the polyvariant [`CacheStore`](crate::CacheStore).
+    pub fn inputs_fingerprint(&self, args: &[Value]) -> u64 {
+        let mut h = Fnv64::new().u64(self.layout_fp);
+        for &i in &self.fixed_idx {
+            h = match args.get(i) {
+                // Tag 1+type so a missing argument cannot alias a value
+                // (arity errors surface from the engine itself).
+                Some(v) => {
+                    let (tag, bits) = value_bits(*v);
+                    h.u64(1 + tag).u64(bits)
+                }
+                None => h.u64(0),
+            };
+        }
+        h.finish()
+    }
+
+    /// The reference oracle: the fragment, tree-walked, uncached. Chaos
+    /// tests compare every successful staged run against this.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`] of the unspecialized fragment itself.
+    pub fn reference(&self, args: &[Value], eval: EvalOptions) -> Result<Outcome, EvalError> {
+        let mut opts = eval;
+        opts.profile = false;
+        Evaluator::with_options(&self.staged, opts).run(&self.entry, args)
+    }
+}

@@ -26,8 +26,12 @@ use ds_interp::{value_bits, CacheBuf, Value};
 use ds_lang::Type;
 use ds_telemetry::{Fnv64, Json};
 
-/// The envelope `kind` of a cache file.
+/// The envelope `kind` of a single-entry cache file.
 pub const CACHE_KIND: &str = "cache";
+
+/// The envelope `kind` of a polyvariant cache-store bundle (one entry per
+/// invariant fingerprint).
+pub const STORE_KIND: &str = "cache-store";
 
 fn hex(v: u64) -> String {
     format!("{v:#018x}")
@@ -99,8 +103,10 @@ pub struct LoadedCache {
     pub inputs_fingerprint: u64,
 }
 
-/// Serializes `cache` as a versioned, checksummed cache file.
-pub fn save_cache(cache: &CacheBuf, layout_fp: u64, inputs_fp: u64) -> String {
+/// The semantic fields of one cache entry — the body of a single-entry
+/// file and of each element of a bundle's `entries` array. Every entry
+/// carries its own checksum, so corruption is pinpointed per entry.
+fn payload_fields(cache: &CacheBuf, layout_fp: u64, inputs_fp: u64) -> Vec<(String, Json)> {
     let entries: Vec<Option<(Type, u64)>> = (0..cache.len())
         .map(|i| {
             cache.get(i).map(|v| {
@@ -121,23 +127,49 @@ pub fn save_cache(cache: &CacheBuf, layout_fp: u64, inputs_fp: u64) -> String {
             })
             .collect(),
     );
+    vec![
+        (
+            "layout_fingerprint".to_string(),
+            Json::from(hex(layout_fp).as_str()),
+        ),
+        (
+            "inputs_fingerprint".to_string(),
+            Json::from(hex(inputs_fp).as_str()),
+        ),
+        ("slot_count".to_string(), Json::from(entries.len() as u64)),
+        ("slots".to_string(), slots),
+        (
+            "checksum".to_string(),
+            Json::from(hex(checksum(layout_fp, inputs_fp, &entries)).as_str()),
+        ),
+    ]
+}
+
+/// Serializes `cache` as a versioned, checksummed cache file.
+pub fn save_cache(cache: &CacheBuf, layout_fp: u64, inputs_fp: u64) -> String {
+    let doc = ds_telemetry::envelope(CACHE_KIND, payload_fields(cache, layout_fp, inputs_fp));
+    doc.pretty() + "\n"
+}
+
+/// Serializes a whole cache store as a versioned bundle: one checksummed
+/// entry per `(inputs fingerprint, cache)` pair, in the order given
+/// (callers pass a fingerprint-sorted snapshot for deterministic output).
+pub fn save_store(entries: &[(u64, CacheBuf)], layout_fp: u64) -> String {
+    let arr = Json::Arr(
+        entries
+            .iter()
+            .map(|(fp, cache)| Json::Obj(payload_fields(cache, layout_fp, *fp)))
+            .collect(),
+    );
     let doc = ds_telemetry::envelope(
-        CACHE_KIND,
+        STORE_KIND,
         vec![
             (
                 "layout_fingerprint".to_string(),
                 Json::from(hex(layout_fp).as_str()),
             ),
-            (
-                "inputs_fingerprint".to_string(),
-                Json::from(hex(inputs_fp).as_str()),
-            ),
-            ("slot_count".to_string(), Json::from(entries.len() as u64)),
-            ("slots".to_string(), slots),
-            (
-                "checksum".to_string(),
-                Json::from(hex(checksum(layout_fp, inputs_fp, &entries)).as_str()),
-            ),
+            ("entry_count".to_string(), Json::from(entries.len() as u64)),
+            ("entries".to_string(), arr),
         ],
     );
     doc.pretty() + "\n"
@@ -179,16 +211,76 @@ pub fn parse_cache(text: &str, layout: &CacheLayout) -> Result<LoadedCache, Inte
             detail: format!("envelope kind `{kind}` is not `{CACHE_KIND}`"),
         });
     }
-    let layout_fp = hex_field(&doc, "layout_fingerprint")?;
-    let inputs_fp = hex_field(&doc, "inputs_fingerprint")?;
+    parse_payload(&doc, layout)
+}
+
+/// Parses and fully validates a cache file of *either* kind: a legacy
+/// single-entry `cache` file (returned as a one-element vector) or a
+/// `cache-store` bundle. Every entry is validated exactly as strictly as
+/// a single-entry file; the first violation rejects the whole file.
+///
+/// # Errors
+///
+/// The same taxonomy as [`parse_cache`], applied per entry.
+pub fn parse_store(text: &str, layout: &CacheLayout) -> Result<Vec<LoadedCache>, IntegrityError> {
+    let doc = ds_telemetry::parse(text).map_err(|e| IntegrityError::Malformed {
+        detail: e.to_string(),
+    })?;
+    let kind = ds_telemetry::validate_envelope(&doc)
+        .map_err(|detail| IntegrityError::Malformed { detail })?;
+    match kind.as_str() {
+        CACHE_KIND => Ok(vec![parse_payload(&doc, layout)?]),
+        STORE_KIND => {
+            let layout_fp = hex_field(&doc, "layout_fingerprint")?;
+            if layout_fp != layout.fingerprint() {
+                return Err(IntegrityError::LayoutMismatch {
+                    detail: format!(
+                        "bundle fingerprint {:#018x}, current layout {:#018x}",
+                        layout_fp,
+                        layout.fingerprint()
+                    ),
+                });
+            }
+            let entry_count =
+                field(&doc, "entry_count")?
+                    .as_u64()
+                    .ok_or_else(|| IntegrityError::Malformed {
+                        detail: "`entry_count` is not a non-negative integer".to_string(),
+                    })? as usize;
+            let Json::Arr(raw) = field(&doc, "entries")? else {
+                return Err(IntegrityError::Malformed {
+                    detail: "`entries` is not an array".to_string(),
+                });
+            };
+            if raw.len() != entry_count {
+                return Err(IntegrityError::Malformed {
+                    detail: format!(
+                        "`entry_count` says {entry_count} but `entries` has {} entries",
+                        raw.len()
+                    ),
+                });
+            }
+            raw.iter().map(|e| parse_payload(e, layout)).collect()
+        }
+        other => Err(IntegrityError::Malformed {
+            detail: format!("envelope kind `{other}` is neither `{CACHE_KIND}` nor `{STORE_KIND}`"),
+        }),
+    }
+}
+
+/// Validates one entry's payload fields against `layout`: checksum →
+/// layout → per-slot types, in that order.
+fn parse_payload(doc: &Json, layout: &CacheLayout) -> Result<LoadedCache, IntegrityError> {
+    let layout_fp = hex_field(doc, "layout_fingerprint")?;
+    let inputs_fp = hex_field(doc, "inputs_fingerprint")?;
     let slot_count =
-        field(&doc, "slot_count")?
+        field(doc, "slot_count")?
             .as_u64()
             .ok_or_else(|| IntegrityError::Malformed {
                 detail: "`slot_count` is not a non-negative integer".to_string(),
             })? as usize;
-    let stored_sum = hex_field(&doc, "checksum")?;
-    let Json::Arr(raw_slots) = field(&doc, "slots")? else {
+    let stored_sum = hex_field(doc, "checksum")?;
+    let Json::Arr(raw_slots) = field(doc, "slots")? else {
         return Err(IntegrityError::Malformed {
             detail: "`slots` is not an array".to_string(),
         });
@@ -260,9 +352,12 @@ pub fn parse_cache(text: &str, layout: &CacheLayout) -> Result<LoadedCache, Inte
                 });
             }
             let v = decode_value(*ty, *bits, i)?;
-            cache
-                .try_set(i, v)
-                .expect("buffer sized to slot_count above");
+            // The buffer was sized to `slot_count` above, so this cannot
+            // fail — but a damaged environment must never panic the
+            // server, so the invariant is checked, not assumed.
+            cache.try_set(i, v).map_err(|e| IntegrityError::Malformed {
+                detail: format!("slot {i}: {e}"),
+            })?;
         }
     }
     Ok(LoadedCache {
@@ -396,6 +491,69 @@ mod tests {
                 found: Type::Int
             }
         );
+    }
+
+    #[test]
+    fn store_bundle_round_trips_every_entry() {
+        let l = layout();
+        let mut c2 = CacheBuf::new(3);
+        c2.set(0, Value::Float(2.5));
+        c2.set(1, Value::Int(-7));
+        c2.set(2, Value::Bool(false));
+        let entries = vec![(11u64, warm_cache()), (22u64, c2.clone())];
+        let text = save_store(&entries, l.fingerprint());
+        let back = parse_store(&text, &l).expect("load bundle");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].inputs_fingerprint, 11);
+        assert_eq!(back[0].cache.content_hash(), warm_cache().content_hash());
+        assert_eq!(back[1].inputs_fingerprint, 22);
+        assert_eq!(back[1].cache.content_hash(), c2.content_hash());
+    }
+
+    #[test]
+    fn parse_store_accepts_legacy_single_entry_files() {
+        let l = layout();
+        let text = save_cache(&warm_cache(), l.fingerprint(), 42);
+        let back = parse_store(&text, &l).expect("legacy file");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].inputs_fingerprint, 42);
+    }
+
+    #[test]
+    fn corrupted_bundle_entry_rejects_the_whole_file() {
+        let l = layout();
+        let text = save_store(&[(1, warm_cache()), (2, warm_cache())], l.fingerprint());
+        // Flip a hex digit inside the *second* entry's bit patterns.
+        let idx = text.rfind("\"bits\": \"0x").expect("bits field") + 11;
+        let mut bytes = text.into_bytes();
+        bytes[idx] = if bytes[idx] == b'0' { b'1' } else { b'0' };
+        let corrupted = String::from_utf8(bytes).unwrap();
+        let err = parse_store(&corrupted, &l).unwrap_err();
+        assert!(
+            matches!(err, IntegrityError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bundle_from_a_different_layout_is_rejected() {
+        let l = layout();
+        let text = save_store(&[(1, warm_cache())], l.fingerprint());
+        let other = CacheLayout::new([(TermId(9), Type::Float, "a * b".to_string())]);
+        let err = parse_store(&text, &other).unwrap_err();
+        assert!(
+            matches!(err, IntegrityError::LayoutMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bundle_entry_count_drift_is_malformed() {
+        let l = layout();
+        let text = save_store(&[(1, warm_cache())], l.fingerprint());
+        let tampered = text.replace("\"entry_count\": 1", "\"entry_count\": 2");
+        let err = parse_store(&tampered, &l).unwrap_err();
+        assert!(matches!(err, IntegrityError::Malformed { .. }), "{err}");
     }
 
     #[test]

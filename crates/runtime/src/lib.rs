@@ -24,6 +24,12 @@
 //!   buffer, exhaust fuel, damage a cache file) drive the chaos suite,
 //!   whose invariant is: under every injected fault, a runner returns the
 //!   reference answer or a typed error — never a silently wrong value.
+//! * **Parallel serving**: the immutable half of a runner — staged program,
+//!   compiled bytecode, layout, fixed-parameter indices — lives in a
+//!   `Send + Sync` [`StagedArtifact`]; any number of [`Session`]s share it
+//!   (and a polyvariant, LRU-bounded [`CacheStore`] holding one sealed
+//!   cache per invariant fingerprint) through `Arc`s, each worker serving
+//!   requests against its own private working buffer.
 //!
 //! ## Example
 //!
@@ -60,12 +66,20 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod cachefile;
 pub mod error;
 pub mod fault;
 pub mod runner;
+pub mod session;
+pub mod store;
 
-pub use cachefile::{parse_cache, save_cache, LoadedCache, CACHE_KIND};
+pub use artifact::StagedArtifact;
+pub use cachefile::{
+    parse_cache, parse_store, save_cache, save_store, LoadedCache, CACHE_KIND, STORE_KIND,
+};
 pub use error::{IntegrityError, RuntimeError};
 pub use fault::{Fault, FaultInjector};
 pub use runner::{Policy, RunnerOptions, RunnerStats, StagedRunner};
+pub use session::Session;
+pub use store::{CacheStore, StoreEntry};

@@ -6,16 +6,23 @@
 //! *how* a damaged cache is detected before it can produce a wrong answer,
 //! and *what* happens when staged execution fails at runtime.
 //!
+//! Since the artifact/session split, `StagedRunner` is a thin convenience
+//! wrapper: it builds a private [`StagedArtifact`](crate::StagedArtifact)
+//! and [`CacheStore`](crate::CacheStore) and drives a single
+//! [`Session`](crate::Session) over them. Parallel callers construct the
+//! artifact and store themselves (in [`Arc`](std::sync::Arc)s) and open
+//! one `Session` per worker; the lifecycle below is identical either way.
+//!
 //! ## Lifecycle
 //!
 //! ```text
 //!            ┌────────────────────────────────────────────────┐
 //!            ▼                                                │
-//!  Cold ──load (loader run, budget-gated after the 1st)──▶ Warm{inputs_fp, seal}
+//!  Cold ──fetch (store hit, or budget-gated loader run)──▶ Warm{inputs_fp, seal}
 //!            │                                                │
 //!            │ loader error → policy                          │ request
 //!            ▼                                                ▼
-//!        fallback / error            stale fp ──────────────▶ reload
+//!        fallback / error            stale fp ──────────────▶ fetch
 //!                                    validation failure ────▶ policy
 //!                                    reader error ──────────▶ policy
 //! ```
@@ -23,23 +30,24 @@
 //! A load *returns the loader's own outcome* — the loader computes the
 //! result while filling the cache (the paper's protocol), so the first
 //! request per invariant context costs one loader run, not loader+reader.
-//! After a successful load the cache is **sealed** with its content hash;
+//! After a successful load the cache is **sealed** with its content hash
+//! and published to the store keyed by the invariant-input fingerprint;
 //! every warm request re-validates the seal (plus the write-fault shadow
 //! and the structural length) before trusting the reader, so corruption is
-//! caught as a typed [`IntegrityError`] — never consumed silently.
+//! caught as a typed [`IntegrityError`](crate::IntegrityError) — never
+//! consumed silently.
 
-use crate::cachefile;
-use crate::error::{IntegrityError, RuntimeError};
-use crate::fault::{Fault, FaultInjector};
+use crate::artifact::StagedArtifact;
+use crate::error::RuntimeError;
+use crate::fault::Fault;
+use crate::session::Session;
+use crate::store::CacheStore;
 use ds_core::{InputPartition, Specialization};
-use ds_interp::{
-    compile, value_bits, CacheBuf, CompiledProgram, Engine, EvalError, EvalOptions, Evaluator,
-    Outcome, Profile, Value, Vm, WriteFault,
-};
-use ds_lang::Program;
-use ds_telemetry::{Fnv64, Json};
+use ds_interp::{Engine, EvalError, EvalOptions, Outcome, Profile, Value};
+use ds_telemetry::Json;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// What a runner does when staged execution fails at runtime (reader
 /// error, failed validation, exhausted rebuild budget).
@@ -83,7 +91,7 @@ impl FromStr for Policy {
     }
 }
 
-/// Configuration of a [`StagedRunner`].
+/// Configuration of a [`Session`] (and of the [`StagedRunner`] wrapper).
 #[derive(Debug, Clone, Copy)]
 pub struct RunnerOptions {
     /// Which execution engine serves requests.
@@ -93,6 +101,11 @@ pub struct RunnerOptions {
     /// How many loader *re*-runs (beyond the initial cold load) the runner
     /// may spend over its lifetime; bounds rebuild storms.
     pub rebuild_budget: u32,
+    /// Capacity of the polyvariant cache store a [`StagedRunner`] builds
+    /// for itself (sessions opened over an explicit shared store ignore
+    /// this). One sealed cache is kept per invariant fingerprint, up to
+    /// this many.
+    pub store_capacity: usize,
     /// Engine options for every execution (step limit, profiling).
     pub eval: EvalOptions,
 }
@@ -103,29 +116,32 @@ impl Default for RunnerOptions {
             engine: Engine::default(),
             policy: Policy::default(),
             rebuild_budget: 8,
+            store_capacity: 16,
             eval: EvalOptions::default(),
         }
     }
 }
 
-/// Aggregate robustness statistics of one runner.
+/// Aggregate robustness statistics of one session.
 ///
-/// The rebuild/fallback/validation-failure counters live on the embedded
-/// telemetry [`Profile`] (and therefore in every metrics export); this
-/// struct adds the lifecycle counters that only the runner can observe.
+/// The rebuild/fallback/validation-failure and store counters live on the
+/// embedded telemetry [`Profile`] (and therefore in every metrics export);
+/// this struct adds the lifecycle counters that only the runtime can
+/// observe.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunnerStats {
     /// Requests served (successfully or not).
     pub requests: u64,
     /// Loader executions, including the initial cold load.
     pub loads: u64,
-    /// Reloads triggered by a changed invariant-input fingerprint.
+    /// Fingerprint switches that missed the store and forced a reload.
     pub stale_reloads: u64,
     /// Reader executions that returned an `EvalError`.
     pub reader_failures: u64,
-    /// Merged execution profile across every engine run the runner issued
+    /// Merged execution profile across every engine run the session issued
     /// (populated when [`EvalOptions::profile`] is on), carrying the
-    /// `rebuilds` / `fallbacks` / `validation_failures` counters always.
+    /// `rebuilds` / `fallbacks` / `validation_failures` and
+    /// `store_hits` / `store_misses` / `store_evictions` counters always.
     pub profile: Profile,
 }
 
@@ -145,6 +161,32 @@ impl RunnerStats {
         self.profile.validation_failures
     }
 
+    /// Fingerprint switches served from the shared store.
+    pub fn store_hits(&self) -> u64 {
+        self.profile.store_hits
+    }
+
+    /// Fingerprint switches the store could not serve.
+    pub fn store_misses(&self) -> u64 {
+        self.profile.store_misses
+    }
+
+    /// Entries this session's publishes evicted from the store.
+    pub fn store_evictions(&self) -> u64 {
+        self.profile.store_evictions
+    }
+
+    /// Accumulates `other` into `self`, field-wise; like
+    /// [`Profile::merge`] this is associative and commutative, so merging
+    /// per-worker stats in worker order is deterministic.
+    pub fn merge(&mut self, other: &RunnerStats) {
+        self.requests += other.requests;
+        self.loads += other.loads;
+        self.stale_reloads += other.stale_reloads;
+        self.reader_failures += other.reader_failures;
+        self.profile.merge(&other.profile);
+    }
+
     /// Serializes the statistics (and embedded profile) as a JSON object.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -158,123 +200,66 @@ impl RunnerStats {
                 "validation_failures",
                 Json::from(self.validation_failures()),
             ),
+            ("store_hits", Json::from(self.store_hits())),
+            ("store_misses", Json::from(self.store_misses())),
+            ("store_evictions", Json::from(self.store_evictions())),
             ("profile", self.profile.to_json()),
         ])
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CacheState {
-    Cold,
-    Warm { inputs_fp: u64, seal: u64 },
-}
-
-/// A fault scheduled by [`StagedRunner::inject`], applied one-shot at the
-/// matching lifecycle point.
-#[derive(Debug, Clone, Copy)]
-enum PendingFault {
-    /// Arm the cache with a write fault at the next load.
-    Arm(WriteFault),
-    /// Truncate the sealed buffer to this length before the next
-    /// validation (or right after the next seal, when currently cold).
-    Truncate(usize),
-    /// Run the next staged execution (reader or loader) with this much
-    /// fuel.
-    Fuel(u64),
-}
-
 /// Owns the full cache lifecycle for repeated staged executions of one
-/// specialization. See the module docs for the state machine.
+/// specialization, single-caller edition. See the module docs for the
+/// state machine and [`Session`] for the multi-caller form.
 #[derive(Debug)]
 pub struct StagedRunner {
-    staged: Program,
-    compiled: CompiledProgram,
-    vm: Vm,
-    entry: String,
-    loader_name: String,
-    reader_name: String,
-    layout: ds_core::CacheLayout,
-    layout_fp: u64,
-    /// Indices of the fragment's *fixed* parameters, in parameter order —
-    /// the invariant-input vector the cache is keyed on.
-    fixed_idx: Vec<usize>,
-    opts: RunnerOptions,
-    cache: CacheBuf,
-    state: CacheState,
-    ever_loaded: bool,
-    rebuilds_used: u32,
-    pending: Option<PendingFault>,
-    stats: RunnerStats,
+    session: Session,
 }
 
 impl StagedRunner {
-    /// Builds a runner for `spec`, whose cache is keyed on the parameters
-    /// `partition` marks as fixed. The staged program is compiled for the
-    /// bytecode engine once, up front.
+    /// Builds a runner for `spec`, whose caches are keyed on the
+    /// parameters `partition` marks as fixed. The staged program is
+    /// compiled for the bytecode engine once, up front; the runner owns a
+    /// private store of [`RunnerOptions::store_capacity`] entries.
     pub fn new(spec: &Specialization, partition: &InputPartition, opts: RunnerOptions) -> Self {
-        let staged = spec.as_program();
-        let compiled = compile(&staged);
-        let entry = spec.fragment.name.clone();
-        let fixed_idx = spec
-            .fragment
-            .params
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| !partition.is_varying(&p.name))
-            .map(|(i, _)| i)
-            .collect();
+        let artifact = Arc::new(StagedArtifact::new(spec, partition));
+        let store = Arc::new(CacheStore::new(opts.store_capacity));
         StagedRunner {
-            cache: CacheBuf::new(spec.layout.slot_count()),
-            layout_fp: spec.layout.fingerprint(),
-            layout: spec.layout.clone(),
-            loader_name: format!("{entry}__loader"),
-            reader_name: format!("{entry}__reader"),
-            entry,
-            fixed_idx,
-            staged,
-            compiled,
-            vm: Vm::new(),
-            opts,
-            state: CacheState::Cold,
-            ever_loaded: false,
-            rebuilds_used: 0,
-            pending: None,
-            stats: RunnerStats::default(),
+            session: Session::new(artifact, store, opts),
         }
+    }
+
+    /// The shared immutable artifact (clone the `Arc` to open more
+    /// [`Session`]s against it).
+    pub fn artifact(&self) -> &Arc<StagedArtifact> {
+        self.session.artifact()
+    }
+
+    /// The polyvariant cache store (clone the `Arc` to share it).
+    pub fn store(&self) -> &Arc<CacheStore> {
+        self.session.store()
     }
 
     /// Robustness statistics accumulated so far.
     pub fn stats(&self) -> &RunnerStats {
-        &self.stats
+        self.session.stats()
     }
 
     /// Whether the cache is warm (loaded and sealed).
     pub fn is_warm(&self) -> bool {
-        matches!(self.state, CacheState::Warm { .. })
+        self.session.is_warm()
     }
 
     /// The specialization-layout fingerprint the cache is validated
     /// against.
     pub fn layout_fingerprint(&self) -> u64 {
-        self.layout_fp
+        self.session.artifact().layout_fingerprint()
     }
 
     /// Fingerprint of the invariant-input vector within `args` (the fixed
     /// parameters, in order, with the layout fingerprint mixed in).
     pub fn inputs_fingerprint(&self, args: &[Value]) -> u64 {
-        let mut h = Fnv64::new().u64(self.layout_fp);
-        for &i in &self.fixed_idx {
-            h = match args.get(i) {
-                // Tag 1+type so a missing argument cannot alias a value
-                // (arity errors surface from the engine itself).
-                Some(v) => {
-                    let (tag, bits) = value_bits(*v);
-                    h.u64(1 + tag).u64(bits)
-                }
-                None => h.u64(0),
-            };
-        }
-        h.finish()
+        self.session.inputs_fingerprint(args)
     }
 
     /// Schedules a one-shot in-memory fault, deterministically sited from
@@ -284,23 +269,9 @@ impl StagedRunner {
     ///
     /// File faults ([`Fault::CorruptFile`], [`Fault::TruncateFile`]) do not
     /// apply to the in-memory lifecycle; damage the serialized text with
-    /// [`FaultInjector`] instead.
+    /// [`FaultInjector`](crate::FaultInjector) instead.
     pub fn inject(&mut self, fault: Fault, seed: u64) -> Result<(), String> {
-        let mut inj = FaultInjector::new(seed);
-        let slots = self.layout.slot_count() as u64;
-        self.pending = Some(match fault {
-            Fault::CorruptSlot => PendingFault::Arm(WriteFault::CorruptNth(inj.pick(slots))),
-            Fault::DropStore => PendingFault::Arm(WriteFault::DropNth(inj.pick(slots))),
-            Fault::TruncateBuffer => PendingFault::Truncate(inj.pick(slots) as usize),
-            Fault::ExhaustFuel(n) => PendingFault::Fuel(n),
-            Fault::CorruptFile | Fault::TruncateFile => {
-                return Err(format!(
-                    "fault `{fault}` applies to a serialized cache file, not the in-memory \
-                     lifecycle"
-                ))
-            }
-        });
-        Ok(())
+        self.session.inject(fault, seed)
     }
 
     /// Serves one request: validates and (re)builds the cache as needed,
@@ -311,37 +282,7 @@ impl StagedRunner {
     /// A typed [`RuntimeError`]; under every fault model the returned value
     /// is either the reference answer or one of these.
     pub fn run(&mut self, args: &[Value]) -> Result<Outcome, RuntimeError> {
-        self.stats.requests += 1;
-        let fp = self.inputs_fingerprint(args);
-        // A pending buffer fault strikes a warm cache before validation.
-        if self.is_warm() {
-            if let Some(PendingFault::Truncate(n)) = self.pending {
-                self.pending = None;
-                self.cache.truncate(n);
-            }
-        }
-        match self.state {
-            CacheState::Warm { inputs_fp, seal } if inputs_fp == fp => {
-                if let Err(ie) = self.validate(seal) {
-                    self.stats.profile.validation_failures += 1;
-                    self.state = CacheState::Cold;
-                    return self.recover(args, fp, RuntimeError::Integrity(ie));
-                }
-                let fuel = self.take_fuel();
-                match self.exec(Stage::Reader, args, fuel) {
-                    Ok(out) => Ok(out),
-                    Err(e) => {
-                        self.stats.reader_failures += 1;
-                        self.recover(args, fp, RuntimeError::Eval(e))
-                    }
-                }
-            }
-            CacheState::Warm { .. } => {
-                self.stats.stale_reloads += 1;
-                self.reload(args, fp)
-            }
-            CacheState::Cold => self.reload(args, fp),
-        }
+        self.session.run(args)
     }
 
     /// The reference oracle: the fragment, tree-walked, uncached. Chaos
@@ -351,206 +292,35 @@ impl StagedRunner {
     ///
     /// Any [`EvalError`] of the unspecialized fragment itself.
     pub fn reference(&self, args: &[Value]) -> Result<Outcome, EvalError> {
-        let mut opts = self.opts.eval;
-        opts.profile = false;
-        Evaluator::with_options(&self.staged, opts).run(&self.entry, args)
+        self.session.reference(args)
     }
 
     /// Serializes the warm cache as a checksummed cache file, or `None`
     /// when cold.
     pub fn save_cache_text(&self) -> Option<String> {
-        match self.state {
-            CacheState::Warm { inputs_fp, .. } => Some(cachefile::save_cache(
-                &self.cache,
-                self.layout_fp,
-                inputs_fp,
-            )),
-            CacheState::Cold => None,
-        }
+        self.session.save_cache_text()
     }
 
-    /// Adopts a previously saved cache file, fully validating it against
-    /// this runner's layout first. On success the cache is warm and
-    /// sealed; a stale inputs fingerprint is then handled by the normal
-    /// lifecycle on the next request.
+    /// Serializes every store entry as a cache-store bundle, or `None`
+    /// when the store is empty.
+    pub fn save_store_text(&self) -> Option<String> {
+        self.session.save_store_text()
+    }
+
+    /// Adopts a previously saved cache file (single-entry or bundle),
+    /// fully validating it against this runner's layout first. On success
+    /// the entries are in the store (and, for a single-entry file, the
+    /// cache is warm and sealed); a stale inputs fingerprint is then
+    /// handled by the normal lifecycle on the next request.
     ///
     /// # Errors
     ///
-    /// The [`IntegrityError`] of the first validation failure — a damaged
-    /// or mismatched file is *always* rejected, never partially adopted.
+    /// The [`IntegrityError`](crate::IntegrityError) of the first
+    /// validation failure — a damaged or mismatched file is *always*
+    /// rejected, never partially adopted.
     pub fn load_cache_text(&mut self, text: &str) -> Result<(), RuntimeError> {
-        let loaded = cachefile::parse_cache(text, &self.layout)?;
-        let seal = loaded.cache.content_hash();
-        self.cache = loaded.cache;
-        self.state = CacheState::Warm {
-            inputs_fp: loaded.inputs_fingerprint,
-            seal,
-        };
-        self.ever_loaded = true;
-        Ok(())
+        self.session.load_cache_text(text)
     }
-
-    // ------------------------------------------------------------------
-    // Lifecycle internals
-    // ------------------------------------------------------------------
-
-    fn take_fuel(&mut self) -> Option<u64> {
-        if let Some(PendingFault::Fuel(n)) = self.pending {
-            self.pending = None;
-            Some(n)
-        } else {
-            None
-        }
-    }
-
-    /// Pre-reader integrity validation of a warm, sealed cache.
-    fn validate(&self, seal: u64) -> Result<(), IntegrityError> {
-        if self.cache.len() != self.layout.slot_count() {
-            return Err(IntegrityError::LayoutMismatch {
-                detail: format!(
-                    "cache has {} slot(s), layout declares {}",
-                    self.cache.len(),
-                    self.layout.slot_count()
-                ),
-            });
-        }
-        if let Some(slot) = self.cache.first_tampered_slot() {
-            return Err(IntegrityError::TamperedSlot { slot });
-        }
-        let found = self.cache.content_hash();
-        if found != seal {
-            return Err(IntegrityError::SealBroken {
-                expected: seal,
-                found,
-            });
-        }
-        Ok(())
-    }
-
-    /// Runs the loader to (re)build the cache for `fp`, returning the
-    /// loader's own outcome (it computes the result while filling slots).
-    /// Rebuilds beyond the initial load are budget-gated.
-    fn reload(&mut self, args: &[Value], fp: u64) -> Result<Outcome, RuntimeError> {
-        if self.ever_loaded {
-            if self.rebuilds_used >= self.opts.rebuild_budget {
-                return match self.opts.policy {
-                    Policy::FailFast => Err(RuntimeError::RebuildBudgetExhausted {
-                        budget: self.opts.rebuild_budget,
-                    }),
-                    _ => self.fallback(args),
-                };
-            }
-            self.rebuilds_used += 1;
-            self.stats.profile.rebuilds += 1;
-        }
-        self.stats.loads += 1;
-        self.cache = CacheBuf::new(self.layout.slot_count());
-        if let Some(PendingFault::Arm(wf)) = self.pending {
-            self.pending = None;
-            self.cache.arm_write_fault(wf);
-        }
-        let fuel = self.take_fuel();
-        match self.exec(Stage::Loader, args, fuel) {
-            Ok(out) => {
-                self.state = CacheState::Warm {
-                    inputs_fp: fp,
-                    seal: self.cache.content_hash(),
-                };
-                self.ever_loaded = true;
-                // A buffer fault injected while cold strikes right after
-                // the seal, so the next request's validation sees it.
-                if let Some(PendingFault::Truncate(n)) = self.pending {
-                    self.pending = None;
-                    self.cache.truncate(n);
-                }
-                Ok(out)
-            }
-            Err(e) => {
-                self.state = CacheState::Cold;
-                match self.opts.policy {
-                    Policy::FailFast => Err(RuntimeError::Eval(e)),
-                    _ => self.fallback(args),
-                }
-            }
-        }
-    }
-
-    /// Handles a warm-path failure (`err`) per the configured policy. The
-    /// cache has already been marked cold by validation failures; reader
-    /// failures discard it here so a later request may rebuild.
-    fn recover(
-        &mut self,
-        args: &[Value],
-        fp: u64,
-        err: RuntimeError,
-    ) -> Result<Outcome, RuntimeError> {
-        match self.opts.policy {
-            Policy::FailFast => Err(err),
-            Policy::RebuildThenFallback => {
-                self.state = CacheState::Cold;
-                self.reload(args, fp)
-            }
-            Policy::FallbackToUnspecialized => {
-                self.state = CacheState::Cold;
-                self.fallback(args)
-            }
-        }
-    }
-
-    /// Last resort: evaluate the unspecialized fragment for this request.
-    fn fallback(&mut self, args: &[Value]) -> Result<Outcome, RuntimeError> {
-        self.stats.profile.fallbacks += 1;
-        self.exec(Stage::Fragment, args, None)
-            .map_err(RuntimeError::Eval)
-    }
-
-    fn exec(
-        &mut self,
-        stage: Stage,
-        args: &[Value],
-        fuel: Option<u64>,
-    ) -> Result<Outcome, EvalError> {
-        let mut opts = self.opts.eval;
-        if let Some(f) = fuel {
-            opts.step_limit = f;
-        }
-        let (name, with_cache) = match stage {
-            Stage::Fragment => (self.entry.as_str(), false),
-            Stage::Loader => (self.loader_name.as_str(), true),
-            Stage::Reader => (self.reader_name.as_str(), true),
-        };
-        let out = match self.opts.engine {
-            Engine::Tree => {
-                let ev = Evaluator::with_options(&self.staged, opts);
-                if with_cache {
-                    ev.run_with_cache(name, args, &mut self.cache)
-                } else {
-                    ev.run(name, args)
-                }
-            }
-            Engine::Vm => {
-                let cache = if with_cache {
-                    Some(&mut self.cache)
-                } else {
-                    None
-                };
-                self.vm.run(&self.compiled, name, args, cache, opts)
-            }
-        };
-        if let Ok(o) = &out {
-            if let Some(p) = &o.profile {
-                self.stats.profile.merge(p);
-            }
-        }
-        out
-    }
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Stage {
-    Fragment,
-    Loader,
-    Reader,
 }
 
 #[cfg(test)]
@@ -612,7 +382,12 @@ mod tests {
 
     #[test]
     fn stale_invariants_trigger_a_transparent_rebuild() {
-        let mut r = dotprod_runner(RunnerOptions::default());
+        let mut r = dotprod_runner(RunnerOptions {
+            // One store entry: a fingerprint switch must rebuild, exactly
+            // like the pre-store runner.
+            store_capacity: 1,
+            ..RunnerOptions::default()
+        });
         r.run(&argv_fixed(2.0, 3.0, 6.0)).expect("cold");
         r.run(&argv_fixed(2.0, 4.0, 7.0)).expect("warm");
         // The fixed input y1 changes: the cache is stale.
@@ -623,6 +398,7 @@ mod tests {
         assert_eq!(r.stats().stale_reloads, 1);
         assert_eq!(r.stats().rebuilds(), 1);
         assert_eq!(r.stats().loads, 2);
+        assert_eq!(r.stats().store_evictions(), 1, "capacity 1 evicted y1=2");
         // And the rebuilt cache serves reads again.
         let args = argv_fixed(9.0, 5.0, 5.0);
         assert_eq!(
@@ -630,6 +406,24 @@ mod tests {
             r.reference(&args).unwrap().value
         );
         assert_eq!(r.stats().loads, 2);
+    }
+
+    #[test]
+    fn revisited_invariants_hit_the_store_instead_of_reloading() {
+        let mut r = dotprod_runner(RunnerOptions::default());
+        // Two invariant contexts, interleaved: y1=2 and y1=9.
+        for &(y1, z) in &[(2.0, 3.0), (9.0, 4.0), (2.0, 5.0), (9.0, 6.0), (2.0, 7.0)] {
+            let args = argv_fixed(y1, z, z + 1.0);
+            let want = r.reference(&args).unwrap().value;
+            assert_eq!(r.run(&args).expect("run").value, want);
+        }
+        // One load per distinct fingerprint; every revisit is a store hit.
+        assert_eq!(r.stats().loads, 2);
+        assert_eq!(r.stats().store_hits(), 3);
+        assert_eq!(r.stats().store_misses(), 2);
+        assert_eq!(r.stats().stale_reloads, 1, "only the first switch missed");
+        assert_eq!(r.stats().rebuilds(), 1, "y1=9 was a budget-gated rebuild");
+        assert_eq!(r.stats().store_evictions(), 0);
     }
 
     #[test]
@@ -672,9 +466,31 @@ mod tests {
     }
 
     #[test]
+    fn store_bundle_round_trip_serves_every_fingerprint_without_loading() {
+        let mut r = dotprod_runner(RunnerOptions::default());
+        let contexts = [(2.0, 3.0), (9.0, 4.0), (5.0, 5.0)];
+        for &(y1, z) in &contexts {
+            r.run(&argv_fixed(y1, z, z + 1.0)).expect("warmup");
+        }
+        assert_eq!(r.stats().loads, 3);
+        let text = r.save_store_text().expect("bundle");
+
+        let mut fresh = dotprod_runner(RunnerOptions::default());
+        fresh.load_cache_text(&text).expect("adopt bundle");
+        for &(y1, z) in &contexts {
+            let args = argv_fixed(y1, z + 2.0, z);
+            let got = fresh.run(&args).expect("from store").value;
+            assert_eq!(got, fresh.reference(&args).unwrap().value);
+        }
+        assert_eq!(fresh.stats().loads, 0, "every context came from the file");
+        assert_eq!(fresh.stats().store_hits(), 3);
+    }
+
+    #[test]
     fn cold_runner_has_no_cache_text() {
         let r = dotprod_runner(RunnerOptions::default());
         assert_eq!(r.save_cache_text(), None);
+        assert_eq!(r.save_store_text(), None);
     }
 
     #[test]
@@ -700,6 +516,24 @@ mod tests {
             .unwrap()
             .get("validation_failures")
             .is_some());
+        assert!(doc.get("store_hits").is_some());
+    }
+
+    #[test]
+    fn runner_stats_merge_matches_per_field_sums() {
+        let mut r1 = dotprod_runner(RunnerOptions::default());
+        let mut r2 = dotprod_runner(RunnerOptions::default());
+        r1.run(&argv(3.0, 6.0)).unwrap();
+        r2.run(&argv_fixed(9.0, 1.0, 2.0)).unwrap();
+        r2.run(&argv_fixed(8.0, 1.0, 2.0)).unwrap();
+        let mut merged = r1.stats().clone();
+        merged.merge(r2.stats());
+        assert_eq!(merged.requests, 3);
+        assert_eq!(merged.loads, 3);
+        assert_eq!(
+            merged.profile.store_misses,
+            r1.stats().profile.store_misses + r2.stats().profile.store_misses
+        );
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! The mutable half of staged execution: one caller's serving state.
+//!
+//! A [`Session`] owns everything a single serving thread mutates — the VM
+//! register file, a private working [`CacheBuf`], degradation bookkeeping
+//! and statistics — and shares the immutable
+//! [`StagedArtifact`](crate::StagedArtifact) plus the polyvariant
+//! [`CacheStore`](crate::CacheStore) with every other session through
+//! [`Arc`]s. The lifecycle is the one `StagedRunner` always had (see the
+//! [`runner`](crate::runner) module docs), extended with the store:
+//!
+//! * a request whose fingerprint matches the session's local warm cache is
+//!   served straight from that buffer — the hot path takes no lock at all;
+//! * on a fingerprint switch the session asks the store first
+//!   (`store_hits`/`store_misses`), cloning a hit into its private buffer
+//!   so no execution ever runs against shared memory — a torn cache is
+//!   structurally impossible, and the seal + shadow validation still runs
+//!   against the clone;
+//! * only a store miss runs the loader (budget-gated as before), and the
+//!   freshly sealed cache is published back to the store for the other
+//!   sessions (evictions are counted on the publishing session's profile);
+//! * a cache that fails validation is invalidated in the store *and*
+//!   dropped locally before the policy decides how to recover, so a
+//!   damaged entry is never re-served anywhere.
+
+use crate::artifact::StagedArtifact;
+use crate::cachefile;
+use crate::error::{IntegrityError, RuntimeError};
+use crate::fault::{Fault, FaultInjector};
+use crate::runner::{Policy, RunnerOptions, RunnerStats};
+use crate::store::{CacheStore, StoreEntry};
+use ds_interp::{CacheBuf, EvalError, Evaluator, Outcome, Value, Vm, WriteFault};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheState {
+    Cold,
+    Warm { inputs_fp: u64, seal: u64 },
+}
+
+/// A fault scheduled by [`Session::inject`], applied one-shot at the
+/// matching lifecycle point.
+#[derive(Debug, Clone, Copy)]
+enum PendingFault {
+    /// Arm the cache with a write fault at the next load.
+    Arm(WriteFault),
+    /// Truncate the sealed buffer to this length before the next
+    /// validation (or right after the next seal, when currently cold).
+    Truncate(usize),
+    /// Run the next staged execution (reader or loader) with this much
+    /// fuel.
+    Fuel(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Stage {
+    Fragment,
+    Loader,
+    Reader,
+}
+
+/// One caller's mutable serving state over a shared artifact and store.
+#[derive(Debug)]
+pub struct Session {
+    artifact: Arc<StagedArtifact>,
+    store: Arc<CacheStore>,
+    vm: Vm,
+    opts: RunnerOptions,
+    /// Private working copy of the current entry; engines execute against
+    /// this buffer only, never against store memory.
+    cache: CacheBuf,
+    state: CacheState,
+    ever_loaded: bool,
+    rebuilds_used: u32,
+    pending: Option<PendingFault>,
+    stats: RunnerStats,
+}
+
+impl Session {
+    /// Opens a session over a shared artifact and store.
+    pub fn new(artifact: Arc<StagedArtifact>, store: Arc<CacheStore>, opts: RunnerOptions) -> Self {
+        Session {
+            cache: CacheBuf::new(artifact.layout.slot_count()),
+            artifact,
+            store,
+            vm: Vm::new(),
+            opts,
+            state: CacheState::Cold,
+            ever_loaded: false,
+            rebuilds_used: 0,
+            pending: None,
+            stats: RunnerStats::default(),
+        }
+    }
+
+    /// The shared immutable artifact this session executes.
+    pub fn artifact(&self) -> &Arc<StagedArtifact> {
+        &self.artifact
+    }
+
+    /// The shared polyvariant cache store this session publishes to.
+    pub fn store(&self) -> &Arc<CacheStore> {
+        &self.store
+    }
+
+    /// Robustness statistics accumulated so far.
+    pub fn stats(&self) -> &RunnerStats {
+        &self.stats
+    }
+
+    /// Whether the session's local cache is warm (loaded and sealed).
+    pub fn is_warm(&self) -> bool {
+        matches!(self.state, CacheState::Warm { .. })
+    }
+
+    /// Fingerprint of the invariant-input vector within `args`.
+    pub fn inputs_fingerprint(&self, args: &[Value]) -> u64 {
+        self.artifact.inputs_fingerprint(args)
+    }
+
+    /// Schedules a one-shot in-memory fault, deterministically sited from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// File faults ([`Fault::CorruptFile`], [`Fault::TruncateFile`]) do not
+    /// apply to the in-memory lifecycle; damage the serialized text with
+    /// [`FaultInjector`] instead.
+    pub fn inject(&mut self, fault: Fault, seed: u64) -> Result<(), String> {
+        let mut inj = FaultInjector::new(seed);
+        let slots = self.artifact.layout.slot_count() as u64;
+        self.pending = Some(match fault {
+            Fault::CorruptSlot => PendingFault::Arm(WriteFault::CorruptNth(inj.pick(slots))),
+            Fault::DropStore => PendingFault::Arm(WriteFault::DropNth(inj.pick(slots))),
+            Fault::TruncateBuffer => PendingFault::Truncate(inj.pick(slots) as usize),
+            Fault::ExhaustFuel(n) => PendingFault::Fuel(n),
+            Fault::CorruptFile | Fault::TruncateFile => {
+                return Err(format!(
+                    "fault `{fault}` applies to a serialized cache file, not the in-memory \
+                     lifecycle"
+                ))
+            }
+        });
+        Ok(())
+    }
+
+    /// Serves one request: consults the local cache, then the shared
+    /// store, and only then (re)builds — or degrades per the configured
+    /// [`Policy`].
+    ///
+    /// # Errors
+    ///
+    /// A typed [`RuntimeError`]; under every fault model the returned value
+    /// is either the reference answer or one of these.
+    pub fn run(&mut self, args: &[Value]) -> Result<Outcome, RuntimeError> {
+        self.stats.requests += 1;
+        let fp = self.artifact.inputs_fingerprint(args);
+        // A pending buffer fault strikes a warm cache before validation.
+        if self.is_warm() {
+            if let Some(PendingFault::Truncate(n)) = self.pending {
+                self.pending = None;
+                self.cache.truncate(n);
+            }
+        }
+        match self.state {
+            CacheState::Warm { inputs_fp, seal } if inputs_fp == fp => {
+                self.serve_warm(args, fp, seal)
+            }
+            _ => self.fetch(args, fp),
+        }
+    }
+
+    /// The reference oracle: the fragment, tree-walked, uncached.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`] of the unspecialized fragment itself.
+    pub fn reference(&self, args: &[Value]) -> Result<Outcome, EvalError> {
+        self.artifact.reference(args, self.opts.eval)
+    }
+
+    /// Serializes the session's local warm cache as a single-entry
+    /// checksummed cache file, or `None` when cold.
+    pub fn save_cache_text(&self) -> Option<String> {
+        match self.state {
+            CacheState::Warm { inputs_fp, .. } => Some(cachefile::save_cache(
+                &self.cache,
+                self.artifact.layout_fp,
+                inputs_fp,
+            )),
+            CacheState::Cold => None,
+        }
+    }
+
+    /// Serializes the whole shared store as a cache-store bundle (one
+    /// entry per fingerprint, sorted), or `None` when the store is empty.
+    pub fn save_store_text(&self) -> Option<String> {
+        let snap = self.store.snapshot();
+        if snap.is_empty() {
+            return None;
+        }
+        let entries: Vec<(u64, CacheBuf)> = snap.into_iter().map(|(fp, e)| (fp, e.cache)).collect();
+        Some(cachefile::save_store(&entries, self.artifact.layout_fp))
+    }
+
+    /// Adopts a previously saved cache file — either a legacy single-entry
+    /// `cache` file or a `cache-store` bundle — fully validating every
+    /// entry against this session's layout first. Entries are published to
+    /// the shared store; when the file holds exactly one entry the session
+    /// also warms its local cache with it (so a single-entry adopt still
+    /// serves its first request without touching the store).
+    ///
+    /// # Errors
+    ///
+    /// The [`IntegrityError`] of the first validation failure — a damaged
+    /// or mismatched file is *always* rejected, never partially adopted.
+    pub fn load_cache_text(&mut self, text: &str) -> Result<(), RuntimeError> {
+        let loaded = cachefile::parse_store(text, &self.artifact.layout)?;
+        let single = loaded.len() == 1;
+        for lc in loaded {
+            let seal = lc.cache.content_hash();
+            let fp = lc.inputs_fingerprint;
+            if single {
+                self.cache = lc.cache.clone();
+                self.state = CacheState::Warm {
+                    inputs_fp: fp,
+                    seal,
+                };
+            }
+            let evicted = self.store.insert(
+                fp,
+                StoreEntry {
+                    cache: lc.cache,
+                    seal,
+                },
+            );
+            self.stats.profile.store_evictions += evicted;
+        }
+        self.ever_loaded = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle internals
+    // ------------------------------------------------------------------
+
+    fn take_fuel(&mut self) -> Option<u64> {
+        if let Some(PendingFault::Fuel(n)) = self.pending {
+            self.pending = None;
+            Some(n)
+        } else {
+            None
+        }
+    }
+
+    /// Pre-reader integrity validation of the local warm, sealed cache.
+    fn validate(&self, seal: u64) -> Result<(), IntegrityError> {
+        let declared = self.artifact.layout.slot_count();
+        if self.cache.len() != declared {
+            return Err(IntegrityError::LayoutMismatch {
+                detail: format!(
+                    "cache has {} slot(s), layout declares {declared}",
+                    self.cache.len(),
+                ),
+            });
+        }
+        if let Some(slot) = self.cache.first_tampered_slot() {
+            return Err(IntegrityError::TamperedSlot { slot });
+        }
+        let found = self.cache.content_hash();
+        if found != seal {
+            return Err(IntegrityError::SealBroken {
+                expected: seal,
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates the local cache and runs the reader; a failure of either
+    /// invalidates the fingerprint everywhere (locally and in the store)
+    /// before the policy decides.
+    fn serve_warm(&mut self, args: &[Value], fp: u64, seal: u64) -> Result<Outcome, RuntimeError> {
+        if let Err(ie) = self.validate(seal) {
+            self.stats.profile.validation_failures += 1;
+            self.state = CacheState::Cold;
+            self.store.invalidate(fp);
+            return self.recover(args, fp, RuntimeError::Integrity(ie));
+        }
+        let fuel = self.take_fuel();
+        match self.exec(Stage::Reader, args, fuel) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                self.stats.reader_failures += 1;
+                self.recover(args, fp, RuntimeError::Eval(e))
+            }
+        }
+    }
+
+    /// Local miss (cold session or fingerprint switch): consult the shared
+    /// store before paying for a loader run.
+    fn fetch(&mut self, args: &[Value], fp: u64) -> Result<Outcome, RuntimeError> {
+        let was_warm = self.is_warm();
+        if let Some(entry) = self.store.get(fp) {
+            self.stats.profile.store_hits += 1;
+            self.cache = entry.cache;
+            self.state = CacheState::Warm {
+                inputs_fp: fp,
+                seal: entry.seal,
+            };
+            return self.serve_warm(args, fp, entry.seal);
+        }
+        self.stats.profile.store_misses += 1;
+        if was_warm {
+            self.stats.stale_reloads += 1;
+        }
+        self.reload(args, fp)
+    }
+
+    /// Runs the loader to (re)build the cache for `fp`, returning the
+    /// loader's own outcome (it computes the result while filling slots),
+    /// and publishes the sealed result to the store. Rebuilds beyond the
+    /// initial load are budget-gated.
+    fn reload(&mut self, args: &[Value], fp: u64) -> Result<Outcome, RuntimeError> {
+        if self.ever_loaded {
+            if self.rebuilds_used >= self.opts.rebuild_budget {
+                return match self.opts.policy {
+                    Policy::FailFast => Err(RuntimeError::RebuildBudgetExhausted {
+                        budget: self.opts.rebuild_budget,
+                    }),
+                    _ => self.fallback(args),
+                };
+            }
+            self.rebuilds_used += 1;
+            self.stats.profile.rebuilds += 1;
+        }
+        self.stats.loads += 1;
+        self.cache = CacheBuf::new(self.artifact.layout.slot_count());
+        if let Some(PendingFault::Arm(wf)) = self.pending {
+            self.pending = None;
+            self.cache.arm_write_fault(wf);
+        }
+        let fuel = self.take_fuel();
+        match self.exec(Stage::Loader, args, fuel) {
+            Ok(out) => {
+                let seal = self.cache.content_hash();
+                self.state = CacheState::Warm {
+                    inputs_fp: fp,
+                    seal,
+                };
+                self.ever_loaded = true;
+                // Publish to the store (clone keeps the tamper shadow, so
+                // a cache corrupted by an armed write fault is still
+                // detected by whichever session pulls it back out).
+                let evicted = self.store.insert(
+                    fp,
+                    StoreEntry {
+                        cache: self.cache.clone(),
+                        seal,
+                    },
+                );
+                self.stats.profile.store_evictions += evicted;
+                // A buffer fault injected while cold strikes right after
+                // the seal, so the next request's validation sees it. It
+                // models damage to *this session's* memory; the published
+                // entry above is the sealed pre-damage cache.
+                if let Some(PendingFault::Truncate(n)) = self.pending {
+                    self.pending = None;
+                    self.cache.truncate(n);
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                self.state = CacheState::Cold;
+                match self.opts.policy {
+                    Policy::FailFast => Err(RuntimeError::Eval(e)),
+                    _ => self.fallback(args),
+                }
+            }
+        }
+    }
+
+    /// Handles a warm-path failure (`err`) per the configured policy. The
+    /// cache has already been invalidated by validation failures; reader
+    /// failures discard it here so a later request may rebuild.
+    fn recover(
+        &mut self,
+        args: &[Value],
+        fp: u64,
+        err: RuntimeError,
+    ) -> Result<Outcome, RuntimeError> {
+        match self.opts.policy {
+            Policy::FailFast => Err(err),
+            Policy::RebuildThenFallback => {
+                self.state = CacheState::Cold;
+                self.reload(args, fp)
+            }
+            Policy::FallbackToUnspecialized => {
+                self.state = CacheState::Cold;
+                self.fallback(args)
+            }
+        }
+    }
+
+    /// Last resort: evaluate the unspecialized fragment for this request.
+    fn fallback(&mut self, args: &[Value]) -> Result<Outcome, RuntimeError> {
+        self.stats.profile.fallbacks += 1;
+        self.exec(Stage::Fragment, args, None)
+            .map_err(RuntimeError::Eval)
+    }
+
+    fn exec(
+        &mut self,
+        stage: Stage,
+        args: &[Value],
+        fuel: Option<u64>,
+    ) -> Result<Outcome, EvalError> {
+        let mut opts = self.opts.eval;
+        if let Some(f) = fuel {
+            opts.step_limit = f;
+        }
+        let art = &self.artifact;
+        let (name, with_cache) = match stage {
+            Stage::Fragment => (art.entry.as_str(), false),
+            Stage::Loader => (art.loader_name.as_str(), true),
+            Stage::Reader => (art.reader_name.as_str(), true),
+        };
+        let out = match self.opts.engine {
+            ds_interp::Engine::Tree => {
+                let ev = Evaluator::with_options(&art.staged, opts);
+                if with_cache {
+                    ev.run_with_cache(name, args, &mut self.cache)
+                } else {
+                    ev.run(name, args)
+                }
+            }
+            ds_interp::Engine::Vm => {
+                let cache = if with_cache {
+                    Some(&mut self.cache)
+                } else {
+                    None
+                };
+                self.vm.run(&art.compiled, name, args, cache, opts)
+            }
+        };
+        if let Ok(o) = &out {
+            if let Some(p) = &o.profile {
+                self.stats.profile.merge(p);
+            }
+        }
+        out
+    }
+}

@@ -115,3 +115,49 @@ fn exported_profile_json_round_trips_and_is_consistent() {
         Some(p.total_dynamic_work())
     );
 }
+
+/// The polyvariant store counters are engine-invariant: driving the same
+/// deterministic request sequence (context switches, store hits, an
+/// eviction at capacity 1) through a staged session on each engine yields
+/// byte-identical stats documents — a metrics consumer can never tell
+/// which engine served the stream.
+#[test]
+fn store_counters_are_engine_invariant() {
+    use ds_runtime::{RunnerOptions, StagedRunner};
+
+    let ex = &paper_examples()[0]; // s2_dotprod
+    let part = InputPartition::varying(ex.varying.iter().copied());
+    let spec =
+        specialize_source(ex.src, ex.entry, &part, &SpecializeOptions::new()).expect("specialize");
+    // Two invariant contexts under a one-entry store: A, A (warm), B
+    // (miss + eviction), A (miss + eviction), B... deterministic churn.
+    let ctx_a = &ex.arg_sets[0];
+    let mut ctx_b = ex.arg_sets[0].clone();
+    ctx_b[0] = ds_interp::Value::Float(9.0); // x1 is fixed: new fingerprint
+    let sequence = [ctx_a, ctx_a, &ctx_b, ctx_a, &ctx_b, &ctx_b];
+
+    let docs: Vec<String> = [Engine::Tree, Engine::Vm]
+        .into_iter()
+        .map(|engine| {
+            let mut r = StagedRunner::new(
+                &spec,
+                &part,
+                RunnerOptions {
+                    engine,
+                    store_capacity: 1,
+                    eval: popts(),
+                    ..RunnerOptions::default()
+                },
+            );
+            for args in sequence {
+                r.run(args).unwrap_or_else(|e| panic!("{engine:?}: {e}"));
+            }
+            let doc = r.stats().to_json();
+            // The counters themselves must reflect the churn.
+            assert!(doc.get("store_misses").unwrap().as_u64().unwrap() >= 3);
+            assert!(doc.get("store_evictions").unwrap().as_u64().unwrap() >= 2);
+            doc.pretty()
+        })
+        .collect();
+    assert_eq!(docs[0], docs[1], "stats documents diverge between engines");
+}
