@@ -44,6 +44,10 @@ const VALUE_OPTIONS: &[&str] = &[
     "seed",
     "workers",
     "store-capacity",
+    "cases",
+    "oracle",
+    "out",
+    "replay",
 ];
 
 /// Parses raw arguments (excluding the program name).
@@ -234,6 +238,48 @@ impl Args {
         }
     }
 
+    /// `--cases N`: fuzz cases to generate (default 100).
+    pub fn cases(&self) -> Result<u64, UsageError> {
+        match self.options.get("cases") {
+            None => Ok(100),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(UsageError(format!(
+                    "--cases expects a case count >= 1, got `{v}`"
+                ))),
+            },
+        }
+    }
+
+    /// `--oracle NAME[,NAME..]`: oracles for `fuzz` to check (all by
+    /// default).
+    pub fn oracles(&self) -> Result<Vec<ds_gen::Oracle>, UsageError> {
+        match self.options.get("oracle") {
+            None => Ok(ds_gen::Oracle::ALL.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().map_err(UsageError))
+                .collect(),
+        }
+    }
+
+    /// `--out PATH`: where `fuzz` writes a reproducer on failure (default
+    /// `fuzz-reproducer.mc`).
+    pub fn out(&self) -> &str {
+        self.options
+            .get("out")
+            .map(String::as_str)
+            .unwrap_or("fuzz-reproducer.mc")
+    }
+
+    /// `--replay PATH`: a reproducer file for `fuzz` to re-check instead of
+    /// generating cases.
+    pub fn replay(&self) -> Option<&str> {
+        self.options.get("replay").map(String::as_str)
+    }
+
     /// `--seed N` for deterministic fault placement (0 by default).
     pub fn seed(&self) -> Result<u64, UsageError> {
         match self.options.get("seed") {
@@ -387,6 +433,42 @@ mod tests {
         assert!(a.inject().is_err());
         let a = parse_ok(&["serve", "f.mc", "--seed", "x"]);
         assert!(a.seed().is_err());
+    }
+
+    #[test]
+    fn fuzz_options_parse() {
+        let a = parse_ok(&[
+            "fuzz",
+            "--seed",
+            "42",
+            "--cases",
+            "200",
+            "--oracle",
+            "semantics,serve",
+            "--out",
+            "repro.mc",
+        ]);
+        assert_eq!(a.seed().unwrap(), 42);
+        assert_eq!(a.cases().unwrap(), 200);
+        assert_eq!(
+            a.oracles().unwrap(),
+            vec![ds_gen::Oracle::Semantics, ds_gen::Oracle::Serve]
+        );
+        assert_eq!(a.out(), "repro.mc");
+        assert_eq!(a.replay(), None);
+
+        let a = parse_ok(&["fuzz"]);
+        assert_eq!(a.cases().unwrap(), 100);
+        assert_eq!(a.oracles().unwrap(), ds_gen::Oracle::ALL.to_vec());
+        assert_eq!(a.out(), "fuzz-reproducer.mc");
+
+        let a = parse_ok(&["fuzz", "--replay", "r.mc"]);
+        assert_eq!(a.replay(), Some("r.mc"));
+
+        let a = parse_ok(&["fuzz", "--cases", "0"]);
+        assert!(a.cases().is_err());
+        let a = parse_ok(&["fuzz", "--oracle", "bogus"]);
+        assert!(a.oracles().is_err());
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!     graceful degradation, optional fault injection); `--workers`
 //!     partitions the stream across threads sharing one artifact and one
 //!     polyvariant cache store
+//! dsc fuzz [--seed N] [--cases N] [--oracle NAME,..] [--out PATH]
+//!          [--replay PATH]
+//!     generate random typed programs and check the pipeline's conformance
+//!     oracles; shrink and write a reproducer on the first violation
 //! dsc help
 //! ```
 //!
@@ -112,6 +116,8 @@ USAGE:
               [--rebuild-budget N] [--workers N] [--store-capacity N]
               [--cache-file PATH] [--inject FAULT] [--seed N]
               [--metrics-out PATH]
+    dsc fuzz [--seed N] [--cases N] [--oracle NAME[,NAME..]] [--out PATH]
+             [--replay PATH]
     dsc help
 
 The input is a MiniC source file (a subset of C without pointers or goto).
@@ -134,6 +140,11 @@ sealed cache per invariant fingerprint, LRU-bounded by
 `--store-capacity`); per-worker stats are merged deterministically.
 `--metrics-out PATH` writes a versioned ds-telemetry JSON document with
 the run's execution profiles and/or specialization report.
+`fuzz` generates `--cases` random typed programs from `--seed` and checks
+the conformance oracles (semantics, work, budget, normalize, reassoc,
+serve; `--oracle` selects a subset) over the whole pipeline on both
+engines. The first violation is shrunk to a minimal program and written
+to `--out` as a reproducer file, which `--replay` re-checks.
 
 Exit codes: 0 success, 2 usage error, 3 frontend/specialization error,
 4 evaluation error, 5 cache-integrity violation.";
@@ -163,6 +174,7 @@ fn dispatch(raw: Vec<String>) -> Result<(), CliError> {
         "measure" => cmd_measure(&args),
         "explain" => cmd_explain(&args),
         "serve" => cmd_serve(&args),
+        "fuzz" => cmd_fuzz(&args),
         other => Err(CliError::Usage(format!(
             "unknown subcommand `{other}`; try `dsc help`"
         ))),
@@ -762,4 +774,92 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     } else {
         Ok(())
     }
+}
+
+/// `dsc fuzz`: run a conformance-fuzzing campaign, or `--replay` a
+/// reproducer file.
+fn cmd_fuzz(args: &Args) -> Result<(), CliError> {
+    if !args.positional.is_empty() {
+        return Err(CliError::Usage(
+            "fuzz takes no positional arguments; see `dsc help`".into(),
+        ));
+    }
+    if let Some(path) = args.replay() {
+        return replay_reproducer(args, path);
+    }
+    let config = ds_gen::FuzzConfig {
+        seed: args.seed()?,
+        cases: args.cases()?,
+        oracles: args.oracles()?,
+    };
+    let oracle_names: Vec<&str> = config.oracles.iter().map(|o| o.name()).collect();
+    println!(
+        "fuzz: seed {}, {} case(s), oracles: {}",
+        config.seed,
+        config.cases,
+        oracle_names.join(", ")
+    );
+    let every = (config.cases / 10).max(1);
+    match ds_gen::run_fuzz(&config, |done, total| {
+        if done % every == 0 || done == total {
+            println!("fuzz: {done}/{total} cases clean");
+        }
+    }) {
+        Ok(summary) => {
+            println!(
+                "fuzz: PASS — {} case(s), {} oracle check(s), no violations",
+                summary.cases, summary.checks
+            );
+            Ok(())
+        }
+        Err(failure) => {
+            let out = args.out();
+            std::fs::write(out, failure.reproducer())
+                .map_err(|e| CliError::Usage(format!("cannot write `{out}`: {e}")))?;
+            println!(
+                "fuzz: FAIL — oracle `{}` on case {} (seed {}), shrunk {} -> {} AST nodes",
+                failure.oracle,
+                failure.index,
+                failure.seed,
+                failure.original_nodes,
+                failure.case.node_count()
+            );
+            println!("fuzz: reproducer written to `{out}`; re-check with:");
+            println!("    dsc fuzz --replay {out}");
+            Err(CliError::Eval(format!(
+                "oracle `{}` violated: {}",
+                failure.oracle, failure.message
+            )))
+        }
+    }
+}
+
+/// Re-checks a reproducer file against its recorded oracle (or the
+/// `--oracle` override).
+fn replay_reproducer(args: &Args, path: &str) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read `{path}`: {e}")))?;
+    let (recorded, case) = ds_gen::FuzzCase::from_text(&text)
+        .map_err(|e| CliError::Frontend(format!("`{path}`: {e}")))?;
+    let oracles = if args.options.contains_key("oracle") {
+        args.oracles()?
+    } else {
+        let oracle = recorded
+            .parse::<ds_gen::Oracle>()
+            .map_err(|e| CliError::Frontend(format!("`{path}`: {e}")))?;
+        vec![oracle]
+    };
+    for oracle in oracles {
+        print!("replay: oracle `{oracle}` ... ");
+        match oracle.check(&case) {
+            Ok(()) => println!("pass"),
+            Err(msg) => {
+                println!("FAIL");
+                return Err(CliError::Eval(format!(
+                    "`{path}`: oracle `{oracle}` still violated: {msg}"
+                )));
+            }
+        }
+    }
+    Ok(())
 }

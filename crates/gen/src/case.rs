@@ -1,0 +1,200 @@
+//! A fuzz case and its on-disk reproducer format.
+//!
+//! A case is a complete conformance question: a MiniC program, an input
+//! partition (which parameters vary), and a request stream (the first
+//! request doubles as the loader's inputs). The reproducer format is plain
+//! MiniC with a structured comment header, so a reproducer file is *itself*
+//! a valid `dsc` input:
+//!
+//! ```text
+//! // dsc-fuzz reproducer
+//! // oracle: semantics
+//! // seed: 42/17
+//! // vary: p1,p3
+//! // request: -0.5,1,true
+//! // request: 0.25,1,true
+//! float gen(float p0, int p1, bool p2) { ... }
+//! ```
+
+use ds_interp::Value;
+use ds_lang::Program;
+
+/// One generated conformance case.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// The program; the entry procedure is named `gen`.
+    pub program: Program,
+    /// Names of the varying parameters (a subset of the entry's params).
+    pub varying: Vec<String>,
+    /// The request stream: full argument vectors for the entry procedure.
+    /// The first request is also the loader's input vector.
+    pub requests: Vec<Vec<Value>>,
+}
+
+impl FuzzCase {
+    /// Total AST nodes of the program — the size the shrinker minimizes
+    /// and the acceptance criterion bounds.
+    pub fn node_count(&self) -> usize {
+        self.program.procs.iter().map(|p| p.node_count()).sum()
+    }
+
+    /// Serializes the case as a reproducer file. `oracle` names the oracle
+    /// that failed; `seed_label` records provenance (e.g. `42/17`).
+    pub fn to_text(&self, oracle: &str, seed_label: &str) -> String {
+        let mut out = String::new();
+        out.push_str("// dsc-fuzz reproducer\n");
+        out.push_str(&format!("// oracle: {oracle}\n"));
+        out.push_str(&format!("// seed: {seed_label}\n"));
+        out.push_str(&format!("// vary: {}\n", self.varying.join(",")));
+        for req in &self.requests {
+            out.push_str(&format!("// request: {}\n", format_values(req)));
+        }
+        out.push_str(&ds_lang::print_program(&self.program));
+        out
+    }
+
+    /// Parses a reproducer file back into `(oracle, case)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed header line, parse
+    /// error or type error.
+    pub fn from_text(text: &str) -> Result<(String, FuzzCase), String> {
+        let mut oracle = String::new();
+        let mut varying = Vec::new();
+        let mut requests = Vec::new();
+        for line in text.lines() {
+            let Some(rest) = line.trim().strip_prefix("//") else {
+                continue;
+            };
+            let rest = rest.trim();
+            if let Some(v) = rest.strip_prefix("oracle:") {
+                oracle = v.trim().to_string();
+            } else if let Some(v) = rest.strip_prefix("vary:") {
+                varying = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+            } else if let Some(v) = rest.strip_prefix("request:") {
+                requests.push(parse_values(v)?);
+            }
+        }
+        if oracle.is_empty() {
+            return Err("reproducer is missing an `// oracle:` header".into());
+        }
+        if requests.is_empty() {
+            return Err("reproducer has no `// request:` lines".into());
+        }
+        // The header lines are comments, so the whole file is the program.
+        let program =
+            ds_lang::parse_program(text).map_err(|e| format!("parse: {}", e.render(text)))?;
+        ds_lang::typecheck(&program).map_err(|e| format!("typecheck: {}", e.render(text)))?;
+        Ok((
+            oracle,
+            FuzzCase {
+                program,
+                varying,
+                requests,
+            },
+        ))
+    }
+}
+
+/// Formats one request as the comma-separated list `parse_values` reads.
+pub fn format_values(values: &[Value]) -> String {
+    values
+        .iter()
+        .map(|v| match v {
+            // `{:?}` keeps a decimal point (or exponent) on every float, so
+            // the value reparses as a float rather than an int.
+            Value::Float(x) => format!("{x:?}"),
+            Value::Int(i) => format!("{i}"),
+            Value::Bool(b) => format!("{b}"),
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses one comma-separated value list (`1.0,2,true`), the same syntax
+/// `dsc --args` uses.
+///
+/// # Errors
+///
+/// Returns a description of the first unparseable token.
+pub fn parse_values(spec: &str) -> Result<Vec<Value>, String> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|tok| {
+            if tok == "true" {
+                Ok(Value::Bool(true))
+            } else if tok == "false" {
+                Ok(Value::Bool(false))
+            } else if tok.contains('.') || tok.contains('e') || tok.contains('E') {
+                tok.parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| format!("bad float `{tok}`"))
+            } else {
+                tok.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| format!("bad value `{tok}`"))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FuzzCase {
+        let program =
+            ds_lang::parse_program("float gen(float p0, int p1) { return p0 * itof(p1); }")
+                .expect("parse");
+        FuzzCase {
+            program,
+            varying: vec!["p0".into()],
+            requests: vec![
+                vec![Value::Float(-0.5), Value::Int(3)],
+                vec![Value::Float(1.25), Value::Int(3)],
+            ],
+        }
+    }
+
+    #[test]
+    fn reproducer_round_trips() {
+        let case = sample();
+        let text = case.to_text("semantics", "42/17");
+        let (oracle, back) = FuzzCase::from_text(&text).expect("reparse");
+        assert_eq!(oracle, "semantics");
+        assert_eq!(back.varying, case.varying);
+        assert_eq!(back.requests, case.requests);
+        assert_eq!(
+            ds_lang::print_program(&back.program),
+            ds_lang::print_program(&case.program)
+        );
+    }
+
+    #[test]
+    fn values_round_trip_all_types() {
+        let vals = vec![
+            Value::Float(-0.5),
+            Value::Float(2.0),
+            Value::Int(-7),
+            Value::Bool(true),
+            Value::Bool(false),
+        ];
+        assert_eq!(parse_values(&format_values(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn missing_headers_are_rejected() {
+        assert!(FuzzCase::from_text("float gen() { return 0.0; }").is_err());
+        assert!(
+            FuzzCase::from_text("// oracle: semantics\nfloat gen() { return 0.0; }").is_err(),
+            "no requests"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! The fuzz campaign driver: generate → check → shrink → report.
+
+use crate::case::FuzzCase;
+use crate::generate::gen_case;
+use crate::oracle::Oracle;
+use crate::rng::Rng;
+use crate::shrink::shrink;
+
+/// Configuration of one fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Base seed; case `i` uses [`Rng::case_seed`]`(seed, i)`.
+    pub seed: u64,
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Oracles to check per case, in order.
+    pub oracles: Vec<Oracle>,
+}
+
+/// A minimized counterexample.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The oracle that rejected the case.
+    pub oracle: Oracle,
+    /// Base seed of the campaign.
+    pub seed: u64,
+    /// Index of the failing case within the campaign.
+    pub index: u64,
+    /// The oracle's description of the violation *on the shrunk case*.
+    pub message: String,
+    /// The shrunk case.
+    pub case: FuzzCase,
+    /// AST nodes before shrinking, for the report.
+    pub original_nodes: usize,
+}
+
+impl Failure {
+    /// The `seed/index` provenance label written into reproducer headers.
+    pub fn seed_label(&self) -> String {
+        format!("{}/{}", self.seed, self.index)
+    }
+
+    /// Renders the shrunk case as a reproducer file.
+    pub fn reproducer(&self) -> String {
+        self.case.to_text(self.oracle.name(), &self.seed_label())
+    }
+}
+
+/// Statistics of a campaign that found no counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzSummary {
+    /// Cases generated and checked.
+    pub cases: u64,
+    /// Oracle checks performed (`cases × oracles`).
+    pub checks: u64,
+}
+
+/// Checks every configured oracle against `case`; returns the first
+/// violation as `(oracle, message)`.
+///
+/// # Errors
+///
+/// The failing oracle and its description of the violation.
+pub fn check_case(case: &FuzzCase, oracles: &[Oracle]) -> Result<(), (Oracle, String)> {
+    for &oracle in oracles {
+        oracle.check(case).map_err(|msg| (oracle, msg))?;
+    }
+    Ok(())
+}
+
+/// Runs the campaign. On the first oracle violation the failing case is
+/// greedily shrunk (re-checking the same oracle after every candidate edit)
+/// and returned as a [`Failure`]; `progress` is called after each clean
+/// case with `(index, total)`.
+///
+/// # Errors
+///
+/// The shrunk counterexample, ready to be written as a reproducer.
+pub fn run_fuzz(
+    config: &FuzzConfig,
+    mut progress: impl FnMut(u64, u64),
+) -> Result<FuzzSummary, Box<Failure>> {
+    for index in 0..config.cases {
+        let case = gen_case(Rng::case_seed(config.seed, index));
+        if let Err((oracle, _)) = check_case(&case, &config.oracles) {
+            let original_nodes = case.node_count();
+            let shrunk = shrink(&case, oracle);
+            let message = oracle
+                .check(&shrunk)
+                .expect_err("shrink preserves the failure");
+            return Err(Box::new(Failure {
+                oracle,
+                seed: config.seed,
+                index,
+                message,
+                case: shrunk,
+                original_nodes,
+            }));
+        }
+        progress(index + 1, config.cases);
+    }
+    Ok(FuzzSummary {
+        cases: config.cases,
+        checks: config.cases * config.oracles.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_passes_every_oracle() {
+        let config = FuzzConfig {
+            seed: 42,
+            cases: 8,
+            oracles: Oracle::ALL.to_vec(),
+        };
+        let summary = run_fuzz(&config, |_, _| {}).expect("no violations");
+        assert_eq!(summary.cases, 8);
+        assert_eq!(summary.checks, 48);
+    }
+}

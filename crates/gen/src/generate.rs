@@ -1,0 +1,614 @@
+//! The seeded, typed random program generator.
+//!
+//! Programs are built directly as `ds-lang` ASTs under a scope discipline
+//! that guarantees the front end accepts every case: every variable is
+//! declared-with-initializer before use, names are fresh (no shadowing),
+//! loops are bounded counters (the counter is never an assignment target),
+//! and the optional helper procedure is non-recursive. The generator
+//! covers all three value types, the full operator set (including the
+//! error-raising integer `/` and `%`), a representative slice of the
+//! builtin library (cheap, expensive and effectful), ternaries, joins
+//! (branches assigning the same variable), nested loops, and inlinable
+//! helper calls — every construct the pipeline's phases dispatch on.
+
+use crate::case::FuzzCase;
+use crate::rng::Rng;
+use ds_interp::Value;
+use ds_lang::{BinOp, Block, Expr, Param, Proc, Program, Stmt, StmtKind, Type, UnOp};
+
+/// One in-scope variable.
+#[derive(Debug, Clone)]
+struct Var {
+    name: String,
+    ty: Type,
+    /// Loop counters are readable but never assignment targets — the
+    /// termination guarantee.
+    assignable: bool,
+}
+
+struct Gen {
+    rng: Rng,
+    fresh: u32,
+    /// Whether the program being generated has an `aux` helper to call.
+    has_aux: bool,
+    /// Parameter types of `aux`, for call-site argument generation.
+    aux_params: Vec<Type>,
+    aux_ret: Type,
+    /// Calls to `aux` already emitted — bounded so the inliner's work stays
+    /// proportionate.
+    aux_calls: u32,
+    /// True while generating the branches of a ternary: user calls cannot
+    /// be hoisted out of `?:` branches, so the inliner rejects them there.
+    forbid_aux: bool,
+}
+
+impl Gen {
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        let n = self.fresh;
+        self.fresh += 1;
+        format!("{prefix}{n}")
+    }
+
+    /// A random value type, weighted toward floats (the paper's domain).
+    fn value_type(&mut self) -> Type {
+        match self.rng.below(10) {
+            0..=5 => Type::Float,
+            6..=8 => Type::Int,
+            _ => Type::Bool,
+        }
+    }
+
+    fn literal(&mut self, ty: Type) -> Expr {
+        match ty {
+            Type::Float => Expr::float(self.rng.range_i64(-8, 8) as f64 * 0.25),
+            Type::Int => Expr::int(self.rng.range_i64(-4, 9)),
+            Type::Bool => Expr::bool(self.rng.chance(50)),
+            Type::Void => unreachable!("no void expressions"),
+        }
+    }
+
+    /// A leaf of type `ty`: a variable when one is in scope, else a literal.
+    fn leaf(&mut self, ty: Type, scope: &[Var]) -> Expr {
+        let candidates: Vec<&Var> = scope.iter().filter(|v| v.ty == ty).collect();
+        if !candidates.is_empty() && self.rng.chance(70) {
+            Expr::var(candidates[self.rng.below(candidates.len())].name.clone())
+        } else {
+            self.literal(ty)
+        }
+    }
+
+    fn expr(&mut self, ty: Type, depth: u32, scope: &[Var]) -> Expr {
+        if depth == 0 {
+            return self.leaf(ty, scope);
+        }
+        match ty {
+            Type::Float => self.float_expr(depth, scope),
+            Type::Int => self.int_expr(depth, scope),
+            Type::Bool => self.bool_expr(depth, scope),
+            Type::Void => unreachable!("no void expressions"),
+        }
+    }
+
+    fn float_expr(&mut self, depth: u32, scope: &[Var]) -> Expr {
+        let d = depth - 1;
+        match self.rng.below(20) {
+            0..=2 => self.leaf(Type::Float, scope),
+            3..=6 => {
+                let op = self
+                    .rng
+                    .pick_copy(&[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div]);
+                Expr::binary(
+                    op,
+                    self.expr(Type::Float, d, scope),
+                    self.expr(Type::Float, d, scope),
+                )
+            }
+            7 => Expr::unary(UnOp::Neg, self.expr(Type::Float, d, scope)),
+            8..=10 => {
+                // Cheap one-argument builtins.
+                let name = self
+                    .rng
+                    .pick(&["sin", "cos", "sqrt", "abs", "floor", "sign", "noise1"]);
+                Expr::call(*name, vec![self.expr(Type::Float, d, scope)])
+            }
+            11..=12 => {
+                let name = self.rng.pick(&["min", "max", "step", "pow", "fmod"]);
+                Expr::call(
+                    *name,
+                    vec![
+                        self.expr(Type::Float, d, scope),
+                        self.expr(Type::Float, d, scope),
+                    ],
+                )
+            }
+            13 => {
+                let name = self.rng.pick(&["lerp", "clamp", "smoothstep"]);
+                Expr::call(
+                    *name,
+                    vec![
+                        self.expr(Type::Float, d, scope),
+                        self.expr(Type::Float, d, scope),
+                        self.expr(Type::Float, d, scope),
+                    ],
+                )
+            }
+            14 => {
+                // The paper's expensive noise: the terms worth caching.
+                let name = self.rng.pick(&["fbm3", "turb3"]);
+                let octaves = self.rng.range_i64(1, 2);
+                Expr::call(
+                    *name,
+                    vec![
+                        self.expr(Type::Float, d, scope),
+                        self.expr(Type::Float, d, scope),
+                        Expr::float(0.7),
+                        Expr::int(octaves),
+                    ],
+                )
+            }
+            15 => Expr::call("itof", vec![self.expr(Type::Int, d, scope)]),
+            16..=17 => {
+                let cond = self.bool_expr(d, scope);
+                let (t, e) = self.cond_branches(Type::Float, d, scope);
+                Expr::cond(cond, t, e)
+            }
+            18 => Expr::call("trace", vec![self.expr(Type::Float, d, scope)]),
+            _ => self.call_aux_or(Type::Float, d, scope),
+        }
+    }
+
+    fn int_expr(&mut self, depth: u32, scope: &[Var]) -> Expr {
+        let d = depth - 1;
+        match self.rng.below(12) {
+            0..=2 => self.leaf(Type::Int, scope),
+            3..=5 => {
+                let op = self.rng.pick_copy(&[BinOp::Add, BinOp::Sub, BinOp::Mul]);
+                Expr::binary(
+                    op,
+                    self.expr(Type::Int, d, scope),
+                    self.expr(Type::Int, d, scope),
+                )
+            }
+            6..=7 => {
+                // Integer division and remainder raise DivideByZero at
+                // runtime; mostly guard with a non-zero literal divisor,
+                // sometimes leave the error path reachable on purpose.
+                let op = self.rng.pick_copy(&[BinOp::Div, BinOp::Rem]);
+                let divisor = if self.rng.chance(75) {
+                    let k = self.rng.range_i64(1, 6);
+                    Expr::int(if self.rng.chance(25) { -k } else { k })
+                } else {
+                    self.expr(Type::Int, d, scope)
+                };
+                Expr::binary(op, self.expr(Type::Int, d, scope), divisor)
+            }
+            8 => Expr::unary(UnOp::Neg, self.expr(Type::Int, d, scope)),
+            9 => Expr::call("ftoi", vec![self.expr(Type::Float, d, scope)]),
+            10 => {
+                let cond = self.bool_expr(d, scope);
+                let (t, e) = self.cond_branches(Type::Int, d, scope);
+                Expr::cond(cond, t, e)
+            }
+            _ => self.call_aux_or(Type::Int, d, scope),
+        }
+    }
+
+    fn bool_expr(&mut self, depth: u32, scope: &[Var]) -> Expr {
+        if depth == 0 {
+            return self.leaf(Type::Bool, scope);
+        }
+        let d = depth - 1;
+        match self.rng.below(10) {
+            0 => self.leaf(Type::Bool, scope),
+            1..=5 => {
+                let operand = if self.rng.chance(60) {
+                    Type::Float
+                } else {
+                    Type::Int
+                };
+                let op = self.rng.pick_copy(&[
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                ]);
+                Expr::binary(
+                    op,
+                    self.expr(operand, d, scope),
+                    self.expr(operand, d, scope),
+                )
+            }
+            6 => Expr::unary(UnOp::Not, self.bool_expr(d, scope)),
+            7 => {
+                // `a && b` desugars to `a ? b : false`, as the parser does.
+                let a = self.bool_expr(d, scope);
+                let saved = std::mem::replace(&mut self.forbid_aux, true);
+                let b = self.bool_expr(d, scope);
+                self.forbid_aux = saved;
+                Expr::cond(a, b, Expr::bool(false))
+            }
+            8 => {
+                // `a || b` desugars to `a ? true : b`.
+                let a = self.bool_expr(d, scope);
+                let saved = std::mem::replace(&mut self.forbid_aux, true);
+                let b = self.bool_expr(d, scope);
+                self.forbid_aux = saved;
+                Expr::cond(a, Expr::bool(true), b)
+            }
+            _ => {
+                let cond = self.bool_expr(d, scope);
+                let saved = std::mem::replace(&mut self.forbid_aux, true);
+                let t = self.bool_expr(d, scope);
+                let e = self.bool_expr(d, scope);
+                self.forbid_aux = saved;
+                Expr::cond(cond, t, e)
+            }
+        }
+    }
+
+    /// Generates the two branches of a ternary with `aux` calls disallowed
+    /// (the inliner cannot hoist a user call out of a `?:` branch).
+    fn cond_branches(&mut self, ty: Type, depth: u32, scope: &[Var]) -> (Expr, Expr) {
+        let saved = std::mem::replace(&mut self.forbid_aux, true);
+        let t = self.expr(ty, depth, scope);
+        let e = self.expr(ty, depth, scope);
+        self.forbid_aux = saved;
+        (t, e)
+    }
+
+    /// A call to the helper procedure, when one exists and this type
+    /// matches its return type; otherwise a leaf.
+    fn call_aux_or(&mut self, ty: Type, depth: u32, scope: &[Var]) -> Expr {
+        if self.has_aux && !self.forbid_aux && self.aux_ret == ty && self.aux_calls < 3 {
+            self.aux_calls += 1;
+            let args = self
+                .aux_params
+                .clone()
+                .into_iter()
+                .map(|pty| self.expr(pty, depth.min(1), scope))
+                .collect();
+            Expr::call("aux", args)
+        } else {
+            self.leaf(ty, scope)
+        }
+    }
+
+    /// Generates the statements of one block. Declarations extend `scope`
+    /// for the rest of this block only; the caller passes a clone.
+    fn block(&mut self, depth: u32, len: usize, scope: &mut Vec<Var>, out: &mut Vec<Stmt>) {
+        for _ in 0..len {
+            let choice = self.rng.below(if depth > 0 { 10 } else { 6 });
+            match choice {
+                0..=2 => {
+                    let ty = self.value_type();
+                    let init = self.expr(ty, 2, scope);
+                    let name = self.fresh_name("t");
+                    out.push(Stmt::synth(StmtKind::Decl {
+                        name: name.clone(),
+                        ty,
+                        init,
+                    }));
+                    scope.push(Var {
+                        name,
+                        ty,
+                        assignable: true,
+                    });
+                }
+                3..=4 => {
+                    let targets: Vec<(String, Type)> = scope
+                        .iter()
+                        .filter(|v| v.assignable)
+                        .map(|v| (v.name.clone(), v.ty))
+                        .collect();
+                    if targets.is_empty() {
+                        continue;
+                    }
+                    let (name, ty) = targets[self.rng.below(targets.len())].clone();
+                    let value = self.expr(ty, 2, scope);
+                    out.push(Stmt::synth(StmtKind::Assign {
+                        name,
+                        value,
+                        is_phi: false,
+                    }));
+                }
+                5 => {
+                    let arg = self.expr(Type::Float, 2, scope);
+                    out.push(Stmt::synth(StmtKind::ExprStmt(Expr::call(
+                        "trace",
+                        vec![arg],
+                    ))));
+                }
+                6..=7 => {
+                    let cond = self.bool_expr(2, scope);
+                    let then_len = self.rng.below(4);
+                    let else_len = self.rng.below(3);
+                    let mut tv = scope.clone();
+                    let mut then_stmts = Vec::new();
+                    self.block(depth - 1, then_len, &mut tv, &mut then_stmts);
+                    let mut ev = scope.clone();
+                    let mut else_stmts = Vec::new();
+                    self.block(depth - 1, else_len, &mut ev, &mut else_stmts);
+                    out.push(Stmt::synth(StmtKind::If {
+                        cond,
+                        then_blk: Block { stmts: then_stmts },
+                        else_blk: Block { stmts: else_stmts },
+                    }));
+                }
+                _ => {
+                    // A bounded counter loop: `int iN = 0; while (iN < k) {
+                    // ... iN = iN + 1; }`. The counter is in scope for the
+                    // body (readable) but never an assignment target.
+                    let counter = self.fresh_name("i");
+                    let bound = self.rng.range_i64(0, 3);
+                    out.push(Stmt::synth(StmtKind::Decl {
+                        name: counter.clone(),
+                        ty: Type::Int,
+                        init: Expr::int(0),
+                    }));
+                    let mut bv = scope.clone();
+                    bv.push(Var {
+                        name: counter.clone(),
+                        ty: Type::Int,
+                        assignable: false,
+                    });
+                    let body_len = self.rng.below(4);
+                    let mut body_stmts = Vec::new();
+                    self.block(depth - 1, body_len, &mut bv, &mut body_stmts);
+                    body_stmts.push(Stmt::synth(StmtKind::Assign {
+                        name: counter.clone(),
+                        value: Expr::binary(BinOp::Add, Expr::var(counter.clone()), Expr::int(1)),
+                        is_phi: false,
+                    }));
+                    out.push(Stmt::synth(StmtKind::While {
+                        cond: Expr::binary(BinOp::Lt, Expr::var(counter.clone()), Expr::int(bound)),
+                        body: Block { stmts: body_stmts },
+                    }));
+                    scope.push(Var {
+                        name: counter,
+                        ty: Type::Int,
+                        assignable: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// A random argument value of type `ty` (always finite).
+    fn arg(&mut self, ty: Type) -> Value {
+        match ty {
+            Type::Float => Value::Float(self.rng.range_i64(-8, 8) as f64 * 0.25),
+            Type::Int => Value::Int(self.rng.range_i64(-4, 9)),
+            Type::Bool => Value::Bool(self.rng.chance(50)),
+            Type::Void => unreachable!("no void parameters"),
+        }
+    }
+}
+
+/// Generates the fuzz case for `seed`. Deterministic: the same seed always
+/// yields the same program, partition and request stream.
+pub fn gen_case(seed: u64) -> FuzzCase {
+    let mut g = Gen {
+        rng: Rng::new(seed),
+        fresh: 0,
+        has_aux: false,
+        aux_params: Vec::new(),
+        aux_ret: Type::Float,
+        aux_calls: 0,
+        forbid_aux: false,
+    };
+
+    // Parameters: 2–6, the first always a float (the paper's shaders are
+    // float-dominated), the rest mixed.
+    let n_params = 2 + g.rng.below(5);
+    let mut params = Vec::new();
+    for i in 0..n_params {
+        let ty = if i == 0 { Type::Float } else { g.value_type() };
+        params.push(Param {
+            name: format!("p{i}"),
+            ty,
+        });
+    }
+
+    // Optionally a straight-line helper the inliner must fold away.
+    let mut procs = Vec::new();
+    if g.rng.chance(25) {
+        let n_aux = 1 + g.rng.below(3);
+        let aux_params: Vec<Param> = (0..n_aux)
+            .map(|i| Param {
+                name: format!("q{i}"),
+                ty: if g.rng.chance(70) {
+                    Type::Float
+                } else {
+                    Type::Int
+                },
+            })
+            .collect();
+        let aux_ret = if g.rng.chance(75) {
+            Type::Float
+        } else {
+            Type::Int
+        };
+        let scope: Vec<Var> = aux_params
+            .iter()
+            .map(|p| Var {
+                name: p.name.clone(),
+                ty: p.ty,
+                assignable: true,
+            })
+            .collect();
+        let ret_expr = g.expr(aux_ret, 2, &scope);
+        g.has_aux = true;
+        g.aux_params = aux_params.iter().map(|p| p.ty).collect();
+        g.aux_ret = aux_ret;
+        procs.push(Proc {
+            name: "aux".into(),
+            params: aux_params,
+            ret: aux_ret,
+            body: Block {
+                stmts: vec![Stmt::synth(StmtKind::Return(Some(ret_expr)))],
+            },
+            span: ds_lang::Span::DUMMY,
+        });
+    }
+
+    let ret = if g.rng.chance(60) {
+        Type::Float
+    } else if g.rng.chance(70) {
+        Type::Int
+    } else {
+        Type::Bool
+    };
+
+    let mut scope: Vec<Var> = params
+        .iter()
+        .map(|p| Var {
+            name: p.name.clone(),
+            ty: p.ty,
+            assignable: true,
+        })
+        .collect();
+    let mut body = Vec::new();
+    let len = 1 + g.rng.below(7);
+    g.block(2, len, &mut scope, &mut body);
+    let ret_expr = g.expr(ret, 3, &scope);
+    body.push(Stmt::synth(StmtKind::Return(Some(ret_expr))));
+
+    procs.push(Proc {
+        name: "gen".into(),
+        params: params.clone(),
+        ret,
+        body: Block { stmts: body },
+        span: ds_lang::Span::DUMMY,
+    });
+
+    let mut program = Program { procs };
+    ds_lang::validate(&mut program).unwrap_or_else(|e| {
+        panic!(
+            "generated program must be front-end clean (seed {seed}): {e}\n{}",
+            ds_lang::print_program(&program)
+        )
+    });
+
+    // The partition: each parameter varies with probability 40% — empty
+    // and full partitions arise naturally and stay legal.
+    let varying: Vec<String> = params
+        .iter()
+        .filter(|_| g.rng.chance(40))
+        .map(|p| p.name.clone())
+        .collect();
+
+    // The request stream: 2–5 vectors. All requests agree on the fixed
+    // parameters (the cache contract); varying parameters are redrawn per
+    // request. Oracles that want fixed-input churn (serve) derive it
+    // deterministically on top.
+    let base: Vec<Value> = params.iter().map(|p| g.arg(p.ty)).collect();
+    let n_requests = 2 + g.rng.below(4);
+    let mut requests = vec![base.clone()];
+    for _ in 1..n_requests {
+        let req: Vec<Value> = params
+            .iter()
+            .zip(&base)
+            .map(|(p, b)| {
+                if varying.contains(&p.name) {
+                    g.arg(p.ty)
+                } else {
+                    *b
+                }
+            })
+            .collect();
+        requests.push(req);
+    }
+
+    FuzzCase {
+        program,
+        varying,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let a = gen_case(seed);
+            let b = gen_case(seed);
+            assert_eq!(
+                ds_lang::print_program(&a.program),
+                ds_lang::print_program(&b.program)
+            );
+            assert_eq!(a.varying, b.varying);
+            assert_eq!(a.requests, b.requests);
+        }
+    }
+
+    #[test]
+    fn every_case_is_front_end_clean_and_well_formed() {
+        for seed in 0..200u64 {
+            let mut case = gen_case(seed);
+            let info =
+                ds_lang::validate(&mut case.program).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(!info.is_empty());
+            let entry = case.program.proc("gen").expect("entry exists");
+            // Partition names are real parameters.
+            for v in &case.varying {
+                assert!(entry.params.iter().any(|p| &p.name == v), "seed {seed}");
+            }
+            // Requests are typed like the parameter list and agree on the
+            // fixed parameters.
+            assert!(case.requests.len() >= 2);
+            for req in &case.requests {
+                assert_eq!(req.len(), entry.params.len(), "seed {seed}");
+                for ((p, v), b) in entry.params.iter().zip(req).zip(&case.requests[0]) {
+                    let ok = matches!(
+                        (p.ty, v),
+                        (Type::Float, Value::Float(_))
+                            | (Type::Int, Value::Int(_))
+                            | (Type::Bool, Value::Bool(_))
+                    );
+                    assert!(ok, "seed {seed}: arg type mismatch");
+                    if !case.varying.contains(&p.name) {
+                        assert!(v.bits_eq(b), "seed {seed}: fixed params must agree");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cases_exercise_diverse_constructs() {
+        // Not a tautology: a generator collapse (e.g. everything shrinking
+        // to `return 0.0`) would zero these counters.
+        let mut loops = 0;
+        let mut traces = 0;
+        let mut aux = 0;
+        let mut int_div = 0;
+        for seed in 0..300u64 {
+            let case = gen_case(seed);
+            let src = ds_lang::print_program(&case.program);
+            if src.contains("while") {
+                loops += 1;
+            }
+            if src.contains("trace(") {
+                traces += 1;
+            }
+            if case.program.proc("aux").is_some() {
+                aux += 1;
+            }
+            let gen_proc = case.program.proc("gen").unwrap();
+            gen_proc.walk_exprs(&mut |e| {
+                if let ds_lang::ExprKind::Binary(BinOp::Div | BinOp::Rem, _, _) = &e.kind {
+                    int_div += 1;
+                }
+            });
+        }
+        assert!(loops > 50, "loops: {loops}");
+        assert!(traces > 50, "traces: {traces}");
+        assert!(aux > 30, "aux procs: {aux}");
+        assert!(int_div > 50, "div/rem sites: {int_div}");
+    }
+}

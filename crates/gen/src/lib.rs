@@ -1,0 +1,37 @@
+//! # ds-gen — conformance fuzzing for the specialization pipeline
+//!
+//! A seeded, typed random generator of MiniC programs plus differential and
+//! metamorphic oracles over every pipeline stage of the *Data
+//! Specialization* reproduction (Knoblock & Ruf, PLDI 1996):
+//!
+//! * [`generate::gen_case`] builds a front-end-clean program (expressions,
+//!   joins, bounded loops, builtins, an inlinable helper), an input
+//!   partition and a request stream from a single `u64` seed;
+//! * [`oracle::Oracle`] checks the paper's contracts — loader/reader
+//!   equivalence on both engines (§3), the reader work bound (§3.2),
+//!   cache-size limiting (§4.3), normalization (§4.1), reassociation
+//!   (§4.2) and parallel staged serving;
+//! * [`shrink::shrink`] greedily minimizes a failing case while re-checking
+//!   the violated oracle;
+//! * [`fuzz::run_fuzz`] drives a campaign and reports a shrunk
+//!   counterexample whose [`case::FuzzCase`] serializes to a reproducer
+//!   file that is itself valid `dsc` input.
+//!
+//! Everything is deterministic: a `(seed, case index)` pair reproduces the
+//! same program, inputs and verdict on any platform.
+
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod fuzz;
+pub mod generate;
+pub mod oracle;
+pub mod rng;
+pub mod shrink;
+
+pub use case::{format_values, parse_values, FuzzCase};
+pub use fuzz::{check_case, run_fuzz, Failure, FuzzConfig, FuzzSummary};
+pub use generate::gen_case;
+pub use oracle::{Oracle, ENTRY};
+pub use rng::Rng;
+pub use shrink::shrink;

@@ -1,0 +1,629 @@
+//! The conformance oracles.
+//!
+//! Each oracle is a differential or metamorphic property of the pipeline,
+//! keyed to the paper section it checks:
+//!
+//! | oracle      | paper | property                                          |
+//! |-------------|-------|---------------------------------------------------|
+//! | `semantics` | §3    | loader + reader ≡ unspecialized, on both engines  |
+//! | `work`      | §3.2  | reader dynamic work ≤ fragment, < on cache hits   |
+//! | `budget`    | §4.3  | every cache budget from 0 to full is semantics-preserving and within bound |
+//! | `normalize` | §4.1  | phi insertion is semantics-preserving and idempotent |
+//! | `reassoc`   | §4.2  | reassociation preserves semantics (exact for loader/reader vs fragment, ≤1e-6 relative vs source) at equal cost |
+//! | `serve`     | §5    | N parallel workers over a shared store ≡ solo serve, bit-exact |
+//!
+//! All value and trace comparisons are bit-exact (`f64::to_bits`) unless an
+//! oracle says otherwise; typed errors compare field-exact via `PartialEq`.
+
+use crate::case::FuzzCase;
+use ds_core::{specialize, InputPartition, Specialization, SpecializeOptions};
+use ds_interp::{CacheBuf, Engine, EvalError, EvalOptions, Outcome, Value};
+use ds_runtime::{CacheStore, Policy, RunnerOptions, RuntimeError, Session, StagedArtifact};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// The entry procedure of every generated case.
+pub const ENTRY: &str = "gen";
+
+/// One conformance property; see the module table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Oracle {
+    /// §3: unspecialized == loader, and reader == unspecialized per request.
+    Semantics,
+    /// §3.2: the reader never does more dynamic work than the fragment.
+    Work,
+    /// §4.3: cache-size limiting preserves semantics at every budget.
+    Budget,
+    /// §4.1: normalization preserves semantics and is idempotent.
+    Normalize,
+    /// §4.2: reassociation preserves semantics at unchanged cost.
+    Reassoc,
+    /// Staged serving: parallel workers match a solo run bit-exactly.
+    Serve,
+}
+
+impl Oracle {
+    /// Every oracle, in the order `dsc fuzz` runs them by default.
+    pub const ALL: [Oracle; 6] = [
+        Oracle::Semantics,
+        Oracle::Work,
+        Oracle::Budget,
+        Oracle::Normalize,
+        Oracle::Reassoc,
+        Oracle::Serve,
+    ];
+
+    /// The oracle's command-line and reproducer-header name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Oracle::Semantics => "semantics",
+            Oracle::Work => "work",
+            Oracle::Budget => "budget",
+            Oracle::Normalize => "normalize",
+            Oracle::Reassoc => "reassoc",
+            Oracle::Serve => "serve",
+        }
+    }
+
+    /// Checks the property on `case`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn check(self, case: &FuzzCase) -> Result<(), String> {
+        match self {
+            Oracle::Semantics => check_semantics(case),
+            Oracle::Work => check_work(case),
+            Oracle::Budget => check_budget(case),
+            Oracle::Normalize => check_normalize(case),
+            Oracle::Reassoc => check_reassoc(case),
+            Oracle::Serve => check_serve(case),
+        }
+    }
+}
+
+impl fmt::Display for Oracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Oracle {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Oracle::ALL
+            .into_iter()
+            .find(|o| o.name() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown oracle `{s}`; expected one of {}",
+                    Oracle::ALL.map(|o| o.name()).join(", ")
+                )
+            })
+    }
+}
+
+fn partition(case: &FuzzCase) -> InputPartition {
+    InputPartition::varying(case.varying.iter().map(String::as_str))
+}
+
+fn specialized(case: &FuzzCase, opts: &SpecializeOptions) -> Result<Specialization, String> {
+    specialize(&case.program, ENTRY, &partition(case), opts)
+        .map_err(|e| format!("specialize failed: {e}"))
+}
+
+fn run(
+    engine: Engine,
+    program: &ds_lang::Program,
+    entry: &str,
+    args: &[Value],
+    cache: Option<&mut CacheBuf>,
+    profile: bool,
+) -> Result<Outcome, EvalError> {
+    let opts = EvalOptions {
+        profile,
+        ..EvalOptions::default()
+    };
+    engine.run_program(program, entry, args, cache, opts)
+}
+
+fn describe(r: &Result<Outcome, EvalError>) -> String {
+    match r {
+        Ok(o) => format!("Ok(value={:?}, trace_len={})", o.value, o.trace.len()),
+        Err(e) => format!("Err({e:?})"),
+    }
+}
+
+/// Bit-exact outcome equality: result value and every trace sample.
+fn outcomes_eq(a: &Outcome, b: &Outcome) -> bool {
+    let values = match (&a.value, &b.value) {
+        (Some(x), Some(y)) => x.bits_eq(y),
+        (None, None) => true,
+        _ => false,
+    };
+    values
+        && a.trace.len() == b.trace.len()
+        && a.trace
+            .iter()
+            .zip(&b.trace)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Asserts bit-exact agreement of two runs; typed errors compare
+/// field-exact.
+fn same(
+    label: &str,
+    expected: &Result<Outcome, EvalError>,
+    actual: &Result<Outcome, EvalError>,
+) -> Result<(), String> {
+    let ok = match (expected, actual) {
+        (Ok(a), Ok(b)) => outcomes_eq(a, b),
+        (Err(a), Err(b)) => a == b,
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!(
+            "{label}: expected {}, got {}",
+            describe(expected),
+            describe(actual)
+        ))
+    }
+}
+
+/// §3 differential oracle: on both engines, the fragment and the loader
+/// reproduce the unspecialized result on the loader's inputs (field-exact on
+/// errors), and the reader reproduces the unspecialized result on every
+/// request served from the filled cache.
+fn check_semantics(case: &FuzzCase) -> Result<(), String> {
+    let spec = specialized(case, &SpecializeOptions::new())?;
+    let spec_prog = spec.as_program();
+    let loader = format!("{ENTRY}__loader");
+    let reader = format!("{ENTRY}__reader");
+    for engine in [Engine::Tree, Engine::Vm] {
+        let orig: Vec<_> = case
+            .requests
+            .iter()
+            .map(|req| run(engine, &case.program, ENTRY, req, None, false))
+            .collect();
+        for (i, (req, expected)) in case.requests.iter().zip(&orig).enumerate() {
+            let frag = run(engine, &spec_prog, ENTRY, req, None, false);
+            same(
+                &format!("[{engine:?}] fragment, request {i}"),
+                expected,
+                &frag,
+            )?;
+        }
+        let mut cache = CacheBuf::new(spec.slot_count());
+        let loaded = run(
+            engine,
+            &spec_prog,
+            &loader,
+            &case.requests[0],
+            Some(&mut cache),
+            false,
+        );
+        same(
+            &format!("[{engine:?}] loader vs unspecialized"),
+            &orig[0],
+            &loaded,
+        )?;
+        if loaded.is_err() {
+            // The loader faithfully reproduced the error; there is no
+            // filled cache for a reader to serve from.
+            continue;
+        }
+        for (i, (req, expected)) in case.requests.iter().zip(&orig).enumerate() {
+            let got = run(engine, &spec_prog, &reader, req, Some(&mut cache), false);
+            same(&format!("[{engine:?}] reader, request {i}"), expected, &got)?;
+        }
+    }
+    Ok(())
+}
+
+fn dynamic_work(r: &Result<Outcome, EvalError>) -> Option<(u64, u64)> {
+    match r {
+        Ok(o) => {
+            let p = o.profile.as_ref()?;
+            Some((p.total_dynamic_work(), p.cache_reads))
+        }
+        Err(_) => None,
+    }
+}
+
+/// §3.2 metamorphic oracle: per request, the reader's dynamic work (ops +
+/// branches + builtin calls; cache traffic excluded) never exceeds the
+/// fragment's, and is strictly smaller whenever the reader hit the cache.
+fn check_work(case: &FuzzCase) -> Result<(), String> {
+    let spec = specialized(case, &SpecializeOptions::new())?;
+    let spec_prog = spec.as_program();
+    let engine = Engine::Tree;
+    let mut cache = CacheBuf::new(spec.slot_count());
+    let loaded = run(
+        engine,
+        &spec_prog,
+        &format!("{ENTRY}__loader"),
+        &case.requests[0],
+        Some(&mut cache),
+        true,
+    );
+    if loaded.is_err() {
+        // Checked field-exact by the semantics oracle; no cache to measure.
+        return Ok(());
+    }
+    // The loader executes everything the fragment does (plus cache writes,
+    // which dynamic work excludes), so it can never do less.
+    let frag0 = run(engine, &spec_prog, ENTRY, &case.requests[0], None, true);
+    if let (Some((loader_work, _)), Some((frag_work, _))) =
+        (dynamic_work(&loaded), dynamic_work(&frag0))
+    {
+        if loader_work < frag_work {
+            return Err(format!(
+                "loader did {loader_work} dynamic work, less than the fragment's \
+                 {frag_work} (§3.2)"
+            ));
+        }
+    }
+    for (i, req) in case.requests.iter().enumerate() {
+        let frag = run(engine, &spec_prog, ENTRY, req, None, true);
+        let Some((frag_work, _)) = dynamic_work(&frag) else {
+            continue; // request errors; nothing to measure
+        };
+        let got = run(
+            engine,
+            &spec_prog,
+            &format!("{ENTRY}__reader"),
+            req,
+            Some(&mut cache),
+            true,
+        );
+        let Some((reader_work, _reads)) = dynamic_work(&got) else {
+            return Err(format!(
+                "request {i}: fragment succeeded but reader failed: {}",
+                describe(&got)
+            ));
+        };
+        // The bound is ≤, not <: the fuzzer found that a cached loop-exit
+        // phi whose loop survives in the reader (effectful body) replays a
+        // zero-cost variable copy, so a cache read need not save work.
+        if reader_work > frag_work {
+            return Err(format!(
+                "request {i}: reader did {reader_work} dynamic work, more than the \
+                 fragment's {frag_work} (§3.2)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// §4.3 metamorphic oracle: for every byte budget from 0 to the unlimited
+/// cache size, the limited specialization stays within budget and the
+/// loader/reader pair still reproduces the unspecialized results.
+fn check_budget(case: &FuzzCase) -> Result<(), String> {
+    let full = specialized(case, &SpecializeOptions::new())?.cache_bytes();
+    let engine = Engine::Tree;
+    let orig: Vec<_> = case
+        .requests
+        .iter()
+        .map(|req| run(engine, &case.program, ENTRY, req, None, false))
+        .collect();
+    for bound in 0..=full {
+        let spec = specialized(case, &SpecializeOptions::new().with_cache_bound(bound))?;
+        if spec.cache_bytes() > bound {
+            return Err(format!(
+                "budget {bound}: layout uses {} bytes, over budget (§4.3)",
+                spec.cache_bytes()
+            ));
+        }
+        let spec_prog = spec.as_program();
+        let mut cache = CacheBuf::new(spec.slot_count());
+        let loaded = run(
+            engine,
+            &spec_prog,
+            &format!("{ENTRY}__loader"),
+            &case.requests[0],
+            Some(&mut cache),
+            false,
+        );
+        same(&format!("budget {bound}: loader"), &orig[0], &loaded)?;
+        if loaded.is_err() {
+            continue;
+        }
+        for (i, (req, expected)) in case.requests.iter().zip(&orig).enumerate() {
+            let got = run(
+                engine,
+                &spec_prog,
+                &format!("{ENTRY}__reader"),
+                req,
+                Some(&mut cache),
+                false,
+            );
+            same(
+                &format!("budget {bound}: reader, request {i}"),
+                expected,
+                &got,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// §4.1 metamorphic oracle: inserting join-point phis grows the AST by
+/// exactly two nodes per phi, changes no observable behavior on either
+/// engine, and a second pass inserts nothing.
+fn check_normalize(case: &FuzzCase) -> Result<(), String> {
+    let mut prog = ds_analysis::inline_entry(&case.program, ENTRY)
+        .map_err(|e| format!("inline failed: {e}"))?;
+    let before = prog.procs[0].node_count();
+    let added = ds_analysis::insert_phis(&mut prog.procs[0]);
+    let after = prog.procs[0].node_count();
+    if after != before + 2 * added {
+        return Err(format!(
+            "phi insertion added {added} phis but grew the AST from {before} to {after} \
+             nodes (expected {}) (§4.1)",
+            before + 2 * added
+        ));
+    }
+    let again = ds_analysis::insert_phis(&mut prog.procs[0]);
+    if again != 0 {
+        return Err(format!(
+            "phi insertion is not idempotent: second pass added {again} phis (§4.1)"
+        ));
+    }
+    ds_lang::validate(&mut prog).map_err(|e| format!("normalized program is ill-typed: {e}"))?;
+    for engine in [Engine::Tree, Engine::Vm] {
+        for (i, req) in case.requests.iter().enumerate() {
+            let expected = run(engine, &case.program, ENTRY, req, None, false);
+            let got = run(engine, &prog, ENTRY, req, None, false);
+            same(
+                &format!("[{engine:?}] normalized, request {i}"),
+                &expected,
+                &got,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Approximate equality for reassociated float results: bit-equal, both
+/// NaN, or relative error under 1e-6 (scale clamped at 1).
+fn approx(a: f64, b: f64) -> bool {
+    if a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()) {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    ((a - b) / scale).abs() < 1e-6
+}
+
+fn outcomes_approx(a: &Outcome, b: &Outcome) -> bool {
+    let values = match (&a.value, &b.value) {
+        (Some(Value::Float(x)), Some(Value::Float(y))) => approx(*x, *y),
+        (Some(x), Some(y)) => x.bits_eq(y),
+        (None, None) => true,
+        _ => false,
+    };
+    values
+        && a.trace.len() == b.trace.len()
+        && a.trace.iter().zip(&b.trace).all(|(x, y)| approx(*x, *y))
+}
+
+/// §4.2 metamorphic oracle: with reassociation on, the loader/reader pair
+/// is bit-exact against the *reassociated* fragment; the reassociated
+/// fragment agrees with the plain one to 1e-6 relative error at exactly
+/// equal abstract cost. Programs that call `trace` are skipped: the
+/// existing property suite treats reordered traced chains as out of scope.
+fn check_reassoc(case: &FuzzCase) -> Result<(), String> {
+    if ds_lang::print_program(&case.program).contains("trace(") {
+        return Ok(());
+    }
+    let plain = specialized(case, &SpecializeOptions::new())?;
+    let spec = specialized(case, &SpecializeOptions::new().with_reassociation())?;
+    let plain_prog = plain.as_program();
+    let spec_prog = spec.as_program();
+    let engine = Engine::Tree;
+    let frag: Vec<_> = case
+        .requests
+        .iter()
+        .map(|req| run(engine, &spec_prog, ENTRY, req, None, false))
+        .collect();
+    for (i, req) in case.requests.iter().enumerate() {
+        let base = run(engine, &plain_prog, ENTRY, req, None, true);
+        let got = run(engine, &spec_prog, ENTRY, req, None, true);
+        let ok = match (&base, &got) {
+            (Ok(a), Ok(b)) => {
+                if a.cost != b.cost {
+                    return Err(format!(
+                        "request {i}: reassociation changed abstract cost {} -> {} (§4.2)",
+                        a.cost, b.cost
+                    ));
+                }
+                outcomes_approx(a, b)
+            }
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        };
+        if !ok {
+            return Err(format!(
+                "request {i}: reassociated fragment drifted: expected {}, got {} (§4.2)",
+                describe(&base),
+                describe(&got)
+            ));
+        }
+    }
+    let mut cache = CacheBuf::new(spec.slot_count());
+    let loaded = run(
+        engine,
+        &spec_prog,
+        &format!("{ENTRY}__loader"),
+        &case.requests[0],
+        Some(&mut cache),
+        false,
+    );
+    same("reassoc loader vs reassociated fragment", &frag[0], &loaded)?;
+    if loaded.is_err() {
+        return Ok(());
+    }
+    for (i, (req, expected)) in case.requests.iter().zip(&frag).enumerate() {
+        let got = run(
+            engine,
+            &spec_prog,
+            &format!("{ENTRY}__reader"),
+            req,
+            Some(&mut cache),
+            false,
+        );
+        same(
+            &format!("reassoc reader vs reassociated fragment, request {i}"),
+            expected,
+            &got,
+        )?;
+    }
+    Ok(())
+}
+
+/// The serve oracle's request stream: the case's requests, then one
+/// fixed-input variant of each (deterministically perturbed), so the
+/// polyvariant store must juggle several invariant contexts.
+pub fn serve_stream(case: &FuzzCase) -> Vec<Vec<Value>> {
+    let entry = case
+        .program
+        .proc(ENTRY)
+        .expect("case has an entry procedure");
+    let mut out = case.requests.clone();
+    for (i, base) in case.requests.iter().enumerate() {
+        let req = entry
+            .params
+            .iter()
+            .zip(base)
+            .map(|(p, v)| {
+                if case.varying.contains(&p.name) {
+                    *v
+                } else {
+                    match v {
+                        Value::Float(x) => Value::Float(x + (i as f64 + 1.0) * 0.5),
+                        Value::Int(n) => Value::Int(n + i as i64 + 1),
+                        Value::Bool(b) => Value::Bool(*b == (i % 2 == 0)),
+                    }
+                }
+            })
+            .collect();
+        out.push(req);
+    }
+    out
+}
+
+fn describe_serve(r: &Result<Outcome, RuntimeError>) -> String {
+    match r {
+        Ok(o) => format!("Ok(value={:?}, trace_len={})", o.value, o.trace.len()),
+        Err(e) => format!("Err({e})"),
+    }
+}
+
+/// Staged-serving oracle: on both engines, serving the stream with three
+/// workers over a shared polyvariant store returns bit-identical values and
+/// traces (and field-equal errors) to a solo session serving it in order.
+fn check_serve(case: &FuzzCase) -> Result<(), String> {
+    const WORKERS: usize = 3;
+    let part = partition(case);
+    let spec = specialized(case, &SpecializeOptions::new())?;
+    let artifact = Arc::new(StagedArtifact::new(&spec, &part));
+    let stream = serve_stream(case);
+    for engine in [Engine::Tree, Engine::Vm] {
+        let opts = RunnerOptions {
+            engine,
+            policy: Policy::FailFast,
+            rebuild_budget: 64,
+            ..RunnerOptions::default()
+        };
+        let solo: Vec<_> = {
+            let store = Arc::new(CacheStore::new(stream.len().max(1)));
+            let mut session = Session::new(artifact.clone(), store, opts);
+            stream.iter().map(|req| session.run(req)).collect()
+        };
+        let store = Arc::new(CacheStore::new(stream.len().max(1)));
+        let chunk = stream.len().div_ceil(WORKERS);
+        let mut sharded: Vec<Option<Result<Outcome, RuntimeError>>> = vec![None; stream.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = stream
+                .chunks(chunk)
+                .map(|reqs| {
+                    let artifact = artifact.clone();
+                    let store = store.clone();
+                    scope.spawn(move || {
+                        let mut session = Session::new(artifact, store, opts);
+                        reqs.iter().map(|req| session.run(req)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for (w, handle) in handles.into_iter().enumerate() {
+                let outs = handle.join().expect("serve worker panicked");
+                for (j, out) in outs.into_iter().enumerate() {
+                    sharded[w * chunk + j] = Some(out);
+                }
+            }
+        });
+        for (i, (a, b)) in solo.iter().zip(&sharded).enumerate() {
+            let b = b.as_ref().expect("every request was served");
+            let ok = match (a, b) {
+                (Ok(x), Ok(y)) => outcomes_eq(x, y),
+                (Err(x), Err(y)) => x == y,
+                _ => false,
+            };
+            if !ok {
+                return Err(format!(
+                    "[{engine:?}] request {i}: solo {} vs {WORKERS}-worker {}",
+                    describe_serve(a),
+                    describe_serve(b)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::gen_case;
+
+    #[test]
+    fn oracle_names_round_trip() {
+        for o in Oracle::ALL {
+            assert_eq!(o.name().parse::<Oracle>().unwrap(), o);
+        }
+        assert!("bogus".parse::<Oracle>().is_err());
+    }
+
+    #[test]
+    fn all_oracles_pass_on_a_spread_of_seeds() {
+        for seed in 0..24u64 {
+            let case = gen_case(seed);
+            for oracle in Oracle::ALL {
+                if let Err(msg) = oracle.check(&case) {
+                    panic!(
+                        "seed {seed}, oracle {oracle}: {msg}\n{}",
+                        ds_lang::print_program(&case.program)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serve_stream_doubles_and_perturbs_only_fixed_params() {
+        let case = gen_case(3);
+        let stream = serve_stream(&case);
+        assert_eq!(stream.len(), case.requests.len() * 2);
+        let entry = case.program.proc(ENTRY).unwrap();
+        for (i, req) in stream[case.requests.len()..].iter().enumerate() {
+            for (p, (v, b)) in entry.params.iter().zip(req.iter().zip(&case.requests[i])) {
+                if case.varying.contains(&p.name) {
+                    assert!(v.bits_eq(b), "varying param {} changed", p.name);
+                }
+            }
+        }
+    }
+}

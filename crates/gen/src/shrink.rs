@@ -1,0 +1,400 @@
+//! Greedy test-case shrinking.
+//!
+//! When an oracle fails, the shrinker repeatedly tries size-reducing edits
+//! — statement deletion, branch promotion, expression-to-child and
+//! expression-to-literal replacement, parameter/request/partition pruning —
+//! keeping an edit only when the candidate still parses, type-checks,
+//! terminates quickly, preserves the case invariants, and *still fails the
+//! same oracle*. The result is a local minimum: no single remaining edit
+//! reproduces the failure at a smaller size.
+
+use crate::case::FuzzCase;
+use crate::oracle::{Oracle, ENTRY};
+use ds_interp::{Engine, EvalError, EvalOptions};
+use ds_lang::{Block, Expr, Program, StmtKind, Type};
+
+/// Shrinks `case`, which must currently fail `oracle`, to a 1-minimal
+/// failing case (no single edit makes it smaller and still failing).
+pub fn shrink(case: &FuzzCase, oracle: Oracle) -> FuzzCase {
+    let mut best = case.clone();
+    if oracle.check(&best).is_ok() {
+        return best;
+    }
+    while let Some(better) = find_improvement(&best, oracle) {
+        best = better;
+    }
+    best
+}
+
+/// The composite size the shrinker minimizes. Every accepted edit strictly
+/// decreases it, which bounds the number of rounds.
+fn size(case: &FuzzCase) -> usize {
+    case.node_count() * 4
+        + case
+            .program
+            .procs
+            .iter()
+            .map(|p| p.params.len())
+            .sum::<usize>()
+            * 2
+        + case.requests.len()
+        + case.requests.iter().map(Vec::len).sum::<usize>()
+        + case.varying.len()
+}
+
+fn find_improvement(best: &FuzzCase, oracle: Oracle) -> Option<FuzzCase> {
+    let best_size = size(best);
+    for edit in enumerate_edits(best) {
+        let Some(mut candidate) = apply(best, &edit) else {
+            continue;
+        };
+        if size(&candidate) >= best_size {
+            continue;
+        }
+        if ds_lang::validate(&mut candidate.program).is_err() {
+            continue;
+        }
+        if !terminates_quickly(&candidate) {
+            continue;
+        }
+        if oracle.check(&candidate).is_err() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Rejects candidates whose unspecialized run hits a small step budget on
+/// any request: an edit that manufactures an unbounded loop would otherwise
+/// make every subsequent oracle check crawl to the 50M-step limit.
+fn terminates_quickly(case: &FuzzCase) -> bool {
+    let opts = EvalOptions {
+        step_limit: 200_000,
+        ..EvalOptions::default()
+    };
+    case.requests.iter().all(|req| {
+        !matches!(
+            Engine::Tree.run_program(&case.program, ENTRY, req, None, opts),
+            Err(EvalError::StepLimit)
+        )
+    })
+}
+
+#[derive(Debug, Clone, Copy)]
+enum StmtOp {
+    /// Remove the statement (and its nested blocks).
+    Delete,
+    /// Replace an `if` with its then-branch, or a `while` with one copy of
+    /// its body.
+    PromoteThen,
+    /// Replace an `if` with its else-branch.
+    PromoteElse,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ExprOp {
+    /// Replace the expression with its `n`-th child (type-checked later).
+    Child(usize),
+    /// Replace the expression with the zero literal of `Type`.
+    Zero(Type),
+}
+
+#[derive(Debug, Clone)]
+enum Edit {
+    Stmt(usize, StmtOp),
+    Expr(usize, ExprOp),
+    DeleteAux,
+    DropParam(usize),
+    DropRequest(usize),
+    DropVarying(usize),
+}
+
+/// All candidate edits for one round, coarsest first: whole statements,
+/// then case-shape prunes, then expression surgery.
+fn enumerate_edits(case: &FuzzCase) -> Vec<Edit> {
+    let mut edits = Vec::new();
+    // Later statements first: consumers go before the declarations they
+    // use, so a decl becomes deletable the round after its last use.
+    for t in (0..stmt_count(&case.program)).rev() {
+        edits.push(Edit::Stmt(t, StmtOp::Delete));
+        edits.push(Edit::Stmt(t, StmtOp::PromoteThen));
+        edits.push(Edit::Stmt(t, StmtOp::PromoteElse));
+    }
+    edits.push(Edit::DeleteAux);
+    let entry_params = case
+        .program
+        .proc(ENTRY)
+        .map(|p| p.params.len())
+        .unwrap_or(0);
+    for k in (0..entry_params).rev() {
+        edits.push(Edit::DropParam(k));
+    }
+    if case.requests.len() > 1 {
+        for i in (0..case.requests.len()).rev() {
+            edits.push(Edit::DropRequest(i));
+        }
+    }
+    for i in (0..case.varying.len()).rev() {
+        edits.push(Edit::DropVarying(i));
+    }
+    // Outermost expressions first (pre-order index order): replacing a big
+    // tree with one child is the largest single win.
+    for e in 0..expr_count(&case.program) {
+        for child in 0..4 {
+            edits.push(Edit::Expr(e, ExprOp::Child(child)));
+        }
+        for ty in [Type::Int, Type::Float, Type::Bool] {
+            edits.push(Edit::Expr(e, ExprOp::Zero(ty)));
+        }
+    }
+    edits
+}
+
+fn apply(case: &FuzzCase, edit: &Edit) -> Option<FuzzCase> {
+    let mut c = case.clone();
+    let applied = match edit {
+        Edit::Stmt(target, op) => {
+            let mut counter = 0usize;
+            c.program
+                .procs
+                .iter_mut()
+                .any(|p| edit_stmt(&mut p.body, &mut counter, *target, *op))
+        }
+        Edit::Expr(target, op) => apply_expr(&mut c.program, *target, *op),
+        Edit::DeleteAux => {
+            let before = c.program.procs.len();
+            c.program.procs.retain(|p| p.name != "aux");
+            c.program.procs.len() < before
+        }
+        Edit::DropParam(k) => {
+            let entry = c.program.procs.iter_mut().find(|p| p.name == ENTRY)?;
+            if *k >= entry.params.len() {
+                return None;
+            }
+            let name = entry.params.remove(*k).name;
+            for req in &mut c.requests {
+                if *k < req.len() {
+                    req.remove(*k);
+                }
+            }
+            c.varying.retain(|v| v != &name);
+            true
+        }
+        Edit::DropRequest(i) => {
+            if c.requests.len() > 1 && *i < c.requests.len() {
+                c.requests.remove(*i);
+                true
+            } else {
+                false
+            }
+        }
+        Edit::DropVarying(i) => {
+            if *i >= c.varying.len() {
+                return None;
+            }
+            let name = c.varying.remove(*i);
+            // The parameter is fixed now, so every request must agree with
+            // the loader's inputs on it — re-pin to the first request's
+            // value to preserve the case invariant.
+            let entry = c.program.proc(ENTRY)?;
+            let idx = entry.params.iter().position(|p| p.name == name)?;
+            let pinned = *c.requests.first()?.get(idx)?;
+            for req in &mut c.requests[1..] {
+                req[idx] = pinned;
+            }
+            true
+        }
+    };
+    applied.then_some(c)
+}
+
+fn stmt_count(program: &Program) -> usize {
+    fn count(block: &Block) -> usize {
+        block
+            .stmts
+            .iter()
+            .map(|s| {
+                1 + match &s.kind {
+                    StmtKind::If {
+                        then_blk, else_blk, ..
+                    } => count(then_blk) + count(else_blk),
+                    StmtKind::While { body, .. } => count(body),
+                    _ => 0,
+                }
+            })
+            .sum()
+    }
+    program.procs.iter().map(|p| count(&p.body)).sum()
+}
+
+/// Applies `op` to the `target`-th statement (pre-order across the whole
+/// program). Returns true when the edit was applied.
+fn edit_stmt(block: &mut Block, counter: &mut usize, target: usize, op: StmtOp) -> bool {
+    let mut i = 0;
+    while i < block.stmts.len() {
+        if *counter == target {
+            let stmt = block.stmts.remove(i);
+            let replacement: Vec<_> = match (op, stmt.kind) {
+                (StmtOp::Delete, _) => Vec::new(),
+                (StmtOp::PromoteThen, StmtKind::If { then_blk, .. }) => then_blk.stmts,
+                (StmtOp::PromoteThen, StmtKind::While { body, .. }) => body.stmts,
+                (StmtOp::PromoteElse, StmtKind::If { else_blk, .. }) => else_blk.stmts,
+                (_, kind) => {
+                    // Promotion only applies to branching statements; put
+                    // the statement back untouched.
+                    block.stmts.insert(i, ds_lang::Stmt::synth(kind));
+                    return false;
+                }
+            };
+            for (k, s) in replacement.into_iter().enumerate() {
+                block.stmts.insert(i + k, s);
+            }
+            return true;
+        }
+        *counter += 1;
+        let recursed = match &mut block.stmts[i].kind {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                edit_stmt(then_blk, counter, target, op) || edit_stmt(else_blk, counter, target, op)
+            }
+            StmtKind::While { body, .. } => edit_stmt(body, counter, target, op),
+            _ => false,
+        };
+        if recursed {
+            return true;
+        }
+        if *counter > target {
+            // The target was inside this subtree but the op did not apply.
+            return false;
+        }
+        i += 1;
+    }
+    false
+}
+
+fn expr_count(program: &Program) -> usize {
+    let mut n = 0usize;
+    for p in &program.procs {
+        p.walk_exprs(&mut |_| n += 1);
+    }
+    n
+}
+
+/// Applies `op` to the `target`-th expression node (pre-order across the
+/// whole program). Returns true when the edit changed the node.
+fn apply_expr(program: &mut Program, target: usize, op: ExprOp) -> bool {
+    let mut counter = 0usize;
+    let mut applied = false;
+    let mut done = false;
+    for p in &mut program.procs {
+        p.walk_exprs_mut(&mut |e: &mut Expr| {
+            if done {
+                return;
+            }
+            if counter == target {
+                done = true;
+                match op {
+                    ExprOp::Child(n) => {
+                        let children = e.children();
+                        if let Some(child) = children.get(n) {
+                            let replacement = (*child).clone();
+                            *e = replacement;
+                            applied = true;
+                        }
+                    }
+                    ExprOp::Zero(ty) => {
+                        *e = Expr::zero(ty);
+                        applied = true;
+                    }
+                }
+            }
+            counter += 1;
+        });
+        if done {
+            break;
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::gen_case;
+
+    /// An "oracle" that fails whenever the program still contains an `fbm3`
+    /// call — shrinking against it must preserve one call while stripping
+    /// everything unrelated.
+    fn fails_if_fbm3(case: &FuzzCase) -> bool {
+        ds_lang::print_program(&case.program).contains("fbm3(")
+    }
+
+    #[test]
+    fn edits_preserve_wellformedness_and_reduce_size() {
+        let case = gen_case(11);
+        let n = size(&case);
+        for edit in enumerate_edits(&case) {
+            if let Some(mut c) = apply(&case, &edit) {
+                if ds_lang::validate(&mut c.program).is_ok() {
+                    assert!(size(&c) <= n, "edit {edit:?} grew the case");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stmt_deletion_targets_every_statement_exactly_once() {
+        let case = gen_case(29);
+        let total = stmt_count(&case.program);
+        assert!(total > 0);
+        for t in 0..total {
+            let mut c = case.clone();
+            let mut counter = 0usize;
+            let hit = c
+                .program
+                .procs
+                .iter_mut()
+                .any(|p| edit_stmt(&mut p.body, &mut counter, t, StmtOp::Delete));
+            assert!(hit, "statement index {t} of {total} not reachable");
+        }
+    }
+
+    #[test]
+    fn shrinking_against_a_syntactic_predicate_converges_small() {
+        // Find a generated case containing fbm3 and shrink it with the
+        // same machinery `shrink` uses, minus the pipeline oracle.
+        let case = (0..100u64)
+            .map(gen_case)
+            .find(fails_if_fbm3)
+            .expect("some seed generates fbm3");
+        let mut best = case.clone();
+        loop {
+            let best_size = size(&best);
+            let mut improved = None;
+            for edit in enumerate_edits(&best) {
+                if let Some(mut c) = apply(&best, &edit) {
+                    if size(&c) < best_size
+                        && ds_lang::validate(&mut c.program).is_ok()
+                        && terminates_quickly(&c)
+                        && fails_if_fbm3(&c)
+                    {
+                        improved = Some(c);
+                        break;
+                    }
+                }
+            }
+            match improved {
+                Some(c) => best = c,
+                None => break,
+            }
+        }
+        assert!(fails_if_fbm3(&best));
+        assert!(
+            best.node_count() < 20,
+            "shrunk case still has {} nodes:\n{}",
+            best.node_count(),
+            ds_lang::print_program(&best.program)
+        );
+    }
+}

@@ -264,6 +264,58 @@ impl Expr {
         Expr::synth(ExprKind::Var(name.into()))
     }
 
+    /// Convenience constructor for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::synth(ExprKind::IntLit(v))
+    }
+
+    /// Convenience constructor for a float literal. Negative values are
+    /// emitted as `-(lit)` so the pretty-printed form reparses to the
+    /// identical tree (the grammar has no negative literals).
+    pub fn float(v: f64) -> Expr {
+        if v.is_sign_negative() && v != 0.0 {
+            Expr::unary(UnOp::Neg, Expr::synth(ExprKind::FloatLit(-v)))
+        } else {
+            Expr::synth(ExprKind::FloatLit(v))
+        }
+    }
+
+    /// Convenience constructor for a boolean literal.
+    pub fn bool(v: bool) -> Expr {
+        Expr::synth(ExprKind::BoolLit(v))
+    }
+
+    /// Convenience constructor for a unary application.
+    pub fn unary(op: UnOp, e: Expr) -> Expr {
+        Expr::synth(ExprKind::Unary(op, Box::new(e)))
+    }
+
+    /// Convenience constructor for a binary application.
+    pub fn binary(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::synth(ExprKind::Binary(op, Box::new(l), Box::new(r)))
+    }
+
+    /// Convenience constructor for a ternary conditional.
+    pub fn cond(c: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::synth(ExprKind::Cond(Box::new(c), Box::new(t), Box::new(e)))
+    }
+
+    /// Convenience constructor for a call (builtin or user procedure).
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::synth(ExprKind::Call(name.into(), args))
+    }
+
+    /// The default literal of `ty` (`0`, `0.0`, `false`), the leaf shrinkers
+    /// reduce expressions to.
+    pub fn zero(ty: Type) -> Expr {
+        match ty {
+            Type::Int => Expr::int(0),
+            Type::Float => Expr::float(0.0),
+            Type::Bool => Expr::bool(false),
+            Type::Void => Expr::int(0), // no void expressions exist; arbitrary
+        }
+    }
+
     /// Whether this expression is a literal constant.
     pub fn is_literal(&self) -> bool {
         matches!(
@@ -287,11 +339,36 @@ impl Expr {
         }
     }
 
+    /// Direct subexpressions, mutably, in evaluation order.
+    pub fn children_mut(&mut self) -> Vec<&mut Expr> {
+        match &mut self.kind {
+            ExprKind::IntLit(_)
+            | ExprKind::FloatLit(_)
+            | ExprKind::BoolLit(_)
+            | ExprKind::Var(_)
+            | ExprKind::CacheRef(..) => Vec::new(),
+            ExprKind::Unary(_, e) | ExprKind::CacheStore(_, e) => vec![e],
+            ExprKind::Binary(_, l, r) => vec![l, r],
+            ExprKind::Cond(c, t, e) => vec![c, t, e],
+            ExprKind::Call(_, args) => args.iter_mut().collect(),
+        }
+    }
+
     /// Calls `f` on this expression and every subexpression, pre-order.
     pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
         f(self);
         for c in self.children() {
             c.walk(f);
+        }
+    }
+
+    /// Calls `f` on this expression and every subexpression, mutably, in
+    /// the same pre-order as [`Expr::walk`]. `f` sees each node *before*
+    /// its (possibly replaced) children are visited.
+    pub fn walk_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        f(self);
+        for c in self.children_mut() {
+            c.walk_mut(f);
         }
     }
 
@@ -444,6 +521,35 @@ impl Proc {
                 StmtKind::ExprStmt(e) => e.walk(f),
             };
         });
+    }
+
+    /// Calls `f` on every expression of the body, mutably, in the same
+    /// order as [`Proc::walk_exprs`] — the pairing the shrinker relies on
+    /// to address a node found by an immutable walk.
+    pub fn walk_exprs_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        fn go(block: &mut Block, f: &mut impl FnMut(&mut Expr)) {
+            for s in &mut block.stmts {
+                match &mut s.kind {
+                    StmtKind::Decl { init, .. } => init.walk_mut(f),
+                    StmtKind::Assign { value, .. } => value.walk_mut(f),
+                    StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => cond.walk_mut(f),
+                    StmtKind::Return(Some(e)) => e.walk_mut(f),
+                    StmtKind::Return(None) => {}
+                    StmtKind::ExprStmt(e) => e.walk_mut(f),
+                }
+                match &mut s.kind {
+                    StmtKind::If {
+                        then_blk, else_blk, ..
+                    } => {
+                        go(then_blk, f);
+                        go(else_blk, f);
+                    }
+                    StmtKind::While { body, .. } => go(body, f),
+                    _ => {}
+                }
+            }
+        }
+        go(&mut self.body, f);
     }
 
     /// Total number of AST nodes (statements plus expressions); the code-size

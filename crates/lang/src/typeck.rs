@@ -82,6 +82,23 @@ impl TypeInfo {
 /// # }
 /// ```
 pub fn typecheck(program: &Program) -> Result<TypeInfo, FrontendError> {
+    typecheck_inner(program)
+}
+
+/// Validity checker for synthesized or mutated ASTs: renumbers the program
+/// to restore dense [`TermId`]s, then type-checks it. This is the single
+/// entry point the generator and shrinker use to decide whether an
+/// arbitrary AST edit produced a legal MiniC program.
+///
+/// # Errors
+///
+/// Returns the first front-end error, exactly as [`typecheck`] would.
+pub fn validate(program: &mut Program) -> Result<TypeInfo, FrontendError> {
+    program.renumber();
+    typecheck_inner(program)
+}
+
+fn typecheck_inner(program: &Program) -> Result<TypeInfo, FrontendError> {
     let mut info = TypeInfo::default();
 
     // Procedure table; reject duplicates and builtin-name collisions.

@@ -1,0 +1,133 @@
+//! LRU boundary behavior of the polyvariant [`CacheStore`]: degenerate
+//! capacities, eviction racing a clone-out, and invalidation racing a hit.
+//!
+//! The store's concurrency model is clone-out-under-lock, so every "race"
+//! here can be driven deterministically by sequencing the operations the
+//! way two workers would interleave them — no loom, no timing dependence.
+//! Damage comes from the existing seeded fault hooks ([`FaultInjector`]),
+//! so each scenario replays identically.
+
+use ds_interp::{CacheBuf, Value};
+use ds_runtime::{CacheStore, FaultInjector, StoreEntry};
+
+fn entry(n: i64) -> StoreEntry {
+    let mut cache = CacheBuf::new(1);
+    cache.set(0, Value::Int(n));
+    let seal = cache.content_hash();
+    StoreEntry { cache, seal }
+}
+
+#[test]
+fn capacity_zero_clamps_to_one_entry() {
+    let store = CacheStore::new(0);
+    assert_eq!(store.capacity(), 1, "capacity 0 is clamped, not honored");
+    assert_eq!(store.insert(1, entry(1)), 0);
+    assert_eq!(store.len(), 1);
+    // A second fingerprint must evict the first, never grow past one.
+    assert_eq!(store.insert(2, entry(2)), 1);
+    assert_eq!(store.len(), 1);
+    assert!(store.get(1).is_none());
+    assert!(store.get(2).is_some());
+}
+
+#[test]
+fn capacity_one_keeps_the_most_recent_fingerprint() {
+    let store = CacheStore::new(1);
+    assert_eq!(store.capacity(), 1);
+    let mut evictions = 0;
+    for fp in [3u64, 9, 3, 9, 3] {
+        if store.get(fp).is_none() {
+            evictions += store.insert(fp, entry(fp as i64));
+        }
+    }
+    // Every fingerprint switch evicts the previous occupant; the final
+    // occupant is whoever was inserted last.
+    assert_eq!(evictions, 4);
+    assert_eq!(store.len(), 1);
+    assert_eq!(store.get(3).unwrap().cache.get(0), Some(Value::Int(3)));
+    // Re-sealing under the resident fingerprint replaces in place.
+    assert_eq!(store.insert(3, entry(33)), 0);
+    assert_eq!(store.len(), 1);
+    assert_eq!(store.get(3).unwrap().cache.get(0), Some(Value::Int(33)));
+}
+
+/// A worker clones an entry out, then other workers' inserts evict that
+/// fingerprint. The clone must stay intact and seal-valid — eviction can
+/// never tear an execution that already holds its copy.
+#[test]
+fn eviction_does_not_damage_a_cloned_out_entry() {
+    let store = CacheStore::new(2);
+    store.insert(1, entry(10));
+    store.insert(2, entry(20));
+
+    let held = store.get(1).expect("hit before eviction");
+
+    // Two fresh fingerprints push both residents out (capacity 2).
+    let evicted = store.insert(3, entry(30)) + store.insert(4, entry(40));
+    assert_eq!(evicted, 2, "both earlier entries evicted");
+    assert!(
+        store.get(1).is_none(),
+        "fingerprint 1 is gone from the store"
+    );
+
+    // The held clone is untouched: same value, seal still matches.
+    assert_eq!(held.cache.get(0), Some(Value::Int(10)));
+    assert_eq!(held.seal, held.cache.content_hash());
+
+    // The worker can re-seed the store from its intact copy.
+    assert_eq!(store.insert(1, entry(10)), 1);
+    assert_eq!(store.get(1).unwrap().cache.get(0), Some(Value::Int(10)));
+}
+
+/// Worker A clones an entry out (a hit); worker B finds its own copy fails
+/// seal validation and invalidates the fingerprint. A's copy must remain
+/// usable, the store must miss afterwards, and only one invalidation wins.
+#[test]
+fn invalidation_racing_a_hit_leaves_the_hit_intact() {
+    let store = CacheStore::new(4);
+
+    // Seed a damaged entry: corrupt the slot value after sealing, exactly
+    // like the corrupt-slot fault does on the loader's write path.
+    let injector = FaultInjector::new(7);
+    let good = entry(42);
+    let mut bad = good.clone();
+    bad.cache.set(0, injector.corrupt(Value::Int(42)));
+    assert_ne!(
+        bad.seal,
+        bad.cache.content_hash(),
+        "corruption must break the seal"
+    );
+    store.insert(7, bad);
+
+    // Worker A hits and clones the (damaged) entry out.
+    let held = store.get(7).expect("hit");
+
+    // Worker B detects the seal mismatch on its own clone and invalidates.
+    assert!(store.invalidate(7), "first invalidation wins");
+    // Worker A, acting on the same detection, loses the race benignly.
+    assert!(!store.invalidate(7), "second invalidation is a no-op");
+    assert!(store.get(7).is_none(), "damaged entry cannot be re-served");
+    assert_eq!(store.len(), 0);
+
+    // A's clone is a private copy: still the damaged bytes it cloned, and
+    // its own validation still detects the damage.
+    assert_ne!(held.seal, held.cache.content_hash());
+
+    // Recovery: a rebuilt, healthy entry is served normally afterwards.
+    store.insert(7, entry(42));
+    let fresh = store.get(7).expect("rebuilt entry hits");
+    assert_eq!(fresh.seal, fresh.cache.content_hash());
+    assert_eq!(fresh.cache.get(0), Some(Value::Int(42)));
+}
+
+/// Invalidation under eviction pressure: invalidating a fingerprint that
+/// eviction already removed must not double-decrement the length.
+#[test]
+fn invalidate_after_eviction_is_a_clean_miss() {
+    let store = CacheStore::new(1);
+    store.insert(1, entry(1));
+    assert_eq!(store.insert(2, entry(2)), 1, "fp 1 evicted");
+    assert!(!store.invalidate(1), "already evicted");
+    assert_eq!(store.len(), 1);
+    assert!(store.get(2).is_some());
+}

@@ -15,6 +15,9 @@ use proptest::prelude::*;
 #[allow(dead_code)] // each test binary uses the subset it needs
 pub mod paper;
 
+#[allow(dead_code)] // each test binary uses the subset it needs
+pub mod props;
+
 /// Number of float parameters of every generated program.
 pub const N_PARAMS: usize = 5;
 
@@ -124,6 +127,16 @@ pub fn arb_program() -> impl Strategy<Value = GenProgram> {
         .prop_map(|(stmts, ret)| build_program(&stmts, &ret))
 }
 
+/// Strategy for effect-free programs: the same recipe distribution as
+/// [`arb_program`], lowered with every `trace` stripped. Properties that
+/// would `prop_assume!` trace-freedom should use this instead — assuming
+/// discards ~90% of cases and makes generation the dominant cost.
+#[allow(dead_code)] // each test binary uses the subset it needs
+pub fn arb_program_no_trace() -> impl Strategy<Value = GenProgram> {
+    (prop::collection::vec(arb_srecipe(), 0..8), arb_fexpr())
+        .prop_map(|(stmts, ret)| build_program_impl(&stmts, &ret, true))
+}
+
 /// Strategy for the varying subset of the parameters (possibly empty, never
 /// all — at least the partition is interesting either way, so allow all).
 pub fn arb_varying() -> impl Strategy<Value = Vec<String>> {
@@ -149,6 +162,9 @@ pub fn arb_args() -> impl Strategy<Value = Vec<Value>> {
 
 struct Lower {
     fresh: u32,
+    /// Drop `trace` calls while lowering (`trace(x)` becomes `x`; trace
+    /// statements vanish) so effect-free properties never discard cases.
+    strip_trace: bool,
 }
 
 impl Lower {
@@ -210,7 +226,11 @@ impl Lower {
             }
             FExpr::Trace(a) => {
                 let x = self.fexpr(a, vars);
-                Expr::synth(ExprKind::Call("trace".into(), vec![x]))
+                if self.strip_trace {
+                    x
+                } else {
+                    Expr::synth(ExprKind::Call("trace".into(), vec![x]))
+                }
             }
         }
     }
@@ -331,6 +351,9 @@ impl Lower {
                     }));
                 }
                 SRecipe::TraceStmt(e) => {
+                    if self.strip_trace {
+                        continue;
+                    }
                     let arg = self.fexpr(e, vars);
                     out.push(Stmt::synth(StmtKind::ExprStmt(Expr::synth(
                         ExprKind::Call("trace".into(), vec![arg]),
@@ -343,8 +366,15 @@ impl Lower {
 
 /// Lowers recipes into a complete, type-checked program.
 pub fn build_program(stmts: &[SRecipe], ret: &FExpr) -> GenProgram {
+    build_program_impl(stmts, ret, false)
+}
+
+fn build_program_impl(stmts: &[SRecipe], ret: &FExpr, strip_trace: bool) -> GenProgram {
     let params: Vec<String> = (0..N_PARAMS).map(|i| format!("p{i}")).collect();
-    let mut lower = Lower { fresh: 0 };
+    let mut lower = Lower {
+        fresh: 0,
+        strip_trace,
+    };
     let mut vars = params.clone();
     let mut body = Vec::new();
     lower.block(stmts, &mut vars, &mut body);

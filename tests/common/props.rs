@@ -1,0 +1,498 @@
+//! Property bodies shared between the deep, feature-gated `prop_*` suites
+//! and the tier-1 `prop_smoke` slice.
+//!
+//! Each function is one property over concrete generated inputs; the
+//! callers own the strategy wiring and case counts. The deep suites run
+//! hundreds of cases under `--features slow-tests`; `prop_smoke` replays
+//! the first 32 cases of the same deterministic stream on every
+//! `cargo test`.
+
+use super::{GenProgram, N_PARAMS};
+use ds_codespec::{code_specialize, CodeSpecOptions};
+use ds_core::{specialize, InputPartition, SpecializeOptions};
+use ds_interp::{CacheBuf, Evaluator, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+type CaseResult = Result<(), TestCaseError>;
+
+/// Overrides the varying parameters of `base` with values from `alt`.
+pub fn merge_varying(base: &[Value], alt: &[Value], varying: &[String]) -> Vec<Value> {
+    (0..N_PARAMS)
+        .map(|i| {
+            if varying.contains(&format!("p{i}")) {
+                alt[i]
+            } else {
+                base[i]
+            }
+        })
+        .collect()
+}
+
+/// Trace equality up to bit pattern (`NaN == NaN` when payloads match —
+/// both sides run the same operations, so payloads are identical).
+pub fn traces_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn outcomes_eq(a: &ds_interp::Outcome, b: &ds_interp::Outcome) -> bool {
+    let values = match (&a.value, &b.value) {
+        (Some(x), Some(y)) => x.bits_eq(y),
+        (None, None) => true,
+        _ => false,
+    };
+    values && traces_eq(&a.trace, &b.trace)
+}
+
+fn assert_same(label: &str, a: &Option<Value>, b: &Option<Value>, src: &str) {
+    match (a, b) {
+        (Some(x), Some(y)) if x.bits_eq(y) => {}
+        _ => panic!("{label}: {a:?} != {b:?}\nprogram:\n{src}"),
+    }
+}
+
+// ----- front-end properties (deep suite: prop_frontend) ----------------
+
+/// print → parse → print is a fixpoint, and the reparsed program is
+/// semantically identical.
+pub fn pretty_parse_round_trip(gen: &GenProgram, args: &[Value]) -> CaseResult {
+    let printed = ds_lang::print_program(&gen.program);
+    let reparsed = ds_lang::parse_program(&printed)
+        .unwrap_or_else(|e| panic!("reparse failed: {}\n{printed}", e.render(&printed)));
+    ds_lang::typecheck(&reparsed).expect("reparsed program type-checks");
+    prop_assert_eq!(&printed, &ds_lang::print_program(&reparsed));
+
+    let a = Evaluator::new(&gen.program)
+        .run("gen", args)
+        .expect("run original");
+    let b = Evaluator::new(&reparsed)
+        .run("gen", args)
+        .expect("run reparsed");
+    prop_assert!(outcomes_eq(&a, &b), "round trip changed semantics");
+    prop_assert_eq!(a.cost, b.cost, "round trip changed cost");
+    Ok(())
+}
+
+/// Join-point normalization only adds `v = v` assignments: results,
+/// traces and term counts change predictably; semantics do not.
+pub fn phi_insertion_preserves_semantics(gen: &GenProgram, args: &[Value]) -> CaseResult {
+    let mut normalized = gen.program.clone();
+    let added = ds_analysis::insert_phis(&mut normalized.procs[0]);
+    normalized.renumber();
+    ds_lang::typecheck(&normalized).expect("normalized program type-checks");
+
+    let a = Evaluator::new(&gen.program)
+        .run("gen", args)
+        .expect("original");
+    let b = Evaluator::new(&normalized)
+        .run("gen", args)
+        .expect("normalized");
+    prop_assert!(outcomes_eq(&a, &b), "phi insertion changed semantics");
+    // A phi is one Assign statement plus one Var expression: node
+    // count grows by exactly 2 per phi.
+    prop_assert_eq!(
+        normalized.procs[0].node_count(),
+        gen.program.procs[0].node_count() + 2 * added
+    );
+    // Idempotent.
+    let again = ds_analysis::insert_phis(&mut normalized.procs[0]);
+    prop_assert_eq!(again, 0, "phi insertion must be idempotent");
+    Ok(())
+}
+
+/// Reassociation preserves semantics bit-for-bit on programs whose
+/// float additions happen to be exact — we can't assume that for
+/// arbitrary floats, but we *can* check the structural contract:
+/// the rewritten program still type-checks, still evaluates without
+/// new errors, and produces results within floating-point slack.
+pub fn reassociation_is_safe(gen: &GenProgram, varying: &[String], args: &[Value]) -> CaseResult {
+    let src = ds_lang::print_program(&gen.program);
+    prop_assume!(!src.contains("trace(")); // reordering may permute traces
+
+    let vs: std::collections::HashSet<String> = varying.iter().cloned().collect();
+    let dep = ds_analysis::analyze_dependence(&gen.program.procs[0], &vs);
+    let mut rewritten = gen.program.clone();
+    ds_analysis::reassociate(&mut rewritten.procs[0], &dep);
+    rewritten.renumber();
+    ds_lang::typecheck(&rewritten).expect("reassociated program type-checks");
+
+    let a = Evaluator::new(&gen.program)
+        .run("gen", args)
+        .expect("original");
+    let b = Evaluator::new(&rewritten)
+        .run("gen", args)
+        .expect("rewritten");
+    // Identical operation multiset per chain: costs match exactly.
+    prop_assert_eq!(a.cost, b.cost, "reassociation changed cost");
+    match (a.value, b.value) {
+        (Some(Value::Float(x)), Some(Value::Float(y))) => {
+            let both_non_finite = !x.is_finite() && !y.is_finite();
+            let scale = x.abs().max(y.abs()).max(1.0);
+            prop_assert!(
+                both_non_finite || ((x - y).abs() / scale) < 1e-6,
+                "reassociation drifted: {x} vs {y}\n{src}"
+            );
+        }
+        (va, vb) => prop_assert!(matches!((va, vb), (Some(_), Some(_))), "missing results"),
+    }
+    Ok(())
+}
+
+// ----- code-specialization properties (deep suite: prop_codespec) ------
+
+fn fixed_map(base: &[Value], varying: &[String]) -> HashMap<String, Value> {
+    let mut fixed = HashMap::new();
+    for (i, value) in base.iter().enumerate() {
+        let name = format!("p{i}");
+        if !varying.contains(&name) {
+            fixed.insert(name, *value);
+        }
+    }
+    fixed
+}
+
+/// residual(varying) == original(fixed ∪ varying), bit for bit.
+pub fn residual_preserves_semantics(
+    gen: &GenProgram,
+    varying: &[String],
+    base: &[Value],
+    alt: &[Value],
+) -> CaseResult {
+    let fixed = fixed_map(base, varying);
+    let cs = code_specialize(&gen.program, "gen", &fixed, &CodeSpecOptions::default())
+        .expect("code specialization is total on bounded-loop programs");
+    let rp = cs.as_program();
+    ds_lang::typecheck(&rp).expect("residual type-checks");
+    let rev = Evaluator::new(&rp);
+    let oev = Evaluator::new(&gen.program);
+
+    // Run on two varying-input vectors.
+    for alt_args in [base, alt] {
+        let full: Vec<Value> = (0..N_PARAMS)
+            .map(|i| {
+                if varying.contains(&format!("p{i}")) {
+                    alt_args[i]
+                } else {
+                    base[i]
+                }
+            })
+            .collect();
+        let residual_args: Vec<Value> = (0..N_PARAMS)
+            .filter(|i| varying.contains(&format!("p{}", i)))
+            .map(|i| alt_args[i])
+            .collect();
+        let orig = oev.run("gen", &full).expect("original");
+        let resid = rev.run("gen__residual", &residual_args).expect("residual");
+        let same = match (&orig.value, &resid.value) {
+            (Some(a), Some(b)) => a.bits_eq(b),
+            _ => false,
+        };
+        prop_assert!(
+            same,
+            "{:?} != {:?}\n{}",
+            orig.value,
+            resid.value,
+            ds_lang::print_program(&rp)
+        );
+        prop_assert!(traces_eq(&orig.trace, &resid.trace), "trace order changed");
+    }
+    Ok(())
+}
+
+/// With every input fixed and no effects, the residual collapses to a
+/// single constant return: branch elimination, unrolling and folding
+/// leave nothing behind. (With effects or varying inputs the residual
+/// may legitimately *grow* — unrolled loop bodies are duplicated, which
+/// is exactly the code-size cost of code specialization the paper
+/// alludes to.)
+pub fn fully_fixed_effect_free_residual_is_constant(
+    gen: &GenProgram,
+    base: &[Value],
+) -> CaseResult {
+    let src = ds_lang::print_program(&gen.program);
+    prop_assume!(!src.contains("trace("));
+    let all_fixed: HashMap<String, Value> =
+        (0..N_PARAMS).map(|i| (format!("p{i}"), base[i])).collect();
+    let cs = code_specialize(&gen.program, "gen", &all_fixed, &CodeSpecOptions::default())
+        .expect("code specialize");
+    prop_assert!(
+        cs.residual_nodes <= 2,
+        "expected constant residual, got\n{}",
+        ds_lang::print_proc(&cs.residual)
+    );
+    Ok(())
+}
+
+/// Code specialization beats (or ties) data specialization on per-use
+/// cost — it can fold fixed values into literals and kill branches —
+/// whenever both succeed on an effect-free program.
+pub fn residual_at_most_reader_cost(
+    gen: &GenProgram,
+    varying: &[String],
+    base: &[Value],
+) -> CaseResult {
+    let src = ds_lang::print_program(&gen.program);
+    prop_assume!(!src.contains("trace("));
+
+    let fixed = fixed_map(base, varying);
+    let cs = code_specialize(&gen.program, "gen", &fixed, &CodeSpecOptions::default())
+        .expect("code specialize");
+    let ds = specialize(
+        &gen.program,
+        "gen",
+        &InputPartition::varying(varying.iter().map(String::as_str)),
+        &SpecializeOptions::new(),
+    )
+    .expect("data specialize");
+
+    let rp = cs.as_program();
+    let rev = Evaluator::new(&rp);
+    let dsp = ds.as_program();
+    let dev = Evaluator::new(&dsp);
+
+    let residual_args: Vec<Value> = (0..N_PARAMS)
+        .filter(|i| varying.contains(&format!("p{}", i)))
+        .map(|i| base[i])
+        .collect();
+    let mut cache = CacheBuf::new(ds.slot_count());
+    dev.run_with_cache("gen__loader", base, &mut cache)
+        .expect("loader");
+    let reader = dev
+        .run_with_cache("gen__reader", base, &mut cache)
+        .expect("reader");
+    let resid = rev.run("gen__residual", &residual_args).expect("residual");
+    prop_assert!(
+        resid.cost <= reader.cost + 2,
+        "residual {} vs reader {}\n{}",
+        resid.cost,
+        reader.cost,
+        src
+    );
+    Ok(())
+}
+
+// ----- data-specialization properties (deep suite: prop_specialization)
+
+/// Loader ≡ original, and reader(cache) ≡ original under varying-input
+/// changes, for arbitrary programs and partitions.
+pub fn loader_and_reader_preserve_semantics(
+    gen: &GenProgram,
+    varying: &[String],
+    base: &[Value],
+    alt1: &[Value],
+    alt2: &[Value],
+) -> CaseResult {
+    let spec = specialize(
+        &gen.program,
+        "gen",
+        &InputPartition::varying(varying.iter().map(String::as_str)),
+        &SpecializeOptions::new(),
+    )
+    .expect("specialization is total on front-end-clean programs");
+    let program = spec.as_program();
+    let ev = Evaluator::new(&program);
+    let src = ds_lang::print_program(&program);
+
+    // The loader runs on the base inputs and must agree with the
+    // original in both value and effect order.
+    let orig0 = ev.run("gen", base).expect("original run");
+    let mut cache = CacheBuf::new(spec.slot_count());
+    let load = ev
+        .run_with_cache("gen__loader", base, &mut cache)
+        .expect("loader run");
+    assert_same("loader value", &orig0.value, &load.value, &src);
+    prop_assert!(traces_eq(&orig0.trace, &load.trace), "loader trace differs");
+    // The loader is the instrumented original: it can only add store
+    // costs (a guarded slot may not be reached; a loop-invariant slot
+    // may be stored once per iteration).
+    prop_assert!(
+        load.cost >= orig0.cost,
+        "loader ({}) cheaper than original ({})?",
+        load.cost,
+        orig0.cost
+    );
+
+    // The reader replays with changed varying inputs.
+    for alt in [alt1, alt2] {
+        let args = merge_varying(base, alt, varying);
+        let orig = ev.run("gen", &args).expect("original run");
+        let read = ev
+            .run_with_cache("gen__reader", &args, &mut cache)
+            .expect("reader run");
+        assert_same("reader value", &orig.value, &read.value, &src);
+        prop_assert!(traces_eq(&orig.trace, &read.trace), "reader trace differs");
+        // Each slot read costs 2; the computation it replaces costs at
+        // least 2 on every path except an asymmetric ternary's cheap
+        // arm, so allow one unit of slack per slot.
+        prop_assert!(
+            read.cost <= orig.cost + spec.slot_count() as u64,
+            "reader ({}) costs more than original ({})\n{}",
+            read.cost,
+            orig.cost,
+            src
+        );
+    }
+    Ok(())
+}
+
+/// The same equivalence holds under arbitrary cache-size budgets: the
+/// limiter may only trade speed, never correctness.
+pub fn limited_caches_preserve_semantics(
+    gen: &GenProgram,
+    varying: &[String],
+    base: &[Value],
+    alt: &[Value],
+    bound: u32,
+) -> CaseResult {
+    let spec = specialize(
+        &gen.program,
+        "gen",
+        &InputPartition::varying(varying.iter().map(String::as_str)),
+        &SpecializeOptions::new().with_cache_bound(bound),
+    )
+    .expect("specialize");
+    prop_assert!(
+        spec.cache_bytes() <= bound,
+        "layout {} exceeds bound {bound}",
+        spec.cache_bytes()
+    );
+    let program = spec.as_program();
+    let ev = Evaluator::new(&program);
+    let mut cache = CacheBuf::new(spec.slot_count());
+    ev.run_with_cache("gen__loader", base, &mut cache)
+        .expect("loader");
+    let args = merge_varying(base, alt, varying);
+    let orig = ev.run("gen", &args).expect("original");
+    let read = ev
+        .run_with_cache("gen__reader", &args, &mut cache)
+        .expect("reader");
+    assert_same(
+        "bounded reader value",
+        &orig.value,
+        &read.value,
+        &ds_lang::print_program(&program),
+    );
+    prop_assert!(traces_eq(&orig.trace, &read.trace));
+    Ok(())
+}
+
+/// §3.3's size claim as a property: loader + reader stay within 2× the
+/// fragment plus the slot-store overhead.
+pub fn split_code_growth_is_bounded(gen: &GenProgram, varying: &[String]) -> CaseResult {
+    let spec = specialize(
+        &gen.program,
+        "gen",
+        &InputPartition::varying(varying.iter().map(String::as_str)),
+        &SpecializeOptions::new(),
+    )
+    .expect("specialize");
+    let s = &spec.stats;
+    prop_assert!(
+        s.loader_nodes + s.reader_nodes
+            <= 2 * s.fragment_nodes + 2 * s.evictions.len() + 2 * spec.slot_count() + 2,
+        "loader {} + reader {} vs fragment {} (slots {})",
+        s.loader_nodes,
+        s.reader_nodes,
+        s.fragment_nodes,
+        spec.slot_count()
+    );
+    // The loader is exactly the fragment plus one CacheStore node per
+    // slot.
+    prop_assert_eq!(s.loader_nodes, s.fragment_nodes + spec.slot_count());
+    Ok(())
+}
+
+/// §7.1 loader speculation preserves semantics: hoisted slot fills
+/// never change results or effect order, for arbitrary programs,
+/// partitions and inputs.
+pub fn speculation_preserves_semantics(
+    gen: &GenProgram,
+    varying: &[String],
+    base: &[Value],
+    alt: &[Value],
+) -> CaseResult {
+    let spec = specialize(
+        &gen.program,
+        "gen",
+        &InputPartition::varying(varying.iter().map(String::as_str)),
+        &SpecializeOptions::new().with_speculation(),
+    )
+    .expect("specialize with speculation");
+    let program = spec.as_program();
+    let ev = Evaluator::new(&program);
+    let src = ds_lang::print_program(&program);
+
+    let orig0 = ev.run("gen", base).expect("original");
+    let mut cache = CacheBuf::new(spec.slot_count());
+    let load = ev
+        .run_with_cache("gen__loader", base, &mut cache)
+        .expect("loader");
+    assert_same("speculative loader value", &orig0.value, &load.value, &src);
+    prop_assert!(
+        traces_eq(&orig0.trace, &load.trace),
+        "speculation must not duplicate or reorder effects"
+    );
+
+    let args = merge_varying(base, alt, varying);
+    let orig = ev.run("gen", &args).expect("original");
+    let read = ev
+        .run_with_cache("gen__reader", &args, &mut cache)
+        .expect("speculative reader");
+    assert_same("speculative reader value", &orig.value, &read.value, &src);
+    prop_assert!(traces_eq(&orig.trace, &read.trace));
+    Ok(())
+}
+
+/// The degenerate partitions behave as expected: nothing varying means
+/// a (near-)empty reader; everything varying means an empty cache.
+pub fn degenerate_partitions(gen: &GenProgram, base: &[Value]) -> CaseResult {
+    // All fixed.
+    let all_fixed = specialize(
+        &gen.program,
+        "gen",
+        &InputPartition::all_fixed(),
+        &SpecializeOptions::new(),
+    )
+    .expect("specialize");
+    let program = all_fixed.as_program();
+    let ev = Evaluator::new(&program);
+    let orig = ev.run("gen", base).expect("original");
+    let mut cache = CacheBuf::new(all_fixed.slot_count());
+    ev.run_with_cache("gen__loader", base, &mut cache)
+        .expect("loader");
+    let read = ev
+        .run_with_cache("gen__reader", base, &mut cache)
+        .expect("reader");
+    assert_same(
+        "all-fixed reader",
+        &orig.value,
+        &read.value,
+        &ds_lang::print_program(&program),
+    );
+
+    // All varying: only input-independent (constant) expressions can
+    // be cached; the pipeline must still be sound.
+    let all_vary = specialize(
+        &gen.program,
+        "gen",
+        &InputPartition::varying((0..N_PARAMS).map(|i| format!("p{i}"))),
+        &SpecializeOptions::new(),
+    )
+    .expect("specialize");
+    let program2 = all_vary.as_program();
+    let ev2 = Evaluator::new(&program2);
+    let mut cache2 = CacheBuf::new(all_vary.slot_count());
+    ev2.run_with_cache("gen__loader", base, &mut cache2)
+        .expect("loader");
+    let read2 = ev2
+        .run_with_cache("gen__reader", base, &mut cache2)
+        .expect("reader");
+    let orig2 = ev2.run("gen", base).expect("original");
+    assert_same(
+        "all-varying reader",
+        &orig2.value,
+        &read2.value,
+        &ds_lang::print_program(&program2),
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Replays the checked-in fuzzer corpus (`tests/corpus/*.mc`) on every
+//! plain `cargo test`.
+//!
+//! Each file is a `dsc fuzz` reproducer: plain MiniC with a comment header
+//! naming the oracle, the varying parameters, and the request stream. The
+//! corpus pins shrunk generator findings and the stale
+//! `.proptest-regressions` entries the vendored proptest shim cannot
+//! replay, converted to this format.
+
+use ds_gen::{check_case, FuzzCase, Oracle};
+use std::fs;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("read corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mc"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_populated() {
+    assert!(
+        corpus_files().len() >= 10,
+        "corpus shrank below 10 cases: {:?}",
+        corpus_files()
+    );
+}
+
+#[test]
+fn corpus_cases_replay_clean() {
+    for path in corpus_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).expect("read corpus file");
+        let (oracle_name, case) =
+            FuzzCase::from_text(&text).unwrap_or_else(|e| panic!("{name}: malformed: {e}"));
+        let oracle = Oracle::from_str(&oracle_name)
+            .unwrap_or_else(|e| panic!("{name}: unknown oracle: {e}"));
+        if let Err((oracle, msg)) = check_case(&case, &[oracle]) {
+            panic!("{name}: oracle `{oracle}` failed:\n{msg}");
+        }
+    }
+}
+
+/// The vendored proptest shim is deterministic and does not read
+/// `.proptest-regressions` files, so checked-in seed files silently rot.
+/// Stale entries were converted into `tests/corpus/` cases; keep it that
+/// way.
+#[test]
+fn no_stale_proptest_regression_files() {
+    let tests = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests");
+    let stale: Vec<String> = fs::read_dir(&tests)
+        .expect("tests dir")
+        .map(|e| e.expect("read tests entry").path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().ends_with(".proptest-regressions"))
+        })
+        .map(|p| p.display().to_string())
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "the proptest shim cannot replay these; convert them to tests/corpus/ cases: {stale:?}"
+    );
+}

@@ -2,23 +2,19 @@
 //! program over the varying inputs computes exactly what the original
 //! computes, with the fixed values folded in — including `trace` effect
 //! order and runtime faults deferred, not triggered at specialization time.
+//!
+//! The property bodies live in `common::props` so the tier-1 `prop_smoke`
+//! suite can replay a fixed 32-case slice of the same stream; this binary
+//! is the deep run, gated behind `--features slow-tests`.
 
 mod common;
 
-use common::{arb_args, arb_program, arb_varying, N_PARAMS};
-use ds_codespec::{code_specialize, CodeSpecOptions};
-use ds_interp::{Evaluator, Value};
+use common::{arb_args, arb_program, arb_program_no_trace, arb_varying, props};
 use proptest::prelude::*;
-use std::collections::HashMap;
-
-fn traces_eq(a: &[f64], b: &[f64]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
-}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 120, ..ProptestConfig::default() })]
 
-    /// residual(varying) == original(fixed ∪ varying), bit for bit.
     #[test]
     fn residual_preserves_semantics(
         gen in arb_program(),
@@ -26,113 +22,23 @@ proptest! {
         base in arb_args(),
         alt in arb_args(),
     ) {
-        // Fixed values: the base arguments of the non-varying parameters.
-        let mut fixed: HashMap<String, Value> = HashMap::new();
-        for (i, value) in base.iter().enumerate() {
-            let name = format!("p{i}");
-            if !varying.contains(&name) {
-                fixed.insert(name, *value);
-            }
-        }
-        let cs = code_specialize(&gen.program, "gen", &fixed, &CodeSpecOptions::default())
-            .expect("code specialization is total on bounded-loop programs");
-        let rp = cs.as_program();
-        ds_lang::typecheck(&rp).expect("residual type-checks");
-        let rev = Evaluator::new(&rp);
-        let oev = Evaluator::new(&gen.program);
-
-        // Run on two varying-input vectors.
-        for alt_args in [&base, &alt] {
-            let full: Vec<Value> = (0..N_PARAMS)
-                .map(|i| {
-                    if varying.contains(&format!("p{i}")) {
-                        alt_args[i]
-                    } else {
-                        base[i]
-                    }
-                })
-                .collect();
-            let residual_args: Vec<Value> = (0..N_PARAMS)
-                .filter(|i| varying.contains(&format!("p{}", i)))
-                .map(|i| alt_args[i])
-                .collect();
-            let orig = oev.run("gen", &full).expect("original");
-            let resid = rev.run("gen__residual", &residual_args).expect("residual");
-            let same = match (&orig.value, &resid.value) {
-                (Some(a), Some(b)) => a.bits_eq(b),
-                _ => false,
-            };
-            prop_assert!(same, "{:?} != {:?}\n{}", orig.value, resid.value,
-                ds_lang::print_program(&rp));
-            prop_assert!(traces_eq(&orig.trace, &resid.trace), "trace order changed");
-        }
+        props::residual_preserves_semantics(&gen, &varying, &base, &alt)?;
     }
 
-    /// With every input fixed and no effects, the residual collapses to a
-    /// single constant return: branch elimination, unrolling and folding
-    /// leave nothing behind. (With effects or varying inputs the residual
-    /// may legitimately *grow* — unrolled loop bodies are duplicated, which
-    /// is exactly the code-size cost of code specialization the paper
-    /// alludes to.)
     #[test]
     fn fully_fixed_effect_free_residual_is_constant(
-        gen in arb_program(),
+        gen in arb_program_no_trace(),
         base in arb_args(),
     ) {
-        let src = ds_lang::print_program(&gen.program);
-        prop_assume!(!src.contains("trace("));
-        let all_fixed: HashMap<String, Value> = (0..N_PARAMS)
-            .map(|i| (format!("p{i}"), base[i]))
-            .collect();
-        let cs = code_specialize(&gen.program, "gen", &all_fixed, &CodeSpecOptions::default())
-            .expect("code specialize");
-        prop_assert!(cs.residual_nodes <= 2,
-            "expected constant residual, got\n{}",
-            ds_lang::print_proc(&cs.residual));
+        props::fully_fixed_effect_free_residual_is_constant(&gen, &base)?;
     }
 
-    /// Code specialization beats (or ties) data specialization on per-use
-    /// cost — it can fold fixed values into literals and kill branches —
-    /// whenever both succeed on an effect-free program.
     #[test]
     fn residual_at_most_reader_cost(
-        gen in arb_program(),
+        gen in arb_program_no_trace(),
         varying in arb_varying(),
         base in arb_args(),
     ) {
-        let src = ds_lang::print_program(&gen.program);
-        prop_assume!(!src.contains("trace("));
-
-        let mut fixed: HashMap<String, Value> = HashMap::new();
-        for (i, value) in base.iter().enumerate() {
-            let name = format!("p{i}");
-            if !varying.contains(&name) {
-                fixed.insert(name, *value);
-            }
-        }
-        let cs = code_specialize(&gen.program, "gen", &fixed, &CodeSpecOptions::default())
-            .expect("code specialize");
-        let ds = ds_core::specialize(
-            &gen.program,
-            "gen",
-            &ds_core::InputPartition::varying(varying.iter().map(String::as_str)),
-            &ds_core::SpecializeOptions::new(),
-        ).expect("data specialize");
-
-        let rp = cs.as_program();
-        let rev = Evaluator::new(&rp);
-        let dsp = ds.as_program();
-        let dev = Evaluator::new(&dsp);
-
-        let residual_args: Vec<Value> = (0..N_PARAMS)
-            .filter(|i| varying.contains(&format!("p{}", i)))
-            .map(|i| base[i])
-            .collect();
-        let mut cache = ds_interp::CacheBuf::new(ds.slot_count());
-        dev.run_with_cache("gen__loader", &base, &mut cache).expect("loader");
-        let reader = dev.run_with_cache("gen__reader", &base, &mut cache).expect("reader");
-        let resid = rev.run("gen__residual", &residual_args).expect("residual");
-        prop_assert!(resid.cost <= reader.cost + 2,
-            "residual {} vs reader {}\n{}", resid.cost, reader.cost, src);
+        props::residual_at_most_reader_cost(&gen, &varying, &base)?;
     }
 }

@@ -1,107 +1,35 @@
 //! Front-end and transformation properties over arbitrary programs:
 //! pretty-print/parse round trips, join-point normalization soundness, and
 //! integer reassociation exactness.
+//!
+//! The property bodies live in `common::props` so the tier-1 `prop_smoke`
+//! suite can replay a fixed 32-case slice of the same stream; this binary
+//! is the deep run, gated behind `--features slow-tests`.
 
 mod common;
 
-use common::{arb_args, arb_program, arb_varying};
-use ds_analysis::{analyze_dependence, insert_phis, reassociate};
-use ds_interp::{Evaluator, Value};
+use common::{arb_args, arb_program, arb_program_no_trace, arb_varying, props};
 use proptest::prelude::*;
-
-fn traces_eq(a: &[f64], b: &[f64]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
-}
-
-fn outcomes_eq(a: &ds_interp::Outcome, b: &ds_interp::Outcome) -> bool {
-    let values = match (&a.value, &b.value) {
-        (Some(x), Some(y)) => x.bits_eq(y),
-        (None, None) => true,
-        _ => false,
-    };
-    values && traces_eq(&a.trace, &b.trace)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
 
-    /// print → parse → print is a fixpoint, and the reparsed program is
-    /// semantically identical.
     #[test]
     fn pretty_parse_round_trip(gen in arb_program(), args in arb_args()) {
-        let printed = ds_lang::print_program(&gen.program);
-        let reparsed = ds_lang::parse_program(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {}\n{printed}", e.render(&printed)));
-        ds_lang::typecheck(&reparsed).expect("reparsed program type-checks");
-        prop_assert_eq!(&printed, &ds_lang::print_program(&reparsed));
-
-        let a = Evaluator::new(&gen.program).run("gen", &args).expect("run original");
-        let b = Evaluator::new(&reparsed).run("gen", &args).expect("run reparsed");
-        prop_assert!(outcomes_eq(&a, &b), "round trip changed semantics");
-        prop_assert_eq!(a.cost, b.cost, "round trip changed cost");
+        props::pretty_parse_round_trip(&gen, &args)?;
     }
 
-    /// Join-point normalization only adds `v = v` assignments: results,
-    /// traces and term counts change predictably; semantics do not.
     #[test]
     fn phi_insertion_preserves_semantics(gen in arb_program(), args in arb_args()) {
-        let mut normalized = gen.program.clone();
-        let added = insert_phis(&mut normalized.procs[0]);
-        normalized.renumber();
-        ds_lang::typecheck(&normalized).expect("normalized program type-checks");
-
-        let a = Evaluator::new(&gen.program).run("gen", &args).expect("original");
-        let b = Evaluator::new(&normalized).run("gen", &args).expect("normalized");
-        prop_assert!(outcomes_eq(&a, &b), "phi insertion changed semantics");
-        // A phi is one Assign statement plus one Var expression: node
-        // count grows by exactly 2 per phi.
-        prop_assert_eq!(
-            normalized.procs[0].node_count(),
-            gen.program.procs[0].node_count() + 2 * added
-        );
-        // Idempotent.
-        let again = insert_phis(&mut normalized.procs[0]);
-        prop_assert_eq!(again, 0, "phi insertion must be idempotent");
+        props::phi_insertion_preserves_semantics(&gen, &args)?;
     }
 
-    /// Reassociation preserves semantics bit-for-bit on programs whose
-    /// float additions happen to be exact — we can't assume that for
-    /// arbitrary floats, but we *can* check the structural contract:
-    /// the rewritten program still type-checks, still evaluates without
-    /// new errors, and produces results within floating-point slack.
     #[test]
     fn reassociation_is_safe(
-        gen in arb_program(),
+        gen in arb_program_no_trace(),
         varying in arb_varying(),
         args in arb_args(),
     ) {
-        let src = ds_lang::print_program(&gen.program);
-        prop_assume!(!src.contains("trace(")); // reordering may permute traces
-
-        let vs: std::collections::HashSet<String> = varying.iter().cloned().collect();
-        let dep = analyze_dependence(&gen.program.procs[0], &vs);
-        let mut rewritten = gen.program.clone();
-        reassociate(&mut rewritten.procs[0], &dep);
-        rewritten.renumber();
-        ds_lang::typecheck(&rewritten).expect("reassociated program type-checks");
-
-        let a = Evaluator::new(&gen.program).run("gen", &args).expect("original");
-        let b = Evaluator::new(&rewritten).run("gen", &args).expect("rewritten");
-        // Identical operation multiset per chain: costs match exactly.
-        prop_assert_eq!(a.cost, b.cost, "reassociation changed cost");
-        match (a.value, b.value) {
-            (Some(Value::Float(x)), Some(Value::Float(y))) => {
-                let both_non_finite = !x.is_finite() && !y.is_finite();
-                let scale = x.abs().max(y.abs()).max(1.0);
-                prop_assert!(
-                    both_non_finite || ((x - y).abs() / scale) < 1e-6,
-                    "reassociation drifted: {x} vs {y}\n{src}"
-                );
-            }
-            (va, vb) => prop_assert!(
-                matches!((va, vb), (Some(_), Some(_))),
-                "missing results"
-            ),
-        }
+        props::reassociation_is_safe(&gen, &varying, &args)?;
     }
 }

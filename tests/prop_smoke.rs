@@ -1,0 +1,114 @@
+//! Tier-1 deterministic slice of the property suites.
+//!
+//! The vendored proptest shim derives each case's RNG from a fixed
+//! per-index seed, so running 32 cases here replays exactly the first 32
+//! cases of the deep `prop_frontend` / `prop_codespec` /
+//! `prop_specialization` streams (which run the full counts behind
+//! `--features slow-tests`). This keeps every property exercised on every
+//! plain `cargo test` at a few percent of the deep suites' cost.
+
+mod common;
+
+use common::{arb_args, arb_program, arb_program_no_trace, arb_varying, props};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    // --- prop_frontend slice -------------------------------------------
+
+    #[test]
+    fn smoke_pretty_parse_round_trip(gen in arb_program(), args in arb_args()) {
+        props::pretty_parse_round_trip(&gen, &args)?;
+    }
+
+    #[test]
+    fn smoke_phi_insertion_preserves_semantics(gen in arb_program(), args in arb_args()) {
+        props::phi_insertion_preserves_semantics(&gen, &args)?;
+    }
+
+    #[test]
+    fn smoke_reassociation_is_safe(
+        gen in arb_program_no_trace(),
+        varying in arb_varying(),
+        args in arb_args(),
+    ) {
+        props::reassociation_is_safe(&gen, &varying, &args)?;
+    }
+
+    // --- prop_codespec slice -------------------------------------------
+
+    #[test]
+    fn smoke_residual_preserves_semantics(
+        gen in arb_program(),
+        varying in arb_varying(),
+        base in arb_args(),
+        alt in arb_args(),
+    ) {
+        props::residual_preserves_semantics(&gen, &varying, &base, &alt)?;
+    }
+
+    #[test]
+    fn smoke_fully_fixed_effect_free_residual_is_constant(
+        gen in arb_program_no_trace(),
+        base in arb_args(),
+    ) {
+        props::fully_fixed_effect_free_residual_is_constant(&gen, &base)?;
+    }
+
+    #[test]
+    fn smoke_residual_at_most_reader_cost(
+        gen in arb_program_no_trace(),
+        varying in arb_varying(),
+        base in arb_args(),
+    ) {
+        props::residual_at_most_reader_cost(&gen, &varying, &base)?;
+    }
+
+    // --- prop_specialization slice -------------------------------------
+
+    #[test]
+    fn smoke_loader_and_reader_preserve_semantics(
+        gen in arb_program(),
+        varying in arb_varying(),
+        base in arb_args(),
+        alt1 in arb_args(),
+        alt2 in arb_args(),
+    ) {
+        props::loader_and_reader_preserve_semantics(&gen, &varying, &base, &alt1, &alt2)?;
+    }
+
+    #[test]
+    fn smoke_limited_caches_preserve_semantics(
+        gen in arb_program(),
+        varying in arb_varying(),
+        base in arb_args(),
+        alt in arb_args(),
+        bound in 0u32..24,
+    ) {
+        props::limited_caches_preserve_semantics(&gen, &varying, &base, &alt, bound)?;
+    }
+
+    #[test]
+    fn smoke_split_code_growth_is_bounded(
+        gen in arb_program(),
+        varying in arb_varying(),
+    ) {
+        props::split_code_growth_is_bounded(&gen, &varying)?;
+    }
+
+    #[test]
+    fn smoke_speculation_preserves_semantics(
+        gen in arb_program(),
+        varying in arb_varying(),
+        base in arb_args(),
+        alt in arb_args(),
+    ) {
+        props::speculation_preserves_semantics(&gen, &varying, &base, &alt)?;
+    }
+
+    #[test]
+    fn smoke_degenerate_partitions(gen in arb_program(), base in arb_args()) {
+        props::degenerate_partitions(&gen, &base)?;
+    }
+}

@@ -4,45 +4,19 @@
 //! what the original fragment computes** — results bit-for-bit, `trace`
 //! effects in the same order — and the reader never costs more than the
 //! original.
+//!
+//! The property bodies live in `common::props` so the tier-1 `prop_smoke`
+//! suite can replay a fixed 32-case slice of the same stream; this binary
+//! is the deep run, gated behind `--features slow-tests`.
 
 mod common;
 
-use common::{arb_args, arb_program, arb_varying, N_PARAMS};
-use ds_core::{specialize, InputPartition, SpecializeOptions};
-use ds_interp::{CacheBuf, Evaluator, Value};
+use common::{arb_args, arb_program, arb_varying, props};
 use proptest::prelude::*;
-
-/// Overrides the varying parameters of `base` with values from `alt`.
-fn merge_varying(base: &[Value], alt: &[Value], varying: &[String]) -> Vec<Value> {
-    (0..N_PARAMS)
-        .map(|i| {
-            if varying.contains(&format!("p{i}")) {
-                alt[i]
-            } else {
-                base[i]
-            }
-        })
-        .collect()
-}
-
-/// Trace equality up to bit pattern (`NaN == NaN` when payloads match —
-/// both sides run the same operations, so payloads are identical).
-fn traces_eq(a: &[f64], b: &[f64]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
-}
-
-fn assert_same(label: &str, a: &Option<Value>, b: &Option<Value>, src: &str) {
-    match (a, b) {
-        (Some(x), Some(y)) if x.bits_eq(y) => {}
-        _ => panic!("{label}: {a:?} != {b:?}\nprogram:\n{src}"),
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 160, ..ProptestConfig::default() })]
 
-    /// Loader ≡ original, and reader(cache) ≡ original under varying-input
-    /// changes, for arbitrary programs and partitions.
     #[test]
     fn loader_and_reader_preserve_semantics(
         gen in arb_program(),
@@ -51,49 +25,9 @@ proptest! {
         alt1 in arb_args(),
         alt2 in arb_args(),
     ) {
-        let spec = specialize(
-            &gen.program,
-            "gen",
-            &InputPartition::varying(varying.iter().map(String::as_str)),
-            &SpecializeOptions::new(),
-        ).expect("specialization is total on front-end-clean programs");
-        let program = spec.as_program();
-        let ev = Evaluator::new(&program);
-        let src = ds_lang::print_program(&program);
-
-        // The loader runs on the base inputs and must agree with the
-        // original in both value and effect order.
-        let orig0 = ev.run("gen", &base).expect("original run");
-        let mut cache = CacheBuf::new(spec.slot_count());
-        let load = ev.run_with_cache("gen__loader", &base, &mut cache)
-            .expect("loader run");
-        assert_same("loader value", &orig0.value, &load.value, &src);
-        prop_assert!(traces_eq(&orig0.trace, &load.trace), "loader trace differs");
-        // The loader is the instrumented original: it can only add store
-        // costs (a guarded slot may not be reached; a loop-invariant slot
-        // may be stored once per iteration).
-        prop_assert!(load.cost >= orig0.cost,
-            "loader ({}) cheaper than original ({})?", load.cost, orig0.cost);
-
-        // The reader replays with changed varying inputs.
-        for alt in [&alt1, &alt2] {
-            let args = merge_varying(&base, alt, &varying);
-            let orig = ev.run("gen", &args).expect("original run");
-            let read = ev.run_with_cache("gen__reader", &args, &mut cache)
-                .expect("reader run");
-            assert_same("reader value", &orig.value, &read.value, &src);
-            prop_assert!(traces_eq(&orig.trace, &read.trace), "reader trace differs");
-            // Each slot read costs 2; the computation it replaces costs at
-            // least 2 on every path except an asymmetric ternary's cheap
-            // arm, so allow one unit of slack per slot.
-            prop_assert!(read.cost <= orig.cost + spec.slot_count() as u64,
-                "reader ({}) costs more than original ({})\n{}",
-                read.cost, orig.cost, src);
-        }
+        props::loader_and_reader_preserve_semantics(&gen, &varying, &base, &alt1, &alt2)?;
     }
 
-    /// The same equivalence holds under arbitrary cache-size budgets: the
-    /// limiter may only trade speed, never correctness.
     #[test]
     fn limited_caches_preserve_semantics(
         gen in arb_program(),
@@ -102,54 +36,17 @@ proptest! {
         alt in arb_args(),
         bound in 0u32..24,
     ) {
-        let spec = specialize(
-            &gen.program,
-            "gen",
-            &InputPartition::varying(varying.iter().map(String::as_str)),
-            &SpecializeOptions::new().with_cache_bound(bound),
-        ).expect("specialize");
-        prop_assert!(spec.cache_bytes() <= bound,
-            "layout {} exceeds bound {bound}", spec.cache_bytes());
-        let program = spec.as_program();
-        let ev = Evaluator::new(&program);
-        let mut cache = CacheBuf::new(spec.slot_count());
-        ev.run_with_cache("gen__loader", &base, &mut cache).expect("loader");
-        let args = merge_varying(&base, &alt, &varying);
-        let orig = ev.run("gen", &args).expect("original");
-        let read = ev.run_with_cache("gen__reader", &args, &mut cache).expect("reader");
-        assert_same("bounded reader value", &orig.value, &read.value,
-            &ds_lang::print_program(&program));
-        prop_assert!(traces_eq(&orig.trace, &read.trace));
+        props::limited_caches_preserve_semantics(&gen, &varying, &base, &alt, bound)?;
     }
 
-    /// §3.3's size claim as a property: loader + reader stay within 2× the
-    /// fragment plus the slot-store overhead.
     #[test]
     fn split_code_growth_is_bounded(
         gen in arb_program(),
         varying in arb_varying(),
     ) {
-        let spec = specialize(
-            &gen.program,
-            "gen",
-            &InputPartition::varying(varying.iter().map(String::as_str)),
-            &SpecializeOptions::new(),
-        ).expect("specialize");
-        let s = &spec.stats;
-        prop_assert!(
-            s.loader_nodes + s.reader_nodes <= 2 * s.fragment_nodes + 2 * s.evictions.len()
-                + 2 * spec.slot_count() + 2,
-            "loader {} + reader {} vs fragment {} (slots {})",
-            s.loader_nodes, s.reader_nodes, s.fragment_nodes, spec.slot_count()
-        );
-        // The loader is exactly the fragment plus one CacheStore node per
-        // slot.
-        prop_assert_eq!(s.loader_nodes, s.fragment_nodes + spec.slot_count());
+        props::split_code_growth_is_bounded(&gen, &varying)?;
     }
 
-    /// §7.1 loader speculation preserves semantics: hoisted slot fills
-    /// never change results or effect order, for arbitrary programs,
-    /// partitions and inputs.
     #[test]
     fn speculation_preserves_semantics(
         gen in arb_program(),
@@ -157,64 +54,11 @@ proptest! {
         base in arb_args(),
         alt in arb_args(),
     ) {
-        let spec = specialize(
-            &gen.program,
-            "gen",
-            &InputPartition::varying(varying.iter().map(String::as_str)),
-            &SpecializeOptions::new().with_speculation(),
-        ).expect("specialize with speculation");
-        let program = spec.as_program();
-        let ev = Evaluator::new(&program);
-        let src = ds_lang::print_program(&program);
-
-        let orig0 = ev.run("gen", &base).expect("original");
-        let mut cache = CacheBuf::new(spec.slot_count());
-        let load = ev.run_with_cache("gen__loader", &base, &mut cache)
-            .expect("loader");
-        assert_same("speculative loader value", &orig0.value, &load.value, &src);
-        prop_assert!(traces_eq(&orig0.trace, &load.trace),
-            "speculation must not duplicate or reorder effects");
-
-        let args = merge_varying(&base, &alt, &varying);
-        let orig = ev.run("gen", &args).expect("original");
-        let read = ev.run_with_cache("gen__reader", &args, &mut cache)
-            .expect("speculative reader");
-        assert_same("speculative reader value", &orig.value, &read.value, &src);
-        prop_assert!(traces_eq(&orig.trace, &read.trace));
+        props::speculation_preserves_semantics(&gen, &varying, &base, &alt)?;
     }
 
-    /// The degenerate partitions behave as expected: nothing varying means
-    /// a (near-)empty reader; everything varying means an empty cache.
     #[test]
     fn degenerate_partitions(gen in arb_program(), base in arb_args()) {
-        // All fixed.
-        let all_fixed = specialize(
-            &gen.program, "gen", &InputPartition::all_fixed(),
-            &SpecializeOptions::new(),
-        ).expect("specialize");
-        let program = all_fixed.as_program();
-        let ev = Evaluator::new(&program);
-        let orig = ev.run("gen", &base).expect("original");
-        let mut cache = CacheBuf::new(all_fixed.slot_count());
-        ev.run_with_cache("gen__loader", &base, &mut cache).expect("loader");
-        let read = ev.run_with_cache("gen__reader", &base, &mut cache).expect("reader");
-        assert_same("all-fixed reader", &orig.value, &read.value,
-            &ds_lang::print_program(&program));
-
-        // All varying: only input-independent (constant) expressions can
-        // be cached; the pipeline must still be sound.
-        let all_vary = specialize(
-            &gen.program, "gen",
-            &InputPartition::varying((0..N_PARAMS).map(|i| format!("p{i}"))),
-            &SpecializeOptions::new(),
-        ).expect("specialize");
-        let program2 = all_vary.as_program();
-        let ev2 = Evaluator::new(&program2);
-        let mut cache2 = CacheBuf::new(all_vary.slot_count());
-        ev2.run_with_cache("gen__loader", &base, &mut cache2).expect("loader");
-        let read2 = ev2.run_with_cache("gen__reader", &base, &mut cache2).expect("reader");
-        let orig2 = ev2.run("gen", &base).expect("original");
-        assert_same("all-varying reader", &orig2.value, &read2.value,
-            &ds_lang::print_program(&program2));
+        props::degenerate_partitions(&gen, &base)?;
     }
 }
