@@ -3,12 +3,90 @@
 //! checked against the single-threaded reference before its throughput is
 //! reported, so the table cannot trade correctness for speed.
 //!
+//! Alongside the tables the run writes `BENCH_serve.json` (path via
+//! `--out PATH`): a `ds-telemetry` envelope bundling the scaling cells,
+//! the rebuild-overhead points, and the WAL-on vs WAL-off durability
+//! overhead, so CI can track serving throughput without scraping tables.
+//!
 //! `--dry-run` shrinks the matrix for CI smoke runs.
 
-use ds_bench::{exp_scaling, f, table, ScalingCell};
+use ds_bench::json::Json;
+use ds_bench::{
+    exp_rebuild_overhead, exp_scaling, exp_wal_overhead, f, table, RebuildPoint, ScalingCell,
+    WalOverheadPoint,
+};
+
+fn serve_doc(
+    requests: usize,
+    cells: &[ScalingCell],
+    rebuild: &[RebuildPoint],
+    wal: &[WalOverheadPoint],
+) -> Json {
+    let cells = Json::Arr(
+        cells
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("contexts", Json::from(c.distinct_contexts)),
+                    ("workers", Json::from(c.workers)),
+                    ("elapsed_ms", Json::from(c.elapsed_nanos as f64 / 1e6)),
+                    ("throughput_rps", Json::from(c.throughput)),
+                    ("loads", Json::from(c.loads)),
+                    ("store_hits", Json::from(c.store_hits)),
+                    ("store_evictions", Json::from(c.store_evictions)),
+                    ("answers_match", Json::Bool(c.answers_match)),
+                ])
+            })
+            .collect(),
+    );
+    let rebuild = Json::Arr(
+        rebuild
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("churn_interval", Json::from(p.churn_interval)),
+                    ("loads", Json::from(p.loads)),
+                    ("amortized_speedup", Json::from(p.amortized_speedup)),
+                ])
+            })
+            .collect(),
+    );
+    let wal = Json::Arr(
+        wal.iter()
+            .map(|p| {
+                Json::obj([
+                    ("churn_interval", Json::from(p.churn_interval)),
+                    ("wal_off_ms", Json::from(p.wal_off_nanos as f64 / 1e6)),
+                    ("wal_on_ms", Json::from(p.wal_on_nanos as f64 / 1e6)),
+                    ("overhead", Json::from(p.overhead)),
+                    ("wal_appends", Json::from(p.wal_appends)),
+                    ("answers_match", Json::Bool(p.answers_match)),
+                ])
+            })
+            .collect(),
+    );
+    ds_telemetry::envelope(
+        "serve",
+        [
+            ("requests", Json::from(requests)),
+            ("scaling", cells),
+            ("rebuild", rebuild),
+            ("wal_overhead", wal),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect(),
+    )
+}
 
 fn main() {
-    let dry_run = std::env::args().any(|a| a == "--dry-run");
+    let args: Vec<String> = std::env::args().collect();
+    let dry_run = args.iter().any(|a| a == "--dry-run");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
     let (requests, workers, contexts, capacity): (usize, &[usize], &[usize], usize) = if dry_run {
         (128, &[1, 2], &[1, 4], 8)
     } else {
@@ -66,10 +144,46 @@ fn main() {
          reference before timing is reported."
     );
 
-    if !mismatches.is_empty() {
+    // Durability: the same stream with the write-ahead log off vs on.
+    let wal_requests = if dry_run { 128 } else { 1024 };
+    let wal = exp_wal_overhead(wal_requests);
+    println!("\n=== Write-ahead log: durability overhead ===\n");
+    let mut wal_rows = vec![vec![
+        "churn".to_string(),
+        "wal off ms".to_string(),
+        "wal on ms".to_string(),
+        "overhead".to_string(),
+        "appends".to_string(),
+        "answers".to_string(),
+    ]];
+    for p in &wal {
+        wal_rows.push(vec![
+            p.churn_interval.to_string(),
+            f(p.wal_off_nanos as f64 / 1e6, 2),
+            f(p.wal_on_nanos as f64 / 1e6, 2),
+            format!("{}x", f(p.overhead, 2)),
+            p.wal_appends.to_string(),
+            if p.answers_match { "ok" } else { "MISMATCH" }.to_string(),
+        ]);
+    }
+    println!("{}", table(&wal_rows));
+
+    let rebuild = exp_rebuild_overhead(wal_requests);
+    let doc = serve_doc(requests, &cells, &rebuild, &wal);
+    match std::fs::write(&out, doc.pretty() + "\n") {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let wal_mismatch = wal.iter().any(|p| !p.answers_match);
+    if !mismatches.is_empty() || wal_mismatch {
         eprintln!(
-            "error: {} cell(s) diverged from the reference",
-            mismatches.len()
+            "error: {} scaling cell(s) and {} wal point(s) diverged from the reference",
+            mismatches.len(),
+            wal.iter().filter(|p| !p.answers_match).count()
         );
         std::process::exit(1);
     }

@@ -469,6 +469,107 @@ pub fn exp_rebuild_overhead(requests: usize) -> Vec<RebuildPoint> {
 }
 
 // ---------------------------------------------------------------------
+// WAL overhead — durability cost of the write-ahead log
+// ---------------------------------------------------------------------
+
+/// One churn level of the WAL-overhead experiment: the same request
+/// stream served twice, write-ahead log off and on.
+#[derive(Debug, Clone)]
+pub struct WalOverheadPoint {
+    /// Requests between invariant-input changes (1 = stale every request;
+    /// each change appends one install record to the log).
+    pub churn_interval: usize,
+    /// Requests served per run.
+    pub requests: usize,
+    /// Wall-clock nanoseconds without a log attached.
+    pub wal_off_nanos: u128,
+    /// Wall-clock nanoseconds with an in-memory log + periodic checkpoints.
+    pub wal_on_nanos: u128,
+    /// `wal_on / wal_off` wall-clock ratio (1.0 = the log is free).
+    pub overhead: f64,
+    /// Records the logged run appended.
+    pub wal_appends: u64,
+    /// Whether both runs' answers matched the tree-walked reference.
+    pub answers_match: bool,
+}
+
+/// Measures what durability costs end to end: the rebuild-overhead
+/// request stream (varying inputs change every request, invariant inputs
+/// every `churn_interval`) is served twice by identical [`StagedRunner`]s
+/// — one bare, one with an in-memory [`ds_runtime::Wal`] checkpointing
+/// every 8 appends. Both answer streams are compared against the
+/// reference before any timing is reported.
+pub fn exp_wal_overhead(requests: usize) -> Vec<WalOverheadPoint> {
+    use std::sync::Arc;
+
+    let part = InputPartition::varying(["z1", "z2"]);
+    let spec = ds_core::specialize_source(DOTPROD_SRC, "dotprod", &part, &SpecializeOptions::new())
+        .expect("specialize dotprod");
+    let stream_for = |interval: usize| -> Vec<Vec<Value>> {
+        (0..requests)
+            .map(|i| {
+                let epoch = (i / interval) as f64;
+                vec![
+                    Value::Float(1.0 + epoch), // x1: invariant within an epoch
+                    Value::Float(2.0),
+                    Value::Float(i as f64), // z1: varies every request
+                    Value::Float(4.0),
+                    Value::Float(5.0),
+                    Value::Float(0.5 * i as f64 + 1.0), // z2: varies every request
+                    Value::Float(2.0),
+                ]
+            })
+            .collect()
+    };
+    [1usize, 8, 64]
+        .iter()
+        .map(|&interval| {
+            let stream = stream_for(interval);
+            let ropts = ds_runtime::RunnerOptions {
+                rebuild_budget: requests as u32,
+                store_capacity: requests.max(1),
+                ..ds_runtime::RunnerOptions::default()
+            };
+            let reference: Vec<Option<Value>> = {
+                let probe = ds_runtime::StagedRunner::new(&spec, &part, ropts);
+                stream
+                    .iter()
+                    .map(|args| probe.reference(args).expect("reference run").value)
+                    .collect()
+            };
+            let timed = |wal: Option<Arc<ds_runtime::Wal>>| {
+                let mut runner = ds_runtime::StagedRunner::new(&spec, &part, ropts);
+                if let Some(wal) = wal {
+                    runner.attach_wal(wal);
+                }
+                let started = std::time::Instant::now();
+                let answers: Vec<Option<Value>> = stream
+                    .iter()
+                    .map(|args| runner.run(args).expect("staged request").value)
+                    .collect();
+                let elapsed = started.elapsed().as_nanos();
+                (elapsed, answers == reference, runner.stats().wal_appends())
+            };
+            let (off_nanos, off_ok, _) = timed(None);
+            let wal = Arc::new(ds_runtime::Wal::in_memory(
+                spec.layout.fingerprint(),
+                Some(8),
+            ));
+            let (on_nanos, on_ok, appends) = timed(Some(wal));
+            WalOverheadPoint {
+                churn_interval: interval,
+                requests,
+                wal_off_nanos: off_nanos,
+                wal_on_nanos: on_nanos,
+                overhead: on_nanos as f64 / off_nanos.max(1) as f64,
+                wal_appends: appends,
+                answers_match: off_ok && on_ok,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // Parallel scaling — throughput vs workers x invariant-churn mix
 // ---------------------------------------------------------------------
 
@@ -628,6 +729,21 @@ mod tests {
         let last = pts.last().expect("nonempty");
         assert_eq!(last.loads, 1);
         assert!(last.amortized_speedup > 1.0, "{last:?}");
+    }
+
+    #[test]
+    fn wal_overhead_logs_installs_and_keeps_answers_exact() {
+        let pts = exp_wal_overhead(32);
+        assert_eq!(pts.len(), 3);
+        for p in &pts {
+            assert!(p.answers_match, "{p:?}: durability cost a wrong answer");
+            assert!(p.wal_appends > 0, "{p:?}: nothing reached the log");
+            assert!(p.overhead > 0.0, "{p:?}");
+        }
+        // Churn on every request logs one install per request; rarer
+        // churn appends (much) less.
+        assert_eq!(pts[0].wal_appends, 32);
+        assert!(pts[2].wal_appends < pts[0].wal_appends, "{pts:?}");
     }
 
     #[test]

@@ -40,6 +40,8 @@ const VALUE_OPTIONS: &[&str] = &[
     "policy",
     "rebuild-budget",
     "cache-file",
+    "wal",
+    "checkpoint-every",
     "inject",
     "seed",
     "workers",
@@ -200,6 +202,26 @@ impl Args {
     /// exists and validates) and write back on exit.
     pub fn cache_file(&self) -> Option<&str> {
         self.options.get("cache-file").map(String::as_str)
+    }
+
+    /// `--wal PATH`: write-ahead log for `serve`; recovered on start,
+    /// appended to before each request is acknowledged.
+    pub fn wal(&self) -> Option<&str> {
+        self.options.get("wal").map(String::as_str)
+    }
+
+    /// `--checkpoint-every N`: compact the write-ahead log into a
+    /// checkpoint bundle after every N appends (`None` = only at exit).
+    pub fn checkpoint_every(&self) -> Result<Option<u64>, UsageError> {
+        match self.options.get("checkpoint-every") {
+            None => Ok(None),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(UsageError(format!(
+                    "--checkpoint-every expects an append count >= 1, got `{v}`"
+                ))),
+            },
+        }
     }
 
     /// `--inject FAULT`: one fault to inject into the serve lifecycle.
@@ -412,6 +434,15 @@ mod tests {
         let a = parse_ok(&["serve", "f.mc", "--workers", "4", "--store-capacity", "32"]);
         assert_eq!(a.workers().unwrap(), 4);
         assert_eq!(a.store_capacity().unwrap(), Some(32));
+
+        let a = parse_ok(&["serve", "f.mc", "--wal", "w.log", "--checkpoint-every", "8"]);
+        assert_eq!(a.wal(), Some("w.log"));
+        assert_eq!(a.checkpoint_every().unwrap(), Some(8));
+        let a = parse_ok(&["serve", "f.mc"]);
+        assert_eq!(a.wal(), None);
+        assert_eq!(a.checkpoint_every().unwrap(), None);
+        let a = parse_ok(&["serve", "f.mc", "--checkpoint-every", "0"]);
+        assert!(a.checkpoint_every().is_err());
 
         let a = parse_ok(&["serve", "f.mc"]);
         assert_eq!(a.requests(), None);

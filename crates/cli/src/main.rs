@@ -17,12 +17,14 @@
 //!     specialize with decision tracing and print an annotated report in
 //!     which every cached/dynamic verdict cites its Figure-3 rule
 //! dsc serve FILE --vary a,b --requests PATH [--policy P] [--cache-file PATH]
-//!           [--workers N] [--store-capacity N]
+//!           [--workers N] [--store-capacity N] [--wal PATH]
+//!           [--checkpoint-every N]
 //!     specialize once, then serve a stream of argument vectors through the
 //!     staged-execution runtime (cache lifecycle, integrity validation,
 //!     graceful degradation, optional fault injection); `--workers`
 //!     partitions the stream across threads sharing one artifact and one
-//!     polyvariant cache store
+//!     polyvariant cache store; `--wal` makes sealed-cache installs durable
+//!     (recovered crash-consistently on the next start)
 //! dsc fuzz [--seed N] [--cases N] [--oracle NAME,..] [--out PATH]
 //!          [--replay PATH]
 //!     generate random typed programs and check the pipeline's conformance
@@ -37,7 +39,8 @@
 //!
 //! Exit codes are classified so scripts can tell failure modes apart:
 //! `2` usage error, `3` frontend/specialization error, `4` evaluation
-//! error, `5` cache-integrity violation.
+//! error, `5` cache-integrity violation, `6` write-ahead-log writer
+//! crashed (restart with the same `--wal` to recover).
 
 mod args;
 
@@ -67,6 +70,9 @@ enum CliError {
     /// Cache integrity violation: corrupted, truncated or mismatched
     /// cache data (exit 5).
     Integrity(String),
+    /// The write-ahead-log writer crashed (an injected `crash-at-byte`
+    /// fault fired); restart with the same `--wal` to recover (exit 6).
+    Crashed(String),
 }
 
 impl CliError {
@@ -76,6 +82,7 @@ impl CliError {
             CliError::Frontend(_) => 3,
             CliError::Eval(_) => 4,
             CliError::Integrity(_) => 5,
+            CliError::Crashed(_) => 6,
         }
     }
 }
@@ -86,7 +93,8 @@ impl fmt::Display for CliError {
             CliError::Usage(m)
             | CliError::Frontend(m)
             | CliError::Eval(m)
-            | CliError::Integrity(m) => write!(f, "{m}"),
+            | CliError::Integrity(m)
+            | CliError::Crashed(m) => write!(f, "{m}"),
         }
     }
 }
@@ -114,8 +122,8 @@ USAGE:
     dsc serve FILE --vary a,b --requests PATH [--entry NAME]
               [--engine tree|vm] [--policy fail-fast|rebuild|fallback]
               [--rebuild-budget N] [--workers N] [--store-capacity N]
-              [--cache-file PATH] [--inject FAULT] [--seed N]
-              [--metrics-out PATH]
+              [--cache-file PATH] [--wal PATH] [--checkpoint-every N]
+              [--inject FAULT] [--seed N] [--metrics-out PATH]
     dsc fuzz [--seed N] [--cases N] [--oracle NAME[,NAME..]] [--out PATH]
              [--replay PATH]
     dsc help
@@ -133,21 +141,29 @@ term is printed with the caching rule (Figure 3 / §4.3) that labeled it.
 fingerprinted, validated and rebuilt as inputs change, `--policy` decides
 how failures degrade, `--cache-file` persists the cache between runs, and
 `--inject` plants one deterministic fault (corrupt-slot, drop-store,
-truncate-buffer, fuel:N, corrupt-file, truncate-file) placed by `--seed`.
+truncate-buffer, fuel:N, corrupt-file, truncate-file, torn-write:N,
+crash-at-byte:N) placed by `--seed`.
 `--workers N` partitions the requests across N threads, each serving its
 own session over the shared artifact and a polyvariant cache store (one
 sealed cache per invariant fingerprint, LRU-bounded by
 `--store-capacity`); per-worker stats are merged deterministically.
+`--wal PATH` write-ahead-logs every sealed-cache install before the
+request is acknowledged and recovers the store crash-consistently on the
+next start (checkpointing into the `--cache-file` bundle — or
+`PATH.checkpoint` — every `--checkpoint-every N` appends and at clean
+exit); a crashed writer exits 6 and the restart serves every sealed
+cache logged before the crash without re-staging it.
 `--metrics-out PATH` writes a versioned ds-telemetry JSON document with
 the run's execution profiles and/or specialization report.
 `fuzz` generates `--cases` random typed programs from `--seed` and checks
 the conformance oracles (semantics, work, budget, normalize, reassoc,
-serve; `--oracle` selects a subset) over the whole pipeline on both
-engines. The first violation is shrunk to a minimal program and written
-to `--out` as a reproducer file, which `--replay` re-checks.
+serve, recovery; `--oracle` selects a subset) over the whole pipeline on
+both engines. The first violation is shrunk to a minimal program and
+written to `--out` as a reproducer file, which `--replay` re-checks.
 
 Exit codes: 0 success, 2 usage error, 3 frontend/specialization error,
-4 evaluation error, 5 cache-integrity violation.";
+4 evaluation error, 5 cache-integrity violation, 6 write-ahead-log
+writer crashed (restart with the same --wal to recover).";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -583,31 +599,96 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let seed = args.seed()?;
     let mut integrity_errors = 0u64;
     let mut eval_errors = 0u64;
+    let mut crashed = false;
 
     // A bootstrap session adopts a persisted cache into the shared store;
     // file faults damage its text before validation, which must then
     // reject it.
     let mut bootstrap = Session::new(Arc::clone(&artifact), Arc::clone(&store), ropts);
-    if let Some(path) = args.cache_file() {
-        if let Ok(mut text) = std::fs::read_to_string(path) {
-            if let Some(fault) = inject.filter(Fault::is_file_fault) {
-                let mut inj = FaultInjector::new(seed);
-                text = match fault {
-                    Fault::TruncateFile => inj.truncate_text(&text),
-                    _ => inj.corrupt_text(&text),
-                };
-                println!("inject: applied {fault} to `{path}` (seed {seed})");
+
+    // With `--wal` the durable state is checkpoint + log: recover it
+    // (degrading past a damaged checkpoint to a log-only replay), install
+    // the result, and reopen the log at the recovered LSN. The plain
+    // `--cache-file` adoption below is skipped — the checkpoint *is* the
+    // cache file in this mode.
+    let wal: Option<Arc<ds_runtime::Wal>> = match args.wal() {
+        None => {
+            if let Some(f) = inject.filter(Fault::is_wal_fault) {
+                return Err(CliError::Usage(format!(
+                    "fault `{f}` strikes the write-ahead log; pass --wal PATH"
+                )));
             }
-            match bootstrap.load_cache_text(&text) {
-                Ok(()) => println!("cache: adopted `{path}` (warm start)"),
-                Err(e) => {
-                    integrity_errors += 1;
-                    println!("cache: rejected `{path}`: {e}");
+            None
+        }
+        Some(wal_path) => {
+            let ckpt_path = args
+                .cache_file()
+                .map(String::from)
+                .unwrap_or_else(|| format!("{wal_path}.checkpoint"));
+            let log_text = std::fs::read_to_string(wal_path).unwrap_or_default();
+            let mut ckpt_text = std::fs::read_to_string(&ckpt_path).ok();
+            if let Some(fault) = inject.filter(Fault::is_file_fault) {
+                if let Some(text) = &ckpt_text {
+                    let mut inj = FaultInjector::new(seed);
+                    ckpt_text = Some(match fault {
+                        Fault::TruncateFile => inj.truncate_text(text),
+                        _ => inj.corrupt_text(text),
+                    });
+                    println!("inject: applied {fault} to `{ckpt_path}` (seed {seed})");
+                }
+            }
+            let (rec, ckpt_err) =
+                ds_runtime::recover_or_degrade(ckpt_text.as_deref(), &log_text, artifact.layout());
+            if let Some(e) = ckpt_err {
+                integrity_errors += 1;
+                println!("wal: rejected checkpoint `{ckpt_path}`: {e}");
+            }
+            bootstrap.adopt_recovery(&rec);
+            println!("wal: {}", rec.summary());
+            let storage = ds_runtime::FileWalStorage::new(wal_path, &ckpt_path);
+            let wal = Arc::new(ds_runtime::Wal::open(
+                Box::new(storage),
+                artifact.layout_fingerprint(),
+                rec.next_lsn,
+                args.checkpoint_every()?,
+            ));
+            if rec.damaged_tail {
+                // Drop the torn tail now, so new appends extend the valid
+                // history instead of hiding behind garbage.
+                wal.reset_log(&log_text[..rec.valid_log_bytes])
+                    .map_err(|e| CliError::Usage(format!("cannot rewrite `{wal_path}`: {e}")))?;
+            }
+            if let Some(fault) = inject.filter(Fault::is_wal_fault) {
+                wal.arm(fault).map_err(CliError::Usage)?;
+                println!("inject: armed {fault} on the write-ahead log");
+            }
+            bootstrap.attach_wal(Arc::clone(&wal));
+            Some(wal)
+        }
+    };
+
+    if wal.is_none() {
+        if let Some(path) = args.cache_file() {
+            if let Ok(mut text) = std::fs::read_to_string(path) {
+                if let Some(fault) = inject.filter(Fault::is_file_fault) {
+                    let mut inj = FaultInjector::new(seed);
+                    text = match fault {
+                        Fault::TruncateFile => inj.truncate_text(&text),
+                        _ => inj.corrupt_text(&text),
+                    };
+                    println!("inject: applied {fault} to `{path}` (seed {seed})");
+                }
+                match bootstrap.load_cache_text(&text) {
+                    Ok(()) => println!("cache: adopted `{path}` (warm start)"),
+                    Err(e) => {
+                        integrity_errors += 1;
+                        println!("cache: rejected `{path}`: {e}");
+                    }
                 }
             }
         }
     }
-    let mem_fault = inject.filter(|f| !f.is_file_fault());
+    let mem_fault = inject.filter(|f| !f.is_file_fault() && !f.is_wal_fault());
     if let Some(fault) = mem_fault {
         println!("inject: armed {fault} (seed {seed})");
     }
@@ -642,6 +723,11 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             } else {
                 Session::new(Arc::clone(&artifact), Arc::clone(&store), ropts)
             };
+            if w > 0 {
+                if let Some(wal) = &wal {
+                    session.attach_wal(Arc::clone(wal));
+                }
+            }
             if w == 0 {
                 if let Some(fault) = mem_fault {
                     session.inject(fault, seed).map_err(CliError::Usage)?;
@@ -661,7 +747,18 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                     scope.spawn(move || {
                         let mut out = Vec::with_capacity(batch.len());
                         for (i, values) in batch.iter().enumerate() {
-                            out.push((w * chunk + i, session.run(values)));
+                            let res = session.run(values);
+                            let dead = matches!(
+                                &res,
+                                Err(RuntimeError::Wal(ds_runtime::WalError::Crashed { .. }))
+                            );
+                            out.push((w * chunk + i, res));
+                            if dead {
+                                // The log writer is dead: model process
+                                // death — the rest of this worker's slice
+                                // is never served.
+                                break;
+                            }
                         }
                         (out, session.stats().clone())
                     })
@@ -682,21 +779,26 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
 
     for (idx, res) in results.into_iter().enumerate() {
         let n = idx + 1;
-        match res.expect("every request was assigned to a worker") {
-            Ok(out) => match out.value {
+        match res {
+            None => println!("[{n}] not served: write-ahead-log writer crashed"),
+            Some(Ok(out)) => match out.value {
                 Some(v) => println!("[{n}] result: {v}  (cost {})", out.cost),
                 None => println!("[{n}] result: (void)  (cost {})", out.cost),
             },
-            Err(e) => {
+            Some(Err(e)) => {
                 match e {
                     RuntimeError::Integrity(_) => integrity_errors += 1,
                     RuntimeError::Eval(_) | RuntimeError::RebuildBudgetExhausted { .. } => {
                         eval_errors += 1
                     }
+                    RuntimeError::Wal(_) => crashed = true,
                 }
                 println!("[{n}] error: {e}");
             }
         }
+    }
+    if wal.as_ref().is_some_and(|w| w.is_crashed()) {
+        crashed = true;
     }
 
     // Merge per-worker statistics in worker order (merge is associative
@@ -718,6 +820,11 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     println!("store hits:          {}", st.store_hits());
     println!("store misses:        {}", st.store_misses());
     println!("store evictions:     {}", st.store_evictions());
+    if wal.is_some() {
+        println!("wal appends:         {}", st.wal_appends());
+        println!("wal replays:         {}", st.wal_replays());
+        println!("recovered caches:    {}", st.recovered_caches());
+    }
 
     if let Some(path) = args.metrics_out() {
         let doc = ds_telemetry::envelope(
@@ -746,8 +853,18 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         println!("metrics: wrote {path}");
     }
 
-    // Persist every validated store entry for the next invocation.
-    if let Some(path) = args.cache_file() {
+    // Persist every validated store entry for the next invocation. In WAL
+    // mode a clean exit compacts everything into a checkpoint; a crashed
+    // writer leaves its log exactly as the crash left it, for recovery.
+    if let Some(w) = &wal {
+        if w.is_crashed() {
+            println!("wal: writer crashed; log left on disk for recovery on restart");
+        } else {
+            w.checkpoint(&store)
+                .map_err(|e| CliError::Usage(format!("cannot checkpoint at exit: {e}")))?;
+            println!("wal: checkpointed store at exit");
+        }
+    } else if let Some(path) = args.cache_file() {
         let snapshot = store.snapshot();
         if snapshot.is_empty() {
             println!("cache: cold at exit; `{path}` not written");
@@ -763,7 +880,11 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         }
     }
 
-    if integrity_errors > 0 {
+    if crashed {
+        Err(CliError::Crashed(
+            "write-ahead-log writer crashed; restart with the same --wal to recover".into(),
+        ))
+    } else if integrity_errors > 0 {
         Err(CliError::Integrity(format!(
             "{integrity_errors} cache-integrity violation(s) during serve"
         )))

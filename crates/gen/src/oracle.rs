@@ -11,6 +11,7 @@
 //! | `normalize` | §4.1  | phi insertion is semantics-preserving and idempotent |
 //! | `reassoc`   | §4.2  | reassociation preserves semantics (exact for loader/reader vs fragment, ≤1e-6 relative vs source) at equal cost |
 //! | `serve`     | §5    | N parallel workers over a shared store ≡ solo serve, bit-exact |
+//! | `recovery`  | —     | crash the WAL at any byte: reopen recovers a prefix of the logged history and re-serves the stream bit-exact |
 //!
 //! All value and trace comparisons are bit-exact (`f64::to_bits`) unless an
 //! oracle says otherwise; typed errors compare field-exact via `PartialEq`.
@@ -18,7 +19,10 @@
 use crate::case::FuzzCase;
 use ds_core::{specialize, InputPartition, Specialization, SpecializeOptions};
 use ds_interp::{CacheBuf, Engine, EvalError, EvalOptions, Outcome, Value};
-use ds_runtime::{CacheStore, Policy, RunnerOptions, RuntimeError, Session, StagedArtifact};
+use ds_runtime::{
+    recover, recover_or_degrade, scan_log, CacheStore, FaultInjector, Policy, RunnerOptions,
+    RuntimeError, Session, StagedArtifact, Wal,
+};
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
@@ -41,17 +45,22 @@ pub enum Oracle {
     Reassoc,
     /// Staged serving: parallel workers match a solo run bit-exactly.
     Serve,
+    /// Durability: a WAL crash at any byte recovers to a prefix of the
+    /// logged history, and a store rebuilt from it serves the whole
+    /// stream bit-exactly.
+    Recovery,
 }
 
 impl Oracle {
     /// Every oracle, in the order `dsc fuzz` runs them by default.
-    pub const ALL: [Oracle; 6] = [
+    pub const ALL: [Oracle; 7] = [
         Oracle::Semantics,
         Oracle::Work,
         Oracle::Budget,
         Oracle::Normalize,
         Oracle::Reassoc,
         Oracle::Serve,
+        Oracle::Recovery,
     ];
 
     /// The oracle's command-line and reproducer-header name.
@@ -63,6 +72,7 @@ impl Oracle {
             Oracle::Normalize => "normalize",
             Oracle::Reassoc => "reassoc",
             Oracle::Serve => "serve",
+            Oracle::Recovery => "recovery",
         }
     }
 
@@ -79,6 +89,7 @@ impl Oracle {
             Oracle::Normalize => check_normalize(case),
             Oracle::Reassoc => check_reassoc(case),
             Oracle::Serve => check_serve(case),
+            Oracle::Recovery => check_recovery(case),
         }
     }
 }
@@ -579,6 +590,144 @@ fn check_serve(case: &FuzzCase) -> Result<(), String> {
                     describe_serve(b)
                 ));
             }
+        }
+    }
+    Ok(())
+}
+
+/// Field-exact comparison of two staged-serving results (bit-exact values
+/// and traces on success).
+fn served_same(
+    label: &str,
+    expected: &Result<Outcome, RuntimeError>,
+    actual: &Result<Outcome, RuntimeError>,
+) -> Result<(), String> {
+    let ok = match (expected, actual) {
+        (Ok(a), Ok(b)) => outcomes_eq(a, b),
+        (Err(a), Err(b)) => a == b,
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!(
+            "{label}: expected {}, got {}",
+            describe_serve(expected),
+            describe_serve(actual)
+        ))
+    }
+}
+
+/// Crash-recovery oracle: serve the stream through a WAL-attached session
+/// (periodic in-memory checkpoints every 3 appends, so crash offsets land
+/// in checkpoint-chained logs too), then model crashes three ways —
+///
+/// 1. **cut the log** at seeded byte offsets (plus both endpoints): the
+///    surviving records must be an exact *prefix* of the full history, and
+///    a store recovered from checkpoint + cut log must serve the whole
+///    stream bit-exactly vs the no-WAL reference;
+/// 2. **flip a log byte** at seeded offsets: the per-record checksum must
+///    confine the damage — still a prefix, still bit-exact answers;
+/// 3. **tear the checkpoint** at seeded offsets: recovery must degrade to
+///    a log-only replay and still serve bit-exactly.
+///
+/// The invariant throughout: a crash can shorten history, never rewrite
+/// it — zero wrong answers from any recovered store.
+fn check_recovery(case: &FuzzCase) -> Result<(), String> {
+    let part = partition(case);
+    let spec = specialized(case, &SpecializeOptions::new())?;
+    let artifact = Arc::new(StagedArtifact::new(&spec, &part));
+    let stream = serve_stream(case);
+    let opts = RunnerOptions {
+        engine: Engine::Tree,
+        policy: Policy::FailFast,
+        rebuild_budget: 64,
+        ..RunnerOptions::default()
+    };
+    // The uncrashed reference: a solo session with no WAL.
+    let reference: Vec<_> = {
+        let store = Arc::new(CacheStore::new(stream.len().max(1)));
+        let mut session = Session::new(artifact.clone(), store, opts);
+        stream.iter().map(|req| session.run(req)).collect()
+    };
+    // The logged run: attaching a WAL must not change any answer.
+    let wal = Arc::new(Wal::in_memory(artifact.layout_fingerprint(), Some(3)));
+    {
+        let store = Arc::new(CacheStore::new(stream.len().max(1)));
+        let mut session = Session::new(artifact.clone(), store, opts);
+        session.attach_wal(wal.clone());
+        for (i, req) in stream.iter().enumerate() {
+            served_same(
+                &format!("wal-attached request {i}"),
+                &reference[i],
+                &session.run(req),
+            )?;
+        }
+    }
+    let full_log = wal.log_text().map_err(|e| e.to_string())?;
+    let ckpt = wal.checkpoint_text().map_err(|e| e.to_string())?;
+    let full_scan = scan_log(&full_log, artifact.layout());
+
+    // Re-serves the whole stream from a store recovered out of
+    // (checkpoint, log) and demands bit-exact agreement with the
+    // reference.
+    let serve_recovered = |label: &str, rec: &ds_runtime::Recovery| -> Result<(), String> {
+        let store = Arc::new(CacheStore::new(stream.len().max(1)));
+        let mut session = Session::new(artifact.clone(), store, opts);
+        session.adopt_recovery(rec);
+        for (i, req) in stream.iter().enumerate() {
+            served_same(
+                &format!("{label}, request {i}"),
+                &reference[i],
+                &session.run(req),
+            )?;
+        }
+        Ok(())
+    };
+
+    // Everything below is ASCII, so any byte offset is a char boundary.
+    let mut inj = FaultInjector::new(full_log.len() as u64 ^ (stream.len() as u64) << 32);
+    let mut cuts = vec![0usize, full_log.len()];
+    cuts.extend((0..12).map(|_| inj.pick(full_log.len() as u64 + 1) as usize));
+    for off in cuts {
+        let cut = &full_log[..off];
+        let scan = scan_log(cut, artifact.layout());
+        if !full_scan.records.starts_with(&scan.records) {
+            return Err(format!(
+                "crash at log byte {off}: recovered {} record(s) that are not a prefix \
+                 of the {} logged",
+                scan.records.len(),
+                full_scan.records.len()
+            ));
+        }
+        let rec = recover(ckpt.as_deref(), cut, artifact.layout())
+            .map_err(|e| format!("crash at log byte {off}: checkpoint rejected: {e}"))?;
+        serve_recovered(&format!("crash at log byte {off}"), &rec)?;
+    }
+    if !full_log.is_empty() {
+        for _ in 0..6 {
+            let off = inj.pick(full_log.len() as u64) as usize;
+            let mut bytes = full_log.clone().into_bytes();
+            bytes[off] ^= 1; // ASCII-preserving flip, same as FaultInjector::corrupt_text
+            let flipped = String::from_utf8(bytes).expect("ascii flip");
+            let scan = scan_log(&flipped, artifact.layout());
+            if !full_scan.records.starts_with(&scan.records) {
+                return Err(format!(
+                    "flip at log byte {off}: surviving records are not a prefix of the \
+                     logged history"
+                ));
+            }
+            let rec = recover(ckpt.as_deref(), &flipped, artifact.layout())
+                .map_err(|e| format!("flip at log byte {off}: checkpoint rejected: {e}"))?;
+            serve_recovered(&format!("flip at log byte {off}"), &rec)?;
+        }
+    }
+    if let Some(ck) = &ckpt {
+        for _ in 0..4 {
+            let off = inj.pick(ck.len() as u64) as usize;
+            let (rec, _ckpt_err) =
+                recover_or_degrade(Some(&ck[..off]), &full_log, artifact.layout());
+            serve_recovered(&format!("checkpoint torn at byte {off}"), &rec)?;
         }
     }
     Ok(())

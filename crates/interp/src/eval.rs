@@ -96,6 +96,15 @@ pub struct Profile {
     /// Sealed cache entries evicted from the shared `CacheStore` to keep it
     /// within its configured capacity. Always 0 for a bare engine run.
     pub store_evictions: u64,
+    /// Operations appended to an attached write-ahead log (installs and
+    /// invalidations). Always 0 for a bare engine run.
+    pub wal_appends: u64,
+    /// Log records replayed during a recovery this session adopted. Always
+    /// 0 for a bare engine run.
+    pub wal_replays: u64,
+    /// Sealed caches installed from a recovery instead of a loader re-run.
+    /// Always 0 for a bare engine run.
+    pub recovered_caches: u64,
 }
 
 impl Profile {
@@ -126,6 +135,9 @@ impl Profile {
         self.store_hits += other.store_hits;
         self.store_misses += other.store_misses;
         self.store_evictions += other.store_evictions;
+        self.wal_appends += other.wal_appends;
+        self.wal_replays += other.wal_replays;
+        self.recovered_caches += other.recovered_caches;
     }
 
     /// Aggregates every profile in `profiles` into one (batch shape:
@@ -172,6 +184,9 @@ impl Profile {
             ("store_hits", Json::from(self.store_hits)),
             ("store_misses", Json::from(self.store_misses)),
             ("store_evictions", Json::from(self.store_evictions)),
+            ("wal_appends", Json::from(self.wal_appends)),
+            ("wal_replays", Json::from(self.wal_replays)),
+            ("recovered_caches", Json::from(self.recovered_caches)),
         ])
     }
 }

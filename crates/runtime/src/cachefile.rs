@@ -33,11 +33,11 @@ pub const CACHE_KIND: &str = "cache";
 /// invariant fingerprint).
 pub const STORE_KIND: &str = "cache-store";
 
-fn hex(v: u64) -> String {
+pub(crate) fn hex(v: u64) -> String {
     format!("{v:#018x}")
 }
 
-fn parse_hex(s: &str, what: &str) -> Result<u64, IntegrityError> {
+pub(crate) fn parse_hex(s: &str, what: &str) -> Result<u64, IntegrityError> {
     s.strip_prefix("0x")
         .and_then(|h| u64::from_str_radix(h, 16).ok())
         .ok_or_else(|| IntegrityError::Malformed {
@@ -45,11 +45,11 @@ fn parse_hex(s: &str, what: &str) -> Result<u64, IntegrityError> {
         })
 }
 
-fn type_name(ty: Type) -> String {
+pub(crate) fn type_name(ty: Type) -> String {
     ty.to_string()
 }
 
-fn parse_type(s: &str, slot: usize) -> Result<Type, IntegrityError> {
+pub(crate) fn parse_type(s: &str, slot: usize) -> Result<Type, IntegrityError> {
     match s {
         "int" => Ok(Type::Int),
         "float" => Ok(Type::Float),
@@ -60,7 +60,7 @@ fn parse_type(s: &str, slot: usize) -> Result<Type, IntegrityError> {
     }
 }
 
-fn decode_value(ty: Type, bits: u64, slot: usize) -> Result<Value, IntegrityError> {
+pub(crate) fn decode_value(ty: Type, bits: u64, slot: usize) -> Result<Value, IntegrityError> {
     match ty {
         Type::Int => Ok(Value::Int(bits as i64)),
         Type::Float => Ok(Value::Float(f64::from_bits(bits))),
@@ -151,10 +151,31 @@ pub fn save_cache(cache: &CacheBuf, layout_fp: u64, inputs_fp: u64) -> String {
     doc.pretty() + "\n"
 }
 
+/// The header checksum of a store bundle covers the fields that steer
+/// recovery but are not covered by any per-entry checksum: the layout
+/// fingerprint, the entry count, and the WAL chaining LSN. Without it a
+/// flipped `wal_lsn` digit would silently change *which* log records are
+/// replayed on recovery.
+fn header_checksum(layout_fp: u64, entry_count: usize, wal_lsn: u64) -> u64 {
+    Fnv64::new()
+        .u64(layout_fp)
+        .u64(entry_count as u64)
+        .u64(wal_lsn)
+        .finish()
+}
+
 /// Serializes a whole cache store as a versioned bundle: one checksummed
 /// entry per `(inputs fingerprint, cache)` pair, in the order given
 /// (callers pass a fingerprint-sorted snapshot for deterministic output).
 pub fn save_store(entries: &[(u64, CacheBuf)], layout_fp: u64) -> String {
+    save_store_at(entries, layout_fp, 0)
+}
+
+/// Serializes a store bundle that doubles as a **checkpoint** of a
+/// write-ahead log: `wal_lsn` is the last log sequence number compacted
+/// into the bundle, so recovery replays only records *after* it (0 means
+/// "covers nothing" — the plain [`save_store`] form).
+pub fn save_store_at(entries: &[(u64, CacheBuf)], layout_fp: u64, wal_lsn: u64) -> String {
     let arr = Json::Arr(
         entries
             .iter()
@@ -169,6 +190,11 @@ pub fn save_store(entries: &[(u64, CacheBuf)], layout_fp: u64) -> String {
                 Json::from(hex(layout_fp).as_str()),
             ),
             ("entry_count".to_string(), Json::from(entries.len() as u64)),
+            ("wal_lsn".to_string(), Json::from(hex(wal_lsn).as_str())),
+            (
+                "header_checksum".to_string(),
+                Json::from(hex(header_checksum(layout_fp, entries.len(), wal_lsn)).as_str()),
+            ),
             ("entries".to_string(), arr),
         ],
     );
@@ -223,13 +249,30 @@ pub fn parse_cache(text: &str, layout: &CacheLayout) -> Result<LoadedCache, Inte
 ///
 /// The same taxonomy as [`parse_cache`], applied per entry.
 pub fn parse_store(text: &str, layout: &CacheLayout) -> Result<Vec<LoadedCache>, IntegrityError> {
+    parse_store_with_lsn(text, layout).map(|(entries, _)| entries)
+}
+
+/// [`parse_store`] plus the checkpoint chaining LSN: the last write-ahead
+/// log sequence number the bundle compacts (0 for legacy bundles written
+/// before checkpoints existed, and for single-entry `cache` files). When
+/// the file carries a `wal_lsn` it must also carry a valid
+/// `header_checksum`, so byte damage to the chaining metadata is rejected
+/// rather than silently replaying the wrong log suffix.
+///
+/// # Errors
+///
+/// The same taxonomy as [`parse_cache`].
+pub fn parse_store_with_lsn(
+    text: &str,
+    layout: &CacheLayout,
+) -> Result<(Vec<LoadedCache>, u64), IntegrityError> {
     let doc = ds_telemetry::parse(text).map_err(|e| IntegrityError::Malformed {
         detail: e.to_string(),
     })?;
     let kind = ds_telemetry::validate_envelope(&doc)
         .map_err(|detail| IntegrityError::Malformed { detail })?;
     match kind.as_str() {
-        CACHE_KIND => Ok(vec![parse_payload(&doc, layout)?]),
+        CACHE_KIND => Ok((vec![parse_payload(&doc, layout)?], 0)),
         STORE_KIND => {
             let layout_fp = hex_field(&doc, "layout_fingerprint")?;
             if layout_fp != layout.fingerprint() {
@@ -260,7 +303,32 @@ pub fn parse_store(text: &str, layout: &CacheLayout) -> Result<Vec<LoadedCache>,
                     ),
                 });
             }
-            raw.iter().map(|e| parse_payload(e, layout)).collect()
+            // Chaining metadata (absent on legacy bundles): `wal_lsn` and
+            // `header_checksum` travel together, and the checksum must
+            // validate before the LSN may steer recovery.
+            let wal_lsn = match (doc.get("wal_lsn"), doc.get("header_checksum")) {
+                (None, None) => 0,
+                (Some(_), None) | (None, Some(_)) => {
+                    return Err(IntegrityError::Malformed {
+                        detail: "`wal_lsn` and `header_checksum` must both be present".to_string(),
+                    })
+                }
+                (Some(_), Some(_)) => {
+                    let wal_lsn = hex_field(&doc, "wal_lsn")?;
+                    let stored = hex_field(&doc, "header_checksum")?;
+                    let found = header_checksum(layout_fp, entry_count, wal_lsn);
+                    if stored != found {
+                        return Err(IntegrityError::ChecksumMismatch {
+                            expected: stored,
+                            found,
+                        });
+                    }
+                    wal_lsn
+                }
+            };
+            let entries: Result<Vec<LoadedCache>, IntegrityError> =
+                raw.iter().map(|e| parse_payload(e, layout)).collect();
+            Ok((entries?, wal_lsn))
         }
         other => Err(IntegrityError::Malformed {
             detail: format!("envelope kind `{other}` is neither `{CACHE_KIND}` nor `{STORE_KIND}`"),
@@ -545,6 +613,45 @@ mod tests {
             matches!(err, IntegrityError::LayoutMismatch { .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn checkpoint_lsn_round_trips_and_is_checksummed() {
+        let l = layout();
+        let text = save_store_at(&[(1, warm_cache())], l.fingerprint(), 57);
+        let (entries, lsn) = parse_store_with_lsn(&text, &l).expect("checkpoint");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(lsn, 57);
+        // Tampering with the chaining LSN must not silently change which
+        // log records recovery replays.
+        let tampered = text.replace("0x0000000000000039", "0x0000000000000038");
+        let err = parse_store_with_lsn(&tampered, &l).unwrap_err();
+        assert!(
+            matches!(err, IntegrityError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+        // Dropping one of the two chaining fields is malformed.
+        let dropped: String = text
+            .lines()
+            .filter(|line| !line.contains("header_checksum"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = parse_store_with_lsn(&dropped, &l).unwrap_err();
+        assert!(matches!(err, IntegrityError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn legacy_bundles_without_chaining_fields_parse_at_lsn_zero() {
+        let l = layout();
+        let text = save_store(&[(1, warm_cache())], l.fingerprint());
+        let legacy: String = text
+            .lines()
+            .filter(|line| !line.contains("wal_lsn") && !line.contains("header_checksum"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let (entries, lsn) = parse_store_with_lsn(&legacy, &l).expect("legacy bundle");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(lsn, 0);
     }
 
     #[test]

@@ -88,6 +88,37 @@ impl fmt::Display for IntegrityError {
 
 impl Error for IntegrityError {}
 
+/// A failure of the write-ahead log (see [`wal`](crate::wal)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The (simulated or real) writer died mid-stream: an armed
+    /// `crash-at-byte` fault fired, or the process is modelling a kill. No
+    /// further appends or checkpoints are possible; recovery on the next
+    /// open replays the valid prefix.
+    Crashed {
+        /// Cumulative WAL bytes durably written when the crash struck.
+        at_byte: u64,
+    },
+    /// The underlying log or checkpoint storage failed.
+    Io {
+        /// The operating-system error, human-readable.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Crashed { at_byte } => {
+                write!(f, "write-ahead log writer crashed at byte {at_byte}")
+            }
+            WalError::Io { detail } => write!(f, "write-ahead log I/O failure: {detail}"),
+        }
+    }
+}
+
+impl Error for WalError {}
+
 /// A failure of a [`StagedRunner`](crate::StagedRunner) request.
 ///
 /// Every failure mode of staged execution maps onto one of these variants;
@@ -106,6 +137,12 @@ pub enum RuntimeError {
         /// The configured budget.
         budget: u32,
     },
+    /// The attached write-ahead log failed (most importantly: an armed
+    /// crash fault killed the writer, modelling process death). The answer
+    /// for the request was computed but never durably acknowledged, so it
+    /// is surfaced as an error — exactly what a caller of a crashed server
+    /// observes.
+    Wal(WalError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -116,11 +153,18 @@ impl fmt::Display for RuntimeError {
             RuntimeError::RebuildBudgetExhausted { budget } => {
                 write!(f, "rebuild budget of {budget} loader re-run(s) exhausted")
             }
+            RuntimeError::Wal(e) => write!(f, "durability failure: {e}"),
         }
     }
 }
 
 impl Error for RuntimeError {}
+
+impl From<WalError> for RuntimeError {
+    fn from(e: WalError) -> Self {
+        RuntimeError::Wal(e)
+    }
+}
 
 impl From<EvalError> for RuntimeError {
     fn from(e: EvalError) -> Self {
@@ -152,5 +196,8 @@ mod tests {
         let e = RuntimeError::from(IntegrityError::TamperedSlot { slot: 1 });
         assert!(matches!(e, RuntimeError::Integrity(_)));
         assert!(e.to_string().contains("slot 1"));
+        let e = RuntimeError::from(WalError::Crashed { at_byte: 99 });
+        assert!(matches!(e, RuntimeError::Wal(_)));
+        assert!(e.to_string().contains("byte 99"));
     }
 }

@@ -31,6 +31,14 @@ pub enum Fault {
     CorruptFile,
     /// Cut a serialized cache file short.
     TruncateFile,
+    /// Flush only the first N bytes of the next write-ahead-log append (a
+    /// lost sector: the writer believes the record is durable, recovery
+    /// discovers the torn tail).
+    TornWrite(u64),
+    /// Kill the write-ahead-log writer once its cumulative stream reaches
+    /// byte N: the write containing that byte persists only up to it and
+    /// every later append fails with a crash error.
+    CrashAtByte(u64),
 }
 
 impl Fault {
@@ -39,6 +47,13 @@ impl Fault {
     /// rather than the in-memory lifecycle.
     pub fn is_file_fault(&self) -> bool {
         matches!(self, Fault::CorruptFile | Fault::TruncateFile)
+    }
+
+    /// Whether this fault strikes the write-ahead log (armed via
+    /// [`Wal::arm`](crate::Wal::arm), or through
+    /// [`Session::inject`](crate::Session::inject) once a log is attached).
+    pub fn is_wal_fault(&self) -> bool {
+        matches!(self, Fault::TornWrite(_) | Fault::CrashAtByte(_))
     }
 
     /// Every in-memory fault class, for exhaustive chaos matrices.
@@ -51,6 +66,10 @@ impl Fault {
 
     /// Every file fault class.
     pub const FILE_FAULTS: [Fault; 2] = [Fault::CorruptFile, Fault::TruncateFile];
+
+    /// Every write-ahead-log fault class (representative placements; chaos
+    /// matrices sweep the offsets).
+    pub const WAL_FAULTS: [Fault; 2] = [Fault::TornWrite(40), Fault::CrashAtByte(200)];
 }
 
 impl fmt::Display for Fault {
@@ -62,6 +81,8 @@ impl fmt::Display for Fault {
             Fault::ExhaustFuel(n) => write!(f, "fuel:{n}"),
             Fault::CorruptFile => write!(f, "corrupt-file"),
             Fault::TruncateFile => write!(f, "truncate-file"),
+            Fault::TornWrite(n) => write!(f, "torn-write:{n}"),
+            Fault::CrashAtByte(n) => write!(f, "crash-at-byte:{n}"),
         }
     }
 }
@@ -76,16 +97,25 @@ impl FromStr for Fault {
             "truncate-buffer" => Ok(Fault::TruncateBuffer),
             "corrupt-file" => Ok(Fault::CorruptFile),
             "truncate-file" => Ok(Fault::TruncateFile),
-            other => match other.strip_prefix("fuel:") {
-                Some(n) => n
-                    .parse()
-                    .map(Fault::ExhaustFuel)
-                    .map_err(|_| format!("bad fuel amount in `{other}`")),
-                None => Err(format!(
-                    "unknown fault `{other}`; expected corrupt-slot, drop-store, \
-                     truncate-buffer, fuel:N, corrupt-file or truncate-file"
-                )),
-            },
+            other => {
+                let numeric = |prefix: &str, build: fn(u64) -> Fault| {
+                    other.strip_prefix(prefix).map(|n| {
+                        n.parse()
+                            .map(build)
+                            .map_err(|_| format!("bad count in `{other}`"))
+                    })
+                };
+                numeric("fuel:", Fault::ExhaustFuel)
+                    .or_else(|| numeric("torn-write:", Fault::TornWrite))
+                    .or_else(|| numeric("crash-at-byte:", Fault::CrashAtByte))
+                    .unwrap_or_else(|| {
+                        Err(format!(
+                            "unknown fault `{other}`; expected corrupt-slot, drop-store, \
+                             truncate-buffer, fuel:N, corrupt-file, truncate-file, \
+                             torn-write:N or crash-at-byte:N"
+                        ))
+                    })
+            }
         }
     }
 }
@@ -176,10 +206,14 @@ mod tests {
             Fault::ExhaustFuel(17),
             Fault::CorruptFile,
             Fault::TruncateFile,
+            Fault::TornWrite(9),
+            Fault::CrashAtByte(314),
         ] {
             assert_eq!(f.to_string().parse::<Fault>().unwrap(), f);
         }
         assert!("fuel:x".parse::<Fault>().is_err());
+        assert!("torn-write:".parse::<Fault>().is_err());
+        assert!("crash-at-byte:-1".parse::<Fault>().is_err());
         assert!("meteor-strike".parse::<Fault>().is_err());
     }
 
@@ -196,10 +230,13 @@ mod tests {
     #[test]
     fn fault_classes_are_partitioned() {
         for f in Fault::MEMORY_FAULTS {
-            assert!(!f.is_file_fault());
+            assert!(!f.is_file_fault() && !f.is_wal_fault());
         }
         for f in Fault::FILE_FAULTS {
-            assert!(f.is_file_fault());
+            assert!(f.is_file_fault() && !f.is_wal_fault());
+        }
+        for f in Fault::WAL_FAULTS {
+            assert!(f.is_wal_fault() && !f.is_file_fault());
         }
     }
 }

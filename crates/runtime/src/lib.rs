@@ -21,9 +21,16 @@
 //!   failure counted in the telemetry `Profile`.
 //! * **Fault injection**: a seeded, deterministic [`FaultInjector`] and
 //!   [`Fault`] taxonomy (corrupt a store, drop a store, truncate the
-//!   buffer, exhaust fuel, damage a cache file) drive the chaos suite,
-//!   whose invariant is: under every injected fault, a runner returns the
-//!   reference answer or a typed error — never a silently wrong value.
+//!   buffer, exhaust fuel, damage a cache file, tear or crash a log
+//!   append) drive the chaos suite, whose invariant is: under every
+//!   injected fault, a runner returns the reference answer or a typed
+//!   error — never a silently wrong value.
+//! * **Durability**: an optional write-ahead log ([`wal`]) records every
+//!   sealed-cache install and invalidation before it is acknowledged;
+//!   [`recovery`] rebuilds a crash-consistent store on reopen (scan,
+//!   truncate at the first invalid record, replay over the latest
+//!   checkpoint), so a crash at any byte yields a *prefix* of the logged
+//!   history — never a wrong answer.
 //! * **Parallel serving**: the immutable half of a runner — staged program,
 //!   compiled bytecode, layout, fixed-parameter indices — lives in a
 //!   `Send + Sync` [`StagedArtifact`]; any number of [`Session`]s share it
@@ -70,16 +77,23 @@ pub mod artifact;
 pub mod cachefile;
 pub mod error;
 pub mod fault;
+pub mod recovery;
 pub mod runner;
 pub mod session;
 pub mod store;
+pub mod wal;
 
 pub use artifact::StagedArtifact;
 pub use cachefile::{
-    parse_cache, parse_store, save_cache, save_store, LoadedCache, CACHE_KIND, STORE_KIND,
+    parse_cache, parse_store, parse_store_with_lsn, save_cache, save_store, save_store_at,
+    LoadedCache, CACHE_KIND, STORE_KIND,
 };
-pub use error::{IntegrityError, RuntimeError};
+pub use error::{IntegrityError, RuntimeError, WalError};
 pub use fault::{Fault, FaultInjector};
+pub use recovery::{recover, recover_or_degrade, Recovery};
 pub use runner::{Policy, RunnerOptions, RunnerStats, StagedRunner};
 pub use session::Session;
 pub use store::{CacheStore, StoreEntry};
+pub use wal::{
+    scan_log, FileWalStorage, LogScan, MemWalStorage, Wal, WalOp, WalRecord, WalStorage,
+};

@@ -176,6 +176,21 @@ impl RunnerStats {
         self.profile.store_evictions
     }
 
+    /// Operations appended to the attached write-ahead log.
+    pub fn wal_appends(&self) -> u64 {
+        self.profile.wal_appends
+    }
+
+    /// Log records replayed during an adopted recovery.
+    pub fn wal_replays(&self) -> u64 {
+        self.profile.wal_replays
+    }
+
+    /// Sealed caches installed from recovery instead of a loader run.
+    pub fn recovered_caches(&self) -> u64 {
+        self.profile.recovered_caches
+    }
+
     /// Accumulates `other` into `self`, field-wise; like
     /// [`Profile::merge`] this is associative and commutative, so merging
     /// per-worker stats in worker order is deterministic.
@@ -203,6 +218,9 @@ impl RunnerStats {
             ("store_hits", Json::from(self.store_hits())),
             ("store_misses", Json::from(self.store_misses())),
             ("store_evictions", Json::from(self.store_evictions())),
+            ("wal_appends", Json::from(self.wal_appends())),
+            ("wal_replays", Json::from(self.wal_replays())),
+            ("recovered_caches", Json::from(self.recovered_caches())),
             ("profile", self.profile.to_json()),
         ])
     }
@@ -243,6 +261,17 @@ impl StagedRunner {
     /// Robustness statistics accumulated so far.
     pub fn stats(&self) -> &RunnerStats {
         self.session.stats()
+    }
+
+    /// Attaches a shared write-ahead log (see [`Session::attach_wal`]).
+    pub fn attach_wal(&mut self, wal: Arc<crate::wal::Wal>) {
+        self.session.attach_wal(wal);
+    }
+
+    /// Installs a recovered store state (see
+    /// [`Session::adopt_recovery`]).
+    pub fn adopt_recovery(&mut self, rec: &crate::recovery::Recovery) {
+        self.session.adopt_recovery(rec);
     }
 
     /// Whether the cache is warm (loaded and sealed).

@@ -26,8 +26,10 @@ use crate::artifact::StagedArtifact;
 use crate::cachefile;
 use crate::error::{IntegrityError, RuntimeError};
 use crate::fault::{Fault, FaultInjector};
+use crate::recovery::Recovery;
 use crate::runner::{Policy, RunnerOptions, RunnerStats};
 use crate::store::{CacheStore, StoreEntry};
+use crate::wal::{Wal, WalOp};
 use ds_interp::{CacheBuf, EvalError, Evaluator, Outcome, Value, Vm, WriteFault};
 use std::sync::Arc;
 
@@ -72,6 +74,9 @@ pub struct Session {
     ever_loaded: bool,
     rebuilds_used: u32,
     pending: Option<PendingFault>,
+    /// Optional shared write-ahead log; when attached, every store install
+    /// and invalidation is logged before the request is acknowledged.
+    wal: Option<Arc<Wal>>,
     stats: RunnerStats,
 }
 
@@ -88,8 +93,45 @@ impl Session {
             ever_loaded: false,
             rebuilds_used: 0,
             pending: None,
+            wal: None,
             stats: RunnerStats::default(),
         }
+    }
+
+    /// Attaches a shared write-ahead log. From now on every sealed-cache
+    /// install and store invalidation is appended to the log *before* the
+    /// request is acknowledged, and the log checkpoints itself when due.
+    pub fn attach_wal(&mut self, wal: Arc<Wal>) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Installs a recovered store state (see
+    /// [`recover`](crate::recovery::recover)) into the shared store and
+    /// counts it on this session's profile. Recovered entries are re-sealed
+    /// from content (the log stores content, not seals; the hash is
+    /// deterministic, so an uncorrupted replay re-derives the same seal the
+    /// original loader produced) and are *not* re-logged — they are already
+    /// in the history being recovered.
+    pub fn adopt_recovery(&mut self, rec: &Recovery) {
+        for (fp, cache) in &rec.entries {
+            let seal = cache.content_hash();
+            let evicted = self.store.insert(
+                *fp,
+                StoreEntry {
+                    cache: cache.clone(),
+                    seal,
+                },
+            );
+            self.stats.profile.store_evictions += evicted;
+        }
+        self.stats.profile.recovered_caches += rec.entries.len() as u64;
+        self.stats.profile.wal_replays += rec.replayed;
+        self.ever_loaded |= !rec.entries.is_empty();
     }
 
     /// The shared immutable artifact this session executes.
@@ -118,13 +160,14 @@ impl Session {
     }
 
     /// Schedules a one-shot in-memory fault, deterministically sited from
-    /// `seed`.
+    /// `seed`. Write-ahead-log faults ([`Fault::TornWrite`],
+    /// [`Fault::CrashAtByte`]) are forwarded to the attached [`Wal`].
     ///
     /// # Errors
     ///
     /// File faults ([`Fault::CorruptFile`], [`Fault::TruncateFile`]) do not
     /// apply to the in-memory lifecycle; damage the serialized text with
-    /// [`FaultInjector`] instead.
+    /// [`FaultInjector`] instead. WAL faults require an attached log.
     pub fn inject(&mut self, fault: Fault, seed: u64) -> Result<(), String> {
         let mut inj = FaultInjector::new(seed);
         let slots = self.artifact.layout.slot_count() as u64;
@@ -138,6 +181,14 @@ impl Session {
                     "fault `{fault}` applies to a serialized cache file, not the in-memory \
                      lifecycle"
                 ))
+            }
+            Fault::TornWrite(_) | Fault::CrashAtByte(_) => {
+                return match &self.wal {
+                    Some(wal) => wal.arm(fault),
+                    None => Err(format!(
+                        "fault `{fault}` strikes the write-ahead log, but no log is attached"
+                    )),
+                }
             }
         });
         Ok(())
@@ -243,6 +294,25 @@ impl Session {
     // Lifecycle internals
     // ------------------------------------------------------------------
 
+    /// Appends one operation to the attached log (no-op without one) and
+    /// runs the periodic checkpoint when due. A
+    /// [`WalError::Crashed`](crate::error::WalError::Crashed)
+    /// bypasses the degradation policy entirely: the process is modelled as
+    /// dead, so the request fails like a dropped connection — the chaos
+    /// invariant (reference answer or typed error, never silently wrong)
+    /// still holds.
+    fn wal_append(&mut self, op: &WalOp) -> Result<(), RuntimeError> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        wal.append(op).map_err(RuntimeError::Wal)?;
+        self.stats.profile.wal_appends += 1;
+        if wal.checkpoint_due() {
+            wal.checkpoint(&self.store).map_err(RuntimeError::Wal)?;
+        }
+        Ok(())
+    }
+
     fn take_fuel(&mut self) -> Option<u64> {
         if let Some(PendingFault::Fuel(n)) = self.pending {
             self.pending = None;
@@ -284,6 +354,9 @@ impl Session {
             self.stats.profile.validation_failures += 1;
             self.state = CacheState::Cold;
             self.store.invalidate(fp);
+            // Log the invalidation so a post-crash recovery cannot re-serve
+            // the damaged entry from an earlier logged install.
+            self.wal_append(&WalOp::Invalidate { inputs_fp: fp })?;
             return self.recover(args, fp, RuntimeError::Integrity(ie));
         }
         let fuel = self.take_fuel();
@@ -359,6 +432,20 @@ impl Session {
                     },
                 );
                 self.stats.profile.store_evictions += evicted;
+                // Write-ahead: the install is logged (and the log
+                // checkpointed when due) before the answer is returned, so
+                // an acknowledged sealed cache survives a crash. A cache
+                // the tamper shadow already disproves is *not* logged: the
+                // wire format carries observed values only, so recovery
+                // would re-seal the corruption and serve it as truth. The
+                // store copy keeps its shadow and the next serve detects
+                // and invalidates it in memory as usual.
+                if self.cache.first_tampered_slot().is_none() {
+                    self.wal_append(&WalOp::Install {
+                        inputs_fp: fp,
+                        cache: self.cache.clone(),
+                    })?;
+                }
                 // A buffer fault injected while cold strikes right after
                 // the seal, so the next request's validation sees it. It
                 // models damage to *this session's* memory; the published

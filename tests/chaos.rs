@@ -16,10 +16,13 @@
 #[allow(dead_code)]
 mod paper;
 
+use std::sync::Arc;
+
 use ds_core::{specialize_source, InputPartition, SpecializeOptions};
 use ds_interp::{Engine, EvalOptions, Value};
 use ds_runtime::{
-    Fault, FaultInjector, IntegrityError, Policy, RunnerOptions, RuntimeError, StagedRunner,
+    recover_or_degrade, Fault, FaultInjector, IntegrityError, Policy, RunnerOptions, RuntimeError,
+    StagedRunner, Wal, WalError,
 };
 use paper::paper_examples;
 
@@ -396,4 +399,175 @@ fn robustness_counters_reach_the_metrics_export() {
             .as_u64(),
         Some(1)
     );
+}
+
+/// The WAL fault × engine × policy × example matrix. Torn writes are
+/// silent (the record is lost, never the answer); a crashed writer
+/// surfaces as a typed [`WalError::Crashed`] and never a wrong value.
+/// Either way, a fresh runner recovering from whatever survived on the
+/// log serves every request bit-identical to the reference — the log is
+/// always a valid (possibly shorter) prefix of history.
+#[test]
+fn wal_faults_tear_or_crash_but_never_corrupt_an_answer() {
+    for ex in paper_examples() {
+        for engine in ENGINES {
+            for policy in POLICIES {
+                // The value doubles as the torn-write cut and the
+                // crash byte threshold; every record is > 80 bytes, so
+                // each threshold crashes inside the *first* append.
+                for at in [0u64, 17, 80] {
+                    for fault in [Fault::TornWrite(at), Fault::CrashAtByte(at)] {
+                        let ctx = format!("{} {engine:?} {policy:?} {fault}", ex.name);
+                        let mut r = runner_for(
+                            ex.src,
+                            ex.entry,
+                            ex.varying,
+                            RunnerOptions {
+                                engine,
+                                policy,
+                                ..RunnerOptions::default()
+                            },
+                        );
+                        let wal = Arc::new(Wal::in_memory(r.layout_fingerprint(), Some(2)));
+                        r.attach_wal(Arc::clone(&wal));
+                        r.inject(fault, at).expect("wal fault arms");
+                        let mut crashes = 0u64;
+                        for round in 0..2 {
+                            for (i, args) in ex.arg_sets.iter().enumerate() {
+                                let rctx = format!("{ctx} round {round} args {i}");
+                                let want = r
+                                    .reference(args)
+                                    .unwrap_or_else(|e| panic!("{rctx}: reference: {e}"))
+                                    .value;
+                                match r.run(args) {
+                                    Ok(out) => match (&out.value, &want) {
+                                        (Some(got), Some(want)) => assert!(
+                                            got.bits_eq(want),
+                                            "{rctx}: SILENT WRONG VALUE: {got} vs {want}"
+                                        ),
+                                        (got, want) => {
+                                            assert_eq!(got, want, "{rctx}: presence diverged");
+                                        }
+                                    },
+                                    Err(RuntimeError::Wal(WalError::Crashed { .. })) => {
+                                        crashes += 1;
+                                    }
+                                    Err(e) => panic!("{rctx}: unexpected error class: {e}"),
+                                }
+                            }
+                        }
+                        match fault {
+                            Fault::CrashAtByte(_) => {
+                                assert!(crashes > 0, "{ctx}: the crash never fired");
+                                assert!(wal.is_crashed(), "{ctx}: writer not marked crashed");
+                            }
+                            _ => {
+                                assert_eq!(crashes, 0, "{ctx}: a torn write must be silent");
+                                assert!(!wal.is_crashed(), "{ctx}");
+                                assert!(
+                                    r.stats().wal_appends() > 0,
+                                    "{ctx}: no appends ever reached the log"
+                                );
+                            }
+                        }
+
+                        // Restart: recover from whatever the log holds.
+                        // A damaged tail may shorten history, but must
+                        // never change it — the recovered store serves
+                        // every request bit-exact (re-staging misses).
+                        let log = wal.log_text().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                        let ckpt = wal
+                            .checkpoint_text()
+                            .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                        let (rec, ckpt_err) =
+                            recover_or_degrade(ckpt.as_deref(), &log, r.artifact().layout());
+                        assert!(
+                            ckpt_err.is_none(),
+                            "{ctx}: checkpoint rejected: {ckpt_err:?}"
+                        );
+                        let mut fresh = runner_for(
+                            ex.src,
+                            ex.entry,
+                            ex.varying,
+                            RunnerOptions {
+                                engine,
+                                policy,
+                                ..RunnerOptions::default()
+                            },
+                        );
+                        fresh.adopt_recovery(&rec);
+                        assert_eq!(
+                            fresh.stats().recovered_caches(),
+                            rec.entries.len() as u64,
+                            "{ctx}"
+                        );
+                        for (i, args) in ex.arg_sets.iter().enumerate() {
+                            assert!(
+                                checked_request(&mut fresh, args, &format!("{ctx} recovered {i}")),
+                                "{ctx}: request {i} failed after recovery"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pinpoint kill-and-restart on dotprod with the canonical WAL fault
+/// constants: the crashed writer loses in-flight work only; a restarted
+/// runner adopts the recovered caches and serves them *without
+/// re-staging* — the whole point of the log.
+#[test]
+fn crashed_writer_restart_serves_recovered_caches_without_restaging() {
+    let ex = &paper_examples()[0];
+    let mut r = runner_for(
+        ex.src,
+        ex.entry,
+        ex.varying,
+        RunnerOptions {
+            policy: Policy::FailFast,
+            ..RunnerOptions::default()
+        },
+    );
+    let wal = Arc::new(Wal::in_memory(r.layout_fingerprint(), None));
+    r.attach_wal(Arc::clone(&wal));
+    // Stage the first argument set cleanly, then arm a crash far enough
+    // out that the *second* install dies mid-record. The second set must
+    // differ in a *static* input (scale) — the cache is keyed on the
+    // static half of the partition, so a varying-only change is a warm
+    // hit and never reaches the log.
+    r.run(&ex.arg_sets[0]).expect("clean install");
+    let logged = wal.log_text().unwrap().len() as u64;
+    assert!(logged > 0, "first install must reach the log");
+    for fault in Fault::WAL_FAULTS {
+        assert!(fault.is_wal_fault(), "{fault} must classify as a wal fault");
+    }
+    r.inject(Fault::CrashAtByte(logged + 10), 0).unwrap();
+    let err = r.run(&ex.arg_sets[2]).unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::Wal(WalError::Crashed { .. })),
+        "expected a crashed writer, got {err}"
+    );
+
+    // Restart. The torn second record is discarded; the first install
+    // replays, and serving that argument set is a pure store hit.
+    let log = wal.log_text().unwrap();
+    let (rec, ckpt_err) = recover_or_degrade(None, &log, r.artifact().layout());
+    assert!(ckpt_err.is_none());
+    assert!(rec.damaged_tail, "the torn second record must be reported");
+    assert_eq!(rec.entries.len(), 1, "exactly the first install survives");
+    let mut fresh = runner_for(ex.src, ex.entry, ex.varying, RunnerOptions::default());
+    fresh.adopt_recovery(&rec);
+    assert!(checked_request(
+        &mut fresh,
+        &ex.arg_sets[0],
+        "recovered serve"
+    ));
+    assert_eq!(
+        fresh.stats().loads,
+        0,
+        "the recovered cache must be served, not re-staged"
+    );
+    assert_eq!(fresh.stats().wal_replays(), 1);
 }
