@@ -1,6 +1,13 @@
 //! Runs every experiment and prints a consolidated paper-vs-measured
 //! summary — the data source for `EXPERIMENTS.md`.
+//!
+//! Alongside the tables the run writes the headline numbers as a
+//! `ds-telemetry` envelope of kind `bench-repro` (path via `--out PATH`,
+//! default `BENCH_repro.json`), so CI can track the reproduction's
+//! fidelity with `validate_metrics` and `dsc report --compare` without
+//! scraping tables.
 
+use ds_bench::json::Json;
 use ds_bench::{
     breakeven_histogram, cache_size_stats, exp_all_partitions, exp_code_growth, exp_code_vs_data,
     exp_dotprod, exp_limit_sweep, f, normalize_limit_sweep, summarize, table,
@@ -8,6 +15,12 @@ use ds_bench::{
 use ds_shaders::all_shaders;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_repro.json".to_string());
     println!("==================================================================");
     println!(" Data Specialization (Knoblock & Ruf, PLDI 1996) — reproduction");
     println!("==================================================================\n");
@@ -102,6 +115,7 @@ fn main() {
     // --- T-CS ----------------------------------------------------------
     println!("[T-CS] data vs code specialization (representative partitions):");
     let suite = all_shaders();
+    let mut code_vs_data = Vec::new();
     for (index, param) in [(1usize, "ambient"), (3, "kd"), (10, "ringscale")] {
         let shader = suite.iter().find(|s| s.index == index).expect("exists");
         let r = exp_code_vs_data(shader, param, 3);
@@ -115,10 +129,97 @@ fn main() {
             r.cs_breakeven
                 .map_or("never".to_string(), |n| format!("{n} uses"))
         );
+        code_vs_data.push(r);
     }
     println!(
         "\n[T-SPEC] and [T-MEM] run separately (table_speculation, table_memory);\n\
-         repro_json exports everything machine-readably.\n\n\
-         done; see the individual figure binaries for full detail"
+         repro_json exports everything machine-readably."
     );
+
+    let doc = ds_telemetry::envelope(
+        "bench-repro",
+        [
+            (
+                "dotprod",
+                Json::obj([
+                    ("slots", Json::from(d.slots)),
+                    ("speedup_nonzero", Json::from(d.speedup_nonzero)),
+                    ("speedup_zero", Json::from(d.speedup_zero)),
+                    ("startup_overhead", Json::from(d.startup_overhead_nonzero)),
+                    ("breakeven_uses", d.breakeven.map_or(Json::Null, Json::from)),
+                ]),
+            ),
+            (
+                "partitions",
+                Json::obj([
+                    ("count", Json::from(measurements.len())),
+                    ("min_speedup", Json::from(min_speedup)),
+                    ("cache_mean_bytes", Json::from(mean)),
+                    ("cache_median_bytes", Json::from(median)),
+                ]),
+            ),
+            (
+                "breakeven_histogram",
+                Json::Arr(
+                    breakeven_histogram(&measurements)
+                        .into_iter()
+                        .map(|(uses, count)| {
+                            Json::obj([
+                                ("uses", Json::from(uses)),
+                                ("partitions", Json::from(count)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "limit_sweep",
+                Json::Arr(
+                    [0u32, 8, 16, 24, 32, 40]
+                        .iter()
+                        .map(|&bound| {
+                            Json::obj([
+                                ("bound_bytes", Json::from(bound)),
+                                ("mean_retention_pct", Json::from(mean_at(bound))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "code_growth",
+                Json::obj([
+                    ("partitions", Json::from(growth.len())),
+                    ("under_2x", Json::from(under)),
+                    ("worst_growth", Json::from(worst)),
+                ]),
+            ),
+            (
+                "code_vs_data",
+                Json::Arr(
+                    code_vs_data
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("shader", Json::from(r.shader)),
+                                ("param", Json::from(r.param)),
+                                ("ds_reader_cost", Json::from(r.ds_reader_cost)),
+                                ("cs_residual_cost", Json::from(r.cs_residual_cost)),
+                                ("ds_breakeven", Json::from(r.ds_breakeven)),
+                                (
+                                    "cs_breakeven",
+                                    r.cs_breakeven.map_or(Json::Null, Json::from),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect(),
+    );
+    std::fs::write(&out, doc.pretty() + "\n").expect("write bench envelope");
+    println!("\nwrote {out}\ndone; see the individual figure binaries for full detail");
 }

@@ -1,10 +1,22 @@
 //! Rebuild overhead — what invariant churn costs end to end: the staged
 //! runtime (cache lifecycle included) vs direct unspecialized evaluation
 //! over request streams whose invariant inputs change at different rates.
+//!
+//! Alongside the table the run writes a `ds-telemetry` envelope of kind
+//! `bench-rebuild` (path via `--out PATH`, default `BENCH_rebuild.json`)
+//! so CI can track churn amortization with `validate_metrics` and
+//! `dsc report --compare`.
 
+use ds_bench::json::Json;
 use ds_bench::{exp_rebuild_overhead, f, table};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_rebuild.json".to_string());
     println!("=== Rebuild overhead: staged runtime vs direct evaluation ===\n");
     let requests = 64;
     let pts = exp_rebuild_overhead(requests);
@@ -33,4 +45,38 @@ fn main() {
          loader pays for itself — the paper's two-use breakeven (§5.2),\n\
          lifted from a single loader/reader pair to the full cache lifecycle."
     );
+
+    let doc = ds_telemetry::envelope(
+        "bench-rebuild",
+        [
+            ("requests", Json::from(requests)),
+            (
+                "points",
+                Json::Arr(
+                    pts.iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("churn_interval", Json::from(p.churn_interval)),
+                                ("loads", Json::from(p.loads)),
+                                (
+                                    "staged_cost_per_req",
+                                    Json::from(p.staged_cost as f64 / p.requests as f64),
+                                ),
+                                (
+                                    "direct_cost_per_req",
+                                    Json::from(p.unspec_cost as f64 / p.requests as f64),
+                                ),
+                                ("amortized_speedup", Json::from(p.amortized_speedup)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect(),
+    );
+    std::fs::write(&out, doc.pretty() + "\n").expect("write bench envelope");
+    println!("wrote {out}");
 }

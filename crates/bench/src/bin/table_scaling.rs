@@ -65,8 +65,10 @@ fn serve_doc(
             })
             .collect(),
     );
+    // Kind `bench-serve`, not `serve`: `dsc report` tells benchmark
+    // trajectories apart from live `dsc serve --metrics-out` envelopes.
     ds_telemetry::envelope(
-        "serve",
+        "bench-serve",
         [
             ("requests", Json::from(requests)),
             ("scaling", cells),

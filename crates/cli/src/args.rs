@@ -50,6 +50,9 @@ const VALUE_OPTIONS: &[&str] = &[
     "oracle",
     "out",
     "replay",
+    "trace-out",
+    "stats-every",
+    "threshold",
 ];
 
 /// Parses raw arguments (excluding the program name).
@@ -82,6 +85,7 @@ pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, UsageError>
                 "fragment",
                 "explain",
                 "sexpr",
+                "compare",
             ]
             .contains(&key)
             {
@@ -302,6 +306,41 @@ impl Args {
         self.options.get("replay").map(String::as_str)
     }
 
+    /// `--trace-out PATH`: where `serve` writes per-request trace events
+    /// as JSONL (one versioned envelope header line, then one compact JSON
+    /// event per request); `None` disables tracing.
+    pub fn trace_out(&self) -> Option<&str> {
+        self.options.get("trace-out").map(String::as_str)
+    }
+
+    /// `--stats-every N`: print a progress/throughput line to stderr after
+    /// every N served requests (`None` disables the heartbeat).
+    pub fn stats_every(&self) -> Result<Option<u64>, UsageError> {
+        match self.options.get("stats-every") {
+            None => Ok(None),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(UsageError(format!(
+                    "--stats-every expects a request count >= 1, got `{v}`"
+                ))),
+            },
+        }
+    }
+
+    /// `--threshold F`: the relative change `report --compare` tolerates
+    /// before flagging a regression (default 0.10, i.e. 10%).
+    pub fn threshold(&self) -> Result<f64, UsageError> {
+        match self.options.get("threshold") {
+            None => Ok(0.10),
+            Some(v) => match v.parse::<f64>() {
+                Ok(x) if x > 0.0 && x.is_finite() => Ok(x),
+                _ => Err(UsageError(format!(
+                    "--threshold expects a positive fraction (e.g. 0.1), got `{v}`"
+                ))),
+            },
+        }
+    }
+
     /// `--seed N` for deterministic fault placement (0 by default).
     pub fn seed(&self) -> Result<u64, UsageError> {
         match self.options.get("seed") {
@@ -464,6 +503,37 @@ mod tests {
         assert!(a.inject().is_err());
         let a = parse_ok(&["serve", "f.mc", "--seed", "x"]);
         assert!(a.seed().is_err());
+    }
+
+    #[test]
+    fn observability_options_parse() {
+        let a = parse_ok(&[
+            "serve",
+            "f.mc",
+            "--trace-out",
+            "trace.jsonl",
+            "--stats-every",
+            "100",
+        ]);
+        assert_eq!(a.trace_out(), Some("trace.jsonl"));
+        assert_eq!(a.stats_every().unwrap(), Some(100));
+
+        let a = parse_ok(&["serve", "f.mc"]);
+        assert_eq!(a.trace_out(), None);
+        assert_eq!(a.stats_every().unwrap(), None);
+        let a = parse_ok(&["serve", "f.mc", "--stats-every", "0"]);
+        assert!(a.stats_every().is_err());
+
+        let a = parse_ok(&["report", "old.json", "new.json", "--compare"]);
+        assert!(a.flag("compare"));
+        assert_eq!(a.positional, vec!["old.json", "new.json"]);
+        assert_eq!(a.threshold().unwrap(), 0.10);
+        let a = parse_ok(&["report", "--compare", "--threshold", "0.25"]);
+        assert_eq!(a.threshold().unwrap(), 0.25);
+        let a = parse_ok(&["report", "--threshold", "-1"]);
+        assert!(a.threshold().is_err());
+        let a = parse_ok(&["report", "--threshold", "zero"]);
+        assert!(a.threshold().is_err());
     }
 
     #[test]

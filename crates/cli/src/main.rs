@@ -18,13 +18,19 @@
 //!     which every cached/dynamic verdict cites its Figure-3 rule
 //! dsc serve FILE --vary a,b --requests PATH [--policy P] [--cache-file PATH]
 //!           [--workers N] [--store-capacity N] [--wal PATH]
-//!           [--checkpoint-every N]
+//!           [--checkpoint-every N] [--trace-out PATH] [--stats-every N]
 //!     specialize once, then serve a stream of argument vectors through the
 //!     staged-execution runtime (cache lifecycle, integrity validation,
 //!     graceful degradation, optional fault injection); `--workers`
 //!     partitions the stream across threads sharing one artifact and one
 //!     polyvariant cache store; `--wal` makes sealed-cache installs durable
-//!     (recovered crash-consistently on the next start)
+//!     (recovered crash-consistently on the next start); `--trace-out`
+//!     streams per-request trace events as JSONL and `--stats-every`
+//!     heartbeats progress to stderr
+//! dsc report FILE.. [--compare OLD NEW] [--threshold F]
+//!     summarize metrics/trace/bench telemetry files as human-readable
+//!     tables; `--compare` diffs two envelopes and exits 7 when a
+//!     performance metric regresses beyond the threshold
 //! dsc fuzz [--seed N] [--cases N] [--oracle NAME,..] [--out PATH]
 //!          [--replay PATH]
 //!     generate random typed programs and check the pipeline's conformance
@@ -37,12 +43,14 @@
 //! and/or runtime robustness counters) as a versioned `ds-telemetry` JSON
 //! document.
 //!
-//! Exit codes are classified so scripts can tell failure modes apart:
-//! `2` usage error, `3` frontend/specialization error, `4` evaluation
-//! error, `5` cache-integrity violation, `6` write-ahead-log writer
-//! crashed (restart with the same `--wal` to recover).
+//! Exit codes are classified so scripts can tell failure modes apart (see
+//! [`exit`]): `2` usage error, `3` frontend/specialization error, `4`
+//! evaluation error, `5` cache-integrity violation, `6` write-ahead-log
+//! writer crashed (restart with the same `--wal` to recover), `7`
+//! performance regression (`report --compare`).
 
 mod args;
+mod exit;
 
 use args::{parse, parse_value_list, Args, UsageError};
 use ds_core::{specialize, InputPartition, SpecializeOptions};
@@ -50,10 +58,12 @@ use ds_lang::Program;
 use ds_runtime::{
     CacheStore, Fault, FaultInjector, RunnerStats, RuntimeError, Session, StagedArtifact,
 };
-use ds_telemetry::Json;
+use ds_telemetry::{format_nanos, Json, LatencyHist, Timing};
 use std::fmt;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A classified CLI failure; the class decides the process exit code, so
 /// scripts can tell misuse from bad input from runtime trouble.
@@ -73,16 +83,20 @@ enum CliError {
     /// The write-ahead-log writer crashed (an injected `crash-at-byte`
     /// fault fired); restart with the same `--wal` to recover (exit 6).
     Crashed(String),
+    /// `report --compare` found a performance regression beyond the
+    /// threshold (exit 7).
+    Regression(String),
 }
 
 impl CliError {
     fn code(&self) -> u8 {
         match self {
-            CliError::Usage(_) => 2,
-            CliError::Frontend(_) => 3,
-            CliError::Eval(_) => 4,
-            CliError::Integrity(_) => 5,
-            CliError::Crashed(_) => 6,
+            CliError::Usage(_) => exit::USAGE,
+            CliError::Frontend(_) => exit::FRONTEND,
+            CliError::Eval(_) => exit::EVAL,
+            CliError::Integrity(_) => exit::INTEGRITY,
+            CliError::Crashed(_) => exit::CRASHED,
+            CliError::Regression(_) => exit::REGRESSION,
         }
     }
 }
@@ -94,7 +108,8 @@ impl fmt::Display for CliError {
             | CliError::Frontend(m)
             | CliError::Eval(m)
             | CliError::Integrity(m)
-            | CliError::Crashed(m) => write!(f, "{m}"),
+            | CliError::Crashed(m)
+            | CliError::Regression(m) => write!(f, "{m}"),
         }
     }
 }
@@ -124,6 +139,9 @@ USAGE:
               [--rebuild-budget N] [--workers N] [--store-capacity N]
               [--cache-file PATH] [--wal PATH] [--checkpoint-every N]
               [--inject FAULT] [--seed N] [--metrics-out PATH]
+              [--trace-out PATH] [--stats-every N]
+    dsc report FILE.json [FILE.json ..]
+    dsc report --compare OLD.json NEW.json [--threshold F]
     dsc fuzz [--seed N] [--cases N] [--oracle NAME[,NAME..]] [--out PATH]
              [--replay PATH]
     dsc help
@@ -154,7 +172,15 @@ next start (checkpointing into the `--cache-file` bundle — or
 exit); a crashed writer exits 6 and the restart serves every sealed
 cache logged before the crash without re-staging it.
 `--metrics-out PATH` writes a versioned ds-telemetry JSON document with
-the run's execution profiles and/or specialization report.
+the run's execution profiles and/or specialization report; for `serve` it
+includes a `latency` section (end-to-end and per-stage p50/p90/p99 from
+mergeable log2-bucket histograms). `--trace-out PATH` additionally
+streams one JSONL trace event per request (outcome, stage timings);
+`--stats-every N` prints a progress/throughput heartbeat to stderr.
+`report` renders any ds-telemetry file — serve metrics, trace JSONL,
+BENCH_*.json — as a human-readable summary; `report --compare OLD NEW`
+diffs the performance metrics of two envelopes and exits 7 when one
+regresses more than `--threshold` (default 0.10 = 10%).
 `fuzz` generates `--cases` random typed programs from `--seed` and checks
 the conformance oracles (semantics, work, budget, normalize, reassoc,
 serve, recovery; `--oracle` selects a subset) over the whole pipeline on
@@ -163,7 +189,8 @@ written to `--out` as a reproducer file, which `--replay` re-checks.
 
 Exit codes: 0 success, 2 usage error, 3 frontend/specialization error,
 4 evaluation error, 5 cache-integrity violation, 6 write-ahead-log
-writer crashed (restart with the same --wal to recover).";
+writer crashed (restart with the same --wal to recover), 7 performance
+regression (report --compare).";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -190,6 +217,7 @@ fn dispatch(raw: Vec<String>) -> Result<(), CliError> {
         "measure" => cmd_measure(&args),
         "explain" => cmd_explain(&args),
         "serve" => cmd_serve(&args),
+        "report" => cmd_report(&args),
         "fuzz" => cmd_fuzz(&args),
         other => Err(CliError::Usage(format!(
             "unknown subcommand `{other}`; try `dsc help`"
@@ -467,6 +495,20 @@ fn cmd_explain(args: &Args) -> Result<(), CliError> {
 
     println!("// varying: {{{}}}", vary.join(", "));
     print!("{}", ds_core::explain_specialization(&spec));
+    // Per-phase wall time goes to stderr: explain's stdout is pinned
+    // byte-for-byte by the golden test, and the clock is nondeterministic.
+    for p in &spec.report.phases {
+        eprintln!(
+            "phase {:<13} {}",
+            format!("{}:", p.name),
+            format_nanos(p.wall_nanos)
+        );
+    }
+    eprintln!(
+        "phase {:<13} {}",
+        "total:",
+        format_nanos(spec.report.total_wall_nanos())
+    );
     if let Some(path) = args.metrics_out() {
         let (s, c, d) = spec.stats.label_counts;
         let doc = ds_telemetry::envelope(
@@ -574,6 +616,8 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         ropts.store_capacity = cap;
     }
     ropts.eval.profile = args.metrics_out().is_some();
+    let trace_out = args.trace_out();
+    let stats_every = args.stats_every()?;
 
     // The whole request file is parsed before any worker starts, so a bad
     // line is a usage error (exit 2), never a half-served stream.
@@ -709,6 +753,10 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let mut results: Vec<Option<Result<ds_interp::Outcome, RuntimeError>>> = Vec::new();
     results.resize_with(requests.len(), || None);
     let mut worker_stats: Vec<RunnerStats> = Vec::new();
+    let mut worker_timing: Vec<Timing> = Vec::new();
+    let mut traces: Vec<ds_runtime::RequestTrace> = Vec::new();
+    let serve_started = Instant::now();
+    let progress = AtomicU64::new(0);
     {
         let mut sessions: Vec<Session> = Vec::new();
         for w in 0..workers.min(requests.len()) {
@@ -733,17 +781,22 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                     session.inject(fault, seed).map_err(CliError::Usage)?;
                 }
             }
+            session.set_tracing(trace_out.is_some());
             sessions.push(session);
         }
         type WorkerOutput = (
             Vec<(usize, Result<ds_interp::Outcome, RuntimeError>)>,
             RunnerStats,
+            Timing,
+            Vec<ds_runtime::RequestTrace>,
         );
+        let total_requests = requests.len() as u64;
         let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
             let handles: Vec<_> = sessions
                 .into_iter()
                 .zip(requests.chunks(chunk).map(<[_]>::to_vec).enumerate())
                 .map(|(mut session, (w, batch))| {
+                    let progress = &progress;
                     scope.spawn(move || {
                         let mut out = Vec::with_capacity(batch.len());
                         for (i, values) in batch.iter().enumerate() {
@@ -753,6 +806,17 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                                 Err(RuntimeError::Wal(ds_runtime::WalError::Crashed { .. }))
                             );
                             out.push((w * chunk + i, res));
+                            if let Some(every) = stats_every {
+                                let done = progress.fetch_add(1, Ordering::Relaxed) + 1;
+                                if done.is_multiple_of(every) || done == total_requests {
+                                    let secs = serve_started.elapsed().as_secs_f64();
+                                    eprintln!(
+                                        "serve: {done}/{total_requests} requests \
+                                         ({:.0} req/s)",
+                                        done as f64 / secs.max(1e-9),
+                                    );
+                                }
+                            }
                             if dead {
                                 // The log writer is dead: model process
                                 // death — the rest of this worker's slice
@@ -760,7 +824,18 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                                 break;
                             }
                         }
-                        (out, session.stats().clone())
+                        let mut local_traces = session.take_traces();
+                        for t in &mut local_traces {
+                            // Rebase this worker's local serve order onto
+                            // the global request index.
+                            t.seq += (w * chunk) as u64;
+                        }
+                        (
+                            out,
+                            session.stats().clone(),
+                            session.timing().clone(),
+                            local_traces,
+                        )
                     })
                 })
                 .collect();
@@ -769,13 +844,17 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                 .map(|h| h.join().expect("serve worker panicked"))
                 .collect()
         });
-        for (chunk_results, stats) in outputs {
+        for (chunk_results, stats, timing, worker_traces) in outputs {
             for (idx, res) in chunk_results {
                 results[idx] = Some(res);
             }
             worker_stats.push(stats);
+            worker_timing.push(timing);
+            traces.extend(worker_traces);
         }
     }
+    let wall = serve_started.elapsed();
+    traces.sort_by_key(|t| t.seq);
 
     for (idx, res) in results.into_iter().enumerate() {
         let n = idx + 1;
@@ -826,6 +905,49 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         println!("recovered caches:    {}", st.recovered_caches());
     }
 
+    // Latency is merged the same way as stats (worker order; the merge is
+    // associative and commutative), but kept in its own side-channel: the
+    // numbers are wall-clock and therefore nondeterministic, so they never
+    // enter the `stats` document the parity suites compare.
+    let mut timing = bootstrap.timing().clone();
+    for t in &worker_timing {
+        timing.merge(t);
+    }
+    if !timing.total.is_empty() {
+        println!("latency end-to-end:  {}", timing.total);
+        for (stage, hist) in &timing.stages {
+            println!("latency {:<12} {hist}", format!("{stage}:"));
+        }
+        println!(
+            "throughput:          {:.0} req/s ({} requests in {:.1} ms)",
+            st.requests as f64 / wall.as_secs_f64().max(1e-9),
+            st.requests,
+            wall.as_secs_f64() * 1e3,
+        );
+    }
+
+    if let Some(path) = trace_out {
+        let header = ds_telemetry::envelope(
+            "trace",
+            vec![
+                ("entry".to_string(), Json::from(entry.as_str())),
+                ("engine".to_string(), Json::from(engine.to_string())),
+                ("policy".to_string(), Json::from(policy.to_string())),
+                ("workers".to_string(), Json::from(workers as u64)),
+                ("events".to_string(), Json::from(traces.len())),
+            ],
+        );
+        let mut text = header.compact();
+        text.push('\n');
+        for t in &traces {
+            text.push_str(&t.to_json().compact());
+            text.push('\n');
+        }
+        std::fs::write(path, text)
+            .map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))?;
+        println!("trace: wrote {path} ({} event(s))", traces.len());
+    }
+
     if let Some(path) = args.metrics_out() {
         let doc = ds_telemetry::envelope(
             "serve",
@@ -846,6 +968,16 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                 (
                     "worker_stats".to_string(),
                     Json::Arr(worker_stats.iter().map(RunnerStats::to_json).collect()),
+                ),
+                ("wall_ms".to_string(), Json::from(wall.as_secs_f64() * 1e3)),
+                (
+                    "throughput_rps".to_string(),
+                    Json::from(st.requests as f64 / wall.as_secs_f64().max(1e-9)),
+                ),
+                ("latency".to_string(), timing.to_json()),
+                (
+                    "worker_latency".to_string(),
+                    Json::Arr(worker_timing.iter().map(Timing::to_json).collect()),
                 ),
             ],
         );
@@ -894,6 +1026,309 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         )))
     } else {
         Ok(())
+    }
+}
+
+/// `dsc report`: render ds-telemetry files (serve metrics, trace JSONL,
+/// BENCH_*.json) as human-readable summaries, or `--compare OLD NEW` to
+/// diff two envelopes and gate on performance regressions (exit 7).
+fn cmd_report(args: &Args) -> Result<(), CliError> {
+    if args.flag("compare") {
+        let threshold = args.threshold()?;
+        if args.positional.len() != 2 {
+            return Err(CliError::Usage(
+                "report --compare needs exactly two files: OLD NEW".into(),
+            ));
+        }
+        return report_compare(&args.positional[0], &args.positional[1], threshold);
+    }
+    if args.positional.is_empty() {
+        return Err(CliError::Usage(
+            "report needs at least one telemetry file; see `dsc help`".into(),
+        ));
+    }
+    for (i, path) in args.positional.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        report_file(path)?;
+    }
+    Ok(())
+}
+
+/// Summarizes one telemetry file: a single-document envelope, or a JSONL
+/// trace stream (header envelope line + one event per line).
+fn report_file(path: &str) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read `{path}`: {e}")))?;
+    println!("== {path} ==");
+    match ds_telemetry::parse(&text) {
+        Ok(doc) => report_doc(path, &doc),
+        Err(_) => report_trace_jsonl(path, &text),
+    }
+}
+
+fn report_doc(path: &str, doc: &Json) -> Result<(), CliError> {
+    let kind = ds_telemetry::validate_envelope(doc)
+        .map_err(|e| CliError::Usage(format!("`{path}` is not a valid envelope: {e}")))?;
+    println!("kind: {kind}");
+    if kind == "serve" {
+        report_serve_summary(doc);
+    }
+    let mut leaves = Vec::new();
+    collect_numeric_leaves(doc, "", &mut leaves);
+    let width = leaves.iter().map(|(p, _)| p.len()).max().unwrap_or(0);
+    for (p, v) in &leaves {
+        println!("  {p:<width$}  {}", render_metric(p, *v));
+    }
+    Ok(())
+}
+
+/// The derived serve headline: throughput, hit rate, WAL overhead and
+/// end-to-end/per-stage percentiles, ahead of the raw leaf table.
+fn report_serve_summary(doc: &Json) {
+    let stat = |name: &str| -> f64 {
+        doc.get("stats")
+            .and_then(|s| s.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let requests = stat("requests");
+    if let (Some(wall), Some(rps)) = (
+        doc.get("wall_ms").and_then(Json::as_f64),
+        doc.get("throughput_rps").and_then(Json::as_f64),
+    ) {
+        println!("  {requests:.0} request(s) in {wall:.1} ms ({rps:.0} req/s)");
+    }
+    let hits = stat("store_hits");
+    let probes = hits + stat("store_misses");
+    if probes > 0.0 {
+        println!(
+            "  store hit rate: {:.1}% ({hits:.0}/{probes:.0} probes), {:.0} load(s), {:.0} fallback(s)",
+            100.0 * hits / probes,
+            stat("loads"),
+            stat("fallbacks"),
+        );
+    }
+    if stat("wal_appends") > 0.0 {
+        println!(
+            "  wal: {:.0} append(s), {:.0} replay(s), {:.0} recovered cache(s)",
+            stat("wal_appends"),
+            stat("wal_replays"),
+            stat("recovered_caches"),
+        );
+    }
+    if let Some(latency) = doc.get("latency") {
+        if let Ok(timing) = Timing::from_json(latency) {
+            if !timing.total.is_empty() {
+                println!("  latency end-to-end:  {}", timing.total);
+                for (stage, hist) in &timing.stages {
+                    println!("  latency {:<12} {hist}", format!("{stage}:"));
+                }
+            }
+        }
+    }
+}
+
+/// Summarizes a `--trace-out` JSONL stream: outcome counts plus an
+/// end-to-end latency histogram rebuilt from the per-event totals.
+fn report_trace_jsonl(path: &str, text: &str) -> Result<(), CliError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CliError::Usage(format!("`{path}` is empty")))
+        .and_then(|line| {
+            ds_telemetry::parse(line)
+                .map_err(|e| CliError::Usage(format!("`{path}` has no envelope header: {e}")))
+        })?;
+    let kind = ds_telemetry::validate_envelope(&header)
+        .map_err(|e| CliError::Usage(format!("`{path}` is not a valid envelope: {e}")))?;
+    if kind != "trace" {
+        return Err(CliError::Usage(format!(
+            "`{path}` is neither a JSON document nor a trace stream (kind `{kind}`)"
+        )));
+    }
+    println!("kind: trace");
+    let mut hist = LatencyHist::new();
+    let mut outcomes: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    let mut events = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = ds_telemetry::parse(line).map_err(|e| {
+            CliError::Usage(format!("`{path}` line {}: bad trace event: {e}", i + 2))
+        })?;
+        if let Some(n) = ev.get("total_nanos").and_then(Json::as_u64) {
+            hist.record(n);
+        }
+        events.push(ev);
+    }
+    for ev in &events {
+        if let Some(o) = ev.get("outcome").and_then(Json::as_str) {
+            *outcomes.entry(o).or_default() += 1;
+        }
+    }
+    println!("  {} event(s)", events.len());
+    for (outcome, n) in &outcomes {
+        println!("  outcome {outcome:<10} {n}");
+    }
+    if !hist.is_empty() {
+        println!("  latency end-to-end:  {hist}");
+    }
+    Ok(())
+}
+
+/// Flattens every numeric field of `doc` into `(dotted.path, value)`
+/// pairs, in document order. Histogram buckets, decision-event arrays
+/// and the per-worker subtrees are skipped — the former are raw
+/// payloads, and the latter depend on how the stream was partitioned.
+fn collect_numeric_leaves(doc: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match doc {
+        Json::Num(n) => out.push((prefix.to_string(), *n)),
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                if k == "hist" || k == "events" || k == "worker_stats" || k == "worker_latency" {
+                    continue;
+                }
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                collect_numeric_leaves(v, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                collect_numeric_leaves(v, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Renders one leaf value, humanizing durations named `*_nanos`.
+fn render_metric(path: &str, v: f64) -> String {
+    if path.rsplit('.').next().unwrap_or(path).contains("nanos") && v >= 0.0 {
+        format!("{v} ({})", format_nanos(v as u64))
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// How to judge a metric's movement between two envelopes.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+}
+
+/// Infers the improvement direction from the metric's path, or `None`
+/// for counters and identifiers that `--compare` should not judge.
+fn direction_of(path: &str) -> Option<Direction> {
+    let lower = ["nanos", "elapsed", "overhead", "_ms", "wall_ms", "latency"];
+    let higher = ["speedup", "throughput", "rps"];
+    let p = path.to_ascii_lowercase();
+    if lower.iter().any(|k| p.contains(k)) {
+        Some(Direction::LowerIsBetter)
+    } else if higher.iter().any(|k| p.contains(k)) {
+        Some(Direction::HigherIsBetter)
+    } else {
+        None
+    }
+}
+
+/// `dsc report --compare OLD NEW`: diff the performance metrics of two
+/// envelopes; any metric moving the wrong way by more than `threshold`
+/// (relative) is a regression and the process exits 7.
+fn report_compare(old_path: &str, new_path: &str, threshold: f64) -> Result<(), CliError> {
+    let load_doc = |path: &str| -> Result<Json, CliError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Usage(format!("cannot read `{path}`: {e}")))?;
+        // A JSONL trace compares by its header envelope only.
+        let first = text.lines().next().unwrap_or("");
+        let doc = ds_telemetry::parse(&text)
+            .or_else(|_| ds_telemetry::parse(first))
+            .map_err(|e| CliError::Usage(format!("cannot parse `{path}`: {e}")))?;
+        ds_telemetry::validate_envelope(&doc)
+            .map_err(|e| CliError::Usage(format!("`{path}` is not a valid envelope: {e}")))?;
+        Ok(doc)
+    };
+    let old = load_doc(old_path)?;
+    let new = load_doc(new_path)?;
+    let old_kind = old.get("kind").and_then(Json::as_str).unwrap_or("?");
+    let new_kind = new.get("kind").and_then(Json::as_str).unwrap_or("?");
+    if old_kind != new_kind {
+        eprintln!("warning: comparing kind `{old_kind}` against kind `{new_kind}`");
+    }
+
+    let mut old_leaves = Vec::new();
+    let mut new_leaves = Vec::new();
+    collect_numeric_leaves(&old, "", &mut old_leaves);
+    collect_numeric_leaves(&new, "", &mut new_leaves);
+    let old_map: std::collections::BTreeMap<&str, f64> =
+        old_leaves.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+
+    println!(
+        "== compare {old_path} -> {new_path} (threshold {:.0}%) ==",
+        threshold * 100.0
+    );
+    let mut regressions: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    for (path, new_v) in &new_leaves {
+        let Some(dir) = direction_of(path) else {
+            continue;
+        };
+        let Some(&old_v) = old_map.get(path.as_str()) else {
+            continue;
+        };
+        // Sub-resolution timings make ratios meaningless; skip them.
+        if old_v <= 0.0 {
+            continue;
+        }
+        compared += 1;
+        let change = new_v / old_v - 1.0;
+        let regressed = match dir {
+            Direction::LowerIsBetter => change > threshold,
+            Direction::HigherIsBetter => change < -threshold,
+        };
+        let improved = match dir {
+            Direction::LowerIsBetter => change < -threshold,
+            Direction::HigherIsBetter => change > threshold,
+        };
+        if regressed {
+            let line = format!(
+                "REGRESSION  {path}: {} -> {} ({:+.1}%)",
+                render_metric(path, old_v),
+                render_metric(path, *new_v),
+                change * 100.0
+            );
+            println!("{line}");
+            regressions.push(line);
+        } else if improved {
+            println!(
+                "improved    {path}: {} -> {} ({:+.1}%)",
+                render_metric(path, old_v),
+                render_metric(path, *new_v),
+                change * 100.0
+            );
+        }
+    }
+    if regressions.is_empty() {
+        println!(
+            "ok: no regression beyond {:.0}% across {compared} metric(s)",
+            threshold * 100.0
+        );
+        Ok(())
+    } else {
+        Err(CliError::Regression(format!(
+            "{} metric(s) regressed beyond {:.0}%",
+            regressions.len(),
+            threshold * 100.0
+        )))
     }
 }
 

@@ -493,3 +493,229 @@ fn measure_reports_staging_economics() {
     assert!(text.contains("breakeven:      2 uses"), "{text}");
     assert!(text.contains("result:         16"), "{text}");
 }
+
+// The CLI's exit-code contract, shared with main.rs.
+#[path = "../src/exit.rs"]
+mod exit;
+
+/// The consolidated exit-code table in the README must list exactly the
+/// codes `crates/cli/src/exit.rs` defines, row for row.
+#[test]
+fn readme_exit_code_table_matches_the_constants() {
+    let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(readme_path).expect("read README.md");
+    for (code, description) in exit::ALL {
+        let row = format!("| `{code}` | {description} |");
+        assert!(
+            readme.contains(&row),
+            "README exit-code table is missing the row `{row}`"
+        );
+    }
+    // Reserved/unclassified codes must not be advertised.
+    for code in [1u8, 8, 9] {
+        assert!(
+            !readme.contains(&format!("| `{code}` |")),
+            "README advertises unclassified exit code {code}"
+        );
+    }
+}
+
+#[test]
+fn explain_prints_phase_wall_times_to_stderr_only() {
+    let path = write_temp("explain-timing.mc", DOTPROD);
+    let out = dsc(&[
+        "explain",
+        path.to_str().expect("utf8 path"),
+        "--vary",
+        "z1,z2",
+    ]);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("phase caching:"), "{err}");
+    assert!(err.contains("phase total:"), "{err}");
+    // stdout stays byte-deterministic: no wall times leak into it.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("phase total:"), "{text}");
+}
+
+#[test]
+fn serve_publishes_latency_and_streams_traces() {
+    let src = write_temp("serve-obs.mc", DOTPROD);
+    let reqs = write_temp("serve-obs-reqs.txt", REQUESTS);
+    let trace = temp_path("serve-obs-trace.jsonl");
+    let metrics = temp_path("serve-obs-metrics.json");
+
+    let out = dsc(&[
+        "serve",
+        src.to_str().expect("utf8"),
+        "--vary",
+        "z1,z2",
+        "--requests",
+        reqs.to_str().expect("utf8"),
+        "--workers",
+        "2",
+        "--stats-every",
+        "1",
+        "--trace-out",
+        trace.to_str().expect("utf8"),
+        "--metrics-out",
+        metrics.to_str().expect("utf8"),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("latency end-to-end:"), "{text}");
+    assert!(text.contains("throughput:"), "{text}");
+    assert!(text.contains("trace: wrote"), "{text}");
+    // --stats-every heartbeats go to stderr, not stdout.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("serve: 3/3 requests"), "{err}");
+    assert!(!text.contains("serve: 3/3 requests"), "{text}");
+
+    // The trace stream: a versioned envelope header, then one compact
+    // event per request, globally ordered by sequence number.
+    let stream = std::fs::read_to_string(&trace).expect("trace file written");
+    let mut lines = stream.lines();
+    let header = ds_telemetry::parse(lines.next().expect("header line")).expect("header parses");
+    assert_eq!(
+        ds_telemetry::validate_envelope(&header).expect("valid envelope"),
+        "trace"
+    );
+    assert_eq!(header.get("events").unwrap().as_u64(), Some(3));
+    let events: Vec<ds_telemetry::Json> = lines
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| ds_telemetry::parse(l).expect("event parses"))
+        .collect();
+    assert_eq!(events.len(), 3);
+    for (i, ev) in events.iter().enumerate() {
+        assert_eq!(
+            ev.get("seq").unwrap().as_u64(),
+            Some(i as u64),
+            "global order"
+        );
+        let outcome = ev.get("outcome").unwrap().as_str().unwrap();
+        assert!(
+            ["warm", "store_hit", "load", "fallback", "error"].contains(&outcome),
+            "unknown outcome `{outcome}`"
+        );
+        assert!(ev.get("total_nanos").unwrap().as_u64().is_some());
+        assert!(ev.get("stages").unwrap().as_arr().is_some());
+        // Fingerprints travel as 16-digit hex strings (u64 > f64).
+        let fp = ev
+            .get("inputs_fp")
+            .unwrap()
+            .as_str()
+            .expect("hex fingerprint");
+        assert_eq!(fp.len(), 16, "{fp}");
+        assert!(u64::from_str_radix(fp, 16).is_ok(), "{fp}");
+    }
+
+    // Acceptance: the envelope's `latency` section is the exact merge of
+    // the per-worker histograms it publishes alongside.
+    let doc = ds_telemetry::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(
+        ds_telemetry::validate_envelope(&doc).expect("valid envelope"),
+        "serve"
+    );
+    let latency = ds_telemetry::Timing::from_json(doc.get("latency").expect("latency section"))
+        .expect("latency parses");
+    let workers = doc
+        .get("worker_latency")
+        .and_then(|j| j.as_arr())
+        .expect("worker_latency array");
+    assert_eq!(workers.len(), 2);
+    let mut refolded = ds_telemetry::Timing::default();
+    for w in workers {
+        refolded.merge(&ds_telemetry::Timing::from_json(w).expect("worker timing parses"));
+    }
+    assert_eq!(
+        refolded, latency,
+        "latency section must be the exact merge of worker_latency"
+    );
+    assert_eq!(latency.total.count(), 3);
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn report_summarizes_and_compare_gates_regressions() {
+    let src = write_temp("report.mc", DOTPROD);
+    let reqs = write_temp("report-reqs.txt", REQUESTS);
+    let metrics = temp_path("report-metrics.json");
+    let trace = temp_path("report-trace.jsonl");
+
+    let out = dsc(&[
+        "serve",
+        src.to_str().expect("utf8"),
+        "--vary",
+        "z1,z2",
+        "--requests",
+        reqs.to_str().expect("utf8"),
+        "--trace-out",
+        trace.to_str().expect("utf8"),
+        "--metrics-out",
+        metrics.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success());
+
+    // Summaries: serve envelope and trace JSONL both render.
+    let out = dsc(&[
+        "report",
+        metrics.to_str().expect("utf8"),
+        trace.to_str().expect("utf8"),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kind: serve"), "{text}");
+    assert!(text.contains("kind: trace"), "{text}");
+    assert!(text.contains("store hit rate"), "{text}");
+    assert!(text.contains("latency.end_to_end.p99_nanos"), "{text}");
+    assert!(text.contains("outcome load"), "{text}");
+
+    // Comparing a run against itself never regresses.
+    let m = metrics.to_str().expect("utf8");
+    let out = dsc(&["report", "--compare", m, m]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok: no regression"));
+
+    // An injected slowdown beyond the threshold exits 7 and names the
+    // regressed metric.
+    let slowed = std::fs::read_to_string(&metrics)
+        .unwrap()
+        .replace("\"p99_nanos\": ", "\"p99_nanos\": 9");
+    let regressed = temp_path("report-regressed.json");
+    std::fs::write(&regressed, slowed).unwrap();
+    let out = dsc(&["report", "--compare", m, regressed.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(7), "regression must exit 7");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REGRESSION"), "{text}");
+    assert!(text.contains("p99_nanos"), "{text}");
+
+    // ...but a loosened threshold lets the same diff pass.
+    let out = dsc(&[
+        "report",
+        "--compare",
+        m,
+        regressed.to_str().expect("utf8"),
+        "--threshold",
+        "1000",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // Misuse is a usage error, not a crash.
+    assert_eq!(dsc(&["report"]).status.code(), Some(2));
+    assert_eq!(dsc(&["report", "--compare", m]).status.code(), Some(2));
+    assert_eq!(dsc(&["report", "/nonexistent.json"]).status.code(), Some(2));
+
+    let _ = std::fs::remove_file(&metrics);
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&regressed);
+}

@@ -81,6 +81,7 @@ pub mod recovery;
 pub mod runner;
 pub mod session;
 pub mod store;
+pub mod timing;
 pub mod wal;
 
 pub use artifact::StagedArtifact;
@@ -94,6 +95,7 @@ pub use recovery::{recover, recover_or_degrade, Recovery};
 pub use runner::{Policy, RunnerOptions, RunnerStats, StagedRunner};
 pub use session::Session;
 pub use store::{CacheStore, StoreEntry};
+pub use timing::{RequestOutcome, RequestTrace};
 pub use wal::{
     scan_log, FileWalStorage, LogScan, MemWalStorage, Wal, WalOp, WalRecord, WalStorage,
 };

@@ -263,6 +263,24 @@ impl StagedRunner {
         self.session.stats()
     }
 
+    /// Serving-path latency histograms (see [`Session::timing`]) — a
+    /// nondeterministic side-channel, never part of [`RunnerStats`].
+    pub fn timing(&self) -> &ds_telemetry::Timing {
+        self.session.timing()
+    }
+
+    /// Enables or disables per-request trace collection (see
+    /// [`Session::set_tracing`]).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.session.set_tracing(on);
+    }
+
+    /// Drains the traces collected since the last call (see
+    /// [`Session::take_traces`]).
+    pub fn take_traces(&mut self) -> Vec<crate::timing::RequestTrace> {
+        self.session.take_traces()
+    }
+
     /// Attaches a shared write-ahead log (see [`Session::attach_wal`]).
     pub fn attach_wal(&mut self, wal: Arc<crate::wal::Wal>) {
         self.session.attach_wal(wal);
@@ -563,6 +581,35 @@ mod tests {
             merged.profile.store_misses,
             r1.stats().profile.store_misses + r2.stats().profile.store_misses
         );
+    }
+
+    #[test]
+    fn timing_records_every_request_and_stays_out_of_stats() {
+        let mut r = dotprod_runner(RunnerOptions::default());
+        r.set_tracing(true);
+        r.run(&argv(3.0, 6.0)).unwrap(); // cold load
+        r.run(&argv(4.0, 7.0)).unwrap(); // warm read
+        r.run(&argv_fixed(9.0, 3.0, 6.0)).unwrap(); // fp switch: miss + load
+        let t = r.timing().clone();
+        assert_eq!(t.total.count(), 3, "one end-to-end sample per request");
+        assert_eq!(t.stage("load").unwrap().count(), 2);
+        assert_eq!(t.stage("read").unwrap().count(), 1);
+        assert_eq!(t.stage("store_probe").unwrap().count(), 2);
+        assert_eq!(t.stage("validate").unwrap().count(), 1);
+        // The stats export carries no timing: wall time is nondeterministic
+        // and the parity suites require stats to be engine-invariant.
+        let doc = r.stats().to_json().pretty();
+        assert!(!doc.contains("nanos"), "timing leaked into stats: {doc}");
+
+        let traces = r.take_traces();
+        let outcomes: Vec<_> = traces.iter().map(|t| t.outcome.as_str()).collect();
+        assert_eq!(outcomes, ["load", "warm", "load"]);
+        assert_eq!(traces[1].seq, 1);
+        assert!(traces[1].stages.iter().any(|(s, _)| *s == "read"));
+        assert!(r.take_traces().is_empty(), "take drains");
+        // Timing round-trips through JSON losslessly.
+        let back = ds_telemetry::Timing::from_json(&t.to_json()).expect("round trip");
+        assert_eq!(back, t);
     }
 
     #[test]

@@ -29,9 +29,12 @@ use crate::fault::{Fault, FaultInjector};
 use crate::recovery::Recovery;
 use crate::runner::{Policy, RunnerOptions, RunnerStats};
 use crate::store::{CacheStore, StoreEntry};
+use crate::timing::{RequestOutcome, RequestTrace};
 use crate::wal::{Wal, WalOp};
 use ds_interp::{CacheBuf, EvalError, Evaluator, Outcome, Value, Vm, WriteFault};
+use ds_telemetry::Timing;
 use std::sync::Arc;
+use std::time::Instant;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CacheState {
@@ -78,6 +81,19 @@ pub struct Session {
     /// and invalidation is logged before the request is acknowledged.
     wal: Option<Arc<Wal>>,
     stats: RunnerStats,
+    /// Serving-path latency histograms. Wall time is nondeterministic, so
+    /// this is a side-channel beside `stats` — it is never merged into the
+    /// [`RunnerStats`]/`Profile` exports the parity suites gate on.
+    timing: Timing,
+    /// Stage timings of the request currently being served, in execution
+    /// order; drained into `timing` (and the trace, when enabled) at the
+    /// end of each `run`.
+    req_stages: Vec<(&'static str, u64)>,
+    /// When `true`, every request also appends a [`RequestTrace`].
+    tracing: bool,
+    traces: Vec<RequestTrace>,
+    /// Local 0-based serve order, stamped on traces.
+    seq: u64,
 }
 
 impl Session {
@@ -95,6 +111,11 @@ impl Session {
             pending: None,
             wal: None,
             stats: RunnerStats::default(),
+            timing: Timing::new(),
+            req_stages: Vec::new(),
+            tracing: false,
+            traces: Vec::new(),
+            seq: 0,
         }
     }
 
@@ -147,6 +168,28 @@ impl Session {
     /// Robustness statistics accumulated so far.
     pub fn stats(&self) -> &RunnerStats {
         &self.stats
+    }
+
+    /// Serving-path latency histograms accumulated so far (end-to-end plus
+    /// per-stage). A nondeterministic side-channel: never part of
+    /// [`Session::stats`] or any parity-gated export. Merge per-worker
+    /// timings with [`Timing::merge`].
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    /// Enables or disables per-request trace collection (off by default —
+    /// traces allocate per request, histograms do not).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Drains the traces collected since the last call (empty unless
+    /// [`Session::set_tracing`] was enabled). `seq` is this session's
+    /// local serve order; multi-worker drivers rebase it to the global
+    /// request index.
+    pub fn take_traces(&mut self) -> Vec<RequestTrace> {
+        std::mem::take(&mut self.traces)
     }
 
     /// Whether the session's local cache is warm (loaded and sealed).
@@ -204,6 +247,16 @@ impl Session {
     /// is either the reference answer or one of these.
     pub fn run(&mut self, args: &[Value]) -> Result<Outcome, RuntimeError> {
         self.stats.requests += 1;
+        let started = Instant::now();
+        self.req_stages.clear();
+        // Lifecycle counters before dispatch; the deltas classify how this
+        // request was served without threading state through the recursive
+        // lifecycle (`serve_warm` → `recover` → `reload` → `fallback`).
+        let (loads0, hits0, fallbacks0) = (
+            self.stats.loads,
+            self.stats.profile.store_hits,
+            self.stats.profile.fallbacks,
+        );
         let fp = self.artifact.inputs_fingerprint(args);
         // A pending buffer fault strikes a warm cache before validation.
         if self.is_warm() {
@@ -212,12 +265,39 @@ impl Session {
                 self.cache.truncate(n);
             }
         }
-        match self.state {
+        let result = match self.state {
             CacheState::Warm { inputs_fp, seal } if inputs_fp == fp => {
                 self.serve_warm(args, fp, seal)
             }
             _ => self.fetch(args, fp),
+        };
+        let total_nanos = started.elapsed().as_nanos() as u64;
+        self.timing.record_total(total_nanos);
+        for (stage, nanos) in &self.req_stages {
+            self.timing.record_stage(stage, *nanos);
         }
+        if self.tracing {
+            let outcome = if result.is_err() {
+                RequestOutcome::Error
+            } else if self.stats.profile.fallbacks > fallbacks0 {
+                RequestOutcome::Fallback
+            } else if self.stats.loads > loads0 {
+                RequestOutcome::Load
+            } else if self.stats.profile.store_hits > hits0 {
+                RequestOutcome::StoreHit
+            } else {
+                RequestOutcome::Warm
+            };
+            self.traces.push(RequestTrace {
+                seq: self.seq,
+                inputs_fp: fp,
+                outcome,
+                total_nanos,
+                stages: std::mem::take(&mut self.req_stages),
+            });
+        }
+        self.seq += 1;
+        result
     }
 
     /// The reference oracle: the fragment, tree-walked, uncached.
@@ -305,10 +385,18 @@ impl Session {
         let Some(wal) = &self.wal else {
             return Ok(());
         };
-        wal.append(op).map_err(RuntimeError::Wal)?;
+        let t = Instant::now();
+        let appended = wal.append(op);
+        self.req_stages
+            .push(("wal_append", t.elapsed().as_nanos() as u64));
+        appended.map_err(RuntimeError::Wal)?;
         self.stats.profile.wal_appends += 1;
         if wal.checkpoint_due() {
-            wal.checkpoint(&self.store).map_err(RuntimeError::Wal)?;
+            let t = Instant::now();
+            let ck = wal.checkpoint(&self.store);
+            self.req_stages
+                .push(("checkpoint", t.elapsed().as_nanos() as u64));
+            ck.map_err(RuntimeError::Wal)?;
         }
         Ok(())
     }
@@ -350,7 +438,11 @@ impl Session {
     /// invalidates the fingerprint everywhere (locally and in the store)
     /// before the policy decides.
     fn serve_warm(&mut self, args: &[Value], fp: u64, seal: u64) -> Result<Outcome, RuntimeError> {
-        if let Err(ie) = self.validate(seal) {
+        let t = Instant::now();
+        let validated = self.validate(seal);
+        self.req_stages
+            .push(("validate", t.elapsed().as_nanos() as u64));
+        if let Err(ie) = validated {
             self.stats.profile.validation_failures += 1;
             self.state = CacheState::Cold;
             self.store.invalidate(fp);
@@ -360,7 +452,11 @@ impl Session {
             return self.recover(args, fp, RuntimeError::Integrity(ie));
         }
         let fuel = self.take_fuel();
-        match self.exec(Stage::Reader, args, fuel) {
+        let t = Instant::now();
+        let read = self.exec(Stage::Reader, args, fuel);
+        self.req_stages
+            .push(("read", t.elapsed().as_nanos() as u64));
+        match read {
             Ok(out) => Ok(out),
             Err(e) => {
                 self.stats.reader_failures += 1;
@@ -373,7 +469,11 @@ impl Session {
     /// store before paying for a loader run.
     fn fetch(&mut self, args: &[Value], fp: u64) -> Result<Outcome, RuntimeError> {
         let was_warm = self.is_warm();
-        if let Some(entry) = self.store.get(fp) {
+        let t = Instant::now();
+        let probed = self.store.get(fp);
+        self.req_stages
+            .push(("store_probe", t.elapsed().as_nanos() as u64));
+        if let Some(entry) = probed {
             self.stats.profile.store_hits += 1;
             self.cache = entry.cache;
             self.state = CacheState::Warm {
@@ -413,7 +513,11 @@ impl Session {
             self.cache.arm_write_fault(wf);
         }
         let fuel = self.take_fuel();
-        match self.exec(Stage::Loader, args, fuel) {
+        let t = Instant::now();
+        let loaded = self.exec(Stage::Loader, args, fuel);
+        self.req_stages
+            .push(("load", t.elapsed().as_nanos() as u64));
+        match loaded {
             Ok(out) => {
                 let seal = self.cache.content_hash();
                 self.state = CacheState::Warm {
@@ -491,8 +595,11 @@ impl Session {
     /// Last resort: evaluate the unspecialized fragment for this request.
     fn fallback(&mut self, args: &[Value]) -> Result<Outcome, RuntimeError> {
         self.stats.profile.fallbacks += 1;
-        self.exec(Stage::Fragment, args, None)
-            .map_err(RuntimeError::Eval)
+        let t = Instant::now();
+        let out = self.exec(Stage::Fragment, args, None);
+        self.req_stages
+            .push(("fallback", t.elapsed().as_nanos() as u64));
+        out.map_err(RuntimeError::Eval)
     }
 
     fn exec(

@@ -82,6 +82,54 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no whitespace — the JSONL form
+    /// used by per-request trace streams, where one document per line is
+    /// the framing.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, level: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -503,6 +551,25 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "accepted malformed `{bad}`");
         }
+    }
+
+    #[test]
+    fn compact_is_single_line_and_parses_back() {
+        let v = Json::obj([
+            ("name", Json::from("dot\"prod\n")),
+            ("xs", Json::Arr(vec![Json::Num(1.0), Json::Null])),
+            ("nested", Json::obj([("ok", Json::Bool(true))])),
+            ("empty_obj", Json::Obj(vec![])),
+            ("empty_arr", Json::Arr(vec![])),
+        ]);
+        let line = v.compact();
+        assert!(!line.contains('\n'), "{line}");
+        assert!(!line.contains(": "), "{line}");
+        assert_eq!(parse(&line).expect("parse"), v);
+        assert_eq!(
+            Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)]).compact(),
+            "[1,2]"
+        );
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! * [`envelope`] / [`validate_envelope`] — the versioned document frame
 //!   (`schema` + `version` fields) every exported metrics file carries;
 //! * [`hash`] — FNV-1a 64 fingerprinting shared by layout fingerprints,
-//!   cache-content hashes and cache-file checksums (ds-runtime).
+//!   cache-content hashes and cache-file checksums (ds-runtime);
+//! * [`LatencyHist`] / [`Timing`] — mergeable log2-bucket latency
+//!   histograms for the *serving* path. Wall time is nondeterministic, so
+//!   it travels in this side-channel beside the deterministic metrics
+//!   `Profile`, never inside it (the parity suites depend on that split).
 //!
 //! The crate is a leaf: it depends on nothing, so the interpreter, the
 //! specializer, the CLI and the bench harness can all speak it without
@@ -31,11 +35,13 @@
 
 pub mod event;
 pub mod hash;
+pub mod hist;
 pub mod json;
 pub mod span;
 
 pub use event::TraceEvent;
 pub use hash::{fnv1a_64, Fnv64};
+pub use hist::{format_nanos, LatencyHist, Timing};
 pub use json::{parse, Json, JsonError};
 pub use span::{PhaseSpan, SpecReport};
 

@@ -496,3 +496,98 @@ pub fn degenerate_partitions(gen: &GenProgram, base: &[Value]) -> CaseResult {
     );
     Ok(())
 }
+
+// ----- serving-observability properties (tier-1: prop_smoke) -----------
+
+use ds_telemetry::LatencyHist;
+
+/// Largest sample the histogram properties generate: below 2^53 every
+/// count and every recorded maximum is exactly representable as an f64,
+/// so the JSON text round-trip is lossless by construction.
+pub const MAX_HIST_SAMPLE: u64 = (1u64 << 53) - 1;
+
+fn hist_of(samples: &[u64]) -> LatencyHist {
+    let mut h = LatencyHist::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Merging is exact sample concatenation: counts add, the maximum is the
+/// maximum of the parts, and every quantile of the merge equals the
+/// quantile of recording both sample sets into one histogram.
+pub fn hist_merge_preserves_samples(a: &[u64], b: &[u64]) -> CaseResult {
+    let mut merged = hist_of(a);
+    merged.merge(&hist_of(b));
+    let both: Vec<u64> = a.iter().chain(b).copied().collect();
+    let direct = hist_of(&both);
+    prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+    prop_assert_eq!(&merged, &direct, "merge != recording the concatenation");
+    Ok(())
+}
+
+/// Merge is associative and commutative — the order in which `dsc serve`
+/// folds its per-worker histograms cannot change the published latency.
+pub fn hist_merge_associative_commutative(a: &[u64], b: &[u64], c: &[u64]) -> CaseResult {
+    let (ha, hb, hc) = (hist_of(a), hist_of(b), hist_of(c));
+
+    let mut ab_c = ha.clone();
+    ab_c.merge(&hb);
+    ab_c.merge(&hc);
+
+    let mut bc = hb.clone();
+    bc.merge(&hc);
+    let mut a_bc = ha.clone();
+    a_bc.merge(&bc);
+
+    let mut cba = hc.clone();
+    cba.merge(&hb);
+    cba.merge(&ha);
+
+    prop_assert_eq!(&ab_c, &a_bc, "merge is not associative");
+    prop_assert_eq!(&ab_c, &cba, "merge is not commutative");
+    Ok(())
+}
+
+/// Quantiles are monotone in `q`, never exceed the recorded maximum, and
+/// never undershoot a bucket: each reported value is at least the largest
+/// sample's bucket lower bound.
+pub fn hist_quantiles_monotone(samples: &[u64]) -> CaseResult {
+    let h = hist_of(samples);
+    if samples.is_empty() {
+        prop_assert_eq!(h.quantile(0.5), 0);
+        return Ok(());
+    }
+    let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+    for w in qs.windows(2) {
+        prop_assert!(
+            h.quantile(w[0]) <= h.quantile(w[1]),
+            "quantile not monotone: q{}={} > q{}={}",
+            w[0],
+            h.quantile(w[0]),
+            w[1],
+            h.quantile(w[1])
+        );
+    }
+    let max = *samples.iter().max().expect("nonempty");
+    prop_assert_eq!(h.max(), max);
+    for q in qs {
+        prop_assert!(h.quantile(q) <= max, "quantile exceeds the exact maximum");
+    }
+    prop_assert_eq!(h.quantile(1.0), max, "q=1.0 must be the exact maximum");
+    Ok(())
+}
+
+/// JSON round-trip is lossless: `from_json(to_json(h)) == h`, through
+/// both the raw object and its rendered text.
+pub fn hist_json_round_trip(samples: &[u64]) -> CaseResult {
+    let h = hist_of(samples);
+    let back = LatencyHist::from_json(&h.to_json()).expect("round trip parses");
+    prop_assert_eq!(&back, &h, "object round trip lost information");
+    let text = h.to_json().pretty();
+    let reparsed = ds_telemetry::parse(&text).expect("rendered JSON parses");
+    let back2 = LatencyHist::from_json(&reparsed).expect("text round trip parses");
+    prop_assert_eq!(&back2, &h, "text round trip lost information");
+    Ok(())
+}

@@ -273,3 +273,84 @@ fn faults_in_one_worker_never_tear_the_shared_store() {
         }
     }
 }
+
+/// The acceptance contract of the serve envelope's `latency` section:
+/// the published merged `Timing` is the *exact* bucket-wise merge of the
+/// per-worker histograms — independent of fold order, and reconstructible
+/// from the serialized `worker_latency` parts alone.
+#[test]
+fn merged_latency_is_the_exact_merge_of_worker_histograms() {
+    let art = artifact();
+    let stream = mixed_stream(96, 4);
+    let opts = opts_for(Engine::Tree, 8);
+    let store = Arc::new(CacheStore::new(8));
+    let workers = 3;
+    let chunk = stream.len().div_ceil(workers);
+    let timings: Vec<ds_telemetry::Timing> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stream
+            .chunks(chunk)
+            .map(|batch| {
+                let mut session = Session::new(Arc::clone(&art), Arc::clone(&store), opts);
+                scope.spawn(move || {
+                    for args in batch {
+                        session.run(args).expect("request");
+                    }
+                    session.timing().clone()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    // Merge exactly as `dsc serve` does (worker order)...
+    let mut merged = ds_telemetry::Timing::default();
+    for t in &timings {
+        merged.merge(t);
+    }
+    // ...and in reverse order: bucket-wise addition must not care.
+    let mut reversed = ds_telemetry::Timing::default();
+    for t in timings.iter().rev() {
+        reversed.merge(t);
+    }
+    assert_eq!(merged, reversed, "merge must be order-independent");
+
+    // Every request lands in exactly one worker's end-to-end histogram,
+    // and the merged counts are the per-worker sums, stage by stage.
+    assert_eq!(merged.total.count(), stream.len() as u64);
+    assert_eq!(
+        merged.total.count(),
+        timings.iter().map(|t| t.total.count()).sum::<u64>()
+    );
+    for (stage, hist) in &merged.stages {
+        let sum: u64 = timings
+            .iter()
+            .filter_map(|t| t.stage(stage))
+            .map(|h| h.count())
+            .sum();
+        assert_eq!(
+            hist.count(),
+            sum,
+            "stage `{stage}` count is not the worker sum"
+        );
+    }
+    assert_eq!(
+        merged.total.max(),
+        timings.iter().map(|t| t.total.max()).max().unwrap_or(0)
+    );
+
+    // The envelope's `latency` section must be reconstructible from its
+    // serialized `worker_latency` parts alone — the exact merge, through
+    // the JSON round-trip `dsc report` consumes.
+    let mut refolded = ds_telemetry::Timing::default();
+    for t in &timings {
+        let part = ds_telemetry::Timing::from_json(&t.to_json()).expect("worker round trip");
+        refolded.merge(&part);
+    }
+    assert_eq!(
+        refolded, merged,
+        "latency section is not the exact merge of the serialized worker histograms"
+    );
+}

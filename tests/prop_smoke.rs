@@ -111,4 +111,40 @@ proptest! {
     fn smoke_degenerate_partitions(gen in arb_program(), base in arb_args()) {
         props::degenerate_partitions(&gen, &base)?;
     }
+
+    // --- serving-observability histogram properties --------------------
+    // Samples stay below 2^53 (`MAX_HIST_SAMPLE`) so every value is
+    // exactly representable in the dependency-free JSON layer's f64
+    // numbers and the round-trip property is meaningful.
+
+    #[test]
+    fn smoke_hist_merge_preserves_samples(
+        a in proptest::collection::vec(0..=props::MAX_HIST_SAMPLE, 0..48),
+        b in proptest::collection::vec(0..=props::MAX_HIST_SAMPLE, 0..48),
+    ) {
+        props::hist_merge_preserves_samples(&a, &b)?;
+    }
+
+    #[test]
+    fn smoke_hist_merge_associative_commutative(
+        a in proptest::collection::vec(0..=props::MAX_HIST_SAMPLE, 0..32),
+        b in proptest::collection::vec(0..=props::MAX_HIST_SAMPLE, 0..32),
+        c in proptest::collection::vec(0..=props::MAX_HIST_SAMPLE, 0..32),
+    ) {
+        props::hist_merge_associative_commutative(&a, &b, &c)?;
+    }
+
+    #[test]
+    fn smoke_hist_quantiles_monotone(
+        samples in proptest::collection::vec(0..=props::MAX_HIST_SAMPLE, 0..64),
+    ) {
+        props::hist_quantiles_monotone(&samples)?;
+    }
+
+    #[test]
+    fn smoke_hist_json_round_trip(
+        samples in proptest::collection::vec(0..=props::MAX_HIST_SAMPLE, 0..64),
+    ) {
+        props::hist_json_round_trip(&samples)?;
+    }
 }
