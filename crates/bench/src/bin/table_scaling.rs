@@ -59,6 +59,8 @@ fn serve_doc(
                     ("wal_off_ms", Json::from(p.wal_off_nanos as f64 / 1e6)),
                     ("wal_on_ms", Json::from(p.wal_on_nanos as f64 / 1e6)),
                     ("overhead", Json::from(p.overhead)),
+                    ("grouped_ms", Json::from(p.grouped_nanos as f64 / 1e6)),
+                    ("grouped_overhead", Json::from(p.grouped_overhead)),
                     ("wal_appends", Json::from(p.wal_appends)),
                     ("answers_match", Json::Bool(p.answers_match)),
                 ])
@@ -155,6 +157,8 @@ fn main() {
         "wal off ms".to_string(),
         "wal on ms".to_string(),
         "overhead".to_string(),
+        "grouped ms".to_string(),
+        "grouped".to_string(),
         "appends".to_string(),
         "answers".to_string(),
     ]];
@@ -164,6 +168,8 @@ fn main() {
             f(p.wal_off_nanos as f64 / 1e6, 2),
             f(p.wal_on_nanos as f64 / 1e6, 2),
             format!("{}x", f(p.overhead, 2)),
+            f(p.grouped_nanos as f64 / 1e6, 2),
+            format!("{}x", f(p.grouped_overhead, 2)),
             p.wal_appends.to_string(),
             if p.answers_match { "ok" } else { "MISMATCH" }.to_string(),
         ]);

@@ -487,6 +487,13 @@ pub struct WalOverheadPoint {
     pub wal_on_nanos: u128,
     /// `wal_on / wal_off` wall-clock ratio (1.0 = the log is free).
     pub overhead: f64,
+    /// Wall-clock nanoseconds with the same log under group commit
+    /// (records buffered and flushed in 16-record batches, final flush
+    /// included in the timing).
+    pub grouped_nanos: u128,
+    /// `grouped / wal_off` wall-clock ratio — the durability cost once
+    /// flushes are batched.
+    pub grouped_overhead: f64,
     /// Records the logged run appended.
     pub wal_appends: u64,
     /// Whether both runs' answers matched the tree-walked reference.
@@ -539,14 +546,20 @@ pub fn exp_wal_overhead(requests: usize) -> Vec<WalOverheadPoint> {
             };
             let timed = |wal: Option<Arc<ds_runtime::Wal>>| {
                 let mut runner = ds_runtime::StagedRunner::new(&spec, &part, ropts);
-                if let Some(wal) = wal {
-                    runner.attach_wal(wal);
+                if let Some(wal) = &wal {
+                    runner.attach_wal(Arc::clone(wal));
                 }
                 let started = std::time::Instant::now();
                 let answers: Vec<Option<Value>> = stream
                     .iter()
                     .map(|args| runner.run(args).expect("staged request").value)
                     .collect();
+                // Durability is only real once buffered records hit
+                // storage, so a group-commit run pays its final flush
+                // inside the timed region.
+                if let Some(wal) = &wal {
+                    wal.flush().expect("final flush");
+                }
                 let elapsed = started.elapsed().as_nanos();
                 (elapsed, answers == reference, runner.stats().wal_appends())
             };
@@ -556,14 +569,22 @@ pub fn exp_wal_overhead(requests: usize) -> Vec<WalOverheadPoint> {
                 Some(8),
             ));
             let (on_nanos, on_ok, appends) = timed(Some(wal));
+            let grouped_wal = Arc::new(ds_runtime::Wal::in_memory(
+                spec.layout.fingerprint(),
+                Some(8),
+            ));
+            grouped_wal.set_group_commit(16);
+            let (grouped_nanos, grouped_ok, _) = timed(Some(grouped_wal));
             WalOverheadPoint {
                 churn_interval: interval,
                 requests,
                 wal_off_nanos: off_nanos,
                 wal_on_nanos: on_nanos,
                 overhead: on_nanos as f64 / off_nanos.max(1) as f64,
+                grouped_nanos,
+                grouped_overhead: grouped_nanos as f64 / off_nanos.max(1) as f64,
                 wal_appends: appends,
-                answers_match: off_ok && on_ok,
+                answers_match: off_ok && on_ok && grouped_ok,
             }
         })
         .collect()
@@ -739,6 +760,7 @@ mod tests {
             assert!(p.answers_match, "{p:?}: durability cost a wrong answer");
             assert!(p.wal_appends > 0, "{p:?}: nothing reached the log");
             assert!(p.overhead > 0.0, "{p:?}");
+            assert!(p.grouped_overhead > 0.0, "{p:?}");
         }
         // Churn on every request logs one install per request; rarer
         // churn appends (much) less.

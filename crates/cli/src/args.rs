@@ -53,6 +53,10 @@ const VALUE_OPTIONS: &[&str] = &[
     "trace-out",
     "stats-every",
     "threshold",
+    "deadline-ms",
+    "max-queue",
+    "admission",
+    "group-commit",
 ];
 
 /// Parses raw arguments (excluding the program name).
@@ -86,6 +90,7 @@ pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, UsageError>
                 "explain",
                 "sexpr",
                 "compare",
+                "listen",
             ]
             .contains(&key)
             {
@@ -341,6 +346,57 @@ impl Args {
         }
     }
 
+    /// `--deadline-ms N`: per-request deadline for `serve --listen`
+    /// (`None` disables deadline enforcement).
+    pub fn deadline_ms(&self) -> Result<Option<u64>, UsageError> {
+        match self.options.get("deadline-ms") {
+            None => Ok(None),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(UsageError(format!(
+                    "--deadline-ms expects a millisecond count >= 1, got `{v}`"
+                ))),
+            },
+        }
+    }
+
+    /// `--max-queue N`: bounded queue capacity for `serve --listen`;
+    /// requests beyond it are shed (default 64).
+    pub fn max_queue(&self) -> Result<usize, UsageError> {
+        match self.options.get("max-queue") {
+            None => Ok(64),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(UsageError(format!(
+                    "--max-queue expects a queue capacity >= 1, got `{v}`"
+                ))),
+            },
+        }
+    }
+
+    /// `--admission always|auto|N`: when `serve --listen` specializes a
+    /// fingerprint (default `auto`, the §4.3 cost-model breakeven).
+    pub fn admission(&self) -> Result<ds_runtime::Admission, UsageError> {
+        match self.options.get("admission") {
+            None => Ok(ds_runtime::Admission::Auto),
+            Some(v) => v.parse().map_err(UsageError),
+        }
+    }
+
+    /// `--group-commit N`: write-ahead-log appends buffered into one
+    /// flush (default 1 = flush every append, the legacy behaviour).
+    pub fn group_commit(&self) -> Result<Option<u64>, UsageError> {
+        match self.options.get("group-commit") {
+            None => Ok(None),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(UsageError(format!(
+                    "--group-commit expects an append count >= 1, got `{v}`"
+                ))),
+            },
+        }
+    }
+
     /// `--seed N` for deterministic fault placement (0 by default).
     pub fn seed(&self) -> Result<u64, UsageError> {
         match self.options.get("seed") {
@@ -534,6 +590,54 @@ mod tests {
         assert!(a.threshold().is_err());
         let a = parse_ok(&["report", "--threshold", "zero"]);
         assert!(a.threshold().is_err());
+    }
+
+    #[test]
+    fn daemon_options_parse() {
+        let a = parse_ok(&[
+            "serve",
+            "f.mc",
+            "--listen",
+            "--deadline-ms",
+            "250",
+            "--max-queue",
+            "8",
+            "--admission",
+            "always",
+            "--group-commit",
+            "16",
+        ]);
+        assert!(a.flag("listen"));
+        assert_eq!(a.deadline_ms().unwrap(), Some(250));
+        assert_eq!(a.max_queue().unwrap(), 8);
+        assert_eq!(a.admission().unwrap(), ds_runtime::Admission::Always);
+        assert_eq!(a.group_commit().unwrap(), Some(16));
+
+        let a = parse_ok(&["serve", "f.mc"]);
+        assert!(!a.flag("listen"));
+        assert_eq!(a.deadline_ms().unwrap(), None);
+        assert_eq!(a.max_queue().unwrap(), 64);
+        assert_eq!(a.admission().unwrap(), ds_runtime::Admission::Auto);
+        assert_eq!(a.group_commit().unwrap(), None);
+
+        let a = parse_ok(&["serve", "f.mc", "--admission", "3"]);
+        assert_eq!(a.admission().unwrap(), ds_runtime::Admission::After(3));
+
+        for bad in [
+            ["serve", "f.mc", "--deadline-ms", "0"],
+            ["serve", "f.mc", "--max-queue", "0"],
+            ["serve", "f.mc", "--admission", "sometimes"],
+            ["serve", "f.mc", "--group-commit", "0"],
+        ] {
+            let a = parse_ok(&bad);
+            assert!(
+                a.deadline_ms().is_err()
+                    || a.max_queue().is_err()
+                    || a.admission().is_err()
+                    || a.group_commit().is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

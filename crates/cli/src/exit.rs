@@ -28,6 +28,17 @@ pub const CRASHED: u8 = 6;
 /// threshold.
 pub const REGRESSION: u8 = 7;
 
+/// The serving daemon shed at least one request on a full queue
+/// (`--max-queue`).
+pub const OVERLOAD: u8 = 8;
+
+/// At least one request exceeded its `--deadline-ms` deadline.
+pub const DEADLINE: u8 = 9;
+
+/// At least one request arrived while the daemon was draining and was
+/// rejected (the drain itself was clean).
+pub const DRAIN: u8 = 10;
+
 /// Every classified exit code with its README-facing description, for the
 /// README-table drift test.
 #[allow(dead_code)] // consumed by tests/cli.rs, which includes this file via #[path]
@@ -38,4 +49,7 @@ pub const ALL: &[(u8, &str)] = &[
     (INTEGRITY, "cache-integrity violation"),
     (CRASHED, "write-ahead-log writer crashed"),
     (REGRESSION, "performance regression"),
+    (OVERLOAD, "requests shed on a full queue"),
+    (DEADLINE, "requests exceeded their deadline"),
+    (DRAIN, "requests rejected during drain"),
 ];

@@ -43,11 +43,21 @@
 //! and/or runtime robustness counters) as a versioned `ds-telemetry` JSON
 //! document.
 //!
+//! `dsc serve --listen` turns the batch server into an online daemon:
+//! requests stream in over stdin (one argument vector per line), answers
+//! stream out as they complete, and the serving loop is hardened with
+//! single-flight staging latches, §4.3 cost-model admission
+//! (`--admission`), per-request deadlines (`--deadline-ms`), a bounded
+//! queue with load shedding (`--max-queue`) and graceful drain on EOF or
+//! SIGTERM (finish in-flight work, checkpoint the WAL, flush telemetry).
+//!
 //! Exit codes are classified so scripts can tell failure modes apart (see
 //! [`exit`]): `2` usage error, `3` frontend/specialization error, `4`
 //! evaluation error, `5` cache-integrity violation, `6` write-ahead-log
 //! writer crashed (restart with the same `--wal` to recover), `7`
-//! performance regression (`report --compare`).
+//! performance regression (`report --compare`), `8` requests shed on a
+//! full queue, `9` requests exceeded their deadline, `10` requests
+//! rejected during drain.
 
 mod args;
 mod exit;
@@ -86,6 +96,15 @@ enum CliError {
     /// `report --compare` found a performance regression beyond the
     /// threshold (exit 7).
     Regression(String),
+    /// The serving daemon shed at least one request on a full queue
+    /// (exit 8).
+    Overload(String),
+    /// At least one request exceeded its `--deadline-ms` deadline
+    /// (exit 9).
+    Deadline(String),
+    /// At least one request was rejected while the daemon was draining;
+    /// the drain itself completed cleanly (exit 10).
+    Drain(String),
 }
 
 impl CliError {
@@ -97,6 +116,9 @@ impl CliError {
             CliError::Integrity(_) => exit::INTEGRITY,
             CliError::Crashed(_) => exit::CRASHED,
             CliError::Regression(_) => exit::REGRESSION,
+            CliError::Overload(_) => exit::OVERLOAD,
+            CliError::Deadline(_) => exit::DEADLINE,
+            CliError::Drain(_) => exit::DRAIN,
         }
     }
 }
@@ -109,7 +131,10 @@ impl fmt::Display for CliError {
             | CliError::Eval(m)
             | CliError::Integrity(m)
             | CliError::Crashed(m)
-            | CliError::Regression(m) => write!(f, "{m}"),
+            | CliError::Regression(m)
+            | CliError::Overload(m)
+            | CliError::Deadline(m)
+            | CliError::Drain(m) => write!(f, "{m}"),
         }
     }
 }
@@ -138,8 +163,11 @@ USAGE:
               [--engine tree|vm] [--policy fail-fast|rebuild|fallback]
               [--rebuild-budget N] [--workers N] [--store-capacity N]
               [--cache-file PATH] [--wal PATH] [--checkpoint-every N]
-              [--inject FAULT] [--seed N] [--metrics-out PATH]
-              [--trace-out PATH] [--stats-every N]
+              [--group-commit N] [--inject FAULT] [--seed N]
+              [--metrics-out PATH] [--trace-out PATH] [--stats-every N]
+    dsc serve FILE --vary a,b --listen [--workers N] [--max-queue N]
+              [--deadline-ms N] [--admission always|auto|N]
+              [and every batch serve option except --requests]
     dsc report FILE.json [FILE.json ..]
     dsc report --compare OLD.json NEW.json [--threshold F]
     dsc fuzz [--seed N] [--cases N] [--oracle NAME[,NAME..]] [--out PATH]
@@ -170,7 +198,23 @@ request is acknowledged and recovers the store crash-consistently on the
 next start (checkpointing into the `--cache-file` bundle — or
 `PATH.checkpoint` — every `--checkpoint-every N` appends and at clean
 exit); a crashed writer exits 6 and the restart serves every sealed
-cache logged before the crash without re-staging it.
+cache logged before the crash without re-staging it. `--group-commit N`
+batches up to N log appends into one buffered flush (window 1 = flush
+every append); a crash loses at most the buffered suffix, never a
+flushed record.
+`--listen` switches serve to online mode: argument vectors stream in on
+stdin (one per line, `#` comments allowed) and are answered as they
+complete, tagged `[n]` in arrival order. Concurrent first requests for
+one fingerprint coalesce onto a single stager (per-fingerprint latches);
+`--admission` decides when a fingerprint is worth specializing (`auto` =
+the paper's §4.3 breakeven from calibrated costs, `always`, or a fixed
+use count) — below breakeven a request is served by the unspecialized
+fragment, bit-identically. `--max-queue N` bounds the request queue
+(overflow is shed with a typed error, exit 8), `--deadline-ms N` fails
+requests that cannot be answered in time (never partially, exit 9), and
+EOF or SIGTERM drains gracefully: no new admissions (late arrivals exit
+10), in-flight and queued requests finish, the WAL is checkpointed and
+the telemetry envelope flushed before exit.
 `--metrics-out PATH` writes a versioned ds-telemetry JSON document with
 the run's execution profiles and/or specialization report; for `serve` it
 includes a `latency` section (end-to-end and per-stage p50/p90/p99 from
@@ -190,7 +234,8 @@ written to `--out` as a reproducer file, which `--replay` re-checks.
 Exit codes: 0 success, 2 usage error, 3 frontend/specialization error,
 4 evaluation error, 5 cache-integrity violation, 6 write-ahead-log
 writer crashed (restart with the same --wal to recover), 7 performance
-regression (report --compare).";
+regression (report --compare), 8 requests shed on a full queue, 9
+requests exceeded their deadline, 10 requests rejected during drain.";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -584,18 +629,73 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
 /// envelope. The exit code reports the worst thing that happened: `5` for
 /// any integrity violation, `4` for any evaluation failure, `0` when every
 /// request was served.
-fn cmd_serve(args: &Args) -> Result<(), CliError> {
+/// Everything batch `serve` and `serve --listen` share: the specialized
+/// artifact, the shared polyvariant store, WAL recovery (with group
+/// commit), cache-file adoption and deterministic fault arming.
+struct ServeSetup {
+    entry: String,
+    vary: Vec<String>,
+    engine: ds_interp::Engine,
+    policy: ds_runtime::Policy,
+    ropts: ds_runtime::RunnerOptions,
+    artifact: Arc<StagedArtifact>,
+    store: Arc<CacheStore>,
+    wal: Option<Arc<ds_runtime::Wal>>,
+    bootstrap: Session,
+    mem_fault: Option<Fault>,
+    seed: u64,
+    /// Integrity violations found during setup (rejected cache file or
+    /// checkpoint), already counted toward the exit classification.
+    integrity_errors: u64,
+}
+
+/// Maps the serve outcome counters onto the classified exit codes, most
+/// severe first: crashed writer > integrity > evaluation > shed requests
+/// > missed deadlines > drain rejections > success.
+fn serve_exit(
+    crashed: bool,
+    integrity_errors: u64,
+    eval_errors: u64,
+    shed: u64,
+    deadline_missed: u64,
+    drain_rejected: u64,
+) -> Result<(), CliError> {
+    if crashed {
+        Err(CliError::Crashed(
+            "write-ahead-log writer crashed; restart with the same --wal to recover".into(),
+        ))
+    } else if integrity_errors > 0 {
+        Err(CliError::Integrity(format!(
+            "{integrity_errors} cache-integrity violation(s) during serve"
+        )))
+    } else if eval_errors > 0 {
+        Err(CliError::Eval(format!(
+            "{eval_errors} request(s) failed during serve"
+        )))
+    } else if shed > 0 {
+        Err(CliError::Overload(format!(
+            "{shed} request(s) shed on a full queue"
+        )))
+    } else if deadline_missed > 0 {
+        Err(CliError::Deadline(format!(
+            "{deadline_missed} request(s) exceeded their deadline"
+        )))
+    } else if drain_rejected > 0 {
+        Err(CliError::Drain(format!(
+            "{drain_rejected} request(s) rejected during drain"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn serve_setup(args: &Args) -> Result<ServeSetup, CliError> {
     let (program, _) = load(args)?;
     let entry = args.entry(&program)?.to_string();
     let vary = args.vary();
     if vary.is_empty() {
         return Err(CliError::Usage("serve needs --vary".into()));
     }
-    let requests_path = args
-        .requests()
-        .ok_or_else(|| UsageError("serve needs --requests PATH".into()))?;
-    let requests_text = std::fs::read_to_string(requests_path)
-        .map_err(|e| CliError::Usage(format!("cannot read `{requests_path}`: {e}")))?;
     let opts = spec_options(args)?;
     let partition = InputPartition::varying(vary.iter().map(String::as_str));
     let spec = specialize(&program, &entry, &partition, &opts)
@@ -603,7 +703,6 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
 
     let engine = args.engine()?;
     let policy = args.policy()?;
-    let workers = args.workers()?;
     let mut ropts = ds_runtime::RunnerOptions {
         engine,
         policy,
@@ -616,23 +715,6 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         ropts.store_capacity = cap;
     }
     ropts.eval.profile = args.metrics_out().is_some();
-    let trace_out = args.trace_out();
-    let stats_every = args.stats_every()?;
-
-    // The whole request file is parsed before any worker starts, so a bad
-    // line is a usage error (exit 2), never a half-served stream.
-    let mut requests: Vec<Vec<ds_interp::Value>> = Vec::new();
-    for (lineno, line) in requests_text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        requests.push(
-            parse_value_list(line).map_err(|e| {
-                CliError::Usage(format!("`{requests_path}` line {}: {e}", lineno + 1))
-            })?,
-        );
-    }
 
     // The immutable artifact and the polyvariant store are shared by every
     // session; each worker owns only its VM and working buffer.
@@ -642,8 +724,6 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let inject = args.inject()?;
     let seed = args.seed()?;
     let mut integrity_errors = 0u64;
-    let mut eval_errors = 0u64;
-    let mut crashed = false;
 
     // A bootstrap session adopts a persisted cache into the shared store;
     // file faults damage its text before validation, which must then
@@ -661,6 +741,11 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                 return Err(CliError::Usage(format!(
                     "fault `{f}` strikes the write-ahead log; pass --wal PATH"
                 )));
+            }
+            if args.group_commit()?.is_some() {
+                return Err(CliError::Usage(
+                    "--group-commit batches write-ahead-log flushes; pass --wal PATH".into(),
+                ));
             }
             None
         }
@@ -696,6 +781,10 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                 rec.next_lsn,
                 args.checkpoint_every()?,
             ));
+            if let Some(window) = args.group_commit()? {
+                wal.set_group_commit(window);
+                println!("wal: group-commit window of {window} append(s)");
+            }
             if rec.damaged_tail {
                 // Drop the torn tail now, so new appends extend the valid
                 // history instead of hiding behind garbage.
@@ -735,6 +824,75 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let mem_fault = inject.filter(|f| !f.is_file_fault() && !f.is_wal_fault());
     if let Some(fault) = mem_fault {
         println!("inject: armed {fault} (seed {seed})");
+    }
+
+    Ok(ServeSetup {
+        entry,
+        vary,
+        engine,
+        policy,
+        ropts,
+        artifact,
+        store,
+        wal,
+        bootstrap,
+        mem_fault,
+        seed,
+        integrity_errors,
+    })
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    if args.flag("listen") {
+        if args.requests().is_some() {
+            return Err(CliError::Usage(
+                "--listen reads requests from stdin; drop --requests".into(),
+            ));
+        }
+        return cmd_serve_listen(args);
+    }
+    let requests_path = args
+        .requests()
+        .ok_or_else(|| UsageError("serve needs --requests PATH (or --listen)".into()))?;
+    let requests_text = std::fs::read_to_string(requests_path)
+        .map_err(|e| CliError::Usage(format!("cannot read `{requests_path}`: {e}")))?;
+    let setup = serve_setup(args)?;
+    let ServeSetup {
+        entry,
+        vary,
+        engine,
+        policy,
+        ropts,
+        artifact,
+        store,
+        wal,
+        mut bootstrap,
+        mem_fault,
+        seed,
+        mut integrity_errors,
+    } = setup;
+    let workers = args.workers()?;
+    let trace_out = args.trace_out();
+    let stats_every = args.stats_every()?;
+    let mut eval_errors = 0u64;
+    let mut crashed = false;
+    let mut shed = 0u64;
+    let mut deadline_missed = 0u64;
+    let mut drain_rejected = 0u64;
+
+    // The whole request file is parsed before any worker starts, so a bad
+    // line is a usage error (exit 2), never a half-served stream.
+    let mut requests: Vec<Vec<ds_interp::Value>> = Vec::new();
+    for (lineno, line) in requests_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        requests.push(
+            parse_value_list(line).map_err(|e| {
+                CliError::Usage(format!("`{requests_path}` line {}: {e}", lineno + 1))
+            })?,
+        );
     }
 
     println!(
@@ -871,6 +1029,9 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                         eval_errors += 1
                     }
                     RuntimeError::Wal(_) => crashed = true,
+                    RuntimeError::DeadlineExceeded { .. } => deadline_missed += 1,
+                    RuntimeError::Overloaded { .. } => shed += 1,
+                    RuntimeError::Draining => drain_rejected += 1,
                 }
                 println!("[{n}] error: {e}");
             }
@@ -1012,21 +1173,377 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         }
     }
 
-    if crashed {
-        Err(CliError::Crashed(
-            "write-ahead-log writer crashed; restart with the same --wal to recover".into(),
-        ))
-    } else if integrity_errors > 0 {
-        Err(CliError::Integrity(format!(
-            "{integrity_errors} cache-integrity violation(s) during serve"
-        )))
-    } else if eval_errors > 0 {
-        Err(CliError::Eval(format!(
-            "{eval_errors} request(s) failed during serve"
-        )))
-    } else {
-        Ok(())
+    serve_exit(
+        crashed,
+        integrity_errors,
+        eval_errors,
+        shed,
+        deadline_missed,
+        drain_rejected,
+    )
+}
+
+/// Flushes stdout after every response line: the daemon's consumers read
+/// a pipe (block-buffered by default), and an answer that sits in a
+/// buffer is an answer not yet served.
+fn flush_stdout() {
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+}
+
+/// Registers a dependency-free SIGTERM handler flipping a static flag: a
+/// raw `signal(2)` registration against libc, which is always linked.
+/// glibc installs handlers with `SA_RESTART`, so the stdin read resumes
+/// rather than failing with EINTR — the serve loop therefore polls this
+/// flag from its response loop instead of relying on an interrupted read.
+#[cfg(unix)]
+fn install_term_flag() -> &'static std::sync::atomic::AtomicBool {
+    use std::sync::atomic::AtomicBool;
+    static TERM: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_term(_sig: i32) {
+        // Only an atomic store: the one async-signal-safe thing we need.
+        TERM.store(true, Ordering::SeqCst);
     }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+    }
+    &TERM
+}
+
+#[cfg(not(unix))]
+fn install_term_flag() -> &'static std::sync::atomic::AtomicBool {
+    use std::sync::atomic::AtomicBool;
+    static TERM: AtomicBool = AtomicBool::new(false);
+    &TERM
+}
+
+/// `dsc serve --listen`: the online specialize-on-demand daemon. Requests
+/// stream in on stdin, answers stream out as they complete; EOF or
+/// SIGTERM drains gracefully (finish queued and in-flight work, final WAL
+/// checkpoint, flush telemetry).
+fn cmd_serve_listen(args: &Args) -> Result<(), CliError> {
+    let ServeSetup {
+        entry,
+        vary,
+        engine,
+        policy,
+        ropts,
+        artifact,
+        store,
+        wal,
+        bootstrap,
+        mem_fault,
+        seed,
+        mut integrity_errors,
+    } = serve_setup(args)?;
+    let cfg = ds_runtime::DaemonConfig {
+        workers: args.workers()?,
+        max_queue: args.max_queue()?,
+        deadline_ms: args.deadline_ms()?,
+        admission: args.admission()?,
+        runner: ropts,
+        tracing: args.trace_out().is_some(),
+    };
+    let stats_every = args.stats_every()?;
+    // The bootstrap session only contributed recovery/adoption
+    // bookkeeping; the daemon's workers own their sessions.
+    let bootstrap_stats = bootstrap.stats().clone();
+    let bootstrap_timing = bootstrap.timing().clone();
+    drop(bootstrap);
+
+    println!(
+        "listening: `{entry}` (engine {engine}, policy {policy}, varying {{{}}}, \
+         workers {}, queue {}, deadline {}, admission {})",
+        vary.join(", "),
+        cfg.workers,
+        cfg.max_queue,
+        cfg.deadline_ms
+            .map_or("none".to_string(), |d| format!("{d} ms")),
+        cfg.admission,
+    );
+    flush_stdout();
+
+    let term = install_term_flag();
+    let serve_started = Instant::now();
+    let (daemon, rx) =
+        ds_runtime::Daemon::start(Arc::clone(&artifact), Arc::clone(&store), wal.clone(), cfg);
+    let daemon = Arc::new(daemon);
+
+    // The reader thread parses stdin and submits; admission rejections
+    // (shed, draining) come back synchronously and are printed here, so
+    // the response channel only ever carries executed requests. On EOF it
+    // starts the drain. It is deliberately never joined: after SIGTERM it
+    // may still be parked in a (restarted) stdin read, and process exit
+    // reaps it.
+    {
+        let daemon = Arc::clone(&daemon);
+        let first_fault = mem_fault.map(|f| (f, seed));
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            let mut seq = 0u64;
+            let mut first = true;
+            loop {
+                line.clear();
+                match stdin.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                seq += 1;
+                let n = seq;
+                let values = match parse_value_list(trimmed) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        println!("[{n}] error: {e}");
+                        flush_stdout();
+                        continue;
+                    }
+                };
+                // An armed in-memory fault strikes the first request, the
+                // same placement batch serve gives it.
+                let fault = if first {
+                    first = false;
+                    first_fault
+                } else {
+                    None
+                };
+                if let Err(e) = daemon.submit(n, values, fault) {
+                    println!("[{n}] error: {e}");
+                    flush_stdout();
+                }
+            }
+            daemon.drain();
+        });
+    }
+
+    // Response loop: print answers in completion order (tagged with their
+    // arrival number), watching the SIGTERM flag between messages. The
+    // channel disconnects when the last worker exits after the drain —
+    // the natural end of the serve.
+    let mut served = 0u64;
+    let mut eval_errors = 0u64;
+    let mut crashed = false;
+    loop {
+        if term.load(Ordering::SeqCst) {
+            daemon.drain();
+        }
+        match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+            Ok(resp) => {
+                served += 1;
+                let n = resp.seq;
+                match &resp.result {
+                    Ok(out) => {
+                        let suffix = if resp.specialized {
+                            ""
+                        } else {
+                            "  (unspecialized)"
+                        };
+                        match out.value {
+                            Some(v) => println!("[{n}] result: {v}  (cost {}){suffix}", out.cost),
+                            None => println!("[{n}] result: (void)  (cost {}){suffix}", out.cost),
+                        }
+                    }
+                    Err(e) => {
+                        match e {
+                            RuntimeError::Integrity(_) => integrity_errors += 1,
+                            RuntimeError::Eval(_) | RuntimeError::RebuildBudgetExhausted { .. } => {
+                                eval_errors += 1
+                            }
+                            RuntimeError::Wal(_) => crashed = true,
+                            // Deadline misses and admission rejections are
+                            // already counted by the daemon's counters.
+                            RuntimeError::DeadlineExceeded { .. }
+                            | RuntimeError::Overloaded { .. }
+                            | RuntimeError::Draining => {}
+                        }
+                        println!("[{n}] error: {e}");
+                    }
+                }
+                flush_stdout();
+                if let Some(every) = stats_every {
+                    if served.is_multiple_of(every) {
+                        let secs = serve_started.elapsed().as_secs_f64();
+                        eprintln!(
+                            "serve: {served} response(s) ({:.0} req/s)",
+                            served as f64 / secs.max(1e-9),
+                        );
+                    }
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let report = daemon.join();
+    let wall = serve_started.elapsed();
+    if wal.as_ref().is_some_and(|w| w.is_crashed()) {
+        crashed = true;
+    }
+
+    let mut st = bootstrap_stats;
+    st.merge(&report.stats);
+    let mut timing = bootstrap_timing;
+    timing.merge(&report.timing);
+    let counters = Arc::clone(&report.counters);
+
+    println!("---");
+    println!(
+        "drained: {} ({} response(s) in {:.1} ms)",
+        if term.load(Ordering::SeqCst) {
+            "SIGTERM"
+        } else {
+            "end of input"
+        },
+        served,
+        wall.as_secs_f64() * 1e3,
+    );
+    println!("requests:            {}", st.requests);
+    println!("loads:               {}", st.loads);
+    println!("stale reloads:       {}", st.stale_reloads);
+    println!("reader failures:     {}", st.reader_failures);
+    println!("rebuilds:            {}", st.rebuilds());
+    println!("fallbacks:           {}", st.fallbacks());
+    println!("validation failures: {}", st.validation_failures());
+    println!("store hits:          {}", st.store_hits());
+    println!("store misses:        {}", st.store_misses());
+    println!("store evictions:     {}", st.store_evictions());
+    if wal.is_some() {
+        println!("wal appends:         {}", st.wal_appends());
+        println!("wal replays:         {}", st.wal_replays());
+        println!("recovered caches:    {}", st.recovered_caches());
+    }
+    println!("admitted:            {}", counters.admitted());
+    println!("shed (overload):     {}", counters.shed());
+    println!("drain rejections:    {}", counters.drain_rejected());
+    println!("deadline misses:     {}", counters.deadline_missed());
+    println!("peak queue depth:    {}", counters.peak_queue_depth());
+    println!("staged serves:       {}", counters.staged_serves());
+    println!("unspecialized:       {}", counters.unspec_serves());
+    match report.breakeven {
+        None => {}
+        Some(None) => println!("breakeven:           never (specialization does not pay)"),
+        Some(Some(b)) => println!("breakeven:           {b} use(s)"),
+    }
+    if !timing.total.is_empty() {
+        println!("latency end-to-end:  {}", timing.total);
+        for (stage, hist) in &timing.stages {
+            println!("latency {:<12} {hist}", format!("{stage}:"));
+        }
+    }
+
+    if let Some(path) = args.trace_out() {
+        let header = ds_telemetry::envelope(
+            "trace",
+            vec![
+                ("entry".to_string(), Json::from(entry.as_str())),
+                ("engine".to_string(), Json::from(engine.to_string())),
+                ("policy".to_string(), Json::from(policy.to_string())),
+                ("workers".to_string(), Json::from(cfg.workers as u64)),
+                ("events".to_string(), Json::from(report.traces.len())),
+            ],
+        );
+        let mut text = header.compact();
+        text.push('\n');
+        for t in &report.traces {
+            text.push_str(&t.to_json().compact());
+            text.push('\n');
+        }
+        std::fs::write(path, text)
+            .map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))?;
+        println!("trace: wrote {path} ({} event(s))", report.traces.len());
+    }
+
+    if let Some(path) = args.metrics_out() {
+        let breakeven_json = match report.breakeven {
+            None => Json::Null,
+            Some(None) => Json::from("never"),
+            Some(Some(b)) => Json::from(u64::from(b)),
+        };
+        let doc = ds_telemetry::envelope(
+            "serve",
+            vec![
+                ("entry".to_string(), Json::from(entry.as_str())),
+                (
+                    "varying".to_string(),
+                    Json::Arr(vary.iter().map(|v| Json::from(v.as_str())).collect()),
+                ),
+                ("engine".to_string(), Json::from(engine.to_string())),
+                ("policy".to_string(), Json::from(policy.to_string())),
+                ("workers".to_string(), Json::from(cfg.workers as u64)),
+                (
+                    "store_capacity".to_string(),
+                    Json::from(store.capacity() as u64),
+                ),
+                ("stats".to_string(), st.to_json()),
+                ("wall_ms".to_string(), Json::from(wall.as_secs_f64() * 1e3)),
+                (
+                    "throughput_rps".to_string(),
+                    Json::from(st.requests as f64 / wall.as_secs_f64().max(1e-9)),
+                ),
+                ("latency".to_string(), timing.to_json()),
+                (
+                    "daemon".to_string(),
+                    Json::obj([
+                        ("admission", Json::from(cfg.admission.to_string())),
+                        ("max_queue", Json::from(cfg.max_queue as u64)),
+                        (
+                            "deadline_ms",
+                            cfg.deadline_ms.map_or(Json::Null, Json::from),
+                        ),
+                        ("breakeven", breakeven_json),
+                        ("counters", counters.to_json()),
+                    ]),
+                ),
+            ],
+        );
+        write_metrics(path, &doc)?;
+        println!("metrics: wrote {path}");
+    }
+
+    // Final durability step of the drain: compact the surviving store
+    // into a checkpoint (or persist the cache file), exactly like batch
+    // serve's clean exit.
+    if let Some(w) = &wal {
+        if w.is_crashed() {
+            println!("wal: writer crashed; log left on disk for recovery on restart");
+        } else {
+            w.checkpoint(&store)
+                .map_err(|e| CliError::Usage(format!("cannot checkpoint at exit: {e}")))?;
+            println!("wal: checkpointed store at exit");
+        }
+    } else if let Some(path) = args.cache_file() {
+        let snapshot = store.snapshot();
+        if snapshot.is_empty() {
+            println!("cache: cold at exit; `{path}` not written");
+        } else {
+            let entries: Vec<(u64, ds_interp::CacheBuf)> = snapshot
+                .into_iter()
+                .map(|(fp, entry)| (fp, entry.cache))
+                .collect();
+            let text = ds_runtime::save_store(&entries, artifact.layout_fingerprint());
+            std::fs::write(path, text)
+                .map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))?;
+            println!("cache: wrote `{path}`");
+        }
+    }
+    flush_stdout();
+
+    serve_exit(
+        crashed,
+        integrity_errors,
+        eval_errors,
+        counters.shed(),
+        counters.deadline_missed(),
+        counters.drain_rejected(),
+    )
 }
 
 /// `dsc report`: render ds-telemetry files (serve metrics, trace JSONL,

@@ -512,7 +512,7 @@ fn readme_exit_code_table_matches_the_constants() {
         );
     }
     // Reserved/unclassified codes must not be advertised.
-    for code in [1u8, 8, 9] {
+    for code in [1u8, 11] {
         assert!(
             !readme.contains(&format!("| `{code}` |")),
             "README advertises unclassified exit code {code}"
@@ -718,4 +718,303 @@ fn report_summarizes_and_compare_gates_regressions() {
     let _ = std::fs::remove_file(&metrics);
     let _ = std::fs::remove_file(&trace);
     let _ = std::fs::remove_file(&regressed);
+}
+
+// --- serve --listen: the online daemon through a real process ---------
+
+fn spawn_listen(args: &[&str]) -> std::process::Child {
+    use std::process::Stdio;
+    Command::new(env!("CARGO_BIN_EXE_dsc"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dsc serve --listen")
+}
+
+/// Finds the printed value of a `label:   value` stats line.
+fn stats_line<'a>(text: &'a str, label: &str) -> Option<&'a str> {
+    text.lines()
+        .find(|l| l.trim_start().starts_with(label))
+        .map(|l| l.rsplit(' ').next().unwrap_or(""))
+}
+
+#[test]
+fn listen_serves_stdin_and_drains_on_eof() {
+    let src = write_temp("listen.mc", DOTPROD);
+    let metrics = temp_path("listen-metrics.json");
+    let _ = std::fs::remove_file(&metrics);
+    let mut child = spawn_listen(&[
+        "serve",
+        src.to_str().expect("utf8"),
+        "--vary",
+        "z1,z2",
+        "--listen",
+        "--workers",
+        "2",
+        "--admission",
+        "always",
+        "--metrics-out",
+        metrics.to_str().expect("utf8"),
+    ]);
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(REQUESTS.as_bytes())
+        .expect("write requests");
+    // stdin dropped above: EOF starts the graceful drain.
+    let out = child.wait_with_output().expect("daemon exits");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("listening: `dotprod`"), "{text}");
+    assert!(text.contains("[1] result: 16"), "{text}");
+    assert!(text.contains("drained: end of input"), "{text}");
+    assert_eq!(stats_line(&text, "admitted:"), Some("3"), "{text}");
+    assert_eq!(stats_line(&text, "shed (overload):"), Some("0"), "{text}");
+
+    // The metrics envelope parses and renders under `dsc report`.
+    let report = dsc(&["report", metrics.to_str().expect("utf8")]);
+    assert_eq!(report.status.code(), Some(0));
+    let rendered = String::from_utf8_lossy(&report.stdout);
+    assert!(rendered.contains("daemon.counters.admitted"), "{rendered}");
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn listen_sheds_on_overload_with_a_typed_rejection_and_exit_8() {
+    let src = write_temp("listen-shed.mc", DOTPROD);
+    let mut child = spawn_listen(&[
+        "serve",
+        src.to_str().expect("utf8"),
+        "--vary",
+        "z1,z2",
+        "--listen",
+        "--workers",
+        "1",
+        "--max-queue",
+        "2",
+        "--admission",
+        "always",
+        "--inject",
+        "stall:400",
+    ]);
+    // The injected stall wedges the single worker on request 1; the
+    // reader floods the 2-slot queue far faster than it drains.
+    let flood = "1.0,2.0,3.0,4.0,5.0,6.0,2.0\n".repeat(40);
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(flood.as_bytes())
+        .expect("write flood");
+    let out = child.wait_with_output().expect("daemon exits");
+    assert_eq!(
+        out.status.code(),
+        Some(8),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("request queue of 2 is full"), "{text}");
+    let shed: u64 = stats_line(&text, "shed (overload):")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no shed line in {text}"));
+    assert!(shed > 0, "{text}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("shed"),
+        "the exit reason should name the overload"
+    );
+}
+
+#[test]
+fn listen_fails_a_missed_deadline_with_exit_9_and_no_partial_answer() {
+    let src = write_temp("listen-deadline.mc", DOTPROD);
+    let mut child = spawn_listen(&[
+        "serve",
+        src.to_str().expect("utf8"),
+        "--vary",
+        "z1,z2",
+        "--listen",
+        "--workers",
+        "1",
+        "--deadline-ms",
+        "50",
+        "--admission",
+        "always",
+        "--inject",
+        "stall:300",
+    ]);
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(b"1.0,2.0,3.0,4.0,5.0,6.0,2.0\n")
+        .expect("write request");
+    let out = child.wait_with_output().expect("daemon exits");
+    assert_eq!(
+        out.status.code(),
+        Some(9),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("[1] error: deadline of 50 ms exceeded"),
+        "{text}"
+    );
+    assert!(
+        !text.contains("[1] result:"),
+        "a timed-out request must never be answered: {text}"
+    );
+    assert_eq!(stats_line(&text, "deadline misses:"), Some("1"), "{text}");
+}
+
+#[cfg(unix)]
+#[test]
+fn listen_drains_cleanly_on_sigterm_with_exit_0() {
+    let src = write_temp("listen-term.mc", DOTPROD);
+    let mut child = spawn_listen(&[
+        "serve",
+        src.to_str().expect("utf8"),
+        "--vary",
+        "z1,z2",
+        "--listen",
+        "--workers",
+        "2",
+        "--admission",
+        "always",
+    ]);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    stdin
+        .write_all(REQUESTS.as_bytes())
+        .expect("write requests");
+    stdin.flush().expect("flush requests");
+    // Keep stdin open: only the signal can end this serve. Give the
+    // daemon time to answer everything first.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let out = child.wait_with_output().expect("daemon exits");
+    drop(stdin);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "a drained daemon exits cleanly: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("drained: SIGTERM"), "{text}");
+    assert!(text.contains("[1] result: 16"), "{text}");
+    assert_eq!(stats_line(&text, "admitted:"), Some("3"), "{text}");
+}
+
+/// ISSUE 8's kill-under-load acceptance: SIGKILL a daemon mid-traffic,
+/// restart it on the same write-ahead log, and the recovered caches
+/// serve immediately — zero loader re-runs.
+#[cfg(unix)]
+#[test]
+fn sigkill_under_load_then_restart_recovers_from_the_wal_without_restaging() {
+    use std::io::{BufRead, BufReader};
+    let src = write_temp("listen-kill.mc", DOTPROD);
+    let wal = temp_path("listen-kill.wal");
+    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_file(temp_path("listen-kill.wal.checkpoint"));
+
+    let mut child = spawn_listen(&[
+        "serve",
+        src.to_str().expect("utf8"),
+        "--vary",
+        "z1,z2",
+        "--listen",
+        "--workers",
+        "2",
+        "--admission",
+        "always",
+        "--max-queue",
+        "400",
+        "--wal",
+        wal.to_str().expect("utf8"),
+    ]);
+    // Two invariant fingerprints (the cache is keyed on the static
+    // inputs; scale differs), alternating under sustained traffic.
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut traffic = String::new();
+    for i in 0..200 {
+        if i % 2 == 0 {
+            traffic.push_str("1.0,2.0,3.0,4.0,5.0,6.0,2.0\n");
+        } else {
+            traffic.push_str("1.0,2.0,3.0,4.0,5.0,6.0,4.0\n");
+        }
+    }
+    stdin.write_all(traffic.as_bytes()).expect("write traffic");
+    stdin.flush().expect("flush traffic");
+    // Wait until every request is answered (responses are flushed
+    // line-by-line), then SIGKILL: no drain, no checkpoint, the log is
+    // all that survives.
+    let mut lines = BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+    let mut answered = 0;
+    while answered < 200 {
+        let line = lines
+            .next()
+            .expect("stdout open while under load")
+            .expect("read stdout");
+        if line.contains("] result:") {
+            answered += 1;
+        }
+        assert!(!line.contains("] error:"), "unexpected failure: {line}");
+    }
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+    drop(stdin);
+    assert!(wal.exists(), "the log must survive the kill");
+
+    // Restart on the same log: both sealed caches replay into the store
+    // before any request runs, and serving them is pure reader work.
+    let mut child = spawn_listen(&[
+        "serve",
+        src.to_str().expect("utf8"),
+        "--vary",
+        "z1,z2",
+        "--listen",
+        "--workers",
+        "2",
+        "--admission",
+        "always",
+        "--wal",
+        wal.to_str().expect("utf8"),
+    ]);
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(b"1.0,2.0,3.0,4.0,5.0,6.0,2.0\n1.0,2.0,3.0,4.0,5.0,6.0,4.0\n")
+        .expect("write recovery requests");
+    let out = child.wait_with_output().expect("daemon exits");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recovered 2 cache(s)"), "{text}");
+    assert_eq!(
+        stats_line(&text, "loads:"),
+        Some("0"),
+        "recovered caches must serve without re-staging: {text}"
+    );
+    assert_eq!(stats_line(&text, "staged serves:"), Some("2"), "{text}");
+    assert!(text.contains("wal: checkpointed store at exit"), "{text}");
+    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_file(temp_path("listen-kill.wal.checkpoint"));
 }

@@ -143,6 +143,23 @@ pub enum RuntimeError {
     /// is surfaced as an error — exactly what a caller of a crashed server
     /// observes.
     Wal(WalError),
+    /// The request's deadline elapsed before an answer could be returned.
+    /// A timed-out request is *never* answered partially or late: the
+    /// daemon discards whatever it had and surfaces this typed error.
+    DeadlineExceeded {
+        /// The per-request deadline that was exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The daemon's bounded request queue was full — the request was shed
+    /// at admission instead of being buffered without bound.
+    Overloaded {
+        /// The configured queue capacity that was exhausted.
+        max_queue: usize,
+    },
+    /// The daemon is draining (SIGTERM or end of input) and no longer
+    /// admits new requests; in-flight and already-queued requests still
+    /// complete.
+    Draining,
 }
 
 impl fmt::Display for RuntimeError {
@@ -154,6 +171,16 @@ impl fmt::Display for RuntimeError {
                 write!(f, "rebuild budget of {budget} loader re-run(s) exhausted")
             }
             RuntimeError::Wal(e) => write!(f, "durability failure: {e}"),
+            RuntimeError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms exceeded")
+            }
+            RuntimeError::Overloaded { max_queue } => {
+                write!(
+                    f,
+                    "overloaded: request queue of {max_queue} is full, request shed"
+                )
+            }
+            RuntimeError::Draining => write!(f, "daemon is draining, request not admitted"),
         }
     }
 }
@@ -199,5 +226,10 @@ mod tests {
         let e = RuntimeError::from(WalError::Crashed { at_byte: 99 });
         assert!(matches!(e, RuntimeError::Wal(_)));
         assert!(e.to_string().contains("byte 99"));
+        let e = RuntimeError::DeadlineExceeded { deadline_ms: 25 };
+        assert!(e.to_string().contains("25 ms"));
+        let e = RuntimeError::Overloaded { max_queue: 4 };
+        assert!(e.to_string().contains("queue of 4"));
+        assert!(RuntimeError::Draining.to_string().contains("draining"));
     }
 }

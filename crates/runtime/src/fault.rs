@@ -39,6 +39,15 @@ pub enum Fault {
     /// byte N: the write containing that byte persists only up to it and
     /// every later append fails with a crash error.
     CrashAtByte(u64),
+    /// Stall the next staged execution (loader, reader or fallback) for N
+    /// milliseconds before it runs — a stager wedged on a slow dependency.
+    /// The answer is unchanged; only the clock suffers, which is exactly
+    /// what deadlines and drain must survive.
+    Stall(u64),
+    /// Delay the next write-ahead-log flush by N milliseconds while the
+    /// log lock is held — a slow disk serializing every concurrent
+    /// appender behind one sluggish write.
+    SlowIo(u64),
 }
 
 impl Fault {
@@ -56,6 +65,13 @@ impl Fault {
         matches!(self, Fault::TornWrite(_) | Fault::CrashAtByte(_))
     }
 
+    /// Whether this fault only costs wall-clock time (a stalled stage or a
+    /// slow log flush) — the answer stream is bit-identical; deadlines,
+    /// backpressure and drain are what it stresses.
+    pub fn is_latency_fault(&self) -> bool {
+        matches!(self, Fault::Stall(_) | Fault::SlowIo(_))
+    }
+
     /// Every in-memory fault class, for exhaustive chaos matrices.
     pub const MEMORY_FAULTS: [Fault; 4] = [
         Fault::CorruptSlot,
@@ -70,6 +86,10 @@ impl Fault {
     /// Every write-ahead-log fault class (representative placements; chaos
     /// matrices sweep the offsets).
     pub const WAL_FAULTS: [Fault; 2] = [Fault::TornWrite(40), Fault::CrashAtByte(200)];
+
+    /// Every latency fault class (representative delays; short enough for
+    /// chaos matrices, long enough to trip a millisecond deadline).
+    pub const LATENCY_FAULTS: [Fault; 2] = [Fault::Stall(5), Fault::SlowIo(5)];
 }
 
 impl fmt::Display for Fault {
@@ -83,6 +103,8 @@ impl fmt::Display for Fault {
             Fault::TruncateFile => write!(f, "truncate-file"),
             Fault::TornWrite(n) => write!(f, "torn-write:{n}"),
             Fault::CrashAtByte(n) => write!(f, "crash-at-byte:{n}"),
+            Fault::Stall(n) => write!(f, "stall:{n}"),
+            Fault::SlowIo(n) => write!(f, "slow-io:{n}"),
         }
     }
 }
@@ -108,11 +130,13 @@ impl FromStr for Fault {
                 numeric("fuel:", Fault::ExhaustFuel)
                     .or_else(|| numeric("torn-write:", Fault::TornWrite))
                     .or_else(|| numeric("crash-at-byte:", Fault::CrashAtByte))
+                    .or_else(|| numeric("stall:", Fault::Stall))
+                    .or_else(|| numeric("slow-io:", Fault::SlowIo))
                     .unwrap_or_else(|| {
                         Err(format!(
                             "unknown fault `{other}`; expected corrupt-slot, drop-store, \
                              truncate-buffer, fuel:N, corrupt-file, truncate-file, \
-                             torn-write:N or crash-at-byte:N"
+                             torn-write:N, crash-at-byte:N, stall:N or slow-io:N"
                         ))
                     })
             }
@@ -208,12 +232,16 @@ mod tests {
             Fault::TruncateFile,
             Fault::TornWrite(9),
             Fault::CrashAtByte(314),
+            Fault::Stall(25),
+            Fault::SlowIo(40),
         ] {
             assert_eq!(f.to_string().parse::<Fault>().unwrap(), f);
         }
         assert!("fuel:x".parse::<Fault>().is_err());
         assert!("torn-write:".parse::<Fault>().is_err());
         assert!("crash-at-byte:-1".parse::<Fault>().is_err());
+        assert!("stall:".parse::<Fault>().is_err());
+        assert!("slow-io:ms".parse::<Fault>().is_err());
         assert!("meteor-strike".parse::<Fault>().is_err());
     }
 
@@ -230,13 +258,16 @@ mod tests {
     #[test]
     fn fault_classes_are_partitioned() {
         for f in Fault::MEMORY_FAULTS {
-            assert!(!f.is_file_fault() && !f.is_wal_fault());
+            assert!(!f.is_file_fault() && !f.is_wal_fault() && !f.is_latency_fault());
         }
         for f in Fault::FILE_FAULTS {
-            assert!(f.is_file_fault() && !f.is_wal_fault());
+            assert!(f.is_file_fault() && !f.is_wal_fault() && !f.is_latency_fault());
         }
         for f in Fault::WAL_FAULTS {
-            assert!(f.is_wal_fault() && !f.is_file_fault());
+            assert!(f.is_wal_fault() && !f.is_file_fault() && !f.is_latency_fault());
+        }
+        for f in Fault::LATENCY_FAULTS {
+            assert!(f.is_latency_fault() && !f.is_file_fault() && !f.is_wal_fault());
         }
     }
 }

@@ -37,6 +37,10 @@
 //!   (and a polyvariant, LRU-bounded [`CacheStore`] holding one sealed
 //!   cache per invariant fingerprint) through `Arc`s, each worker serving
 //!   requests against its own private working buffer.
+//! * **Online serving**: the [`daemon`] module turns the sessions into a
+//!   long-running service — a bounded queue with typed load shedding,
+//!   per-request deadlines, §4.3 cost-model admission, single-flight
+//!   staging through per-fingerprint [`latch`]es, and graceful drain.
 //!
 //! ## Example
 //!
@@ -75,8 +79,10 @@
 
 pub mod artifact;
 pub mod cachefile;
+pub mod daemon;
 pub mod error;
 pub mod fault;
+pub mod latch;
 pub mod recovery;
 pub mod runner;
 pub mod session;
@@ -89,8 +95,10 @@ pub use cachefile::{
     parse_cache, parse_store, parse_store_with_lsn, save_cache, save_store, save_store_at,
     LoadedCache, CACHE_KIND, STORE_KIND,
 };
+pub use daemon::{breakeven_uses, Admission, Daemon, DaemonConfig, DaemonReport, DaemonResponse};
 pub use error::{IntegrityError, RuntimeError, WalError};
 pub use fault::{Fault, FaultInjector};
+pub use latch::{ExclusiveLatch, LatchTable, SharedLatch};
 pub use recovery::{recover, recover_or_degrade, Recovery};
 pub use runner::{Policy, RunnerOptions, RunnerStats, StagedRunner};
 pub use session::Session;

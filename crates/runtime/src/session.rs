@@ -54,6 +54,9 @@ enum PendingFault {
     /// Run the next staged execution (reader or loader) with this much
     /// fuel.
     Fuel(u64),
+    /// Stall the next staged execution for this many milliseconds before
+    /// it runs (a wedged stager: late, never wrong).
+    Stall(u64),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -219,13 +222,14 @@ impl Session {
             Fault::DropStore => PendingFault::Arm(WriteFault::DropNth(inj.pick(slots))),
             Fault::TruncateBuffer => PendingFault::Truncate(inj.pick(slots) as usize),
             Fault::ExhaustFuel(n) => PendingFault::Fuel(n),
+            Fault::Stall(ms) => PendingFault::Stall(ms),
             Fault::CorruptFile | Fault::TruncateFile => {
                 return Err(format!(
                     "fault `{fault}` applies to a serialized cache file, not the in-memory \
                      lifecycle"
                 ))
             }
-            Fault::TornWrite(_) | Fault::CrashAtByte(_) => {
+            Fault::TornWrite(_) | Fault::CrashAtByte(_) | Fault::SlowIo(_) => {
                 return match &self.wal {
                     Some(wal) => wal.arm(fault),
                     None => Err(format!(
@@ -608,6 +612,12 @@ impl Session {
         args: &[Value],
         fuel: Option<u64>,
     ) -> Result<Outcome, EvalError> {
+        // A pending stall strikes whatever stage runs next: the execution
+        // is delayed, its answer untouched — only deadlines notice.
+        if let Some(PendingFault::Stall(ms)) = self.pending {
+            self.pending = None;
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
         let mut opts = self.opts.eval;
         if let Some(f) = fuel {
             opts.step_limit = f;

@@ -1,0 +1,175 @@
+//! Lock-free serving-daemon counters: admission, backpressure and drain.
+//!
+//! The online daemon (`ds-runtime`'s `daemon` module, `dsc serve --listen`)
+//! makes load-shedding decisions on the submission path, where a mutex
+//! would serialize exactly the traffic spike being shed. [`ServeCounters`]
+//! is therefore a bundle of relaxed atomics: every admission, rejection,
+//! deadline miss and queue-depth high-water mark is counted without
+//! coordination, and [`ServeCounters::to_json`] exports the totals into the
+//! serve metrics envelope.
+//!
+//! Like the latency histograms, these counters are a side-channel: nothing
+//! in the serving lifecycle consults them, and they never enter the
+//! deterministic `Profile`/stats documents the parity suites compare.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters of the daemon's admission, queue and degradation decisions.
+///
+/// All methods are `&self` and lock-free; share one instance across the
+/// submitter and every worker via `Arc`.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    drain_rejected: AtomicU64,
+    deadline_missed: AtomicU64,
+    queue_depth: AtomicU64,
+    peak_queue_depth: AtomicU64,
+    staged_serves: AtomicU64,
+    unspec_serves: AtomicU64,
+}
+
+impl ServeCounters {
+    /// A zeroed counter bundle.
+    pub fn new() -> ServeCounters {
+        ServeCounters::default()
+    }
+
+    /// One request entered the bounded queue; `depth` is the queue length
+    /// *after* the push (maintains the high-water mark).
+    pub fn note_admitted(&self, depth: u64) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// One request left the queue; `depth` is the length after the pop.
+    pub fn note_dequeued(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// One request was shed because the queue was full.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request was rejected because the daemon is draining.
+    pub fn note_drain_rejected(&self) {
+        self.drain_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request exceeded its deadline (in queue or after execution).
+    pub fn note_deadline_missed(&self) {
+        self.deadline_missed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request was served through the staged (specialized) path.
+    pub fn note_staged_serve(&self) {
+        self.staged_serves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request was served unspecialized by the admission policy
+    /// (predicted uses below breakeven — correct, just not specialized).
+    pub fn note_unspec_serve(&self) {
+        self.unspec_serves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests accepted into the queue so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed on a full queue so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected during drain so far.
+    pub fn drain_rejected(&self) -> u64 {
+        self.drain_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Requests that exceeded their deadline so far.
+    pub fn deadline_missed(&self) -> u64 {
+        self.deadline_missed.load(Ordering::Relaxed)
+    }
+
+    /// Current queue depth (a gauge; racy by nature, exact at rest).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Highest queue depth ever observed at admission.
+    pub fn peak_queue_depth(&self) -> u64 {
+        self.peak_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Requests served through the staged path so far.
+    pub fn staged_serves(&self) -> u64 {
+        self.staged_serves.load(Ordering::Relaxed)
+    }
+
+    /// Requests served unspecialized by admission policy so far.
+    pub fn unspec_serves(&self) -> u64 {
+        self.unspec_serves.load(Ordering::Relaxed)
+    }
+
+    /// Exports the totals as a JSON object for the serve envelope.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("admitted", Json::from(self.admitted())),
+            ("shed", Json::from(self.shed())),
+            ("drain_rejected", Json::from(self.drain_rejected())),
+            ("deadline_missed", Json::from(self.deadline_missed())),
+            ("peak_queue_depth", Json::from(self.peak_queue_depth())),
+            ("staged_serves", Json::from(self.staged_serves())),
+            ("unspec_serves", Json::from(self.unspec_serves())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_export() {
+        let c = ServeCounters::new();
+        c.note_admitted(1);
+        c.note_admitted(2);
+        c.note_dequeued(1);
+        c.note_admitted(2);
+        c.note_shed();
+        c.note_drain_rejected();
+        c.note_deadline_missed();
+        c.note_staged_serve();
+        c.note_staged_serve();
+        c.note_unspec_serve();
+        assert_eq!(c.admitted(), 3);
+        assert_eq!(c.shed(), 1);
+        assert_eq!(c.drain_rejected(), 1);
+        assert_eq!(c.deadline_missed(), 1);
+        assert_eq!(c.peak_queue_depth(), 2);
+        assert_eq!(c.queue_depth(), 2);
+        assert_eq!(c.staged_serves(), 2);
+        assert_eq!(c.unspec_serves(), 1);
+        let doc = c.to_json();
+        assert_eq!(doc.get("admitted").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("peak_queue_depth").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("shed").unwrap().as_u64(), Some(1));
+        // The gauge is intentionally absent: only stable totals export.
+        assert!(doc.get("queue_depth").is_none());
+    }
+
+    #[test]
+    fn peak_tracks_the_high_water_mark_under_churn() {
+        let c = ServeCounters::new();
+        for depth in [1, 3, 2, 5, 1] {
+            c.note_admitted(depth);
+        }
+        assert_eq!(c.peak_queue_depth(), 5);
+        assert_eq!(c.admitted(), 5);
+    }
+}

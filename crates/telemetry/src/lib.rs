@@ -20,7 +20,10 @@
 //! * [`LatencyHist`] / [`Timing`] — mergeable log2-bucket latency
 //!   histograms for the *serving* path. Wall time is nondeterministic, so
 //!   it travels in this side-channel beside the deterministic metrics
-//!   `Profile`, never inside it (the parity suites depend on that split).
+//!   `Profile`, never inside it (the parity suites depend on that split);
+//! * [`ServeCounters`] — lock-free admission/backpressure/drain counters
+//!   for the online serving daemon (queue depth high-water mark, shed and
+//!   deadline-miss totals), exported into the serve envelope.
 //!
 //! The crate is a leaf: it depends on nothing, so the interpreter, the
 //! specializer, the CLI and the bench harness can all speak it without
@@ -33,12 +36,14 @@
 
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod event;
 pub mod hash;
 pub mod hist;
 pub mod json;
 pub mod span;
 
+pub use counters::ServeCounters;
 pub use event::TraceEvent;
 pub use hash::{fnv1a_64, Fnv64};
 pub use hist::{format_nanos, LatencyHist, Timing};

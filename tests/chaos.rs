@@ -571,3 +571,137 @@ fn crashed_writer_restart_serves_recovered_caches_without_restaging() {
     );
     assert_eq!(fresh.stats().wal_replays(), 1);
 }
+
+/// The latency-fault matrix (`stall:N`, `slow-io:N`) × engine × policy ×
+/// example. These faults cost wall-clock time only — a stalled stager, a
+/// slow disk under the log lock — so the invariant is *stronger* than
+/// the memory matrix: every request must succeed bit-exact against the
+/// reference, zero typed errors, zero fallbacks, and the injected delay
+/// must actually show up on the clock (otherwise the fault never fired
+/// and the scenario proved nothing).
+#[test]
+fn latency_faults_cost_time_but_never_answers() {
+    for ex in paper_examples() {
+        for engine in ENGINES {
+            for policy in POLICIES {
+                for fault in Fault::LATENCY_FAULTS {
+                    let delay_ms = match fault {
+                        Fault::Stall(ms) | Fault::SlowIo(ms) => ms,
+                        other => panic!("{other} is not a latency fault"),
+                    };
+                    let ctx = format!("{} {engine:?} {policy:?} {fault}", ex.name);
+                    let mut r = runner_for(
+                        ex.src,
+                        ex.entry,
+                        ex.varying,
+                        RunnerOptions {
+                            engine,
+                            policy,
+                            ..RunnerOptions::default()
+                        },
+                    );
+                    // slow-io needs a log to slow down; stall ignores it.
+                    let wal = Arc::new(Wal::in_memory(r.layout_fingerprint(), None));
+                    r.attach_wal(Arc::clone(&wal));
+                    r.inject(fault, 7).expect("latency fault arms");
+                    let started = std::time::Instant::now();
+                    for round in 0..2 {
+                        for (i, args) in ex.arg_sets.iter().enumerate() {
+                            assert!(
+                                checked_request(
+                                    &mut r,
+                                    args,
+                                    &format!("{ctx} round {round} args {i}")
+                                ),
+                                "{ctx}: a latency fault must never surface an error \
+                                 (round {round} args {i})"
+                            );
+                        }
+                    }
+                    assert!(
+                        started.elapsed() >= std::time::Duration::from_millis(delay_ms),
+                        "{ctx}: the injected {delay_ms} ms delay never fired"
+                    );
+                    assert!(!wal.is_crashed(), "{ctx}: a slow disk is not a crashed one");
+                    assert_eq!(r.stats().fallbacks(), 0, "{ctx}: no degradation allowed");
+                    assert_eq!(r.stats().validation_failures(), 0, "{ctx}");
+                }
+            }
+        }
+    }
+}
+
+/// The in-memory + latency fault matrix driven through the online daemon
+/// (ISSUE 8): per-request injected faults — including the wedge and
+/// slow-disk kinds — are absorbed by the default rebuild-then-fallback
+/// policy, and every answer is bit-identical to the solo unspecialized
+/// reference. The daemon may *never* convert a fault into a silently
+/// wrong value.
+#[test]
+fn daemon_serves_the_fault_matrix_bit_exactly() {
+    use ds_runtime::{CacheStore, Daemon, DaemonConfig, StagedArtifact};
+    let ex = &paper_examples()[0];
+    for engine in ENGINES {
+        let (spec, part) = specialized(ex.src, ex.entry, ex.varying);
+        let artifact = Arc::new(StagedArtifact::new(&spec, &part));
+        let store = Arc::new(CacheStore::new(8));
+        let wal = Arc::new(Wal::in_memory(artifact.layout_fingerprint(), None));
+        let (daemon, rx) = Daemon::start(
+            Arc::clone(&artifact),
+            store,
+            Some(Arc::clone(&wal)),
+            DaemonConfig {
+                workers: 4,
+                runner: RunnerOptions {
+                    engine,
+                    ..RunnerOptions::default()
+                },
+                ..DaemonConfig::default()
+            },
+        );
+        let mut faults: Vec<Fault> = Fault::MEMORY_FAULTS.to_vec();
+        faults.extend(Fault::LATENCY_FAULTS);
+        let mut want = std::collections::HashMap::new();
+        let mut seq = 0u64;
+        for fault in &faults {
+            for args in ex.arg_sets.iter() {
+                let reference = artifact
+                    .reference(args, ds_interp::EvalOptions::default())
+                    .unwrap_or_else(|e| panic!("{engine:?}: reference: {e}"))
+                    .value;
+                want.insert(seq, reference);
+                daemon
+                    .submit(seq, args.clone(), Some((*fault, seq)))
+                    .unwrap_or_else(|e| panic!("{engine:?} seq {seq}: submit: {e}"));
+                seq += 1;
+            }
+        }
+        daemon.drain();
+        let mut served = 0u64;
+        while let Ok(resp) = rx.recv_timeout(std::time::Duration::from_secs(30)) {
+            served += 1;
+            let ctx = format!("{engine:?} seq {}", resp.seq);
+            let out = resp
+                .result
+                .unwrap_or_else(|e| panic!("{ctx}: rebuild-then-fallback leaked an error: {e}"));
+            match (&out.value, &want[&resp.seq]) {
+                (Some(got), Some(exp)) => assert!(
+                    got.bits_eq(exp),
+                    "{ctx}: SILENT WRONG VALUE: got {got}, reference {exp}"
+                ),
+                (got, exp) => assert_eq!(got, exp, "{ctx}: value presence diverged"),
+            }
+        }
+        assert_eq!(served, seq, "{engine:?}: some requests never answered");
+        let report = daemon.join();
+        assert!(
+            !wal.is_crashed(),
+            "{engine:?}: latency faults crashed the log"
+        );
+        assert_eq!(
+            report.counters.staged_serves() + report.counters.unspec_serves(),
+            seq,
+            "{engine:?}: serve counters disagree with the request count"
+        );
+    }
+}
