@@ -343,23 +343,22 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
     fn run(&mut self) {
         while let Some(id) = self.worklist.pop() {
             self.worklist_pops += 1;
-            // Rule 4: a dynamic variable reference drags its reaching
-            // definitions into the reader.
-            if let Some(e) = self.ix.expr(id) {
-                if matches!(e.kind, ExprKind::Var(_)) {
-                    let defs: Vec<TermId> = self
-                        .rd
-                        .defs_of(id)
-                        .iter()
-                        .filter_map(|d| match d {
-                            DefId::Stmt(sid) => Some(*sid),
-                            DefId::Param(_) => None, // parameters are reader inputs
-                        })
-                        .collect();
-                    for d in defs {
-                        self.raise(d, Label::Dynamic, Reason::DefinitionOfDynamicRef(id));
-                    }
-                }
+            // Rule 4: a dynamic variable or array-element reference drags
+            // its reaching definitions into the reader. Array-element
+            // *writes* participate too: an element write is a
+            // read-modify-write whose consumed definitions (the elements it
+            // preserves) are recorded under the statement's own id.
+            let defs: Vec<TermId> = self
+                .rd
+                .defs_of(id)
+                .iter()
+                .filter_map(|d| match d {
+                    DefId::Stmt(sid) => Some(*sid),
+                    DefId::Param(_) => None, // parameters are reader inputs
+                })
+                .collect();
+            for d in defs {
+                self.raise(d, Label::Dynamic, Reason::DefinitionOfDynamicRef(id));
             }
             // Rule 5: guards of a dynamic term are dynamic.
             let guards = self.ix.ctx(id).guards.clone();
@@ -400,10 +399,12 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
         {
             return false;
         }
-        // Only value-typed results fit in a slot.
+        // Only scalar value-typed results fit in a slot: cache slots never
+        // hold whole arrays (an array phi RHS stays uncached; its *element*
+        // reads are the cacheable unit).
         match self.types.try_expr_type(id) {
-            Some(Type::Void) | None => return false,
-            Some(_) => {}
+            Some(t) if t.is_scalar() && t != Type::Void => {}
+            _ => return false,
         }
         if !self.single_valued(id) {
             return false;
@@ -470,8 +471,11 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
         // Every free variable's reaching definitions lie outside the
         // anchored region (i.e. the anchor does not guard them).
         let mut hoistable = true;
+        // An element read's array is named by the `Index` term itself (the
+        // name is not a `Var` subexpression), so both kinds carry reaching
+        // definitions.
         e.walk(&mut |sub| {
-            if !hoistable || !matches!(sub.kind, ExprKind::Var(_)) {
+            if !hoistable || !matches!(sub.kind, ExprKind::Var(_) | ExprKind::Index { .. }) {
                 return;
             }
             for def in self.rd.defs_of(sub.id) {
@@ -502,7 +506,11 @@ impl<'a, 'p> CacheSolver<'a, 'p> {
             if !invariant {
                 return;
             }
-            if matches!(sub.kind, ExprKind::Var(_)) {
+            // `Index` terms carry their array's reaching definitions under
+            // their own id (the array name is not a `Var` subexpression):
+            // an element read whose array is written inside the loop is
+            // loop-variant exactly like a scalar would be.
+            if matches!(sub.kind, ExprKind::Var(_) | ExprKind::Index { .. }) {
                 for def in self.rd.defs_of(sub.id) {
                     if let DefId::Stmt(d) = def {
                         let def_loops = &self.ix.ctx(*d).loops;
@@ -731,6 +739,50 @@ mod tests {
     }
 
     #[test]
+    fn loop_carried_element_reads_are_not_cached() {
+        // Fuzzer finding (tests/corpus/array_loop_carried_element_read.mc):
+        // the `v[1]` read is loop-carried — its array is written inside the
+        // loop — but an `Index` term has no `Var` subexpression for its
+        // array, so a Var-only single-valuedness walk judged it invariant
+        // and cached a different value per iteration into one slot.
+        let c = ctx(
+            "float f(float k, float v) {
+                 float a[2] = k;
+                 int i = 0;
+                 while (i < 3) {
+                     a[1] = trace(a[1]) + v;
+                     i = i + 1;
+                 }
+                 return a[1];
+             }",
+            &["v"],
+        );
+        let (_, _, _, pretty) = solve(&c);
+        assert_eq!(label_of(&pretty, "a[1]"), Label::Dynamic);
+    }
+
+    #[test]
+    fn loop_invariant_element_reads_are_cached() {
+        // The array is only written before the loop, so the in-loop element
+        // read is invariant and one slot summarizes it.
+        let c = ctx(
+            "float f(float k, float v) {
+                 float a[2] = sqrt(abs(k) + 1.0);
+                 int i = 0;
+                 float acc = 0.0;
+                 while (i < 3) {
+                     acc = acc + a[1] * v;
+                     i = i + 1;
+                 }
+                 return acc;
+             }",
+            &["v"],
+        );
+        let (_, _, _, pretty) = solve(&c);
+        assert_eq!(label_of(&pretty, "a[1]"), Label::Cached);
+    }
+
+    #[test]
     fn loop_invariant_terms_are_cached() {
         let c = ctx(
             "float f(float k, float v, int n) {
@@ -828,6 +880,87 @@ mod tests {
         assert_eq!(s + cch + d, ix.term_count());
         assert_eq!(cch, 1);
         assert!(d > 0 && s > 0);
+    }
+
+    #[test]
+    fn invariant_element_reads_are_cached() {
+        // An independent const-index element read costs INDEX_COST (> the
+        // triviality threshold), so it is worth a slot; the expensive
+        // element fill stays loader-only.
+        let c = ctx(
+            "float f(float k, float v) {
+                 float w[2] = k;
+                 w[0] = sin(k);
+                 return w[0] + v;
+             }",
+            &["v"],
+        );
+        let (_, _, _, pretty) = solve(&c);
+        assert_eq!(label_of(&pretty, "w[0]"), Label::Cached);
+        assert_eq!(label_of(&pretty, "sin(k)"), Label::Static);
+    }
+
+    #[test]
+    fn dynamic_element_write_drags_array_into_reader() {
+        // `w[0] = v` is dependent, hence dynamic; being a read-modify-write
+        // of the elements it preserves, Rule 4 must drag the declaration
+        // into the reader too — but the expensive fill value gets cached.
+        let c = ctx(
+            "float f(int i, float k, float v) {
+                 float w[2] = sin(k);
+                 w[0] = v;
+                 return w[i];
+             }",
+            &["v"],
+        );
+        let p = &c.prog.procs[0];
+        let ix = TermIndex::build(p);
+        let rd = reaching_defs(p);
+        let dep = analyze_dependence(p, &c.varying);
+        let solver = CacheSolver::solve(&ix, &rd, &dep, &c.types);
+        let decl_id = p.body.stmts[0].id;
+        let write_id = p.body.stmts[1].id;
+        assert_eq!(solver.label(write_id), Label::Dynamic);
+        assert_eq!(solver.label(decl_id), Label::Dynamic);
+        // The decl's fill value sin(k) is independent and expensive: cached.
+        let mut sin_label = None;
+        p.walk_exprs(&mut |e| {
+            if matches!(&e.kind, ExprKind::Call(name, _) if name == "sin") {
+                sin_label = Some(solver.label(e.id));
+            }
+        });
+        assert_eq!(sin_label, Some(Label::Cached));
+    }
+
+    #[test]
+    fn array_phi_rhs_is_not_cached() {
+        // Cache slots are scalar: a whole-array phi RHS must not be cached
+        // even though §4.1 permits scalar phi RHS caching.
+        let src = "float f(bool p, float k, float v) {
+                       float w[2] = k;
+                       if (p) { w[0] = sin(k); }
+                       w = w;
+                       return w[1] * v;
+                   }";
+        let c = ctx(src, &["v"]);
+        let mut prog = c.prog.clone();
+        if let StmtKind::Assign { is_phi, .. } = &mut prog.procs[0].body.stmts[2].kind {
+            *is_phi = true;
+        }
+        prog.renumber();
+        let types = typecheck(&prog).unwrap();
+        let p = &prog.procs[0];
+        let ix = TermIndex::build(p);
+        let rd = reaching_defs(p);
+        let dep = analyze_dependence(p, &c.varying);
+        let solver = CacheSolver::solve(&ix, &rd, &dep, &types);
+        let rhs_id = match &p.body.stmts[2].kind {
+            StmtKind::Assign { value, .. } => value.id,
+            _ => unreachable!(),
+        };
+        // A scalar phi RHS this invariant would be Cached under §4.1; the
+        // array stays Static (loader-only) because cache slots are scalar.
+        assert_eq!(solver.label(rhs_id), Label::Static);
     }
 
     fn _unused(_: &Proc) {}

@@ -15,7 +15,7 @@
 use crate::index::TermIndex;
 use ds_lang::cost::{
     binop_cost, unop_cost, BRANCH_COST, CACHE_READ_COST, CACHE_STORE_COST, COND_DIVISOR,
-    LOOP_MULTIPLIER, TRIVIALITY_THRESHOLD,
+    INDEX_COST, LOOP_MULTIPLIER, TRIVIALITY_THRESHOLD,
 };
 use ds_lang::{Builtin, Expr, ExprKind, TermId};
 
@@ -34,6 +34,10 @@ pub fn plain_cost(e: &Expr) -> u64 {
                 .unwrap_or(25);
             op + args.iter().map(plain_cost).sum::<u64>()
         }
+        // An element read is dearer than a cache-slot read (address
+        // arithmetic + bounds check), so an invariant `v[2]` is never
+        // "sufficiently trivial" — caching it is a win.
+        ExprKind::Index { index, .. } => INDEX_COST + plain_cost(index),
         ExprKind::CacheRef(..) => CACHE_READ_COST,
         ExprKind::CacheStore(_, inner) => CACHE_STORE_COST + plain_cost(inner),
     }
@@ -89,6 +93,17 @@ mod tests {
         assert!(!is_trivial(&parse_expr("x1*x2 + y1*y2").unwrap()));
         assert!(is_trivial(&parse_expr("x").unwrap()));
         assert!(is_trivial(&parse_expr("1.0").unwrap()));
+    }
+
+    #[test]
+    fn indexed_reads_are_nontrivial() {
+        // A bare invariant element read must clear the triviality bar so it
+        // can enter the cached frontier; a constant index adds nothing.
+        let e = parse_expr("v[2]").unwrap();
+        assert_eq!(plain_cost(&e), INDEX_COST);
+        assert!(!is_trivial(&e));
+        // A computed index pays for its own arithmetic too.
+        assert_eq!(plain_cost(&parse_expr("v[i + 1]").unwrap()), INDEX_COST + 1);
     }
 
     #[test]

@@ -140,6 +140,19 @@ fn walk_stmt(s: &Stmt, state: &mut HashMap<String, bool>, cdep: bool, out: &mut 
             let mut body_state = state.clone();
             walk_block(body, &mut body_state, cdep || cd, out);
         }
+        StmtKind::ArrayAssign { name, index, value } => {
+            // Dependence is tracked per whole array: an element write can
+            // only add dependence (the untouched elements keep their old,
+            // possibly dependent, values), never remove it.
+            let di = walk_expr(index, state, cdep, out);
+            let dv = walk_expr(value, state, cdep, out);
+            let old = state.get(name).copied().unwrap_or(false);
+            let d = old || di || dv || cdep;
+            state.insert(name.clone(), d);
+            if d {
+                out.dependent.insert(s.id);
+            }
+        }
         StmtKind::Return(opt) => {
             let mut d = cdep;
             if let Some(e) = opt {
@@ -182,6 +195,12 @@ fn walk_expr(
             let dt = walk_expr(t, state, branch_cdep, out);
             let df = walk_expr(f, state, branch_cdep, out);
             dc | dt | df
+        }
+        // Element reads see the whole array's dependence bit (plus the
+        // index computation's own dependence).
+        ExprKind::Index { array, index } => {
+            let di = walk_expr(index, state, cdep, out);
+            state.get(array).copied().unwrap_or(false) | di
         }
         ExprKind::Call(_, args) => {
             let mut d = false;
@@ -395,6 +414,34 @@ mod tests {
         });
         assert!(mul_under);
         assert!(cond_dep);
+    }
+
+    #[test]
+    fn array_dependence_is_whole_array() {
+        // One dependent element write taints every later element read, even
+        // at a different constant index (sound whole-array granularity).
+        let (prog, dep) = analyze(
+            "float f(float v, float k) {
+                 float a[3] = 0.0;
+                 a[0] = k;
+                 float fixed = a[1];
+                 a[2] = v;
+                 return a[0] + fixed;
+             }",
+            &["v"],
+        );
+        let p = &prog.procs[0];
+        let mut reads = Vec::new();
+        p.walk_exprs(&mut |e| {
+            if matches!(&e.kind, ExprKind::Index { array, .. } if array == "a") {
+                reads.push(dep.is_dependent(e.id));
+            }
+        });
+        // a[1] read before the dependent write is independent; the a[0] read
+        // after it is dependent despite touching a different element.
+        assert_eq!(reads, vec![false, true]);
+        // `fixed` captured the pre-taint value and stays independent.
+        assert!(!dep.is_dependent(*var_refs(p, "fixed").last().unwrap()));
     }
 
     #[test]

@@ -165,6 +165,7 @@ impl<'p> TermIndex<'p> {
                 StmtKind::Decl { init, .. } => vec![init.id],
                 StmtKind::Assign { value, .. } => vec![value.id],
                 StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => vec![cond.id],
+                StmtKind::ArrayAssign { index, value, .. } => vec![index.id, value.id],
                 StmtKind::Return(Some(e)) => vec![e.id],
                 StmtKind::Return(None) => vec![],
                 StmtKind::ExprStmt(e) => vec![e.id],
@@ -228,6 +229,10 @@ impl<'a, 'p> Walk<'a, 'p> {
                 self.block(body, Some(s.id));
                 self.guards.pop();
                 self.loops.pop();
+            }
+            StmtKind::ArrayAssign { index, value, .. } => {
+                self.expr(index, s.id);
+                self.expr(value, s.id);
             }
             StmtKind::Return(Some(e)) => self.expr(e, s.id),
             StmtKind::Return(None) => {}

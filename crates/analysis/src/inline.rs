@@ -22,37 +22,76 @@
 //!
 //! Violations are reported as [`InlineError`]s; the benchmark shaders comply.
 
-use ds_lang::{Block, Expr, ExprKind, Param, Proc, Program, Stmt, StmtKind, Type};
+use ds_lang::{Block, Expr, ExprKind, Param, Proc, Program, Span, Stmt, StmtKind, Type};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-/// Why inlining failed.
+/// Why inlining failed. Every variant carries the source [`Span`] of the
+/// offending construct so diagnostics can point at it: the call site for
+/// restriction violations, the stray `return` (or the procedure header) for
+/// return-shape problems.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InlineError {
     /// The entry (or a callee) procedure does not exist.
-    UnknownProc(String),
+    UnknownProc {
+        /// The missing procedure's name.
+        name: String,
+        /// The call site, or [`Span::DUMMY`] when the *entry* is missing.
+        span: Span,
+    },
     /// A callee has an early or missing trailing return.
-    UnsupportedReturnShape(String),
+    UnsupportedReturnShape {
+        /// The callee's name.
+        name: String,
+        /// The early `return` statement, or the procedure header when the
+        /// body does not end in a return at all.
+        span: Span,
+    },
     /// A user call appears in a `while` condition.
-    CallInLoopCondition(String),
+    CallInLoopCondition {
+        /// The callee's name.
+        name: String,
+        /// The call expression inside the condition.
+        span: Span,
+    },
     /// A user call appears inside a ternary branch.
-    CallInCondBranch(String),
+    CallInCondBranch {
+        /// The callee's name.
+        name: String,
+        /// The call expression inside the branch.
+        span: Span,
+    },
+}
+
+impl InlineError {
+    /// The source location of the offending construct.
+    pub fn span(&self) -> Span {
+        match self {
+            InlineError::UnknownProc { span, .. }
+            | InlineError::UnsupportedReturnShape { span, .. }
+            | InlineError::CallInLoopCondition { span, .. }
+            | InlineError::CallInCondBranch { span, .. } => *span,
+        }
+    }
 }
 
 impl fmt::Display for InlineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InlineError::UnknownProc(n) => write!(f, "unknown procedure `{n}`"),
-            InlineError::UnsupportedReturnShape(n) => write!(
+            InlineError::UnknownProc { name, .. } => write!(f, "unknown procedure `{name}`"),
+            InlineError::UnsupportedReturnShape { name, .. } => write!(
                 f,
-                "procedure `{n}` cannot be inlined: it must end in a single trailing return"
+                "procedure `{name}` cannot be inlined: it must end in a single trailing return"
             ),
-            InlineError::CallInLoopCondition(n) => {
-                write!(f, "call to `{n}` in a while condition cannot be inlined")
+            InlineError::CallInLoopCondition { name, .. } => {
+                write!(f, "call to `{name}` in a while condition cannot be inlined")
             }
-            InlineError::CallInCondBranch(n) => {
-                write!(f, "call to `{n}` inside a ternary branch cannot be inlined")
+            InlineError::CallInCondBranch { name, .. } => {
+                write!(
+                    f,
+                    "call to `{name}` inside a ternary branch cannot be inlined"
+                )
             }
         }
     }
@@ -91,7 +130,7 @@ pub fn inline_entry(program: &Program, entry: &str) -> Result<Program, InlineErr
         fresh: 0,
         var_types: HashMap::new(),
     };
-    let proc = cx.fully_inlined(entry)?;
+    let proc = cx.fully_inlined(entry, Span::DUMMY)?;
     let mut out = Program { procs: vec![proc] };
     out.renumber();
     Ok(out)
@@ -108,14 +147,17 @@ struct Inliner<'p> {
 }
 
 impl<'p> Inliner<'p> {
-    fn fully_inlined(&mut self, name: &str) -> Result<Proc, InlineError> {
+    fn fully_inlined(&mut self, name: &str, site: Span) -> Result<Proc, InlineError> {
         if let Some(p) = self.done.get(name) {
             return Ok(p.clone());
         }
         let proc = self
             .program
             .proc(name)
-            .ok_or_else(|| InlineError::UnknownProc(name.to_string()))?;
+            .ok_or_else(|| InlineError::UnknownProc {
+                name: name.to_string(),
+                span: site,
+            })?;
         let saved_types = std::mem::take(&mut self.var_types);
         for p in &proc.params {
             self.var_types.insert(p.name.clone(), p.ty);
@@ -153,9 +195,13 @@ impl<'p> Inliner<'p> {
             StmtKind::If { cond, .. } => {
                 self.hoist_calls(cond, out)?;
             }
+            StmtKind::ArrayAssign { index, value, .. } => {
+                self.hoist_calls(index, out)?;
+                self.hoist_calls(value, out)?;
+            }
             StmtKind::While { cond, .. } => {
-                if let Some(n) = first_user_call(cond, self.program) {
-                    return Err(InlineError::CallInLoopCondition(n));
+                if let Some((name, span)) = first_user_call(cond, self.program) {
+                    return Err(InlineError::CallInLoopCondition { name, span });
                 }
             }
         }
@@ -202,13 +248,14 @@ impl<'p> Inliner<'p> {
             ExprKind::Cond(c, t, f) => {
                 self.hoist_calls(c, out)?;
                 for branch in [t, f] {
-                    if let Some(n) = first_user_call(branch, self.program) {
-                        return Err(InlineError::CallInCondBranch(n));
+                    if let Some((name, span)) = first_user_call(branch, self.program) {
+                        return Err(InlineError::CallInCondBranch { name, span });
                     }
                 }
                 Ok(())
             }
             ExprKind::Unary(_, a) | ExprKind::CacheStore(_, a) => self.hoist_calls(a, out),
+            ExprKind::Index { index, .. } => self.hoist_calls(index, out),
             ExprKind::Binary(_, l, r) => {
                 let children: Vec<&mut Expr> = vec![l, r];
                 self.hoist_children(children, out)
@@ -223,7 +270,7 @@ impl<'p> Inliner<'p> {
                 }
                 let name = name.clone();
                 let args = std::mem::take(args);
-                let result_var = self.splice_call(&name, args, out)?;
+                let result_var = self.splice_call(&name, args, e.span, out)?;
                 e.kind = ExprKind::Var(result_var);
                 Ok(())
             }
@@ -284,6 +331,11 @@ impl<'p> Inliner<'p> {
                 }
             }
             ExprKind::Cond(_, t, _) => self.infer_type(t),
+            ExprKind::Index { array, .. } => self
+                .var_types
+                .get(array)
+                .and_then(|t| t.elem())
+                .unwrap_or_else(|| panic!("untyped array `{array}` during inlining")),
             ExprKind::Call(name, _) => ds_lang::Builtin::from_name(name)
                 .map(|b| b.ret_type())
                 .or_else(|| self.program.proc(name).map(|p| p.ret))
@@ -298,9 +350,10 @@ impl<'p> Inliner<'p> {
         &mut self,
         callee_name: &str,
         args: Vec<Expr>,
+        site: Span,
         out: &mut Block,
     ) -> Result<String, InlineError> {
-        let callee = self.fully_inlined(callee_name)?;
+        let callee = self.fully_inlined(callee_name, site)?;
         let (lead, ret_expr) = split_trailing_return(&callee)?;
         let n = self.fresh;
         self.fresh += 1;
@@ -336,36 +389,42 @@ impl<'p> Inliner<'p> {
 
 /// Splits a callee into (leading statements, trailing return expression).
 fn split_trailing_return(p: &Proc) -> Result<(&[Stmt], &Expr), InlineError> {
-    let err = || InlineError::UnsupportedReturnShape(p.name.clone());
-    let (last, lead) = p.body.stmts.split_last().ok_or_else(err)?;
+    let err = |span: Span| InlineError::UnsupportedReturnShape {
+        name: p.name.clone(),
+        span,
+    };
+    let (last, lead) = p.body.stmts.split_last().ok_or_else(|| err(p.span))?;
     let ret_expr = match &last.kind {
         StmtKind::Return(Some(e)) => e,
-        _ => return Err(err()),
+        _ => return Err(err(last.span)),
     };
-    // No other returns anywhere.
-    let mut extra_returns = 0;
+    // No other returns anywhere; report the first stray one.
+    let mut early: Option<Span> = None;
     for s in lead {
-        count_returns(s, &mut extra_returns);
+        find_return(s, &mut early);
     }
-    if extra_returns > 0 {
-        return Err(err());
+    if let Some(span) = early {
+        return Err(err(span));
     }
     Ok((lead, ret_expr))
 }
 
-fn count_returns(s: &Stmt, n: &mut usize) {
+fn find_return(s: &Stmt, found: &mut Option<Span>) {
+    if found.is_some() {
+        return;
+    }
     match &s.kind {
-        StmtKind::Return(_) => *n += 1,
+        StmtKind::Return(_) => *found = Some(s.span),
         StmtKind::If {
             then_blk, else_blk, ..
         } => {
             for st in then_blk.stmts.iter().chain(&else_blk.stmts) {
-                count_returns(st, n);
+                find_return(st, found);
             }
         }
         StmtKind::While { body, .. } => {
             for st in &body.stmts {
-                count_returns(st, n);
+                find_return(st, found);
             }
         }
         _ => {}
@@ -407,13 +466,13 @@ fn record_decl_types(s: &Stmt, types: &mut HashMap<String, Type>) {
     }
 }
 
-fn first_user_call(e: &Expr, program: &Program) -> Option<String> {
+fn first_user_call(e: &Expr, program: &Program) -> Option<(String, Span)> {
     let mut found = None;
     e.walk(&mut |sub| {
         if found.is_none() {
             if let ExprKind::Call(name, _) = &sub.kind {
                 if program.proc(name).is_some() {
-                    found = Some(name.clone());
+                    found = Some((name.clone(), sub.span));
                 }
             }
         }
@@ -464,6 +523,11 @@ fn rename_stmt(s: &Stmt, prefix: &str) -> Stmt {
                 stmts: body.stmts.iter().map(|s| rename_stmt(s, prefix)).collect(),
             },
         },
+        StmtKind::ArrayAssign { name, index, value } => StmtKind::ArrayAssign {
+            name: format!("{prefix}{name}"),
+            index: rename_expr(index.clone(), prefix),
+            value: rename_expr(value.clone(), prefix),
+        },
         StmtKind::Return(v) => StmtKind::Return(v.clone().map(|e| rename_expr(e, prefix))),
         StmtKind::ExprStmt(e) => StmtKind::ExprStmt(rename_expr(e.clone(), prefix)),
     };
@@ -482,6 +546,10 @@ fn rename_expr(mut e: Expr, prefix: &str) -> Expr {
 fn rename_expr_mut(e: &mut Expr, prefix: &str) {
     match &mut e.kind {
         ExprKind::Var(name) => *name = format!("{prefix}{name}"),
+        ExprKind::Index { array, index } => {
+            *array = format!("{prefix}{array}");
+            rename_expr_mut(index, prefix);
+        }
         ExprKind::Unary(_, a) | ExprKind::CacheStore(_, a) => rename_expr_mut(a, prefix),
         ExprKind::Binary(_, l, r) => {
             rename_expr_mut(l, prefix);
@@ -598,17 +666,28 @@ mod tests {
         }
     }
 
+    /// The source text the error's span points at.
+    fn spanned<'s>(src: &'s str, err: &InlineError) -> &'s str {
+        let span = err.span();
+        &src[span.start as usize..span.end as usize]
+    }
+
     #[test]
-    fn early_return_callee_rejected() {
+    fn early_return_callee_rejected_with_span() {
         let src = "float weird(float x) { if (x > 0.0) { return 1.0; } return 0.0; }
                    float f(float a) { return weird(a); }";
         let prog = parse_program(src).unwrap();
         let err = inline_entry(&prog, "f").unwrap_err();
-        assert!(matches!(err, InlineError::UnsupportedReturnShape(n) if n == "weird"));
+        assert!(
+            matches!(&err, InlineError::UnsupportedReturnShape { name, .. } if name == "weird")
+        );
+        // The span pins the stray early return (the parser spans return
+        // statements at the keyword), not the whole procedure.
+        assert_eq!(spanned(src, &err), "return");
     }
 
     #[test]
-    fn call_in_while_condition_rejected() {
+    fn call_in_while_condition_rejected_with_span() {
         let src = "float sq(float x) { return x * x; }
                    float f(float a) {
                        float t = a;
@@ -617,16 +696,19 @@ mod tests {
                    }";
         let prog = parse_program(src).unwrap();
         let err = inline_entry(&prog, "f").unwrap_err();
-        assert_eq!(err, InlineError::CallInLoopCondition("sq".into()));
+        assert!(matches!(&err, InlineError::CallInLoopCondition { name, .. } if name == "sq"));
+        // The span pins the offending call expression in the condition.
+        assert_eq!(spanned(src, &err), "sq(t)");
     }
 
     #[test]
-    fn call_in_ternary_branch_rejected() {
+    fn call_in_ternary_branch_rejected_with_span() {
         let src = "float sq(float x) { return x * x; }
                    float f(bool p, float a) { return p ? sq(a) : 0.0; }";
         let prog = parse_program(src).unwrap();
         let err = inline_entry(&prog, "f").unwrap_err();
-        assert_eq!(err, InlineError::CallInCondBranch("sq".into()));
+        assert!(matches!(&err, InlineError::CallInCondBranch { name, .. } if name == "sq"));
+        assert_eq!(spanned(src, &err), "sq(a)");
     }
 
     #[test]
@@ -647,8 +729,31 @@ mod tests {
         let prog = parse_program("float f(float x) { return x; }").unwrap();
         assert!(matches!(
             inline_entry(&prog, "nope").unwrap_err(),
-            InlineError::UnknownProc(_)
+            InlineError::UnknownProc { .. }
         ));
+    }
+
+    #[test]
+    fn array_locals_are_renamed_through_inlining() {
+        let src = "float pick(int i, float x) {
+                       float v[3] = 0.0;
+                       v[1] = x;
+                       v[i] = v[1] * 2.0;
+                       return v[i];
+                   }
+                   float f(int k, float a) { return pick(k, a) + 1.0; }";
+        let prog = parse_program(src).unwrap();
+        let out = inline_ok(src, "f");
+        let text = ds_lang::print_program(&out);
+        assert!(text.contains("__inl0_v[1]"), "{text}");
+        for (k, a) in [(0i64, 2.0f64), (1, 3.5), (2, -1.0)] {
+            let args = [Value::Int(k), Value::Float(a)];
+            assert_eq!(
+                Evaluator::new(&prog).run("f", &args).unwrap().value,
+                Evaluator::new(&out).run("f", &args).unwrap().value,
+                "k={k} a={a}"
+            );
+        }
     }
 
     #[test]

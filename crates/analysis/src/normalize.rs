@@ -36,6 +36,11 @@ fn assigned_vars(b: &Block, out: &mut HashSet<String>) {
             StmtKind::Assign { name, .. } => {
                 out.insert(name.clone());
             }
+            // An element write modifies the whole array value, so the array
+            // variable needs a pseudo-phi at the join like any assignee.
+            StmtKind::ArrayAssign { name, .. } => {
+                out.insert(name.clone());
+            }
             StmtKind::If {
                 then_blk, else_blk, ..
             } => {
@@ -98,7 +103,9 @@ fn walk_block(b: &mut Block, init: &mut HashSet<String>) -> usize {
                 *init = before; // zero-trip possibility
                 phis = affected.into_iter().filter(|v| init.contains(v)).collect();
             }
-            StmtKind::Return(_) | StmtKind::ExprStmt(_) => {}
+            // An element write requires the array to be initialized already,
+            // so it adds nothing to the definitely-init set.
+            StmtKind::ArrayAssign { .. } | StmtKind::Return(_) | StmtKind::ExprStmt(_) => {}
         }
         phis.sort_unstable();
         let mut insert_at = i + 1;
@@ -241,6 +248,20 @@ mod tests {
         assert_eq!(n, 2);
         let text = print_proc(&prog.procs[0]);
         assert_eq!(text.matches("x = x; /* phi */").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn element_writes_trigger_phis() {
+        let (prog, n) = normalize(
+            "float f(bool p, int i) {
+                 float v[4] = 0.0;
+                 if (p) { v[i] = 1.0; }
+                 return v[0];
+             }",
+        );
+        assert_eq!(n, 1);
+        let text = print_proc(&prog.procs[0]);
+        assert!(text.contains("v = v; /* phi */"), "{text}");
     }
 
     #[test]

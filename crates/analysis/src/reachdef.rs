@@ -10,6 +10,14 @@
 //! MiniC is structured and pointer-free, so a straightforward abstract
 //! interpretation with set-union merges at joins (iterated to fixpoint for
 //! loops) is exact up to path-insensitivity.
+//!
+//! Array variables are tracked **per element**: a constant-index write
+//! `v[2] = e` kills only element 2's definition set, so a later `v[2]` read
+//! can see a single reaching definition and become cacheable. A write through
+//! a *dynamic* index degrades soundly to a whole-array read-modify-write: the
+//! statement consumes every element's old definitions (recorded under the
+//! statement's own [`TermId`]) and becomes the sole definition of every
+//! element.
 
 use ds_lang::{Block, Expr, ExprKind, Proc, Stmt, StmtKind, TermId};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -54,7 +62,58 @@ impl ReachingDefs {
     }
 }
 
-type Env = HashMap<String, BTreeSet<DefId>>;
+/// Abstract value of one environment entry: scalars carry one definition
+/// set, arrays one set per element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Defs {
+    Scalar(BTreeSet<DefId>),
+    Array(Vec<BTreeSet<DefId>>),
+}
+
+impl Defs {
+    /// Union of every definition site, collapsing array elements.
+    fn all(&self) -> BTreeSet<DefId> {
+        match self {
+            Defs::Scalar(s) => s.clone(),
+            Defs::Array(v) => v.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Element-wise union of `other` into `self`; returns whether anything
+    /// was added. Shapes always agree in typechecked code (no shadowing).
+    fn union_in(&mut self, other: &Defs) -> bool {
+        match (self, other) {
+            (Defs::Scalar(a), Defs::Scalar(b)) => {
+                let mut changed = false;
+                for d in b {
+                    changed |= a.insert(*d);
+                }
+                changed
+            }
+            (Defs::Array(a), Defs::Array(b)) if a.len() == b.len() => {
+                let mut changed = false;
+                for (ae, be) in a.iter_mut().zip(b) {
+                    for d in be {
+                        changed |= ae.insert(*d);
+                    }
+                }
+                changed
+            }
+            (me, other) => {
+                // Shape mismatch cannot occur after typechecking; degrade to
+                // a collapsed scalar set rather than lose soundness.
+                let mut u = me.all();
+                let before = u.len();
+                u.extend(other.all());
+                let changed = u.len() != before || !matches!(me, Defs::Scalar(_));
+                *me = Defs::Scalar(u);
+                changed
+            }
+        }
+    }
+}
+
+type Env = HashMap<String, Defs>;
 
 /// Computes reaching definitions for `proc`.
 pub fn reaching_defs(proc: &Proc) -> ReachingDefs {
@@ -63,7 +122,12 @@ pub fn reaching_defs(proc: &Proc) -> ReachingDefs {
         .params
         .iter()
         .enumerate()
-        .map(|(i, p)| (p.name.clone(), BTreeSet::from([DefId::Param(i)])))
+        .map(|(i, p)| {
+            (
+                p.name.clone(),
+                Defs::Scalar(BTreeSet::from([DefId::Param(i)])),
+            )
+        })
         .collect();
     block(&proc.body, &mut env, &mut out);
     out
@@ -72,12 +136,23 @@ pub fn reaching_defs(proc: &Proc) -> ReachingDefs {
 fn merge(into: &mut Env, other: &Env) -> bool {
     let mut changed = false;
     for (k, v) in other {
-        let entry = into.entry(k.clone()).or_default();
-        for d in v {
-            changed |= entry.insert(*d);
+        match into.get_mut(k) {
+            Some(entry) => changed |= entry.union_in(v),
+            None => {
+                into.insert(k.clone(), v.clone());
+                changed = true;
+            }
         }
     }
     changed
+}
+
+/// The index expression's value, when it is a non-negative literal.
+fn const_index(e: &Expr) -> Option<usize> {
+    match e.kind {
+        ExprKind::IntLit(i) if i >= 0 => Some(i as usize),
+        _ => None,
+    }
 }
 
 fn block(b: &Block, env: &mut Env, out: &mut ReachingDefs) {
@@ -88,9 +163,14 @@ fn block(b: &Block, env: &mut Env, out: &mut ReachingDefs) {
 
 fn stmt(s: &Stmt, env: &mut Env, out: &mut ReachingDefs) {
     match &s.kind {
-        StmtKind::Decl { name, init, .. } => {
+        StmtKind::Decl { name, ty, init } => {
             record_uses(init, env, out);
-            env.insert(name.clone(), BTreeSet::from([DefId::Stmt(s.id)]));
+            let def = BTreeSet::from([DefId::Stmt(s.id)]);
+            let entry = match ty.array_len() {
+                Some(n) => Defs::Array(vec![def; n as usize]),
+                None => Defs::Scalar(def),
+            };
+            env.insert(name.clone(), entry);
         }
         StmtKind::Assign {
             name,
@@ -103,7 +183,50 @@ fn stmt(s: &Stmt, env: &mut Env, out: &mut ReachingDefs) {
                     out.phi_rhs.insert(value.id);
                 }
             }
-            env.insert(name.clone(), BTreeSet::from([DefId::Stmt(s.id)]));
+            let def = BTreeSet::from([DefId::Stmt(s.id)]);
+            // A whole-array assignment (copy or phi) redefines every element.
+            let entry = match env.get(name) {
+                Some(Defs::Array(elems)) => Defs::Array(vec![def; elems.len()]),
+                _ => Defs::Scalar(def),
+            };
+            env.insert(name.clone(), entry);
+        }
+        StmtKind::ArrayAssign { name, index, value } => {
+            record_uses(index, env, out);
+            record_uses(value, env, out);
+            let def = BTreeSet::from([DefId::Stmt(s.id)]);
+            if let Some(Defs::Array(elems)) = env.get_mut(name) {
+                match const_index(index).filter(|&i| i < elems.len()) {
+                    // Literal in-bounds index: strong kill of one element.
+                    // The write is still a read-modify-write of the *other*
+                    // elements (they persist through it), so their old
+                    // definitions are consumed — recorded under the
+                    // statement's own id so that Rule 4 drags the rest of
+                    // the array into the reader when this write is dynamic.
+                    Some(i) => {
+                        let rest: BTreeSet<DefId> = elems
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != i)
+                            .flat_map(|(_, e)| e.iter().copied())
+                            .collect();
+                        out.uses.insert(s.id, rest);
+                        elems[i] = def;
+                    }
+                    // Dynamic (or doomed out-of-bounds) index: degrade to a
+                    // whole-array read-modify-write. The statement consumes
+                    // every element's old definitions — recorded under its
+                    // own id so dependence still flows through it — and
+                    // becomes the sole definition of every element.
+                    None => {
+                        let old: BTreeSet<DefId> = elems.iter().flatten().copied().collect();
+                        out.uses.insert(s.id, old);
+                        for e in elems.iter_mut() {
+                            *e = def.clone();
+                        }
+                    }
+                }
+            }
         }
         StmtKind::If {
             cond,
@@ -144,11 +267,22 @@ fn stmt(s: &Stmt, env: &mut Env, out: &mut ReachingDefs) {
 }
 
 fn record_uses(e: &Expr, env: &Env, out: &mut ReachingDefs) {
-    e.walk(&mut |sub| {
-        if let ExprKind::Var(name) = &sub.kind {
-            let defs = env.get(name).cloned().unwrap_or_default();
+    e.walk(&mut |sub| match &sub.kind {
+        ExprKind::Var(name) => {
+            let defs = env.get(name).map(Defs::all).unwrap_or_default();
             out.uses.insert(sub.id, defs);
         }
+        ExprKind::Index { array, index } => {
+            // A constant-index read sees exactly that element's definitions;
+            // a dynamic read may touch any element.
+            let defs = match (env.get(array), const_index(index)) {
+                (Some(Defs::Array(elems)), Some(i)) if i < elems.len() => elems[i].clone(),
+                (Some(d), _) => d.all(),
+                (None, _) => BTreeSet::new(),
+            };
+            out.uses.insert(sub.id, defs);
+        }
+        _ => {}
     });
 }
 
@@ -277,6 +411,86 @@ mod tests {
         assert!(rd.is_phi_rhs(x_uses[0]));
         // The return's use is not a phi RHS.
         assert!(!rd.is_phi_rhs(*x_uses.last().unwrap()));
+    }
+
+    /// Finds the Index expr ids over the given array name, in pre-order.
+    fn index_refs(p: &Proc, name: &str) -> Vec<TermId> {
+        let mut v = Vec::new();
+        p.walk_exprs(&mut |e| {
+            if matches!(&e.kind, ExprKind::Index { array, .. } if array == name) {
+                v.push(e.id);
+            }
+        });
+        v
+    }
+
+    #[test]
+    fn const_index_write_kills_one_element() {
+        let prog = parse_program(
+            "float f(float x) {
+                 float v[3] = 0.0;
+                 v[0] = x;
+                 return v[0] + v[1];
+             }",
+        )
+        .unwrap();
+        let p = &prog.procs[0];
+        let rd = reaching_defs(p);
+        let sids = stmt_ids(p);
+        let (decl, write) = (sids[0], sids[1]);
+        let reads = index_refs(p, "v");
+        // v[0] sees only the element write; v[1] still sees the declaration.
+        assert_eq!(rd.defs_of(reads[0]), &BTreeSet::from([DefId::Stmt(write)]));
+        assert_eq!(rd.defs_of(reads[1]), &BTreeSet::from([DefId::Stmt(decl)]));
+    }
+
+    #[test]
+    fn dynamic_index_write_degrades_to_whole_array() {
+        let prog = parse_program(
+            "float f(int i, float x) {
+                 float v[3] = 0.0;
+                 v[0] = x;
+                 v[i] = x + 1.0;
+                 return v[2];
+             }",
+        )
+        .unwrap();
+        let p = &prog.procs[0];
+        let rd = reaching_defs(p);
+        let sids = stmt_ids(p);
+        let (decl, w0, wi) = (sids[0], sids[1], sids[2]);
+        // The dynamic write consumed every element's old defs (recorded
+        // under the statement id) ...
+        assert_eq!(
+            rd.defs_of(wi),
+            &BTreeSet::from([DefId::Stmt(decl), DefId::Stmt(w0)])
+        );
+        // ... and is now the sole definition of every element.
+        let reads = index_refs(p, "v");
+        assert_eq!(
+            rd.defs_of(*reads.last().unwrap()),
+            &BTreeSet::from([DefId::Stmt(wi)])
+        );
+    }
+
+    #[test]
+    fn dynamic_index_read_unions_elements() {
+        let prog = parse_program(
+            "float f(int i, float x) {
+                 float v[2] = 0.0;
+                 v[0] = x;
+                 return v[i];
+             }",
+        )
+        .unwrap();
+        let p = &prog.procs[0];
+        let rd = reaching_defs(p);
+        let sids = stmt_ids(p);
+        let reads = index_refs(p, "v");
+        assert_eq!(
+            rd.defs_of(*reads.last().unwrap()),
+            &BTreeSet::from([DefId::Stmt(sids[0]), DefId::Stmt(sids[1])])
+        );
     }
 
     #[test]

@@ -44,6 +44,10 @@ fn walk_stmt(s: &mut Stmt, dep: &Dependence, changed: &mut usize) {
         | StmtKind::Assign { value: e, .. }
         | StmtKind::ExprStmt(e)
         | StmtKind::Return(Some(e)) => walk_expr(e, dep, changed),
+        StmtKind::ArrayAssign { index, value, .. } => {
+            walk_expr(index, dep, changed);
+            walk_expr(value, dep, changed);
+        }
         StmtKind::Return(None) => {}
         StmtKind::If {
             cond,
@@ -65,6 +69,7 @@ fn walk_expr(e: &mut Expr, dep: &Dependence, changed: &mut usize) {
     // Children first, so inner chains settle before outer ones flatten.
     match &mut e.kind {
         ExprKind::Unary(_, a) | ExprKind::CacheStore(_, a) => walk_expr(a, dep, changed),
+        ExprKind::Index { index, .. } => walk_expr(index, dep, changed),
         ExprKind::Binary(_, l, r) => {
             walk_expr(l, dep, changed);
             walk_expr(r, dep, changed);

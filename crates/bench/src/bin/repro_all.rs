@@ -10,7 +10,8 @@
 use ds_bench::json::Json;
 use ds_bench::{
     breakeven_histogram, cache_size_stats, exp_all_partitions, exp_code_growth, exp_code_vs_data,
-    exp_dotprod, exp_limit_sweep, f, normalize_limit_sweep, summarize, table,
+    exp_dotprod, exp_limit_sweep, exp_workloads, f, normalize_limit_sweep, summarize,
+    summarize_workloads, table,
 };
 use ds_shaders::all_shaders;
 
@@ -131,6 +132,23 @@ fn main() {
         );
         code_vs_data.push(r);
     }
+    // --- W-MAT / W-DISP ------------------------------------------------
+    let workload_ms = exp_workloads();
+    let workload_sums = summarize_workloads(&workload_ms);
+    println!("\n[W-MAT/W-DISP] non-shader workload families (beyond the paper):");
+    for s in &workload_sums {
+        println!(
+            "  {}/{}: {} partitions, speedup min {}x median {}x max {}x, bit-exact {}",
+            s.family,
+            s.kernel,
+            s.partitions,
+            f(s.min_speedup, 2),
+            f(s.median_speedup, 2),
+            f(s.max_speedup, 2),
+            s.bit_exact
+        );
+    }
+
     println!(
         "\n[T-SPEC] and [T-MEM] run separately (table_speculation, table_memory);\n\
          repro_json exports everything machine-readably."
@@ -193,6 +211,26 @@ fn main() {
                     ("under_2x", Json::from(under)),
                     ("worst_growth", Json::from(worst)),
                 ]),
+            ),
+            (
+                "workloads",
+                Json::Arr(
+                    workload_sums
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("family", Json::from(s.family)),
+                                ("kernel", Json::from(s.kernel)),
+                                ("partitions", Json::from(s.partitions)),
+                                ("min_speedup", Json::from(s.min_speedup)),
+                                ("median_speedup", Json::from(s.median_speedup)),
+                                ("max_speedup", Json::from(s.max_speedup)),
+                                ("cache_median_bytes", Json::from(s.median_cache)),
+                                ("bit_exact", Json::Bool(s.bit_exact)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
             (
                 "code_vs_data",

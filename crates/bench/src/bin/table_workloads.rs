@@ -1,0 +1,62 @@
+//! [W-MAT]/[W-DISP] — the non-shader workload families: fixed-shape
+//! small-matrix/sparse-dot kernels and unrolled interpreter dispatch,
+//! rendered as Figure-7-style per-kernel speedup tables plus the raw
+//! per-partition points.
+
+use ds_bench::{exp_workloads, f, summarize_workloads, table};
+
+fn main() {
+    let ms = exp_workloads();
+    let sums = summarize_workloads(&ms);
+    for family in ["matrix", "dispatch"] {
+        println!(
+            "[W-{}] {family} family: per-kernel speedups (orig / reader, abstract cost)",
+            if family == "matrix" { "MAT" } else { "DISP" }
+        );
+        let mut rows = vec![vec![
+            "kernel".to_string(),
+            "partitions".to_string(),
+            "min".to_string(),
+            "median".to_string(),
+            "max".to_string(),
+            "cache (median)".to_string(),
+            "bit-exact".to_string(),
+        ]];
+        for s in sums.iter().filter(|s| s.family == family) {
+            rows.push(vec![
+                s.kernel.to_string(),
+                s.partitions.to_string(),
+                format!("{}x", f(s.min_speedup, 2)),
+                format!("{}x", f(s.median_speedup, 2)),
+                format!("{}x", f(s.max_speedup, 2)),
+                format!("{} B", s.median_cache),
+                s.bit_exact.to_string(),
+            ]);
+        }
+        println!("{}", table(&rows));
+    }
+    println!("per-partition points:");
+    let mut rows = vec![vec![
+        "kernel".to_string(),
+        "varying".to_string(),
+        "orig".to_string(),
+        "loader".to_string(),
+        "reader".to_string(),
+        "speedup".to_string(),
+        "slots".to_string(),
+        "breakeven".to_string(),
+    ]];
+    for m in &ms {
+        rows.push(vec![
+            m.kernel.to_string(),
+            m.varying.clone(),
+            f(m.orig_cost, 1),
+            f(m.loader_cost, 0),
+            f(m.reader_cost, 1),
+            format!("{}x", f(m.speedup, 2)),
+            m.slots.to_string(),
+            m.breakeven.map_or("never".to_string(), |b| b.to_string()),
+        ]);
+    }
+    println!("{}", table(&rows));
+}

@@ -13,6 +13,7 @@
 //! | `table_code_growth` | §3.3 — loader+reader < 2× fragment |
 //! | `table_code_vs_data` | §6.1 — code- vs data-specialization trade-off |
 //! | `table_scaling` | beyond the paper — parallel serving throughput vs workers × invariant churn |
+//! | `table_workloads` | beyond the paper — non-shader families: fixed-shape matrix/sparse kernels and unrolled interpreter dispatch (W-MAT / W-DISP) |
 //! | `repro_all` | everything above, plus a consolidated summary |
 //!
 //! Criterion benches under `benches/` measure the same pipelines in
@@ -24,6 +25,11 @@
 pub mod experiments;
 pub mod json;
 pub mod report;
+pub mod workloads;
 
 pub use experiments::*;
 pub use report::{f, log_scatter, table};
+pub use workloads::{
+    exp_workloads, measure_workload, summarize_workloads, Kernel, WorkloadMeasurement,
+    WorkloadSummary, KERNELS,
+};

@@ -1,0 +1,450 @@
+//! Non-shader workload families.
+//!
+//! The paper's evaluation is all shaders; these families probe the same
+//! loader/reader split on two other program shapes that lean on fixed-size
+//! arrays:
+//!
+//! * **`matrix`** — fixed-shape small-matrix and sparse-dot kernels. The
+//!   matrix/weight construction is division-heavy and invariant, the data
+//!   vector varies: the element reads are scalar cacheable terms, so the
+//!   reader replaces the whole construction with cache reads.
+//! * **`dispatch`** — interpreter-style dispatch over a fixed opcode
+//!   program held in an `int` array, unrolled so each `prog[k]` read is
+//!   single-valued. The opcode decode (`%` costs 9) and the invariant
+//!   branch conditions are cached; only the accumulator chain over the
+//!   varying input stays in the reader.
+//!
+//! Every measurement checks the reader's answers bit-exactly against the
+//! unspecialized original before any speedup is reported.
+
+use ds_core::{specialize_source, InputPartition, SpecializeOptions};
+use ds_interp::{CacheBuf, Evaluator, Value};
+use ds_lang::Type;
+
+/// One kernel of a workload family.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernel {
+    /// The family this kernel belongs to (`matrix` or `dispatch`).
+    pub family: &'static str,
+    /// Kernel name (also the entry procedure).
+    pub name: &'static str,
+    /// MiniC source.
+    pub src: &'static str,
+    /// The input partitions to measure, as sets of varying parameters.
+    pub partitions: &'static [&'static [&'static str]],
+}
+
+/// 3x3 matrix-vector product: nine division-heavy invariant entries, a
+/// varying vector, a fixed-shape result fold.
+const MAT3VEC: &str = "float mat3vec(float a, float b, float c,
+                                     float x0, float x1, float x2) {
+    float m[9] = 0.0;
+    m[0] = a / (abs(b) + 3.0);
+    m[1] = b / (abs(c) + 2.0);
+    m[2] = c / (abs(a) + 4.0);
+    m[3] = (a + b) / 2.0;
+    m[4] = (b + c) / 2.0;
+    m[5] = (a + c) / 2.0;
+    m[6] = a * b / (abs(c) + 5.0);
+    m[7] = b * c / (abs(a) + 5.0);
+    m[8] = a * c / (abs(b) + 5.0);
+    float r0 = m[0] * x0 + m[1] * x1 + m[2] * x2;
+    float r1 = m[3] * x0 + m[4] * x1 + m[5] * x2;
+    float r2 = m[6] * x0 + m[7] * x1 + m[8] * x2;
+    return r0 + r1 * r2;
+}";
+
+/// Sparse dot product over a fixed sparsity pattern: only four of eight
+/// weight slots are populated, each from an expensive invariant expression.
+const SPARSEDOT: &str = "float sparsedot(float w0, float w1, float w2, float d,
+                                         float x0, float x1, float x2, float x3) {
+    float w[8] = 0.0;
+    w[1] = w0 / (abs(d) + 1.0);
+    w[3] = w1 / (d * d + 1.0);
+    w[6] = (w0 + w1 + w2) / (abs(d) + 2.0);
+    w[7] = sqrt(abs(w2) + 1.0) / (abs(d) + 1.0);
+    return w[0] * x0 + w[1] * x1 + w[3] * x2 + w[6] * x3 + w[7];
+}";
+
+/// Unrolled 3-tap stencil: the taps are normalized once (three divisions by
+/// the shared sum), then slide across five varying samples.
+const STENCIL3: &str = "float stencil3(float k0, float k1, float k2,
+                                       float s0, float s1, float s2, float s3, float s4) {
+    float k[3] = 0.0;
+    float norm = abs(k0) + abs(k1) + abs(k2) + 1.0;
+    k[0] = k0 / norm;
+    k[1] = k1 / norm;
+    k[2] = k2 / norm;
+    float y0 = k[0] * s0 + k[1] * s1 + k[2] * s2;
+    float y1 = k[0] * s1 + k[1] * s2 + k[2] * s3;
+    float y2 = k[0] * s2 + k[1] * s3 + k[2] * s4;
+    return y0 + y1 + y2;
+}";
+
+/// Four-step interpreter: the opcode program is decoded into an `int`
+/// array (each `%` decode costs 9), then dispatched step by step over the
+/// varying accumulator. Unrolled: every `prog[k]` read is single-valued.
+const VM4: &str = "float vm4(int op0, int op1, int op2, int op3,
+                             float c0, float c1, float x) {
+    int prog[4] = 0;
+    prog[0] = op0 % 4;
+    prog[1] = (op0 + op1) % 4;
+    prog[2] = (op1 * op2 + 1) % 4;
+    prog[3] = (op2 + op3 * 3) % 4;
+    float acc = x;
+    int op = prog[0];
+    if (op == 0) { acc = acc + c0; }
+    else if (op == 1) { acc = acc * c1; }
+    else if (op == 2) { acc = acc / (c0 * c0 + 1.0); }
+    else { acc = acc - c1; }
+    op = prog[1];
+    if (op == 0) { acc = acc + c0; }
+    else if (op == 1) { acc = acc * c1; }
+    else if (op == 2) { acc = acc / (c0 * c0 + 1.0); }
+    else { acc = acc - c1; }
+    op = prog[2];
+    if (op == 0) { acc = acc + c0; }
+    else if (op == 1) { acc = acc * c1; }
+    else if (op == 2) { acc = acc / (c0 * c0 + 1.0); }
+    else { acc = acc - c1; }
+    op = prog[3];
+    if (op == 0) { acc = acc + c0; }
+    else if (op == 1) { acc = acc * c1; }
+    else if (op == 2) { acc = acc / (c0 * c0 + 1.0); }
+    else { acc = acc - c1; }
+    return acc;
+}";
+
+/// Eight-step interpreter over the same opcode alphabet: twice the decode
+/// work, twice the dispatch — code growth and cache size scale with the
+/// program, the per-step reader savings stay constant.
+const VM8: &str = "float vm8(int op0, int op1, int op2, int op3,
+                             float c0, float c1, float x) {
+    int prog[8] = 0;
+    prog[0] = op0 % 4;
+    prog[1] = (op0 + op1) % 4;
+    prog[2] = (op1 * op2 + 1) % 4;
+    prog[3] = (op2 + op3 * 3) % 4;
+    prog[4] = (op3 + op0 * 2) % 4;
+    prog[5] = (op0 * op3 + 2) % 4;
+    prog[6] = (op1 + op2 + op3) % 4;
+    prog[7] = (op2 * 5 + op1) % 4;
+    float acc = x;
+    int pc = 0;
+    int op = prog[0];
+    if (op == 0) { acc = acc + c0; }
+    else if (op == 1) { acc = acc * c1; }
+    else if (op == 2) { acc = acc / (c0 * c0 + 1.0); }
+    else { acc = acc - c1; }
+    op = prog[1];
+    if (op == 0) { acc = acc + c0; }
+    else if (op == 1) { acc = acc * c1; }
+    else if (op == 2) { acc = acc / (c0 * c0 + 1.0); }
+    else { acc = acc - c1; }
+    op = prog[2];
+    if (op == 0) { acc = acc + c0; }
+    else if (op == 1) { acc = acc * c1; }
+    else if (op == 2) { acc = acc / (c0 * c0 + 1.0); }
+    else { acc = acc - c1; }
+    op = prog[3];
+    if (op == 0) { acc = acc + c0; }
+    else if (op == 1) { acc = acc * c1; }
+    else if (op == 2) { acc = acc / (c0 * c0 + 1.0); }
+    else { acc = acc - c1; }
+    op = prog[4];
+    if (op == 0) { acc = acc + c0; }
+    else if (op == 1) { acc = acc * c1; }
+    else if (op == 2) { acc = acc / (c0 * c0 + 1.0); }
+    else { acc = acc - c1; }
+    op = prog[5];
+    if (op == 0) { acc = acc + c0; }
+    else if (op == 1) { acc = acc * c1; }
+    else if (op == 2) { acc = acc / (c0 * c0 + 1.0); }
+    else { acc = acc - c1; }
+    op = prog[6];
+    if (op == 0) { acc = acc + c0; }
+    else if (op == 1) { acc = acc * c1; }
+    else if (op == 2) { acc = acc / (c0 * c0 + 1.0); }
+    else { acc = acc - c1; }
+    op = prog[7];
+    if (op == 0) { acc = acc + c0; }
+    else if (op == 1) { acc = acc * c1; }
+    else if (op == 2) { acc = acc / (c0 * c0 + 1.0); }
+    else { acc = acc - c1; }
+    return acc + itof(pc);
+}";
+
+/// Every kernel of both families.
+pub const KERNELS: &[Kernel] = &[
+    Kernel {
+        family: "matrix",
+        name: "mat3vec",
+        src: MAT3VEC,
+        partitions: &[&["x0", "x1", "x2"], &["x1"], &["x0", "x2"]],
+    },
+    Kernel {
+        family: "matrix",
+        name: "sparsedot",
+        src: SPARSEDOT,
+        partitions: &[&["x0", "x1", "x2", "x3"], &["x0", "x1"], &["x3"]],
+    },
+    Kernel {
+        family: "matrix",
+        name: "stencil3",
+        src: STENCIL3,
+        partitions: &[&["s0", "s1", "s2", "s3", "s4"], &["s2"], &["s0", "s4"]],
+    },
+    Kernel {
+        family: "dispatch",
+        name: "vm4",
+        src: VM4,
+        partitions: &[&["x"], &["x", "c1"], &["x", "c0", "c1"]],
+    },
+    Kernel {
+        family: "dispatch",
+        name: "vm8",
+        src: VM8,
+        partitions: &[&["x"], &["x", "c1"], &["x", "c0", "c1"]],
+    },
+];
+
+/// Requests swept per partition (the first also feeds the loader).
+pub const WORKLOAD_SWEEP: usize = 6;
+
+/// One measured (kernel, partition) point.
+#[derive(Debug, Clone)]
+pub struct WorkloadMeasurement {
+    /// Family name.
+    pub family: &'static str,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Varying parameters, comma-joined.
+    pub varying: String,
+    /// `orig_cost / reader_cost` over the sweep.
+    pub speedup: f64,
+    /// Mean unspecialized cost per request.
+    pub orig_cost: f64,
+    /// Loader cost (one staging run).
+    pub loader_cost: f64,
+    /// Mean reader cost per request.
+    pub reader_cost: f64,
+    /// Packed cache size in bytes.
+    pub cache_bytes: u32,
+    /// Cache slots.
+    pub slots: usize,
+    /// §4.3 breakeven uses.
+    pub breakeven: Option<u32>,
+    /// Whether loader and reader answers matched the original bit for bit
+    /// on every request of the sweep.
+    pub bit_exact: bool,
+}
+
+/// Deterministic argument vector for sweep step `j`: invariant parameters
+/// depend only on their position, varying ones also on `j` (so every
+/// request differs on the varying side and agrees on the invariant side).
+fn sweep_args(staged: &ds_lang::Program, entry: &str, varying: &[&str], j: usize) -> Vec<Value> {
+    let proc = staged.proc(entry).expect("entry exists");
+    proc.params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let vary = varying.contains(&p.name.as_str());
+            match p.ty {
+                Type::Int => {
+                    let base = 1 + 3 * i as i64;
+                    Value::Int(if vary { base + j as i64 } else { base })
+                }
+                Type::Bool => Value::Bool(if vary {
+                    j.is_multiple_of(2)
+                } else {
+                    i.is_multiple_of(2)
+                }),
+                _ => {
+                    let base = 1.25 + 0.75 * i as f64;
+                    Value::Float(if vary {
+                        base + 1.5 * j as f64 - 2.0
+                    } else {
+                        base
+                    })
+                }
+            }
+        })
+        .collect()
+}
+
+/// Measures one kernel under one partition through the full staged
+/// protocol: loader once, then original vs reader over the sweep.
+pub fn measure_workload(k: &Kernel, varying: &[&str]) -> WorkloadMeasurement {
+    let spec = specialize_source(
+        k.src,
+        k.name,
+        &InputPartition::varying(varying.iter().copied()),
+        &SpecializeOptions::new(),
+    )
+    .unwrap_or_else(|e| panic!("{}/{}: specialize: {e}", k.family, k.name));
+    let staged = spec.as_program();
+    let ev = Evaluator::new(&staged);
+    let loader_name = format!("{}__loader", k.name);
+    let reader_name = format!("{}__reader", k.name);
+
+    let mut cache = CacheBuf::new(spec.slot_count());
+    let a0 = sweep_args(&staged, k.name, varying, 0);
+    let loader = ev
+        .run_with_cache(&loader_name, &a0, &mut cache)
+        .unwrap_or_else(|e| panic!("{}: loader: {e}", k.name));
+    let mut bit_exact = true;
+    let mut orig_total = 0.0;
+    let mut reader_total = 0.0;
+    for j in 0..WORKLOAD_SWEEP {
+        let a = sweep_args(&staged, k.name, varying, j);
+        let orig = ev
+            .run(k.name, &a)
+            .unwrap_or_else(|e| panic!("{}: original: {e}", k.name));
+        let read = ev
+            .run_with_cache(&reader_name, &a, &mut cache)
+            .unwrap_or_else(|e| panic!("{}: reader: {e}", k.name));
+        bit_exact &= match (&orig.value, &read.value) {
+            (Some(x), Some(y)) => x.bits_eq(y),
+            _ => false,
+        };
+        if j == 0 {
+            bit_exact &= match (&orig.value, &loader.value) {
+                (Some(x), Some(y)) => x.bits_eq(y),
+                _ => false,
+            };
+        }
+        orig_total += orig.cost as f64;
+        reader_total += read.cost as f64;
+    }
+    let n = WORKLOAD_SWEEP as f64;
+    let (orig_cost, reader_cost) = (orig_total / n, reader_total / n);
+    WorkloadMeasurement {
+        family: k.family,
+        kernel: k.name,
+        varying: varying.join(","),
+        speedup: orig_cost / reader_cost,
+        orig_cost,
+        loader_cost: loader.cost as f64,
+        reader_cost,
+        cache_bytes: spec.cache_bytes(),
+        slots: spec.slot_count(),
+        breakeven: ds_shaders::breakeven(orig_cost, loader.cost as f64, reader_cost),
+        bit_exact,
+    }
+}
+
+/// Measures every kernel under every declared partition.
+pub fn exp_workloads() -> Vec<WorkloadMeasurement> {
+    KERNELS
+        .iter()
+        .flat_map(|k| k.partitions.iter().map(|v| measure_workload(k, v)))
+        .collect()
+}
+
+/// Per-kernel summary for the Figure-7-style rendering.
+#[derive(Debug, Clone)]
+pub struct WorkloadSummary {
+    /// Family name.
+    pub family: &'static str,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Measured partitions.
+    pub partitions: usize,
+    /// Minimum speedup over the partitions.
+    pub min_speedup: f64,
+    /// Median speedup.
+    pub median_speedup: f64,
+    /// Maximum speedup.
+    pub max_speedup: f64,
+    /// Median cache size in bytes.
+    pub median_cache: u32,
+    /// Whether every partition's answers were bit-exact.
+    pub bit_exact: bool,
+}
+
+/// Groups workload measurements into per-kernel summaries (kernel order
+/// follows [`KERNELS`]).
+pub fn summarize_workloads(ms: &[WorkloadMeasurement]) -> Vec<WorkloadSummary> {
+    KERNELS
+        .iter()
+        .filter_map(|k| {
+            let rows: Vec<&WorkloadMeasurement> =
+                ms.iter().filter(|m| m.kernel == k.name).collect();
+            if rows.is_empty() {
+                return None;
+            }
+            let mut speedups: Vec<f64> = rows.iter().map(|m| m.speedup).collect();
+            speedups.sort_by(|a, b| a.partial_cmp(b).expect("speedups are finite"));
+            let mut caches: Vec<u32> = rows.iter().map(|m| m.cache_bytes).collect();
+            caches.sort_unstable();
+            Some(WorkloadSummary {
+                family: k.family,
+                kernel: k.name,
+                partitions: rows.len(),
+                min_speedup: speedups[0],
+                median_speedup: speedups[speedups.len() / 2],
+                max_speedup: *speedups.last().expect("nonempty"),
+                median_cache: caches[caches.len() / 2],
+                bit_exact: rows.iter().all(|m| m.bit_exact),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_partition_is_bit_exact() {
+        for m in exp_workloads() {
+            assert!(
+                m.bit_exact,
+                "{}/{} vary {{{}}}: reader diverged from the original",
+                m.family, m.kernel, m.varying
+            );
+        }
+    }
+
+    #[test]
+    fn both_families_beat_the_original_at_the_median() {
+        let ms = exp_workloads();
+        for family in ["matrix", "dispatch"] {
+            let sums: Vec<WorkloadSummary> = summarize_workloads(&ms)
+                .into_iter()
+                .filter(|s| s.family == family)
+                .collect();
+            assert!(!sums.is_empty(), "{family}: no kernels measured");
+            for s in &sums {
+                assert!(
+                    s.median_speedup > 1.0,
+                    "{family}/{}: median speedup {} not > 1x",
+                    s.kernel,
+                    s.median_speedup
+                );
+                assert!(s.min_speedup >= 1.0, "{family}/{}: {s:?}", s.kernel);
+            }
+        }
+    }
+
+    #[test]
+    fn fully_varying_data_still_leaves_the_construction_cached() {
+        // The headline partitions (all data varying, structure invariant)
+        // must show the strongest wins: the reader replaces the whole
+        // matrix/decode construction with cache reads.
+        let k = &KERNELS[0]; // mat3vec
+        let m = measure_workload(k, k.partitions[0]);
+        assert!(m.slots >= 9, "all nine matrix entries cached: {m:?}");
+        assert!(m.speedup > 1.5, "{m:?}");
+        assert_eq!(m.breakeven, Some(2), "{m:?}");
+    }
+
+    #[test]
+    fn dispatch_decode_is_cached_out_of_the_reader() {
+        let k = &KERNELS[4]; // vm8
+        let m = measure_workload(k, k.partitions[0]);
+        // Eight decoded opcodes occupy slots (plus cached conditions).
+        assert!(m.slots >= 8, "{m:?}");
+        assert!(m.speedup > 1.0, "{m:?}");
+    }
+}

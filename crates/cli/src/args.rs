@@ -48,6 +48,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "store-capacity",
     "cases",
     "oracle",
+    "array-weight",
     "out",
     "replay",
     "trace-out",
@@ -284,6 +285,21 @@ impl Args {
 
     /// `--oracle NAME[,NAME..]`: oracles for `fuzz` to check (all by
     /// default).
+    /// `--array-weight PCT`: percent chance (0-100) that the fuzz
+    /// generator emits an array construct at each opportunity. Defaults to
+    /// the generator's standard mix; `0` disables arrays entirely.
+    pub fn array_weight(&self) -> Result<u32, UsageError> {
+        match self.options.get("array-weight") {
+            None => Ok(ds_gen::GenProfile::default().array_weight),
+            Some(v) => match v.parse() {
+                Ok(n) if n <= 100 => Ok(n),
+                _ => Err(UsageError(format!(
+                    "--array-weight expects a percentage 0-100, got `{v}`"
+                ))),
+            },
+        }
+    }
+
     pub fn oracles(&self) -> Result<Vec<ds_gen::Oracle>, UsageError> {
         match self.options.get("oracle") {
             None => Ok(ds_gen::Oracle::ALL.to_vec()),

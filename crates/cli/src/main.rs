@@ -32,7 +32,7 @@
 //!     tables; `--compare` diffs two envelopes and exits 7 when a
 //!     performance metric regresses beyond the threshold
 //! dsc fuzz [--seed N] [--cases N] [--oracle NAME,..] [--out PATH]
-//!          [--replay PATH]
+//!          [--array-weight PCT] [--replay PATH]
 //!     generate random typed programs and check the pipeline's conformance
 //!     oracles; shrink and write a reproducer on the first violation
 //! dsc help
@@ -171,7 +171,7 @@ USAGE:
     dsc report FILE.json [FILE.json ..]
     dsc report --compare OLD.json NEW.json [--threshold F]
     dsc fuzz [--seed N] [--cases N] [--oracle NAME[,NAME..]] [--out PATH]
-             [--replay PATH]
+             [--array-weight PCT] [--replay PATH]
     dsc help
 
 The input is a MiniC source file (a subset of C without pointers or goto).
@@ -208,8 +208,9 @@ complete, tagged `[n]` in arrival order. Concurrent first requests for
 one fingerprint coalesce onto a single stager (per-fingerprint latches);
 `--admission` decides when a fingerprint is worth specializing (`auto` =
 the paper's §4.3 breakeven from calibrated costs, `always`, or a fixed
-use count) — below breakeven a request is served by the unspecialized
-fragment, bit-identically. `--max-queue N` bounds the request queue
+rate) — a fingerprint specializes once its exponentially-decaying
+arrival rate reaches breakeven, so one-shot and thinly-spread
+fingerprints are served by the unspecialized fragment, bit-identically. `--max-queue N` bounds the request queue
 (overflow is shed with a typed error, exit 8), `--deadline-ms N` fails
 requests that cannot be answered in time (never partially, exit 9), and
 EOF or SIGTERM drains gracefully: no new admissions (late arrivals exit
@@ -228,8 +229,10 @@ regresses more than `--threshold` (default 0.10 = 10%).
 `fuzz` generates `--cases` random typed programs from `--seed` and checks
 the conformance oracles (semantics, work, budget, normalize, reassoc,
 serve, recovery; `--oracle` selects a subset) over the whole pipeline on
-both engines. The first violation is shrunk to a minimal program and
-written to `--out` as a reproducer file, which `--replay` re-checks.
+both engines. `--array-weight PCT` tunes how often the generator emits
+fixed-size-array constructs (0 disables them). The first violation is
+shrunk to a minimal program and written to `--out` as a reproducer file,
+which `--replay` re-checks.
 
 Exit codes: 0 success, 2 usage error, 3 frontend/specialization error,
 4 evaluation error, 5 cache-integrity violation, 6 write-ahead-log
@@ -479,7 +482,7 @@ fn cmd_measure(args: &Args) -> Result<(), CliError> {
         format!("{} uses", n.ceil().max(1.0) as u64)
     };
     println!("breakeven:      {breakeven}");
-    match orig.value {
+    match &orig.value {
         Some(v) => println!("result:         {v}"),
         None => println!("result:         (void)"),
     }
@@ -595,7 +598,7 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
     let out = engine
         .run_program(&program, entry, &values, None, opts)
         .map_err(|e| CliError::Eval(e.to_string()))?;
-    match out.value {
+    match &out.value {
         Some(v) => println!("result: {v}"),
         None => println!("result: (void)"),
     }
@@ -1346,7 +1349,7 @@ fn cmd_serve_listen(args: &Args) -> Result<(), CliError> {
                         } else {
                             "  (unspecialized)"
                         };
-                        match out.value {
+                        match &out.value {
                             Some(v) => println!("[{n}] result: {v}  (cost {}){suffix}", out.cost),
                             None => println!("[{n}] result: (void)  (cost {}){suffix}", out.cost),
                         }
@@ -1864,13 +1867,17 @@ fn cmd_fuzz(args: &Args) -> Result<(), CliError> {
         seed: args.seed()?,
         cases: args.cases()?,
         oracles: args.oracles()?,
+        profile: ds_gen::GenProfile {
+            array_weight: args.array_weight()?,
+        },
     };
     let oracle_names: Vec<&str> = config.oracles.iter().map(|o| o.name()).collect();
     println!(
-        "fuzz: seed {}, {} case(s), oracles: {}",
+        "fuzz: seed {}, {} case(s), oracles: {}, array weight {}%",
         config.seed,
         config.cases,
-        oracle_names.join(", ")
+        oracle_names.join(", "),
+        config.profile.array_weight
     );
     let every = (config.cases / 10).max(1);
     match ds_gen::run_fuzz(&config, |done, total| {

@@ -159,7 +159,7 @@ pub fn code_specialize(
     for p in &proc.params {
         match fixed.get(&p.name) {
             Some(v) if v.ty() == p.ty => {
-                env.insert(p.name.clone(), Binding::Known(*v));
+                env.insert(p.name.clone(), Binding::Known(v.clone()));
             }
             Some(v) => {
                 return Err(CodeSpecError::BadFixedValue {
@@ -231,7 +231,12 @@ fn collect_var_types(p: &Proc) -> HashMap<String, Type> {
 }
 
 /// What the partial evaluator knows about a variable.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Array variables are always [`Binding::Unknown`]: folding a whole array
+/// would require re-materializing it element by element at every residual
+/// control-flow boundary, so array declarations and element writes are
+/// residualized (with their scalar subexpressions still folded).
+#[derive(Debug, Clone, PartialEq)]
 enum Binding {
     /// Value known at specialization time.
     Known(Value),
@@ -261,6 +266,7 @@ fn literal(v: Value) -> Expr {
         Value::Int(i) => ExprKind::IntLit(i),
         Value::Float(f) => ExprKind::FloatLit(f),
         Value::Bool(b) => ExprKind::BoolLit(b),
+        Value::Array(_) => unreachable!("arrays are never folded to literals"),
     })
 }
 
@@ -300,13 +306,38 @@ impl PartialEvaluator {
         match &s.kind {
             StmtKind::Decl { name, ty, init } => {
                 let pe = self.expr(init, env)?;
-                self.bind(name, *ty, pe, env, dynamic_ctx, out, true);
+                if ty.array_len().is_some() {
+                    // Arrays stay runtime-resident: emit the declaration
+                    // with its (possibly folded) fill value.
+                    self.declared.insert(name.clone());
+                    out.stmts.push(Stmt::synth(StmtKind::Decl {
+                        name: name.clone(),
+                        ty: *ty,
+                        init: pe.into_expr(),
+                    }));
+                    env.insert(name.clone(), Binding::Unknown);
+                } else {
+                    self.bind(name, *ty, pe, env, dynamic_ctx, out, true);
+                }
                 Ok(())
             }
             StmtKind::Assign { name, value, .. } => {
                 let ty = self.var_types[name.as_str()];
                 let pe = self.expr(value, env)?;
                 self.bind(name, ty, pe, env, dynamic_ctx, out, false);
+                Ok(())
+            }
+            StmtKind::ArrayAssign { name, index, value } => {
+                // The array is never in the environment; the write is
+                // emitted with folded index and value, bounds-checked at
+                // residual runtime exactly like the original.
+                let ri = self.expr(index, env)?.into_expr();
+                let rv = self.expr(value, env)?.into_expr();
+                out.stmts.push(Stmt::synth(StmtKind::ArrayAssign {
+                    name: name.clone(),
+                    index: ri,
+                    value: rv,
+                }));
                 Ok(())
             }
             StmtKind::If {
@@ -428,7 +459,7 @@ impl PartialEvaluator {
             }
             if let Some(Binding::Known(v)) = env.get(name.as_str()) {
                 let ty = self.var_types[name.as_str()];
-                let stmt = self.emit_set(name, ty, literal(*v));
+                let stmt = self.emit_set(name, ty, literal(v.clone()));
                 out.stmts.push(stmt);
                 env.insert(name.clone(), Binding::Unknown);
             }
@@ -459,13 +490,17 @@ impl PartialEvaluator {
             ExprKind::FloatLit(v) => PeExpr::Known(Value::Float(*v)),
             ExprKind::BoolLit(v) => PeExpr::Known(Value::Bool(*v)),
             ExprKind::Var(name) => match env.get(name.as_str()) {
-                Some(Binding::Known(v)) => PeExpr::Known(*v),
+                Some(Binding::Known(v)) => PeExpr::Known(v.clone()),
                 _ => PeExpr::Residual(Expr::var(name.clone())),
             },
+            ExprKind::Index { array, index } => {
+                let ri = self.expr(index, env)?.into_expr();
+                PeExpr::Residual(Expr::index(array.clone(), ri))
+            }
             ExprKind::Unary(op, a) => {
                 let pa = self.expr(a, env)?;
                 match pa {
-                    PeExpr::Known(v) => match apply_unop(*op, v, e) {
+                    PeExpr::Known(v) => match apply_unop(*op, v.clone(), e) {
                         Ok(folded) => PeExpr::Known(folded),
                         // Fold failure (impossible for typed programs):
                         // keep a residual with the literal operand.
@@ -483,16 +518,19 @@ impl PartialEvaluator {
                 let pl = self.expr(l, env)?;
                 let pr = self.expr(r, env)?;
                 match (pl, pr) {
-                    (PeExpr::Known(a), PeExpr::Known(b)) => match apply_binop(*op, a, b, e) {
-                        Ok(folded) => PeExpr::Known(folded),
-                        // E.g. integer division by zero: defer to runtime so
-                        // the residual faults exactly like the original.
-                        Err(_) => PeExpr::Residual(Expr::synth(ExprKind::Binary(
-                            *op,
-                            Box::new(literal(a)),
-                            Box::new(literal(b)),
-                        ))),
-                    },
+                    (PeExpr::Known(a), PeExpr::Known(b)) => {
+                        match apply_binop(*op, a.clone(), b.clone(), e) {
+                            Ok(folded) => PeExpr::Known(folded),
+                            // E.g. integer division by zero: defer to runtime
+                            // so the residual faults exactly like the
+                            // original.
+                            Err(_) => PeExpr::Residual(Expr::synth(ExprKind::Binary(
+                                *op,
+                                Box::new(literal(a)),
+                                Box::new(literal(b)),
+                            ))),
+                        }
+                    }
                     (pl, pr) => PeExpr::Residual(Expr::synth(ExprKind::Binary(
                         *op,
                         Box::new(pl.into_expr()),
@@ -521,7 +559,7 @@ impl PartialEvaluator {
                 for a in args {
                     let pa = self.expr(a, env)?;
                     if let PeExpr::Known(v) = &pa {
-                        known.push(*v);
+                        known.push(v.clone());
                     } else {
                         all_known = false;
                     }
@@ -552,7 +590,9 @@ impl PartialEvaluator {
 fn assigned_vars(b: &Block, out: &mut Vec<String>) {
     for s in &b.stmts {
         match &s.kind {
-            StmtKind::Decl { name, .. } | StmtKind::Assign { name, .. } => {
+            StmtKind::Decl { name, .. }
+            | StmtKind::Assign { name, .. }
+            | StmtKind::ArrayAssign { name, .. } => {
                 out.push(name.clone());
             }
             StmtKind::If {
@@ -581,8 +621,10 @@ mod tests {
     fn spec(src: &str, entry: &str, fixed: &[(&str, Value)]) -> CodeSpecialization {
         let prog = parse_program(src).expect("parse");
         ds_lang::typecheck(&prog).expect("typecheck");
-        let fixed: HashMap<String, Value> =
-            fixed.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let fixed: HashMap<String, Value> = fixed
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
         let cs = code_specialize(&prog, entry, &fixed, &CodeSpecOptions::default())
             .expect("code specialize");
         // Residuals must be well-typed MiniC.

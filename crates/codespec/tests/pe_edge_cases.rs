@@ -10,7 +10,10 @@ use std::collections::HashMap;
 fn spec(src: &str, entry: &str, fixed: &[(&str, Value)]) -> CodeSpecialization {
     let prog = parse_program(src).expect("parse");
     ds_lang::typecheck(&prog).expect("typecheck");
-    let fixed: HashMap<String, Value> = fixed.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+    let fixed: HashMap<String, Value> = fixed
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
     let cs = code_specialize(&prog, entry, &fixed, &CodeSpecOptions::default())
         .expect("code specialize");
     ds_lang::typecheck(&cs.as_program()).expect("residual typechecks");
@@ -35,8 +38,8 @@ fn check_equiv(src: &str, fixed: &[(&str, Value)], varying_cases: &[Vec<Value>])
                 fixed
                     .iter()
                     .find(|(k, _)| k == name)
-                    .map(|(_, v)| *v)
-                    .unwrap_or_else(|| *vi.next().expect("enough varying args"))
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| vi.next().expect("enough varying args").clone())
             })
             .collect();
         let orig = Evaluator::new(&prog).run("f", &full).expect("original");

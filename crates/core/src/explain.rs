@@ -132,6 +132,9 @@ fn term_source(ix: &TermIndex<'_>, id: TermId) -> String {
         Some(StmtKind::Assign { name, value, .. }) => {
             format!("{name} = {}", print_expr(value))
         }
+        Some(StmtKind::ArrayAssign { name, index, value }) => {
+            format!("{name}[{}] = {}", print_expr(index), print_expr(value))
+        }
         Some(StmtKind::If { cond, .. }) => format!("if ({})", print_expr(cond)),
         Some(StmtKind::While { cond, .. }) => format!("while ({})", print_expr(cond)),
         Some(StmtKind::Return(Some(e))) => format!("return {}", print_expr(e)),

@@ -81,9 +81,11 @@ pub fn not_caching_cost(
 ) -> u64 {
     let mut cost = weighted_cost(ix, t);
     let Some(e) = ix.expr(t) else { return cost };
-    // Definitions of free variables that would become dynamic.
+    // Definitions of free variables that would become dynamic. An element
+    // read's array is named by the `Index` term itself (the name is not a
+    // `Var` subexpression), so both kinds carry reaching definitions.
     e.walk(&mut |sub| {
-        if matches!(sub.kind, ExprKind::Var(_)) {
+        if matches!(sub.kind, ExprKind::Var(_) | ExprKind::Index { .. }) {
             for def in rd.defs_of(sub.id) {
                 if let DefId::Stmt(d) = def {
                     if solver.label(*d) != Label::Dynamic {
@@ -110,6 +112,9 @@ fn def_rhs(ix: &TermIndex<'_>, d: TermId) -> Option<TermId> {
     match &ix.stmt(d)?.kind {
         StmtKind::Decl { init, .. } => Some(init.id),
         StmtKind::Assign { value, .. } => Some(value.id),
+        // An element write's recompute cost is approximated by its stored
+        // value (the index is usually a literal).
+        StmtKind::ArrayAssign { value, .. } => Some(value.id),
         _ => None,
     }
 }

@@ -931,4 +931,45 @@ mod tests {
         assert_eq!(re.slot_count(), 1);
         assert_eq!(plain.slot_count(), 2);
     }
+
+    #[test]
+    fn dynamic_index_read_rewrites_its_cached_index_operand() {
+        // Fuzzer finding (tests/corpus/array_cached_dynamic_index_operand.mc):
+        // splitting recursed into Unary/Binary/Cond/Call children but cloned
+        // `Index` nodes verbatim, so a cached index expression survived as
+        // raw source in the reader while the static declarations it read
+        // were dropped — the generated reader failed its own typecheck.
+        let spec = specialize_source(
+            "float gen(float p0) {
+                 float v0[2] = 0.75;
+                 int i2 = 0;
+                 v0[0] = p0;
+                 return v0[i2 % 2];
+             }",
+            "gen",
+            &InputPartition::varying(["p0"]),
+            &SpecializeOptions::new(),
+        )
+        .expect("specialize must not emit an ill-typed reader");
+        let reader = print_proc(&spec.reader);
+        assert!(
+            !reader.contains("i2"),
+            "static index operand leaked into the reader:\n{reader}"
+        );
+        let prog = spec.as_program();
+        let ev = Evaluator::new(&prog);
+        let mut cache = CacheBuf::new(spec.slot_count());
+        let first = [Value::Float(2.0)];
+        let orig = ev.run("gen", &first).unwrap();
+        let load = ev
+            .run_with_cache("gen__loader", &first, &mut cache)
+            .unwrap();
+        assert_eq!(orig.value, load.value);
+        for p0 in [-1.5, 0.0, 7.25] {
+            let args = [Value::Float(p0)];
+            let orig = ev.run("gen", &args).unwrap();
+            let read = ev.run_with_cache("gen__reader", &args, &mut cache).unwrap();
+            assert_eq!(orig.value, read.value, "p0={p0}");
+        }
+    }
 }

@@ -93,7 +93,8 @@ fn declare_on_first_write(reader: &mut Proc, fragment_name: &str, types: &TypeIn
         fragment_name: &str,
         types: &TypeInfo,
     ) {
-        for s in &mut block.stmts {
+        let mut out: Vec<Stmt> = Vec::with_capacity(block.stmts.len());
+        for mut s in std::mem::take(&mut block.stmts) {
             match &mut s.kind {
                 StmtKind::Decl { name, .. } => {
                     declared.insert(name.clone());
@@ -104,9 +105,40 @@ fn declare_on_first_write(reader: &mut Proc, fragment_name: &str, types: &TypeIn
                             .var_type(fragment_name, name)
                             .expect("reader variable exists in the fragment");
                         declared.insert(name.clone());
-                        let name = name.clone();
-                        let init = std::mem::replace(value, Expr::synth(ExprKind::BoolLit(false)));
-                        s.kind = StmtKind::Decl { name, ty, init };
+                        if ty.array_len().is_some() {
+                            // A whole-array assignment kills every element,
+                            // but a Decl's init is an element *fill*, so it
+                            // cannot carry the array-typed RHS. Allocate the
+                            // array with a zero fill and keep the assignment.
+                            out.push(Stmt::synth(StmtKind::Decl {
+                                name: name.clone(),
+                                ty,
+                                init: Expr::zero(ty),
+                            }));
+                        } else {
+                            let name = name.clone();
+                            let init =
+                                std::mem::replace(value, Expr::synth(ExprKind::BoolLit(false)));
+                            s.kind = StmtKind::Decl { name, ty, init };
+                        }
+                    }
+                }
+                StmtKind::ArrayAssign { name, .. } => {
+                    // Rule 4 normally drags the array's declaration into the
+                    // reader ahead of any surviving element write (element
+                    // writes use the preserved elements' definitions). The
+                    // one gap is a length-1 array, whose writes preserve
+                    // nothing: allocate it here.
+                    if !declared.contains(name.as_str()) {
+                        let ty = types
+                            .var_type(fragment_name, name)
+                            .expect("reader variable exists in the fragment");
+                        declared.insert(name.clone());
+                        out.push(Stmt::synth(StmtKind::Decl {
+                            name: name.clone(),
+                            ty,
+                            init: Expr::zero(ty),
+                        }));
                     }
                 }
                 StmtKind::If {
@@ -118,7 +150,9 @@ fn declare_on_first_write(reader: &mut Proc, fragment_name: &str, types: &TypeIn
                 StmtKind::While { body, .. } => go(body, declared, fragment_name, types),
                 StmtKind::Return(_) | StmtKind::ExprStmt(_) => {}
             }
+            out.push(s);
         }
+        block.stmts = out;
     }
     go(&mut reader.body, &mut declared, fragment_name, types);
 }
@@ -199,6 +233,11 @@ impl<'s, 'a, 'p> Split<'s, 'a, 'p> {
                 cond: self.loader_expr(cond),
                 body: self.loader_block(body),
             },
+            StmtKind::ArrayAssign { name, index, value } => StmtKind::ArrayAssign {
+                name: name.clone(),
+                index: self.loader_expr(index),
+                value: self.loader_expr(value),
+            },
             StmtKind::Return(v) => StmtKind::Return(v.as_ref().map(|e| self.loader_expr(e))),
             StmtKind::ExprStmt(e) => StmtKind::ExprStmt(self.loader_expr(e)),
         };
@@ -252,6 +291,10 @@ impl<'s, 'a, 'p> Split<'s, 'a, 'p> {
                 name.clone(),
                 args.iter().map(|a| self.loader_expr(a)).collect(),
             ),
+            ExprKind::Index { array, index } => ExprKind::Index {
+                array: array.clone(),
+                index: Box::new(self.loader_expr(index)),
+            },
             other => other.clone(),
         };
         Expr {
@@ -306,6 +349,11 @@ impl<'s, 'a, 'p> Split<'s, 'a, 'p> {
                 cond: self.reader_expr(cond),
                 body: self.reader_block(body),
             },
+            StmtKind::ArrayAssign { name, index, value } => StmtKind::ArrayAssign {
+                name: name.clone(),
+                index: self.reader_expr(index),
+                value: self.reader_expr(value),
+            },
             StmtKind::Return(v) => StmtKind::Return(v.as_ref().map(|e| self.reader_expr(e))),
             StmtKind::ExprStmt(e) => StmtKind::ExprStmt(self.reader_expr(e)),
         };
@@ -346,6 +394,10 @@ impl<'s, 'a, 'p> Split<'s, 'a, 'p> {
                         name.clone(),
                         args.iter().map(|a| self.reader_expr(a)).collect(),
                     ),
+                    ExprKind::Index { array, index } => ExprKind::Index {
+                        array: array.clone(),
+                        index: Box::new(self.reader_expr(index)),
+                    },
                     other => other.clone(),
                 };
                 Expr {

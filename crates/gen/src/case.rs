@@ -112,6 +112,7 @@ pub fn format_values(values: &[Value]) -> String {
             Value::Float(x) => format!("{x:?}"),
             Value::Int(i) => format!("{i}"),
             Value::Bool(b) => format!("{b}"),
+            Value::Array(_) => unreachable!("requests carry scalar parameter values only"),
         })
         .collect::<Vec<_>>()
         .join(",")

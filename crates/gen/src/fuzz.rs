@@ -1,7 +1,7 @@
 //! The fuzz campaign driver: generate → check → shrink → report.
 
 use crate::case::FuzzCase;
-use crate::generate::gen_case;
+use crate::generate::{gen_case_with, GenProfile};
 use crate::oracle::Oracle;
 use crate::rng::Rng;
 use crate::shrink::shrink;
@@ -15,6 +15,8 @@ pub struct FuzzConfig {
     pub cases: u64,
     /// Oracles to check per case, in order.
     pub oracles: Vec<Oracle>,
+    /// Construct weights for the generator (array density and friends).
+    pub profile: GenProfile,
 }
 
 /// A minimized counterexample.
@@ -81,7 +83,7 @@ pub fn run_fuzz(
     mut progress: impl FnMut(u64, u64),
 ) -> Result<FuzzSummary, Box<Failure>> {
     for index in 0..config.cases {
-        let case = gen_case(Rng::case_seed(config.seed, index));
+        let case = gen_case_with(Rng::case_seed(config.seed, index), &config.profile);
         if let Err((oracle, _)) = check_case(&case, &config.oracles) {
             let original_nodes = case.node_count();
             let shrunk = shrink(&case, oracle);
@@ -115,6 +117,7 @@ mod tests {
             seed: 42,
             cases: 8,
             oracles: Oracle::ALL.to_vec(),
+            profile: GenProfile::default(),
         };
         let summary = run_fuzz(&config, |_, _| {}).expect("no violations");
         assert_eq!(summary.cases, 8);

@@ -14,7 +14,27 @@
 use crate::case::FuzzCase;
 use crate::rng::Rng;
 use ds_interp::Value;
-use ds_lang::{BinOp, Block, Expr, Param, Proc, Program, Stmt, StmtKind, Type, UnOp};
+use ds_lang::{BinOp, Block, Elem, Expr, Param, Proc, Program, Stmt, StmtKind, Type, UnOp};
+
+/// Construct-weight knobs for the generator.
+///
+/// A profile changes which constructs the generator reaches for, never its
+/// determinism: the same `(seed, profile)` pair always yields the same
+/// case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenProfile {
+    /// Percent chance (0–100) that array constructs appear where they can:
+    /// array declarations and element writes as statements, element reads
+    /// as expression leaves. `0` disables arrays entirely (the pre-array
+    /// generator's behavior).
+    pub array_weight: u32,
+}
+
+impl Default for GenProfile {
+    fn default() -> Self {
+        GenProfile { array_weight: 30 }
+    }
+}
 
 /// One in-scope variable.
 #[derive(Debug, Clone)]
@@ -40,6 +60,7 @@ struct Gen {
     /// True while generating the branches of a ternary: user calls cannot
     /// be hoisted out of `?:` branches, so the inliner rejects them there.
     forbid_aux: bool,
+    profile: GenProfile,
 }
 
 impl Gen {
@@ -63,17 +84,49 @@ impl Gen {
             Type::Float => Expr::float(self.rng.range_i64(-8, 8) as f64 * 0.25),
             Type::Int => Expr::int(self.rng.range_i64(-4, 9)),
             Type::Bool => Expr::bool(self.rng.chance(50)),
-            Type::Void => unreachable!("no void expressions"),
+            Type::Void | Type::Array(..) => unreachable!("no void or array literals"),
         }
     }
 
-    /// A leaf of type `ty`: a variable when one is in scope, else a literal.
+    /// A leaf of type `ty`: an array element read (when the profile enables
+    /// arrays and one of matching element type is in scope), a variable, or
+    /// a literal.
     fn leaf(&mut self, ty: Type, scope: &[Var]) -> Expr {
+        if self.profile.array_weight > 0 && self.rng.chance(self.profile.array_weight as usize) {
+            let arrays: Vec<(String, u32)> = scope
+                .iter()
+                .filter_map(|v| match v.ty {
+                    Type::Array(e, n) if e.ty() == ty => Some((v.name.clone(), n)),
+                    _ => None,
+                })
+                .collect();
+            if !arrays.is_empty() {
+                let (name, n) = arrays[self.rng.below(arrays.len())].clone();
+                let idx = self.index_expr(n, scope);
+                return Expr::index(name, idx);
+            }
+        }
         let candidates: Vec<&Var> = scope.iter().filter(|v| v.ty == ty).collect();
         if !candidates.is_empty() && self.rng.chance(70) {
             Expr::var(candidates[self.rng.below(candidates.len())].name.clone())
         } else {
             self.literal(ty)
+        }
+    }
+
+    /// An index into an array of length `len`: usually a const in-bounds
+    /// literal (the cacheable shape), sometimes a dynamic `leaf % len`
+    /// (negative operands leave the out-of-bounds path reachable, like the
+    /// unguarded integer divisions), rarely a deliberate out-of-bounds
+    /// constant.
+    fn index_expr(&mut self, len: u32, scope: &[Var]) -> Expr {
+        if self.rng.chance(65) {
+            Expr::int(self.rng.range_i64(0, i64::from(len) - 1))
+        } else if self.rng.chance(90) {
+            let e = self.leaf(Type::Int, scope);
+            Expr::binary(BinOp::Rem, e, Expr::int(i64::from(len)))
+        } else {
+            Expr::int(i64::from(len) + self.rng.range_i64(0, 2))
         }
     }
 
@@ -85,7 +138,9 @@ impl Gen {
             Type::Float => self.float_expr(depth, scope),
             Type::Int => self.int_expr(depth, scope),
             Type::Bool => self.bool_expr(depth, scope),
-            Type::Void => unreachable!("no void expressions"),
+            Type::Void | Type::Array(..) => {
+                unreachable!("no void expressions; array RHSs are bare variables")
+            }
         }
     }
 
@@ -275,10 +330,58 @@ impl Gen {
         }
     }
 
+    /// An array statement: a declaration (extending `scope`) or an element
+    /// write to an in-scope array. Returns false when it has nothing to do
+    /// (write drawn with no array in scope), letting the caller fall back
+    /// to a scalar statement.
+    fn array_stmt(&mut self, scope: &mut Vec<Var>, out: &mut Vec<Stmt>) -> bool {
+        let arrays: Vec<(String, Elem, u32)> = scope
+            .iter()
+            .filter_map(|v| match v.ty {
+                Type::Array(e, n) if v.assignable => Some((v.name.clone(), e, n)),
+                _ => None,
+            })
+            .collect();
+        if arrays.is_empty() || self.rng.chance(40) {
+            // Declaration: `elem vN[len] = <fill>;`
+            let elem = if self.rng.chance(70) {
+                Elem::Float
+            } else {
+                Elem::Int
+            };
+            let len = 2 + self.rng.below(3) as u32;
+            let ty = Type::Array(elem, len);
+            let init = self.expr(elem.ty(), 2, scope);
+            let name = self.fresh_name("v");
+            out.push(Stmt::synth(StmtKind::Decl {
+                name: name.clone(),
+                ty,
+                init,
+            }));
+            scope.push(Var {
+                name,
+                ty,
+                assignable: true,
+            });
+            return true;
+        }
+        let (name, elem, n) = arrays[self.rng.below(arrays.len())].clone();
+        let index = self.index_expr(n, scope);
+        let value = self.expr(elem.ty(), 2, scope);
+        out.push(Stmt::synth(StmtKind::ArrayAssign { name, index, value }));
+        true
+    }
+
     /// Generates the statements of one block. Declarations extend `scope`
     /// for the rest of this block only; the caller passes a clone.
     fn block(&mut self, depth: u32, len: usize, scope: &mut Vec<Var>, out: &mut Vec<Stmt>) {
         for _ in 0..len {
+            if self.profile.array_weight > 0
+                && self.rng.chance(self.profile.array_weight as usize)
+                && self.array_stmt(scope, out)
+            {
+                continue;
+            }
             let choice = self.rng.below(if depth > 0 { 10 } else { 6 });
             match choice {
                 0..=2 => {
@@ -306,7 +409,15 @@ impl Gen {
                         continue;
                     }
                     let (name, ty) = targets[self.rng.below(targets.len())].clone();
-                    let value = self.expr(ty, 2, scope);
+                    // Array RHSs can only be bare variables of the same
+                    // array type (the target itself counts): whole-array
+                    // copy is the one array-typed expression.
+                    let value = if ty.array_len().is_some() {
+                        let sources: Vec<&Var> = scope.iter().filter(|v| v.ty == ty).collect();
+                        Expr::var(sources[self.rng.below(sources.len())].name.clone())
+                    } else {
+                        self.expr(ty, 2, scope)
+                    };
                     out.push(Stmt::synth(StmtKind::Assign {
                         name,
                         value,
@@ -381,14 +492,20 @@ impl Gen {
             Type::Float => Value::Float(self.rng.range_i64(-8, 8) as f64 * 0.25),
             Type::Int => Value::Int(self.rng.range_i64(-4, 9)),
             Type::Bool => Value::Bool(self.rng.chance(50)),
-            Type::Void => unreachable!("no void parameters"),
+            Type::Void | Type::Array(..) => unreachable!("parameters are scalar"),
         }
     }
 }
 
-/// Generates the fuzz case for `seed`. Deterministic: the same seed always
-/// yields the same program, partition and request stream.
+/// Generates the fuzz case for `seed` with the default [`GenProfile`].
+/// Deterministic: the same seed always yields the same program, partition
+/// and request stream.
 pub fn gen_case(seed: u64) -> FuzzCase {
+    gen_case_with(seed, &GenProfile::default())
+}
+
+/// Generates the fuzz case for `seed` under explicit construct weights.
+pub fn gen_case_with(seed: u64, profile: &GenProfile) -> FuzzCase {
     let mut g = Gen {
         rng: Rng::new(seed),
         fresh: 0,
@@ -397,6 +514,7 @@ pub fn gen_case(seed: u64) -> FuzzCase {
         aux_ret: Type::Float,
         aux_calls: 0,
         forbid_aux: false,
+        profile: *profile,
     };
 
     // Parameters: 2–6, the first always a float (the paper's shaders are
@@ -514,7 +632,7 @@ pub fn gen_case(seed: u64) -> FuzzCase {
                 if varying.contains(&p.name) {
                     g.arg(p.ty)
                 } else {
-                    *b
+                    b.clone()
                 }
             })
             .collect();
@@ -610,5 +728,59 @@ mod tests {
         assert!(traces > 50, "traces: {traces}");
         assert!(aux > 30, "aux procs: {aux}");
         assert!(int_div > 50, "div/rem sites: {int_div}");
+    }
+
+    #[test]
+    fn default_profile_exercises_arrays() {
+        let mut decls = 0;
+        let mut writes = 0;
+        let mut reads = 0;
+        for seed in 0..300u64 {
+            let case = gen_case(seed);
+            for p in &case.program.procs {
+                p.walk_stmts(&mut |s| match &s.kind {
+                    StmtKind::Decl { ty, .. } if ty.array_len().is_some() => decls += 1,
+                    StmtKind::ArrayAssign { .. } => writes += 1,
+                    _ => {}
+                });
+                p.walk_exprs(&mut |e| {
+                    if matches!(&e.kind, ds_lang::ExprKind::Index { .. }) {
+                        reads += 1;
+                    }
+                });
+            }
+        }
+        assert!(decls > 100, "array decls: {decls}");
+        assert!(writes > 50, "element writes: {writes}");
+        assert!(reads > 100, "element reads: {reads}");
+    }
+
+    #[test]
+    fn zero_array_weight_disables_arrays() {
+        let profile = GenProfile { array_weight: 0 };
+        for seed in 0..100u64 {
+            let case = gen_case_with(seed, &profile);
+            for p in &case.program.procs {
+                p.walk_stmts(&mut |s| match &s.kind {
+                    StmtKind::Decl { ty, .. } => assert!(ty.is_scalar(), "seed {seed}"),
+                    StmtKind::ArrayAssign { .. } => panic!("seed {seed}: element write"),
+                    _ => {}
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_generation_is_deterministic() {
+        let profile = GenProfile { array_weight: 80 };
+        for seed in [0u64, 7, 1234] {
+            let a = gen_case_with(seed, &profile);
+            let b = gen_case_with(seed, &profile);
+            assert_eq!(
+                ds_lang::print_program(&a.program),
+                ds_lang::print_program(&b.program)
+            );
+            assert_eq!(a.requests, b.requests);
+        }
     }
 }

@@ -31,7 +31,7 @@ pub mod shrink;
 
 pub use case::{format_values, parse_values, FuzzCase};
 pub use fuzz::{check_case, run_fuzz, Failure, FuzzConfig, FuzzSummary};
-pub use generate::gen_case;
+pub use generate::{gen_case, gen_case_with, GenProfile};
 pub use oracle::{Oracle, ENTRY};
 pub use rng::Rng;
 pub use shrink::shrink;

@@ -511,12 +511,13 @@ pub fn serve_stream(case: &FuzzCase) -> Vec<Vec<Value>> {
             .zip(base)
             .map(|(p, v)| {
                 if case.varying.contains(&p.name) {
-                    *v
+                    v.clone()
                 } else {
                     match v {
                         Value::Float(x) => Value::Float(x + (i as f64 + 1.0) * 0.5),
                         Value::Int(n) => Value::Int(n + i as i64 + 1),
                         Value::Bool(b) => Value::Bool(*b == (i % 2 == 0)),
+                        Value::Array(_) => unreachable!("parameters are scalar"),
                     }
                 }
             })

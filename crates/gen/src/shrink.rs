@@ -198,9 +198,9 @@ fn apply(case: &FuzzCase, edit: &Edit) -> Option<FuzzCase> {
             // value to preserve the case invariant.
             let entry = c.program.proc(ENTRY)?;
             let idx = entry.params.iter().position(|p| p.name == name)?;
-            let pinned = *c.requests.first()?.get(idx)?;
+            let pinned = c.requests.first()?.get(idx)?.clone();
             for req in &mut c.requests[1..] {
-                req[idx] = pinned;
+                req[idx] = pinned.clone();
             }
             true
         }

@@ -76,6 +76,9 @@ pub fn corrupt_value(v: Value) -> Value {
         Value::Int(i) => Value::Int(!i),
         Value::Float(f) => Value::Float(f64::from_bits(!f.to_bits())),
         Value::Bool(b) => Value::Bool(!b),
+        // Cache slots only ever hold scalars, but external fault injectors
+        // may corrupt arbitrary environment values.
+        Value::Array(elems) => Value::Array(elems.into_iter().map(corrupt_value).collect()),
     }
 }
 
@@ -143,7 +146,7 @@ impl CacheBuf {
 
     /// Reads slot `i`, or `None` if it was never filled.
     pub fn get(&self, i: usize) -> Option<Value> {
-        self.slots.get(i).copied().flatten()
+        self.slots.get(i).cloned().flatten()
     }
 
     /// Fills slot `i` with `v`, failing with a typed [`CacheError`] when
@@ -162,7 +165,7 @@ impl CacheBuf {
             });
         }
         if let Some(shadow) = &mut self.shadow {
-            shadow[i] = Some(v);
+            shadow[i] = Some(v.clone());
         }
         let mut stored = Some(v);
         if let Some(armed) = &mut self.armed {
@@ -176,7 +179,7 @@ impl CacheBuf {
                     }
                     WriteFault::CorruptNth(k) if n == k => {
                         armed.fired = true;
-                        stored = Some(corrupt_value(v));
+                        stored = stored.map(corrupt_value);
                     }
                     _ => {}
                 }
@@ -220,7 +223,7 @@ impl CacheBuf {
             h = match s {
                 None => h.u64(0),
                 Some(v) => {
-                    let (tag, bits) = value_bits(*v);
+                    let (tag, bits) = value_bits(v);
                     h.u64(1).u64(tag).u64(bits)
                 }
             };
@@ -287,11 +290,23 @@ impl CacheBuf {
 
 /// A value as a `(type tag, bit pattern)` pair — the lossless encoding the
 /// content hash and the cache-file format share.
-pub fn value_bits(v: Value) -> (u64, u64) {
+///
+/// Arrays never reach cache slots (only scalars are cacheable), so their
+/// encoding is a fingerprint, not lossless: an FNV fold of length and
+/// element pairs.
+pub fn value_bits(v: &Value) -> (u64, u64) {
     match v {
-        Value::Int(i) => (0, i as u64),
+        Value::Int(i) => (0, *i as u64),
         Value::Float(f) => (1, f.to_bits()),
-        Value::Bool(b) => (2, u64::from(b)),
+        Value::Bool(b) => (2, u64::from(*b)),
+        Value::Array(elems) => {
+            let mut h = ds_telemetry::Fnv64::new().u64(elems.len() as u64);
+            for e in elems {
+                let (tag, bits) = value_bits(e);
+                h = h.u64(tag).u64(bits);
+            }
+            (3, h.finish())
+        }
     }
 }
 
@@ -468,7 +483,7 @@ mod tests {
     #[test]
     fn corrupt_value_changes_and_preserves_type() {
         for v in [Value::Int(0), Value::Float(1.5), Value::Bool(true)] {
-            let c = corrupt_value(v);
+            let c = corrupt_value(v.clone());
             assert!(!c.bits_eq(&v), "{v} must change");
             assert_eq!(c.ty(), v.ty(), "{v} must keep its type");
         }

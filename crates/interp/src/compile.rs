@@ -82,6 +82,17 @@ pub(crate) enum Op {
     Ret { src: u32 },
     /// Return without a value (void return or void fall-off).
     RetVoid,
+    /// Fill register `dst` with a fresh `n`-element array, every element a
+    /// copy of `src` (an array declaration's element fill). Charges no fuel
+    /// (the statement-entry `Step` and the initializer's own instructions
+    /// cover it); the element-store cost is a separate `Charge`.
+    FillArray { dst: u32, src: u32, n: u32 },
+    /// Bounds-checked array element read: `dst = arr[idx]`. Charges one
+    /// fuel (the `Index` expression node) and `INDEX_COST`.
+    LoadIndex { dst: u32, arr: u32, idx: u32 },
+    /// Bounds-checked array element write: `arr[idx] = src`. Charges no
+    /// fuel (the statement-entry `Step` covers it) and `INDEX_STORE_COST`.
+    StoreIndex { arr: u32, idx: u32, src: u32 },
     /// Read a cache slot into `dst`.
     CacheRead { dst: u32, slot: u32 },
     /// Store `src` into a cache slot (the value stays in `src`).
@@ -160,11 +171,13 @@ enum ConstKey {
 }
 
 impl ConstKey {
-    fn of(v: Value) -> ConstKey {
+    fn of(v: &Value) -> ConstKey {
         match v {
-            Value::Int(i) => ConstKey::I(i),
+            Value::Int(i) => ConstKey::I(*i),
             Value::Float(f) => ConstKey::F(f.to_bits()),
-            Value::Bool(b) => ConstKey::B(b),
+            Value::Bool(b) => ConstKey::B(*b),
+            // Arrays have no literal syntax, so they never reach the pool.
+            Value::Array(_) => unreachable!("array values are never constants"),
         }
     }
 }
@@ -180,7 +193,7 @@ struct Pools {
 
 impl Pools {
     fn konst(&mut self, v: Value) -> u32 {
-        *self.const_ids.entry(ConstKey::of(v)).or_insert_with(|| {
+        *self.const_ids.entry(ConstKey::of(&v)).or_insert_with(|| {
             self.consts.push(v);
             (self.consts.len() - 1) as u32
         })
@@ -234,6 +247,9 @@ struct FnCompiler<'a> {
     spans: Vec<Span>,
     arg_pool: Vec<u32>,
     vars: HashMap<String, u32>,
+    /// Declared element count of each array-typed variable; a whole-array
+    /// store charges one `STORE_COST` per element.
+    array_lens: HashMap<String, u32>,
     next_tmp: u32,
     max_reg: u32,
 }
@@ -247,6 +263,7 @@ impl<'a> FnCompiler<'a> {
             spans: Vec::new(),
             arg_pool: Vec::new(),
             vars: HashMap::new(),
+            array_lens: HashMap::new(),
             next_tmp: 0,
             max_reg: 0,
         }
@@ -267,6 +284,11 @@ impl<'a> FnCompiler<'a> {
                 if !self.vars.contains_key(name) {
                     self.vars.insert(name.clone(), self.next_tmp);
                     self.next_tmp += 1;
+                }
+            }
+            if let StmtKind::Decl { name, ty, .. } = &s.kind {
+                if let Some(n) = ty.array_len() {
+                    self.array_lens.insert(name.clone(), n);
                 }
             }
         });
@@ -326,25 +348,58 @@ impl<'a> FnCompiler<'a> {
         // The evaluator charges one step on statement entry.
         self.emit(Op::Step { n: 1 }, s.span);
         match &s.kind {
-            StmtKind::Decl { name, init, .. } => {
+            StmtKind::Decl { name, ty, init } => {
                 let dst = self.vars[name.as_str()];
-                self.expr_into(init, dst);
-                self.emit(
-                    Op::Charge {
-                        cost: ds_lang::cost::STORE_COST as u32,
-                    },
-                    s.span,
-                );
+                match ty.array_len() {
+                    Some(n) => {
+                        // Element fill: evaluate the initializer once into
+                        // a temp, then broadcast it into a fresh array.
+                        let src = self.alloc();
+                        self.expr_into(init, src);
+                        self.emit(Op::FillArray { dst, src, n }, s.span);
+                        self.emit(
+                            Op::Charge {
+                                cost: ds_lang::cost::STORE_COST as u32 * n,
+                            },
+                            s.span,
+                        );
+                    }
+                    None => {
+                        self.expr_into(init, dst);
+                        self.emit(
+                            Op::Charge {
+                                cost: ds_lang::cost::STORE_COST as u32,
+                            },
+                            s.span,
+                        );
+                    }
+                }
             }
             StmtKind::Assign { name, value, .. } => {
                 let dst = self.vars[name.as_str()];
                 self.expr_into(value, dst);
+                // A whole-array copy/phi is n element stores.
+                let n = self.array_lens.get(name.as_str()).copied().unwrap_or(1);
                 self.emit(
                     Op::Charge {
-                        cost: ds_lang::cost::STORE_COST as u32,
+                        cost: ds_lang::cost::STORE_COST as u32 * n,
                     },
                     s.span,
                 );
+            }
+            StmtKind::ArrayAssign { name, index, value } => {
+                let idx = self.alloc();
+                self.expr_into(index, idx);
+                let src = self.alloc();
+                self.expr_into(value, src);
+                if let Some(&arr) = self.vars.get(name.as_str()) {
+                    self.emit(Op::StoreIndex { arr, idx, src }, s.span);
+                } else {
+                    // Index and value (and their effects) evaluate before
+                    // the unbound lookup fails, exactly as in the evaluator.
+                    let name_at = self.pools.name(name);
+                    self.emit(Op::ErrUnbound { name_at }, s.span);
+                }
             }
             StmtKind::If {
                 cond,
@@ -499,6 +554,16 @@ impl<'a> FnCompiler<'a> {
                     // lookup fails, exactly as in the evaluator.
                     let name_at = self.pools.name(name);
                     self.emit(Op::ErrUnknownProc { name_at }, e.span);
+                }
+            }
+            ExprKind::Index { array, index } => {
+                let idx = self.alloc();
+                self.expr_into(index, idx);
+                if let Some(&arr) = self.vars.get(array.as_str()) {
+                    self.emit(Op::LoadIndex { dst, arr, idx }, e.span);
+                } else {
+                    let name_at = self.pools.name(array);
+                    self.emit(Op::ErrUnbound { name_at }, e.span);
                 }
             }
             ExprKind::CacheRef(slot, _) => {

@@ -40,6 +40,17 @@ pub enum EvalError {
         /// Where the store occurred.
         span: Span,
     },
+    /// An array element access (`v[i]` read or write) whose index is
+    /// outside the array's bounds. MiniC arrays are always bounds-checked;
+    /// both engines raise this with identical fields.
+    IndexOutOfBounds {
+        /// The out-of-range index value.
+        index: i64,
+        /// The array's length.
+        len: usize,
+        /// The offending expression (read) or statement (write).
+        span: Span,
+    },
     /// The step limit was exhausted (runaway loop).
     StepLimit,
     /// A value of the wrong type reached an operation (only possible for
@@ -73,6 +84,12 @@ impl fmt::Display for EvalError {
                 write!(
                     f,
                     "cache store to slot {slot} out of bounds ({len} slot(s)) at {span}"
+                )
+            }
+            EvalError::IndexOutOfBounds { index, len, span } => {
+                write!(
+                    f,
+                    "array index {index} out of bounds (length {len}) at {span}"
                 )
             }
             EvalError::StepLimit => write!(f, "step limit exhausted"),

@@ -14,7 +14,8 @@ use crate::error::EvalError;
 use crate::noise;
 use crate::value::Value;
 use ds_lang::cost::{
-    binop_cost, unop_cost, BRANCH_COST, CACHE_READ_COST, CACHE_STORE_COST, STORE_COST,
+    binop_cost, unop_cost, BRANCH_COST, CACHE_READ_COST, CACHE_STORE_COST, INDEX_COST,
+    INDEX_STORE_COST, STORE_COST,
 };
 use ds_lang::{BinOp, Block, Builtin, Expr, ExprKind, Proc, Program, Stmt, StmtKind, Type, UnOp};
 use std::collections::HashMap;
@@ -358,7 +359,7 @@ impl<'p, 'c> State<'p, 'c> {
                     ),
                 });
             }
-            env.insert(param.name.clone(), *arg);
+            env.insert(param.name.clone(), arg.clone());
         }
         match self.block(&proc.body, &mut env)? {
             Flow::Return(v) => Ok(v),
@@ -379,16 +380,67 @@ impl<'p, 'c> State<'p, 'c> {
     fn stmt(&mut self, s: &Stmt, env: &mut HashMap<String, Value>) -> Result<Flow, EvalError> {
         self.step()?;
         match &s.kind {
-            StmtKind::Decl { name, init, .. } => {
+            StmtKind::Decl { name, ty, init } => {
+                // An array declaration evaluates its initializer once and
+                // fills every element with the value (n element stores).
                 let v = self.expr(init, env)?;
-                self.cost += STORE_COST;
+                let v = match ty.array_len() {
+                    Some(n) => {
+                        self.cost += STORE_COST * n as u64;
+                        Value::Array(vec![v; n as usize])
+                    }
+                    None => {
+                        self.cost += STORE_COST;
+                        v
+                    }
+                };
                 env.insert(name.clone(), v);
                 Ok(Flow::Next)
             }
             StmtKind::Assign { name, value, .. } => {
                 let v = self.expr(value, env)?;
-                self.cost += STORE_COST;
+                // A whole-array assignment (copy or pseudo-phi) is n
+                // element stores; scalars cost one.
+                self.cost += match &v {
+                    Value::Array(elems) => STORE_COST * elems.len() as u64,
+                    _ => STORE_COST,
+                };
                 env.insert(name.clone(), v);
+                Ok(Flow::Next)
+            }
+            StmtKind::ArrayAssign { name, index, value } => {
+                let iv = self.expr(index, env)?;
+                let vv = self.expr(value, env)?;
+                self.cost += INDEX_STORE_COST;
+                if let Some(p) = &mut self.profile {
+                    p.ops += 1;
+                    *p.op_histogram.entry("idxstore").or_default() += 1;
+                }
+                let i = iv.as_int().ok_or(EvalError::TypeMismatch {
+                    expected: Type::Int,
+                    span: s.span,
+                })?;
+                let Some(binding) = env.get_mut(name) else {
+                    // Unreachable for type-checked programs.
+                    return Err(EvalError::BadArguments {
+                        proc: String::new(),
+                        detail: format!("unbound variable `{name}`"),
+                    });
+                };
+                let Value::Array(elems) = binding else {
+                    return Err(EvalError::TypeMismatch {
+                        expected: Type::Int,
+                        span: s.span,
+                    });
+                };
+                if i < 0 || i as usize >= elems.len() {
+                    return Err(EvalError::IndexOutOfBounds {
+                        index: i,
+                        len: elems.len(),
+                        span: s.span,
+                    });
+                }
+                elems[i as usize] = vv;
                 Ok(Flow::Next)
             }
             StmtKind::If {
@@ -446,7 +498,7 @@ impl<'p, 'c> State<'p, 'c> {
             ExprKind::IntLit(v) => Ok(Value::Int(*v)),
             ExprKind::FloatLit(v) => Ok(Value::Float(*v)),
             ExprKind::BoolLit(v) => Ok(Value::Bool(*v)),
-            ExprKind::Var(name) => env.get(name).copied().ok_or_else(|| {
+            ExprKind::Var(name) => env.get(name).cloned().ok_or_else(|| {
                 // Unreachable for type-checked programs.
                 EvalError::BadArguments {
                     proc: String::new(),
@@ -514,6 +566,39 @@ impl<'p, 'c> State<'p, 'c> {
                     })
                 }
             }
+            ExprKind::Index { array, index } => {
+                let iv = self.expr(index, env)?;
+                self.cost += INDEX_COST;
+                if let Some(p) = &mut self.profile {
+                    p.ops += 1;
+                    *p.op_histogram.entry("idxload").or_default() += 1;
+                }
+                let i = iv.as_int().ok_or(EvalError::TypeMismatch {
+                    expected: Type::Int,
+                    span: e.span,
+                })?;
+                match env.get(array) {
+                    Some(Value::Array(elems)) => {
+                        if i < 0 || i as usize >= elems.len() {
+                            return Err(EvalError::IndexOutOfBounds {
+                                index: i,
+                                len: elems.len(),
+                                span: e.span,
+                            });
+                        }
+                        Ok(elems[i as usize].clone())
+                    }
+                    // Both unreachable for type-checked programs.
+                    Some(_) => Err(EvalError::TypeMismatch {
+                        expected: Type::Int,
+                        span: e.span,
+                    }),
+                    None => Err(EvalError::BadArguments {
+                        proc: String::new(),
+                        detail: format!("unbound variable `{array}`"),
+                    }),
+                }
+            }
             ExprKind::CacheRef(slot, _) => {
                 self.cost += CACHE_READ_COST;
                 if let Some(p) = &mut self.profile {
@@ -535,7 +620,7 @@ impl<'p, 'c> State<'p, 'c> {
                     .cache
                     .as_deref_mut()
                     .ok_or(EvalError::NoCache(e.span))?;
-                cache.try_set(slot.index(), v).map_err(
+                cache.try_set(slot.index(), v.clone()).map_err(
                     |crate::cache::CacheError::OutOfBounds { slot, len }| {
                         EvalError::CacheOutOfBounds {
                             slot,
@@ -596,7 +681,13 @@ pub fn apply_pure_builtin(b: Builtin, args: &[Value]) -> Option<Value> {
             }),
             Builtin::Min => Value::Float(f(0).min(f(1))),
             Builtin::Max => Value::Float(f(0).max(f(1))),
-            Builtin::Clamp => Value::Float(f(0).clamp(f(1).min(f(2)), f(2).max(f(1)))),
+            Builtin::Clamp => {
+                let (x, lo, hi) = (f(0), f(1).min(f(2)), f(2).max(f(1)));
+                // min/max select the non-NaN bound, so `lo` is NaN only when
+                // both bounds are — where std's clamp would panic, not a
+                // luxury a fuzzed interpreter has. Pass the value through.
+                Value::Float(if lo.is_nan() { x } else { x.clamp(lo, hi) })
+            }
             Builtin::Lerp => Value::Float(f(0) + (f(1) - f(0)) * f(2)),
             Builtin::Smoothstep => {
                 let (e0, e1, x) = (f(0), f(1), f(2));
@@ -653,14 +744,12 @@ pub fn apply_unop(op: UnOp, v: Value, e: &Expr) -> Result<Value, EvalError> {
 /// [`apply_unop`] with an explicit error span, for callers (such as the
 /// bytecode VM) that no longer hold the originating AST node.
 pub fn apply_unop_at(op: UnOp, v: Value, span: ds_lang::Span) -> Result<Value, EvalError> {
+    let ty = v.ty();
     match (op, v) {
         (UnOp::Neg, Value::Int(i)) => Ok(Value::Int(i.wrapping_neg())),
         (UnOp::Neg, Value::Float(f)) => Ok(Value::Float(-f)),
         (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-        _ => Err(EvalError::TypeMismatch {
-            expected: v.ty(),
-            span,
-        }),
+        _ => Err(EvalError::TypeMismatch { expected: ty, span }),
     }
 }
 
@@ -681,8 +770,9 @@ pub fn apply_binop_at(
 ) -> Result<Value, EvalError> {
     use BinOp::*;
     use Value::*;
+    let lty = l.ty();
     let mismatch = || EvalError::TypeMismatch {
-        expected: l.ty(),
+        expected: lty,
         span,
     };
     Ok(match (op, l, r) {
@@ -978,6 +1068,32 @@ mod tests {
                 "{name}({args:?}) != {want}"
             );
         }
+    }
+
+    #[test]
+    fn clamp_is_total_under_nan_and_inverted_bounds() {
+        // Fuzzer finding: std's `f64::clamp` PANICS on NaN bounds, and a
+        // generated program can produce them (e.g. `clamp(x, 0/0, 0/0)`).
+        // Inverted bounds normalize via min/max; both-NaN bounds pass the
+        // value through; a NaN value stays NaN.
+        let src = "float f(float x, float lo, float hi) { return clamp(x, lo, hi); }";
+        let nan = f64::NAN;
+        let cases: &[(&[f64], f64)] = &[
+            (&[5.0, 1.0, 0.0], 1.0),  // inverted bounds
+            (&[5.0, nan, 1.0], 1.0),  // one NaN bound: the other wins
+            (&[-5.0, 1.0, nan], 1.0), // (both directions)
+            (&[5.0, nan, nan], 5.0),  // both NaN: pass-through
+        ];
+        for (args, want) in cases {
+            let vals: Vec<Value> = args.iter().map(|&v| Value::Float(v)).collect();
+            let out = run(src, "f", &vals);
+            assert_eq!(out.value, Some(Value::Float(*want)), "clamp({args:?})");
+        }
+        let vals: Vec<Value> = [nan, 0.0, 1.0].iter().map(|&v| Value::Float(v)).collect();
+        let Some(Value::Float(v)) = run(src, "f", &vals).value else {
+            panic!("clamp(NaN, 0, 1) must produce a float");
+        };
+        assert!(v.is_nan(), "NaN value propagates");
     }
 
     #[test]

@@ -1,10 +1,16 @@
 //! Runtime values of MiniC programs.
 
-use ds_lang::Type;
+use ds_lang::{Elem, Type};
 use std::fmt;
 
-/// A runtime value: one of MiniC's three scalar types.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// A runtime value: one of MiniC's three scalar types, or a fixed-size
+/// array of scalars.
+///
+/// Arrays are procedure-local aggregates (never parameters, returns or
+/// cache-slot contents), but they flow through declarations, whole-array
+/// assignments and pseudo-phis, so the environment value type must carry
+/// them. `Value` is therefore `Clone` but not `Copy`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Integer value.
     Int(i64),
@@ -12,6 +18,8 @@ pub enum Value {
     Float(f64),
     /// Boolean value.
     Bool(bool),
+    /// Fixed-size array of homogeneous scalar elements.
+    Array(Vec<Value>),
 }
 
 impl Value {
@@ -21,6 +29,13 @@ impl Value {
             Value::Int(_) => Type::Int,
             Value::Float(_) => Type::Float,
             Value::Bool(_) => Type::Bool,
+            Value::Array(elems) => {
+                let elem = elems
+                    .first()
+                    .and_then(|v| Elem::from_type(v.ty()))
+                    .unwrap_or(Elem::Float);
+                Type::Array(elem, elems.len() as u32)
+            }
         }
     }
 
@@ -56,6 +71,9 @@ impl Value {
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Array(a), Value::Array(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bits_eq(y))
+            }
             _ => false,
         }
     }
@@ -85,6 +103,16 @@ impl fmt::Display for Value {
             Value::Int(v) => write!(f, "{v}"),
             Value::Float(v) => write!(f, "{v}"),
             Value::Bool(v) => write!(f, "{v}"),
+            Value::Array(elems) => {
+                f.write_str("[")?;
+                for (i, v) in elems.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
         }
     }
 }
@@ -128,5 +156,19 @@ mod tests {
     fn display() {
         assert_eq!(Value::Int(-7).to_string(), "-7");
         assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(
+            Value::Array(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "[1, 2]"
+        );
+    }
+
+    #[test]
+    fn array_type_and_bit_equality() {
+        let a = Value::Array(vec![Value::Float(0.0), Value::Float(f64::NAN)]);
+        assert_eq!(a.ty(), Type::Array(Elem::Float, 2));
+        assert!(a.bits_eq(&a.clone()));
+        let b = Value::Array(vec![Value::Float(-0.0), Value::Float(f64::NAN)]);
+        assert!(!a.bits_eq(&b), "-0.0 differs from 0.0 bitwise");
+        assert!(!a.bits_eq(&Value::Array(vec![Value::Float(0.0)])));
     }
 }

@@ -24,7 +24,10 @@ use crate::eval::{
     CALL_COST,
 };
 use crate::value::Value;
-use ds_lang::cost::{binop_cost, unop_cost, BRANCH_COST, CACHE_READ_COST, CACHE_STORE_COST};
+use ds_lang::cost::{
+    binop_cost, unop_cost, BRANCH_COST, CACHE_READ_COST, CACHE_STORE_COST, INDEX_COST,
+    INDEX_STORE_COST,
+};
 use ds_lang::{Builtin, Program, Type};
 use std::str::FromStr;
 
@@ -152,7 +155,7 @@ impl Vm {
         self.frames.clear();
         self.regs.clear();
         self.regs.resize(proc.nregs as usize, Value::Int(0));
-        self.regs[..args.len()].copy_from_slice(args);
+        self.regs[..args.len()].clone_from_slice(args);
         let mut base = 0usize;
         let mut pc = 0usize;
 
@@ -179,11 +182,11 @@ impl Vm {
                 Op::Charge { cost: c } => cost += c as u64,
                 Op::Const { dst, k } => {
                     step1!();
-                    self.regs[base + dst as usize] = prog.consts[k as usize];
+                    self.regs[base + dst as usize] = prog.consts[k as usize].clone();
                 }
                 Op::Move { dst, src } => {
                     step1!();
-                    self.regs[base + dst as usize] = self.regs[base + src as usize];
+                    self.regs[base + dst as usize] = self.regs[base + src as usize].clone();
                 }
                 Op::Un { op, dst, src } => {
                     step1!();
@@ -192,7 +195,11 @@ impl Vm {
                         p.ops += 1;
                         *p.op_histogram.entry(op.mnemonic()).or_default() += 1;
                     }
-                    let v = apply_unop_at(op, self.regs[base + src as usize], proc.spans[pc - 1])?;
+                    let v = apply_unop_at(
+                        op,
+                        self.regs[base + src as usize].clone(),
+                        proc.spans[pc - 1],
+                    )?;
                     self.regs[base + dst as usize] = v;
                 }
                 Op::Bin { op, dst, lhs, rhs } => {
@@ -204,11 +211,75 @@ impl Vm {
                     }
                     let v = apply_binop_at(
                         op,
-                        self.regs[base + lhs as usize],
-                        self.regs[base + rhs as usize],
+                        self.regs[base + lhs as usize].clone(),
+                        self.regs[base + rhs as usize].clone(),
                         proc.spans[pc - 1],
                     )?;
                     self.regs[base + dst as usize] = v;
+                }
+                Op::FillArray { dst, src, n } => {
+                    let v = self.regs[base + src as usize].clone();
+                    self.regs[base + dst as usize] = Value::Array(vec![v; n as usize]);
+                }
+                Op::LoadIndex { dst, arr, idx } => {
+                    step1!();
+                    cost += INDEX_COST;
+                    if let Some(p) = profile.as_mut() {
+                        p.ops += 1;
+                        *p.op_histogram.entry("idxload").or_default() += 1;
+                    }
+                    let span = proc.spans[pc - 1];
+                    let i =
+                        self.regs[base + idx as usize]
+                            .as_int()
+                            .ok_or(EvalError::TypeMismatch {
+                                expected: Type::Int,
+                                span,
+                            })?;
+                    let Value::Array(elems) = &self.regs[base + arr as usize] else {
+                        return Err(EvalError::TypeMismatch {
+                            expected: Type::Int,
+                            span,
+                        });
+                    };
+                    if i < 0 || i as usize >= elems.len() {
+                        return Err(EvalError::IndexOutOfBounds {
+                            index: i,
+                            len: elems.len(),
+                            span,
+                        });
+                    }
+                    self.regs[base + dst as usize] = elems[i as usize].clone();
+                }
+                Op::StoreIndex { arr, idx, src } => {
+                    cost += INDEX_STORE_COST;
+                    if let Some(p) = profile.as_mut() {
+                        p.ops += 1;
+                        *p.op_histogram.entry("idxstore").or_default() += 1;
+                    }
+                    let span = proc.spans[pc - 1];
+                    let i =
+                        self.regs[base + idx as usize]
+                            .as_int()
+                            .ok_or(EvalError::TypeMismatch {
+                                expected: Type::Int,
+                                span,
+                            })?;
+                    let v = self.regs[base + src as usize].clone();
+                    let Value::Array(elems) = &mut self.regs[base + arr as usize] else {
+                        return Err(EvalError::TypeMismatch {
+                            expected: Type::Int,
+                            span,
+                        });
+                    };
+                    if i < 0 || i as usize >= elems.len() {
+                        return Err(EvalError::IndexOutOfBounds {
+                            index: i,
+                            len: elems.len(),
+                            span,
+                        });
+                    }
+                    elems[i as usize] = v;
                 }
                 Op::Jump { target } => pc = target as usize,
                 Op::JumpIfFalse { cond, target } => {
@@ -239,7 +310,7 @@ impl Vm {
                     }
                     self.argbuf.clear();
                     for &r in &proc.arg_pool[args_at as usize..(args_at + argc) as usize] {
-                        self.argbuf.push(self.regs[base + r as usize]);
+                        self.argbuf.push(self.regs[base + r as usize].clone());
                     }
                     let v = if b == Builtin::Trace {
                         let x = self.argbuf[0]
@@ -280,7 +351,7 @@ impl Vm {
                     for (i, (&r, (pname, pty))) in
                         arg_regs.iter().zip(&callee_proc.params).enumerate()
                     {
-                        let v = self.regs[base + r as usize];
+                        let v = self.regs[base + r as usize].clone();
                         if v.ty() != *pty {
                             return Err(EvalError::BadArguments {
                                 proc: callee_proc.name.clone(),
@@ -304,7 +375,7 @@ impl Vm {
                     pc = 0;
                 }
                 Op::Ret { src } => {
-                    let v = self.regs[base + src as usize];
+                    let v = self.regs[base + src as usize].clone();
                     match self.frames.pop() {
                         None => break Some(v),
                         Some(f) => {
@@ -351,7 +422,7 @@ impl Vm {
                         p.cache_writes += 1;
                     }
                     let span = proc.spans[pc - 1];
-                    let v = self.regs[base + src as usize];
+                    let v = self.regs[base + src as usize].clone();
                     let cb = cache.as_deref_mut().ok_or(EvalError::NoCache(span))?;
                     cb.try_set(slot as usize, v).map_err(
                         |crate::cache::CacheError::OutOfBounds { slot, len }| {

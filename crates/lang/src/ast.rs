@@ -57,7 +57,41 @@ impl fmt::Display for SlotId {
     }
 }
 
-/// MiniC's scalar types.
+/// Element type of a fixed-size array: the scalar types only. Arrays of
+/// arrays (and arrays of `void`) do not exist — MiniC stays "C without
+/// pointers", and its aggregates are flat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Elem {
+    /// `int` elements.
+    Int,
+    /// `float` elements.
+    Float,
+    /// `bool` elements.
+    Bool,
+}
+
+impl Elem {
+    /// The scalar [`Type`] of one element.
+    pub fn ty(self) -> Type {
+        match self {
+            Elem::Int => Type::Int,
+            Elem::Float => Type::Float,
+            Elem::Bool => Type::Bool,
+        }
+    }
+
+    /// The element encoding of a scalar type, if it has one.
+    pub fn from_type(ty: Type) -> Option<Elem> {
+        match ty {
+            Type::Int => Some(Elem::Int),
+            Type::Float => Some(Elem::Float),
+            Type::Bool => Some(Elem::Bool),
+            Type::Void | Type::Array(..) => None,
+        }
+    }
+}
+
+/// MiniC's types: the scalars plus literal-sized arrays of scalars.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Type {
     /// 32-bit-style integer (stored as `i64` at runtime, 4 bytes in the cache).
@@ -69,28 +103,58 @@ pub enum Type {
     Bool,
     /// Absence of a value; only valid as a procedure return type.
     Void,
+    /// Fixed-size array `elem name[len]` with a literal length. Array values
+    /// live only in locals: parameters, return types, and cache slots stay
+    /// scalar, so the specialized frontier caches array *elements*, never
+    /// whole arrays.
+    Array(Elem, u32),
 }
 
 impl Type {
     /// Bytes one cached value of this type occupies, using the paper's
-    /// accounting (4-byte floats; Figure 8 cache sizes).
+    /// accounting (4-byte floats; Figure 8 cache sizes). For arrays this is
+    /// the whole-aggregate footprint; cache slots themselves are always
+    /// scalar (see [`Type::Array`]).
     pub fn cache_width(self) -> u32 {
         match self {
             Type::Int | Type::Float => 4,
             Type::Bool => 1,
             Type::Void => 0,
+            Type::Array(e, n) => e.ty().cache_width() * n,
+        }
+    }
+
+    /// Whether this is one of the scalar value types (`int`/`float`/`bool`).
+    pub fn is_scalar(self) -> bool {
+        matches!(self, Type::Int | Type::Float | Type::Bool)
+    }
+
+    /// The element type, for arrays.
+    pub fn elem(self) -> Option<Type> {
+        match self {
+            Type::Array(e, _) => Some(e.ty()),
+            _ => None,
+        }
+    }
+
+    /// The literal length, for arrays.
+    pub fn array_len(self) -> Option<u32> {
+        match self {
+            Type::Array(_, n) => Some(n),
+            _ => None,
         }
     }
 }
 
 impl fmt::Display for Type {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Type::Int => "int",
-            Type::Float => "float",
-            Type::Bool => "bool",
-            Type::Void => "void",
-        })
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Float => f.write_str("float"),
+            Type::Bool => f.write_str("bool"),
+            Type::Void => f.write_str("void"),
+            Type::Array(e, n) => write!(f, "{}[{n}]", e.ty()),
+        }
     }
 }
 
@@ -241,6 +305,15 @@ pub enum ExprKind {
     Cond(Box<Expr>, Box<Expr>, Box<Expr>),
     /// Call to a builtin or (before inlining) a user procedure.
     Call(String, Vec<Expr>),
+    /// Bounds-checked element read `a[i]` of a local fixed-size array.
+    /// Arrays are second-class (locals only, no pointers), so the array
+    /// position is a name, not an arbitrary expression.
+    Index {
+        /// The array variable being read.
+        array: String,
+        /// The element index (type `int`).
+        index: Box<Expr>,
+    },
     /// Reader-side access to a cache slot (synthesized by splitting).
     CacheRef(SlotId, Type),
     /// Loader-side slot fill: evaluates the operand, stores it into the slot,
@@ -305,14 +378,24 @@ impl Expr {
         Expr::synth(ExprKind::Call(name.into(), args))
     }
 
+    /// Convenience constructor for an array element read `a[i]`.
+    pub fn index(array: impl Into<String>, index: Expr) -> Expr {
+        Expr::synth(ExprKind::Index {
+            array: array.into(),
+            index: Box::new(index),
+        })
+    }
+
     /// The default literal of `ty` (`0`, `0.0`, `false`), the leaf shrinkers
-    /// reduce expressions to.
+    /// reduce expressions to. For an array type this is the element's zero
+    /// (the fill value of an uninitialized declaration).
     pub fn zero(ty: Type) -> Expr {
         match ty {
             Type::Int => Expr::int(0),
             Type::Float => Expr::float(0.0),
             Type::Bool => Expr::bool(false),
             Type::Void => Expr::int(0), // no void expressions exist; arbitrary
+            Type::Array(e, _) => Expr::zero(e.ty()),
         }
     }
 
@@ -333,6 +416,7 @@ impl Expr {
             | ExprKind::Var(_)
             | ExprKind::CacheRef(..) => Vec::new(),
             ExprKind::Unary(_, e) | ExprKind::CacheStore(_, e) => vec![e],
+            ExprKind::Index { index, .. } => vec![index],
             ExprKind::Binary(_, l, r) => vec![l, r],
             ExprKind::Cond(c, t, e) => vec![c, t, e],
             ExprKind::Call(_, args) => args.iter().collect(),
@@ -348,6 +432,7 @@ impl Expr {
             | ExprKind::Var(_)
             | ExprKind::CacheRef(..) => Vec::new(),
             ExprKind::Unary(_, e) | ExprKind::CacheStore(_, e) => vec![e],
+            ExprKind::Index { index, .. } => vec![index],
             ExprKind::Binary(_, l, r) => vec![l, r],
             ExprKind::Cond(c, t, e) => vec![c, t, e],
             ExprKind::Call(_, args) => args.iter_mut().collect(),
@@ -414,6 +499,18 @@ pub enum StmtKind {
         value: Expr,
         /// Whether this is a synthesized join-point `v = v`.
         is_phi: bool,
+    },
+    /// Bounds-checked element write `a[i] = e;`. Semantically a
+    /// read-modify-write of the whole array variable: the analyses treat it
+    /// as killing `a`'s prior definitions while also depending on them
+    /// (other elements keep their old values).
+    ArrayAssign {
+        /// The array variable being written.
+        name: String,
+        /// The element index (type `int`).
+        index: Expr,
+        /// The element value (the array's element type).
+        value: Expr,
     },
     /// Conditional statement. `else_blk` is empty when absent.
     If {
@@ -515,6 +612,10 @@ impl Proc {
             match &s.kind {
                 StmtKind::Decl { init, .. } => init.walk(f),
                 StmtKind::Assign { value, .. } => value.walk(f),
+                StmtKind::ArrayAssign { index, value, .. } => {
+                    index.walk(f);
+                    value.walk(f);
+                }
                 StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => cond.walk(f),
                 StmtKind::Return(Some(e)) => e.walk(f),
                 StmtKind::Return(None) => {}
@@ -532,6 +633,10 @@ impl Proc {
                 match &mut s.kind {
                     StmtKind::Decl { init, .. } => init.walk_mut(f),
                     StmtKind::Assign { value, .. } => value.walk_mut(f),
+                    StmtKind::ArrayAssign { index, value, .. } => {
+                        index.walk_mut(f);
+                        value.walk_mut(f);
+                    }
                     StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => cond.walk_mut(f),
                     StmtKind::Return(Some(e)) => e.walk_mut(f),
                     StmtKind::Return(None) => {}
@@ -599,6 +704,10 @@ fn renumber_stmt(s: &mut Stmt, next: &mut u32) {
     match &mut s.kind {
         StmtKind::Decl { init, .. } => renumber_expr(init, next),
         StmtKind::Assign { value, .. } => renumber_expr(value, next),
+        StmtKind::ArrayAssign { index, value, .. } => {
+            renumber_expr(index, next);
+            renumber_expr(value, next);
+        }
         StmtKind::If {
             cond,
             then_blk,
@@ -628,6 +737,7 @@ fn renumber_expr(e: &mut Expr, next: &mut u32) {
         | ExprKind::Var(_)
         | ExprKind::CacheRef(..) => {}
         ExprKind::Unary(_, a) | ExprKind::CacheStore(_, a) => renumber_expr(a, next),
+        ExprKind::Index { index, .. } => renumber_expr(index, next),
         ExprKind::Binary(_, l, r) => {
             renumber_expr(l, next);
             renumber_expr(r, next);
@@ -737,6 +847,52 @@ mod tests {
         assert_eq!(Type::Int.cache_width(), 4);
         assert_eq!(Type::Bool.cache_width(), 1);
         assert_eq!(Type::Void.cache_width(), 0);
+        assert_eq!(Type::Array(Elem::Float, 16).cache_width(), 64);
+        assert_eq!(Type::Array(Elem::Bool, 3).cache_width(), 3);
+    }
+
+    #[test]
+    fn array_type_helpers() {
+        let a = Type::Array(Elem::Int, 8);
+        assert!(!a.is_scalar());
+        assert!(Type::Float.is_scalar());
+        assert!(!Type::Void.is_scalar());
+        assert_eq!(a.elem(), Some(Type::Int));
+        assert_eq!(a.array_len(), Some(8));
+        assert_eq!(Type::Int.elem(), None);
+        assert_eq!(Elem::from_type(Type::Bool), Some(Elem::Bool));
+        assert_eq!(Elem::from_type(a), None);
+        assert_eq!(a.to_string(), "int[8]");
+    }
+
+    #[test]
+    fn array_terms_renumber_and_walk() {
+        // v[2] = v[i] + 1.0; with the index and value in evaluation order.
+        let s = Stmt::synth(StmtKind::ArrayAssign {
+            name: "v".into(),
+            index: Expr::int(2),
+            value: Expr::binary(
+                BinOp::Add,
+                Expr::index("v", Expr::var("i")),
+                Expr::float(1.0),
+            ),
+        });
+        let mut prog = Program {
+            procs: vec![Proc {
+                name: "f".into(),
+                params: vec![],
+                ret: Type::Void,
+                body: Block {
+                    stmts: vec![s, Stmt::synth(StmtKind::Return(None))],
+                },
+                span: Span::DUMMY,
+            }],
+        };
+        // stmt + int + add + index + var + float + return = 7
+        assert_eq!(prog.renumber(), 7);
+        let idx = Expr::index("v", Expr::var("i"));
+        assert_eq!(idx.children().len(), 1);
+        assert_eq!(idx.node_count(), 2);
     }
 
     #[test]

@@ -53,6 +53,17 @@ pub const LOOP_MULTIPLIER: u64 = 5;
 /// terms guarded by conditionals, a divisor (2)").
 pub const COND_DIVISOR: u64 = 2;
 
+/// Cost of an indexed array read `v[i]`: address arithmetic plus a bounds
+/// check plus the memory reference itself. Strictly greater than
+/// [`CACHE_READ_COST`] so that an invariant element read is *not*
+/// "sufficiently trivial" — replacing it with a plain cache-slot read is a
+/// win, and Rule 6 lets it into the cached frontier.
+pub const INDEX_COST: u64 = 3;
+
+/// Cost of an indexed array write `v[i] = e` (same address arithmetic and
+/// bounds check as a read, plus the store).
+pub const INDEX_STORE_COST: u64 = 3;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +79,17 @@ mod tests {
         // §2: "the relational operation is likely to be cheaper than a
         // memory reference" — the policy that keeps `(scale != 0)` dynamic.
         assert!(binop_cost(BinOp::Ne) < CACHE_READ_COST);
+    }
+
+    #[test]
+    fn indexed_access_dearer_than_cache_read() {
+        // An invariant `v[2]` must clear the triviality threshold: caching it
+        // trades address arithmetic + bounds check + load for one slot read.
+        const {
+            assert!(INDEX_COST > CACHE_READ_COST);
+            assert!(INDEX_COST > TRIVIALITY_THRESHOLD);
+            assert!(INDEX_STORE_COST >= CACHE_STORE_COST);
+        }
     }
 
     #[test]

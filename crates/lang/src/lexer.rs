@@ -129,6 +129,8 @@ impl<'s> Lexer<'s> {
             b')' => TokenKind::RParen,
             b'{' => TokenKind::LBrace,
             b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
             b',' => TokenKind::Comma,
             b';' => TokenKind::Semi,
             b'+' => TokenKind::Plus,
@@ -335,6 +337,20 @@ mod tests {
         assert_eq!(toks[0].span, Span::new(0, 2));
         assert_eq!(toks[1].span, Span::new(3, 4));
         assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn lexes_brackets() {
+        assert_eq!(
+            kinds("a[3]"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(3),
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
     }
 
     #[test]

@@ -56,7 +56,8 @@ pub mod token;
 pub mod typeck;
 
 pub use ast::{
-    BinOp, Block, Expr, ExprKind, Param, Proc, Program, SlotId, Stmt, StmtKind, TermId, Type, UnOp,
+    BinOp, Block, Elem, Expr, ExprKind, Param, Proc, Program, SlotId, Stmt, StmtKind, TermId, Type,
+    UnOp,
 };
 pub use builtins::{Builtin, ALL_BUILTINS};
 pub use error::{FrontendError, Phase};

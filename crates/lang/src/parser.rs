@@ -290,7 +290,9 @@ impl Parser {
                 let s = self.decl_stmt()?;
                 out.push(s);
             }
-            TokenKind::Ident(_) if self.peek2().kind == TokenKind::Assign => {
+            TokenKind::Ident(_)
+                if matches!(self.peek2().kind, TokenKind::Assign | TokenKind::LBracket) =>
+            {
                 let s = self.assign_stmt()?;
                 out.push(s);
             }
@@ -308,15 +310,56 @@ impl Parser {
         Ok(())
     }
 
+    /// Largest literal array size the front end accepts; keeps fuzzers and
+    /// hostile inputs from requesting pathological allocations.
+    const MAX_ARRAY_LEN: i64 = 4096;
+
     fn decl_stmt(&mut self) -> Result<Stmt, FrontendError> {
         let start = self.peek().span;
-        let ty = self.ty()?;
+        let mut ty = self.ty()?;
         if ty == Type::Void {
             return Err(self.err("variables cannot have type `void`"));
         }
         let (name, _) = self.ident()?;
-        self.expect(&TokenKind::Assign)?;
-        let init = self.expr()?;
+        // Array declarator suffix: `float v[4]`, literal-sized only.
+        let is_array = if self.eat(&TokenKind::LBracket) {
+            let t = self.bump();
+            let len = match t.kind {
+                TokenKind::Int(n) if (1..=Self::MAX_ARRAY_LEN).contains(&n) => n as u32,
+                TokenKind::Int(n) => {
+                    return Err(FrontendError::new(
+                        Phase::Parse,
+                        format!(
+                            "array size must be a literal in 1..={}, got {n}",
+                            Self::MAX_ARRAY_LEN
+                        ),
+                        t.span,
+                    ))
+                }
+                other => {
+                    return Err(FrontendError::new(
+                        Phase::Parse,
+                        format!("array size must be an integer literal, found {other}"),
+                        t.span,
+                    ))
+                }
+            };
+            self.expect(&TokenKind::RBracket)?;
+            let elem = Elem::from_type(ty).expect("scalar element type");
+            ty = Type::Array(elem, len);
+            true
+        } else {
+            false
+        };
+        // Scalar declarations require an initializer; array declarations
+        // take an optional element *fill* (`= e` sets every element, absent
+        // means zero-filled).
+        let init = if is_array && self.at(&TokenKind::Semi) {
+            Expr::zero(ty)
+        } else {
+            self.expect(&TokenKind::Assign)?;
+            self.expr()?
+        };
         self.expect(&TokenKind::Semi)?;
         Ok(Stmt {
             id: TermId::UNASSIGNED,
@@ -328,6 +371,18 @@ impl Parser {
     fn assign_no_semi(&mut self) -> Result<Stmt, FrontendError> {
         let start = self.peek().span;
         let (name, _) = self.ident()?;
+        // `a[i] = e` element write.
+        if self.eat(&TokenKind::LBracket) {
+            let index = self.expr()?;
+            self.expect(&TokenKind::RBracket)?;
+            self.expect(&TokenKind::Assign)?;
+            let value = self.expr()?;
+            return Ok(Stmt {
+                id: TermId::UNASSIGNED,
+                kind: StmtKind::ArrayAssign { name, index, value },
+                span: start,
+            });
+        }
         self.expect(&TokenKind::Assign)?;
         let value = self.expr()?;
         Ok(Stmt {
@@ -522,6 +577,19 @@ impl Parser {
                         span: t.span.merge(end),
                     });
                 }
+                if self.at(&TokenKind::LBracket) {
+                    self.bump();
+                    let index = self.expr()?;
+                    let end = self.expect(&TokenKind::RBracket)?.span;
+                    return Ok(Expr {
+                        id: TermId::UNASSIGNED,
+                        kind: ExprKind::Index {
+                            array: name,
+                            index: Box::new(index),
+                        },
+                        span: t.span.merge(end),
+                    });
+                }
                 ExprKind::Var(name)
             }
             other => {
@@ -683,6 +751,62 @@ mod tests {
             }
             other => panic!("unexpected shape {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_array_declarations_and_element_ops() {
+        let prog = parse_ok(
+            "float f(float x, int i) {
+                 float v[4];
+                 int w[2] = 7;
+                 v[0] = x * 2.0;
+                 v[i] = v[0] + v[i + 1];
+                 return v[3];
+             }",
+        );
+        let stmts = &prog.proc("f").unwrap().body.stmts;
+        match &stmts[0].kind {
+            StmtKind::Decl { name, ty, init } => {
+                assert_eq!(name, "v");
+                assert_eq!(*ty, Type::Array(Elem::Float, 4));
+                assert!(matches!(init.kind, ExprKind::FloatLit(_)), "zero fill");
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        match &stmts[1].kind {
+            StmtKind::Decl { ty, init, .. } => {
+                assert_eq!(*ty, Type::Array(Elem::Int, 2));
+                assert!(matches!(init.kind, ExprKind::IntLit(7)), "explicit fill");
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        assert!(matches!(&stmts[2].kind, StmtKind::ArrayAssign { name, .. } if name == "v"));
+        match &stmts[3].kind {
+            StmtKind::ArrayAssign { index, value, .. } => {
+                assert!(matches!(&index.kind, ExprKind::Var(n) if n == "i"));
+                assert!(matches!(value.kind, ExprKind::Binary(BinOp::Add, ..)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        match &stmts[4].kind {
+            StmtKind::Return(Some(e)) => {
+                assert!(matches!(&e.kind, ExprKind::Index { array, .. } if array == "v"));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_array_declarations() {
+        // Size must be a positive literal within bounds.
+        assert!(parse_program("void f() { float v[0]; return; }").is_err());
+        assert!(parse_program("void f() { float v[-1]; return; }").is_err());
+        assert!(parse_program("void f() { float v[5000]; return; }").is_err());
+        assert!(parse_program("void f() { int n = 4; float v[n]; return; }").is_err());
+        // Scalar declarations still require an initializer.
+        assert!(parse_program("void f() { float x; return; }").is_err());
+        // Unterminated declarator.
+        assert!(parse_program("void f() { float v[4; return; }").is_err());
     }
 
     #[test]

@@ -71,7 +71,13 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
     indent(level, out);
     match &s.kind {
         StmtKind::Decl { name, ty, init } => {
-            let _ = writeln!(out, "{ty} {name} = {};", print_expr(init));
+            // Array declarations re-parse only in C declarator order:
+            // `float v[4] = fill;`, not `float[4] v = ...`.
+            if let Type::Array(elem, n) = ty {
+                let _ = writeln!(out, "{} {name}[{n}] = {};", elem.ty(), print_expr(init));
+            } else {
+                let _ = writeln!(out, "{ty} {name} = {};", print_expr(init));
+            }
         }
         StmtKind::Assign {
             name,
@@ -104,6 +110,14 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
             print_block(body, level + 1, out);
             indent(level, out);
             out.push_str("}\n");
+        }
+        StmtKind::ArrayAssign { name, index, value } => {
+            let _ = writeln!(
+                out,
+                "{name}[{}] = {};",
+                print_expr(index),
+                print_expr(value)
+            );
         }
         StmtKind::Return(None) => out.push_str("return;\n"),
         StmtKind::Return(Some(e)) => {
@@ -184,6 +198,12 @@ fn expr(e: &Expr, parent_prec: u8, out: &mut String) {
             }
             out.push(')');
         }
+        ExprKind::Index { array, index } => {
+            out.push_str(array);
+            out.push('[');
+            expr(index, 0, out);
+            out.push(']');
+        }
         ExprKind::CacheRef(slot, _) => {
             let _ = write!(out, "CACHE[{slot}]");
         }
@@ -250,6 +270,27 @@ mod tests {
                 "round trip changed `{src}` -> `{printed}`"
             );
         }
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let src = "float f(int i, float x) {
+            float v[4] = 0.0;
+            v[0] = x;
+            v[i + 1] = v[0] * 2.0;
+            float w[4] = 1.0;
+            w = v;
+            return w[i];
+        }";
+        let mut p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        assert!(printed.contains("float v[4] = 0.0;"), "{printed}");
+        assert!(printed.contains("v[i + 1] = v[0] * 2.0;"), "{printed}");
+        let mut p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {}\n{printed}", e.render(&printed)));
+        normalize(&mut p1);
+        normalize(&mut p2);
+        assert_eq!(print_program(&p1), print_program(&p2));
     }
 
     #[test]

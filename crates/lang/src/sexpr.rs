@@ -107,6 +107,13 @@ fn stmt(s: &Stmt, level: usize, opts: SexprOptions, out: &mut String) {
             indent(level, out);
             out.push_str(")\n");
         }
+        StmtKind::ArrayAssign { name, index, value } => {
+            let _ = write!(out, "({} {} ", tag(s.id, "array-assign", opts), name);
+            expr(index, opts, out);
+            out.push(' ');
+            expr(value, opts, out);
+            out.push_str(")\n");
+        }
         StmtKind::Return(None) => {
             let _ = writeln!(out, "({})", tag(s.id, "return", opts));
         }
@@ -186,6 +193,11 @@ fn expr(e: &Expr, opts: SexprOptions, out: &mut String) {
             }
             out.push(')');
         }
+        ExprKind::Index { array, index } => {
+            let _ = write!(out, "({} {array} ", tag(e.id, "index", opts));
+            expr(index, opts, out);
+            out.push(')');
+        }
         ExprKind::CacheRef(slot, ty) => {
             let _ = write!(out, "({} {} {})", tag(e.id, "cache-ref", opts), slot, ty);
         }
@@ -249,6 +261,25 @@ mod tests {
         let dump = to_sexpr(&prog.procs[0], SexprOptions::default());
         assert!(dump.contains("(while (lt (var i) (var n))"), "{dump}");
         assert!(dump.contains("(assign acc"), "{dump}");
+    }
+
+    #[test]
+    fn array_forms_render() {
+        let prog = parse_program(
+            "float f(int i) {
+                 float v[2] = 0.0;
+                 v[i] = 1.0;
+                 return v[0];
+             }",
+        )
+        .unwrap();
+        let dump = to_sexpr(&prog.procs[0], SexprOptions::default());
+        assert!(dump.contains("(decl float[2] v (float 0))"), "{dump}");
+        assert!(
+            dump.contains("(array-assign v (var i) (float 1))"),
+            "{dump}"
+        );
+        assert!(dump.contains("(return (index v (int 0)))"), "{dump}");
     }
 
     #[test]

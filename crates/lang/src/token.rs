@@ -55,6 +55,10 @@ pub enum TokenKind {
     LBrace,
     /// `}`
     RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
     /// `,`
     Comma,
     /// `;`
@@ -145,6 +149,8 @@ impl TokenKind {
             TokenKind::RParen => ")",
             TokenKind::LBrace => "{",
             TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
             TokenKind::Comma => ",",
             TokenKind::Semi => ";",
             TokenKind::Plus => "+",

@@ -203,7 +203,22 @@ fn check_proc(
         init: HashSet::new(),
         ret: p.ret,
     };
+    // Arrays are procedure-local only: parameters, return values and cache
+    // slots stay scalar, so the cache layout and the calling convention never
+    // carry aggregates.
+    if !p.ret.is_scalar() && p.ret != Type::Void {
+        return Err(err(
+            format!("procedure `{}` cannot return an array", p.name),
+            p.span,
+        ));
+    }
     for param in &p.params {
+        if !param.ty.is_scalar() {
+            return Err(err(
+                format!("parameter `{}` cannot have array type", param.name),
+                p.span,
+            ));
+        }
         if ck.vars.insert(param.name.clone(), param.ty).is_some() {
             return Err(err(format!("duplicate parameter `{}`", param.name), p.span));
         }
@@ -255,9 +270,12 @@ impl<'a> ProcChecker<'a> {
         match &s.kind {
             StmtKind::Decl { name, ty, init } => {
                 let ity = self.check_expr(init, info)?;
-                if ity != *ty {
+                // An array declaration's initializer is the element *fill*
+                // value, so it must have the element type.
+                let want = ty.elem().unwrap_or(*ty);
+                if ity != want {
                     return Err(err(
-                        format!("initializer of `{name}` has type `{ity}`, expected `{ty}`"),
+                        format!("initializer of `{name}` has type `{ity}`, expected `{want}`"),
                         s.span,
                     ));
                 }
@@ -335,6 +353,43 @@ impl<'a> ProcChecker<'a> {
                     }
                 }
                 Ok(true)
+            }
+            StmtKind::ArrayAssign { name, index, value } => {
+                let Some(&dty) = self.vars.get(name) else {
+                    return Err(err(
+                        format!("element assignment to undeclared `{name}`"),
+                        s.span,
+                    ));
+                };
+                let Some(elem) = dty.elem() else {
+                    return Err(err(
+                        format!("`{name}` has type `{dty}`; element assignment requires an array"),
+                        s.span,
+                    ));
+                };
+                if !self.init.contains(name) {
+                    return Err(err(
+                        format!("array `{name}` may be used before it is initialized on some path"),
+                        s.span,
+                    ));
+                }
+                let ity = self.check_expr(index, info)?;
+                if ity != Type::Int {
+                    return Err(err(
+                        format!("array index has type `{ity}`, expected `int`"),
+                        index.span,
+                    ));
+                }
+                let vty = self.check_expr(value, info)?;
+                if vty != elem {
+                    return Err(err(
+                        format!(
+                            "cannot assign `{vty}` to element of `{name}` (element type `{elem}`)"
+                        ),
+                        s.span,
+                    ));
+                }
+                Ok(false)
             }
             StmtKind::ExprStmt(e) => {
                 self.check_expr(e, info)?;
@@ -424,7 +479,15 @@ impl<'a> ProcChecker<'a> {
                         }
                         Type::Bool
                     }
-                    BinOp::Eq | BinOp::Ne => Type::Bool,
+                    BinOp::Eq | BinOp::Ne => {
+                        if !lty.is_scalar() {
+                            return Err(err(
+                                format!("equality `{op}` requires scalar operands, got `{lty}` (compare arrays element-wise)"),
+                                e.span,
+                            ));
+                        }
+                        Type::Bool
+                    }
                 }
             }
             ExprKind::Cond(c, t, f) => {
@@ -437,7 +500,41 @@ impl<'a> ProcChecker<'a> {
                         e.span,
                     ));
                 }
+                if !tty.is_scalar() {
+                    return Err(err(
+                        format!("conditional branches must be scalar, got `{tty}`"),
+                        e.span,
+                    ));
+                }
                 tty
+            }
+            ExprKind::Index { array, index } => {
+                let aty = *self
+                    .vars
+                    .get(array)
+                    .ok_or_else(|| err(format!("use of undeclared variable `{array}`"), e.span))?;
+                let Some(elem) = aty.elem() else {
+                    return Err(err(
+                        format!("`{array}` has type `{aty}`; indexing requires an array"),
+                        e.span,
+                    ));
+                };
+                if !self.init.contains(array) {
+                    return Err(err(
+                        format!(
+                            "array `{array}` may be used before it is initialized on some path"
+                        ),
+                        e.span,
+                    ));
+                }
+                let ity = self.check_expr(index, info)?;
+                if ity != Type::Int {
+                    return Err(err(
+                        format!("array index has type `{ity}`, expected `int`"),
+                        index.span,
+                    ));
+                }
+                elem
             }
             ExprKind::Call(name, args) => {
                 let mut arg_types = Vec::with_capacity(args.len());
@@ -631,6 +728,85 @@ mod tests {
     #[test]
     fn duplicate_procs_rejected() {
         assert!(check("void f() { return; } void f() { return; }").is_err());
+    }
+
+    #[test]
+    fn accepts_array_locals_and_element_ops() {
+        let info = check(
+            "float f(int i, float x) {
+                 float v[4] = 0.0;
+                 v[0] = x;
+                 v[i] = v[0] * 2.0;
+                 float w[4] = 1.0;
+                 w = v;
+                 return w[i];
+             }",
+        )
+        .expect("typecheck");
+        assert_eq!(
+            info.var_type("f", "v"),
+            Some(Type::Array(crate::ast::Elem::Float, 4))
+        );
+    }
+
+    #[test]
+    fn array_decl_initializer_is_element_fill() {
+        // Fill value has the element type, not the array type.
+        assert!(check("float f() { float v[4] = 0.0; return v[0]; }").is_ok());
+        let e = check("float f() { float v[4] = 1; return v[0]; }").unwrap_err();
+        assert!(e.message.contains("expected `float`"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_array_misuse() {
+        // Indexing a scalar.
+        assert!(check("float f(float x) { return x[0]; }").is_err());
+        // Element assignment to a scalar.
+        assert!(check("float f(float x) { x[0] = 1.0; return x; }").is_err());
+        // Non-int index.
+        assert!(check("float f() { float v[4] = 0.0; return v[1.0]; }").is_err());
+        // Element type mismatch on write.
+        assert!(check("float f() { float v[4] = 0.0; v[0] = 1; return v[0]; }").is_err());
+        // Whole-array copy with mismatched lengths.
+        assert!(
+            check("float f() { float v[4] = 0.0; float w[3] = 0.0; w = v; return w[0]; }").is_err()
+        );
+        // Arrays are not equality-comparable and cannot flow through `?:`.
+        assert!(check("bool f() { float v[2] = 0.0; float w[2] = 0.0; return v == w; }").is_err());
+        assert!(check(
+            "float f(bool p) { float v[2] = 0.0; float w[2] = 1.0; float u[2] = p ? v : w; return u[0]; }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn arrays_stay_local_to_procedures() {
+        // No array parameters or returns; the parser cannot even write these,
+        // so build the AST by hand and validate it (the generator's path).
+        use crate::ast::*;
+        let arr = Type::Array(Elem::Float, 2);
+        let mut prog = Program {
+            procs: vec![Proc {
+                name: "f".into(),
+                ret: Type::Float,
+                params: vec![Param {
+                    name: "v".into(),
+                    ty: arr,
+                }],
+                body: Block {
+                    stmts: vec![Stmt::synth(StmtKind::Return(Some(Expr::float(0.0))))],
+                },
+                span: crate::span::Span::DUMMY,
+            }],
+        };
+        let e = validate(&mut prog).unwrap_err();
+        assert!(e.message.contains("array type"), "{}", e.message);
+        prog.procs[0].params.clear();
+        prog.procs[0].ret = arr;
+        prog.procs[0].body.stmts =
+            vec![Stmt::synth(StmtKind::Return(Some(Expr::zero(Type::Float))))];
+        let e = validate(&mut prog).unwrap_err();
+        assert!(e.message.contains("return an array"), "{}", e.message);
     }
 
     #[test]

@@ -103,7 +103,7 @@ impl StagedArtifact {
                 // Tag 1+type so a missing argument cannot alias a value
                 // (arity errors surface from the engine itself).
                 Some(v) => {
-                    let (tag, bits) = value_bits(*v);
+                    let (tag, bits) = value_bits(v);
                     h.u64(1 + tag).u64(bits)
                 }
                 None => h.u64(0),

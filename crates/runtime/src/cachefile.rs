@@ -74,6 +74,11 @@ pub(crate) fn decode_value(ty: Type, bits: u64, slot: usize) -> Result<Value, In
         Type::Void => Err(IntegrityError::Malformed {
             detail: format!("slot {slot}: void slot"),
         }),
+        // Cache slots hold scalars only; an array type in a file is
+        // corruption (and `parse_type` never produces one).
+        Type::Array(..) => Err(IntegrityError::Malformed {
+            detail: format!("slot {slot}: array slot"),
+        }),
     }
 }
 
@@ -110,7 +115,7 @@ fn payload_fields(cache: &CacheBuf, layout_fp: u64, inputs_fp: u64) -> Vec<(Stri
     let entries: Vec<Option<(Type, u64)>> = (0..cache.len())
         .map(|i| {
             cache.get(i).map(|v| {
-                let (_, bits) = value_bits(v);
+                let (_, bits) = value_bits(&v);
                 (v.ty(), bits)
             })
         })

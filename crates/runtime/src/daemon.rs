@@ -12,8 +12,11 @@
 //!   store — other fingerprints proceed without any global lock.
 //! * **Admission control (§4.3).** Under [`Admission::Auto`] the daemon
 //!   calibrates the paper's cost model (original vs loader vs reader
-//!   abstract cost) and specializes a fingerprint only once its arrival
-//!   count reaches the breakeven point; colder fingerprints are served by
+//!   abstract cost) and specializes a fingerprint only once its
+//!   exponentially-decaying arrival rate reaches the breakeven point —
+//!   recent arrival density, not lifetime count, predicts future uses, so
+//!   a fingerprint whose occasional repeats are spread thin across the
+//!   stream never pays for a loader run. Colder fingerprints are served by
 //!   the unspecialized fragment — bit-identical by the core theorem, just
 //!   not specialized.
 //! * **Deadlines.** A per-request deadline is checked both at dequeue and
@@ -54,10 +57,12 @@ pub enum Admission {
     /// behaviour).
     Always,
     /// Calibrate original/loader/reader costs on the first request and
-    /// specialize a fingerprint once its arrival count reaches the
-    /// computed breakeven; serve it unspecialized before that.
+    /// specialize a fingerprint once its exponentially-decaying arrival
+    /// rate reaches the computed breakeven; serve it unspecialized before
+    /// that. A back-to-back burst of k <= 10 arrivals scores exactly k.
     Auto,
-    /// Specialize once a fingerprint has been requested `N` times.
+    /// Specialize once a fingerprint's decayed arrival rate reaches `N`
+    /// (for a back-to-back burst: on the `N`-th request).
     After(u32),
 }
 
@@ -187,9 +192,10 @@ struct Shared {
     cv: Condvar,
     cfg: DaemonConfig,
     counters: Arc<ServeCounters>,
-    /// Per-fingerprint arrival counts driving admission (seen-so-far is
-    /// the predictor of future uses).
-    seen: Mutex<HashMap<u64, u32>>,
+    /// Per-fingerprint exponentially-decaying arrival rates driving
+    /// admission (recent arrival density, not lifetime count, is the
+    /// predictor of future uses).
+    rates: Mutex<RateTable>,
     /// Lazily calibrated breakeven (`None` = not yet calibrated).
     breakeven: Mutex<Option<Option<u32>>>,
 }
@@ -229,7 +235,7 @@ impl Daemon {
             cv: Condvar::new(),
             cfg,
             counters: Arc::new(ServeCounters::new()),
-            seen: Mutex::new(HashMap::new()),
+            rates: Mutex::new(RateTable::default()),
             breakeven: Mutex::new(match cfg.admission {
                 Admission::After(n) => Some(Some(n)),
                 _ => None,
@@ -364,15 +370,48 @@ fn dequeue(shared: &Shared) -> Option<Queued> {
     }
 }
 
-/// Decides whether this arrival of `fp` is served specialized, counting
-/// the arrival and calibrating the cost model on first use when needed.
+/// Per-tick decay of a fingerprint's arrival score. A fingerprint arriving
+/// on every tick saturates at `1/(1-ADMIT_DECAY)` = 10, so the score is
+/// roughly "arrivals over the last ten ticks".
+const ADMIT_DECAY: f64 = 0.9;
+
+/// The saturation ceiling of the decayed score. Breakevens beyond it are
+/// clamped: a fingerprint hot enough to arrive ten ticks running pays for
+/// any loader eventually.
+const ADMIT_SCORE_CAP: u32 = 10;
+
+/// Exponentially-decaying per-fingerprint arrival rates. The clock is the
+/// global arrival counter — not wall time — so admission is deterministic
+/// for a given request interleaving.
+#[derive(Default)]
+struct RateTable {
+    tick: u64,
+    scores: HashMap<u64, FpRate>,
+}
+
+struct FpRate {
+    score: f64,
+    last_tick: u64,
+}
+
+impl RateTable {
+    /// Records one arrival of `fp` and returns its decayed score.
+    fn bump(&mut self, fp: u64) -> f64 {
+        self.tick += 1;
+        let e = self.scores.entry(fp).or_insert(FpRate {
+            score: 0.0,
+            last_tick: self.tick,
+        });
+        e.score = e.score * ADMIT_DECAY.powf((self.tick - e.last_tick) as f64) + 1.0;
+        e.last_tick = self.tick;
+        e.score
+    }
+}
+
+/// Decides whether this arrival of `fp` is served specialized, scoring the
+/// arrival and calibrating the cost model on first use when needed.
 fn admit_specialized(shared: &Shared, args: &[Value], fp: u64) -> bool {
-    let seen = {
-        let mut seen = lock(&shared.seen);
-        let n = seen.entry(fp).or_insert(0);
-        *n = n.saturating_add(1);
-        *n
-    };
+    let score = lock(&shared.rates).bump(fp);
     if shared.cfg.admission == Admission::Always {
         return true;
     }
@@ -383,8 +422,11 @@ fn admit_specialized(shared: &Shared, args: &[Value], fp: u64) -> bool {
     match breakeven {
         // Specialization never pays: serve unspecialized forever.
         None => false,
-        // The breakeven-th arrival predicts enough future uses to pay.
-        Some(b) => seen >= b,
+        // Ceiling the decayed score makes a back-to-back burst behave like
+        // the old arrival count (the k-th consecutive arrival scores in
+        // (k-1, k] for k <= 10), while a fingerprint whose repeats are
+        // spread thin never accumulates enough recent mass to pay.
+        Some(b) => score.ceil() as u32 >= b.min(ADMIT_SCORE_CAP),
     }
 }
 
@@ -640,7 +682,13 @@ mod tests {
                     .expect("reference")
                     .value
                     .expect("value");
-                let got = r.result.as_ref().expect("answered").value.expect("value");
+                let got = r
+                    .result
+                    .as_ref()
+                    .expect("answered")
+                    .value
+                    .clone()
+                    .expect("value");
                 assert!(got.bits_eq(&want), "{engine:?} seq {}", r.seq);
             }
             let report = daemon.join();
@@ -701,7 +749,14 @@ mod tests {
             .value
             .unwrap();
         for r in &responses {
-            assert!(r.result.as_ref().unwrap().value.unwrap().bits_eq(&want));
+            assert!(r
+                .result
+                .as_ref()
+                .unwrap()
+                .value
+                .as_ref()
+                .unwrap()
+                .bits_eq(&want));
         }
         assert!(
             !responses.iter().find(|r| r.seq == 0).unwrap().specialized,
@@ -721,6 +776,68 @@ mod tests {
             .traces
             .iter()
             .any(|t| t.outcome == RequestOutcome::Fallback));
+    }
+
+    #[test]
+    fn one_shot_and_sparse_fingerprints_stay_unadmitted_under_auto() {
+        let (artifact, store) = dotprod_parts();
+        let cfg = DaemonConfig {
+            workers: 1,
+            admission: Admission::Auto,
+            ..DaemonConfig::default()
+        };
+        let (daemon, rx) = Daemon::start(Arc::clone(&artifact), store, None, cfg);
+        daemon.preseed_breakeven(Some(3));
+        // A cold fingerprint recurring every 8th request, padded with
+        // one-shot fingerprints. Under a lifetime arrival count its third
+        // arrival would specialize; its decayed rate peaks at
+        // 1 + 0.9^8 + 0.9^16 + 0.9^24 < 2, so it never pays.
+        let mut submitted = 0u64;
+        for round in 0..4u64 {
+            daemon
+                .submit(submitted, argv_fixed(2.0, 1.0, 1.0), None)
+                .expect("submit");
+            submitted += 1;
+            for k in 0..7u64 {
+                let y = 10.0 + (round * 7 + k) as f64;
+                daemon
+                    .submit(submitted, argv_fixed(y, 1.0, 1.0), None)
+                    .expect("submit");
+                submitted += 1;
+            }
+        }
+        let responses = collect(&rx, submitted as usize);
+        assert!(responses.iter().all(|r| r.result.is_ok()));
+        assert!(
+            responses.iter().all(|r| !r.specialized),
+            "neither one-shot nor sparse fingerprints reach the decayed breakeven"
+        );
+        // A back-to-back burst of a fresh fingerprint still crosses it.
+        for i in 0..3u64 {
+            daemon
+                .submit(submitted + i, argv_fixed(99.0, 1.0, 1.0), None)
+                .expect("submit");
+        }
+        let burst = collect(&rx, 3);
+        assert!(
+            !burst
+                .iter()
+                .find(|r| r.seq == submitted)
+                .unwrap()
+                .specialized
+        );
+        assert!(
+            burst
+                .iter()
+                .find(|r| r.seq == submitted + 2)
+                .unwrap()
+                .specialized,
+            "the third consecutive arrival scores ceil(2.71) = 3"
+        );
+        let report = daemon.join();
+        assert_eq!(report.stats.loads, 1, "only the burst fingerprint staged");
+        assert_eq!(report.counters.unspec_serves(), submitted + 2);
+        assert_eq!(report.counters.staged_serves(), 1);
     }
 
     #[test]
@@ -747,7 +864,14 @@ mod tests {
             .unwrap();
         for r in &responses {
             assert!(!r.specialized);
-            assert!(r.result.as_ref().unwrap().value.unwrap().bits_eq(&want));
+            assert!(r
+                .result
+                .as_ref()
+                .unwrap()
+                .value
+                .as_ref()
+                .unwrap()
+                .bits_eq(&want));
         }
         let report = daemon.join();
         assert_eq!(report.breakeven, Some(None), "never pays");

@@ -137,6 +137,7 @@ fn type_letter(ty: ds_lang::Type) -> &'static str {
         ds_lang::Type::Float => "f",
         ds_lang::Type::Bool => "b",
         ds_lang::Type::Void => "v", // unreachable for cache slots; rejected on decode
+        ds_lang::Type::Array(..) => "a", // likewise: slots are scalar-only
     }
 }
 
@@ -159,7 +160,7 @@ pub fn encode_record(lsn: Lsn, layout_fp: u64, op: &WalOp) -> String {
                 .map(|i| match cache.get(i) {
                     None => "_".to_string(),
                     Some(v) => {
-                        let (_, bits) = value_bits(v);
+                        let (_, bits) = value_bits(&v);
                         format!("{}:{}", type_letter(v.ty()), cachefile::hex(bits))
                     }
                 })

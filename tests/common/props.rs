@@ -21,9 +21,9 @@ pub fn merge_varying(base: &[Value], alt: &[Value], varying: &[String]) -> Vec<V
     (0..N_PARAMS)
         .map(|i| {
             if varying.contains(&format!("p{i}")) {
-                alt[i]
+                alt[i].clone()
             } else {
-                base[i]
+                base[i].clone()
             }
         })
         .collect()
@@ -145,7 +145,7 @@ fn fixed_map(base: &[Value], varying: &[String]) -> HashMap<String, Value> {
     for (i, value) in base.iter().enumerate() {
         let name = format!("p{i}");
         if !varying.contains(&name) {
-            fixed.insert(name, *value);
+            fixed.insert(name, value.clone());
         }
     }
     fixed
@@ -171,15 +171,15 @@ pub fn residual_preserves_semantics(
         let full: Vec<Value> = (0..N_PARAMS)
             .map(|i| {
                 if varying.contains(&format!("p{i}")) {
-                    alt_args[i]
+                    alt_args[i].clone()
                 } else {
-                    base[i]
+                    base[i].clone()
                 }
             })
             .collect();
         let residual_args: Vec<Value> = (0..N_PARAMS)
             .filter(|i| varying.contains(&format!("p{}", i)))
-            .map(|i| alt_args[i])
+            .map(|i| alt_args[i].clone())
             .collect();
         let orig = oev.run("gen", &full).expect("original");
         let resid = rev.run("gen__residual", &residual_args).expect("residual");
@@ -211,8 +211,9 @@ pub fn fully_fixed_effect_free_residual_is_constant(
 ) -> CaseResult {
     let src = ds_lang::print_program(&gen.program);
     prop_assume!(!src.contains("trace("));
-    let all_fixed: HashMap<String, Value> =
-        (0..N_PARAMS).map(|i| (format!("p{i}"), base[i])).collect();
+    let all_fixed: HashMap<String, Value> = (0..N_PARAMS)
+        .map(|i| (format!("p{i}"), base[i].clone()))
+        .collect();
     let cs = code_specialize(&gen.program, "gen", &all_fixed, &CodeSpecOptions::default())
         .expect("code specialize");
     prop_assert!(
@@ -252,7 +253,7 @@ pub fn residual_at_most_reader_cost(
 
     let residual_args: Vec<Value> = (0..N_PARAMS)
         .filter(|i| varying.contains(&format!("p{}", i)))
-        .map(|i| base[i])
+        .map(|i| base[i].clone())
         .collect();
     let mut cache = CacheBuf::new(ds.slot_count());
     dev.run_with_cache("gen__loader", base, &mut cache)

@@ -375,6 +375,86 @@ fn runtime_errors_agree() {
     assert_agree("unknown entry", &t, &v);
 }
 
+/// Array bounds violations agree *field for field* on both engines — the
+/// same out-of-range index value, the same array length, and the same
+/// source span — for reads and writes, negative and past-the-end indices,
+/// both unspecialized and through the staged loader/reader protocol.
+#[test]
+fn index_out_of_bounds_agrees_field_for_field() {
+    // (source, varying index argument, expected reported index)
+    let cases = [
+        (
+            // Read past the end.
+            "float f(float x, int i) {
+                 float v[3] = x + 1.0;
+                 return v[i] + x;
+             }",
+            5i64,
+            5i64,
+        ),
+        (
+            // Negative read index.
+            "float f(float x, int i) {
+                 float v[4] = x * 2.0;
+                 return v[i - 10];
+             }",
+            3i64,
+            -7i64,
+        ),
+        (
+            // Write past the end: the statement faults before storing.
+            "float f(float x, int i) {
+                 float v[2] = x;
+                 v[i] = x + 1.0;
+                 return v[0];
+             }",
+            2i64,
+            2i64,
+        ),
+    ];
+    for (src, arg, want_index) in cases {
+        let prog = parse_program(src).expect("parse");
+        ds_lang::typecheck(&prog).expect("typecheck");
+        let args = vec![Value::Float(1.5), Value::Int(arg)];
+        let t = Engine::Tree.run_program(&prog, "f", &args, None, popts());
+        let v = Engine::Vm.run_program(&prog, "f", &args, None, popts());
+        assert_agree(src, &t, &v);
+        match (&t, &v) {
+            (
+                Err(EvalError::IndexOutOfBounds {
+                    index: ti,
+                    len: tl,
+                    span: tspan,
+                }),
+                Err(EvalError::IndexOutOfBounds {
+                    index: vi,
+                    len: vl,
+                    span: vspan,
+                }),
+            ) => {
+                assert_eq!(*ti, want_index, "{src}: wrong reported index");
+                assert_eq!(ti, vi, "{src}: index diverges");
+                assert_eq!(tl, vl, "{src}: len diverges");
+                assert_eq!(tspan, vspan, "{src}: span diverges");
+            }
+            _ => panic!("{src}: expected IndexOutOfBounds on both engines, got {t:?}"),
+        }
+
+        // The staged pipeline preserves the same fault: split with the
+        // index varying, then run the full protocol — the loader keeps the
+        // invariant fill, the reader faults identically at the read/write.
+        let spec = specialize_source(
+            src,
+            "f",
+            &InputPartition::varying(["i"]),
+            &SpecializeOptions::new(),
+        )
+        .expect("specialize");
+        let staged = spec.as_program();
+        check_staged("oob-staged", &staged, "f", spec.slot_count(), &[args]);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
