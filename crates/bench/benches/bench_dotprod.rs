@@ -99,7 +99,7 @@ fn bench_dotprod(c: &mut Criterion) {
         .collect();
     group.bench_function("reader-vm-batch-64", |b| {
         b.iter(|| {
-            let outs = compiled.run_batch(
+            let outs = compiled.run_batch_soa(
                 "dotprod__reader",
                 black_box(&sweep),
                 Some(&mut cache),

@@ -107,7 +107,7 @@ fn bench_case(c: &mut Criterion, shader: &Shader, param: &str) {
     let label = format!("reader-vm-batch-{}", sweep.len());
     group.bench_function(label.as_str(), |b| {
         b.iter(|| {
-            let outs = compiled.run_batch(
+            let outs = compiled.run_batch_soa(
                 "shade__reader",
                 black_box(&sweep),
                 Some(&mut cache),

@@ -9,9 +9,9 @@
 
 use ds_bench::json::Json;
 use ds_bench::{
-    breakeven_histogram, cache_size_stats, exp_all_partitions, exp_code_growth, exp_code_vs_data,
-    exp_dotprod, exp_limit_sweep, exp_workloads, f, normalize_limit_sweep, summarize,
-    summarize_workloads, table,
+    breakeven_histogram, cache_size_stats, exp_all_partitions, exp_batch_throughput,
+    exp_code_growth, exp_code_vs_data, exp_dotprod, exp_limit_sweep, exp_workloads, f,
+    normalize_limit_sweep, summarize, summarize_workloads, table,
 };
 use ds_shaders::all_shaders;
 
@@ -149,6 +149,23 @@ fn main() {
         );
     }
 
+    // --- W-BATCH -------------------------------------------------------
+    let batch_ms = exp_batch_throughput();
+    println!("\n[W-BATCH] SoA batch executor, wall clock vs scalar VM (per lane):");
+    for b in &batch_ms {
+        println!(
+            "  {} ({}): {} lanes, {} fused sites, {} ns -> {} ns, speedup {}x, bit-exact {}",
+            b.scenario,
+            b.entry,
+            b.lanes,
+            b.fused_sites,
+            f(b.scalar_ns_per_lane, 0),
+            f(b.batch_ns_per_lane, 0),
+            f(b.speedup, 2),
+            b.bit_exact
+        );
+    }
+
     println!(
         "\n[T-SPEC] and [T-MEM] run separately (table_speculation, table_memory);\n\
          repro_json exports everything machine-readably."
@@ -227,6 +244,28 @@ fn main() {
                                 ("max_speedup", Json::from(s.max_speedup)),
                                 ("cache_median_bytes", Json::from(s.median_cache)),
                                 ("bit_exact", Json::Bool(s.bit_exact)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "batch",
+                Json::Arr(
+                    batch_ms
+                        .iter()
+                        .map(|b| {
+                            Json::obj([
+                                ("scenario", Json::from(b.scenario)),
+                                ("entry", Json::from(b.entry.clone())),
+                                ("lanes", Json::from(b.lanes)),
+                                ("fused_sites", Json::from(b.fused_sites)),
+                                ("fused_dispatches", Json::from(b.fused_dispatches)),
+                                ("scalar_ns_per_lane", Json::from(b.scalar_ns_per_lane)),
+                                ("batch_ns_per_lane", Json::from(b.batch_ns_per_lane)),
+                                ("speedup", Json::from(b.speedup)),
+                                ("bit_exact", Json::Bool(b.bit_exact)),
+                                ("meets_2x_floor", Json::Bool(b.speedup >= 2.0)),
                             ])
                         })
                         .collect(),

@@ -14,7 +14,7 @@
 //! | `table_code_vs_data` | §6.1 — code- vs data-specialization trade-off |
 //! | `table_scaling` | beyond the paper — parallel serving throughput vs workers × invariant churn |
 //! | `table_workloads` | beyond the paper — non-shader families: fixed-shape matrix/sparse kernels and unrolled interpreter dispatch (W-MAT / W-DISP) |
-//! | `repro_all` | everything above, plus a consolidated summary |
+//! | `repro_all` | everything above, plus the SoA batch-executor throughput scenarios (W-BATCH) and a consolidated summary |
 //!
 //! Criterion benches under `benches/` measure the same pipelines in
 //! wall-clock terms (the abstract cost meter is the primary metric; the
@@ -22,11 +22,16 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod workloads;
 
+pub use batch::{
+    batch_dispatch_reader, batch_matrix_reader, batch_shader_pipeline, exp_batch_throughput,
+    BatchThroughput,
+};
 pub use experiments::*;
 pub use report::{f, log_scatter, table};
 pub use workloads::{

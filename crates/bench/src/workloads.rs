@@ -242,7 +242,12 @@ pub struct WorkloadMeasurement {
 /// Deterministic argument vector for sweep step `j`: invariant parameters
 /// depend only on their position, varying ones also on `j` (so every
 /// request differs on the varying side and agrees on the invariant side).
-fn sweep_args(staged: &ds_lang::Program, entry: &str, varying: &[&str], j: usize) -> Vec<Value> {
+pub(crate) fn sweep_args(
+    staged: &ds_lang::Program,
+    entry: &str,
+    varying: &[&str],
+    j: usize,
+) -> Vec<Value> {
     let proc = staged.proc(entry).expect("entry exists");
     proc.params
         .iter()

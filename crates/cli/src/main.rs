@@ -152,15 +152,16 @@ USAGE:
     dsc labels FILE --vary a,b [--entry NAME] [--speculate] [--explain]
     dsc specialize FILE --vary a,b [--entry NAME] [--bound BYTES]
                    [--reassociate] [--speculate] [--loader] [--reader]
-    dsc run FILE --args 1.0,2,true [--entry NAME] [--engine tree|vm]
+    dsc run FILE --args 1.0,2,true [--entry NAME] [--engine tree|vm|vm-batch]
                 [--metrics-out PATH]
     dsc measure FILE --vary a,b --args ... [--entry NAME]
                 [--bound BYTES] [--reassociate] [--speculate]
-                [--engine tree|vm] [--metrics-out PATH]
+                [--engine tree|vm|vm-batch] [--metrics-out PATH]
     dsc explain FILE --vary a,b [--entry NAME] [--bound BYTES]
-                [--reassociate] [--speculate] [--metrics-out PATH]
+                [--reassociate] [--speculate] [--engine tree|vm|vm-batch]
+                [--metrics-out PATH]
     dsc serve FILE --vary a,b --requests PATH [--entry NAME]
-              [--engine tree|vm] [--policy fail-fast|rebuild|fallback]
+              [--engine tree|vm|vm-batch] [--policy fail-fast|rebuild|fallback]
               [--rebuild-budget N] [--workers N] [--store-capacity N]
               [--cache-file PATH] [--wal PATH] [--checkpoint-every N]
               [--group-commit N] [--inject FAULT] [--seed N]
@@ -178,10 +179,13 @@ The input is a MiniC source file (a subset of C without pointers or goto).
 `--vary` names the procedure parameters that vary across executions; all
 other parameters are held fixed. `specialize` prints the cache layout and
 both generated phases unless --loader/--reader select one. `--engine`
-picks the execution backend: the reference tree walker (default) or the
-register-bytecode VM; both charge identical abstract costs. `explain`
+picks the execution backend: the reference tree walker (default), the
+register-bytecode VM, or the structure-of-arrays batch VM (`vm-batch`,
+bit-exact with both); all charge identical abstract costs. `explain`
 reruns the specializer with decision tracing: every cached or dynamic
-term is printed with the caching rule (Figure 3 / §4.3) that labeled it.
+term is printed with the caching rule (Figure 3 / §4.3) that labeled it;
+with `--engine vm-batch` it also previews the profile-guided
+superinstruction plan (the hot adjacent opcode pairs the batch VM fuses).
 `serve` replays a requests file (one `--args`-style vector per line,
 `#` comments allowed) through the staged-execution runtime: caches are
 fingerprinted, validated and rebuilt as inputs change, `--policy` decides
@@ -543,6 +547,24 @@ fn cmd_explain(args: &Args) -> Result<(), CliError> {
 
     println!("// varying: {{{}}}", vary.join(", "));
     print!("{}", ds_core::explain_specialization(&spec));
+    // The superinstruction preview prints only under --engine vm-batch,
+    // so the golden test (which never passes --engine) stays byte-exact.
+    if args.engine()? == ds_interp::Engine::VmBatch {
+        let mut compiled = ds_interp::compile(&spec.as_program());
+        let hist = ds_interp::static_op_histogram(&compiled);
+        let stats =
+            ds_interp::fuse_hot_pairs(&mut compiled, &hist, ds_interp::DEFAULT_FUSION_TOP_K);
+        println!(
+            "// superinstructions (vm-batch): {} of {} candidate sites fused",
+            stats.fused_sites, stats.candidate_sites
+        );
+        for pair in &stats.selected {
+            println!(
+                "//   fuse {}+{}  sites {}  score {}",
+                pair.first, pair.second, pair.sites, pair.score
+            );
+        }
+    }
     // Per-phase wall time goes to stderr: explain's stdout is pinned
     // byte-for-byte by the golden test, and the clock is nondeterministic.
     for p in &spec.report.phases {

@@ -121,6 +121,6 @@ mod tests {
         };
         let summary = run_fuzz(&config, |_, _| {}).expect("no violations");
         assert_eq!(summary.cases, 8);
-        assert_eq!(summary.checks, 56, "8 cases x 7 oracles");
+        assert_eq!(summary.checks, 64, "8 cases x 8 oracles");
     }
 }

@@ -12,6 +12,7 @@
 //! | `reassoc`   | §4.2  | reassociation preserves semantics (exact for loader/reader vs fragment, ≤1e-6 relative vs source) at equal cost |
 //! | `serve`     | §5    | N parallel workers over a shared store ≡ solo serve, bit-exact |
 //! | `recovery`  | —     | crash the WAL at any byte: reopen recovers a prefix of the logged history and re-serves the stream bit-exact |
+//! | `batch`     | —     | SoA batch executor ≡ per-lane scalar runs on both engines (values, errors, cost, Profile), fused and unfused, incl. faulting lanes and warm-cache readers |
 //!
 //! All value and trace comparisons are bit-exact (`f64::to_bits`) unless an
 //! oracle says otherwise; typed errors compare field-exact via `PartialEq`.
@@ -49,11 +50,16 @@ pub enum Oracle {
     /// logged history, and a store rebuilt from it serves the whole
     /// stream bit-exactly.
     Recovery,
+    /// SoA batch executor: `run_batch_soa` agrees lane-by-lane,
+    /// field-exact, with per-lane scalar runs on both engines — with and
+    /// without superinstruction fusion, with deliberately faulting lanes
+    /// mixed in, and for warm-cache readers.
+    Batch,
 }
 
 impl Oracle {
     /// Every oracle, in the order `dsc fuzz` runs them by default.
-    pub const ALL: [Oracle; 7] = [
+    pub const ALL: [Oracle; 8] = [
         Oracle::Semantics,
         Oracle::Work,
         Oracle::Budget,
@@ -61,6 +67,7 @@ impl Oracle {
         Oracle::Reassoc,
         Oracle::Serve,
         Oracle::Recovery,
+        Oracle::Batch,
     ];
 
     /// The oracle's command-line and reproducer-header name.
@@ -73,6 +80,7 @@ impl Oracle {
             Oracle::Reassoc => "reassoc",
             Oracle::Serve => "serve",
             Oracle::Recovery => "recovery",
+            Oracle::Batch => "batch",
         }
     }
 
@@ -90,6 +98,7 @@ impl Oracle {
             Oracle::Reassoc => check_reassoc(case),
             Oracle::Serve => check_serve(case),
             Oracle::Recovery => check_recovery(case),
+            Oracle::Batch => check_batch(case),
         }
     }
 }
@@ -729,6 +738,148 @@ fn check_recovery(case: &FuzzCase) -> Result<(), String> {
             let (rec, _ckpt_err) =
                 recover_or_degrade(Some(&ck[..off]), &full_log, artifact.layout());
             serve_recovered(&format!("checkpoint torn at byte {off}"), &rec)?;
+        }
+    }
+    Ok(())
+}
+
+/// The batch oracle's lane sweep: the serve stream, then deliberately
+/// faulting lanes — an empty argument vector (arity fault), a lane with
+/// every argument's type flipped, an all-zeros lane (divide-by-zero bait)
+/// and a NaN-flood lane. The batch executor must reproduce each lane's
+/// scalar outcome — typed error included — without perturbing neighbors.
+pub fn batch_lanes(case: &FuzzCase) -> Vec<Vec<Value>> {
+    let mut lanes = serve_stream(case);
+    let base = &case.requests[0];
+    if !base.is_empty() {
+        lanes.push(Vec::new());
+        lanes.push(
+            base.iter()
+                .map(|v| match v {
+                    Value::Float(_) => Value::Bool(true),
+                    Value::Int(n) => Value::Float(*n as f64),
+                    Value::Bool(b) => Value::Int(i64::from(*b)),
+                    Value::Array(_) => unreachable!("parameters are scalar"),
+                })
+                .collect(),
+        );
+    }
+    lanes.push(
+        base.iter()
+            .map(|v| match v {
+                Value::Float(_) => Value::Float(0.0),
+                Value::Int(_) => Value::Int(0),
+                Value::Bool(_) => Value::Bool(false),
+                Value::Array(_) => unreachable!("parameters are scalar"),
+            })
+            .collect(),
+    );
+    lanes.push(
+        base.iter()
+            .map(|v| match v {
+                Value::Float(_) => Value::Float(f64::NAN),
+                other => other.clone(),
+            })
+            .collect(),
+    );
+    lanes
+}
+
+/// Field-exact agreement of a batch lane with its scalar run: bit-exact
+/// value and trace, equal abstract cost, equal [`ds_interp::Profile`];
+/// typed errors compare field-exact.
+fn lane_same(
+    label: &str,
+    expected: &Result<Outcome, EvalError>,
+    actual: &Result<Outcome, EvalError>,
+) -> Result<(), String> {
+    let ok = match (expected, actual) {
+        (Ok(a), Ok(b)) => outcomes_eq(a, b) && a.cost == b.cost && a.profile == b.profile,
+        (Err(a), Err(b)) => a == b,
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!(
+            "{label}: expected {}, got {}",
+            describe(expected),
+            describe(actual)
+        ))
+    }
+}
+
+/// Batch-parity oracle: `run_batch_soa` over the lane sweep agrees
+/// lane-by-lane, field-exact (value, trace, error, abstract cost, Profile
+/// counters), with per-lane scalar runs on *both* scalar engines; a
+/// profile-guided fused recompile agrees identically (fusion is
+/// observationally invisible); and a warm-cache reader batch matches
+/// scalar reader runs over the same sealed cache.
+fn check_batch(case: &FuzzCase) -> Result<(), String> {
+    let opts = EvalOptions {
+        profile: true,
+        ..EvalOptions::default()
+    };
+    let lanes = batch_lanes(case);
+    let compiled = ds_interp::compile(&case.program);
+    let batch = compiled.run_batch_soa(ENTRY, &lanes, None, opts);
+    if batch.len() != lanes.len() {
+        return Err(format!(
+            "batch returned {} outcomes for {} lanes",
+            batch.len(),
+            lanes.len()
+        ));
+    }
+    for engine in [Engine::Tree, Engine::Vm] {
+        for (i, (lane, got)) in lanes.iter().zip(&batch).enumerate() {
+            let expected = run(engine, &case.program, ENTRY, lane, None, true);
+            lane_same(&format!("[{engine:?}] lane {i}"), &expected, got)?;
+        }
+    }
+    // Fuse the hottest pairs under the batch's own merged profile; the
+    // rewritten program must be observationally indistinguishable.
+    let mut hist: std::collections::BTreeMap<&'static str, u64> = std::collections::BTreeMap::new();
+    for o in batch.iter().flatten() {
+        if let Some(p) = &o.profile {
+            for (k, v) in &p.op_histogram {
+                *hist.entry(k).or_default() += v;
+            }
+        }
+    }
+    let mut fused = ds_interp::compile(&case.program);
+    let stats = ds_interp::fuse_hot_pairs(&mut fused, &hist, ds_interp::DEFAULT_FUSION_TOP_K);
+    let fused_batch = fused.run_batch_soa(ENTRY, &lanes, None, opts);
+    for (i, (unfused, got)) in batch.iter().zip(&fused_batch).enumerate() {
+        lane_same(
+            &format!("fused ({} sites) lane {i}", stats.fused_sites),
+            unfused,
+            got,
+        )?;
+    }
+    // Warm-cache readers: fill a cache once through the loader, then the
+    // batch reader must match scalar readers over the same sealed cache.
+    let spec = specialized(case, &SpecializeOptions::new())?;
+    let spec_prog = spec.as_program();
+    let reader = format!("{ENTRY}__reader");
+    let mut cache = CacheBuf::new(spec.slot_count());
+    let loaded = run(
+        Engine::Vm,
+        &spec_prog,
+        &format!("{ENTRY}__loader"),
+        &case.requests[0],
+        Some(&mut cache),
+        false,
+    );
+    if loaded.is_err() {
+        // Checked field-exact by the semantics oracle; no cache to read.
+        return Ok(());
+    }
+    let spec_compiled = ds_interp::compile(&spec_prog);
+    let reader_batch = spec_compiled.run_batch_soa(&reader, &lanes, Some(&mut cache), opts);
+    for engine in [Engine::Tree, Engine::Vm] {
+        for (i, (lane, got)) in lanes.iter().zip(&reader_batch).enumerate() {
+            let expected = run(engine, &spec_prog, &reader, lane, Some(&mut cache), true);
+            lane_same(&format!("[{engine:?}] reader lane {i}"), &expected, got)?;
         }
     }
     Ok(())

@@ -34,7 +34,8 @@
 
 use crate::value::Value;
 use ds_lang::{BinOp, Block, Builtin, Expr, ExprKind, Program, Span, Stmt, StmtKind, Type, UnOp};
-use std::collections::HashMap;
+use ds_telemetry::{FusedPair, FusionStats};
+use std::collections::{BTreeMap, HashMap};
 
 /// One bytecode instruction. Registers (`u32` fields) index the running
 /// procedure's register window; `args_at` fields index its argument pool.
@@ -97,6 +98,17 @@ pub(crate) enum Op {
     CacheRead { dst: u32, slot: u32 },
     /// Store `src` into a cache slot (the value stays in `src`).
     CacheWrite { src: u32, slot: u32 },
+    /// Profile-guided superinstruction: executes both constituents of
+    /// `fused[pair]` back to back, then skips the *shadow slot* at the
+    /// next pc. Fusion replaces only the first instruction of an adjacent
+    /// pair; the second stays in place so jump targets landing on it keep
+    /// the unfused semantics. Accounting (fuel, cost, [`Profile`]
+    /// histogram entries, error spans) is charged per constituent, exactly
+    /// as if the pair had executed unfused — fusion may only change wall
+    /// time.
+    ///
+    /// [`Profile`]: crate::Profile
+    Fused { pair: u32 },
     /// Lazily raise [`EvalError::UnknownProc`](crate::EvalError) for the
     /// pooled name.
     ErrUnknownProc { name_at: u32 },
@@ -122,6 +134,9 @@ pub(crate) struct CompiledProc {
     pub arg_pool: Vec<u32>,
     /// Register window size.
     pub nregs: u32,
+    /// Constituents of each [`Op::Fused`] site, in selection order. Empty
+    /// until [`fuse_hot_pairs`] runs.
+    pub fused: Vec<(Op, Op)>,
 }
 
 /// A whole program lowered to bytecode, ready for repeated execution by
@@ -148,6 +163,8 @@ pub struct CompiledProgram {
     pub(crate) consts: Vec<Value>,
     /// Interned names for lazy error instructions.
     pub(crate) names: Vec<String>,
+    /// Stats from the last [`fuse_hot_pairs`] pass, if one ran.
+    pub(crate) fusion: Option<FusionStats>,
 }
 
 impl CompiledProgram {
@@ -159,6 +176,12 @@ impl CompiledProgram {
     /// Names of all compiled procedures, in program order.
     pub fn proc_names(&self) -> impl Iterator<Item = &str> {
         self.procs.iter().map(|p| p.name.as_str())
+    }
+
+    /// Stats from the last [`fuse_hot_pairs`] pass over this program, or
+    /// `None` if fusion never ran.
+    pub fn fusion_stats(&self) -> Option<&FusionStats> {
+        self.fusion.as_ref()
     }
 }
 
@@ -236,7 +259,130 @@ pub fn compile(program: &Program) -> CompiledProgram {
         by_name,
         consts: pools.consts,
         names: pools.names,
+        fusion: None,
     }
+}
+
+/// Mnemonic under which an instruction appears in
+/// [`Profile::op_histogram`](crate::Profile), if it is a fusion
+/// candidate. Only instructions with uniform accounting — one fuel, a
+/// fixed cost, one histogram entry — are fusible, which keeps the fused
+/// handler's bookkeeping exactly equal to the unfused pair's.
+fn fusible_mnemonic(op: &Op) -> Option<&'static str> {
+    match op {
+        Op::Un { op, .. } => Some(op.mnemonic()),
+        Op::Bin { op, .. } => Some(op.mnemonic()),
+        Op::LoadIndex { .. } => Some("idxload"),
+        _ => None,
+    }
+}
+
+/// Counts the fusible opcodes of a compiled program by static occurrence.
+///
+/// A stand-in histogram for contexts with no runtime profile at hand
+/// (`dsc explain` previews the fusion plan with it); when a real
+/// [`Profile::op_histogram`](crate::Profile) from a representative run is
+/// available, prefer it — it weights loop bodies by trip count.
+pub fn static_op_histogram(prog: &CompiledProgram) -> BTreeMap<&'static str, u64> {
+    let mut hist = BTreeMap::new();
+    for p in &prog.procs {
+        for op in &p.code {
+            if let Some(m) = fusible_mnemonic(op) {
+                *hist.entry(m).or_default() += 1;
+            }
+        }
+    }
+    hist
+}
+
+/// Default number of hottest pair kinds [`fuse_hot_pairs`] selects when
+/// the caller has no tuning of its own (`dsc explain`, the bench harness
+/// and the batch oracle all use it).
+pub const DEFAULT_FUSION_TOP_K: usize = 4;
+
+/// Profile-guided superinstruction fusion.
+///
+/// Scans every procedure for adjacent fusible instruction pairs
+/// (unary/binary operators and array loads), scores each *pair kind* by
+/// the summed hotness of its two mnemonics in `op_histogram`, and rewrites
+/// all sites of the `top_k` hottest kinds into [`Op::Fused`]
+/// superinstructions. The second instruction of each fused pair is left in
+/// place as a shadow slot, so branches into the middle of a pair keep
+/// their unfused meaning; sites are fused greedily left to right without
+/// overlap.
+///
+/// Fusion is observationally invisible: values, traces, abstract cost,
+/// fuel and [`Profile`](crate::Profile) counters are identical with and
+/// without it (the batch differential suites enforce this). Only dispatch
+/// count — and therefore wall time — changes.
+pub fn fuse_hot_pairs(
+    prog: &mut CompiledProgram,
+    op_histogram: &BTreeMap<&'static str, u64>,
+    top_k: usize,
+) -> FusionStats {
+    // Pass 1: score every adjacent fusible pair kind across the program.
+    let mut kinds: BTreeMap<(&'static str, &'static str), u64> = BTreeMap::new();
+    let mut candidate_sites = 0u64;
+    for p in &prog.procs {
+        for w in p.code.windows(2) {
+            if let (Some(a), Some(b)) = (fusible_mnemonic(&w[0]), fusible_mnemonic(&w[1])) {
+                candidate_sites += 1;
+                let score = op_histogram.get(a).copied().unwrap_or(0)
+                    + op_histogram.get(b).copied().unwrap_or(0);
+                let e = kinds.entry((a, b)).or_default();
+                *e = (*e).max(score);
+            }
+        }
+    }
+    // Hottest kinds first; mnemonic order breaks ties deterministically.
+    let mut ranked: Vec<((&'static str, &'static str), u64)> =
+        kinds.into_iter().filter(|&(_, score)| score > 0).collect();
+    ranked.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+    ranked.truncate(top_k);
+    let chosen: Vec<(&'static str, &'static str)> = ranked.iter().map(|r| r.0).collect();
+
+    // Pass 2: rewrite the sites, greedily and without overlap.
+    let mut sites_per_kind: BTreeMap<(&'static str, &'static str), u64> = BTreeMap::new();
+    let mut fused_sites = 0u64;
+    for p in &mut prog.procs {
+        let mut i = 0;
+        while i + 1 < p.code.len() {
+            let pair = match (
+                fusible_mnemonic(&p.code[i]),
+                fusible_mnemonic(&p.code[i + 1]),
+            ) {
+                (Some(a), Some(b)) if chosen.contains(&(a, b)) => (a, b),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let constituents = (p.code[i], p.code[i + 1]);
+            p.code[i] = Op::Fused {
+                pair: p.fused.len() as u32,
+            };
+            p.fused.push(constituents);
+            *sites_per_kind.entry(pair).or_default() += 1;
+            fused_sites += 1;
+            i += 2; // the shadow slot cannot start another fusion
+        }
+    }
+
+    let stats = FusionStats {
+        selected: ranked
+            .into_iter()
+            .map(|((a, b), score)| FusedPair {
+                first: a.to_string(),
+                second: b.to_string(),
+                sites: sites_per_kind.get(&(a, b)).copied().unwrap_or(0),
+                score,
+            })
+            .collect(),
+        candidate_sites,
+        fused_sites,
+    };
+    prog.fusion = Some(stats.clone());
+    stats
 }
 
 /// Per-procedure lowering state.
@@ -310,6 +456,7 @@ impl<'a> FnCompiler<'a> {
             spans: std::mem::take(&mut self.spans),
             arg_pool: std::mem::take(&mut self.arg_pool),
             nregs: self.max_reg,
+            fused: Vec::new(),
         }
     }
 
@@ -635,6 +782,53 @@ mod tests {
             .code
             .iter()
             .any(|op| matches!(op, Op::ErrUnknownProc { .. })));
+    }
+
+    #[test]
+    fn fusion_rewrites_hot_adjacent_pairs_with_shadow_slots() {
+        let mut cp = compiled("float f(float x, float y) { return x + y * y; }");
+        let hist = static_op_histogram(&cp);
+        let stats = fuse_hot_pairs(&mut cp, &hist, 4);
+        assert!(stats.fused_sites >= 1, "mul feeding add must fuse");
+        assert!(stats.candidate_sites >= stats.fused_sites);
+        let p = &cp.procs[0];
+        let at = p
+            .code
+            .iter()
+            .position(|op| matches!(op, Op::Fused { .. }))
+            .expect("a fused site");
+        let Op::Fused { pair } = p.code[at] else {
+            unreachable!()
+        };
+        // The shadow slot still holds the second constituent verbatim, so
+        // a jump landing on it executes the unfused tail.
+        assert_eq!(p.code[at + 1], p.fused[pair as usize].1);
+        assert_eq!(cp.fusion_stats().unwrap(), &stats);
+    }
+
+    #[test]
+    fn fusion_with_cold_histogram_selects_nothing() {
+        // Right-operand chaining puts the mul directly before the add;
+        // `x * x + x` would not be adjacent (a Move loads the right operand).
+        let mut cp = compiled("float f(float x) { return x + x * x; }");
+        let stats = fuse_hot_pairs(&mut cp, &BTreeMap::new(), 4);
+        assert_eq!(stats.fused_sites, 0);
+        assert!(
+            stats.candidate_sites >= 1,
+            "adjacent mul/add is a candidate"
+        );
+        assert!(!cp.procs[0]
+            .code
+            .iter()
+            .any(|op| matches!(op, Op::Fused { .. })));
+    }
+
+    #[test]
+    fn top_k_zero_disables_fusion() {
+        let mut cp = compiled("float f(float x) { return x + x * x; }");
+        let hist = static_op_histogram(&cp);
+        let stats = fuse_hot_pairs(&mut cp, &hist, 0);
+        assert_eq!(stats.fused_sites, 0);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * [`Evaluator`] — runs procedures, optionally with a [`CacheBuf`]
 //!   attached so that loader (`CacheStore`) and reader (`CacheRef`) code
 //!   can communicate;
+//! * [`BatchVm`] / [`CompiledProgram::run_batch_soa`] — the
+//!   structure-of-arrays batch executor that replays one compiled reader
+//!   over many inputs in lockstep, with profile-guided superinstruction
+//!   fusion ([`fuse_hot_pairs`]);
 //! * [`Value`] / [`Outcome`] / [`EvalError`] — results and failures;
 //! * [`noise`] — the deterministic gradient-noise / fBm / turbulence
 //!   library behind the `noise*`, `fbm3` and `turb3` builtins.
@@ -36,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod compile;
 pub mod error;
@@ -44,8 +49,11 @@ pub mod noise;
 pub mod value;
 pub mod vm;
 
+pub use batch::BatchVm;
 pub use cache::{corrupt_value, value_bits, CacheBuf, CacheError, WriteFault};
-pub use compile::{compile, CompiledProgram};
+pub use compile::{
+    compile, fuse_hot_pairs, static_op_histogram, CompiledProgram, DEFAULT_FUSION_TOP_K,
+};
 pub use error::EvalError;
 pub use eval::{
     apply_binop, apply_binop_at, apply_pure_builtin, apply_unop, apply_unop_at, EvalOptions,

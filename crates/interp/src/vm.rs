@@ -11,10 +11,11 @@
 //!
 //! * [`Vm::run`] — one evaluation, reusing the VM's register and frame
 //!   buffers across calls;
-//! * [`CompiledProgram::run_batch`] — the interactive-rendering shape: one
-//!   compiled program, one [`CacheBuf`], many varying inputs (the "user
-//!   drags a slider" sweep), with zero per-input allocation beyond the
-//!   outcome itself.
+//! * [`CompiledProgram::run_batch_soa`] — the interactive-rendering shape:
+//!   one compiled program, one [`CacheBuf`], many varying inputs (the
+//!   "user drags a slider" sweep), executed in structure-of-arrays
+//!   lockstep by the [`BatchVm`](crate::BatchVm) so instruction dispatch
+//!   is amortized across the whole sweep.
 
 use crate::cache::CacheBuf;
 use crate::compile::{CompiledProc, CompiledProgram, Op};
@@ -46,13 +47,18 @@ pub enum Engine {
     Tree,
     /// The register bytecode VM.
     Vm,
+    /// The structure-of-arrays batch VM ([`BatchVm`](crate::BatchVm)).
+    /// For single evaluations it runs a batch of one; its payoff is
+    /// [`CompiledProgram::run_batch_soa`], which amortizes instruction
+    /// dispatch across every lane of a sweep.
+    VmBatch,
 }
 
 impl Engine {
     /// Runs `entry` from `program` on this engine. One-shot convenience:
-    /// the VM variant compiles the whole program per call, so hot loops
+    /// the VM variants compile the whole program per call, so hot loops
     /// should instead [`compile`](crate::compile()) once and use
-    /// [`Vm::run`] or [`CompiledProgram::run_batch`].
+    /// [`Vm::run`] or [`CompiledProgram::run_batch_soa`].
     pub fn run_program(
         self,
         program: &Program,
@@ -70,6 +76,10 @@ impl Engine {
                 }
             }
             Engine::Vm => crate::compile::compile(program).run(entry, args, cache, opts),
+            Engine::VmBatch => crate::compile::compile(program)
+                .run_batch_soa(entry, &[args.to_vec()], cache, opts)
+                .pop()
+                .expect("a batch of one yields one outcome"),
         }
     }
 }
@@ -81,8 +91,9 @@ impl FromStr for Engine {
         match s {
             "tree" => Ok(Engine::Tree),
             "vm" => Ok(Engine::Vm),
+            "vm-batch" => Ok(Engine::VmBatch),
             other => Err(format!(
-                "unknown engine `{other}` (expected `tree` or `vm`)"
+                "unknown engine `{other}` (expected `tree`, `vm` or `vm-batch`)"
             )),
         }
     }
@@ -93,17 +104,20 @@ impl std::fmt::Display for Engine {
         f.write_str(match self {
             Engine::Tree => "tree",
             Engine::Vm => "vm",
+            Engine::VmBatch => "vm-batch",
         })
     }
 }
 
 /// A suspended caller: where to resume and where the callee's value goes.
+/// Shared with the batch VM, whose lockstep frame stack has the same
+/// shape (one stack for all lanes — control flow is uniform in lockstep).
 #[derive(Debug, Clone, Copy)]
-struct Frame {
-    proc_idx: u32,
-    pc: u32,
-    base: u32,
-    dst: u32,
+pub(crate) struct Frame {
+    pub(crate) proc_idx: u32,
+    pub(crate) pc: u32,
+    pub(crate) base: u32,
+    pub(crate) dst: u32,
 }
 
 /// A reusable bytecode executor.
@@ -430,6 +444,77 @@ impl Vm {
                         },
                     )?;
                 }
+                Op::Fused { pair } => {
+                    // Execute both constituents with the exact accounting
+                    // of the unfused pair, then skip the shadow slot. The
+                    // constituent spans are the pair's original spans:
+                    // `spans[pc - 1]` (the fused site) and `spans[pc]`
+                    // (the shadow), so errors report the same location as
+                    // unfused execution.
+                    let (first, second) = proc.fused[pair as usize];
+                    let spans = [proc.spans[pc - 1], proc.spans[pc]];
+                    for (part, span) in [first, second].into_iter().zip(spans) {
+                        step1!();
+                        match part {
+                            Op::Un { op, dst, src } => {
+                                cost += unop_cost(op);
+                                if let Some(p) = profile.as_mut() {
+                                    p.ops += 1;
+                                    *p.op_histogram.entry(op.mnemonic()).or_default() += 1;
+                                }
+                                let v = apply_unop_at(
+                                    op,
+                                    self.regs[base + src as usize].clone(),
+                                    span,
+                                )?;
+                                self.regs[base + dst as usize] = v;
+                            }
+                            Op::Bin { op, dst, lhs, rhs } => {
+                                cost += binop_cost(op);
+                                if let Some(p) = profile.as_mut() {
+                                    p.ops += 1;
+                                    *p.op_histogram.entry(op.mnemonic()).or_default() += 1;
+                                }
+                                let v = apply_binop_at(
+                                    op,
+                                    self.regs[base + lhs as usize].clone(),
+                                    self.regs[base + rhs as usize].clone(),
+                                    span,
+                                )?;
+                                self.regs[base + dst as usize] = v;
+                            }
+                            Op::LoadIndex { dst, arr, idx } => {
+                                cost += INDEX_COST;
+                                if let Some(p) = profile.as_mut() {
+                                    p.ops += 1;
+                                    *p.op_histogram.entry("idxload").or_default() += 1;
+                                }
+                                let i = self.regs[base + idx as usize].as_int().ok_or(
+                                    EvalError::TypeMismatch {
+                                        expected: Type::Int,
+                                        span,
+                                    },
+                                )?;
+                                let Value::Array(elems) = &self.regs[base + arr as usize] else {
+                                    return Err(EvalError::TypeMismatch {
+                                        expected: Type::Int,
+                                        span,
+                                    });
+                                };
+                                if i < 0 || i as usize >= elems.len() {
+                                    return Err(EvalError::IndexOutOfBounds {
+                                        index: i,
+                                        len: elems.len(),
+                                        span,
+                                    });
+                                }
+                                self.regs[base + dst as usize] = elems[i as usize].clone();
+                            }
+                            other => unreachable!("non-fusible constituent {other:?}"),
+                        }
+                    }
+                    pc += 1;
+                }
                 Op::ErrUnknownProc { name_at } => {
                     // Step-limit exhaustion takes precedence, as in the
                     // evaluator's `step()`-before-lookup ordering.
@@ -467,7 +552,8 @@ impl Vm {
 }
 
 /// Entry-point argument validation, mirroring the evaluator's `call`.
-fn check_args(proc: &CompiledProc, args: &[Value]) -> Result<(), EvalError> {
+/// Shared with the batch VM, which applies it per lane.
+pub(crate) fn check_args(proc: &CompiledProc, args: &[Value]) -> Result<(), EvalError> {
     if args.len() != proc.params.len() {
         return Err(EvalError::BadArguments {
             proc: proc.name.clone(),
@@ -516,18 +602,24 @@ impl CompiledProgram {
     /// value of the varying parameter. Per-input failures do not abort the
     /// batch — each input gets its own `Result`, so a divide-by-zero at one
     /// slider position leaves the rest of the sweep intact.
+    ///
+    /// The old array-of-structs loop (one full scalar dispatch per input)
+    /// now forwards to [`run_batch_soa`](CompiledProgram::run_batch_soa),
+    /// which executes in structure-of-arrays lockstep when the program
+    /// permits and falls back to the identical sequential path when it
+    /// does not. Results are bit-exact either way.
+    #[deprecated(
+        note = "use `run_batch_soa`; this name kept the old AoS loop alive and now \
+                         forwards to the SoA executor"
+    )]
     pub fn run_batch(
         &self,
         entry: &str,
         varying_inputs: &[Vec<Value>],
-        mut cache: Option<&mut CacheBuf>,
+        cache: Option<&mut CacheBuf>,
         opts: EvalOptions,
     ) -> Vec<Result<Outcome, EvalError>> {
-        let mut vm = Vm::new();
-        varying_inputs
-            .iter()
-            .map(|args| vm.run(self, entry, args, cache.as_deref_mut(), opts))
-            .collect()
+        self.run_batch_soa(entry, varying_inputs, cache, opts)
     }
 }
 
@@ -754,6 +846,7 @@ mod tests {
             .unwrap();
 
         let sweep: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Float(i as f64)]).collect();
+        #[allow(deprecated)] // the compatibility path must stay green
         let outs = cp.run_batch("reader", &sweep, Some(&mut cache), opts);
         assert_eq!(outs.len(), 100);
         for (i, out) in outs.iter().enumerate() {
@@ -768,8 +861,9 @@ mod tests {
         ds_lang::typecheck(&prog).unwrap();
         assert_eq!("tree".parse::<Engine>(), Ok(Engine::Tree));
         assert_eq!("vm".parse::<Engine>(), Ok(Engine::Vm));
+        assert_eq!("vm-batch".parse::<Engine>(), Ok(Engine::VmBatch));
         assert!("jit".parse::<Engine>().is_err());
-        for engine in [Engine::Tree, Engine::Vm] {
+        for engine in [Engine::Tree, Engine::Vm, Engine::VmBatch] {
             let out = engine
                 .run_program(
                     &prog,

@@ -645,6 +645,20 @@ impl Session {
                 };
                 self.vm.run(&art.compiled, name, args, cache, opts)
             }
+            ds_interp::Engine::VmBatch => {
+                // Serving is one request at a time, so the batch engine
+                // degenerates to a batch of one; parity with the scalar
+                // VM is bit-exact either way.
+                let cache = if with_cache {
+                    Some(&mut self.cache)
+                } else {
+                    None
+                };
+                art.compiled
+                    .run_batch_soa(name, std::slice::from_ref(&args.to_vec()), cache, opts)
+                    .pop()
+                    .expect("a batch of one yields one outcome")
+            }
         };
         if let Ok(o) = &out {
             if let Some(p) = &o.profile {

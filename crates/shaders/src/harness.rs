@@ -25,7 +25,7 @@ use crate::catalog::Shader;
 use crate::scene::sample_grid;
 use ds_core::{specialize, InputPartition, Specialization, SpecializeOptions};
 use ds_interp::{
-    compile, CacheBuf, CompiledProgram, Engine, EvalOptions, Evaluator, Outcome, Value, Vm,
+    compile, BatchVm, CacheBuf, CompiledProgram, Engine, EvalOptions, Evaluator, Outcome, Value, Vm,
 };
 use ds_lang::Program;
 
@@ -86,6 +86,7 @@ impl Default for MeasureOptions {
 enum BoundProgram<'p> {
     Tree(Evaluator<'p>),
     Vm(CompiledProgram, Vm),
+    VmBatch(CompiledProgram, BatchVm),
 }
 
 impl<'p> BoundProgram<'p> {
@@ -93,6 +94,7 @@ impl<'p> BoundProgram<'p> {
         match engine {
             Engine::Tree => BoundProgram::Tree(Evaluator::new(program)),
             Engine::Vm => BoundProgram::Vm(compile(program), Vm::new()),
+            Engine::VmBatch => BoundProgram::VmBatch(compile(program), BatchVm::new()),
         }
     }
 
@@ -108,6 +110,19 @@ impl<'p> BoundProgram<'p> {
                 None => ev.run(entry, args),
             },
             BoundProgram::Vm(cp, vm) => vm.run(cp, entry, args, cache, EvalOptions::default()),
+            // The measurement loop is per-pixel, so the batch engine runs
+            // a batch of one here; abstract costs are engine-invariant
+            // either way. Sweep-shaped throughput lives in ds-bench.
+            BoundProgram::VmBatch(cp, bvm) => bvm
+                .run(
+                    cp,
+                    entry,
+                    std::slice::from_ref(&args.to_vec()),
+                    cache,
+                    EvalOptions::default(),
+                )
+                .pop()
+                .expect("a batch of one yields one outcome"),
         }
     }
 }

@@ -23,7 +23,11 @@
 //!   `Profile`, never inside it (the parity suites depend on that split);
 //! * [`ServeCounters`] — lock-free admission/backpressure/drain counters
 //!   for the online serving daemon (queue depth high-water mark, shed and
-//!   deadline-miss totals), exported into the serve envelope.
+//!   deadline-miss totals), exported into the serve envelope;
+//! * [`FusionStats`] — superinstruction-fusion planning stats for the
+//!   batch VM. Fusion may only change wall time, never results or
+//!   `Profile` counters, so its bookkeeping rides in this side-channel
+//!   like the latency histograms.
 //!
 //! The crate is a leaf: it depends on nothing, so the interpreter, the
 //! specializer, the CLI and the bench harness can all speak it without
@@ -38,6 +42,7 @@
 
 pub mod counters;
 pub mod event;
+pub mod fusion;
 pub mod hash;
 pub mod hist;
 pub mod json;
@@ -45,6 +50,7 @@ pub mod span;
 
 pub use counters::ServeCounters;
 pub use event::TraceEvent;
+pub use fusion::{FusedPair, FusionStats};
 pub use hash::{fnv1a_64, Fnv64};
 pub use hist::{format_nanos, LatencyHist, Timing};
 pub use json::{parse, Json, JsonError};

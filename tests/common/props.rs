@@ -498,6 +498,101 @@ pub fn degenerate_partitions(gen: &GenProgram, base: &[Value]) -> CaseResult {
     Ok(())
 }
 
+// ----- batch-executor properties (tier-1: prop_smoke) ------------------
+
+use ds_interp::{Engine, EvalError, EvalOptions, Outcome};
+
+fn profile_opts() -> EvalOptions {
+    EvalOptions {
+        profile: true,
+        ..EvalOptions::default()
+    }
+}
+
+/// Field-exact lane agreement: bit-exact value and trace, equal abstract
+/// cost, equal `Profile`; typed errors compare field-exact.
+fn lane_agrees(expected: &Result<Outcome, EvalError>, actual: &Result<Outcome, EvalError>) -> bool {
+    match (expected, actual) {
+        (Ok(a), Ok(b)) => outcomes_eq(a, b) && a.cost == b.cost && a.profile == b.profile,
+        (Err(a), Err(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// A batch of one is indistinguishable from a scalar run on either
+/// engine: value, trace, error, abstract cost and Profile counters.
+pub fn batch_of_one_matches_scalar(gen: &GenProgram, args: &[Value]) -> CaseResult {
+    let compiled = ds_interp::compile(&gen.program);
+    let batch = compiled.run_batch_soa(
+        "gen",
+        std::slice::from_ref(&args.to_vec()),
+        None,
+        profile_opts(),
+    );
+    prop_assert_eq!(batch.len(), 1);
+    for engine in [Engine::Tree, Engine::Vm] {
+        let scalar = engine.run_program(&gen.program, "gen", args, None, profile_opts());
+        prop_assert!(
+            lane_agrees(&scalar, &batch[0]),
+            "batch of one diverged from {engine} scalar run: {scalar:?} vs {:?}\n{}",
+            batch[0],
+            ds_lang::print_program(&gen.program)
+        );
+    }
+    Ok(())
+}
+
+/// Lanes are independent: permuting the input order permutes the outputs
+/// and changes nothing else (divergence fallbacks and fault masking may
+/// not leak across lanes).
+pub fn batch_lane_permutation_invariant(
+    gen: &GenProgram,
+    a: &[Value],
+    b: &[Value],
+    c: &[Value],
+) -> CaseResult {
+    let lanes = vec![a.to_vec(), b.to_vec(), c.to_vec(), a.to_vec()];
+    let perm = [2usize, 0, 3, 1];
+    let permuted: Vec<Vec<Value>> = perm.iter().map(|&i| lanes[i].clone()).collect();
+    let compiled = ds_interp::compile(&gen.program);
+    let fwd = compiled.run_batch_soa("gen", &lanes, None, profile_opts());
+    let out = compiled.run_batch_soa("gen", &permuted, None, profile_opts());
+    for (j, &i) in perm.iter().enumerate() {
+        prop_assert!(
+            lane_agrees(&fwd[i], &out[j]),
+            "lane {i} changed when moved to position {j}\n{}",
+            ds_lang::print_program(&gen.program)
+        );
+    }
+    Ok(())
+}
+
+/// Superinstruction fusion is observationally invisible: a fused
+/// recompile produces field-identical outcomes — including abstract cost
+/// and Profile counters — on every lane.
+pub fn fusion_is_output_and_cost_invariant(
+    gen: &GenProgram,
+    a: &[Value],
+    b: &[Value],
+) -> CaseResult {
+    let lanes = vec![a.to_vec(), b.to_vec()];
+    let unfused =
+        ds_interp::compile(&gen.program).run_batch_soa("gen", &lanes, None, profile_opts());
+    let mut fused = ds_interp::compile(&gen.program);
+    let hist = ds_interp::static_op_histogram(&fused);
+    let stats = ds_interp::fuse_hot_pairs(&mut fused, &hist, ds_interp::DEFAULT_FUSION_TOP_K);
+    let out = fused.run_batch_soa("gen", &lanes, None, profile_opts());
+    for (i, (plain, got)) in unfused.iter().zip(&out).enumerate() {
+        prop_assert!(
+            lane_agrees(plain, got),
+            "fusion ({} sites) perturbed lane {i}: {plain:?} vs {got:?}\n{}",
+            stats.fused_sites,
+            ds_lang::print_program(&gen.program)
+        );
+    }
+    Ok(())
+}
+
 // ----- serving-observability properties (tier-1: prop_smoke) -----------
 
 use ds_telemetry::LatencyHist;

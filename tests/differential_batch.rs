@@ -1,0 +1,468 @@
+//! Differential testing of the structure-of-arrays batch executor.
+//!
+//! `CompiledProgram::run_batch_soa` is only trustworthy if a batch is
+//! observationally indistinguishable from running each lane through the
+//! scalar engines — same result value (bit-exact), same abstract cost,
+//! same trace, same `Profile` counters, and the same typed error (class
+//! *and* span) on faulting lanes. This suite drives the paper catalog,
+//! both non-shader workload families, and the shader pipeline through the
+//! batch executor at widths 1, 7, 64 and a 640-lane scanline — warm and
+//! cold caches, NaN floods, deliberately faulting mid-batch lanes,
+//! divergent branches, and profile-guided superinstruction fusion on and
+//! off.
+
+#[allow(dead_code)] // each test binary uses the subset of `common` it needs
+mod common;
+
+use common::paper::paper_examples;
+use ds_bench::{Kernel, KERNELS};
+use ds_core::{specialize, specialize_source, InputPartition, SpecializeOptions};
+use ds_interp::{
+    compile, fuse_hot_pairs, static_op_histogram, CacheBuf, CompiledProgram, Engine, EvalError,
+    EvalOptions, Outcome, Value, DEFAULT_FUSION_TOP_K,
+};
+use ds_lang::{parse_program, Type};
+use ds_shaders::{all_shaders, pixel_inputs};
+
+/// Profiling on, so the comparison covers the per-operation counters too.
+fn popts() -> EvalOptions {
+    EvalOptions {
+        profile: true,
+        ..EvalOptions::default()
+    }
+}
+
+fn same_value(a: &Option<Value>, b: &Option<Value>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => x.bits_eq(y),
+        _ => false,
+    }
+}
+
+fn same_trace(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// A batch lane must be indistinguishable from its scalar run: bit-exact
+/// value and trace, equal cost, equal profile, field-equal typed errors.
+#[track_caller]
+fn assert_lane(ctx: &str, scalar: &Result<Outcome, EvalError>, lane: &Result<Outcome, EvalError>) {
+    match (scalar, lane) {
+        (Ok(s), Ok(l)) => {
+            assert!(
+                same_value(&s.value, &l.value),
+                "{ctx}: scalar value {:?} != batch value {:?}",
+                s.value,
+                l.value
+            );
+            assert_eq!(s.cost, l.cost, "{ctx}: cost diverges");
+            assert!(
+                same_trace(&s.trace, &l.trace),
+                "{ctx}: scalar trace {:?} != batch trace {:?}",
+                s.trace,
+                l.trace
+            );
+            assert_eq!(s.profile, l.profile, "{ctx}: profile diverges");
+        }
+        (Err(se), Err(le)) => assert_eq!(se, le, "{ctx}: error diverges"),
+        _ => panic!(
+            "{ctx}: scalar and batch disagree on success:\n scalar: {scalar:?}\n  batch: {lane:?}"
+        ),
+    }
+}
+
+/// Asserts the whole batch agrees with per-lane scalar runs on *both*
+/// scalar engines, with a read-only (or absent) cache.
+fn assert_batch_parity(
+    ctx: &str,
+    program: &ds_lang::Program,
+    compiled: &CompiledProgram,
+    entry: &str,
+    lanes: &[Vec<Value>],
+    mut cache: Option<&mut CacheBuf>,
+) {
+    let batch = compiled.run_batch_soa(entry, lanes, cache.as_deref_mut(), popts());
+    assert_eq!(batch.len(), lanes.len(), "{ctx}: lane count");
+    for engine in [Engine::Tree, Engine::Vm] {
+        for (i, (lane, got)) in lanes.iter().zip(&batch).enumerate() {
+            let scalar = engine.run_program(program, entry, lane, cache.as_deref_mut(), popts());
+            assert_lane(&format!("{ctx} [{engine}] lane {i}"), &scalar, got);
+        }
+    }
+    // A fused recompile (hot pairs picked by the batch's own static
+    // histogram) must be observationally identical, lane for lane.
+    let mut fused = compiled.clone();
+    let hist = static_op_histogram(&fused);
+    fuse_hot_pairs(&mut fused, &hist, DEFAULT_FUSION_TOP_K);
+    let refused = fused.run_batch_soa(entry, lanes, cache, popts());
+    for (i, (plain, got)) in batch.iter().zip(&refused).enumerate() {
+        assert_lane(&format!("{ctx} fused lane {i}"), plain, got);
+    }
+}
+
+/// `n` lanes cycled from `arg_sets`.
+fn cycled(arg_sets: &[Vec<Value>], n: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|i| arg_sets[i % arg_sets.len()].clone())
+        .collect()
+}
+
+/// ISSUE batch widths: scalar-equivalent, prime, and a wide SIMD-ish one.
+const WIDTHS: [usize; 3] = [1, 7, 64];
+
+// ---------------------------------------------------------------- paper
+
+#[test]
+fn paper_catalog_unspecialized_batch_parity_at_every_width() {
+    for ex in paper_examples() {
+        let program = parse_program(ex.src).unwrap_or_else(|e| panic!("{}: parse: {e:?}", ex.name));
+        let compiled = compile(&program);
+        for width in WIDTHS {
+            let lanes = cycled(&ex.arg_sets, width);
+            assert_batch_parity(
+                &format!("{} width {width}", ex.name),
+                &program,
+                &compiled,
+                ex.entry,
+                &lanes,
+                None,
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_catalog_staged_reader_batch_warm_and_cold() {
+    for ex in paper_examples() {
+        let program = parse_program(ex.src).expect("paper example parses");
+        let spec = specialize(
+            &program,
+            ex.entry,
+            &InputPartition::varying(ex.varying.iter().copied()),
+            &SpecializeOptions::new(),
+        )
+        .unwrap_or_else(|e| panic!("{}: specialize: {e}", ex.name));
+        let staged = spec.as_program();
+        let compiled = compile(&staged);
+        let reader = format!("{}__reader", ex.entry);
+
+        // Cold cache: every read of an unfilled slot must fault with the
+        // exact scalar error, lane by lane.
+        let mut cold = CacheBuf::new(spec.slot_count());
+        let lanes = cycled(&ex.arg_sets, 7);
+        assert_batch_parity(
+            &format!("{} cold reader", ex.name),
+            &staged,
+            &compiled,
+            &reader,
+            &lanes,
+            Some(&mut cold),
+        );
+
+        // Warm cache: loader fills it once, the batch reader replays.
+        let mut warm = CacheBuf::new(spec.slot_count());
+        let loaded = Engine::Vm.run_program(
+            &staged,
+            &format!("{}__loader", ex.entry),
+            &ex.arg_sets[0],
+            Some(&mut warm),
+            popts(),
+        );
+        if loaded.is_err() {
+            continue; // the catalog's error arm; nothing to read back
+        }
+        for width in WIDTHS {
+            let lanes = cycled(&ex.arg_sets, width);
+            assert_batch_parity(
+                &format!("{} warm reader width {width}", ex.name),
+                &staged,
+                &compiled,
+                &reader,
+                &lanes,
+                Some(&mut warm),
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_dotprod_nan_lanes_stay_bit_exact() {
+    let ex = &paper_examples()[0];
+    let program = parse_program(ex.src).expect("dotprod parses");
+    let compiled = compile(&program);
+    let mut lanes = cycled(&ex.arg_sets, 4);
+    // NaN floods in several positions, including the divisor.
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        let at = i % lane.len();
+        lane[at] = Value::Float(f64::NAN);
+    }
+    lanes.push(vec![Value::Float(f64::NAN); 7]);
+    assert_batch_parity(
+        "dotprod NaN lanes",
+        &program,
+        &compiled,
+        ex.entry,
+        &lanes,
+        None,
+    );
+}
+
+// ------------------------------------------------------------ workloads
+
+/// Deterministic argument vector for sweep step `j`, mirroring the bench
+/// harness: invariant parameters depend only on their position, varying
+/// ones also on `j`.
+fn kernel_args(program: &ds_lang::Program, entry: &str, varying: &[&str], j: usize) -> Vec<Value> {
+    let proc = program.proc(entry).expect("entry exists");
+    proc.params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let vary = varying.contains(&p.name.as_str());
+            match p.ty {
+                Type::Int => {
+                    let base = 1 + 3 * i as i64;
+                    Value::Int(if vary { base + j as i64 } else { base })
+                }
+                Type::Bool => Value::Bool(if vary {
+                    j.is_multiple_of(2)
+                } else {
+                    i.is_multiple_of(2)
+                }),
+                _ => {
+                    let base = 1.25 + 0.75 * i as f64;
+                    Value::Float(if vary {
+                        base + 1.5 * j as f64 - 2.0
+                    } else {
+                        base
+                    })
+                }
+            }
+        })
+        .collect()
+}
+
+fn kernel_lanes(
+    k: &Kernel,
+    program: &ds_lang::Program,
+    varying: &[&str],
+    n: usize,
+) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|j| kernel_args(program, k.name, varying, j))
+        .collect()
+}
+
+#[test]
+fn workload_families_unspecialized_batch_parity() {
+    for k in KERNELS {
+        let program = parse_program(k.src).unwrap_or_else(|e| panic!("{}: parse: {e:?}", k.name));
+        let compiled = compile(&program);
+        for width in WIDTHS {
+            let lanes = kernel_lanes(k, &program, k.partitions[0], width);
+            assert_batch_parity(
+                &format!("{}/{} width {width}", k.family, k.name),
+                &program,
+                &compiled,
+                k.name,
+                &lanes,
+                None,
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_families_staged_reader_batch_parity() {
+    for k in KERNELS {
+        for varying in k.partitions {
+            let spec = specialize_source(
+                k.src,
+                k.name,
+                &InputPartition::varying(varying.iter().copied()),
+                &SpecializeOptions::new(),
+            )
+            .unwrap_or_else(|e| panic!("{}/{}: specialize: {e}", k.family, k.name));
+            let staged = spec.as_program();
+            let compiled = compile(&staged);
+            let mut cache = CacheBuf::new(spec.slot_count());
+            let a0 = kernel_args(&staged, k.name, varying, 0);
+            Engine::Vm
+                .run_program(
+                    &staged,
+                    &format!("{}__loader", k.name),
+                    &a0,
+                    Some(&mut cache),
+                    popts(),
+                )
+                .unwrap_or_else(|e| panic!("{}: loader: {e}", k.name));
+            let lanes: Vec<Vec<Value>> = (0..16)
+                .map(|j| kernel_args(&staged, k.name, varying, j))
+                .collect();
+            assert_batch_parity(
+                &format!("{}/{} reader [{}]", k.family, k.name, varying.join(",")),
+                &staged,
+                &compiled,
+                &format!("{}__reader", k.name),
+                &lanes,
+                Some(&mut cache),
+            );
+        }
+    }
+}
+
+// -------------------------------------------------------------- shaders
+
+#[test]
+fn shader_scanline_batch_parity() {
+    // One 640-lane scanline (row 240 of a 640x480 frame) through the
+    // unspecialized plastic shader: the widest batch in the suite, with
+    // organically divergent branches across the row.
+    let suite = all_shaders();
+    let shader = &suite[0];
+    let compiled = compile(&shader.program);
+    let controls: Vec<Value> = shader
+        .controls
+        .iter()
+        .map(|c| Value::Float(c.default))
+        .collect();
+    let lanes: Vec<Vec<Value>> = (0..640)
+        .map(|ix| {
+            let mut args = pixel_inputs(ix, 240, 640, 480).to_args();
+            args.extend(controls.iter().cloned());
+            args
+        })
+        .collect();
+    // One scalar engine suffices at this width; the engines' own parity
+    // is differential_vm's claim. Fused parity rides along as always.
+    let batch = compiled.run_batch_soa("shade", &lanes, None, popts());
+    for (i, (lane, got)) in lanes.iter().zip(&batch).enumerate() {
+        let scalar = Engine::Vm.run_program(&shader.program, "shade", lane, None, popts());
+        assert_lane(&format!("scanline lane {i}"), &scalar, got);
+    }
+    let mut fused = compiled.clone();
+    let hist = static_op_histogram(&fused);
+    fuse_hot_pairs(&mut fused, &hist, DEFAULT_FUSION_TOP_K);
+    let refused = fused.run_batch_soa("shade", &lanes, None, popts());
+    for (i, (plain, got)) in batch.iter().zip(&refused).enumerate() {
+        assert_lane(&format!("scanline fused lane {i}"), plain, got);
+    }
+}
+
+#[test]
+fn shader_reader_control_sweep_batch_parity() {
+    // The serving shape from the paper: one warmed per-pixel cache, the
+    // user drags one control slider — here as a 64-lane batch.
+    let suite = all_shaders();
+    let shader = &suite[0];
+    let control = "roughness";
+    let spec = specialize(
+        &shader.program,
+        "shade",
+        &InputPartition::varying([control]),
+        &SpecializeOptions::new(),
+    )
+    .expect("plastic specializes");
+    let staged = spec.as_program();
+    let compiled = compile(&staged);
+    let pixel = pixel_inputs(320, 240, 640, 480).to_args();
+    let base: Vec<Value> = pixel
+        .iter()
+        .cloned()
+        .chain(shader.controls.iter().map(|c| Value::Float(c.default)))
+        .collect();
+    let mut cache = CacheBuf::new(spec.slot_count());
+    Engine::Vm
+        .run_program(&staged, "shade__loader", &base, Some(&mut cache), popts())
+        .expect("loader runs");
+    let slider = shader
+        .controls
+        .iter()
+        .position(|c| c.name == control)
+        .unwrap();
+    let lanes: Vec<Vec<Value>> = (0..64)
+        .map(|j| {
+            let mut args = base.clone();
+            args[pixel.len() + slider] = Value::Float(0.02 + 0.01 * j as f64);
+            args
+        })
+        .collect();
+    assert_batch_parity(
+        "plastic reader roughness sweep",
+        &staged,
+        &compiled,
+        "shade__reader",
+        &lanes,
+        Some(&mut cache),
+    );
+}
+
+// ------------------------------------------------------------- directed
+
+/// A mid-batch faulting lane may shorten nothing and perturb no one: the
+/// surviving lanes' outcomes must be identical to a batch run that never
+/// contained the faulting lane.
+#[test]
+fn mid_batch_fault_does_not_perturb_neighbors() {
+    let src = "float f(float x, int i) {
+                   float v[4] = 1.5;
+                   v[2] = 7.0;
+                   return v[i] * x + x * x;
+               }";
+    let program = parse_program(src).expect("parses");
+    let compiled = compile(&program);
+    let lane = |x: f64, i: i64| vec![Value::Float(x), Value::Int(i)];
+    let with_fault = vec![
+        lane(1.0, 0),
+        lane(2.0, 2),
+        lane(3.0, 99),
+        lane(4.0, 1),
+        lane(5.0, -1),
+        lane(6.0, 3),
+    ];
+    let without_fault = vec![lane(1.0, 0), lane(2.0, 2), lane(4.0, 1), lane(6.0, 3)];
+    assert_batch_parity(
+        "mid-batch fault",
+        &program,
+        &compiled,
+        "f",
+        &with_fault,
+        None,
+    );
+    let full = compiled.run_batch_soa("f", &with_fault, None, popts());
+    let clean = compiled.run_batch_soa("f", &without_fault, None, popts());
+    for (kept, survivor) in [0usize, 1, 3, 5].into_iter().zip(&clean) {
+        assert_lane(&format!("survivor lane {kept}"), survivor, &full[kept]);
+    }
+    assert!(
+        full[2].is_err() && full[4].is_err(),
+        "fault lanes must fault"
+    );
+}
+
+/// Divergent branches among live lanes fall back to per-lane scalar
+/// execution — and both arms must really be taken across the batch.
+#[test]
+fn divergent_branches_take_both_arms_bit_exact() {
+    let src = "float f(float x) {
+                   float r = 0.0;
+                   if (x > 0.0) { r = sqrt(x) + x * x; } else { r = -x + x * 0.5; }
+                   return r;
+               }";
+    let program = parse_program(src).expect("parses");
+    let compiled = compile(&program);
+    let lanes: Vec<Vec<Value>> = (-8..8)
+        .map(|i| vec![Value::Float(i as f64 * 0.75)])
+        .collect();
+    assert_batch_parity("divergent branches", &program, &compiled, "f", &lanes, None);
+    let batch = compiled.run_batch_soa("f", &lanes, None, popts());
+    let values: Vec<f64> = batch
+        .iter()
+        .map(|r| match r.as_ref().unwrap().value {
+            Some(Value::Float(v)) => v,
+            ref other => panic!("expected a float, got {other:?}"),
+        })
+        .collect();
+    assert!(values.iter().any(|&v| v > 2.0) && values.windows(2).any(|w| w[0] != w[1]));
+}

@@ -112,6 +112,32 @@ proptest! {
         props::degenerate_partitions(&gen, &base)?;
     }
 
+    // --- batch-executor properties --------------------------------------
+
+    #[test]
+    fn smoke_batch_of_one_matches_scalar(gen in arb_program(), args in arb_args()) {
+        props::batch_of_one_matches_scalar(&gen, &args)?;
+    }
+
+    #[test]
+    fn smoke_batch_lane_permutation_invariant(
+        gen in arb_program(),
+        a in arb_args(),
+        b in arb_args(),
+        c in arb_args(),
+    ) {
+        props::batch_lane_permutation_invariant(&gen, &a, &b, &c)?;
+    }
+
+    #[test]
+    fn smoke_fusion_is_output_and_cost_invariant(
+        gen in arb_program(),
+        a in arb_args(),
+        b in arb_args(),
+    ) {
+        props::fusion_is_output_and_cost_invariant(&gen, &a, &b)?;
+    }
+
     // --- serving-observability histogram properties --------------------
     // Samples stay below 2^53 (`MAX_HIST_SAMPLE`) so every value is
     // exactly representable in the dependency-free JSON layer's f64
